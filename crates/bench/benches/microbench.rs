@@ -1,0 +1,182 @@
+//! Criterion microbenchmarks for the DropBack substrate.
+//!
+//! These quantify the per-operation costs behind the paper's argument:
+//! regeneration vs memory reads, DropBack's step overhead vs plain SGD,
+//! top-k selection, and the GEMM/conv kernels everything sits on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Keep total bench wall-clock modest on small machines.
+fn tune(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+}
+
+use dropback::prelude::*;
+use dropback_prng::{regen_normal, regen_normal_fast};
+use dropback_tensor::conv::{conv2d_forward, ConvGeom};
+use dropback_tensor::{matmul, Tensor};
+
+fn rand_tensor(shape: Vec<usize>, seed: u64) -> Tensor {
+    let mut state = seed.max(1);
+    Tensor::from_fn(shape, |_| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+    })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    tune(&mut g);
+    for &n in &[32usize, 128] {
+        let a = rand_tensor(vec![n, n], 1);
+        let b = rand_tensor(vec![n, n], 2);
+        g.bench_function(format!("matmul_{n}x{n}"), |bench| {
+            bench.iter(|| black_box(matmul(black_box(&a), black_box(&b))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let geom = ConvGeom {
+        c: 16,
+        h: 16,
+        w: 16,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let x = rand_tensor(vec![4, 16, 16, 16], 3);
+    let w = rand_tensor(vec![32, 16 * 9], 4);
+    let mut g = c.benchmark_group("conv");
+    tune(&mut g);
+    g.bench_function("conv2d_16ch_16x16_b4", |bench| {
+        bench.iter(|| black_box(conv2d_forward(black_box(&x), black_box(&w), None, geom)))
+    });
+    g.finish();
+}
+
+fn bench_regen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("regen");
+    tune(&mut g);
+    // The comparison the paper's energy argument rests on: regenerating a
+    // weight vs reading it from a stored table.
+    let table: Vec<f32> = (0..1_000_000u64).map(|i| regen_normal(7, i)).collect();
+    g.bench_function("regen_normal_1M", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..1_000_000u64 {
+                acc += regen_normal(7, i);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("regen_normal_fast_1M", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..1_000_000u64 {
+                acc += regen_normal_fast(7, i);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("table_read_1M", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0f32;
+            for &v in &table {
+                acc += v;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let scores: Vec<f32> = (0..266_610u64).map(|i| regen_normal(9, i).abs()).collect();
+    let mut g = c.benchmark_group("topk");
+    tune(&mut g);
+    g.bench_function("top_k_mask_266k_k20k", |bench| {
+        bench.iter(|| black_box(dropback::optim::top_k_mask(black_box(&scores), 20_000)))
+    });
+    g.finish();
+}
+
+fn bench_optimizer_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer_step");
+    tune(&mut g);
+    let build = || {
+        let mut net = models::mnist_100_100(42);
+        let x = rand_tensor(vec![64, 784], 5);
+        let labels: Vec<usize> = (0..64).map(|i| i % 10).collect();
+        let _ = net.loss_backward(&x, &labels);
+        net
+    };
+    g.bench_function("sgd_90k", |bench| {
+        bench.iter_batched(
+            build,
+            |mut net| {
+                Sgd::new().step(net.store_mut(), 0.1);
+                black_box(net.store().params()[0])
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("dropback_90k_k20k", |bench| {
+        bench.iter_batched(
+            build,
+            |mut net| {
+                DropBack::new(20_000).step(net.store_mut(), 0.1);
+                black_box(net.store().params()[0])
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("dropback_sparse_90k_k20k", |bench| {
+        bench.iter_batched(
+            build,
+            |mut net| {
+                SparseDropBack::new(20_000).step(net.store_mut(), 0.1);
+                black_box(net.store().params()[0])
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_train_step");
+    tune(&mut g);
+    let x = rand_tensor(vec![64, 784], 6);
+    let labels: Vec<usize> = (0..64).map(|i| i % 10).collect();
+    g.bench_function("mnist_100_100_fwd_bwd_b64", |bench| {
+        let mut net = models::mnist_100_100(42);
+        bench.iter(|| black_box(net.loss_backward(black_box(&x), black_box(&labels))))
+    });
+    let xc = rand_tensor(vec![8, 3, 16, 16], 7);
+    let labels_c: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    g.bench_function("vgg_s_nano_fwd_bwd_b8", |bench| {
+        let mut net = models::vgg_s_nano(42);
+        bench.iter(|| black_box(net.loss_backward(black_box(&xc), black_box(&labels_c))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_conv,
+    bench_regen,
+    bench_topk,
+    bench_optimizer_step,
+    bench_train_step
+);
+criterion_main!(benches);

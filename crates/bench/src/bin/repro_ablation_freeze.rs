@@ -1,0 +1,57 @@
+//! §3 "Tracked weight set freezing" / "Effects of freezing" — sweep the
+//! freeze epoch at low and high compression. The paper: freezing early has
+//! little effect at modest compression but costs accuracy at extreme
+//! compression ratios.
+//!
+//! ```text
+//! cargo run --release -p dropback-bench --bin repro_ablation_freeze
+//! ```
+
+use dropback::prelude::*;
+use dropback_bench::{banner, env_usize, runners, seed, Table};
+
+fn main() {
+    banner("Ablation (§3)", "freeze-epoch sweep (MNIST-100-100)");
+    let epochs = env_usize("DROPBACK_EPOCHS", 12);
+    let n_train = env_usize("DROPBACK_TRAIN", 4000);
+    let n_test = env_usize("DROPBACK_TEST", 1000);
+    let (train, test) = runners::mnist_data(n_train, n_test, seed());
+
+    let freezes: [Option<usize>; 4] = [Some(1), Some(3), Some(6), None];
+    let mut table = Table::new(&["budget", "freeze@1", "freeze@3", "freeze@6", "never"]);
+    let mut per_budget: Vec<(usize, Vec<f32>)> = Vec::new();
+    for k in [20_000usize, 1_500] {
+        let mut errs = Vec::new();
+        for fe in freezes {
+            let mut db = DropBack::new(k);
+            if let Some(f) = fe {
+                db = db.freeze_after(f);
+            }
+            let report =
+                runners::run_mnist(models::mnist_100_100(seed()), db, &train, &test, epochs);
+            errs.push(report.best_val_error_percent());
+        }
+        table.row(&[
+            &format!("{k}"),
+            &format!("{:.2}%", errs[0]),
+            &format!("{:.2}%", errs[1]),
+            &format!("{:.2}%", errs[2]),
+            &format!("{:.2}%", errs[3]),
+        ]);
+        per_budget.push((k, errs));
+    }
+    println!("{}", table.render());
+    let low_comp_spread = {
+        let e = &per_budget[0].1;
+        e.iter().cloned().fold(f32::MIN, f32::max) - e.iter().cloned().fold(f32::MAX, f32::min)
+    };
+    let high_comp_spread = {
+        let e = &per_budget[1].1;
+        e.iter().cloned().fold(f32::MIN, f32::max) - e.iter().cloned().fold(f32::MAX, f32::min)
+    };
+    println!(
+        "error spread across freeze epochs: {low_comp_spread:.2}% at 4.5x compression vs\n\
+         {high_comp_spread:.2}% at 60x — the paper: freezing early \"has little effect\" at\n\
+         small ratios but costs accuracy at very high compression."
+    );
+}

@@ -1,0 +1,148 @@
+//! Figure 5 — ℓ2 weight-diffusion distance vs training iteration (log time
+//! scale) on MNIST-100-100 for: baseline SGD, DropBack 2k, DropBack 10k,
+//! magnitude pruning 0.75, and variational dropout.
+//!
+//! The paper's shape: DropBack's diffusion curve hugs the baseline's
+//! (slightly below); magnitude pruning *starts* at a large distance
+//! (zeroing destroys the init scaffolding); variational dropout diffuses
+//! much faster than everyone.
+//!
+//! ```text
+//! cargo run --release -p dropback-bench --bin repro_fig5
+//! ```
+
+use dropback::prelude::*;
+use dropback_bench::{banner, env_usize, runners, seed, Table};
+
+/// Probe recording ℓ2 distance from init on a log-spaced iteration grid.
+struct DiffusionProbe {
+    tracker: DiffusionTracker,
+}
+
+impl StepProbe for DiffusionProbe {
+    fn after_step(&mut self, iteration: u64, ps: &ParamStore) {
+        if DiffusionTracker::should_sample(iteration + 1, 6) {
+            self.tracker.record(iteration + 1, ps.params());
+        }
+    }
+}
+
+fn run(
+    name: &str,
+    net: Network,
+    opt: impl Optimizer,
+    kl: Option<KlAnneal>,
+    train: &Dataset,
+    test: &Dataset,
+    epochs: usize,
+) -> (String, Vec<(u64, f32)>, f32) {
+    let mut probe = DiffusionProbe {
+        tracker: DiffusionTracker::new(&net.store().regen_initial()),
+    };
+    let mut cfg = TrainConfig::new(epochs, 64)
+        .lr(LrSchedule::Constant(0.1))
+        .patience(None);
+    if let Some(a) = kl {
+        cfg = cfg.kl_anneal(a);
+    }
+    let report = Trainer::new(cfg).run_probed(net, opt, train, test, &mut probe);
+    (
+        name.to_string(),
+        probe.tracker.samples().to_vec(),
+        report.best_val_acc,
+    )
+}
+
+fn main() {
+    banner("Figure 5", "diffusion (L2) distance vs training time (MNIST-100-100)");
+    let epochs = env_usize("DROPBACK_EPOCHS", 6);
+    let n_train = env_usize("DROPBACK_TRAIN", 3000);
+    let n_test = env_usize("DROPBACK_TEST", 600);
+    let (train, test) = runners::mnist_data(n_train, n_test, seed());
+
+    let results = vec![
+        run("baseline", models::mnist_100_100(seed()), Sgd::new(), None, &train, &test, epochs),
+        run(
+            "dropback 2k",
+            models::mnist_100_100(seed()),
+            DropBack::new(2_000),
+            None,
+            &train,
+            &test,
+            epochs,
+        ),
+        run(
+            "dropback 10k",
+            models::mnist_100_100(seed()),
+            DropBack::new(10_000),
+            None,
+            &train,
+            &test,
+            epochs,
+        ),
+        run(
+            "mag prune .75",
+            models::mnist_100_100(seed()),
+            MagnitudePruning::new(0.75),
+            None,
+            &train,
+            &test,
+            epochs,
+        ),
+        run(
+            "var dropout",
+            models::mnist_100_100_vd(seed()),
+            Sgd::new(),
+            Some(KlAnneal::new(2, 1e-3)),
+            &train,
+            &test,
+            epochs,
+        ),
+    ];
+
+    let mut t = Table::new(&["method", "dist@iter1", "dist@mid", "dist@end", "val acc"]);
+    let mut summary = Vec::new();
+    for (name, samples, acc) in &results {
+        let first = samples.first().map(|&(_, d)| d).unwrap_or(0.0);
+        let mid = samples.get(samples.len() / 2).map(|&(_, d)| d).unwrap_or(0.0);
+        let last = samples.last().map(|&(_, d)| d).unwrap_or(0.0);
+        t.row(&[
+            name,
+            &format!("{first:.2}"),
+            &format!("{mid:.2}"),
+            &format!("{last:.2}"),
+            &format!("{acc:.4}"),
+        ]);
+        summary.push((name.clone(), first, last));
+    }
+    println!("{}", t.render());
+    println!("full (iteration, distance) series:");
+    for (name, samples, _) in &results {
+        let pts: Vec<String> = samples
+            .iter()
+            .map(|(it, d)| format!("({it},{d:.1})"))
+            .collect();
+        println!("  {:<14} {}", name, pts.join(" "));
+    }
+
+    // Shape assertions mirroring the paper's qualitative claims.
+    let get = |n: &str| summary.iter().find(|(name, _, _)| name == n).unwrap().clone();
+    let (_, base_first, base_last) = get("baseline");
+    let (_, db10_first, db10_last) = get("dropback 10k");
+    let (_, mag_first, _) = get("mag prune .75");
+    let (_, _, vd_last) = get("var dropout");
+    println!();
+    println!(
+        "shape check: dropback-10k end distance {:.1} <= baseline {:.1}; magnitude\n\
+         pruning initial distance {:.1} >> baseline initial {:.1}; variational dropout\n\
+         end distance {:.1} >= baseline {:.1}",
+        db10_last, base_last, mag_first, base_first, vd_last, base_last
+    );
+    assert!(db10_first <= base_first * 1.5 + 1.0, "dropback should start near baseline");
+    assert!(db10_last <= base_last * 1.2 + 1.0, "dropback should not out-diffuse baseline");
+    assert!(
+        mag_first > base_first * 3.0,
+        "magnitude pruning should start far from init (zeroed scaffolding)"
+    );
+    println!("PASS");
+}

@@ -1,0 +1,193 @@
+//! Figure 6 — evolution of the weight vector under SGD projected into 3-D
+//! by PCA, for DropBack, baseline, magnitude pruning, and variational
+//! dropout.
+//!
+//! The paper's shape: DropBack's trajectory stays close to the baseline's
+//! in principal-component space; magnitude pruning and variational dropout
+//! diverge significantly.
+//!
+//! ```text
+//! cargo run --release -p dropback-bench --bin repro_fig6
+//! ```
+
+use dropback::prelude::*;
+use dropback_bench::{banner, env_usize, runners, seed, Table};
+
+/// Extracts the *weight* parameters only — variational-dropout models carry
+/// interleaved `log_sigma2` ranges whose −8 init would dominate the PCA
+/// (the paper projects weight space).
+fn weights_only(ps: &ParamStore) -> Vec<f32> {
+    let mut out = Vec::new();
+    for r in ps.ranges() {
+        if !r.name().contains("log_sigma2") {
+            out.extend_from_slice(&ps.params()[r.start()..r.end()]);
+        }
+    }
+    out
+}
+
+/// Probe capturing periodic weight snapshots.
+struct SnapshotProbe {
+    every: u64,
+    snapshots: Vec<Vec<f32>>,
+}
+
+impl StepProbe for SnapshotProbe {
+    fn after_step(&mut self, iteration: u64, ps: &ParamStore) {
+        if iteration.is_multiple_of(self.every) {
+            self.snapshots.push(weights_only(ps));
+        }
+    }
+}
+
+fn trajectory(
+    net: Network,
+    opt: impl Optimizer,
+    kl: Option<KlAnneal>,
+    train: &Dataset,
+    test: &Dataset,
+    epochs: usize,
+    every: u64,
+) -> Vec<Vec<f32>> {
+    // At construction params == regenerated inits, so this snapshots W(0).
+    let mut probe = SnapshotProbe {
+        every,
+        snapshots: vec![weights_only(net.store())],
+    };
+    let mut cfg = TrainConfig::new(epochs, 64)
+        .lr(LrSchedule::Constant(0.1))
+        .patience(None);
+    if let Some(a) = kl {
+        cfg = cfg.kl_anneal(a);
+    }
+    let _ = Trainer::new(cfg).run_probed(net, opt, train, test, &mut probe);
+    probe.snapshots
+}
+
+fn main() {
+    banner("Figure 6", "PCA projection of weight evolution (MNIST-100-100)");
+    let epochs = env_usize("DROPBACK_EPOCHS", 4);
+    let n_train = env_usize("DROPBACK_TRAIN", 2000);
+    let (train, test) = runners::mnist_data(n_train, 400, seed());
+    let every = ((n_train / 64) * epochs / 8).max(1) as u64; // ~8 snapshots/run
+
+    let runs: Vec<(&str, Vec<Vec<f32>>)> = vec![
+        (
+            "baseline",
+            trajectory(models::mnist_100_100(seed()), Sgd::new(), None, &train, &test, epochs, every),
+        ),
+        (
+            "dropback 2k",
+            trajectory(
+                models::mnist_100_100(seed()),
+                DropBack::new(2_000),
+                None,
+                &train,
+                &test,
+                epochs,
+                every,
+            ),
+        ),
+        (
+            "dropback 10k",
+            trajectory(
+                models::mnist_100_100(seed()),
+                DropBack::new(10_000),
+                None,
+                &train,
+                &test,
+                epochs,
+                every,
+            ),
+        ),
+        (
+            "mag prune .75",
+            trajectory(
+                models::mnist_100_100(seed()),
+                MagnitudePruning::new(0.75),
+                None,
+                &train,
+                &test,
+                epochs,
+                every,
+            ),
+        ),
+        (
+            "var dropout",
+            trajectory(
+                models::mnist_100_100_vd(seed()),
+                Sgd::new(),
+                Some(KlAnneal::new(2, 1e-3)),
+                &train,
+                &test,
+                epochs,
+                every,
+            ),
+        ),
+    ];
+
+    // Joint PCA over all trajectories (vd has extra log-sigma params; project
+    // on the common prefix = the weight parameters shared by all models).
+    let min_len = runs.iter().map(|(_, s)| s[0].len()).min().unwrap();
+    let mut all: Vec<Vec<f32>> = Vec::new();
+    let mut offsets = Vec::new();
+    for (_, snaps) in &runs {
+        offsets.push(all.len());
+        for s in snaps {
+            all.push(s[..min_len].to_vec());
+        }
+    }
+    let pca = pca_project(&all, 3);
+    println!(
+        "explained variance by top-3 PCs: {:?}",
+        pca.explained.iter().map(|e| format!("{e:.3}")).collect::<Vec<_>>()
+    );
+    let mut t = Table::new(&["method", "endpoint (PC1, PC2, PC3)", "dist from baseline endpoint"]);
+    let base_end = {
+        let (_, snaps) = &runs[0];
+        pca.projections[offsets[0] + snaps.len() - 1].clone()
+    };
+    let mut dists = Vec::new();
+    for (i, (name, snaps)) in runs.iter().enumerate() {
+        let end = &pca.projections[offsets[i] + snaps.len() - 1];
+        let d: f32 = end
+            .iter()
+            .zip(&base_end)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        dists.push((name.to_string(), d));
+        t.row(&[
+            name,
+            &format!("({:.1}, {:.1}, {:.1})", end[0], end[1], end[2]),
+            &format!("{d:.2}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("trajectories (PC1 coordinate per snapshot):");
+    for (i, (name, snaps)) in runs.iter().enumerate() {
+        let pc1: Vec<String> = (0..snaps.len())
+            .map(|j| format!("{:.1}", pca.projections[offsets[i] + j][0]))
+            .collect();
+        println!("  {:<14} {}", name, pc1.join(" → "));
+    }
+
+    let d = |n: &str| dists.iter().find(|(name, _)| name == n).unwrap().1;
+    println!(
+        "\nshape check: dropback endpoints should lie closer to the baseline endpoint\n\
+         than magnitude pruning and variational dropout do."
+    );
+    assert!(
+        d("dropback 10k") < d("mag prune .75"),
+        "dropback 10k ({}) should be closer than magnitude pruning ({})",
+        d("dropback 10k"),
+        d("mag prune .75")
+    );
+    assert!(
+        d("dropback 10k") < d("var dropout"),
+        "dropback 10k ({}) should be closer than variational dropout ({})",
+        d("dropback 10k"),
+        d("var dropout")
+    );
+    println!("PASS");
+}

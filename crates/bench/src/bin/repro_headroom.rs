@@ -1,0 +1,54 @@
+//! §6 headline — "DropBack can be used to train networks 5×–10× larger
+//! than currently possible with typical hardware": sweep the on-chip
+//! weight SRAM of an edge accelerator and report the largest model whose
+//! *tracked set* stays resident, dense vs DropBack.
+//!
+//! ```text
+//! cargo run --release -p dropback-bench --bin repro_headroom
+//! ```
+
+use dropback::energy::{lenet_300_100_layers, Accelerator, EnergyModel};
+use dropback_bench::{banner, Table};
+
+fn main() {
+    banner("§6 headroom", "max trainable model vs on-chip weight SRAM");
+    let mut t = Table::new(&[
+        "SRAM",
+        "dense max (weights)",
+        "DropBack 5x",
+        "DropBack 10x",
+        "DropBack 13.3x (paper's 20k point)",
+    ]);
+    for kib in [64u64, 256, 1024, 4096] {
+        let acc = Accelerator {
+            sram_bytes: kib * 1024,
+            word_bytes: 4,
+            model: EnergyModel::paper_45nm(),
+            regen_unit: true,
+        };
+        t.row(&[
+            &format!("{kib} KiB"),
+            &acc.max_trainable_weights(1.0),
+            &acc.max_trainable_weights(5.0),
+            &acc.max_trainable_weights(10.0),
+            &acc.max_trainable_weights(13.33),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Concrete example: LeNet-300-100 on a 256 KiB device.
+    let acc = Accelerator::edge_256k();
+    let layers = lenet_300_100_layers();
+    let total: u64 = layers.iter().map(|l| l.weights).sum();
+    println!(
+        "LeNet-300-100 has {total} weights; a 256 KiB device holds {} words.\n\
+         Dense training spills to DRAM ({:.1} µJ/step); DropBack at 20k tracked\n\
+         weights stays resident ({:.1} µJ/step) — it is the difference between\n\
+         'cannot train on-device' and 'trains in on-chip SRAM'.",
+        acc.sram_words(),
+        acc.training_step(&layers, total, 1).total_pj() / 1e6,
+        acc.training_step(&layers, 20_000, 1).total_pj() / 1e6,
+    );
+    assert!(acc.max_trainable_weights(10.0) == 10 * acc.max_trainable_weights(1.0));
+    println!("\nshape check: PASS — trainable model size scales linearly with compression.");
+}

@@ -1,0 +1,103 @@
+//! Table 1 — MNIST compression/accuracy for LeNet-300-100 and
+//! MNIST-100-100: baseline vs DropBack at 50k / 20k / 1.5k tracked weights.
+//!
+//! ```text
+//! cargo run --release -p dropback-bench --bin repro_table1
+//! ```
+
+use dropback::prelude::*;
+use dropback_bench::{banner, env_usize, runners, seed, Table};
+
+struct PaperRow {
+    label: &'static str,
+    err: &'static str,
+    comp: &'static str,
+}
+
+fn main() {
+    banner("Table 1", "MNIST validation error vs weight compression");
+    let epochs = env_usize("DROPBACK_EPOCHS", 25);
+    let n_train = env_usize("DROPBACK_TRAIN", 5000);
+    let n_test = env_usize("DROPBACK_TEST", 1000);
+    let (train, test) = runners::mnist_data(n_train, n_test, seed());
+
+    // (model ctor, paper rows, budgets, freeze epochs)
+    let lenet_paper = [
+        PaperRow { label: "Baseline 267k", err: "1.41%", comp: "1x" },
+        PaperRow { label: "DropBack 50k", err: "1.51%", comp: "5.33x" },
+        PaperRow { label: "DropBack 20k", err: "1.78%", comp: "13.33x" },
+        PaperRow { label: "DropBack 1.5k", err: "3.84%", comp: "177.74x" },
+    ];
+    let small_paper = [
+        PaperRow { label: "Baseline 90k", err: "1.70%", comp: "1x" },
+        PaperRow { label: "DropBack 50k", err: "1.58%", comp: "1.8x" },
+        PaperRow { label: "DropBack 20k", err: "1.70%", comp: "4.5x" },
+        PaperRow { label: "DropBack 1.5k", err: "3.78%", comp: "60x" },
+    ];
+    let budgets: [Option<usize>; 4] = [None, Some(50_000), Some(20_000), Some(1_500)];
+    // Paper freeze epochs, rescaled to the reduced epoch budget.
+    let lenet_freeze = [None, Some(100), Some(35), Some(40)];
+    let small_freeze = [None, Some(5), Some(5), Some(30)];
+
+    for (model_name, ctor, paper, freezes) in [
+        (
+            "MNIST-300-100 (LeNet)",
+            models::lenet_300_100 as fn(u64) -> Network,
+            &lenet_paper,
+            &lenet_freeze,
+        ),
+        (
+            "MNIST-100-100",
+            models::mnist_100_100 as fn(u64) -> Network,
+            &small_paper,
+            &small_freeze,
+        ),
+    ] {
+        println!("--- {model_name} ---");
+        let mut table = Table::new(&[
+            "config",
+            "paper err",
+            "measured err",
+            "paper comp",
+            "measured comp",
+            "best epoch",
+            "freeze",
+        ]);
+        for ((paper_row, budget), freeze) in paper.iter().zip(&budgets).zip(freezes.iter()) {
+            let net = ctor(seed());
+            let report = match budget {
+                None => runners::run_mnist(net, Sgd::new(), &train, &test, epochs),
+                Some(k) => {
+                    let mut db = DropBack::new(*k);
+                    if let Some(fe) = freeze {
+                        // Rescale the paper's freeze epoch to our budget,
+                        // flooring at 3 epochs: with ~80 iterations/epoch
+                        // (vs the paper's ~860) a 1-epoch freeze would fix
+                        // the tracked set long before it stabilizes.
+                        let fe_scaled = ((*fe as f64) * epochs as f64 / 100.0).ceil() as usize;
+                        db = db.freeze_after(fe_scaled.max(3));
+                    }
+                    runners::run_mnist(net, db, &train, &test, epochs)
+                }
+            };
+            let freeze_str = freeze
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "N/A".into());
+            table.row(&[
+                &paper_row.label,
+                &paper_row.err,
+                &format!("{:.2}%", report.best_val_error_percent()),
+                &paper_row.comp,
+                &format!("{:.2}x", report.compression()),
+                &report.best_epoch,
+                &freeze_str,
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "shape check: DropBack at moderate budgets (>=20k) should sit within ~1-2% of the\n\
+         baseline error while storing 4-13x fewer weights; the 1.5k extreme point should\n\
+         show a clear (roughly 2x) error increase, mirroring the paper's trend."
+    );
+}

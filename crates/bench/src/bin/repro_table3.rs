@@ -1,0 +1,221 @@
+//! Table 3 — CIFAR-10 compression/accuracy on VGG-S, DenseNet, and
+//! WRN-28-10 (nano versions, synthetic CIFAR): DropBack at the paper's
+//! compression ratios vs variational dropout, magnitude pruning, and
+//! network slimming.
+//!
+//! ```text
+//! cargo run --release -p dropback-bench --bin repro_table3
+//! ```
+
+use dropback::nn::BatchNorm;
+use dropback::prelude::*;
+use dropback_bench::{banner, env_usize, runners, seed, Table};
+
+/// One experiment row: which rule to run and what the paper reported.
+enum Rule {
+    Baseline,
+    DropBackRatio(f32),
+    VarDrop,
+    Magnitude(f32),
+    Slimming(f32),
+}
+
+struct Row {
+    rule: Rule,
+    label: &'static str,
+    paper_err: &'static str,
+    paper_comp: &'static str,
+}
+
+fn gamma_ranges(net: &Network) -> Vec<dropback::nn::ParamRange> {
+    net.param_ranges()
+        .into_iter()
+        .filter(|r| r.name().ends_with(".gamma"))
+        .collect()
+}
+
+// BatchNorm is referenced for the doc link above; silence the lint cheaply.
+#[allow(dead_code)]
+fn _bn_marker(_: &BatchNorm) {}
+
+fn main() {
+    banner("Table 3", "CIFAR-10 nano models: compression vs error");
+    let epochs = env_usize("DROPBACK_EPOCHS", 8);
+    let n_train = env_usize("DROPBACK_TRAIN", 1500);
+    let n_test = env_usize("DROPBACK_TEST", 400);
+    let hw = dropback::nn::models::CIFAR_NANO_HW;
+    let (train, test) = synthetic_cifar(n_train, n_test, hw, hw, seed());
+
+    type Ctor = fn(u64) -> Network;
+    let vgg: Ctor = models::vgg_s_nano;
+    let vgg_vd: Ctor = models::vgg_s_nano_vd;
+    let dense: Ctor = models::densenet_nano;
+    let dense_vd: Ctor = models::densenet_nano_vd;
+    let wrn: Ctor = |s| models::wrn_nano(s, 1);
+    let wrn_vd: Ctor = |s| models::wrn_nano_vd(s, 1);
+
+    let suites: [(&str, Ctor, Ctor, Vec<Row>); 3] = [
+        (
+            "VGG-S (nano)",
+            vgg,
+            vgg_vd,
+            vec![
+                Row { rule: Rule::Baseline, label: "Baseline", paper_err: "10.08%", paper_comp: "1x" },
+                Row { rule: Rule::DropBackRatio(3.0), label: "DropBack 3x", paper_err: "9.75%", paper_comp: "3x" },
+                Row { rule: Rule::DropBackRatio(5.0), label: "DropBack 5x", paper_err: "9.90%", paper_comp: "5x" },
+                Row { rule: Rule::DropBackRatio(20.0), label: "DropBack 20x", paper_err: "13.49%", paper_comp: "20x" },
+                Row { rule: Rule::DropBackRatio(30.0), label: "DropBack 30x", paper_err: "20.85%", paper_comp: "30x" },
+                Row { rule: Rule::VarDrop, label: "Var. Dropout", paper_err: "13.50%", paper_comp: "3.4x" },
+                Row { rule: Rule::Magnitude(0.80), label: "Mag Pruning .80", paper_err: "9.42%", paper_comp: "5x" },
+                Row { rule: Rule::Slimming(0.74), label: "Slimming", paper_err: "11.08%", paper_comp: "3.8x" },
+            ],
+        ),
+        (
+            "Densenet (nano)",
+            dense,
+            dense_vd,
+            vec![
+                Row { rule: Rule::Baseline, label: "Baseline", paper_err: "6.48%", paper_comp: "1x" },
+                Row { rule: Rule::DropBackRatio(4.5), label: "DropBack 4.5x", paper_err: "5.86%", paper_comp: "4.5x" },
+                Row { rule: Rule::DropBackRatio(27.0), label: "DropBack 27x", paper_err: "9.42%", paper_comp: "27x" },
+                Row { rule: Rule::VarDrop, label: "Var. Dropout", paper_err: "90%", paper_comp: "N/A" },
+                Row { rule: Rule::Magnitude(0.75), label: "Mag Pruning .75", paper_err: "6.41%", paper_comp: "4x" },
+                Row { rule: Rule::Slimming(0.66), label: "Slimming", paper_err: "5.65%", paper_comp: "2.9x" },
+            ],
+        ),
+        (
+            "WRN-28-10 (nano)",
+            wrn,
+            wrn_vd,
+            vec![
+                Row { rule: Rule::Baseline, label: "Baseline", paper_err: "3.75%", paper_comp: "1x" },
+                Row { rule: Rule::DropBackRatio(4.5), label: "DropBack 4.5x", paper_err: "3.85%", paper_comp: "4.5x" },
+                Row { rule: Rule::DropBackRatio(5.2), label: "DropBack 5.2x", paper_err: "4.02%", paper_comp: "5.2x" },
+                Row { rule: Rule::DropBackRatio(7.3), label: "DropBack 7.3x", paper_err: "4.20%", paper_comp: "7.3x" },
+                Row { rule: Rule::VarDrop, label: "Var. Dropout", paper_err: "90%", paper_comp: "N/A" },
+                Row { rule: Rule::Magnitude(0.75), label: "Mag Pruning .75", paper_err: "26.52%", paper_comp: "4x" },
+                Row { rule: Rule::Slimming(0.75), label: "Slimming .75", paper_err: "16.64%", paper_comp: "4x" },
+            ],
+        ),
+    ];
+
+    // Optional suite filter: DROPBACK_SUITE=vgg|densenet|wrn runs one family;
+    // DROPBACK_ROWS=a-b restricts to a row range within it (chunked runs).
+    let suite_filter = std::env::var("DROPBACK_SUITE").unwrap_or_default();
+    let row_range: Option<(usize, usize)> = std::env::var("DROPBACK_ROWS")
+        .ok()
+        .and_then(|s| {
+            let (a, b) = s.split_once('-')?;
+            Some((a.parse().ok()?, b.parse().ok()?))
+        });
+    for (suite_name, ctor, vd_ctor, rows) in suites {
+        if !suite_filter.is_empty()
+            && !suite_name
+                .to_lowercase()
+                .contains(&suite_filter.to_lowercase())
+        {
+            continue;
+        }
+        let rows: Vec<Row> = match row_range {
+            None => rows,
+            Some((a, b)) => rows
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| *i >= a && *i <= b)
+                .map(|(_, r)| r)
+                .collect(),
+        };
+        println!("--- {suite_name} ---");
+        let mut table = Table::new(&[
+            "config",
+            "paper err",
+            "measured err",
+            "paper comp",
+            "measured comp",
+            "best epoch",
+        ]);
+        for row in rows {
+            let report = match row.rule {
+                Rule::Baseline => {
+                    runners::run_cifar(ctor(seed()), Sgd::new(), &train, &test, epochs)
+                }
+                Rule::DropBackRatio(ratio) => {
+                    // No freezing, matching the paper's Table 3 (Freeze
+                    // Epoch = N/A for DenseNet/WRN; VGG's scaled freeze
+                    // points degenerate at this epoch budget).
+                    let net = ctor(seed());
+                    let k = ((net.num_params() as f32 / ratio).round() as usize).max(1);
+                    runners::run_cifar(net, DropBack::new(k), &train, &test, epochs)
+                }
+                Rule::VarDrop => {
+                    // Manual loop so we keep the network afterwards and can
+                    // report the log-α-based compression.
+                    let mut net = vd_ctor(seed());
+                    let kl = KlAnneal::new(epochs / 2 + 1, 2e-4);
+                    let batcher = Batcher::new(32, 0x5EED);
+                    let mut opt = Sgd::new();
+                    let mut history = Vec::new();
+                    let mut best = (0usize, 0.0f32);
+                    for epoch in 0..epochs {
+                        for (x, labels) in batcher.epoch(&train, epoch as u64) {
+                            let _ = net.loss_backward(&x, &labels);
+                            let _ = net.kl_backward(kl.at(epoch));
+                            opt.step(net.store_mut(), 0.05);
+                        }
+                        let acc = net.accuracy(&test, 256);
+                        history.push(acc);
+                        if acc > best.1 {
+                            best = (epoch, acc);
+                        }
+                    }
+                    let comp = runners::vd_compression(&net);
+                    let err = 100.0 * (1.0 - best.1);
+                    table.row(&[
+                        &row.label,
+                        &row.paper_err,
+                        &format!("{err:.2}%"),
+                        &row.paper_comp,
+                        &format!("{comp:.2}x"),
+                        &best.0,
+                    ]);
+                    continue;
+                }
+                Rule::Magnitude(frac) => runners::run_cifar(
+                    ctor(seed()),
+                    MagnitudePruning::new(frac),
+                    &train,
+                    &test,
+                    epochs,
+                ),
+                Rule::Slimming(frac) => {
+                    let net = ctor(seed());
+                    let gammas = gamma_ranges(&net);
+                    let slim = NetworkSlimming::new(gammas, 1e-4, frac)
+                        .prune_at_epoch((2 * epochs / 3).max(1));
+                    runners::run_cifar(net, slim, &train, &test, epochs)
+                }
+            };
+            eprintln!(
+                "[{suite_name}] {}: err {:.2}% comp {:.2}x",
+                row.label,
+                report.best_val_error_percent(),
+                report.compression()
+            );
+            table.row(&[
+                &row.label,
+                &row.paper_err,
+                &format!("{:.2}%", report.best_val_error_percent()),
+                &row.paper_comp,
+                &format!("{:.2}x", report.compression()),
+                &report.best_epoch,
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "shape check: DropBack should track the baseline within ~1-2% at <=7x compression\n\
+         on all three families, degrade gracefully at 20-30x, while variational dropout\n\
+         struggles on the dense architectures and aggressive magnitude pruning / slimming\n\
+         hurt WRN badly — the paper's qualitative ordering."
+    );
+}

@@ -1,0 +1,257 @@
+//! Shared harness utilities for the `repro_*` experiment binaries.
+//!
+//! Each binary regenerates one table or figure from the paper (see
+//! DESIGN.md's per-experiment index) and prints the paper's reported
+//! numbers next to the measured ones. Scale knobs come from the
+//! environment so `cargo run --release -p dropback-bench --bin repro_table1`
+//! works with no arguments:
+//!
+//! | env var | meaning | default |
+//! |---|---|---|
+//! | `DROPBACK_EPOCHS` | epoch budget per run | per-experiment |
+//! | `DROPBACK_TRAIN` | training examples | per-experiment |
+//! | `DROPBACK_TEST` | test examples | per-experiment |
+//! | `DROPBACK_SEED` | master seed | 42 |
+
+use std::fmt::Display;
+
+/// Reads a `usize` scale knob from the environment.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads the master seed (`DROPBACK_SEED`, default 42).
+pub fn seed() -> u64 {
+    std::env::var("DROPBACK_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+/// A fixed-width text table that prints paper-reported values alongside
+/// measured ones.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifies each cell).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows
+            .push(cells.iter().map(|c| format!("{c}")).collect());
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders an ASCII sparkline of a series (for convergence "figures").
+pub fn sparkline(values: &[f32]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().cloned().fold(f32::INFINITY, f32::min);
+    let hi = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let span = (hi - lo).max(1e-9);
+    values
+        .iter()
+        .map(|&v| BARS[(((v - lo) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+/// Prints a standard experiment banner.
+pub fn banner(experiment: &str, what: &str) {
+    println!("=== {experiment} — {what} ===");
+    println!(
+        "(seed {}; scale via DROPBACK_EPOCHS / DROPBACK_TRAIN / DROPBACK_TEST)",
+        seed()
+    );
+    println!();
+}
+
+/// Shared training-run helpers for the experiment binaries.
+pub mod runners {
+    use dropback::prelude::*;
+
+    /// Post-training compression of a variational-dropout network: weights
+    /// with `log α > 3` are pruned (their eval-time value is 0), so the
+    /// stored count is the complement. `log_sigma2` ranges themselves are
+    /// training-time state, not shipped weights.
+    pub fn vd_compression(net: &Network) -> f32 {
+        let ps = net.store();
+        let mut total = 0usize;
+        let mut kept = 0usize;
+        let ranges = ps.ranges();
+        for r in ranges {
+            if r.name().ends_with(".log_sigma2") {
+                continue;
+            }
+            total += r.len();
+            if let Some(ls) = ranges
+                .iter()
+                .find(|o| o.name() == r.name().replace(".weight", ".log_sigma2"))
+            {
+                if r.name().ends_with(".weight") && ls.len() == r.len() {
+                    let w = ps.slice(r);
+                    let s = ps.slice(ls);
+                    kept += w
+                        .iter()
+                        .zip(s)
+                        .filter(|(&w, &ls)| ls - (w * w + 1e-8).ln() <= 3.0)
+                        .count();
+                    continue;
+                }
+            }
+            kept += r.len();
+        }
+        total as f32 / kept.max(1) as f32
+    }
+
+    /// Loads real MNIST from `$DROPBACK_MNIST_DIR` if set and valid,
+    /// otherwise generates the synthetic stand-in (see DESIGN.md,
+    /// substitution 1).
+    pub fn mnist_data(n_train: usize, n_test: usize, seed: u64) -> (Dataset, Dataset) {
+        if let Ok(dir) = std::env::var("DROPBACK_MNIST_DIR") {
+            if let Ok((tr, te)) = dropback::data::load_mnist_idx(&dir) {
+                eprintln!("using real MNIST from {dir}");
+                return (tr, te);
+            }
+            eprintln!("DROPBACK_MNIST_DIR set but unreadable; falling back to synthetic");
+        }
+        synthetic_mnist(n_train, n_test, seed)
+    }
+
+    /// Standard MNIST training run with the paper's LR regime, scaled for
+    /// the synthetic inputs (whose per-pixel variance exceeds real MNIST's,
+    /// so the paper's 0.4 initial rate oscillates; 0.2 with the same decay
+    /// profile is stable — recorded in EXPERIMENTS.md).
+    pub fn run_mnist(
+        net: Network,
+        opt: impl Optimizer,
+        train: &Dataset,
+        test: &Dataset,
+        epochs: usize,
+    ) -> TrainReport {
+        let cfg = TrainConfig::new(epochs, 64).lr(LrSchedule::StepDecay {
+            initial: 0.2,
+            factor: 0.5,
+            every: (epochs / 5).max(1),
+        });
+        Trainer::new(cfg).run(net, opt, train, test)
+    }
+
+    /// Standard CIFAR-nano training run with the paper's LR regime scaled
+    /// to the reduced epoch budget.
+    pub fn run_cifar(
+        net: Network,
+        opt: impl Optimizer,
+        train: &Dataset,
+        test: &Dataset,
+        epochs: usize,
+    ) -> TrainReport {
+        let cfg = TrainConfig::new(epochs, 32)
+            .lr(LrSchedule::StepDecay {
+                initial: 0.1,
+                factor: 0.5,
+                every: (epochs / 4).max(1),
+            })
+            .patience(None);
+        Trainer::new(cfg).run(net, opt, train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&[&"a", &1.5]);
+        t.row(&[&"long-name", &22]);
+        let r = t.render();
+        assert!(r.contains("name"));
+        assert!(r.contains("long-name"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn sparkline_spans_range() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn env_fallbacks() {
+        assert_eq!(env_usize("DROPBACK_NO_SUCH_VAR_XYZ", 7), 7);
+    }
+
+    #[test]
+    fn vd_compression_counts_pruned_weights() {
+        use dropback::prelude::*;
+        let mut net = models::mnist_100_100_vd(5);
+        // At init only near-zero weights exceed the log-α threshold, so
+        // compression starts close to 1x.
+        let before = crate::runners::vd_compression(&net);
+        assert!((1.0..1.3).contains(&before), "{before}");
+        // Force fc3's log σ² sky-high: its 1000 weights become pruned.
+        let ranges = net.param_ranges();
+        let ls = ranges
+            .iter()
+            .find(|r| r.name() == "fc3.log_sigma2")
+            .unwrap()
+            .clone();
+        net.store_mut().params_mut()[ls.start()..ls.end()].fill(20.0);
+        let after = crate::runners::vd_compression(&net);
+        assert!(after > before, "{after} vs {before}");
+    }
+
+    #[test]
+    fn sparkline_single_value() {
+        assert_eq!(sparkline(&[0.5]).chars().count(), 1);
+        assert_eq!(sparkline(&[]), "");
+    }
+}

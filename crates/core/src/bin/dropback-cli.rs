@@ -1,0 +1,242 @@
+//! `dropback-cli` — train, evaluate, checkpoint, and size models from the
+//! command line.
+//!
+//! ```text
+//! dropback-cli train --model mnist-100-100 --budget 20000 --epochs 8 \
+//!                    --checkpoint model.dbk
+//! dropback-cli eval  --model mnist-100-100 --checkpoint model.dbk
+//! dropback-cli info  --model lenet-300-100
+//! dropback-cli energy --params 266610 --budget 20000
+//! ```
+
+use dropback::prelude::*;
+use dropback::Checkpoint;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(key.to_string(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn build_model(name: &str, seed: u64) -> Result<Network, String> {
+    match name {
+        "mnist-100-100" => Ok(models::mnist_100_100(seed)),
+        "lenet-300-100" => Ok(models::lenet_300_100(seed)),
+        "vgg-s-nano" => Ok(models::vgg_s_nano(seed)),
+        "densenet-nano" => Ok(models::densenet_nano(seed)),
+        "wrn-nano" => Ok(models::wrn_nano(seed, 1)),
+        other => Err(format!(
+            "unknown model {other:?}; available: mnist-100-100, lenet-300-100, \
+             vgg-s-nano, densenet-nano, wrn-nano"
+        )),
+    }
+}
+
+fn load_data(
+    flags: &HashMap<String, String>,
+    model: &str,
+    seed: u64,
+) -> (Dataset, Dataset) {
+    let n_train = get(flags, "train", 4000usize);
+    let n_test = get(flags, "test", 1000usize);
+    if let Some(dir) = flags.get("data") {
+        if dir != "synthetic" {
+            match dropback::data::load_mnist_idx(dir) {
+                Ok(pair) => return pair,
+                Err(e) => eprintln!("could not load {dir}: {e}; using synthetic data"),
+            }
+        }
+    }
+    if model.contains("mnist") || model.contains("lenet") {
+        synthetic_mnist(n_train, n_test, seed)
+    } else {
+        let hw = dropback::nn::models::CIFAR_NANO_HW;
+        synthetic_cifar(n_train, n_test, hw, hw, seed)
+    }
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = get(flags, "seed", 42);
+    let model_name = flags
+        .get("model")
+        .cloned()
+        .unwrap_or_else(|| "mnist-100-100".into());
+    let epochs = get(flags, "epochs", 8usize);
+    let batch = get(flags, "batch", 64usize);
+    let lr = get(flags, "lr", 0.2f32);
+    let budget = get(flags, "budget", 0usize);
+    let net = build_model(&model_name, seed)?;
+    let params = net.num_params();
+    let (train, test) = load_data(flags, &model_name, seed);
+    println!(
+        "training {model_name} ({params} params) for {epochs} epochs, batch {batch}, lr {lr}"
+    );
+    let cfg = TrainConfig::new(epochs, batch).lr(LrSchedule::StepDecay {
+        initial: lr,
+        factor: 0.5,
+        every: (epochs / 5).max(1),
+    });
+    // Use the sparse rule when a budget is set so a checkpoint can be cut.
+    if budget > 0 && budget < params {
+        let freeze = get(flags, "freeze", epochs / 2);
+        let mut opt = SparseDropBack::new(budget).freeze_after(freeze.max(1));
+        // Manual loop: the checkpoint needs the optimizer afterwards.
+        let mut net = net;
+        let batcher = Batcher::new(batch, cfg.shuffle_seed);
+        for epoch in 0..epochs {
+            let lr_now = cfg.schedule.at(epoch);
+            let mut loss_sum = 0.0f32;
+            let mut n_batches = 0usize;
+            for (x, labels) in batcher.epoch(&train, epoch as u64) {
+                let (loss, _) = net.loss_backward(&x, &labels);
+                opt.step(net.store_mut(), lr_now);
+                loss_sum += loss;
+                n_batches += 1;
+            }
+            opt.end_epoch(epoch, net.store_mut());
+            println!(
+                "epoch {epoch:>3}  lr {lr_now:.4}  loss {:.4}  val acc {:.4}",
+                loss_sum / n_batches.max(1) as f32,
+                net.accuracy(&test, 256)
+            );
+        }
+        println!(
+            "stored {} of {params} weights ({:.1}x compression)",
+            opt.storage_entries(),
+            params as f32 / budget as f32
+        );
+        if let Some(path) = flags.get("checkpoint") {
+            let ckpt = Checkpoint::from_sparse(&net, &opt);
+            let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            ckpt.write_to(file).map_err(|e| e.to_string())?;
+            println!("wrote {path} ({} bytes)", ckpt.size_bytes());
+        }
+    } else {
+        let report = Trainer::new(cfg).run(net, Sgd::new(), &train, &test);
+        print!("{}", report.to_table());
+        if flags.contains_key("checkpoint") {
+            return Err("--checkpoint requires a --budget below the model size".into());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = get(flags, "seed", 42);
+    let model_name = flags
+        .get("model")
+        .cloned()
+        .unwrap_or_else(|| "mnist-100-100".into());
+    let path = flags
+        .get("checkpoint")
+        .ok_or("eval requires --checkpoint PATH")?;
+    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    let ckpt = Checkpoint::read_from(file).map_err(|e| e.to_string())?;
+    let mut net = build_model(&model_name, ckpt.seed())?;
+    ckpt.apply(&mut net);
+    let (_, test) = load_data(flags, &model_name, seed);
+    println!(
+        "{model_name} from {path}: {} stored weights, val acc {:.4}",
+        ckpt.len(),
+        net.accuracy(&test, 256)
+    );
+    Ok(())
+}
+
+fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = get(flags, "seed", 42);
+    let model_name = flags
+        .get("model")
+        .cloned()
+        .unwrap_or_else(|| "mnist-100-100".into());
+    let net = build_model(&model_name, seed)?;
+    println!("{}: {} parameters", net.name(), net.num_params());
+    for r in net.param_ranges() {
+        println!("  {:<24} {:>8}  (init {:?})", r.name(), r.len(), r.scheme());
+    }
+    Ok(())
+}
+
+fn cmd_energy(flags: &HashMap<String, String>) -> Result<(), String> {
+    let params: u64 = get(flags, "params", 266_610u64);
+    let budget: u64 = get(flags, "budget", 20_000u64);
+    let model = EnergyModel::paper_45nm();
+    let base = TrainingTraffic::baseline(params);
+    let db = TrainingTraffic::dropback(params, budget);
+    println!("45nm weight-memory energy for {params} params at budget {budget}:");
+    println!(
+        "  dense SGD : {:>10.2} µJ/step",
+        base.step().energy_pj(&model) / 1e6
+    );
+    println!(
+        "  DropBack  : {:>10.2} µJ/step  ({:.1}x less)",
+        db.step().energy_pj(&model) / 1e6,
+        db.advantage_over(&base, &model)
+    );
+    let sram: u64 = get(flags, "sram", 256 * 1024u64);
+    let acc = dropback::energy::Accelerator {
+        sram_bytes: sram,
+        word_bytes: 4,
+        model,
+        regen_unit: true,
+    };
+    println!(
+        "  with {} KiB weight SRAM: tracked set {} on-chip; max trainable model at this\n\
+         compression: {} weights",
+        sram / 1024,
+        if acc.fits_on_chip(budget) { "fits" } else { "spills" },
+        acc.max_trainable_weights(params as f64 / budget as f64)
+    );
+    Ok(())
+}
+
+fn usage() -> String {
+    "usage: dropback-cli <train|eval|info|energy> [--flag value ...]\n\
+     train : --model M --epochs N --batch B --lr X --budget K --freeze E \
+             --checkpoint PATH --data synthetic|DIR --train N --test N --seed S\n\
+     eval  : --model M --checkpoint PATH [--data ...]\n\
+     info  : --model M\n\
+     energy: --params N --budget K [--sram BYTES]"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "train" => cmd_train(&flags),
+        "eval" => cmd_eval(&flags),
+        "info" => cmd_info(&flags),
+        "energy" => cmd_energy(&flags),
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Compact model checkpoints: `(seed, k tracked entries)`.
+//!
+//! A DropBack-trained network is fully described by its initialization
+//! seed plus the `k` tracked index/value pairs — everything else
+//! regenerates. This module serializes exactly that, making the paper's
+//! compression columns concrete in bytes on disk.
+
+use dropback_nn::Network;
+use dropback_optim::SparseDropBack;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"DROPBKv1";
+
+/// A compact checkpoint of a weight-budget-trained model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    seed: u64,
+    entries: Vec<(u64, f32)>,
+}
+
+impl Checkpoint {
+    /// Captures a checkpoint from a network trained with
+    /// [`SparseDropBack`] (whose tracked map *is* the stored model).
+    pub fn from_sparse(net: &Network, opt: &SparseDropBack) -> Self {
+        let mut entries: Vec<(u64, f32)> = opt
+            .tracked()
+            .iter()
+            .map(|(&i, &w)| (i as u64, w))
+            .collect();
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        Self {
+            seed: net.store().seed(),
+            entries,
+        }
+    }
+
+    /// Captures a checkpoint from a dense store plus a tracked mask
+    /// (e.g. [`dropback_optim::DropBack::mask`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len()` differs from the parameter count.
+    pub fn from_mask(net: &Network, mask: &[bool]) -> Self {
+        assert_eq!(mask.len(), net.num_params(), "mask length mismatch");
+        let entries: Vec<(u64, f32)> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| (i as u64, net.store().params()[i]))
+            .collect();
+        Self {
+            seed: net.store().seed(),
+            entries,
+        }
+    }
+
+    /// The regeneration seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of stored weights.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the checkpoint stores no weights.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialized size in bytes (what actually ships to the device).
+    pub fn size_bytes(&self) -> usize {
+        MAGIC.len() + 8 + 8 + self.entries.len() * 12
+    }
+
+    /// Restores the tracked weights into a freshly-constructed network.
+    /// The network **must** have been built with the same architecture and
+    /// seed; untracked weights are already correct by regeneration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint seed disagrees with the network's, or an
+    /// index is out of range.
+    pub fn apply(&self, net: &mut Network) {
+        assert_eq!(
+            self.seed,
+            net.store().seed(),
+            "checkpoint seed does not match network seed"
+        );
+        let n = net.num_params();
+        for &(i, w) in &self.entries {
+            assert!((i as usize) < n, "checkpoint index {i} out of range");
+            net.store_mut().params_mut()[i as usize] = w;
+        }
+    }
+
+    /// Writes the checkpoint (little-endian binary).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to(&self, mut w: impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&self.seed.to_le_bytes())?;
+        w.write_all(&(self.entries.len() as u64).to_le_bytes())?;
+        for &(i, v) in &self.entries {
+            w.write_all(&i.to_le_bytes())?;
+            w.write_all(&v.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Reads a checkpoint previously written by [`Checkpoint::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a bad magic header or truncated stream.
+    pub fn read_from(mut r: impl Read) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a DropBack checkpoint",
+            ));
+        }
+        let mut b8 = [0u8; 8];
+        r.read_exact(&mut b8)?;
+        let seed = u64::from_le_bytes(b8);
+        r.read_exact(&mut b8)?;
+        let n = u64::from_le_bytes(b8) as usize;
+        let mut entries = Vec::with_capacity(n);
+        let mut b4 = [0u8; 4];
+        for _ in 0..n {
+            r.read_exact(&mut b8)?;
+            let i = u64::from_le_bytes(b8);
+            r.read_exact(&mut b4)?;
+            entries.push((i, f32::from_le_bytes(b4)));
+        }
+        Ok(Self { seed, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dropback_data::synthetic_mnist;
+    use dropback_nn::models;
+    use dropback_optim::Optimizer as _;
+
+    fn trained() -> (Network, SparseDropBack) {
+        let (train, _) = synthetic_mnist(300, 50, 5);
+        let mut net = models::mnist_100_100(5);
+        let mut opt = SparseDropBack::new(4_000);
+        let batcher = dropback_data::Batcher::new(64, 1);
+        for (x, labels) in batcher.epoch(&train, 0) {
+            let _ = net.loss_backward(&x, &labels);
+            opt.step(net.store_mut(), 0.1);
+        }
+        (net, opt)
+    }
+
+    #[test]
+    fn roundtrip_through_bytes_is_bit_exact() {
+        let (net, opt) = trained();
+        let ckpt = Checkpoint::from_sparse(&net, &opt);
+        let mut buf = Vec::new();
+        ckpt.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len(), ckpt.size_bytes());
+        let loaded = Checkpoint::read_from(&buf[..]).unwrap();
+        assert_eq!(ckpt, loaded);
+        // Rebuild the model from architecture + checkpoint only.
+        let mut rebuilt = models::mnist_100_100(5);
+        loaded.apply(&mut rebuilt);
+        assert_eq!(net.store().params(), rebuilt.store().params());
+    }
+
+    #[test]
+    fn checkpoint_is_small() {
+        let (net, opt) = trained();
+        let ckpt = Checkpoint::from_sparse(&net, &opt);
+        assert!(ckpt.len() <= 4_000);
+        // 89,610 f32s dense = 358 KB; 4k entries = 48 KB + header.
+        assert!(ckpt.size_bytes() < 50_000);
+    }
+
+    #[test]
+    fn from_mask_matches_from_sparse() {
+        let (net, opt) = trained();
+        let from_sparse = Checkpoint::from_sparse(&net, &opt);
+        let mut mask = vec![false; net.num_params()];
+        for &i in opt.tracked().keys() {
+            mask[i] = true;
+        }
+        let from_mask = Checkpoint::from_mask(&net, &mask);
+        assert_eq!(from_sparse, from_mask);
+    }
+
+    #[test]
+    fn wrong_seed_is_rejected() {
+        let (net, opt) = trained();
+        let ckpt = Checkpoint::from_sparse(&net, &opt);
+        let mut other = models::mnist_100_100(999);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ckpt.apply(&mut other)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let err = Checkpoint::read_from(&b"NOTDROPB romuald"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let (net, opt) = trained();
+        let ckpt = Checkpoint::from_sparse(&net, &opt);
+        let mut buf = Vec::new();
+        ckpt.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(Checkpoint::read_from(&buf[..]).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Training-run configuration.
+
+use dropback_optim::{KlAnneal, LrSchedule};
+
+/// Configuration of one training run.
+///
+/// Defaults mirror the paper's MNIST regime: SGD (no momentum), initial
+/// learning rate 0.4 with step decay, best epoch selected by validation
+/// accuracy with 5 epochs of patience.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Maximum number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+    /// Shuffling seed (deterministic per-epoch orders derive from it).
+    pub shuffle_seed: u64,
+    /// Early-stop patience: stop after this many epochs without a new best
+    /// validation accuracy (`None` disables early stopping).
+    pub patience: Option<usize>,
+    /// KL annealing schedule for variational-dropout networks (`None` for
+    /// ordinary networks).
+    pub kl: Option<KlAnneal>,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+}
+
+impl TrainConfig {
+    /// Creates a config with the given epoch budget and batch size and
+    /// paper-like defaults for everything else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs == 0` or `batch_size == 0`.
+    pub fn new(epochs: usize, batch_size: usize) -> Self {
+        assert!(epochs > 0, "need at least one epoch");
+        assert!(batch_size > 0, "need a positive batch size");
+        Self {
+            epochs,
+            batch_size,
+            schedule: LrSchedule::paper_mnist(epochs),
+            shuffle_seed: 0x5EED,
+            patience: Some(5),
+            kl: None,
+            eval_batch: 256,
+        }
+    }
+
+    /// Sets the learning-rate schedule.
+    pub fn lr(mut self, schedule: LrSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the shuffle seed.
+    pub fn shuffle_seed(mut self, seed: u64) -> Self {
+        self.shuffle_seed = seed;
+        self
+    }
+
+    /// Sets (or disables) early-stopping patience.
+    pub fn patience(mut self, patience: Option<usize>) -> Self {
+        self.patience = patience;
+        self
+    }
+
+    /// Enables variational-dropout KL annealing.
+    pub fn kl_anneal(mut self, kl: KlAnneal) -> Self {
+        self.kl = Some(kl);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_regime() {
+        let c = TrainConfig::new(100, 64);
+        assert_eq!(c.schedule.at(0), 0.4);
+        assert_eq!(c.patience, Some(5));
+        assert!(c.kl.is_none());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = TrainConfig::new(10, 8)
+            .lr(LrSchedule::Constant(0.05))
+            .shuffle_seed(9)
+            .patience(None)
+            .kl_anneal(KlAnneal::new(5, 0.1));
+        assert_eq!(c.schedule, LrSchedule::Constant(0.05));
+        assert_eq!(c.shuffle_seed, 9);
+        assert!(c.patience.is_none());
+        assert!(c.kl.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn zero_epochs_panics() {
+        TrainConfig::new(0, 8);
+    }
+}

@@ -1,0 +1,161 @@
+//! Training-run results.
+
+/// Per-epoch statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub train_loss: f32,
+    /// Mean training accuracy over the epoch.
+    pub train_acc: f32,
+    /// Validation accuracy after the epoch.
+    pub val_acc: f32,
+    /// Learning rate used this epoch.
+    pub lr: f32,
+    /// KL regularizer value (variational dropout only; 0 otherwise).
+    pub kl: f32,
+}
+
+/// The outcome of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Model name.
+    pub model: String,
+    /// Optimizer name.
+    pub optimizer: String,
+    /// Per-epoch history, in order.
+    pub history: Vec<EpochStats>,
+    /// Epoch with the best validation accuracy (paper's "Best Epoch").
+    pub best_epoch: usize,
+    /// Best validation accuracy reached.
+    pub best_val_acc: f32,
+    /// Total model parameters.
+    pub params: usize,
+    /// Weights the training rule actually stores (= params for baselines).
+    pub stored_weights: usize,
+}
+
+impl TrainReport {
+    /// Validation *error* at the best epoch, in percent — the number the
+    /// paper's tables report.
+    pub fn best_val_error_percent(&self) -> f32 {
+        100.0 * (1.0 - self.best_val_acc)
+    }
+
+    /// Weight-compression ratio (`params / stored`), the tables' "Weight
+    /// Compression" column. Baselines report 1×; the paper writes them
+    /// as "0×".
+    pub fn compression(&self) -> f32 {
+        self.params as f32 / self.stored_weights.max(1) as f32
+    }
+
+    /// `(epoch, val_acc)` series for convergence plots (Figures 3 and 4).
+    pub fn val_curve(&self) -> Vec<(usize, f32)> {
+        self.history.iter().map(|e| (e.epoch, e.val_acc)).collect()
+    }
+
+    /// Renders the epoch history as CSV
+    /// (`epoch,lr,train_loss,train_acc,val_acc,kl` with a header row) for
+    /// downstream plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("epoch,lr,train_loss,train_acc,val_acc,kl\n");
+        for e in &self.history {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                e.epoch, e.lr, e.train_loss, e.train_acc, e.val_acc, e.kl
+            ));
+        }
+        out
+    }
+
+    /// Renders the epoch history as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "model={} optimizer={} params={} stored={} ({}x)\n",
+            self.model,
+            self.optimizer,
+            self.params,
+            self.stored_weights,
+            self.compression()
+        ));
+        out.push_str("epoch  lr      loss     train_acc  val_acc\n");
+        for e in &self.history {
+            out.push_str(&format!(
+                "{:>5}  {:<7.4} {:<8.4} {:<9.4}  {:<7.4}\n",
+                e.epoch, e.lr, e.train_loss, e.train_acc, e.val_acc
+            ));
+        }
+        out.push_str(&format!(
+            "best epoch {} (val acc {:.4}, error {:.2}%)\n",
+            self.best_epoch,
+            self.best_val_acc,
+            self.best_val_error_percent()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> TrainReport {
+        TrainReport {
+            model: "m".into(),
+            optimizer: "o".into(),
+            history: vec![
+                EpochStats {
+                    epoch: 0,
+                    train_loss: 1.0,
+                    train_acc: 0.5,
+                    val_acc: 0.6,
+                    lr: 0.4,
+                    kl: 0.0,
+                },
+                EpochStats {
+                    epoch: 1,
+                    train_loss: 0.5,
+                    train_acc: 0.8,
+                    val_acc: 0.9,
+                    lr: 0.2,
+                    kl: 0.0,
+                },
+            ],
+            best_epoch: 1,
+            best_val_acc: 0.9,
+            params: 1000,
+            stored_weights: 100,
+        }
+    }
+
+    #[test]
+    fn error_percent_and_compression() {
+        let r = report();
+        assert!((r.best_val_error_percent() - 10.0).abs() < 1e-4);
+        assert!((r.compression() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn val_curve_extracts_series() {
+        assert_eq!(report().val_curve(), vec![(0, 0.6), (1, 0.9)]);
+    }
+
+    #[test]
+    fn table_render_contains_key_fields() {
+        let t = report().to_table();
+        assert!(t.contains("best epoch 1"));
+        assert!(t.contains("val_acc"));
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_epoch() {
+        let c = report().to_csv();
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("epoch,lr"));
+        assert!(lines[1].starts_with("0,0.4,"));
+        assert!(lines[2].starts_with("1,0.2,"));
+    }
+}

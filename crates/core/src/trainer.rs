@@ -1,0 +1,199 @@
+//! The epoch-loop training harness.
+
+use crate::config::TrainConfig;
+use crate::report::{EpochStats, TrainReport};
+use dropback_data::{Batcher, Dataset};
+use dropback_nn::{Network, ParamStore};
+use dropback_optim::Optimizer;
+
+/// A per-step observation hook: receives the global iteration index and the
+/// parameter store *after* the optimizer step. Used by the analysis
+/// experiments (diffusion tracking, churn measurement, PCA snapshots).
+pub trait StepProbe {
+    /// Called after every optimizer step.
+    fn after_step(&mut self, iteration: u64, ps: &ParamStore);
+
+    /// Called after each epoch's validation with `(epoch, val_acc)`.
+    fn after_epoch(&mut self, _epoch: usize, _val_acc: f32) {}
+}
+
+/// A no-op probe for runs that need no instrumentation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoProbe;
+
+impl StepProbe for NoProbe {
+    fn after_step(&mut self, _iteration: u64, _ps: &ParamStore) {}
+}
+
+/// Drives a [`Network`] + [`Optimizer`] pair over a dataset according to a
+/// [`TrainConfig`], producing a [`TrainReport`].
+#[derive(Debug, Clone, Copy)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(config: TrainConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Runs training to completion (epoch budget or early stop).
+    pub fn run(
+        &self,
+        net: Network,
+        optimizer: impl Optimizer,
+        train: &Dataset,
+        val: &Dataset,
+    ) -> TrainReport {
+        self.run_probed(net, optimizer, train, val, &mut NoProbe)
+    }
+
+    /// Runs training with a [`StepProbe`] observing every step.
+    pub fn run_probed(
+        &self,
+        mut net: Network,
+        mut optimizer: impl Optimizer,
+        train: &Dataset,
+        val: &Dataset,
+        probe: &mut dyn StepProbe,
+    ) -> TrainReport {
+        let cfg = &self.config;
+        let batcher = Batcher::new(cfg.batch_size, cfg.shuffle_seed);
+        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut best_epoch = 0usize;
+        let mut best_val = f32::NEG_INFINITY;
+        let mut since_best = 0usize;
+        let mut iteration = 0u64;
+        for epoch in 0..cfg.epochs {
+            let lr = cfg.schedule.at(epoch);
+            let kl_scale = cfg.kl.map(|a| a.at(epoch)).unwrap_or(0.0);
+            let mut loss_sum = 0.0f64;
+            let mut acc_sum = 0.0f64;
+            let mut kl_sum = 0.0f64;
+            let mut batches = 0usize;
+            for (x, labels) in batcher.epoch(train, epoch as u64) {
+                let (loss, acc) = net.loss_backward(&x, &labels);
+                if kl_scale > 0.0 {
+                    kl_sum += net.kl_backward(kl_scale) as f64;
+                }
+                optimizer.step(net.store_mut(), lr);
+                probe.after_step(iteration, net.store());
+                loss_sum += loss as f64;
+                acc_sum += acc as f64;
+                batches += 1;
+                iteration += 1;
+            }
+            optimizer.end_epoch(epoch, net.store_mut());
+            let val_acc = net.accuracy(val, cfg.eval_batch);
+            probe.after_epoch(epoch, val_acc);
+            history.push(EpochStats {
+                epoch,
+                train_loss: (loss_sum / batches.max(1) as f64) as f32,
+                train_acc: (acc_sum / batches.max(1) as f64) as f32,
+                val_acc,
+                lr,
+                kl: (kl_sum / batches.max(1) as f64) as f32,
+            });
+            if val_acc > best_val {
+                best_val = val_acc;
+                best_epoch = epoch;
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if let Some(p) = cfg.patience {
+                    if since_best >= p {
+                        break;
+                    }
+                }
+            }
+        }
+        let stored = optimizer.stored_weights(net.store());
+        TrainReport {
+            model: net.name().to_string(),
+            optimizer: optimizer.name().to_string(),
+            history,
+            best_epoch,
+            best_val_acc: best_val,
+            params: net.num_params(),
+            stored_weights: stored,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dropback_data::synthetic_mnist;
+    use dropback_nn::models;
+    use dropback_optim::{DropBack, LrSchedule, Sgd};
+
+    fn quick_config(epochs: usize) -> TrainConfig {
+        TrainConfig::new(epochs, 32)
+            .lr(LrSchedule::Constant(0.1))
+            .patience(None)
+    }
+
+    #[test]
+    fn sgd_learns_synthetic_mnist() {
+        let (train, val) = synthetic_mnist(600, 150, 42);
+        let net = models::mnist_100_100(42);
+        let report = Trainer::new(quick_config(3)).run(net, Sgd::new(), &train, &val);
+        assert_eq!(report.history.len(), 3);
+        assert!(
+            report.best_val_acc > 0.5,
+            "val acc only {}",
+            report.best_val_acc
+        );
+        assert!((report.compression() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dropback_learns_with_small_budget() {
+        let (train, val) = synthetic_mnist(600, 150, 43);
+        let net = models::mnist_100_100(43);
+        let report =
+            Trainer::new(quick_config(3)).run(net, DropBack::new(20_000), &train, &val);
+        assert!(
+            report.best_val_acc > 0.5,
+            "val acc only {}",
+            report.best_val_acc
+        );
+        assert!((report.compression() - 89_610.0 / 20_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn early_stopping_truncates() {
+        let (train, val) = synthetic_mnist(200, 50, 44);
+        let net = models::mnist_100_100(44);
+        // lr=0: nothing improves, so patience=2 stops after epoch 2.
+        let cfg = TrainConfig::new(50, 32)
+            .lr(LrSchedule::Constant(0.0))
+            .patience(Some(2));
+        let report = Trainer::new(cfg).run(net, Sgd::new(), &train, &val);
+        assert!(report.history.len() <= 4, "{} epochs ran", report.history.len());
+    }
+
+    #[test]
+    fn probe_sees_every_step() {
+        struct Counter(u64);
+        impl StepProbe for Counter {
+            fn after_step(&mut self, it: u64, _ps: &ParamStore) {
+                assert_eq!(it, self.0);
+                self.0 += 1;
+            }
+        }
+        let (train, val) = synthetic_mnist(96, 32, 45);
+        let net = models::mnist_100_100(45);
+        let mut probe = Counter(0);
+        let cfg = quick_config(2);
+        let _ = Trainer::new(cfg).run_probed(net, Sgd::new(), &train, &val, &mut probe);
+        // 96/32 = 3 batches per epoch, 2 epochs.
+        assert_eq!(probe.0, 6);
+    }
+}

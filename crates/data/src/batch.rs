@@ -1,0 +1,175 @@
+//! Shuffled mini-batch iteration.
+
+use crate::Dataset;
+use dropback_prng::Xorshift64;
+use dropback_tensor::Tensor;
+
+/// Produces shuffled mini-batches from a [`Dataset`].
+///
+/// Each call to [`Batcher::epoch`] reshuffles with a per-epoch stream
+/// derived from the batcher's seed, so iteration order is reproducible
+/// across runs but varies across epochs (matching standard SGD practice,
+/// which the paper's training regime assumes).
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    batch_size: usize,
+    seed: u64,
+    drop_last: bool,
+}
+
+impl Batcher {
+    /// Creates a batcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        Self {
+            batch_size,
+            seed,
+            drop_last: false,
+        }
+    }
+
+    /// Drops the final short batch of each epoch (keeps batch statistics,
+    /// e.g. batch norm, uniform).
+    pub fn drop_last(mut self, yes: bool) -> Self {
+        self.drop_last = yes;
+        self
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Returns the shuffled batches of epoch `epoch` over `data`.
+    pub fn epoch<'d>(&self, data: &'d Dataset, epoch: u64) -> EpochIter<'d> {
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        // Fisher–Yates with a per-epoch stream.
+        let mut rng = Xorshift64::new(self.seed.wrapping_add(epoch.wrapping_mul(0x9E37_79B9)));
+        for i in (1..order.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        EpochIter {
+            data,
+            order,
+            pos: 0,
+            batch_size: self.batch_size,
+            drop_last: self.drop_last,
+        }
+    }
+
+    /// Number of batches per epoch for a dataset of `n` examples.
+    pub fn batches_per_epoch(&self, n: usize) -> usize {
+        if self.drop_last {
+            n / self.batch_size
+        } else {
+            n.div_ceil(self.batch_size)
+        }
+    }
+}
+
+/// Iterator over one epoch's mini-batches; see [`Batcher::epoch`].
+#[derive(Debug)]
+pub struct EpochIter<'d> {
+    data: &'d Dataset,
+    order: Vec<usize>,
+    pos: usize,
+    batch_size: usize,
+    drop_last: bool,
+}
+
+impl Iterator for EpochIter<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.order.len() {
+            return None;
+        }
+        let end = (self.pos + self.batch_size).min(self.order.len());
+        if self.drop_last && end - self.pos < self.batch_size {
+            self.pos = self.order.len();
+            return None;
+        }
+        let batch = self.data.gather(&self.order[self.pos..end]);
+        self.pos = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Dataset {
+        Dataset::new(
+            Tensor::from_fn(vec![n, 2], |i| (i / 2) as f32),
+            (0..n).map(|i| i % 2).collect(),
+            2,
+        )
+    }
+
+    #[test]
+    fn covers_every_example_once() {
+        let d = data(10);
+        let b = Batcher::new(3, 1);
+        let mut seen = vec![0usize; 10];
+        for (x, _) in b.epoch(&d, 0) {
+            for r in 0..x.shape()[0] {
+                seen[x.row(r)[0] as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn epochs_shuffle_differently() {
+        let d = data(32);
+        let b = Batcher::new(32, 1);
+        let (x0, _) = b.epoch(&d, 0).next().unwrap();
+        let (x1, _) = b.epoch(&d, 1).next().unwrap();
+        assert_ne!(x0.data(), x1.data());
+    }
+
+    #[test]
+    fn same_epoch_is_reproducible() {
+        let d = data(32);
+        let b = Batcher::new(8, 5);
+        let a: Vec<_> = b.epoch(&d, 3).map(|(x, _)| x).collect();
+        let c: Vec<_> = b.epoch(&d, 3).map(|(x, _)| x).collect();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn drop_last_truncates() {
+        let d = data(10);
+        let b = Batcher::new(4, 1).drop_last(true);
+        let batches: Vec<_> = b.epoch(&d, 0).collect();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(b.batches_per_epoch(10), 2);
+        let b2 = Batcher::new(4, 1);
+        assert_eq!(b2.batches_per_epoch(10), 3);
+        assert_eq!(b2.epoch(&d, 0).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be positive")]
+    fn zero_batch_size_panics() {
+        Batcher::new(0, 1);
+    }
+
+    #[test]
+    fn labels_travel_with_images() {
+        let d = data(6);
+        let b = Batcher::new(2, 9);
+        for (x, y) in b.epoch(&d, 0) {
+            for r in 0..x.shape()[0] {
+                // label parity matches the example index parity by construction
+                assert_eq!(y[r], (x.row(r)[0] as usize) % 2);
+            }
+        }
+    }
+}

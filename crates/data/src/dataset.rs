@@ -1,0 +1,298 @@
+//! The in-memory [`Dataset`] container.
+
+use dropback_tensor::Tensor;
+
+/// Per-feature standardization statistics (see
+/// [`Dataset::feature_stats`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureStats {
+    /// Per-feature means.
+    pub mean: Vec<f32>,
+    /// Per-feature standard deviations (floored at 1e-6).
+    pub std: Vec<f32>,
+}
+
+/// An in-memory labelled dataset.
+///
+/// `images` is `[n, d]` for flat (MLP) data or `[n, c, h, w]` for image
+/// (convolutional) data; `labels` holds one class index per example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leading image dimension does not equal `labels.len()`,
+    /// or if any label is `>= classes`.
+    pub fn new(images: Tensor, labels: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(
+            images.shape()[0],
+            labels.len(),
+            "one label per image required"
+        );
+        assert!(
+            labels.iter().all(|&l| l < classes),
+            "label out of range for {classes} classes"
+        );
+        Self {
+            images,
+            labels,
+            classes,
+        }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The full image tensor.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The label vector.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Shape of a single example (the image shape without the batch dim).
+    pub fn example_shape(&self) -> &[usize] {
+        &self.images.shape()[1..]
+    }
+
+    /// Number of features per example.
+    pub fn example_len(&self) -> usize {
+        self.example_shape().iter().product()
+    }
+
+    /// Copies examples `[start, end)` into a batch tensor
+    /// (`[end-start, ...example_shape]`) plus labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or empty.
+    pub fn batch(&self, start: usize, end: usize) -> (Tensor, Vec<usize>) {
+        assert!(start < end && end <= self.len(), "bad batch range {start}..{end}");
+        let d = self.example_len();
+        let mut shape = vec![end - start];
+        shape.extend_from_slice(self.example_shape());
+        let images = Tensor::from_vec(
+            shape,
+            self.images.data()[start * d..end * d].to_vec(),
+        );
+        (images, self.labels[start..end].to_vec())
+    }
+
+    /// Gathers the examples at `indices` into a batch (used by the shuffled
+    /// [`crate::Batcher`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of bounds.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        assert!(!indices.is_empty(), "empty gather");
+        let d = self.example_len();
+        let mut data = Vec::with_capacity(indices.len() * d);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "gather index {i} out of bounds");
+            data.extend_from_slice(&self.images.data()[i * d..(i + 1) * d]);
+            labels.push(self.labels[i]);
+        }
+        let mut shape = vec![indices.len()];
+        shape.extend_from_slice(self.example_shape());
+        (Tensor::from_vec(shape, data), labels)
+    }
+
+    /// Per-feature mean and standard deviation over the dataset (used for
+    /// input standardization).
+    pub fn feature_stats(&self) -> FeatureStats {
+        let d = self.example_len();
+        let n = self.len() as f64;
+        let mut mean = vec![0.0f64; d];
+        for ex in self.images.data().chunks_exact(d) {
+            for (m, &v) in mean.iter_mut().zip(ex) {
+                *m += v as f64 / n;
+            }
+        }
+        let mut var = vec![0.0f64; d];
+        for ex in self.images.data().chunks_exact(d) {
+            for ((s, &v), &m) in var.iter_mut().zip(ex).zip(&mean) {
+                *s += (v as f64 - m) * (v as f64 - m) / n;
+            }
+        }
+        FeatureStats {
+            mean: mean.iter().map(|&m| m as f32).collect(),
+            std: var.iter().map(|&v| (v.sqrt() as f32).max(1e-6)).collect(),
+        }
+    }
+
+    /// Returns a standardized copy using `stats` (compute stats on the
+    /// training split and reuse them on the test split).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stats' width differs from the example length.
+    pub fn standardized(&self, stats: &FeatureStats) -> Dataset {
+        let d = self.example_len();
+        assert_eq!(stats.mean.len(), d, "stats width mismatch");
+        let data: Vec<f32> = self
+            .images
+            .data()
+            .chunks_exact(d)
+            .flat_map(|ex| {
+                ex.iter()
+                    .zip(&stats.mean)
+                    .zip(&stats.std)
+                    .map(|((&v, &m), &s)| (v - m) / s)
+                    .collect::<Vec<f32>>()
+            })
+            .collect();
+        Dataset::new(
+            Tensor::from_vec(self.images.shape().to_vec(), data),
+            self.labels.clone(),
+            self.classes,
+        )
+    }
+
+    /// Splits into `([0, at), [at, n))` subsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is 0 or `>= len()`.
+    pub fn split(&self, at: usize) -> (Dataset, Dataset) {
+        assert!(at > 0 && at < self.len(), "split point {at} out of range");
+        let d = self.example_len();
+        let mut head_shape = vec![at];
+        head_shape.extend_from_slice(self.example_shape());
+        let mut tail_shape = vec![self.len() - at];
+        tail_shape.extend_from_slice(self.example_shape());
+        (
+            Dataset::new(
+                Tensor::from_vec(head_shape, self.images.data()[..at * d].to_vec()),
+                self.labels[..at].to_vec(),
+                self.classes,
+            ),
+            Dataset::new(
+                Tensor::from_vec(tail_shape, self.images.data()[at * d..].to_vec()),
+                self.labels[at..].to_vec(),
+                self.classes,
+            ),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            Tensor::from_fn(vec![4, 3], |i| i as f32),
+            vec![0, 1, 0, 1],
+            2,
+        )
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.classes(), 2);
+        assert_eq!(d.example_shape(), &[3]);
+        assert_eq!(d.example_len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per image")]
+    fn label_count_mismatch_panics() {
+        Dataset::new(Tensor::zeros(vec![3, 2]), vec![0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn label_range_panics() {
+        Dataset::new(Tensor::zeros(vec![2, 2]), vec![0, 5], 2);
+    }
+
+    #[test]
+    fn batch_copies_rows() {
+        let d = tiny();
+        let (x, y) = d.batch(1, 3);
+        assert_eq!(x.shape(), &[2, 3]);
+        assert_eq!(x.data(), &[3., 4., 5., 6., 7., 8.]);
+        assert_eq!(y, vec![1, 0]);
+    }
+
+    #[test]
+    fn gather_reorders() {
+        let d = tiny();
+        let (x, y) = d.gather(&[3, 0]);
+        assert_eq!(x.data(), &[9., 10., 11., 0., 1., 2.]);
+        assert_eq!(y, vec![1, 0]);
+    }
+
+    #[test]
+    fn split_partitions() {
+        let d = tiny();
+        let (a, b) = d.split(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.labels(), &[1, 0, 1]);
+    }
+
+    #[test]
+    fn feature_stats_and_standardization() {
+        let d = Dataset::new(
+            Tensor::from_vec(vec![4, 2], vec![1., 10., 3., 20., 5., 30., 7., 40.]),
+            vec![0, 1, 0, 1],
+            2,
+        );
+        let stats = d.feature_stats();
+        assert!((stats.mean[0] - 4.0).abs() < 1e-5);
+        assert!((stats.mean[1] - 25.0).abs() < 1e-5);
+        let z = d.standardized(&stats);
+        let zs = z.feature_stats();
+        for m in &zs.mean {
+            assert!(m.abs() < 1e-5, "{m}");
+        }
+        for s in &zs.std {
+            assert!((s - 1.0).abs() < 1e-4, "{s}");
+        }
+        // Labels untouched.
+        assert_eq!(z.labels(), d.labels());
+    }
+
+    #[test]
+    fn constant_feature_does_not_divide_by_zero() {
+        let d = Dataset::new(Tensor::filled(vec![3, 2], 5.0), vec![0, 1, 0], 2);
+        let stats = d.feature_stats();
+        let z = d.standardized(&stats);
+        assert!(z.images().data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn four_d_examples() {
+        let d = Dataset::new(Tensor::zeros(vec![2, 3, 4, 4]), vec![0, 1], 2);
+        assert_eq!(d.example_shape(), &[3, 4, 4]);
+        let (x, _) = d.batch(0, 1);
+        assert_eq!(x.shape(), &[1, 3, 4, 4]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Loader for the real MNIST dataset in IDX (ubyte) format.
+//!
+//! Drop the four canonical files into a directory and point
+//! [`load_mnist_idx`] at it:
+//!
+//! ```text
+//! train-images-idx3-ubyte   train-labels-idx1-ubyte
+//! t10k-images-idx3-ubyte    t10k-labels-idx1-ubyte
+//! ```
+//!
+//! Pixels are scaled to `[0, 1]` and flattened to `[n, 784]`, matching the
+//! synthetic generator's layout so experiments can swap data sources freely.
+
+use crate::Dataset;
+use dropback_tensor::Tensor;
+use std::fs;
+use std::io::{self, Read};
+use std::path::Path;
+
+const IMAGE_MAGIC: u32 = 0x0000_0803;
+const LABEL_MAGIC: u32 = 0x0000_0801;
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_be_bytes(b))
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn load_images(path: &Path) -> io::Result<(usize, usize, Vec<f32>)> {
+    let mut f = io::BufReader::new(fs::File::open(path)?);
+    let magic = read_u32(&mut f)?;
+    if magic != IMAGE_MAGIC {
+        return Err(bad(format!("bad image magic {magic:#x} in {path:?}")));
+    }
+    let n = read_u32(&mut f)? as usize;
+    let h = read_u32(&mut f)? as usize;
+    let w = read_u32(&mut f)? as usize;
+    let mut bytes = vec![0u8; n * h * w];
+    f.read_exact(&mut bytes)?;
+    Ok((n, h * w, bytes.iter().map(|&b| b as f32 / 255.0).collect()))
+}
+
+fn load_labels(path: &Path) -> io::Result<Vec<usize>> {
+    let mut f = io::BufReader::new(fs::File::open(path)?);
+    let magic = read_u32(&mut f)?;
+    if magic != LABEL_MAGIC {
+        return Err(bad(format!("bad label magic {magic:#x} in {path:?}")));
+    }
+    let n = read_u32(&mut f)? as usize;
+    let mut bytes = vec![0u8; n];
+    f.read_exact(&mut bytes)?;
+    Ok(bytes.iter().map(|&b| b as usize).collect())
+}
+
+/// Loads real MNIST from `dir`, returning `(train, test)` datasets with
+/// flat `[n, 784]` images scaled to `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns an error if any of the four IDX files is missing, has a bad
+/// magic number, or has mismatched image/label counts.
+pub fn load_mnist_idx(dir: impl AsRef<Path>) -> io::Result<(Dataset, Dataset)> {
+    let dir = dir.as_ref();
+    let mut sets = Vec::with_capacity(2);
+    for (imgs, lbls) in [
+        ("train-images-idx3-ubyte", "train-labels-idx1-ubyte"),
+        ("t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte"),
+    ] {
+        let (n, d, data) = load_images(&dir.join(imgs))?;
+        let labels = load_labels(&dir.join(lbls))?;
+        if labels.len() != n {
+            return Err(bad(format!(
+                "{imgs}: {n} images but {} labels",
+                labels.len()
+            )));
+        }
+        if labels.iter().any(|&l| l > 9) {
+            return Err(bad(format!("{lbls}: label out of range")));
+        }
+        sets.push(Dataset::new(
+            Tensor::from_vec(vec![n, d], data),
+            labels,
+            10,
+        ));
+    }
+    let test = sets.pop().expect("two datasets pushed");
+    let train = sets.pop().expect("two datasets pushed");
+    Ok((train, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn write_idx_pair(dir: &Path, prefix: &str, n: usize) {
+        let (img_name, lbl_name) = if prefix == "train" {
+            ("train-images-idx3-ubyte", "train-labels-idx1-ubyte")
+        } else {
+            ("t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte")
+        };
+        let mut img = fs::File::create(dir.join(img_name)).unwrap();
+        img.write_all(&IMAGE_MAGIC.to_be_bytes()).unwrap();
+        img.write_all(&(n as u32).to_be_bytes()).unwrap();
+        img.write_all(&4u32.to_be_bytes()).unwrap();
+        img.write_all(&4u32.to_be_bytes()).unwrap();
+        img.write_all(&vec![128u8; n * 16]).unwrap();
+        let mut lbl = fs::File::create(dir.join(lbl_name)).unwrap();
+        lbl.write_all(&LABEL_MAGIC.to_be_bytes()).unwrap();
+        lbl.write_all(&(n as u32).to_be_bytes()).unwrap();
+        lbl.write_all(&(0..n).map(|i| (i % 10) as u8).collect::<Vec<_>>())
+            .unwrap();
+    }
+
+    #[test]
+    fn loads_wellformed_idx() {
+        let dir = std::env::temp_dir().join(format!("dropback_idx_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        write_idx_pair(&dir, "train", 6);
+        write_idx_pair(&dir, "t10k", 3);
+        let (tr, te) = load_mnist_idx(&dir).unwrap();
+        assert_eq!(tr.len(), 6);
+        assert_eq!(te.len(), 3);
+        assert_eq!(tr.images().shape(), &[6, 16]);
+        assert!((tr.images().data()[0] - 128.0 / 255.0).abs() < 1e-6);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_is_an_error() {
+        assert!(load_mnist_idx("/nonexistent/mnist").is_err());
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("dropback_idx_bad_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("train-images-idx3-ubyte"), [0u8; 16]).unwrap();
+        fs::write(dir.join("train-labels-idx1-ubyte"), [0u8; 8]).unwrap();
+        let err = load_mnist_idx(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,91 @@
+//! Per-operation energy constants (45 nm, after Han et al. 2016).
+
+/// Energy cost model for a 45 nm process.
+///
+/// Defaults use the paper's constants: 640 pJ per 32-bit DRAM access,
+/// 0.9 pJ per 32-bit floating-point op, 0.1 pJ per 32-bit integer ALU op
+/// (so one xorshift regeneration = 6 int ops + 1 flop ≈ 1.5 pJ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// pJ per 32-bit off-chip DRAM access.
+    pub dram_access_pj: f64,
+    /// pJ per 32-bit floating-point operation.
+    pub flop_pj: f64,
+    /// pJ per 32-bit integer ALU operation.
+    pub int_op_pj: f64,
+    /// pJ per 32-bit on-chip SRAM/register access.
+    pub sram_access_pj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::paper_45nm()
+    }
+}
+
+impl EnergyModel {
+    /// The paper's 45 nm constants.
+    pub fn paper_45nm() -> Self {
+        Self {
+            dram_access_pj: 640.0,
+            flop_pj: 0.9,
+            int_op_pj: 0.1,
+            sram_access_pj: 5.0,
+        }
+    }
+
+    /// Energy to regenerate one initialization value with the hardware
+    /// xorshift unit (6 integer ops + 1 float op ≈ 1.5 pJ).
+    pub fn regen_pj(&self) -> f64 {
+        dropback_prng::REGEN_FAST_INT_OPS as f64 * self.int_op_pj
+            + dropback_prng::REGEN_FAST_FLOPS as f64 * self.flop_pj
+    }
+
+    /// Energy to regenerate one value with the exact software Box–Muller
+    /// path (more flops; still far below a DRAM access).
+    pub fn regen_exact_pj(&self) -> f64 {
+        dropback_prng::REGEN_INT_OPS as f64 * self.int_op_pj
+            + dropback_prng::REGEN_FLOPS as f64 * self.flop_pj
+    }
+
+    /// The paper's headline ratio: DRAM access vs regeneration (~427×).
+    pub fn regen_advantage(&self) -> f64 {
+        self.dram_access_pj / self.regen_pj()
+    }
+
+    /// DRAM access vs floating-point op (~700×, §1).
+    pub fn dram_vs_flop(&self) -> f64 {
+        self.dram_access_pj / self.flop_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regen_costs_about_1_5_pj() {
+        let m = EnergyModel::paper_45nm();
+        assert!((m.regen_pj() - 1.5).abs() < 0.01, "{}", m.regen_pj());
+    }
+
+    #[test]
+    fn regen_advantage_matches_paper_427() {
+        let m = EnergyModel::paper_45nm();
+        let adv = m.regen_advantage();
+        assert!((adv - 427.0).abs() < 2.0, "advantage {adv}");
+    }
+
+    #[test]
+    fn dram_vs_flop_matches_paper_700() {
+        let m = EnergyModel::paper_45nm();
+        let r = m.dram_vs_flop();
+        assert!((r - 711.0).abs() < 2.0, "ratio {r}");
+    }
+
+    #[test]
+    fn exact_regen_still_beats_dram_by_far() {
+        let m = EnergyModel::paper_45nm();
+        assert!(m.dram_access_pj / m.regen_exact_pj() > 90.0);
+    }
+}

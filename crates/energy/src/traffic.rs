@@ -1,0 +1,159 @@
+//! Weight-memory traffic per training step, per scheme.
+
+use crate::EnergyModel;
+
+/// Weight-memory traffic of one training step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchemeTraffic {
+    /// 32-bit off-chip reads of stored weights.
+    pub dram_reads: u64,
+    /// 32-bit off-chip writes of stored weights.
+    pub dram_writes: u64,
+    /// Initialization values regenerated on the fly (xorshift unit).
+    pub regens: u64,
+}
+
+impl SchemeTraffic {
+    /// Total energy of this step's weight traffic under `model`.
+    pub fn energy_pj(&self, model: &EnergyModel) -> f64 {
+        (self.dram_reads + self.dram_writes) as f64 * model.dram_access_pj
+            + self.regens as f64 * model.regen_pj()
+    }
+
+    /// Total 32-bit weight values touched.
+    pub fn total_accesses(&self) -> u64 {
+        self.dram_reads + self.dram_writes + self.regens
+    }
+}
+
+/// Per-step weight-traffic generator for the training schemes the paper
+/// compares. Counts cover *weight* traffic only (activations are identical
+/// across schemes and cancel in the comparison).
+///
+/// Access pattern per SGD step on an `n`-weight model:
+///
+/// * forward pass reads every weight once;
+/// * backward pass reads every weight once more (input-gradient GEMMs);
+/// * the update reads and writes every *stored* weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainingTraffic {
+    /// Total model parameters.
+    pub params: u64,
+    /// Stored (tracked) parameters; `== params` for the baseline.
+    pub stored: u64,
+}
+
+impl TrainingTraffic {
+    /// Baseline dense SGD: every weight stored off-chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params == 0`.
+    pub fn baseline(params: u64) -> Self {
+        assert!(params > 0, "empty model");
+        Self {
+            params,
+            stored: params,
+        }
+    }
+
+    /// DropBack with budget `k`: only `k` weights stored, the rest
+    /// regenerated at every access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params == 0` or `k == 0`.
+    pub fn dropback(params: u64, k: u64) -> Self {
+        assert!(params > 0 && k > 0, "empty model or budget");
+        Self {
+            params,
+            stored: k.min(params),
+        }
+    }
+
+    /// Traffic of one training step.
+    pub fn step(&self) -> SchemeTraffic {
+        let untracked = self.params - self.stored;
+        SchemeTraffic {
+            // Forward + backward weight reads, plus the update's
+            // read-modify-write of stored weights.
+            dram_reads: 2 * self.stored + self.stored,
+            dram_writes: self.stored,
+            // Untracked weights regenerated in both passes.
+            regens: 2 * untracked,
+        }
+    }
+
+    /// Traffic of one *inference* (forward-only) pass.
+    pub fn inference(&self) -> SchemeTraffic {
+        SchemeTraffic {
+            dram_reads: self.stored,
+            dram_writes: 0,
+            regens: self.params - self.stored,
+        }
+    }
+
+    /// Energy ratio of `self` vs `other` for one training step (how many
+    /// times cheaper `self` is).
+    pub fn advantage_over(&self, other: &TrainingTraffic, model: &EnergyModel) -> f64 {
+        other.step().energy_pj(model) / self.step().energy_pj(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_step_touches_4n() {
+        let t = TrainingTraffic::baseline(1000).step();
+        assert_eq!(t.dram_reads, 3000);
+        assert_eq!(t.dram_writes, 1000);
+        assert_eq!(t.regens, 0);
+    }
+
+    #[test]
+    fn dropback_step_splits_traffic() {
+        let t = TrainingTraffic::dropback(1000, 100).step();
+        assert_eq!(t.dram_reads, 300);
+        assert_eq!(t.dram_writes, 100);
+        assert_eq!(t.regens, 1800);
+    }
+
+    #[test]
+    fn dropback_energy_win_grows_with_compression() {
+        let m = EnergyModel::paper_45nm();
+        let base = TrainingTraffic::baseline(1_000_000);
+        let db10 = TrainingTraffic::dropback(1_000_000, 100_000); // 10x
+        let db100 = TrainingTraffic::dropback(1_000_000, 10_000); // 100x
+        let a10 = db10.advantage_over(&base, &m);
+        let a100 = db100.advantage_over(&base, &m);
+        assert!(a10 > 5.0, "10x compression should win >5x, got {a10}");
+        assert!(a100 > a10, "more compression, more win");
+    }
+
+    #[test]
+    fn inference_traffic_matches_deployment_story() {
+        let t = TrainingTraffic::dropback(89_610, 1_500).inference();
+        assert_eq!(t.dram_reads, 1_500);
+        assert_eq!(t.regens, 88_110);
+        // Even regenerating 98% of weights, inference energy is far below
+        // reading them all from DRAM.
+        let m = EnergyModel::paper_45nm();
+        let dense = TrainingTraffic::baseline(89_610).inference();
+        assert!(dense.energy_pj(&m) / t.energy_pj(&m) > 25.0);
+    }
+
+    #[test]
+    fn budget_larger_than_model_clamps() {
+        let t = TrainingTraffic::dropback(100, 1000);
+        assert_eq!(t.stored, 100);
+        assert_eq!(t.step().regens, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty model")]
+    fn zero_params_panics() {
+        TrainingTraffic::baseline(0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Convergence-curve statistics for comparing training rules.
+//!
+//! The paper's convergence claims (Figures 3 and 4) are statements about
+//! curve *shape*: DropBack reaches the baseline's accuracy a bit later but
+//! follows the same trajectory. These summaries quantify that.
+
+/// Summary statistics of a validation-accuracy curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceStats {
+    /// Best accuracy reached.
+    pub best: f32,
+    /// Epoch of the best accuracy.
+    pub best_epoch: usize,
+    /// Mean accuracy over the whole curve (area under the curve / length) —
+    /// higher means faster learning at equal final accuracy.
+    pub auc: f32,
+    /// First epoch reaching 95% of the curve's own best (`None` if the
+    /// curve is flat at zero).
+    pub epochs_to_95: Option<usize>,
+}
+
+impl ConvergenceStats {
+    /// Computes the summary of an accuracy-per-epoch curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve is empty.
+    pub fn from_curve(curve: &[f32]) -> Self {
+        assert!(!curve.is_empty(), "empty accuracy curve");
+        let mut best = f32::NEG_INFINITY;
+        let mut best_epoch = 0usize;
+        for (e, &a) in curve.iter().enumerate() {
+            if a > best {
+                best = a;
+                best_epoch = e;
+            }
+        }
+        let auc = curve.iter().sum::<f32>() / curve.len() as f32;
+        let target = 0.95 * best;
+        let epochs_to_95 = if best > 0.0 {
+            curve.iter().position(|&a| a >= target)
+        } else {
+            None
+        };
+        Self {
+            best,
+            best_epoch,
+            auc,
+            epochs_to_95,
+        }
+    }
+}
+
+/// Maximum pointwise accuracy gap between two curves of equal length —
+/// small values mean the curves track each other (Figure 3's claim).
+///
+/// # Panics
+///
+/// Panics if lengths differ or either is empty.
+pub fn max_curve_gap(a: &[f32], b: &[f32]) -> f32 {
+    assert!(!a.is_empty(), "empty curve");
+    assert_eq!(a.len(), b.len(), "curve lengths differ");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_monotone_curve() {
+        let s = ConvergenceStats::from_curve(&[0.1, 0.5, 0.8, 0.9, 0.91]);
+        assert_eq!(s.best, 0.91);
+        assert_eq!(s.best_epoch, 4);
+        assert!((s.auc - 0.642).abs() < 1e-3);
+        // 95% of 0.91 = 0.8645 -> first reached at epoch 3.
+        assert_eq!(s.epochs_to_95, Some(3));
+    }
+
+    #[test]
+    fn flat_zero_curve_has_no_target_epoch() {
+        let s = ConvergenceStats::from_curve(&[0.0, 0.0]);
+        assert_eq!(s.epochs_to_95, None);
+    }
+
+    #[test]
+    fn faster_learner_has_higher_auc() {
+        let fast = ConvergenceStats::from_curve(&[0.8, 0.9, 0.9]);
+        let slow = ConvergenceStats::from_curve(&[0.1, 0.5, 0.9]);
+        assert!(fast.auc > slow.auc);
+        assert_eq!(fast.best, slow.best);
+    }
+
+    #[test]
+    fn gap_between_identical_curves_is_zero() {
+        let c = [0.2, 0.6, 0.9];
+        assert_eq!(max_curve_gap(&c, &c), 0.0);
+        assert!((max_curve_gap(&c, &[0.2, 0.7, 0.85]) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "curve lengths differ")]
+    fn mismatched_lengths_panic() {
+        max_curve_gap(&[0.1], &[0.1, 0.2]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Weight-diffusion distance (Figure 5).
+
+/// Tracks the ℓ2 distance of a weight vector from a fixed reference
+/// (normally the initialization), the quantity Hoffer et al. 2017 show
+/// grows logarithmically under SGD ("ultra-slow diffusion") and the paper
+/// uses to explain why DropBack generalizes: its diffusion curve hugs the
+/// baseline's, while zero-ing pruners jump far from init immediately.
+#[derive(Debug, Clone)]
+pub struct DiffusionTracker {
+    w0: Vec<f32>,
+    samples: Vec<(u64, f32)>,
+}
+
+impl DiffusionTracker {
+    /// Creates a tracker anchored at `w0` (cloned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w0` is empty.
+    pub fn new(w0: &[f32]) -> Self {
+        assert!(!w0.is_empty(), "empty reference vector");
+        Self {
+            w0: w0.to_vec(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// ℓ2 distance of `w` from the anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len()` differs from the anchor's.
+    pub fn distance(&self, w: &[f32]) -> f32 {
+        assert_eq!(w.len(), self.w0.len(), "weight-vector length changed");
+        w.iter()
+            .zip(&self.w0)
+            .map(|(&a, &b)| ((a - b) as f64) * ((a - b) as f64))
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    /// Records the distance at `iteration`.
+    pub fn record(&mut self, iteration: u64, w: &[f32]) {
+        let d = self.distance(w);
+        self.samples.push((iteration, d));
+    }
+
+    /// All recorded `(iteration, distance)` samples.
+    pub fn samples(&self) -> &[(u64, f32)] {
+        &self.samples
+    }
+
+    /// Whether `iteration` falls on a log-spaced sampling grid (~`per_decade`
+    /// samples per decade) — Figure 5 uses a log time axis.
+    pub fn should_sample(iteration: u64, per_decade: u32) -> bool {
+        if iteration == 0 {
+            return true;
+        }
+        let log = (iteration as f64).log10();
+        let slot = (log * per_decade as f64).floor();
+        let prev = ((iteration - 1) as f64).max(0.1).log10();
+        let prev_slot = (prev * per_decade as f64).floor();
+        iteration == 1 || slot > prev_slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_of_anchor_is_zero() {
+        let t = DiffusionTracker::new(&[1.0, 2.0, 3.0]);
+        assert_eq!(t.distance(&[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let t = DiffusionTracker::new(&[0.0, 0.0]);
+        assert!((t.distance(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn record_appends() {
+        let mut t = DiffusionTracker::new(&[0.0]);
+        t.record(1, &[1.0]);
+        t.record(10, &[2.0]);
+        assert_eq!(t.samples().len(), 2);
+        assert_eq!(t.samples()[1], (10, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length changed")]
+    fn length_mismatch_panics() {
+        DiffusionTracker::new(&[0.0]).distance(&[0.0, 1.0]);
+    }
+
+    #[test]
+    fn log_sampling_thins_out() {
+        let early: usize = (1..100).filter(|&i| DiffusionTracker::should_sample(i, 8)).count();
+        let late: usize = (1000..1100)
+            .filter(|&i| DiffusionTracker::should_sample(i, 8))
+            .count();
+        assert!(early > late, "early {early} late {late}");
+        assert!(late <= 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Analysis metrics for the DropBack reproduction.
+//!
+//! These implement the measurement machinery behind the paper's analysis
+//! figures:
+//!
+//! * [`DiffusionTracker`] — ℓ2 distance of the weight vector from its
+//!   initialization over training (Figure 5; the "ultra-slow diffusion"
+//!   argument from Hoffer et al. 2017).
+//! * [`gaussian_kde`] — kernel density estimation of the
+//!   accumulated-gradient distribution (Figure 1).
+//! * [`TopKChurn`] — how many weights enter/leave the top-k
+//!   accumulated-gradient set per iteration (Figure 2).
+//! * [`pca_project`] — PCA projection of weight-trajectory snapshots into a
+//!   low-dimensional space (Figure 6), via power iteration on the snapshot
+//!   Gram matrix.
+//! * [`Accuracy`] helpers and compression arithmetic shared by the tables.
+
+#![deny(missing_docs)]
+
+mod churn;
+mod convergence;
+mod diffusion;
+mod kde;
+mod pca;
+mod stats;
+
+pub use churn::TopKChurn;
+pub use convergence::{max_curve_gap, ConvergenceStats};
+pub use diffusion::DiffusionTracker;
+pub use kde::gaussian_kde;
+pub use pca::{pca_project, PcaResult};
+pub use stats::{compression_ratio, mean_and_std, Accuracy};

@@ -1,0 +1,193 @@
+//! PCA projection of weight-trajectory snapshots (Figure 6).
+//!
+//! Figure 6 projects the full weight vector at a handful of training
+//! checkpoints into 3-D. With `T` snapshots of dimension `D` (`T ≪ D`),
+//! the principal components live in the span of the snapshots, so we
+//! eigendecompose the `T×T` Gram matrix of centered snapshots (power
+//! iteration with deflation) instead of the `D×D` covariance.
+
+/// Result of [`pca_project`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcaResult {
+    /// `projections[t]` = the `t`-th snapshot's coordinates in the
+    /// `components`-dimensional principal subspace.
+    pub projections: Vec<Vec<f32>>,
+    /// Fraction of total variance captured by each component.
+    pub explained: Vec<f32>,
+}
+
+/// Projects `snapshots` (each a flat weight vector) onto their top
+/// `components` principal directions.
+///
+/// # Panics
+///
+/// Panics if fewer than two snapshots are given, lengths differ, or
+/// `components == 0`.
+pub fn pca_project(snapshots: &[Vec<f32>], components: usize) -> PcaResult {
+    assert!(snapshots.len() >= 2, "PCA needs at least two snapshots");
+    assert!(components > 0, "need at least one component");
+    let t = snapshots.len();
+    let d = snapshots[0].len();
+    assert!(
+        snapshots.iter().all(|s| s.len() == d),
+        "snapshot lengths differ"
+    );
+    let m = components.min(t - 1).max(1);
+    // Column-center: subtract the mean snapshot.
+    let mut mean = vec![0.0f64; d];
+    for s in snapshots {
+        for (m, &v) in mean.iter_mut().zip(s) {
+            *m += v as f64 / t as f64;
+        }
+    }
+    // Gram matrix G[i][j] = <xc_i, xc_j> (T×T).
+    let mut gram = vec![vec![0.0f64; t]; t];
+    for i in 0..t {
+        for j in i..t {
+            let mut acc = 0.0f64;
+            for k in 0..d {
+                acc += (snapshots[i][k] as f64 - mean[k]) * (snapshots[j][k] as f64 - mean[k]);
+            }
+            gram[i][j] = acc;
+            gram[j][i] = acc;
+        }
+    }
+    let trace: f64 = (0..t).map(|i| gram[i][i]).sum();
+    // Power iteration with deflation for the top-m eigenpairs.
+    let mut projections = vec![vec![0.0f32; m]; t];
+    let mut explained = Vec::with_capacity(m);
+    let mut deflated = gram.clone();
+    for comp in 0..m {
+        let (lambda, v) = power_iteration(&deflated, 500, comp as u64 + 1);
+        // Projection of snapshot i on component = sqrt(λ)·v[i].
+        let scale = lambda.max(0.0).sqrt();
+        for i in 0..t {
+            projections[i][comp] = (scale * v[i]) as f32;
+        }
+        explained.push(if trace > 0.0 {
+            (lambda / trace) as f32
+        } else {
+            0.0
+        });
+        // Deflate: G ← G − λ v vᵀ.
+        for i in 0..t {
+            for j in 0..t {
+                deflated[i][j] -= lambda * v[i] * v[j];
+            }
+        }
+    }
+    PcaResult {
+        projections,
+        explained,
+    }
+}
+
+/// Dominant eigenpair of a symmetric matrix via power iteration.
+fn power_iteration(a: &[Vec<f64>], iters: usize, seed: u64) -> (f64, Vec<f64>) {
+    let n = a.len();
+    // Deterministic pseudo-random start vector.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut v: Vec<f64> = (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect();
+    normalize(&mut v);
+    let mut lambda = 0.0;
+    for _ in 0..iters {
+        let mut next = vec![0.0f64; n];
+        for i in 0..n {
+            for j in 0..n {
+                next[i] += a[i][j] * v[j];
+            }
+        }
+        lambda = next.iter().zip(&v).map(|(&x, &y)| x * y).sum();
+        let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            return (0.0, v);
+        }
+        for x in &mut next {
+            *x /= norm;
+        }
+        v = next;
+    }
+    (lambda, v)
+}
+
+fn normalize(v: &mut [f64]) {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+    for x in v {
+        *x /= norm;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_in_high_dim_has_one_component() {
+        // Snapshots along a single direction: PC1 explains everything.
+        let dir: Vec<f32> = (0..50).map(|i| ((i * 13 % 7) as f32) - 3.0).collect();
+        let snapshots: Vec<Vec<f32>> = (0..6)
+            .map(|t| dir.iter().map(|&d| d * t as f32).collect())
+            .collect();
+        let r = pca_project(&snapshots, 3);
+        assert!(r.explained[0] > 0.99, "{:?}", r.explained);
+        assert!(r.explained[1] < 0.01);
+        // Projections on PC1 are monotone in t (up to sign).
+        let p: Vec<f32> = r.projections.iter().map(|p| p[0]).collect();
+        let mono_up = p.windows(2).all(|w| w[1] >= w[0]);
+        let mono_down = p.windows(2).all(|w| w[1] <= w[0]);
+        assert!(mono_up || mono_down, "{p:?}");
+    }
+
+    #[test]
+    fn preserves_pairwise_distances_for_planar_data() {
+        // Points in a 2-D plane embedded in 20-D: 2 components suffice, and
+        // pairwise distances in projection match the originals.
+        let e1: Vec<f32> = (0..20).map(|i| if i == 3 { 1.0 } else { 0.0 }).collect();
+        let e2: Vec<f32> = (0..20).map(|i| if i == 11 { 1.0 } else { 0.0 }).collect();
+        let coords = [(0.0, 0.0), (1.0, 0.5), (2.0, -1.0), (0.5, 2.0)];
+        let snapshots: Vec<Vec<f32>> = coords
+            .iter()
+            .map(|&(a, b)| {
+                (0..20)
+                    .map(|i| a * e1[i] + b * e2[i])
+                    .collect::<Vec<f32>>()
+            })
+            .collect();
+        let r = pca_project(&snapshots, 2);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                let orig = ((coords[i].0 - coords[j].0).powi(2)
+                    + (coords[i].1 - coords[j].1).powi(2))
+                .sqrt();
+                let proj = ((r.projections[i][0] - r.projections[j][0]).powi(2)
+                    + (r.projections[i][1] - r.projections[j][1]).powi(2))
+                .sqrt();
+                assert!((orig - proj).abs() < 1e-3, "({i},{j}): {orig} vs {proj}");
+            }
+        }
+    }
+
+    #[test]
+    fn explained_fractions_are_sane() {
+        let snapshots: Vec<Vec<f32>> = (0..5)
+            .map(|t| (0..30).map(|i| ((t * i) as f32).sin()).collect())
+            .collect();
+        let r = pca_project(&snapshots, 3);
+        let sum: f32 = r.explained.iter().sum();
+        assert!(sum <= 1.0 + 1e-4);
+        assert!(r.explained.windows(2).all(|w| w[0] >= w[1] - 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two snapshots")]
+    fn single_snapshot_panics() {
+        pca_project(&[vec![1.0, 2.0]], 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Small shared statistics helpers.
+
+/// Running classification-accuracy accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Accuracy {
+    correct: usize,
+    total: usize,
+}
+
+impl Accuracy {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds in a batch of predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn update(&mut self, predictions: &[usize], labels: &[usize]) {
+        assert_eq!(predictions.len(), labels.len(), "prediction/label mismatch");
+        self.correct += predictions
+            .iter()
+            .zip(labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        self.total += labels.len();
+    }
+
+    /// Accuracy in `[0, 1]` (0 when empty).
+    pub fn value(&self) -> f32 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f32 / self.total as f32
+        }
+    }
+
+    /// Error rate in percent, as the paper's tables report.
+    pub fn error_percent(&self) -> f32 {
+        100.0 * (1.0 - self.value())
+    }
+
+    /// Number of examples folded in.
+    pub fn count(&self) -> usize {
+        self.total
+    }
+}
+
+/// Weight-compression ratio as the paper's tables define it
+/// (`total params / stored params`).
+///
+/// # Panics
+///
+/// Panics if `stored == 0`.
+pub fn compression_ratio(total: usize, stored: usize) -> f32 {
+    assert!(stored > 0, "stored weight count must be positive");
+    total as f32 / stored as f32
+}
+
+/// Mean and (population) standard deviation of a slice.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn mean_and_std(values: &[f32]) -> (f32, f32) {
+    assert!(!values.is_empty(), "empty slice");
+    let n = values.len() as f64;
+    let mean: f64 = values.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var: f64 = values
+        .iter()
+        .map(|&v| (v as f64 - mean) * (v as f64 - mean))
+        .sum::<f64>()
+        / n;
+    (mean as f32, var.sqrt() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts() {
+        let mut a = Accuracy::new();
+        a.update(&[1, 2, 3], &[1, 0, 3]);
+        a.update(&[4], &[4]);
+        assert_eq!(a.count(), 4);
+        assert!((a.value() - 0.75).abs() < 1e-6);
+        assert!((a.error_percent() - 25.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_accuracy_is_zero() {
+        assert_eq!(Accuracy::new().value(), 0.0);
+    }
+
+    #[test]
+    fn compression_examples_from_paper() {
+        assert!((compression_ratio(266_610, 50_000) - 5.33).abs() < 0.01);
+        assert!((compression_ratio(89_610, 1_500) - 59.74).abs() < 0.01);
+    }
+
+    #[test]
+    fn mean_and_std_basics() {
+        let (m, s) = mean_and_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-6);
+        assert!((s - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,321 @@
+//! Activation and structural layers: ReLU, PReLU, Dropout, Flatten.
+
+use crate::layer::{Layer, Mode};
+use crate::param::{ParamRange, ParamStore};
+use dropback_prng::{InitScheme, Xorshift64};
+use dropback_tensor::Tensor;
+
+/// Elementwise ReLU.
+#[derive(Debug, Default)]
+pub struct Relu {
+    cached_input: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, _ps: &ParamStore, _mode: Mode) -> Tensor {
+        self.cached_input = Some(x.clone());
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, dout: &Tensor, _ps: &mut ParamStore) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("Relu::backward called before forward");
+        dout.zip(&x, |g, v| if v > 0.0 { g } else { 0.0 })
+    }
+}
+
+/// Parametric ReLU with one learned slope per channel.
+///
+/// The slope initializes to a constant (0.25), so DropBack can regenerate
+/// it — the paper calls out PReLU as a layer type that *only* DropBack can
+/// prune (§2.1). Works on `[n, c]` or `[n, c, h, w]` inputs (slope indexed
+/// by the second dimension).
+#[derive(Debug)]
+pub struct PRelu {
+    channels: usize,
+    slope: ParamRange,
+    cached_input: Option<Tensor>,
+}
+
+impl PRelu {
+    /// Registers a PReLU over `channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(ps: &mut ParamStore, name: &str, channels: usize) -> Self {
+        assert!(channels > 0, "PRelu needs at least one channel");
+        let slope = ps.register(&format!("{name}.slope"), channels, InitScheme::Constant(0.25));
+        Self {
+            channels,
+            slope,
+            cached_input: None,
+        }
+    }
+
+    fn channel_of(&self, flat: usize, inner: usize) -> usize {
+        (flat / inner) % self.channels
+    }
+
+    fn inner_size(&self, shape: &[usize]) -> usize {
+        assert!(shape.len() >= 2, "PRelu input must have a channel dim");
+        assert_eq!(shape[1], self.channels, "PRelu channel mismatch");
+        shape[2..].iter().product::<usize>().max(1)
+    }
+}
+
+impl Layer for PRelu {
+    fn forward(&mut self, x: &Tensor, ps: &ParamStore, _mode: Mode) -> Tensor {
+        let inner = self.inner_size(x.shape());
+        let slopes = ps.slice(&self.slope);
+        let mut y = x.clone();
+        for (i, v) in y.data_mut().iter_mut().enumerate() {
+            if *v < 0.0 {
+                *v *= slopes[self.channel_of(i, inner)];
+            }
+        }
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, dout: &Tensor, ps: &mut ParamStore) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("PRelu::backward called before forward");
+        let inner = self.inner_size(x.shape());
+        let mut dslope = vec![0.0f32; self.channels];
+        let (slopes, _) = ps.params_and_grads_mut(&self.slope);
+        let slopes = slopes.to_vec();
+        let mut dx = dout.clone();
+        for (i, (g, &v)) in dx.data_mut().iter_mut().zip(x.data()).enumerate() {
+            if v < 0.0 {
+                let c = self.channel_of(i, inner);
+                dslope[c] += *g * v;
+                *g *= slopes[c];
+            }
+        }
+        ps.accumulate_grad(&self.slope, &dslope);
+        dx
+    }
+
+    fn param_ranges(&self) -> Vec<ParamRange> {
+        vec![self.slope.clone()]
+    }
+}
+
+/// Inverted dropout: at train time each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; evaluation is the
+/// identity.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: Xorshift64,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+        Self {
+            p,
+            rng: Xorshift64::new(seed),
+            mask: None,
+        }
+    }
+
+    /// The configured drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, _ps: &ParamStore, mode: Mode) -> Tensor {
+        if mode == Mode::Eval || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| if self.rng.next_f32() < keep { scale } else { 0.0 })
+            .collect();
+        let mut y = x.clone();
+        for (v, &m) in y.data_mut().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, dout: &Tensor, _ps: &mut ParamStore) -> Tensor {
+        match self.mask.take() {
+            None => dout.clone(),
+            Some(mask) => {
+                let mut dx = dout.clone();
+                for (g, &m) in dx.data_mut().iter_mut().zip(&mask) {
+                    *g *= m;
+                }
+                dx
+            }
+        }
+    }
+}
+
+/// Reshapes `[n, ...]` to `[n, prod(...)]` (and un-flattens on backward).
+#[derive(Debug, Default)]
+pub struct Flatten {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, _ps: &ParamStore, _mode: Mode) -> Tensor {
+        self.cached_shape = Some(x.shape().to_vec());
+        let n = x.shape()[0];
+        let d: usize = x.shape()[1..].iter().product();
+        x.clone().reshape(vec![n, d])
+    }
+
+    fn backward(&mut self, dout: &Tensor, _ps: &mut ParamStore) -> Tensor {
+        let shape = self
+            .cached_shape
+            .take()
+            .expect("Flatten::backward called before forward");
+        dout.clone().reshape(shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_roundtrip() {
+        let mut ps = ParamStore::new(1);
+        let mut l = Relu::new();
+        let x = Tensor::from_vec(vec![1, 4], vec![-1., 2., -3., 4.]);
+        let y = l.forward(&x, &ps, Mode::Train);
+        assert_eq!(y.data(), &[0., 2., 0., 4.]);
+        let dx = l.backward(&Tensor::filled(vec![1, 4], 1.0), &mut ps);
+        assert_eq!(dx.data(), &[0., 1., 0., 1.]);
+    }
+
+    #[test]
+    fn prelu_forward_uses_slope() {
+        let mut ps = ParamStore::new(1);
+        let mut l = PRelu::new(&mut ps, "act", 2);
+        let x = Tensor::from_vec(vec![1, 2], vec![-4.0, 4.0]);
+        let y = l.forward(&x, &ps, Mode::Train);
+        assert_eq!(y.data(), &[-1.0, 4.0]); // 0.25 default slope
+    }
+
+    #[test]
+    fn prelu_4d_channel_indexing() {
+        let mut ps = ParamStore::new(1);
+        let mut l = PRelu::new(&mut ps, "act", 2);
+        let r = l.param_ranges()[0].clone();
+        ps.params_mut()[r.start()..r.end()].copy_from_slice(&[0.0, 1.0]);
+        let x = Tensor::filled(vec![1, 2, 2, 2], -1.0);
+        let y = l.forward(&x, &ps, Mode::Train);
+        // channel 0 slope 0 -> zeros; channel 1 slope 1 -> identity
+        assert_eq!(&y.data()[..4], &[0.0; 4]);
+        assert_eq!(&y.data()[4..], &[-1.0; 4]);
+    }
+
+    #[test]
+    fn prelu_gradients_match_finite_difference() {
+        let mut ps = ParamStore::new(1);
+        let mut l = PRelu::new(&mut ps, "act", 3);
+        let x = Tensor::from_vec(vec![2, 3], vec![-1., 2., -0.5, 0.3, -2., 1.]);
+        let y = l.forward(&x, &ps, Mode::Train);
+        ps.zero_grads();
+        let _ = l.backward(&y, &mut ps); // loss = 0.5||y||^2
+        let r = l.param_ranges()[0].clone();
+        let eps = 1e-3;
+        for c in 0..3 {
+            let gi = r.start() + c;
+            let orig = ps.params()[gi];
+            ps.params_mut()[gi] = orig + eps;
+            let lp = 0.5 * l.forward(&x, &ps, Mode::Train).norm_sq();
+            ps.params_mut()[gi] = orig - eps;
+            let lm = 0.5 * l.forward(&x, &ps, Mode::Train).norm_sq();
+            ps.params_mut()[gi] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - ps.grads()[gi]).abs() < 1e-2, "c={c}");
+        }
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let ps = ParamStore::new(1);
+        let mut l = Dropout::new(0.5, 1);
+        let x = Tensor::from_fn(vec![4, 4], |i| i as f32);
+        let y = l.forward(&x, &ps, Mode::Eval);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn dropout_train_preserves_expectation() {
+        let ps = ParamStore::new(1);
+        let mut l = Dropout::new(0.3, 7);
+        let x = Tensor::filled(vec![100, 100], 1.0);
+        let y = l.forward(&x, &ps, Mode::Train);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // Some elements dropped, survivors scaled.
+        assert!(y.data().contains(&0.0));
+        assert!(y.data().iter().any(|&v| (v - 1.0 / 0.7).abs() < 1e-5));
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut ps = ParamStore::new(1);
+        let mut l = Dropout::new(0.5, 3);
+        let x = Tensor::filled(vec![1, 64], 1.0);
+        let y = l.forward(&x, &ps, Mode::Train);
+        let dx = l.backward(&Tensor::filled(vec![1, 64], 1.0), &mut ps);
+        for (a, b) in y.data().iter().zip(dx.data()) {
+            assert_eq!(a, b); // both equal the mask value
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p must be in [0, 1)")]
+    fn dropout_bad_p_panics() {
+        Dropout::new(1.0, 1);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut ps = ParamStore::new(1);
+        let mut l = Flatten::new();
+        let x = Tensor::from_fn(vec![2, 3, 2, 2], |i| i as f32);
+        let y = l.forward(&x, &ps, Mode::Train);
+        assert_eq!(y.shape(), &[2, 12]);
+        let dx = l.backward(&y, &mut ps);
+        assert_eq!(dx.shape(), &[2, 3, 2, 2]);
+        assert_eq!(dx, x);
+    }
+}

@@ -1,0 +1,280 @@
+//! Additional activation layers (sigmoid, tanh, GELU) and layer
+//! normalization, rounding out the substrate beyond what the paper's
+//! models need.
+
+use crate::layer::{Layer, Mode};
+use crate::param::{ParamRange, ParamStore};
+use dropback_prng::InitScheme;
+use dropback_tensor::activations as act;
+use dropback_tensor::Tensor;
+
+/// Elementwise logistic sigmoid.
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    cached_output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, x: &Tensor, _ps: &ParamStore, _mode: Mode) -> Tensor {
+        let y = act::sigmoid(x);
+        self.cached_output = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, dout: &Tensor, _ps: &mut ParamStore) -> Tensor {
+        let y = self
+            .cached_output
+            .take()
+            .expect("Sigmoid::backward called before forward");
+        act::sigmoid_backward(dout, &y)
+    }
+}
+
+/// Elementwise hyperbolic tangent.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, x: &Tensor, _ps: &ParamStore, _mode: Mode) -> Tensor {
+        let y = act::tanh(x);
+        self.cached_output = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, dout: &Tensor, _ps: &mut ParamStore) -> Tensor {
+        let y = self
+            .cached_output
+            .take()
+            .expect("Tanh::backward called before forward");
+        act::tanh_backward(dout, &y)
+    }
+}
+
+/// Elementwise GELU (tanh approximation).
+#[derive(Debug, Default)]
+pub struct Gelu {
+    cached_input: Option<Tensor>,
+}
+
+impl Gelu {
+    /// Creates a GELU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Gelu {
+    fn forward(&mut self, x: &Tensor, _ps: &ParamStore, _mode: Mode) -> Tensor {
+        self.cached_input = Some(x.clone());
+        act::gelu(x)
+    }
+
+    fn backward(&mut self, dout: &Tensor, _ps: &mut ParamStore) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("Gelu::backward called before forward");
+        act::gelu_backward(dout, &x)
+    }
+}
+
+const LN_EPS: f32 = 1e-5;
+
+/// Layer normalization over the last dimension of `[n, d]` inputs, with
+/// learned per-feature scale (γ, init 1) and shift (β, init 0).
+///
+/// Like batch-norm, both parameters are constants at init, so DropBack can
+/// regenerate them.
+#[derive(Debug)]
+pub struct LayerNorm {
+    dim: usize,
+    gamma: ParamRange,
+    beta: ParamRange,
+    cache: Option<LnCache>,
+}
+
+#[derive(Debug)]
+struct LnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Registers a layer-norm over feature dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(ps: &mut ParamStore, name: &str, dim: usize) -> Self {
+        assert!(dim > 0, "LayerNorm needs a positive dimension");
+        let gamma = ps.register(&format!("{name}.gamma"), dim, InitScheme::Constant(1.0));
+        let beta = ps.register(&format!("{name}.beta"), dim, InitScheme::Constant(0.0));
+        Self {
+            dim,
+            gamma,
+            beta,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, x: &Tensor, ps: &ParamStore, _mode: Mode) -> Tensor {
+        assert_eq!(x.rank(), 2, "LayerNorm input must be [n, d]");
+        assert_eq!(x.shape()[1], self.dim, "LayerNorm dim mismatch");
+        let n = x.shape()[0];
+        let gamma = ps.slice(&self.gamma);
+        let beta = ps.slice(&self.beta);
+        let mut xhat = x.clone();
+        let mut inv_std = Vec::with_capacity(n);
+        for row in xhat.data_mut().chunks_exact_mut(self.dim) {
+            let mean: f32 = row.iter().sum::<f32>() / self.dim as f32;
+            let var: f32 =
+                row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / self.dim as f32;
+            let is = 1.0 / (var + LN_EPS).sqrt();
+            for v in row.iter_mut() {
+                *v = (*v - mean) * is;
+            }
+            inv_std.push(is);
+        }
+        let mut y = xhat.clone();
+        for row in y.data_mut().chunks_exact_mut(self.dim) {
+            for (v, (&g, &b)) in row.iter_mut().zip(gamma.iter().zip(beta)) {
+                *v = g * *v + b;
+            }
+        }
+        self.cache = Some(LnCache { xhat, inv_std });
+        y
+    }
+
+    fn backward(&mut self, dout: &Tensor, ps: &mut ParamStore) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("LayerNorm::backward called before forward");
+        let d = self.dim as f32;
+        let gamma = ps.slice(&self.gamma).to_vec();
+        let mut dgamma = vec![0.0f32; self.dim];
+        let mut dbeta = vec![0.0f32; self.dim];
+        let mut dx = dout.clone();
+        for ((grow, xrow), &is) in dx
+            .data_mut()
+            .chunks_exact_mut(self.dim)
+            .zip(cache.xhat.data().chunks_exact(self.dim))
+            .zip(&cache.inv_std)
+        {
+            // dγ_j += dout_j·x̂_j ; dβ_j += dout_j ;
+            // dxhat = dout·γ ; dx = is/d·(d·dxhat − Σdxhat − x̂·Σ(dxhat·x̂)).
+            let mut sum_dxhat = 0.0f32;
+            let mut sum_dxhat_xhat = 0.0f32;
+            for (j, (g, &xh)) in grow.iter_mut().zip(xrow).enumerate() {
+                dgamma[j] += *g * xh;
+                dbeta[j] += *g;
+                let dxh = *g * gamma[j];
+                sum_dxhat += dxh;
+                sum_dxhat_xhat += dxh * xh;
+                *g = dxh; // stash dxhat in place
+            }
+            for (g, &xh) in grow.iter_mut().zip(xrow) {
+                *g = is / d * (d * *g - sum_dxhat - xh * sum_dxhat_xhat);
+            }
+        }
+        ps.accumulate_grad(&self.gamma, &dgamma);
+        ps.accumulate_grad(&self.beta, &dbeta);
+        dx
+    }
+
+    fn param_ranges(&self) -> Vec<ParamRange> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+
+    #[test]
+    fn sigmoid_layer_gradcheck() {
+        let mut ps = ParamStore::new(1);
+        let mut l = Sigmoid::new();
+        let x = Tensor::from_fn(vec![2, 5], |i| (i as f32 * 0.7).sin() * 2.0);
+        let r = check_layer(&mut l, &mut ps, &x, 1e-3, 1);
+        assert!(r.passes(0.02), "{r:?}");
+    }
+
+    #[test]
+    fn tanh_layer_gradcheck() {
+        let mut ps = ParamStore::new(1);
+        let mut l = Tanh::new();
+        let x = Tensor::from_fn(vec![2, 5], |i| (i as f32 * 0.7).cos() * 2.0);
+        let r = check_layer(&mut l, &mut ps, &x, 1e-3, 1);
+        assert!(r.passes(0.02), "{r:?}");
+    }
+
+    #[test]
+    fn gelu_layer_gradcheck() {
+        let mut ps = ParamStore::new(1);
+        let mut l = Gelu::new();
+        let x = Tensor::from_fn(vec![2, 5], |i| (i as f32 * 0.9).sin() * 3.0);
+        let r = check_layer(&mut l, &mut ps, &x, 1e-3, 1);
+        assert!(r.passes(0.03), "{r:?}");
+    }
+
+    #[test]
+    fn layernorm_normalizes_rows() {
+        let mut ps = ParamStore::new(1);
+        let mut l = LayerNorm::new(&mut ps, "ln", 8);
+        let x = Tensor::from_fn(vec![3, 8], |i| (i as f32 * 1.3).sin() * 5.0 + 2.0);
+        let y = l.forward(&x, &ps, Mode::Train);
+        for row in y.data().chunks_exact(8) {
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-5, "{mean}");
+            assert!((var - 1.0).abs() < 1e-3, "{var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_gradcheck() {
+        let mut ps = ParamStore::new(2);
+        let mut l = LayerNorm::new(&mut ps, "ln", 6);
+        // Nudge γ/β off their defaults so their gradients are exercised.
+        let g = l.param_ranges()[0].clone();
+        let b = l.param_ranges()[1].clone();
+        for (i, p) in ps.params_mut()[g.start()..g.end()].iter_mut().enumerate() {
+            *p = 1.0 + 0.1 * i as f32;
+        }
+        for (i, p) in ps.params_mut()[b.start()..b.end()].iter_mut().enumerate() {
+            *p = -0.2 + 0.05 * i as f32;
+        }
+        let x = Tensor::from_fn(vec![4, 6], |i| ((i * 13 % 7) as f32) * 0.4 - 1.0);
+        let r = check_layer(&mut l, &mut ps, &x, 1e-2, 1);
+        assert!(r.passes(0.08), "{r:?}");
+    }
+
+    #[test]
+    fn layernorm_params_are_regenerable_constants() {
+        let mut ps = ParamStore::new(1);
+        let l = LayerNorm::new(&mut ps, "ln", 4);
+        for r in l.param_ranges() {
+            assert!(!r.scheme().needs_prng(), "{} must be constant-init", r.name());
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! Composite blocks: WRN-style residual blocks and DenseNet-style dense
+//! blocks with transitions.
+//!
+//! The paper deliberately evaluates on DenseNet and WRN-28-10 because their
+//! dense connectivity and residual structure make them hard to prune with
+//! channel-level techniques; these blocks reproduce that structure at nano
+//! scale (see DESIGN.md, substitution 3).
+
+use crate::act::Relu;
+use crate::conv_layer::Conv2d;
+use crate::layer::{Layer, Mode};
+use crate::norm::BatchNorm;
+use crate::param::{ParamRange, ParamStore};
+use crate::sequential::Sequential;
+use crate::vardrop_conv::VarDropConv2d;
+use dropback_tensor::Tensor;
+
+/// Builds either a plain or a variational-dropout 3×3-style convolution,
+/// letting blocks host both kinds (used by the paper's VD baseline on
+/// DenseNet and WRN).
+fn make_conv(
+    ps: &mut ParamStore,
+    name: &str,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    vd_seed: Option<u64>,
+) -> Box<dyn Layer> {
+    match vd_seed {
+        None => Box::new(Conv2d::new(ps, name, in_ch, out_ch, kernel, stride, pad).without_bias()),
+        Some(seed) => Box::new(VarDropConv2d::new(
+            ps,
+            name,
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            pad,
+            seed ^ (name.len() as u64) << 7,
+        )),
+    }
+}
+
+/// Concatenates two `[n, c, h, w]` tensors along the channel dimension.
+fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 4, "concat expects [n,c,h,w]");
+    assert_eq!(a.shape()[0], b.shape()[0], "batch mismatch");
+    assert_eq!(a.shape()[2..], b.shape()[2..], "spatial mismatch");
+    let (n, ca, cb) = (a.shape()[0], a.shape()[1], b.shape()[1]);
+    let hw: usize = a.shape()[2..].iter().product();
+    let mut out = Vec::with_capacity((ca + cb) * n * hw);
+    for i in 0..n {
+        out.extend_from_slice(&a.data()[i * ca * hw..(i + 1) * ca * hw]);
+        out.extend_from_slice(&b.data()[i * cb * hw..(i + 1) * cb * hw]);
+    }
+    Tensor::from_vec(vec![n, ca + cb, a.shape()[2], a.shape()[3]], out)
+}
+
+/// Splits a `[n, ca+cb, h, w]` tensor into `([n, ca, ...], [n, cb, ...])`.
+fn split_channels(x: &Tensor, ca: usize) -> (Tensor, Tensor) {
+    let (n, c) = (x.shape()[0], x.shape()[1]);
+    assert!(ca < c, "split point {ca} >= channels {c}");
+    let cb = c - ca;
+    let hw: usize = x.shape()[2..].iter().product();
+    let mut da = Vec::with_capacity(n * ca * hw);
+    let mut db = Vec::with_capacity(n * cb * hw);
+    for i in 0..n {
+        let base = i * c * hw;
+        da.extend_from_slice(&x.data()[base..base + ca * hw]);
+        db.extend_from_slice(&x.data()[base + ca * hw..base + c * hw]);
+    }
+    (
+        Tensor::from_vec(vec![n, ca, x.shape()[2], x.shape()[3]], da),
+        Tensor::from_vec(vec![n, cb, x.shape()[2], x.shape()[3]], db),
+    )
+}
+
+/// A pre-activation residual block (WRN basic block):
+/// `BN → ReLU → Conv3×3(stride) → BN → ReLU → Conv3×3` plus a skip
+/// connection (identity, or 1×1 strided projection when the shape changes).
+pub struct ResidualBlock {
+    path: Sequential,
+    projection: Option<Conv2d>,
+    cached_input: Option<Tensor>,
+}
+
+impl std::fmt::Debug for ResidualBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ResidualBlock(projection: {})", self.projection.is_some())
+    }
+}
+
+impl ResidualBlock {
+    /// Registers a residual block mapping `in_ch` → `out_ch` channels with
+    /// the given stride on the first convolution.
+    pub fn new(
+        ps: &mut ParamStore,
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+    ) -> Self {
+        Self::with_variational(ps, name, in_ch, out_ch, stride, None)
+    }
+
+    /// Same as [`ResidualBlock::new`], optionally replacing the 3×3
+    /// convolutions with variational-dropout convolutions (the 1×1
+    /// projection, when present, stays plain).
+    pub fn with_variational(
+        ps: &mut ParamStore,
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+        vd_seed: Option<u64>,
+    ) -> Self {
+        let mut path = Sequential::new()
+            .push(BatchNorm::new(ps, &format!("{name}.bn1"), in_ch))
+            .push(Relu::new());
+        path.push_boxed(make_conv(
+            ps,
+            &format!("{name}.conv1"),
+            in_ch,
+            out_ch,
+            3,
+            stride,
+            1,
+            vd_seed,
+        ));
+        let mut path = path
+            .push(BatchNorm::new(ps, &format!("{name}.bn2"), out_ch))
+            .push(Relu::new());
+        path.push_boxed(make_conv(
+            ps,
+            &format!("{name}.conv2"),
+            out_ch,
+            out_ch,
+            3,
+            1,
+            1,
+            vd_seed,
+        ));
+        let projection = if in_ch != out_ch || stride != 1 {
+            Some(Conv2d::new(ps, &format!("{name}.proj"), in_ch, out_ch, 1, stride, 0).without_bias())
+        } else {
+            None
+        };
+        Self {
+            path,
+            projection,
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn forward(&mut self, x: &Tensor, ps: &ParamStore, mode: Mode) -> Tensor {
+        let main = self.path.forward(x, ps, mode);
+        let skip = match &mut self.projection {
+            Some(proj) => proj.forward(x, ps, mode),
+            None => x.clone(),
+        };
+        self.cached_input = Some(x.clone());
+        &main + &skip
+    }
+
+    fn backward(&mut self, dout: &Tensor, ps: &mut ParamStore) -> Tensor {
+        let _ = self
+            .cached_input
+            .take()
+            .expect("ResidualBlock::backward called before forward");
+        let dmain = self.path.backward(dout, ps);
+        let dskip = match &mut self.projection {
+            Some(proj) => proj.backward(dout, ps),
+            None => dout.clone(),
+        };
+        &dmain + &dskip
+    }
+
+    fn param_ranges(&self) -> Vec<ParamRange> {
+        let mut v = self.path.param_ranges();
+        if let Some(p) = &self.projection {
+            v.extend(p.param_ranges());
+        }
+        v
+    }
+
+    fn kl_backward(&self, ps: &mut ParamStore, scale: f32) -> f32 {
+        self.path.kl_backward(ps, scale)
+            + self
+                .projection
+                .as_ref()
+                .map(|p| p.kl_backward(ps, scale))
+                .unwrap_or(0.0)
+    }
+}
+
+/// A DenseNet dense block: `layers` stages of `BN → ReLU → Conv3×3(growth)`
+/// where each stage consumes the concatenation of the block input and all
+/// previous stage outputs. Output has `in_ch + layers * growth` channels.
+pub struct DenseBlock {
+    stages: Vec<Sequential>,
+    in_ch: usize,
+    growth: usize,
+    cached_inputs: Vec<Tensor>,
+}
+
+impl std::fmt::Debug for DenseBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DenseBlock({} stages, growth {})",
+            self.stages.len(),
+            self.growth
+        )
+    }
+}
+
+impl DenseBlock {
+    /// Registers a dense block of `layers` stages with `growth` new channels
+    /// per stage on `in_ch` input channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0` or `growth == 0`.
+    pub fn new(ps: &mut ParamStore, name: &str, in_ch: usize, layers: usize, growth: usize) -> Self {
+        Self::with_variational(ps, name, in_ch, layers, growth, None)
+    }
+
+    /// Same as [`DenseBlock::new`], optionally with variational-dropout
+    /// convolutions in every stage.
+    pub fn with_variational(
+        ps: &mut ParamStore,
+        name: &str,
+        in_ch: usize,
+        layers: usize,
+        growth: usize,
+        vd_seed: Option<u64>,
+    ) -> Self {
+        assert!(layers > 0 && growth > 0, "empty dense block");
+        let stages = (0..layers)
+            .map(|i| {
+                let ch = in_ch + i * growth;
+                let mut s = Sequential::new()
+                    .push(BatchNorm::new(ps, &format!("{name}.l{i}.bn"), ch))
+                    .push(Relu::new());
+                s.push_boxed(make_conv(
+                    ps,
+                    &format!("{name}.l{i}.conv"),
+                    ch,
+                    growth,
+                    3,
+                    1,
+                    1,
+                    vd_seed.map(|s| s.wrapping_add(i as u64)),
+                ));
+                s
+            })
+            .collect();
+        Self {
+            stages,
+            in_ch,
+            growth,
+            cached_inputs: Vec::new(),
+        }
+    }
+
+    /// Channels produced by the block for `in_ch` inputs.
+    pub fn out_channels(&self) -> usize {
+        self.in_ch + self.stages.len() * self.growth
+    }
+}
+
+impl Layer for DenseBlock {
+    fn forward(&mut self, x: &Tensor, ps: &ParamStore, mode: Mode) -> Tensor {
+        assert_eq!(x.shape()[1], self.in_ch, "dense block channel mismatch");
+        self.cached_inputs.clear();
+        let mut features = x.clone();
+        for stage in &mut self.stages {
+            self.cached_inputs.push(features.clone());
+            let new = stage.forward(&features, ps, mode);
+            features = concat_channels(&features, &new);
+        }
+        features
+    }
+
+    fn backward(&mut self, dout: &Tensor, ps: &mut ParamStore) -> Tensor {
+        assert_eq!(
+            self.cached_inputs.len(),
+            self.stages.len(),
+            "DenseBlock::backward called before forward"
+        );
+        let mut dfeat = dout.clone();
+        for (stage, input) in self
+            .stages
+            .iter_mut()
+            .zip(self.cached_inputs.drain(..))
+            .rev()
+        {
+            let (dprev, dnew) = split_channels(&dfeat, input.shape()[1]);
+            let dthrough = stage.backward(&dnew, ps);
+            dfeat = &dprev + &dthrough;
+        }
+        dfeat
+    }
+
+    fn param_ranges(&self) -> Vec<ParamRange> {
+        self.stages.iter().flat_map(|s| s.param_ranges()).collect()
+    }
+
+    fn kl_backward(&self, ps: &mut ParamStore, scale: f32) -> f32 {
+        self.stages.iter().map(|s| s.kl_backward(ps, scale)).sum()
+    }
+}
+
+/// A DenseNet transition: `BN → ReLU → Conv1×1(out_ch) → AvgPool2×2`,
+/// halving the spatial resolution and compressing channels.
+pub struct Transition {
+    inner: Sequential,
+}
+
+impl std::fmt::Debug for Transition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Transition")
+    }
+}
+
+impl Transition {
+    /// Registers a transition from `in_ch` to `out_ch` channels.
+    pub fn new(ps: &mut ParamStore, name: &str, in_ch: usize, out_ch: usize) -> Self {
+        let inner = Sequential::new()
+            .push(BatchNorm::new(ps, &format!("{name}.bn"), in_ch))
+            .push(Relu::new())
+            .push(Conv2d::new(ps, &format!("{name}.conv"), in_ch, out_ch, 1, 1, 0).without_bias())
+            .push(crate::pool::AvgPool2d::new(2, 2));
+        Self { inner }
+    }
+}
+
+impl Layer for Transition {
+    fn forward(&mut self, x: &Tensor, ps: &ParamStore, mode: Mode) -> Tensor {
+        self.inner.forward(x, ps, mode)
+    }
+
+    fn backward(&mut self, dout: &Tensor, ps: &mut ParamStore) -> Tensor {
+        self.inner.backward(dout, ps)
+    }
+
+    fn param_ranges(&self) -> Vec<ParamRange> {
+        self.inner.param_ranges()
+    }
+
+    fn kl_backward(&self, ps: &mut ParamStore, scale: f32) -> f32 {
+        self.inner.kl_backward(ps, scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_and_split_roundtrip() {
+        let a = Tensor::from_fn(vec![2, 2, 2, 2], |i| i as f32);
+        let b = Tensor::from_fn(vec![2, 3, 2, 2], |i| 100.0 + i as f32);
+        let c = concat_channels(&a, &b);
+        assert_eq!(c.shape(), &[2, 5, 2, 2]);
+        let (a2, b2) = split_channels(&c, 2);
+        assert_eq!(a2, a);
+        assert_eq!(b2, b);
+    }
+
+    #[test]
+    fn residual_identity_shape() {
+        let mut ps = ParamStore::new(1);
+        let mut block = ResidualBlock::new(&mut ps, "res", 8, 8, 1);
+        let x = Tensor::filled(vec![2, 8, 4, 4], 0.1);
+        let y = block.forward(&x, &ps, Mode::Train);
+        assert_eq!(y.shape(), &[2, 8, 4, 4]);
+        let dx = block.backward(&y, &mut ps);
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn residual_projection_shape() {
+        let mut ps = ParamStore::new(1);
+        let mut block = ResidualBlock::new(&mut ps, "res", 4, 8, 2);
+        let x = Tensor::filled(vec![1, 4, 8, 8], 0.1);
+        let y = block.forward(&x, &ps, Mode::Train);
+        assert_eq!(y.shape(), &[1, 8, 4, 4]);
+        let dx = block.backward(&y, &mut ps);
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn residual_gradient_flows_through_skip() {
+        // Zero all path weights: output == skip input, so dx == dout.
+        let mut ps = ParamStore::new(1);
+        let mut block = ResidualBlock::new(&mut ps, "res", 4, 4, 1);
+        for r in block.param_ranges() {
+            if r.name().contains("conv") {
+                ps.params_mut()[r.start()..r.end()].fill(0.0);
+            }
+        }
+        let x = Tensor::from_fn(vec![1, 4, 3, 3], |i| (i as f32 * 0.1).sin());
+        let y = block.forward(&x, &ps, Mode::Train);
+        assert_eq!(y, x); // conv weights zero => main path contributes nothing
+        ps.zero_grads();
+        let dout = Tensor::filled(vec![1, 4, 3, 3], 1.0);
+        let dx = block.backward(&dout, &mut ps);
+        assert_eq!(dx, dout);
+    }
+
+    #[test]
+    fn dense_block_grows_channels() {
+        let mut ps = ParamStore::new(1);
+        let mut block = DenseBlock::new(&mut ps, "dense", 4, 3, 2);
+        assert_eq!(block.out_channels(), 10);
+        let x = Tensor::filled(vec![2, 4, 4, 4], 0.2);
+        let y = block.forward(&x, &ps, Mode::Train);
+        assert_eq!(y.shape(), &[2, 10, 4, 4]);
+        let dx = block.backward(&y, &mut ps);
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn dense_block_input_passthrough() {
+        // The first in_ch channels of the output are the input itself.
+        let mut ps = ParamStore::new(1);
+        let mut block = DenseBlock::new(&mut ps, "dense", 2, 2, 3);
+        let x = Tensor::from_fn(vec![1, 2, 3, 3], |i| i as f32);
+        let y = block.forward(&x, &ps, Mode::Train);
+        let (head, _) = split_channels(&y, 2);
+        assert_eq!(head, x);
+    }
+
+    #[test]
+    fn dense_block_gradients_match_finite_difference() {
+        let mut ps = ParamStore::new(3);
+        let mut block = DenseBlock::new(&mut ps, "dense", 2, 2, 2);
+        let x = Tensor::from_fn(vec![1, 2, 3, 3], |i| ((i as f32) * 0.37).sin());
+        let y = block.forward(&x, &ps, Mode::Train);
+        ps.zero_grads();
+        let _ = block.backward(&y, &mut ps); // loss = 0.5||y||^2
+        let ranges = block.param_ranges();
+        let conv_range = ranges
+            .iter()
+            .find(|r| r.name().contains("l0.conv"))
+            .unwrap()
+            .clone();
+        let eps = 1e-2;
+        for idx in [0usize, 9] {
+            let gi = conv_range.start() + idx;
+            let orig = ps.params()[gi];
+            ps.params_mut()[gi] = orig + eps;
+            let lp = 0.5 * block.forward(&x, &ps, Mode::Train).norm_sq();
+            ps.params_mut()[gi] = orig - eps;
+            let lm = 0.5 * block.forward(&x, &ps, Mode::Train).norm_sq();
+            ps.params_mut()[gi] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = ps.grads()[gi];
+            assert!(
+                (num - ana).abs() < 5e-2 * (1.0 + num.abs()),
+                "{num} vs {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn transition_halves_spatial() {
+        let mut ps = ParamStore::new(1);
+        let mut t = Transition::new(&mut ps, "tr", 8, 4);
+        let x = Tensor::filled(vec![2, 8, 8, 8], 0.3);
+        let y = t.forward(&x, &ps, Mode::Train);
+        assert_eq!(y.shape(), &[2, 4, 4, 4]);
+        let dx = t.backward(&y, &mut ps);
+        assert_eq!(dx.shape(), x.shape());
+    }
+}

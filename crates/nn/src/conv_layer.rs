@@ -1,0 +1,221 @@
+//! 2-D convolution layer over the `im2col` kernels.
+
+use crate::layer::{Layer, Mode};
+use crate::param::{ParamRange, ParamStore};
+use dropback_prng::InitScheme;
+use dropback_tensor::conv::{conv2d_backward, conv2d_forward, ConvGeom};
+use dropback_tensor::Tensor;
+
+/// A 2-D convolution (`[n, c, h, w]` → `[n, f, oh, ow]`) with He-normal
+/// weight init and zero-constant bias init.
+#[derive(Debug)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    weight: ParamRange,
+    bias: Option<ParamRange>,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug)]
+struct ConvCache {
+    geom: ConvGeom,
+    input_shape: Vec<usize>,
+    cols: Vec<Tensor>,
+}
+
+impl Conv2d {
+    /// Registers a convolution with square `kernel`, `stride`, and `pad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if channels or kernel are zero.
+    pub fn new(
+        ps: &mut ParamStore,
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel > 0,
+            "zero-sized convolution"
+        );
+        let fan_in = in_channels * kernel * kernel;
+        let weight = ps.register(
+            &format!("{name}.weight"),
+            out_channels * fan_in,
+            InitScheme::he_normal(fan_in),
+        );
+        let bias = Some(ps.register(
+            &format!("{name}.bias"),
+            out_channels,
+            InitScheme::Constant(0.0),
+        ));
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            weight,
+            bias,
+            cache: None,
+        }
+    }
+
+    /// Omits the bias (common when a batch-norm immediately follows).
+    pub fn without_bias(mut self) -> Self {
+        self.bias = None;
+        self
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    fn weight_tensor(&self, ps: &ParamStore) -> Tensor {
+        Tensor::from_vec(
+            vec![
+                self.out_channels,
+                self.in_channels * self.kernel * self.kernel,
+            ],
+            ps.slice(&self.weight).to_vec(),
+        )
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, ps: &ParamStore, _mode: Mode) -> Tensor {
+        assert_eq!(x.rank(), 4, "conv input must be [n,c,h,w]");
+        assert_eq!(x.shape()[1], self.in_channels, "conv channel mismatch");
+        let geom = ConvGeom {
+            c: self.in_channels,
+            h: x.shape()[2],
+            w: x.shape()[3],
+            kh: self.kernel,
+            kw: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        };
+        let w = self.weight_tensor(ps);
+        let bias_vec = self.bias.as_ref().map(|b| ps.slice(b).to_vec());
+        let (y, cols) = conv2d_forward(x, &w, bias_vec.as_deref(), geom);
+        self.cache = Some(ConvCache {
+            geom,
+            input_shape: x.shape().to_vec(),
+            cols,
+        });
+        y
+    }
+
+    fn backward(&mut self, dout: &Tensor, ps: &mut ParamStore) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("Conv2d::backward called before forward");
+        let w = self.weight_tensor(ps);
+        let (dx, dw, db) = conv2d_backward(dout, &w, &cache.cols, cache.geom);
+        debug_assert_eq!(dx.shape(), &cache.input_shape[..]);
+        ps.accumulate_grad(&self.weight, dw.data());
+        if let Some(b) = &self.bias {
+            ps.accumulate_grad(b, &db);
+        }
+        dx
+    }
+
+    fn param_ranges(&self) -> Vec<ParamRange> {
+        let mut v = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            v.push(b.clone());
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape() {
+        let mut ps = ParamStore::new(1);
+        let mut conv = Conv2d::new(&mut ps, "c1", 3, 8, 3, 1, 1);
+        let x = Tensor::zeros(vec![2, 3, 8, 8]);
+        let y = conv.forward(&x, &ps, Mode::Train);
+        assert_eq!(y.shape(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn strided_shape() {
+        let mut ps = ParamStore::new(1);
+        let mut conv = Conv2d::new(&mut ps, "c1", 1, 4, 3, 2, 1);
+        let x = Tensor::zeros(vec![1, 1, 8, 8]);
+        let y = conv.forward(&x, &ps, Mode::Train);
+        assert_eq!(y.shape(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut ps = ParamStore::new(3);
+        let mut conv = Conv2d::new(&mut ps, "c1", 2, 3, 3, 1, 1);
+        let x = Tensor::from_fn(vec![1, 2, 4, 4], |i| ((i as f32) * 0.3).sin());
+        let y = conv.forward(&x, &ps, Mode::Train);
+        ps.zero_grads();
+        let dx = conv.backward(&y, &mut ps); // loss = 0.5||y||^2
+        let eps = 1e-2;
+        let wr = conv.param_ranges()[0].clone();
+        for idx in [0usize, 7, 20, 40] {
+            let gi = wr.start() + idx;
+            let orig = ps.params()[gi];
+            ps.params_mut()[gi] = orig + eps;
+            let lp = 0.5 * conv.forward(&x, &ps, Mode::Train).norm_sq();
+            ps.params_mut()[gi] = orig - eps;
+            let lm = 0.5 * conv.forward(&x, &ps, Mode::Train).norm_sq();
+            ps.params_mut()[gi] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = ps.grads()[gi];
+            assert!(
+                (num - ana).abs() < 3e-2 * (1.0 + num.abs()),
+                "w[{idx}]: {num} vs {ana}"
+            );
+        }
+        // Input gradient spot-check.
+        let xi = 9;
+        let mut x2 = x.clone();
+        let orig = x2.data()[xi];
+        x2.data_mut()[xi] = orig + eps;
+        let lp = 0.5 * conv.forward(&x2, &ps, Mode::Train).norm_sq();
+        x2.data_mut()[xi] = orig - eps;
+        let lm = 0.5 * conv.forward(&x2, &ps, Mode::Train).norm_sq();
+        let num = (lp - lm) / (2.0 * eps);
+        assert!((num - dx.data()[xi]).abs() < 3e-2 * (1.0 + num.abs()));
+    }
+
+    #[test]
+    fn without_bias_registers_fewer_params() {
+        let mut ps = ParamStore::new(1);
+        let conv = Conv2d::new(&mut ps, "c1", 2, 4, 3, 1, 1).without_bias();
+        assert_eq!(conv.param_ranges().len(), 1);
+    }
+
+    #[test]
+    fn bias_shifts_every_output_plane() {
+        let mut ps = ParamStore::new(1);
+        let mut conv = Conv2d::new(&mut ps, "c1", 1, 2, 1, 1, 0);
+        let ranges = conv.param_ranges();
+        let (w, b) = (ranges[0].clone(), ranges[1].clone());
+        ps.params_mut()[w.start()..w.end()].copy_from_slice(&[0.0, 0.0]);
+        ps.params_mut()[b.start()..b.end()].copy_from_slice(&[1.5, -2.0]);
+        let x = Tensor::zeros(vec![1, 1, 2, 2]);
+        let y = conv.forward(&x, &ps, Mode::Train);
+        assert_eq!(&y.data()[..4], &[1.5; 4]);
+        assert_eq!(&y.data()[4..], &[-2.0; 4]);
+    }
+}

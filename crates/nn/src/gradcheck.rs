@@ -1,0 +1,171 @@
+//! Finite-difference gradient checking for [`Layer`] implementations.
+//!
+//! Every hand-derived backward pass in this crate is verified against
+//! central finite differences; this module exposes that machinery so
+//! downstream layer authors get the same safety net. The probe loss is
+//! `L = 0.5‖y‖²` (so `dL/dy = y`), which exercises every output element.
+
+use crate::layer::{Layer, Mode};
+use crate::param::ParamStore;
+use dropback_tensor::Tensor;
+
+/// Result of a gradient check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Worst relative error over checked parameter gradients.
+    pub max_param_err: f32,
+    /// Worst relative error over checked input gradients.
+    pub max_input_err: f32,
+    /// Number of parameter coordinates checked.
+    pub params_checked: usize,
+    /// Number of input coordinates checked.
+    pub inputs_checked: usize,
+}
+
+impl GradCheckReport {
+    /// Whether both error bounds are below `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_param_err < tol && self.max_input_err < tol
+    }
+}
+
+fn loss(layer: &mut dyn Layer, ps: &ParamStore, x: &Tensor) -> f32 {
+    let y = layer.forward(x, ps, Mode::Train);
+    0.5 * y.norm_sq()
+}
+
+fn rel_err(numeric: f32, analytic: f32) -> f32 {
+    (numeric - analytic).abs() / (1.0 + numeric.abs().max(analytic.abs()))
+}
+
+/// Checks a layer's parameter and input gradients against central finite
+/// differences at stride-sampled coordinates.
+///
+/// The layer must be deterministic between calls (disable dropout-style
+/// stochasticity or fix its seed stream before checking). `eps` around
+/// `1e-2`–`1e-3` works well in f32.
+///
+/// # Panics
+///
+/// Panics if `eps <= 0` or `stride == 0`.
+pub fn check_layer(
+    layer: &mut dyn Layer,
+    ps: &mut ParamStore,
+    x: &Tensor,
+    eps: f32,
+    stride: usize,
+) -> GradCheckReport {
+    assert!(eps > 0.0, "eps must be positive");
+    assert!(stride > 0, "stride must be positive");
+    // Analytic gradients.
+    let y = layer.forward(x, ps, Mode::Train);
+    ps.zero_grads();
+    let dx = layer.backward(&y, ps);
+    let analytic_param_grads = ps.grads().to_vec();
+    // Parameter gradients.
+    let mut max_param_err = 0.0f32;
+    let mut params_checked = 0usize;
+    let ranges: Vec<_> = layer.param_ranges();
+    for r in &ranges {
+        for i in (r.start()..r.end()).step_by(stride) {
+            let orig = ps.params()[i];
+            ps.params_mut()[i] = orig + eps;
+            let lp = loss(layer, ps, x);
+            ps.params_mut()[i] = orig - eps;
+            let lm = loss(layer, ps, x);
+            ps.params_mut()[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            max_param_err = max_param_err.max(rel_err(numeric, analytic_param_grads[i]));
+            params_checked += 1;
+        }
+    }
+    // Input gradients.
+    let mut max_input_err = 0.0f32;
+    let mut inputs_checked = 0usize;
+    let mut xp = x.clone();
+    for i in (0..x.len()).step_by(stride) {
+        let orig = xp.data()[i];
+        xp.data_mut()[i] = orig + eps;
+        let lp = loss(layer, ps, &xp);
+        xp.data_mut()[i] = orig - eps;
+        let lm = loss(layer, ps, &xp);
+        xp.data_mut()[i] = orig;
+        let numeric = (lp - lm) / (2.0 * eps);
+        max_input_err = max_input_err.max(rel_err(numeric, dx.data()[i]));
+        inputs_checked += 1;
+    }
+    GradCheckReport {
+        max_param_err,
+        max_input_err,
+        params_checked,
+        inputs_checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::{PRelu, Relu};
+    use crate::conv_layer::Conv2d;
+    use crate::linear::Linear;
+    use crate::norm::BatchNorm;
+
+    fn wavy(shape: Vec<usize>) -> Tensor {
+        Tensor::from_fn(shape, |i| ((i as f32) * 0.61).sin() * 0.8)
+    }
+
+    #[test]
+    fn linear_passes() {
+        let mut ps = ParamStore::new(3);
+        let mut l = Linear::new(&mut ps, "fc", 6, 4);
+        let x = wavy(vec![3, 6]);
+        let r = check_layer(&mut l, &mut ps, &x, 1e-2, 3);
+        assert!(r.passes(0.05), "{r:?}");
+        assert!(r.params_checked > 0 && r.inputs_checked > 0);
+    }
+
+    #[test]
+    fn conv_passes() {
+        let mut ps = ParamStore::new(3);
+        let mut l = Conv2d::new(&mut ps, "c", 2, 3, 3, 1, 1);
+        let x = wavy(vec![1, 2, 5, 5]);
+        let r = check_layer(&mut l, &mut ps, &x, 1e-2, 7);
+        assert!(r.passes(0.08), "{r:?}");
+    }
+
+    #[test]
+    fn relu_passes() {
+        let mut ps = ParamStore::new(3);
+        let mut l = Relu::new();
+        // Keep values away from the kink at 0.
+        let x = Tensor::from_fn(vec![2, 8], |i| if i % 2 == 0 { 1.0 + i as f32 * 0.1 } else { -1.0 - i as f32 * 0.1 });
+        let r = check_layer(&mut l, &mut ps, &x, 1e-3, 1);
+        assert!(r.passes(0.05), "{r:?}");
+    }
+
+    #[test]
+    fn prelu_passes() {
+        let mut ps = ParamStore::new(3);
+        let mut l = PRelu::new(&mut ps, "p", 4);
+        let x = Tensor::from_fn(vec![3, 4], |i| if i % 3 == 0 { -1.2 } else { 0.8 });
+        let r = check_layer(&mut l, &mut ps, &x, 1e-3, 1);
+        assert!(r.passes(0.05), "{r:?}");
+    }
+
+    #[test]
+    fn batchnorm_passes() {
+        let mut ps = ParamStore::new(3);
+        let mut l = BatchNorm::new(&mut ps, "bn", 3);
+        let x = wavy(vec![5, 3]);
+        let r = check_layer(&mut l, &mut ps, &x, 1e-2, 1);
+        assert!(r.passes(0.08), "{r:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn zero_eps_panics() {
+        let mut ps = ParamStore::new(3);
+        let mut l = Relu::new();
+        check_layer(&mut l, &mut ps, &Tensor::zeros(vec![1, 2]), 0.0, 1);
+    }
+}

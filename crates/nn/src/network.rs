@@ -1,0 +1,194 @@
+//! The [`Network`] type: a layer stack plus its parameter store, with
+//! cross-entropy training helpers.
+
+use crate::layer::{Layer, Mode};
+use crate::param::{ParamRange, ParamStore};
+use crate::sequential::Sequential;
+use dropback_data::Dataset;
+use dropback_tensor::ops::softmax_cross_entropy;
+use dropback_tensor::Tensor;
+
+/// A trainable network: a [`Sequential`] stack and the [`ParamStore`]
+/// holding its flat parameters.
+#[derive(Debug)]
+pub struct Network {
+    name: String,
+    seq: Sequential,
+    ps: ParamStore,
+}
+
+impl Network {
+    /// Wraps a stack and its store.
+    pub fn new(name: &str, seq: Sequential, ps: ParamStore) -> Self {
+        Self {
+            name: name.to_string(),
+            seq,
+            ps,
+        }
+    }
+
+    /// The model's name (e.g. `"lenet-300-100"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.ps.len()
+    }
+
+    /// The parameter store.
+    pub fn store(&self) -> &ParamStore {
+        &self.ps
+    }
+
+    /// Mutable access to the parameter store (for optimizers).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.ps
+    }
+
+    /// Splits the network into mutable layer-stack and store references —
+    /// needed when a training loop drives both (e.g. variational dropout's
+    /// KL pass).
+    pub fn parts_mut(&mut self) -> (&mut Sequential, &mut ParamStore) {
+        (&mut self.seq, &mut self.ps)
+    }
+
+    /// All registered parameter ranges.
+    pub fn param_ranges(&self) -> Vec<ParamRange> {
+        self.ps.ranges().to_vec()
+    }
+
+    /// Runs a forward pass.
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        self.seq.forward(x, &self.ps, mode)
+    }
+
+    /// One training step's gradient computation: zeroes gradients, runs
+    /// forward + softmax cross-entropy + backward, and returns
+    /// `(mean loss, batch accuracy)`. The caller then applies an optimizer
+    /// to the store.
+    pub fn loss_backward(&mut self, x: &Tensor, labels: &[usize]) -> (f32, f32) {
+        self.ps.zero_grads();
+        let logits = self.seq.forward(x, &self.ps, Mode::Train);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, labels);
+        let correct = logits
+            .argmax_rows()
+            .iter()
+            .zip(labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        let _ = self.seq.backward(&dlogits, &mut self.ps);
+        (loss, correct as f32 / labels.len() as f32)
+    }
+
+    /// Accumulates the network's variational (KL) regularizer gradients,
+    /// scaled by `scale`; returns the scaled KL value (0 for networks
+    /// without variational layers). Call between [`Network::loss_backward`]
+    /// and the optimizer step.
+    pub fn kl_backward(&mut self, scale: f32) -> f32 {
+        self.seq.kl_backward(&mut self.ps, scale)
+    }
+
+    /// Classifies `x`, returning predicted class indices.
+    pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
+        self.forward(x, Mode::Eval).argmax_rows()
+    }
+
+    /// Renders a human-readable parameter summary (one line per registered
+    /// range plus totals) — what `dropback-cli info` prints.
+    pub fn summary(&self) -> String {
+        let mut out = format!("{}: {} parameters\n", self.name, self.ps.len());
+        for r in self.ps.ranges() {
+            out.push_str(&format!(
+                "  {:<28} {:>10}  init {:?}\n",
+                r.name(),
+                r.len(),
+                r.scheme()
+            ));
+        }
+        out
+    }
+
+    /// Evaluates accuracy over a dataset in batches of `batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or the dataset is empty.
+    pub fn accuracy(&mut self, data: &Dataset, batch: usize) -> f32 {
+        assert!(batch > 0 && !data.is_empty(), "empty evaluation");
+        let mut correct = 0usize;
+        let mut start = 0;
+        while start < data.len() {
+            let end = (start + batch).min(data.len());
+            let (x, labels) = data.batch(start, end);
+            correct += self
+                .predict(&x)
+                .iter()
+                .zip(&labels)
+                .filter(|(p, l)| p == l)
+                .count();
+            start = end;
+        }
+        correct as f32 / data.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::Relu;
+    use crate::linear::Linear;
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut ps = ParamStore::new(seed);
+        let seq = Sequential::new()
+            .push(Linear::new(&mut ps, "fc1", 4, 8))
+            .push(Relu::new())
+            .push(Linear::new(&mut ps, "fc2", 8, 3));
+        Network::new("tiny", seq, ps)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut net = tiny_net(1);
+        let x = Tensor::filled(vec![5, 4], 0.1);
+        assert_eq!(net.forward(&x, Mode::Eval).shape(), &[5, 3]);
+    }
+
+    #[test]
+    fn loss_backward_populates_grads() {
+        let mut net = tiny_net(2);
+        let x = Tensor::from_fn(vec![4, 4], |i| (i as f32 * 0.13).cos());
+        let (loss, acc) = net.loss_backward(&x, &[0, 1, 2, 0]);
+        assert!(loss > 0.0);
+        assert!((0.0..=1.0).contains(&acc));
+        assert!(net.store().grads().iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn sgd_on_loss_backward_reduces_loss() {
+        let mut net = tiny_net(3);
+        let x = Tensor::from_fn(vec![8, 4], |i| ((i * 31 % 17) as f32) * 0.1);
+        let labels: Vec<usize> = (0..8).map(|i| i % 3).collect();
+        let (loss0, _) = net.loss_backward(&x, &labels);
+        for _ in 0..50 {
+            let (_, _) = net.loss_backward(&x, &labels);
+            let grads = net.store().grads().to_vec();
+            for (p, g) in net.store_mut().params_mut().iter_mut().zip(&grads) {
+                *p -= 0.5 * g;
+            }
+        }
+        let (loss1, _) = net.loss_backward(&x, &labels);
+        assert!(loss1 < loss0 * 0.5, "loss {loss0} -> {loss1}");
+    }
+
+    #[test]
+    fn accuracy_on_degenerate_dataset() {
+        let mut net = tiny_net(4);
+        let data = Dataset::new(Tensor::filled(vec![6, 4], 0.5), vec![1; 6], 3);
+        let acc = net.accuracy(&data, 4);
+        // All inputs identical: accuracy is 0 or 1 depending on the argmax.
+        assert!(acc == 0.0 || acc == 1.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Batch normalization over `[n, c]` or `[n, c, h, w]` inputs.
+
+use crate::layer::{Layer, Mode};
+use crate::param::{ParamRange, ParamStore};
+use dropback_prng::InitScheme;
+use dropback_tensor::Tensor;
+
+const EPS: f32 = 1e-5;
+
+/// Batch normalization with learned per-channel scale (γ, init 1) and shift
+/// (β, init 0).
+///
+/// Both γ and β use constant init schemes, so DropBack can regenerate them
+/// like any other weight — the paper notes this makes BN prunable by
+/// DropBack when no other technique can prune it.
+#[derive(Debug)]
+pub struct BatchNorm {
+    channels: usize,
+    momentum: f32,
+    gamma: ParamRange,
+    beta: ParamRange,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+    inner: usize,
+}
+
+impl BatchNorm {
+    /// Registers a batch-norm over `channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(ps: &mut ParamStore, name: &str, channels: usize) -> Self {
+        assert!(channels > 0, "BatchNorm needs at least one channel");
+        let gamma = ps.register(&format!("{name}.gamma"), channels, InitScheme::Constant(1.0));
+        let beta = ps.register(&format!("{name}.beta"), channels, InitScheme::Constant(0.0));
+        Self {
+            channels,
+            momentum: 0.9,
+            gamma,
+            beta,
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            cache: None,
+        }
+    }
+
+    /// The γ (scale) parameter range — used by network slimming, which
+    /// penalizes and thresholds BN scales.
+    pub fn gamma_range(&self) -> &ParamRange {
+        &self.gamma
+    }
+
+    /// The β (shift) parameter range.
+    pub fn beta_range(&self) -> &ParamRange {
+        &self.beta
+    }
+
+    fn inner_size(&self, shape: &[usize]) -> usize {
+        assert!(shape.len() >= 2, "BatchNorm input must have a channel dim");
+        assert_eq!(shape[1], self.channels, "BatchNorm channel mismatch");
+        shape[2..].iter().product::<usize>().max(1)
+    }
+
+    /// Iterates `(flat index, channel)` pairs cheaply.
+    #[inline]
+    fn channel_of(&self, flat: usize, inner: usize) -> usize {
+        (flat / inner) % self.channels
+    }
+}
+
+impl Layer for BatchNorm {
+    fn forward(&mut self, x: &Tensor, ps: &ParamStore, mode: Mode) -> Tensor {
+        let inner = self.inner_size(x.shape());
+        let n = x.shape()[0];
+        let m = (n * inner) as f32;
+        let gamma = ps.slice(&self.gamma);
+        let beta = ps.slice(&self.beta);
+        let mut y = x.clone();
+        match mode {
+            Mode::Train => {
+                let mut mean = vec![0.0f32; self.channels];
+                let mut var = vec![0.0f32; self.channels];
+                for (i, &v) in x.data().iter().enumerate() {
+                    mean[self.channel_of(i, inner)] += v;
+                }
+                for mv in &mut mean {
+                    *mv /= m;
+                }
+                for (i, &v) in x.data().iter().enumerate() {
+                    let c = self.channel_of(i, inner);
+                    let d = v - mean[c];
+                    var[c] += d * d;
+                }
+                for vv in &mut var {
+                    *vv /= m;
+                }
+                let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
+                let mut xhat = x.clone();
+                for (i, v) in xhat.data_mut().iter_mut().enumerate() {
+                    let c = self.channel_of(i, inner);
+                    *v = (*v - mean[c]) * inv_std[c];
+                }
+                for (i, v) in y.data_mut().iter_mut().enumerate() {
+                    let c = self.channel_of(i, inner);
+                    *v = gamma[c] * xhat.data()[i] + beta[c];
+                }
+                for c in 0..self.channels {
+                    self.running_mean[c] =
+                        self.momentum * self.running_mean[c] + (1.0 - self.momentum) * mean[c];
+                    self.running_var[c] =
+                        self.momentum * self.running_var[c] + (1.0 - self.momentum) * var[c];
+                }
+                self.cache = Some(BnCache {
+                    xhat,
+                    inv_std,
+                    inner,
+                });
+            }
+            Mode::Eval => {
+                for (i, v) in y.data_mut().iter_mut().enumerate() {
+                    let c = self.channel_of(i, inner);
+                    let xhat = (*v - self.running_mean[c])
+                        / (self.running_var[c] + EPS).sqrt();
+                    *v = gamma[c] * xhat + beta[c];
+                }
+                self.cache = None;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, dout: &Tensor, ps: &mut ParamStore) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("BatchNorm::backward called before a training forward");
+        let inner = cache.inner;
+        let n = dout.shape()[0];
+        let m = (n * inner) as f32;
+        let mut dgamma = vec![0.0f32; self.channels];
+        let mut dbeta = vec![0.0f32; self.channels];
+        for (i, &g) in dout.data().iter().enumerate() {
+            let c = self.channel_of(i, inner);
+            dgamma[c] += g * cache.xhat.data()[i];
+            dbeta[c] += g;
+        }
+        let gamma = ps.slice(&self.gamma).to_vec();
+        // dx = (γ·inv_std/m) · (m·dout − Σdout − x̂·Σ(dout·x̂))
+        let mut dx = dout.clone();
+        for (i, g) in dx.data_mut().iter_mut().enumerate() {
+            let c = self.channel_of(i, inner);
+            *g = gamma[c] * cache.inv_std[c] / m
+                * (m * *g - dbeta[c] - cache.xhat.data()[i] * dgamma[c]);
+        }
+        ps.accumulate_grad(&self.gamma, &dgamma);
+        ps.accumulate_grad(&self.beta, &dbeta);
+        dx
+    }
+
+    fn param_ranges(&self) -> Vec<ParamRange> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn train_output_is_normalized() {
+        let mut ps = ParamStore::new(1);
+        let mut bn = BatchNorm::new(&mut ps, "bn", 2);
+        let x = Tensor::from_vec(vec![4, 2], vec![1., 10., 2., 20., 3., 30., 4., 40.]);
+        let y = bn.forward(&x, &ps, Mode::Train);
+        // Per-channel mean ~0, var ~1.
+        for c in 0..2 {
+            let vals: Vec<f32> = (0..4).map(|r| y.at2(r, c)).collect();
+            let mean: f32 = vals.iter().sum::<f32>() / 4.0;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let mut ps = ParamStore::new(1);
+        let mut bn = BatchNorm::new(&mut ps, "bn", 1);
+        let g = bn.gamma_range().clone();
+        let b = bn.beta_range().clone();
+        ps.params_mut()[g.start()] = 2.0;
+        ps.params_mut()[b.start()] = 5.0;
+        let x = Tensor::from_vec(vec![2, 1], vec![-1., 1.]);
+        let y = bn.forward(&x, &ps, Mode::Train);
+        // x̂ = [-1, 1] -> y = [3, 7]
+        assert!((y.data()[0] - 3.0).abs() < 1e-3);
+        assert!((y.data()[1] - 7.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut ps = ParamStore::new(1);
+        let mut bn = BatchNorm::new(&mut ps, "bn", 1);
+        // Several training passes to move the running stats.
+        let x = Tensor::from_vec(vec![4, 1], vec![10., 12., 8., 10.]);
+        for _ in 0..200 {
+            let _ = bn.forward(&x, &ps, Mode::Train);
+        }
+        let y = bn.forward(&x, &ps, Mode::Eval);
+        // Running mean ≈ 10, var ≈ 2 → output ≈ (x-10)/sqrt(2)
+        assert!((y.data()[0] - 0.0).abs() < 0.1, "{:?}", y.data());
+        assert!((y.data()[1] - 2.0 / 2.0f32.sqrt()).abs() < 0.15);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut ps = ParamStore::new(5);
+        let mut bn = BatchNorm::new(&mut ps, "bn", 3);
+        let x = Tensor::from_fn(vec![4, 3], |i| ((i * 7 % 11) as f32) * 0.3 - 1.0);
+        let loss = |bn: &mut BatchNorm, ps: &ParamStore, x: &Tensor| -> f32 {
+            let y = bn.forward(x, ps, Mode::Train);
+            // Asymmetric loss so the mean/var paths matter.
+            y.data()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v * v * (1.0 + 0.1 * i as f32))
+                .sum::<f32>()
+                * 0.5
+        };
+        let y = bn.forward(&x, &ps, Mode::Train);
+        let dout = Tensor::from_fn(vec![4, 3], |i| y.data()[i] * (1.0 + 0.1 * i as f32));
+        ps.zero_grads();
+        let dx = bn.backward(&dout, &mut ps);
+        let eps = 1e-3;
+        // Input gradient check.
+        for xi in [0usize, 4, 7, 11] {
+            let mut x2 = x.clone();
+            let orig = x2.data()[xi];
+            x2.data_mut()[xi] = orig + eps;
+            let lp = loss(&mut bn, &ps, &x2);
+            x2.data_mut()[xi] = orig - eps;
+            let lm = loss(&mut bn, &ps, &x2);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[xi]).abs() < 2e-2 * (1.0 + num.abs()),
+                "x[{xi}]: {num} vs {}",
+                dx.data()[xi]
+            );
+        }
+        // Gamma gradient check.
+        let g = bn.gamma_range().clone();
+        for c in 0..3 {
+            let gi = g.start() + c;
+            let orig = ps.params()[gi];
+            ps.params_mut()[gi] = orig + eps;
+            let lp = loss(&mut bn, &ps, &x);
+            ps.params_mut()[gi] = orig - eps;
+            let lm = loss(&mut bn, &ps, &x);
+            ps.params_mut()[gi] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - ps.grads()[gi]).abs() < 2e-2 * (1.0 + num.abs()), "γ[{c}]");
+        }
+    }
+
+    #[test]
+    fn four_d_normalizes_per_channel() {
+        let mut ps = ParamStore::new(1);
+        let mut bn = BatchNorm::new(&mut ps, "bn", 2);
+        let x = Tensor::from_fn(vec![2, 2, 2, 2], |i| if (i / 4) % 2 == 0 { 5.0 } else { i as f32 });
+        let y = bn.forward(&x, &ps, Mode::Train);
+        assert_eq!(y.shape(), &[2, 2, 2, 2]);
+        // Channel 0 planes are constant 5.0 -> normalized output 0.
+        for n in 0..2 {
+            for j in 0..4 {
+                assert!(y.data()[n * 8 + j].abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        let mut ps = ParamStore::new(1);
+        let mut bn = BatchNorm::new(&mut ps, "bn", 3);
+        bn.forward(&Tensor::zeros(vec![2, 4]), &ps, Mode::Train);
+    }
+}

@@ -1,0 +1,163 @@
+//! Pooling layers.
+
+use crate::layer::{Layer, Mode};
+use crate::param::ParamStore;
+use dropback_tensor::conv::{
+    avgpool2d, avgpool2d_backward, global_avg_pool, global_avg_pool_backward, maxpool2d,
+    maxpool2d_backward,
+};
+use dropback_tensor::Tensor;
+
+/// Max pooling with a square window.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    size: usize,
+    stride: usize,
+    cache: Option<(Vec<u32>, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool with window `size` and stride `stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either is zero.
+    pub fn new(size: usize, stride: usize) -> Self {
+        assert!(size > 0 && stride > 0, "zero pooling geometry");
+        Self {
+            size,
+            stride,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _ps: &ParamStore, _mode: Mode) -> Tensor {
+        let (y, argmax) = maxpool2d(x, self.size, self.stride);
+        self.cache = Some((argmax, x.shape().to_vec()));
+        y
+    }
+
+    fn backward(&mut self, dout: &Tensor, _ps: &mut ParamStore) -> Tensor {
+        let (argmax, shape) = self
+            .cache
+            .take()
+            .expect("MaxPool2d::backward called before forward");
+        maxpool2d_backward(dout, &argmax, &shape)
+    }
+}
+
+/// Average pooling with a square window.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    size: usize,
+    stride: usize,
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool with window `size` and stride `stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either is zero.
+    pub fn new(size: usize, stride: usize) -> Self {
+        assert!(size > 0 && stride > 0, "zero pooling geometry");
+        Self {
+            size,
+            stride,
+            cached_shape: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: &Tensor, _ps: &ParamStore, _mode: Mode) -> Tensor {
+        self.cached_shape = Some(x.shape().to_vec());
+        avgpool2d(x, self.size, self.stride)
+    }
+
+    fn backward(&mut self, dout: &Tensor, _ps: &mut ParamStore) -> Tensor {
+        let shape = self
+            .cached_shape
+            .take()
+            .expect("AvgPool2d::backward called before forward");
+        avgpool2d_backward(dout, self.size, self.stride, &shape)
+    }
+}
+
+/// Global average pooling: `[n, c, h, w]` → `[n, c]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, _ps: &ParamStore, _mode: Mode) -> Tensor {
+        self.cached_shape = Some(x.shape().to_vec());
+        global_avg_pool(x)
+    }
+
+    fn backward(&mut self, dout: &Tensor, _ps: &mut ParamStore) -> Tensor {
+        let shape = self
+            .cached_shape
+            .take()
+            .expect("GlobalAvgPool::backward called before forward");
+        global_avg_pool_backward(dout, &shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_layer_roundtrip() {
+        let mut ps = ParamStore::new(1);
+        let mut l = MaxPool2d::new(2, 2);
+        let x = Tensor::from_fn(vec![1, 1, 4, 4], |i| i as f32);
+        let y = l.forward(&x, &ps, Mode::Train);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[5., 7., 13., 15.]);
+        let dx = l.backward(&Tensor::filled(vec![1, 1, 2, 2], 2.0), &mut ps);
+        assert_eq!(dx.data()[5], 2.0);
+        assert_eq!(dx.data()[0], 0.0);
+    }
+
+    #[test]
+    fn avgpool_layer_roundtrip() {
+        let mut ps = ParamStore::new(1);
+        let mut l = AvgPool2d::new(2, 2);
+        let x = Tensor::filled(vec![1, 2, 4, 4], 4.0);
+        let y = l.forward(&x, &ps, Mode::Train);
+        assert!(y.data().iter().all(|&v| (v - 4.0).abs() < 1e-6));
+        let dx = l.backward(&y, &mut ps);
+        assert_eq!(dx.shape(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn global_pool_layer_roundtrip() {
+        let mut ps = ParamStore::new(1);
+        let mut l = GlobalAvgPool::new();
+        let x = Tensor::from_fn(vec![2, 3, 4, 4], |i| (i % 16) as f32);
+        let y = l.forward(&x, &ps, Mode::Train);
+        assert_eq!(y.shape(), &[2, 3]);
+        assert!((y.data()[0] - 7.5).abs() < 1e-5);
+        let dx = l.backward(&y, &mut ps);
+        assert_eq!(dx.shape(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pooling geometry")]
+    fn zero_size_panics() {
+        MaxPool2d::new(0, 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Ordered layer container.
+
+use crate::layer::{Layer, Mode};
+use crate::param::{ParamRange, ParamStore};
+use dropback_tensor::Tensor;
+
+/// A stack of layers applied in order.
+///
+/// `Sequential` itself implements [`Layer`], so stacks nest (residual and
+/// dense blocks use internal `Sequential`s for their branches).
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, ps: &ParamStore, mode: Mode) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, ps, mode);
+        }
+        cur
+    }
+
+    fn backward(&mut self, dout: &Tensor, ps: &mut ParamStore) -> Tensor {
+        let mut cur = dout.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur, ps);
+        }
+        cur
+    }
+
+    fn param_ranges(&self) -> Vec<ParamRange> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.param_ranges())
+            .collect()
+    }
+
+    fn kl_backward(&self, ps: &mut ParamStore, scale: f32) -> f32 {
+        self.layers.iter().map(|l| l.kl_backward(ps, scale)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::Relu;
+    use crate::linear::Linear;
+
+    #[test]
+    fn forward_composes() {
+        let mut ps = ParamStore::new(1);
+        let l1 = Linear::new(&mut ps, "a", 4, 4);
+        let l2 = Linear::new(&mut ps, "b", 4, 2);
+        let mut seq = Sequential::new().push(l1).push(Relu::new()).push(l2);
+        let x = Tensor::filled(vec![3, 4], 0.5);
+        let y = seq.forward(&x, &ps, Mode::Train);
+        assert_eq!(y.shape(), &[3, 2]);
+        assert_eq!(seq.len(), 3);
+    }
+
+    #[test]
+    fn backward_produces_input_grad() {
+        let mut ps = ParamStore::new(2);
+        let l1 = Linear::new(&mut ps, "a", 4, 3);
+        let mut seq = Sequential::new().push(l1).push(Relu::new());
+        let x = Tensor::filled(vec![2, 4], 1.0);
+        let y = seq.forward(&x, &ps, Mode::Train);
+        ps.zero_grads();
+        let dx = seq.backward(&y, &mut ps);
+        assert_eq!(dx.shape(), &[2, 4]);
+        assert!(ps.grads().iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn param_ranges_collects_all() {
+        let mut ps = ParamStore::new(1);
+        let l1 = Linear::new(&mut ps, "a", 4, 4);
+        let l2 = Linear::new(&mut ps, "b", 4, 2);
+        let seq = Sequential::new().push(l1).push(Relu::new()).push(l2);
+        assert_eq!(seq.param_ranges().len(), 4); // 2 weights + 2 biases
+    }
+}

@@ -1,0 +1,315 @@
+//! Variational-dropout linear layer (baseline from the paper's evaluation).
+//!
+//! Implements sparse variational dropout in the style of Kingma et al. 2015 /
+//! Molchanov et al. 2017, which the paper compares against: each weight `w`
+//! carries a learned noise variance `σ² = exp(log_sigma2)`; the per-weight
+//! dropout rate is `α = σ²/w²`, and weights whose `log α` exceeds a threshold
+//! are considered pruned. Training uses the local reparameterization trick
+//! (noise sampled on pre-activations, not weights), and the KL regularizer
+//! uses Molchanov's tight approximation.
+
+use crate::layer::{Layer, Mode};
+use crate::param::{ParamRange, ParamStore};
+use dropback_prng::{BoxMuller, InitScheme, Xorshift128};
+use dropback_tensor::{matmul, matmul_nt, matmul_tn, Tensor};
+
+/// `log α` above which a weight counts as pruned (the conventional 3.0,
+/// i.e. α > e³ ≈ 20 — over 95% dropout).
+pub const LOG_ALPHA_PRUNE_THRESHOLD: f32 = 3.0;
+
+const VAR_EPS: f32 = 1e-8;
+const LOG_SIGMA2_INIT: f32 = -8.0;
+
+/// Accumulates the Molchanov-approximation KL gradient for a
+/// (weight, log σ²) range pair, scaled by `scale`; returns the scaled KL.
+/// Shared by the linear and convolutional VD layers.
+pub(crate) fn kl_grad_for(
+    ps: &mut ParamStore,
+    weight: &ParamRange,
+    log_sigma2: &ParamRange,
+    scale: f32,
+) -> f32 {
+    const K1: f32 = 0.63576;
+    const K2: f32 = 1.87320;
+    const K3: f32 = 1.48695;
+    let n = weight.len();
+    let mut dw = vec![0.0f32; n];
+    let mut dls = vec![0.0f32; n];
+    let mut kl_total = 0.0f64;
+    {
+        let w = ps.slice(weight);
+        let ls = ps.slice(log_sigma2);
+        for i in 0..n {
+            let la = ls[i] - (w[i] * w[i] + VAR_EPS).ln();
+            let sig = 1.0 / (1.0 + (-(K2 + K3 * la)).exp());
+            let neg_kl = K1 * sig - 0.5 * (1.0 + (-la).exp()).ln() - K1;
+            kl_total -= neg_kl as f64;
+            // dKL/d(log α)
+            let dkl_dla = -(K1 * K3 * sig * (1.0 - sig)) - 0.5 / (1.0 + la.exp());
+            // d(log α)/d(log σ²) = 1 ; d(log α)/dw = −2w/(w²+ε)
+            dls[i] = scale * dkl_dla;
+            dw[i] = scale * dkl_dla * (-2.0 * w[i] / (w[i] * w[i] + VAR_EPS));
+        }
+    }
+    ps.accumulate_grad(weight, &dw);
+    ps.accumulate_grad(log_sigma2, &dls);
+    scale * kl_total as f32
+}
+
+/// A fully-connected layer with per-weight variational dropout.
+pub struct VarDropLinear {
+    in_dim: usize,
+    out_dim: usize,
+    weight: ParamRange,
+    log_sigma2: ParamRange,
+    noise: BoxMuller<Xorshift128>,
+    cache: Option<VdCache>,
+}
+
+impl std::fmt::Debug for VarDropLinear {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VarDropLinear({} -> {})", self.in_dim, self.out_dim)
+    }
+}
+
+struct VdCache {
+    input: Tensor,
+    input_sq: Tensor,
+    eps: Tensor,
+    std: Tensor,
+}
+
+impl VarDropLinear {
+    /// Registers a variational-dropout linear layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(ps: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "zero-sized layer");
+        let weight = ps.register(
+            &format!("{name}.weight"),
+            in_dim * out_dim,
+            InitScheme::lecun_normal(in_dim),
+        );
+        let log_sigma2 = ps.register(
+            &format!("{name}.log_sigma2"),
+            in_dim * out_dim,
+            InitScheme::Constant(LOG_SIGMA2_INIT),
+        );
+        Self {
+            in_dim,
+            out_dim,
+            weight,
+            log_sigma2,
+            noise: BoxMuller::new(Xorshift128::new(seed)),
+            cache: None,
+        }
+    }
+
+    /// Per-weight `log α = log σ² − log w²`.
+    pub fn log_alpha(&self, ps: &ParamStore) -> Vec<f32> {
+        let w = ps.slice(&self.weight);
+        let ls = ps.slice(&self.log_sigma2);
+        w.iter()
+            .zip(ls)
+            .map(|(&w, &ls)| ls - (w * w + VAR_EPS).ln())
+            .collect()
+    }
+
+    /// Fraction of weights with `log α` above the pruning threshold.
+    pub fn sparsity(&self, ps: &ParamStore) -> f32 {
+        let la = self.log_alpha(ps);
+        la.iter().filter(|&&v| v > LOG_ALPHA_PRUNE_THRESHOLD).count() as f32 / la.len() as f32
+    }
+
+    /// Accumulates the KL-divergence gradient (Molchanov et al. 2017
+    /// approximation), scaled by `scale` (the trainer anneals this).
+    ///
+    /// The KL decreases with `log α`, so its gradient pushes weights toward
+    /// higher dropout rates — the mechanism by which variational dropout
+    /// sparsifies. Returns the (scaled) KL value for monitoring.
+    pub fn accumulate_kl_grad(&self, ps: &mut ParamStore, scale: f32) -> f32 {
+        kl_grad_for(ps, &self.weight, &self.log_sigma2, scale)
+    }
+
+    fn weight_tensor(&self, ps: &ParamStore) -> Tensor {
+        Tensor::from_vec(vec![self.out_dim, self.in_dim], ps.slice(&self.weight).to_vec())
+    }
+
+    /// σ² as a `[out, in]` tensor.
+    fn sigma2_tensor(&self, ps: &ParamStore) -> Tensor {
+        Tensor::from_vec(
+            vec![self.out_dim, self.in_dim],
+            ps.slice(&self.log_sigma2).iter().map(|v| v.exp()).collect(),
+        )
+    }
+}
+
+impl Layer for VarDropLinear {
+    fn forward(&mut self, x: &Tensor, ps: &ParamStore, mode: Mode) -> Tensor {
+        assert_eq!(x.rank(), 2, "VarDropLinear input must be [n, d]");
+        assert_eq!(x.shape()[1], self.in_dim, "input dim mismatch");
+        let w = self.weight_tensor(ps);
+        match mode {
+            Mode::Eval => {
+                // Deterministic inference with pruned weights masked out.
+                let la = self.log_alpha(ps);
+                let masked = Tensor::from_vec(
+                    vec![self.out_dim, self.in_dim],
+                    w.data()
+                        .iter()
+                        .zip(&la)
+                        .map(|(&w, &a)| if a > LOG_ALPHA_PRUNE_THRESHOLD { 0.0 } else { w })
+                        .collect(),
+                );
+                self.cache = None;
+                matmul_nt(x, &masked)
+            }
+            Mode::Train => {
+                // Local reparameterization: y = x·Wᵀ + sqrt(x²·(σ²)ᵀ)·ε.
+                let mean = matmul_nt(x, &w);
+                let x_sq = x.map(|v| v * v);
+                let sigma2 = self.sigma2_tensor(ps);
+                let var = matmul_nt(&x_sq, &sigma2);
+                let std = var.map(|v| (v + VAR_EPS).sqrt());
+                let eps = Tensor::from_fn(mean.shape().to_vec(), |_| self.noise.next_normal());
+                let y = mean.zip(&(&std * &eps), |m, noise| m + noise);
+                self.cache = Some(VdCache {
+                    input: x.clone(),
+                    input_sq: x_sq,
+                    eps,
+                    std,
+                });
+                y
+            }
+        }
+    }
+
+    fn backward(&mut self, dout: &Tensor, ps: &mut ParamStore) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("VarDropLinear::backward called before a training forward");
+        // Mean path: standard linear backward.
+        let dw = matmul_tn(dout, &cache.input);
+        // Variance path: dvar = dout·ε / (2·std); then
+        //   dσ²[o,i] = Σ_n dvar[n,o]·x²[n,i]   and   dx² = dvar·σ².
+        let dvar = dout
+            .zip(&cache.eps, |g, e| g * e)
+            .zip(&cache.std, |ge, s| ge / (2.0 * s));
+        let sigma2 = self.sigma2_tensor(ps);
+        let dsigma2 = matmul_tn(&dvar, &cache.input_sq);
+        // d log σ² = dσ² · σ²
+        let dlog_sigma2 = dsigma2.zip(&sigma2, |d, s| d * s);
+        ps.accumulate_grad(&self.weight, dw.data());
+        ps.accumulate_grad(&self.log_sigma2, dlog_sigma2.data());
+        // dx = dout·W + (dvar·σ²) ⊙ 2x
+        let w = self.weight_tensor(ps);
+        let mut dx = matmul(dout, &w);
+        let dx_var = matmul(&dvar, &sigma2);
+        for ((d, &v), &xv) in dx
+            .data_mut()
+            .iter_mut()
+            .zip(dx_var.data())
+            .zip(cache.input.data())
+        {
+            *d += v * 2.0 * xv;
+        }
+        dx
+    }
+
+    fn param_ranges(&self) -> Vec<ParamRange> {
+        vec![self.weight.clone(), self.log_sigma2.clone()]
+    }
+
+    fn kl_backward(&self, ps: &mut ParamStore, scale: f32) -> f32 {
+        self.accumulate_kl_grad(ps, scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_deterministic_linear() {
+        let mut ps = ParamStore::new(1);
+        let mut l = VarDropLinear::new(&mut ps, "vd", 3, 2, 7);
+        let x = Tensor::from_vec(vec![2, 3], vec![1., 0., -1., 0.5, 0.5, 0.5]);
+        let a = l.forward(&x, &ps, Mode::Eval);
+        let b = l.forward(&x, &ps, Mode::Eval);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn train_is_stochastic_but_mean_preserving() {
+        let mut ps = ParamStore::new(1);
+        let mut l = VarDropLinear::new(&mut ps, "vd", 4, 2, 9);
+        // Crank the noise up so stochasticity is visible.
+        let ls = l.param_ranges()[1].clone();
+        ps.params_mut()[ls.start()..ls.end()].fill(-2.0);
+        let x = Tensor::filled(vec![1, 4], 1.0);
+        let eval = l.forward(&x, &ps, Mode::Eval);
+        let runs: Vec<Tensor> = (0..200).map(|_| l.forward(&x, &ps, Mode::Train)).collect();
+        assert!(runs.windows(2).any(|w| w[0] != w[1]), "no stochasticity");
+        let mut mean = [0.0f64; 2];
+        for r in &runs {
+            for (m, &v) in mean.iter_mut().zip(r.data()) {
+                *m += v as f64 / runs.len() as f64;
+            }
+        }
+        for (m, &e) in mean.iter().zip(eval.data()) {
+            assert!((m - e as f64).abs() < 0.2, "mean {m} vs eval {e}");
+        }
+    }
+
+    #[test]
+    fn high_log_alpha_masks_weights_at_eval() {
+        let mut ps = ParamStore::new(1);
+        let mut l = VarDropLinear::new(&mut ps, "vd", 2, 1, 3);
+        let w = l.param_ranges()[0].clone();
+        let ls = l.param_ranges()[1].clone();
+        ps.params_mut()[w.start()..w.end()].copy_from_slice(&[1.0, 1.0]);
+        // First weight: huge noise (pruned); second: tiny noise (kept).
+        ps.params_mut()[ls.start()..ls.end()].copy_from_slice(&[10.0, -10.0]);
+        let x = Tensor::from_vec(vec![1, 2], vec![5.0, 3.0]);
+        let y = l.forward(&x, &ps, Mode::Eval);
+        assert!((y.data()[0] - 3.0).abs() < 1e-5, "{:?}", y.data());
+        assert!((l.sparsity(&ps) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kl_grad_pushes_alpha_up() {
+        let mut ps = ParamStore::new(1);
+        let l = VarDropLinear::new(&mut ps, "vd", 4, 4, 3);
+        ps.zero_grads();
+        let kl = l.accumulate_kl_grad(&mut ps, 1.0);
+        assert!(kl > 0.0, "KL should be positive at init, got {kl}");
+        let ls = l.param_ranges()[1].clone();
+        // Gradient of KL w.r.t. log σ² should be negative (descent raises α).
+        for &g in ps.grad_slice(&ls) {
+            assert!(g < 0.0, "KL grad {g} should push log σ² up");
+        }
+    }
+
+    #[test]
+    fn mean_path_gradient_matches_plain_linear() {
+        // With σ² → 0 the layer degenerates to a plain linear layer, so the
+        // weight gradient must match the standard formula.
+        let mut ps = ParamStore::new(5);
+        let mut l = VarDropLinear::new(&mut ps, "vd", 3, 2, 11);
+        let ls = l.param_ranges()[1].clone();
+        ps.params_mut()[ls.start()..ls.end()].fill(-30.0); // σ² ≈ 0
+        let x = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., -1., 0.5, 2.]);
+        let _ = l.forward(&x, &ps, Mode::Train);
+        ps.zero_grads();
+        let dout = Tensor::from_vec(vec![2, 2], vec![1., 0., 0., 1.]);
+        let _ = l.backward(&dout, &mut ps);
+        let wr = l.param_ranges()[0].clone();
+        let expected = matmul_tn(&dout, &x);
+        for (g, e) in ps.grad_slice(&wr).iter().zip(expected.data()) {
+            assert!((g - e).abs() < 1e-4, "{g} vs {e}");
+        }
+    }
+}

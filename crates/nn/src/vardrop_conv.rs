@@ -1,0 +1,289 @@
+//! Variational-dropout 2-D convolution (for the CIFAR baselines).
+//!
+//! Same per-weight noise model as [`crate::VarDropLinear`], lowered through
+//! `im2col` like [`crate::Conv2d`]: the pre-activation mean is a convolution
+//! with the weight means, the pre-activation variance is a convolution of
+//! the squared inputs with `σ²` (local reparameterization), and noise is
+//! sampled on the outputs. This is the configuration whose instability on
+//! dense architectures (DenseNet, WRN) the paper reports as "90% error /
+//! fails to converge".
+
+use crate::layer::{Layer, Mode};
+use crate::param::{ParamRange, ParamStore};
+use crate::vardrop::LOG_ALPHA_PRUNE_THRESHOLD;
+use dropback_prng::{BoxMuller, InitScheme, Xorshift128};
+use dropback_tensor::conv::{conv2d_backward, conv2d_forward, ConvGeom};
+use dropback_tensor::Tensor;
+
+const VAR_EPS: f32 = 1e-8;
+const LOG_SIGMA2_INIT: f32 = -8.0;
+
+/// A 2-D convolution with per-weight variational dropout.
+pub struct VarDropConv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    weight: ParamRange,
+    log_sigma2: ParamRange,
+    noise: BoxMuller<Xorshift128>,
+    cache: Option<VdConvCache>,
+}
+
+impl std::fmt::Debug for VarDropConv2d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "VarDropConv2d({} -> {}, k{})",
+            self.in_channels, self.out_channels, self.kernel
+        )
+    }
+}
+
+struct VdConvCache {
+    geom: ConvGeom,
+    input: Tensor,
+    cols: Vec<Tensor>,
+    cols_sq: Vec<Tensor>,
+    eps: Tensor,
+    std: Tensor,
+}
+
+impl VarDropConv2d {
+    /// Registers a VD convolution with square `kernel`, `stride`, `pad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if channels or kernel are zero.
+    pub fn new(
+        ps: &mut ParamStore,
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel > 0,
+            "zero-sized convolution"
+        );
+        let fan_in = in_channels * kernel * kernel;
+        let weight = ps.register(
+            &format!("{name}.weight"),
+            out_channels * fan_in,
+            InitScheme::he_normal(fan_in),
+        );
+        let log_sigma2 = ps.register(
+            &format!("{name}.log_sigma2"),
+            out_channels * fan_in,
+            InitScheme::Constant(LOG_SIGMA2_INIT),
+        );
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            weight,
+            log_sigma2,
+            noise: BoxMuller::new(Xorshift128::new(seed)),
+            cache: None,
+        }
+    }
+
+    fn geom(&self, x: &Tensor) -> ConvGeom {
+        ConvGeom {
+            c: self.in_channels,
+            h: x.shape()[2],
+            w: x.shape()[3],
+            kh: self.kernel,
+            kw: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+
+    fn weight_tensor(&self, ps: &ParamStore) -> Tensor {
+        let fan_in = self.in_channels * self.kernel * self.kernel;
+        Tensor::from_vec(
+            vec![self.out_channels, fan_in],
+            ps.slice(&self.weight).to_vec(),
+        )
+    }
+
+    fn sigma2_tensor(&self, ps: &ParamStore) -> Tensor {
+        let fan_in = self.in_channels * self.kernel * self.kernel;
+        Tensor::from_vec(
+            vec![self.out_channels, fan_in],
+            ps.slice(&self.log_sigma2).iter().map(|v| v.exp()).collect(),
+        )
+    }
+
+    /// Fraction of weights with `log α` above the pruning threshold.
+    pub fn sparsity(&self, ps: &ParamStore) -> f32 {
+        let w = ps.slice(&self.weight);
+        let ls = ps.slice(&self.log_sigma2);
+        let pruned = w
+            .iter()
+            .zip(ls)
+            .filter(|(&w, &ls)| ls - (w * w + VAR_EPS).ln() > LOG_ALPHA_PRUNE_THRESHOLD)
+            .count();
+        pruned as f32 / w.len() as f32
+    }
+
+    /// Accumulates the KL gradient (same approximation as
+    /// [`crate::VarDropLinear`]); returns the scaled KL value.
+    pub fn accumulate_kl_grad(&self, ps: &mut ParamStore, scale: f32) -> f32 {
+        crate::vardrop::kl_grad_for(ps, &self.weight, &self.log_sigma2, scale)
+    }
+}
+
+impl Layer for VarDropConv2d {
+    fn forward(&mut self, x: &Tensor, ps: &ParamStore, mode: Mode) -> Tensor {
+        assert_eq!(x.rank(), 4, "conv input must be [n,c,h,w]");
+        assert_eq!(x.shape()[1], self.in_channels, "channel mismatch");
+        let geom = self.geom(x);
+        let w = self.weight_tensor(ps);
+        match mode {
+            Mode::Eval => {
+                let ls = ps.slice(&self.log_sigma2);
+                let masked = Tensor::from_vec(
+                    w.shape().to_vec(),
+                    w.data()
+                        .iter()
+                        .zip(ls)
+                        .map(|(&w, &ls)| {
+                            if ls - (w * w + VAR_EPS).ln() > LOG_ALPHA_PRUNE_THRESHOLD {
+                                0.0
+                            } else {
+                                w
+                            }
+                        })
+                        .collect(),
+                );
+                self.cache = None;
+                conv2d_forward(x, &masked, None, geom).0
+            }
+            Mode::Train => {
+                let (mean, cols) = conv2d_forward(x, &w, None, geom);
+                let x_sq = x.map(|v| v * v);
+                let sigma2 = self.sigma2_tensor(ps);
+                let (var, cols_sq) = conv2d_forward(&x_sq, &sigma2, None, geom);
+                let std = var.map(|v| (v.max(0.0) + VAR_EPS).sqrt());
+                let eps = Tensor::from_fn(mean.shape().to_vec(), |_| self.noise.next_normal());
+                let y = mean.zip(&(&std * &eps), |m, n| m + n);
+                self.cache = Some(VdConvCache {
+                    geom,
+                    input: x.clone(),
+                    cols,
+                    cols_sq,
+                    eps,
+                    std,
+                });
+                y
+            }
+        }
+    }
+
+    fn backward(&mut self, dout: &Tensor, ps: &mut ParamStore) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("VarDropConv2d::backward called before a training forward");
+        let w = self.weight_tensor(ps);
+        // Mean path.
+        let (mut dx, dw, _) = conv2d_backward(dout, &w, &cache.cols, cache.geom);
+        ps.accumulate_grad(&self.weight, dw.data());
+        // Variance path: treat the σ² "convolution" of x² like a conv layer.
+        let dvar = dout
+            .zip(&cache.eps, |g, e| g * e)
+            .zip(&cache.std, |ge, s| ge / (2.0 * s));
+        let sigma2 = self.sigma2_tensor(ps);
+        let (dx_sq, dsigma2, _) = conv2d_backward(&dvar, &sigma2, &cache.cols_sq, cache.geom);
+        let dlog_sigma2 = dsigma2.zip(&sigma2, |d, s| d * s);
+        ps.accumulate_grad(&self.log_sigma2, dlog_sigma2.data());
+        // dx² → dx: chain through x² = x·x.
+        for ((d, &v), &xv) in dx
+            .data_mut()
+            .iter_mut()
+            .zip(dx_sq.data())
+            .zip(cache.input.data())
+        {
+            *d += v * 2.0 * xv;
+        }
+        dx
+    }
+
+    fn param_ranges(&self) -> Vec<ParamRange> {
+        vec![self.weight.clone(), self.log_sigma2.clone()]
+    }
+
+    fn kl_backward(&self, ps: &mut ParamStore, scale: f32) -> f32 {
+        self.accumulate_kl_grad(ps, scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_shape_and_determinism() {
+        let mut ps = ParamStore::new(1);
+        let mut l = VarDropConv2d::new(&mut ps, "vdc", 2, 4, 3, 1, 1, 7);
+        let x = Tensor::filled(vec![1, 2, 5, 5], 0.3);
+        let a = l.forward(&x, &ps, Mode::Eval);
+        let b = l.forward(&x, &ps, Mode::Eval);
+        assert_eq!(a.shape(), &[1, 4, 5, 5]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn train_is_stochastic() {
+        let mut ps = ParamStore::new(1);
+        let mut l = VarDropConv2d::new(&mut ps, "vdc", 1, 2, 3, 1, 1, 9);
+        let ls = l.param_ranges()[1].clone();
+        ps.params_mut()[ls.start()..ls.end()].fill(-2.0);
+        let x = Tensor::filled(vec![1, 1, 4, 4], 1.0);
+        let a = l.forward(&x, &ps, Mode::Train);
+        let b = l.forward(&x, &ps, Mode::Train);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn near_zero_noise_matches_plain_conv_gradients() {
+        let mut ps = ParamStore::new(5);
+        let mut l = VarDropConv2d::new(&mut ps, "vdc", 1, 2, 3, 1, 1, 3);
+        let ls = l.param_ranges()[1].clone();
+        ps.params_mut()[ls.start()..ls.end()].fill(-30.0);
+        let x = Tensor::from_fn(vec![1, 1, 4, 4], |i| ((i as f32) * 0.31).sin());
+        let y = l.forward(&x, &ps, Mode::Train);
+        ps.zero_grads();
+        let _ = l.backward(&y, &mut ps);
+        // Compare against a plain conv with the same weights.
+        let mut ps2 = ParamStore::new(5);
+        let mut plain = crate::conv_layer::Conv2d::new(&mut ps2, "c", 1, 2, 3, 1, 1).without_bias();
+        let wr = l.param_ranges()[0].clone();
+        let wr2 = plain.param_ranges()[0].clone();
+        let weights = ps.slice(&wr).to_vec();
+        ps2.params_mut()[wr2.start()..wr2.end()].copy_from_slice(&weights);
+        let y2 = plain.forward(&x, &ps2, Mode::Train);
+        ps2.zero_grads();
+        let _ = plain.backward(&y2, &mut ps2);
+        for (a, b) in ps.grad_slice(&wr).iter().zip(ps2.grad_slice(&wr2)) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn kl_backward_is_nonzero() {
+        let mut ps = ParamStore::new(1);
+        let l = VarDropConv2d::new(&mut ps, "vdc", 1, 2, 3, 1, 1, 3);
+        ps.zero_grads();
+        let kl = l.kl_backward(&mut ps, 1.0);
+        assert!(kl > 0.0);
+    }
+}

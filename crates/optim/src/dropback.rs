@@ -1,0 +1,376 @@
+//! The DropBack training rule (Algorithm 1 of the paper).
+
+use crate::topk::top_k_mask;
+use crate::Optimizer;
+use dropback_nn::ParamStore;
+
+/// DropBack: continuous pruning during training.
+///
+/// Following Algorithm 1, each step ranks every weight by an
+/// *accumulated-gradient* score and keeps only the top `k` updated:
+///
+/// * a **tracked** weight's score is `|w − w₀|` — its total accumulated
+///   update, recomputed from `W(t−1) − W(0)`, which is why the tracked
+///   set "requires no storage" beyond the weights themselves;
+/// * an **untracked** weight competes with its current `|lr · g|` (the
+///   displacement it would have after entering).
+///
+/// The top-`k` scores become the new tracked set (`λ = S_k`,
+/// `mask = 1(S > λ)`, ties broken by index). Tracked weights take the SGD
+/// update `w -= lr · g`; untracked weights are **regenerated to their
+/// initialization values** — the invariant `untracked ⇒ w[i] == init(i)`
+/// holds after every step, so only `k` weights ever need storing (see
+/// [`crate::SparseDropBack`] for the explicitly-sparse demonstration).
+///
+/// After [`DropBack::freeze_after`] epochs the tracked set is fixed and
+/// untracked gradients stop participating (§2.1: "Freeze the set of tracked
+/// weights after a few epochs").
+#[derive(Debug, Clone)]
+pub struct DropBack {
+    k: usize,
+    freeze_after: Option<usize>,
+    frozen: bool,
+    zero_untracked: bool,
+    mask: Vec<bool>,
+    scores: Vec<f32>,
+    last_swaps: usize,
+    steps: u64,
+}
+
+impl DropBack {
+    /// Creates a DropBack rule tracking at most `k` weights, never frozen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "must track at least one weight");
+        Self {
+            k,
+            freeze_after: None,
+            frozen: false,
+            zero_untracked: false,
+            mask: Vec::new(),
+            scores: Vec::new(),
+            last_swaps: 0,
+            steps: 0,
+        }
+    }
+
+    /// **Ablation switch** (§2.1): set untracked weights to zero instead of
+    /// regenerating their initialization values. The paper reports this
+    /// destroys the "scaffolding" — compression drops from 60× to 2× on
+    /// MNIST — and `repro_ablation_zeroed` reproduces the effect.
+    pub fn with_zeroed_untracked(mut self) -> Self {
+        self.zero_untracked = true;
+        self
+    }
+
+    /// Freezes the tracked set once `epoch + 1 >= freeze_epoch` at an
+    /// epoch boundary, as the paper's "Freeze Epoch" column configures.
+    pub fn freeze_after(mut self, epoch: usize) -> Self {
+        self.freeze_after = Some(epoch);
+        self
+    }
+
+    /// The tracked-weight budget `k`.
+    pub fn budget(&self) -> usize {
+        self.k
+    }
+
+    /// Whether the tracked set is currently frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Number of weights that entered the tracked set on the latest step —
+    /// the churn quantity of the paper's Figure 2.
+    pub fn last_swaps(&self) -> usize {
+        self.last_swaps
+    }
+
+    /// The current tracked mask (empty before the first step).
+    pub fn mask(&self) -> &[bool] {
+        &self.mask
+    }
+
+    /// Number of currently tracked weights.
+    pub fn tracked_count(&self) -> usize {
+        self.mask.iter().filter(|&&m| m).count()
+    }
+
+    /// Tracked-weight count per registered parameter range as
+    /// `(name, tracked, total)` — the per-layer breakdown of Table 2.
+    pub fn tracked_per_range(&self, ps: &ParamStore) -> Vec<(String, usize, usize)> {
+        ps.ranges()
+            .iter()
+            .map(|r| {
+                let tracked = (r.start()..r.end())
+                    .filter(|&i| self.mask.get(i).copied().unwrap_or(false))
+                    .count();
+                (r.name().to_string(), tracked, r.len())
+            })
+            .collect()
+    }
+
+    /// Weight-compression ratio `total params / k` (what the paper's tables
+    /// report, e.g. "DropBack 20k → 13.33×" on a 267k model).
+    pub fn compression(&self, ps: &ParamStore) -> f32 {
+        ps.len() as f32 / self.k.min(ps.len()) as f32
+    }
+
+    fn ensure_state(&mut self, n: usize) {
+        if self.mask.len() != n {
+            self.mask = vec![false; n];
+            self.scores = vec![0.0; n];
+        }
+    }
+}
+
+impl Optimizer for DropBack {
+    fn step(&mut self, ps: &mut ParamStore, lr: f32) {
+        let n = ps.len();
+        self.ensure_state(n);
+        let seed = ps.seed();
+        let ranges: Vec<_> = ps.ranges().to_vec();
+        let new_mask = if self.frozen {
+            std::mem::take(&mut self.mask)
+        } else {
+            // Score: tracked -> |w - w0| (recomputed, Algorithm 1's T);
+            //        untracked -> |lr·g| (Algorithm 1's U).
+            for r in &ranges {
+                let scheme = r.scheme();
+                for i in r.start()..r.end() {
+                    self.scores[i] = if self.mask[i] {
+                        let origin = if self.zero_untracked {
+                            0.0
+                        } else {
+                            scheme.value(seed, i as u64)
+                        };
+                        (ps.params()[i] - origin).abs()
+                    } else {
+                        (lr * ps.grads()[i]).abs()
+                    };
+                }
+            }
+            top_k_mask(&self.scores, self.k)
+        };
+        self.last_swaps = if self.frozen {
+            0
+        } else if self.steps == 0 {
+            new_mask.iter().filter(|&&m| m).count()
+        } else {
+            new_mask
+                .iter()
+                .zip(&self.mask)
+                .filter(|&(&new, &old)| new && !old)
+                .count()
+        };
+        // Update tracked, regenerate untracked. Regeneration is idempotent
+        // for weights that were already untracked, so no old-mask check is
+        // needed to preserve the invariant untracked ⇒ w == init.
+        {
+            let (params, grads) = ps.update_view();
+            for i in 0..n {
+                if new_mask[i] {
+                    params[i] -= lr * grads[i];
+                }
+            }
+        }
+        for r in &ranges {
+            let scheme = r.scheme();
+            let params = ps.params_mut();
+            for i in r.start()..r.end() {
+                if !new_mask[i] {
+                    params[i] = if self.zero_untracked {
+                        0.0
+                    } else {
+                        scheme.value(seed, i as u64)
+                    };
+                }
+            }
+        }
+        self.mask = new_mask;
+        self.steps += 1;
+    }
+
+    fn end_epoch(&mut self, epoch: usize, _ps: &mut ParamStore) {
+        if let Some(fe) = self.freeze_after {
+            if epoch + 1 >= fe {
+                self.frozen = true;
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        if self.zero_untracked {
+            "dropback-zeroed"
+        } else {
+            "dropback"
+        }
+    }
+
+    fn stored_weights(&self, ps: &ParamStore) -> usize {
+        self.k.min(ps.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dropback_nn::InitScheme;
+
+    fn store_with_grads(n: usize, grads: &[f32]) -> ParamStore {
+        let mut ps = ParamStore::new(7);
+        let r = ps.register("w", n, InitScheme::lecun_normal(4));
+        ps.accumulate_grad(&r, grads);
+        ps
+    }
+
+    fn regrad(ps: &mut ParamStore, grads: &[f32]) {
+        ps.zero_grads();
+        let r = ps.ranges()[0].clone();
+        ps.accumulate_grad(&r, grads);
+    }
+
+    #[test]
+    fn untracked_weights_equal_init() {
+        let grads = [0.0, 5.0, 0.1, 4.0, 0.0, 3.0];
+        let mut ps = store_with_grads(6, &grads);
+        let mut db = DropBack::new(2);
+        db.step(&mut ps, 0.1);
+        for i in 0..6 {
+            if !db.mask()[i] {
+                assert_eq!(ps.params()[i], ps.init_value(i), "untracked {i}");
+            }
+        }
+        // Highest |lr·g| are indices 1 and 3.
+        assert!(db.mask()[1] && db.mask()[3]);
+        assert_eq!(db.tracked_count(), 2);
+    }
+
+    #[test]
+    fn tracked_weights_take_sgd_update() {
+        let grads = [0.0, 5.0, 0.0, 4.0];
+        let mut ps = store_with_grads(4, &grads);
+        let w1_init = ps.params()[1];
+        let mut db = DropBack::new(2);
+        db.step(&mut ps, 0.1);
+        assert!((ps.params()[1] - (w1_init - 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn k_at_least_n_equals_sgd() {
+        let grads: Vec<f32> = (0..8).map(|i| i as f32 * 0.3 - 1.0).collect();
+        let mut ps_db = store_with_grads(8, &grads);
+        let mut ps_sgd = ps_db.clone();
+        DropBack::new(100).step(&mut ps_db, 0.2);
+        crate::Sgd::new().step(&mut ps_sgd, 0.2);
+        assert_eq!(ps_db.params(), ps_sgd.params());
+    }
+
+    #[test]
+    fn tracked_score_is_displacement() {
+        // A tracked weight with a big accumulated displacement survives a
+        // one-shot larger gradient elsewhere only if its displacement wins.
+        let mut ps = store_with_grads(3, &[10.0, 0.0, 0.0]);
+        let mut db = DropBack::new(1);
+        db.step(&mut ps, 0.1); // index 0 tracked, displacement 1.0
+        // Current gradient 5.0 at index 1 -> candidate score 0.5 < 1.0.
+        regrad(&mut ps, &[0.0, 5.0, 0.0]);
+        db.step(&mut ps, 0.1);
+        assert!(db.mask()[0], "displacement 1.0 should beat candidate 0.5");
+        // Current gradient 30 at index 1 -> candidate score 3.0 > 1.0.
+        regrad(&mut ps, &[0.0, 30.0, 0.0]);
+        db.step(&mut ps, 0.1);
+        assert!(db.mask()[1], "candidate 3.0 should evict displacement 1.0");
+        assert!(!db.mask()[0]);
+        assert_eq!(ps.params()[0], ps.init_value(0), "evicted weight reverts");
+    }
+
+    #[test]
+    fn freezing_fixes_the_tracked_set() {
+        let mut ps = store_with_grads(4, &[5.0, 0.0, 0.0, 0.0]);
+        let mut db = DropBack::new(1).freeze_after(1);
+        db.step(&mut ps, 0.1);
+        db.end_epoch(0, &mut ps); // epoch 0 ends -> frozen (freeze_after=1)
+        assert!(db.is_frozen());
+        let mask_before = db.mask().to_vec();
+        // Large gradient elsewhere must NOT change the set.
+        for _ in 0..5 {
+            regrad(&mut ps, &[0.0, 100.0, 0.0, 0.0]);
+            db.step(&mut ps, 0.1);
+        }
+        assert_eq!(db.mask(), &mask_before[..]);
+        assert_eq!(db.last_swaps(), 0);
+    }
+
+    #[test]
+    fn swaps_counted() {
+        let mut ps = store_with_grads(4, &[5.0, 0.0, 0.0, 0.0]);
+        let mut db = DropBack::new(1);
+        db.step(&mut ps, 0.1);
+        assert_eq!(db.last_swaps(), 1); // first step: everything is new
+        regrad(&mut ps, &[0.0, 0.0, 0.0, 100.0]);
+        db.step(&mut ps, 0.1);
+        assert_eq!(db.last_swaps(), 1); // index 3 replaced index 0
+        assert!(db.mask()[3]);
+    }
+
+    #[test]
+    fn per_range_breakdown_sums_to_k() {
+        let mut ps = ParamStore::new(3);
+        let a = ps.register("a", 6, InitScheme::lecun_normal(2));
+        let b = ps.register("b", 6, InitScheme::lecun_normal(2));
+        ps.accumulate_grad(&a, &[9.0, 8.0, 0.0, 0.0, 0.0, 0.0]);
+        ps.accumulate_grad(&b, &[7.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let mut db = DropBack::new(3);
+        db.step(&mut ps, 0.1);
+        let per = db.tracked_per_range(&ps);
+        let total: usize = per.iter().map(|(_, t, _)| t).sum();
+        assert_eq!(total, 3);
+        assert_eq!(per[0].1, 2);
+        assert_eq!(per[1].1, 1);
+    }
+
+    #[test]
+    fn compression_matches_paper_arithmetic() {
+        let mut ps = ParamStore::new(1);
+        ps.register("w", 266_610, InitScheme::Constant(0.0));
+        let db = DropBack::new(20_000);
+        assert!((db.compression(&ps) - 13.33).abs() < 0.01);
+    }
+
+    #[test]
+    fn stored_weights_is_k() {
+        let mut ps = ParamStore::new(1);
+        ps.register("w", 100, InitScheme::Constant(0.0));
+        assert_eq!(DropBack::new(10).stored_weights(&ps), 10);
+        assert_eq!(DropBack::new(500).stored_weights(&ps), 100);
+    }
+
+    #[test]
+    fn zeroed_ablation_zeroes_untracked() {
+        let grads = [0.0, 5.0, 0.1, 4.0];
+        let mut ps = store_with_grads(4, &grads);
+        let mut db = DropBack::new(2).with_zeroed_untracked();
+        db.step(&mut ps, 0.1);
+        assert_eq!(ps.params()[0], 0.0);
+        assert_eq!(ps.params()[2], 0.0);
+        assert_ne!(ps.params()[1], 0.0);
+        assert_eq!(db.name(), "dropback-zeroed");
+    }
+
+    #[test]
+    fn constant_init_params_regenerate_to_constants() {
+        // BN-style parameters (constant init) are prunable: untracked ones
+        // sit at their constant, not at zero.
+        let mut ps = ParamStore::new(5);
+        let g = ps.register("bn.gamma", 4, InitScheme::Constant(1.0));
+        ps.accumulate_grad(&g, &[5.0, 0.0, 0.0, 0.0]);
+        let mut db = DropBack::new(1);
+        db.step(&mut ps, 0.1);
+        assert!((ps.params()[0] - 0.5).abs() < 1e-6); // tracked, updated
+        assert_eq!(&ps.params()[1..], &[1.0, 1.0, 1.0]); // regenerated γ=1
+    }
+}

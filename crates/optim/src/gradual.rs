@@ -1,0 +1,185 @@
+//! Gradual magnitude pruning (Zhu & Gupta 2017) — a related-work baseline.
+//!
+//! The paper's related work (§5) cites Zhu & Gupta's "to prune, or not to
+//! prune": sparsity is introduced *gradually* during training on a
+//! polynomial schedule `s(t) = s_f · (1 − (1 − t/T)³)`, masking the
+//! lowest-|w| weights at each pruning step. Unlike DropBack it still needs
+//! full dense weight storage during training (the masked set changes and
+//! masked weights restart from zero, not from a regenerable value) — which
+//! is exactly the contrast the paper draws.
+
+use crate::topk::top_k_mask;
+use crate::Optimizer;
+use dropback_nn::ParamStore;
+
+/// Gradual magnitude pruning on a cubic sparsity ramp.
+#[derive(Debug, Clone)]
+pub struct GradualMagnitudePruning {
+    final_sparsity: f32,
+    ramp_steps: u64,
+    prune_every: u64,
+    step: u64,
+    mask: Vec<bool>,
+}
+
+impl GradualMagnitudePruning {
+    /// Creates the rule: sparsity ramps from 0 to `final_sparsity` over
+    /// `ramp_steps` optimizer steps, re-thresholding every `prune_every`
+    /// steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < final_sparsity < 1`, `ramp_steps > 0`, and
+    /// `prune_every > 0`.
+    pub fn new(final_sparsity: f32, ramp_steps: u64, prune_every: u64) -> Self {
+        assert!(
+            final_sparsity > 0.0 && final_sparsity < 1.0,
+            "final sparsity must be in (0, 1)"
+        );
+        assert!(ramp_steps > 0, "ramp must be positive");
+        assert!(prune_every > 0, "prune interval must be positive");
+        Self {
+            final_sparsity,
+            ramp_steps,
+            prune_every,
+            step: 0,
+            mask: Vec::new(),
+        }
+    }
+
+    /// Target sparsity at optimizer step `t` (cubic ramp).
+    pub fn sparsity_at(&self, t: u64) -> f32 {
+        let progress = (t as f32 / self.ramp_steps as f32).min(1.0);
+        self.final_sparsity * (1.0 - (1.0 - progress).powi(3))
+    }
+
+    /// The current fraction of masked weights.
+    pub fn current_sparsity(&self) -> f32 {
+        if self.mask.is_empty() {
+            0.0
+        } else {
+            self.mask.iter().filter(|&&m| !m).count() as f32 / self.mask.len() as f32
+        }
+    }
+}
+
+impl Optimizer for GradualMagnitudePruning {
+    fn step(&mut self, ps: &mut ParamStore, lr: f32) {
+        let n = ps.len();
+        if self.mask.len() != n {
+            self.mask = vec![true; n];
+        }
+        // Dense SGD update (gradients flow to every weight, pruned weights
+        // stay pinned at zero below).
+        {
+            let (params, grads) = ps.update_view();
+            for (p, &g) in params.iter_mut().zip(grads) {
+                *p -= lr * g;
+            }
+        }
+        // Re-threshold on schedule.
+        if self.step % self.prune_every == 0 {
+            let sparsity = self.sparsity_at(self.step);
+            let keep = ((1.0 - sparsity) * n as f32).round().max(1.0) as usize;
+            let magnitudes: Vec<f32> = ps.params().iter().map(|w| w.abs()).collect();
+            self.mask = top_k_mask(&magnitudes, keep);
+        }
+        // Apply the mask.
+        let params = ps.params_mut();
+        for (p, &m) in params.iter_mut().zip(&self.mask) {
+            if !m {
+                *p = 0.0;
+            }
+        }
+        self.step += 1;
+    }
+
+    fn name(&self) -> &str {
+        "gradual-magnitude"
+    }
+
+    fn stored_weights(&self, ps: &ParamStore) -> usize {
+        // Final-model storage; training remains fully dense (the contrast
+        // with DropBack the paper draws).
+        (((1.0 - self.final_sparsity) * ps.len() as f32).round() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dropback_nn::InitScheme;
+
+    fn store(n: usize) -> ParamStore {
+        let mut ps = ParamStore::new(3);
+        ps.register("w", n, InitScheme::lecun_normal(8));
+        ps
+    }
+
+    fn random_grads(ps: &mut ParamStore, seed: u64) {
+        ps.zero_grads();
+        let r = ps.ranges()[0].clone();
+        let g: Vec<f32> = (0..r.len())
+            .map(|i| (((i as u64 + seed) * 2654435761 % 1000) as f32 / 500.0) - 1.0)
+            .collect();
+        ps.accumulate_grad(&r, &g);
+    }
+
+    #[test]
+    fn sparsity_ramp_is_cubic() {
+        let g = GradualMagnitudePruning::new(0.8, 100, 10);
+        assert_eq!(g.sparsity_at(0), 0.0);
+        assert!((g.sparsity_at(100) - 0.8).abs() < 1e-6);
+        assert!((g.sparsity_at(1000) - 0.8).abs() < 1e-6);
+        // Halfway: 0.8 * (1 - 0.125) = 0.7.
+        assert!((g.sparsity_at(50) - 0.7).abs() < 1e-5);
+        // Monotone.
+        for t in 0..99 {
+            assert!(g.sparsity_at(t + 1) >= g.sparsity_at(t));
+        }
+    }
+
+    #[test]
+    fn sparsity_grows_during_training() {
+        let mut ps = store(200);
+        let mut opt = GradualMagnitudePruning::new(0.75, 50, 5);
+        let mut seen = Vec::new();
+        for s in 0..60 {
+            random_grads(&mut ps, s);
+            opt.step(&mut ps, 0.05);
+            seen.push(opt.current_sparsity());
+        }
+        assert!(seen[0] < 0.05, "starts dense, got {}", seen[0]);
+        let last = *seen.last().unwrap();
+        assert!((last - 0.75).abs() < 0.02, "ends at target, got {last}");
+        // Never decreases by much (re-thresholding jitter only).
+        for w in seen.windows(2) {
+            assert!(w[1] >= w[0] - 0.02);
+        }
+    }
+
+    #[test]
+    fn pruned_weights_are_zero() {
+        let mut ps = store(100);
+        let mut opt = GradualMagnitudePruning::new(0.5, 10, 1);
+        for s in 0..20 {
+            random_grads(&mut ps, s);
+            opt.step(&mut ps, 0.05);
+        }
+        let zeros = ps.params().iter().filter(|&&w| w == 0.0).count();
+        assert!((zeros as f32 / 100.0 - 0.5).abs() < 0.05, "{zeros} zeros");
+    }
+
+    #[test]
+    fn stored_weights_reports_final_model() {
+        let ps = store(1000);
+        let opt = GradualMagnitudePruning::new(0.9, 10, 1);
+        assert_eq!(opt.stored_weights(&ps), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "final sparsity")]
+    fn bad_sparsity_panics() {
+        GradualMagnitudePruning::new(1.0, 10, 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Optimizers for the DropBack reproduction: the paper's contribution
+//! ([`DropBack`]) and the baselines it is evaluated against.
+//!
+//! * [`Sgd`] — plain stochastic gradient descent without momentum (the
+//!   paper's baseline; "all other optimization strategies cost significant
+//!   extra memory").
+//! * [`DropBack`] — continuous pruning during training: only the `k`
+//!   weights with the highest *accumulated* gradients are stored and
+//!   updated; every other weight is regenerated to its initialization value
+//!   on access. After a freeze epoch the tracked set is fixed.
+//! * [`SparseDropBack`] — the same rule with the tracked weights held in an
+//!   actual sparse map, demonstrating the paper's claim that `k` entries of
+//!   storage suffice during training (tested bit-equal to the dense
+//!   implementation).
+//! * [`MagnitudePruning`] — keep-highest-|w| pruning applied every
+//!   iteration (the paper's "straightforward magnitude-based pruning").
+//! * [`NetworkSlimming`] — L1 on batch-norm scales, channel thresholding,
+//!   and masked fine-tuning (Liu et al. 2017), the train-prune-retrain
+//!   baseline.
+//! * Variational dropout is layer-level (see
+//!   [`dropback_nn::VarDropLinear`]); [`KlAnneal`] here provides the KL
+//!   annealing schedule its training loop uses.
+//! * [`LrSchedule`] — the paper's exponentially-decaying learning rates.
+
+#![deny(missing_docs)]
+
+mod dropback;
+mod gradual;
+mod magnitude;
+mod momentum;
+mod quant;
+mod schedule;
+mod sgd;
+mod slim;
+mod sparse;
+mod topk;
+mod vd;
+
+pub use dropback::DropBack;
+pub use gradual::GradualMagnitudePruning;
+pub use magnitude::MagnitudePruning;
+pub use momentum::{Adam, SgdMomentum};
+pub use quant::{Quantized, Quantizer};
+pub use schedule::LrSchedule;
+pub use sgd::Sgd;
+pub use slim::NetworkSlimming;
+pub use sparse::SparseDropBack;
+pub use topk::top_k_mask;
+pub use vd::KlAnneal;
+
+use dropback_nn::ParamStore;
+
+/// A training-rule: consumes the gradients accumulated in a [`ParamStore`]
+/// and updates its parameters.
+pub trait Optimizer {
+    /// Applies one update step with learning rate `lr`.
+    fn step(&mut self, ps: &mut ParamStore, lr: f32);
+
+    /// Hook called at the end of each epoch (freezing, pruning phases, ...).
+    fn end_epoch(&mut self, _epoch: usize, _ps: &mut ParamStore) {}
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Number of weights this rule actually needs to store
+    /// (`None` = all of them).
+    fn stored_weights(&self, ps: &ParamStore) -> usize {
+        ps.len()
+    }
+}

@@ -1,0 +1,141 @@
+//! Magnitude-based pruning during training (baseline (a) in §3).
+
+use crate::topk::top_k_mask;
+use crate::Optimizer;
+use dropback_nn::ParamStore;
+
+/// "A straightforward magnitude-based pruning implementation where only the
+/// highest weights are kept after each iteration": every step applies SGD,
+/// then zeroes all but the largest-|w| fraction.
+///
+/// Configured by the *pruned* fraction, matching the paper's labels
+/// ("Mag Pruning .75" prunes 75% → 4× compression).
+#[derive(Debug, Clone)]
+pub struct MagnitudePruning {
+    prune_fraction: f32,
+    keep: Option<usize>,
+}
+
+impl MagnitudePruning {
+    /// Creates the rule pruning `prune_fraction` of weights each step.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < prune_fraction < 1`.
+    pub fn new(prune_fraction: f32) -> Self {
+        assert!(
+            prune_fraction > 0.0 && prune_fraction < 1.0,
+            "prune fraction must be in (0, 1)"
+        );
+        Self {
+            prune_fraction,
+            keep: None,
+        }
+    }
+
+    /// The configured pruned fraction.
+    pub fn prune_fraction(&self) -> f32 {
+        self.prune_fraction
+    }
+
+    /// Compression ratio implied by the pruned fraction (e.g. 0.75 → 4×).
+    pub fn compression(&self) -> f32 {
+        1.0 / (1.0 - self.prune_fraction)
+    }
+
+    fn keep_count(&mut self, n: usize) -> usize {
+        *self
+            .keep
+            .get_or_insert_with(|| (((1.0 - self.prune_fraction) * n as f32).round() as usize).max(1))
+    }
+}
+
+impl Optimizer for MagnitudePruning {
+    fn step(&mut self, ps: &mut ParamStore, lr: f32) {
+        let n = ps.len();
+        let keep = self.keep_count(n);
+        {
+            let (params, grads) = ps.update_view();
+            for (p, &g) in params.iter_mut().zip(grads) {
+                *p -= lr * g;
+            }
+        }
+        let magnitudes: Vec<f32> = ps.params().iter().map(|w| w.abs()).collect();
+        let mask = top_k_mask(&magnitudes, keep);
+        let params = ps.params_mut();
+        for (p, &m) in params.iter_mut().zip(&mask) {
+            if !m {
+                *p = 0.0;
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "magnitude-pruning"
+    }
+
+    fn stored_weights(&self, ps: &ParamStore) -> usize {
+        (((1.0 - self.prune_fraction) * ps.len() as f32).round() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dropback_nn::InitScheme;
+
+    #[test]
+    fn prunes_smallest_weights_to_zero() {
+        let mut ps = ParamStore::new(1);
+        let r = ps.register("w", 4, InitScheme::Constant(0.0));
+        ps.params_mut().copy_from_slice(&[0.1, -5.0, 0.2, 3.0]);
+        ps.accumulate_grad(&r, &[0.0; 4]);
+        let mut mp = MagnitudePruning::new(0.5);
+        mp.step(&mut ps, 0.1);
+        assert_eq!(ps.params(), &[0.0, -5.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn sgd_applied_before_pruning() {
+        let mut ps = ParamStore::new(1);
+        let r = ps.register("w", 2, InitScheme::Constant(1.0));
+        ps.accumulate_grad(&r, &[10.0, 0.0]);
+        let mut mp = MagnitudePruning::new(0.5);
+        mp.step(&mut ps, 0.1);
+        // w0: 1 - 1 = 0 (pruned), w1: 1 (kept).
+        assert_eq!(ps.params(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn compression_arithmetic() {
+        assert!((MagnitudePruning::new(0.75).compression() - 4.0).abs() < 1e-6);
+        assert!((MagnitudePruning::new(0.8).compression() - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "prune fraction")]
+    fn bad_fraction_panics() {
+        MagnitudePruning::new(1.0);
+    }
+
+    #[test]
+    fn zeroed_weights_destroy_init_scaffolding() {
+        // The property the paper highlights: magnitude pruning zeroes the
+        // untracked weights, so the weight vector jumps far from init
+        // immediately (Figure 5's large initial L2 distance).
+        let mut ps = ParamStore::new(9);
+        let r = ps.register("w", 1000, InitScheme::lecun_normal(100));
+        let init = ps.params().to_vec();
+        ps.accumulate_grad(&r, &vec![0.0; 1000]);
+        MagnitudePruning::new(0.75).step(&mut ps, 0.1);
+        let dist: f32 = ps
+            .params()
+            .iter()
+            .zip(&init)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        let init_norm: f32 = init.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(dist > 0.5 * init_norm, "dist {dist} vs norm {init_norm}");
+    }
+}

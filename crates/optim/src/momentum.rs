@@ -1,0 +1,225 @@
+//! Stateful optimizers (momentum SGD, Adam) with training-memory
+//! accounting.
+//!
+//! The paper trains everything with *momentum-free* SGD because "all other
+//! optimization strategies cost significant extra memory" (§3): momentum
+//! stores one extra f32 per weight, Adam two. These implementations exist
+//! to quantify that claim — [`Optimizer::stored_weights`] here counts the
+//! optimizer state against the weight budget, and the
+//! `repro_ablation_optimizers` binary compares the budget-equalized
+//! accuracy of each rule.
+
+use crate::Optimizer;
+use dropback_nn::ParamStore;
+
+/// SGD with classical momentum: `v ← µ·v + g; w ← w − lr·v`.
+#[derive(Debug, Clone)]
+pub struct SgdMomentum {
+    momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl SgdMomentum {
+    /// Creates the rule with momentum coefficient `momentum`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= momentum < 1`.
+    pub fn new(momentum: f32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0, 1)"
+        );
+        Self {
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// The momentum coefficient.
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// Extra f32 state per weight (1 for momentum).
+    pub const STATE_PER_WEIGHT: usize = 1;
+}
+
+impl Optimizer for SgdMomentum {
+    fn step(&mut self, ps: &mut ParamStore, lr: f32) {
+        if self.velocity.len() != ps.len() {
+            self.velocity = vec![0.0; ps.len()];
+        }
+        let (params, grads) = ps.update_view();
+        for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            *v = self.momentum * *v + g;
+            *p -= lr * *v;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "sgd-momentum"
+    }
+
+    fn stored_weights(&self, ps: &ParamStore) -> usize {
+        // Weights + one velocity word per weight.
+        ps.len() * (1 + Self::STATE_PER_WEIGHT)
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam with the standard `(0.9, 0.999, 1e-8)` hyperparameters.
+    pub fn new() -> Self {
+        Self::with_betas(0.9, 0.999)
+    }
+
+    /// Creates Adam with explicit betas.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both betas are in `[0, 1)`.
+    pub fn with_betas(beta1: f32, beta2: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta1), "beta1 must be in [0, 1)");
+        assert!((0.0..1.0).contains(&beta2), "beta2 must be in [0, 1)");
+        Self {
+            beta1,
+            beta2,
+            eps: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Extra f32 state per weight (first and second moments).
+    pub const STATE_PER_WEIGHT: usize = 2;
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, ps: &mut ParamStore, lr: f32) {
+        if self.m.len() != ps.len() {
+            self.m = vec![0.0; ps.len()];
+            self.v = vec![0.0; ps.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (params, grads) = ps.update_view();
+        for (((p, &g), m), v) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(&mut self.m)
+            .zip(&mut self.v)
+        {
+            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+            *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+            let mhat = *m / bc1;
+            let vhat = *v / bc2;
+            *p -= lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "adam"
+    }
+
+    fn stored_weights(&self, ps: &ParamStore) -> usize {
+        ps.len() * (1 + Self::STATE_PER_WEIGHT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dropback_nn::InitScheme;
+
+    fn quadratic_store() -> ParamStore {
+        let mut ps = ParamStore::new(1);
+        ps.register("w", 4, InitScheme::Constant(2.0));
+        ps
+    }
+
+    /// One gradient step on f(w) = 0.5 w² (grad = w).
+    fn grad_step(ps: &mut ParamStore, opt: &mut impl Optimizer, lr: f32) {
+        ps.zero_grads();
+        let g: Vec<f32> = ps.params().to_vec();
+        let r = ps.ranges()[0].clone();
+        ps.accumulate_grad(&r, &g);
+        opt.step(ps, lr);
+    }
+
+    #[test]
+    fn momentum_accelerates_on_a_quadratic() {
+        let mut plain = quadratic_store();
+        let mut with_mom = quadratic_store();
+        let mut sgd = crate::Sgd::new();
+        let mut mom = SgdMomentum::new(0.9);
+        for _ in 0..10 {
+            grad_step(&mut plain, &mut sgd, 0.05);
+            grad_step(&mut with_mom, &mut mom, 0.05);
+        }
+        // Momentum should have moved farther toward 0.
+        assert!(with_mom.params()[0].abs() < plain.params()[0].abs());
+    }
+
+    #[test]
+    fn momentum_memory_cost_is_double() {
+        let mut ps = quadratic_store();
+        let mut mom = SgdMomentum::new(0.9);
+        grad_step(&mut ps, &mut mom, 0.1);
+        assert_eq!(mom.stored_weights(&ps), 8); // 4 weights + 4 velocities
+    }
+
+    #[test]
+    fn adam_converges_on_a_quadratic() {
+        let mut ps = quadratic_store();
+        let mut adam = Adam::new();
+        for _ in 0..300 {
+            grad_step(&mut ps, &mut adam, 0.05);
+        }
+        assert!(ps.params()[0].abs() < 0.05, "{}", ps.params()[0]);
+    }
+
+    #[test]
+    fn adam_memory_cost_is_triple() {
+        let mut ps = quadratic_store();
+        let mut adam = Adam::new();
+        grad_step(&mut ps, &mut adam, 0.1);
+        assert_eq!(adam.stored_weights(&ps), 12);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the first Adam step is ~lr regardless of
+        // gradient scale.
+        let mut ps = quadratic_store();
+        let mut adam = Adam::new();
+        grad_step(&mut ps, &mut adam, 0.1);
+        let moved = 2.0 - ps.params()[0];
+        assert!((moved - 0.1).abs() < 1e-3, "moved {moved}");
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in")]
+    fn bad_momentum_panics() {
+        SgdMomentum::new(1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Learning-rate schedules.
+
+/// A learning-rate schedule evaluated per epoch.
+///
+/// The paper uses an initial rate of 0.4 decayed by 0.5× — four times over
+/// 100 epochs on MNIST, and every 25 epochs on CIFAR-10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant(
+        /// The rate.
+        f32,
+    ),
+    /// `initial * factor^(epoch / every)` (integer division).
+    StepDecay {
+        /// Rate at epoch 0.
+        initial: f32,
+        /// Multiplicative decay factor (e.g. 0.5).
+        factor: f32,
+        /// Epochs between decays (e.g. 25).
+        every: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The paper's MNIST schedule: 0.4, halved four times over `epochs`.
+    pub fn paper_mnist(epochs: usize) -> Self {
+        LrSchedule::StepDecay {
+            initial: 0.4,
+            factor: 0.5,
+            every: (epochs / 5).max(1),
+        }
+    }
+
+    /// The paper's CIFAR schedule: 0.4 decayed 0.5× every 25 epochs.
+    pub fn paper_cifar() -> Self {
+        LrSchedule::StepDecay {
+            initial: 0.4,
+            factor: 0.5,
+            every: 25,
+        }
+    }
+
+    /// Learning rate for `epoch` (0-indexed).
+    pub fn at(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::StepDecay {
+                initial,
+                factor,
+                every,
+            } => initial * factor.powi((epoch / every.max(1)) as i32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant(0.1);
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(99), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::StepDecay {
+            initial: 0.4,
+            factor: 0.5,
+            every: 25,
+        };
+        assert_eq!(s.at(0), 0.4);
+        assert_eq!(s.at(24), 0.4);
+        assert_eq!(s.at(25), 0.2);
+        assert_eq!(s.at(75), 0.05);
+    }
+
+    #[test]
+    fn paper_mnist_decays_four_times() {
+        let s = LrSchedule::paper_mnist(100);
+        assert_eq!(s.at(0), 0.4);
+        assert!((s.at(99) - 0.4 * 0.5f32.powi(4)).abs() < 1e-6);
+    }
+}

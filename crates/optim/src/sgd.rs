@@ -1,0 +1,54 @@
+//! Plain stochastic gradient descent.
+
+use crate::Optimizer;
+use dropback_nn::ParamStore;
+
+/// Momentum-free SGD — the paper's baseline training rule ("all other
+/// optimization strategies cost significant extra memory").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sgd;
+
+impl Sgd {
+    /// Creates the optimizer.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, ps: &mut ParamStore, lr: f32) {
+        let (params, grads) = ps.update_view();
+        for (p, &g) in params.iter_mut().zip(grads) {
+            *p -= lr * g;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "sgd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dropback_nn::InitScheme;
+
+    #[test]
+    fn step_applies_update() {
+        let mut ps = ParamStore::new(1);
+        let r = ps.register("w", 3, InitScheme::Constant(1.0));
+        ps.accumulate_grad(&r, &[1.0, -2.0, 0.0]);
+        Sgd::new().step(&mut ps, 0.1);
+        let p = ps.slice(&r);
+        assert!((p[0] - 0.9).abs() < 1e-6);
+        assert!((p[1] - 1.2).abs() < 1e-6);
+        assert!((p[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stores_all_weights() {
+        let mut ps = ParamStore::new(1);
+        ps.register("w", 10, InitScheme::Constant(0.0));
+        assert_eq!(Sgd::new().stored_weights(&ps), 10);
+    }
+}

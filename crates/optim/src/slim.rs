@@ -1,0 +1,228 @@
+//! Network slimming (Liu et al. 2017) — the train-prune-retrain baseline.
+//!
+//! Training phase: SGD plus an L1 subgradient penalty on every batch-norm
+//! scale (γ). Pruning phase: the lowest-|γ| fraction of channels is masked
+//! (γ and β forced to zero). Fine-tuning phase: SGD continues with the
+//! masked channels pinned at zero. This reproduces the *effect* of
+//! structural channel removal without rebuilding tensors (DESIGN.md notes
+//! the substitution); compression is reported over the masked channels'
+//! incident weights.
+
+use crate::Optimizer;
+use dropback_nn::{ParamRange, ParamStore};
+
+/// Which phase the slimming schedule is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// SGD + L1-on-γ.
+    Sparsify,
+    /// After pruning: SGD with masked channels pinned to zero.
+    FineTune,
+}
+
+/// The network-slimming training rule.
+///
+/// Construct with the γ ranges of every batch-norm in the model (see
+/// [`dropback_nn::BatchNorm::gamma_range`]), train, then call
+/// [`NetworkSlimming::prune`] at the configured epoch (or drive it via
+/// [`Optimizer::end_epoch`] with [`NetworkSlimming::prune_at_epoch`]).
+#[derive(Debug, Clone)]
+pub struct NetworkSlimming {
+    gamma_ranges: Vec<ParamRange>,
+    l1: f32,
+    prune_fraction: f32,
+    prune_at_epoch: Option<usize>,
+    masked: Vec<usize>,
+    phase: Phase,
+}
+
+impl NetworkSlimming {
+    /// Creates the rule with L1 strength `l1` and channel `prune_fraction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < prune_fraction < 1` and `l1 >= 0`.
+    pub fn new(gamma_ranges: Vec<ParamRange>, l1: f32, prune_fraction: f32) -> Self {
+        assert!(
+            prune_fraction > 0.0 && prune_fraction < 1.0,
+            "prune fraction must be in (0, 1)"
+        );
+        assert!(l1 >= 0.0, "l1 strength must be non-negative");
+        Self {
+            gamma_ranges,
+            l1,
+            prune_fraction,
+            prune_at_epoch: None,
+            masked: Vec::new(),
+            phase: Phase::Sparsify,
+        }
+    }
+
+    /// Schedules the prune for the end of epoch `epoch` (0-indexed).
+    pub fn prune_at_epoch(mut self, epoch: usize) -> Self {
+        self.prune_at_epoch = Some(epoch);
+        self
+    }
+
+    /// Whether the prune has happened.
+    pub fn is_pruned(&self) -> bool {
+        self.phase == Phase::FineTune
+    }
+
+    /// Global parameter indices of masked γ entries.
+    pub fn masked_channels(&self) -> &[usize] {
+        &self.masked
+    }
+
+    /// Masks the lowest-|γ| `prune_fraction` of channels across all BN
+    /// layers (global threshold, as in the original paper) and enters the
+    /// fine-tune phase.
+    pub fn prune(&mut self, ps: &mut ParamStore) {
+        let mut gammas: Vec<(usize, f32)> = Vec::new();
+        for r in &self.gamma_ranges {
+            for i in r.start()..r.end() {
+                gammas.push((i, ps.params()[i].abs()));
+            }
+        }
+        gammas.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let cut = ((self.prune_fraction * gammas.len() as f32).round() as usize)
+            .min(gammas.len().saturating_sub(1));
+        self.masked = gammas[..cut].iter().map(|&(i, _)| i).collect();
+        for &i in &self.masked {
+            ps.params_mut()[i] = 0.0;
+        }
+        self.phase = Phase::FineTune;
+    }
+
+    /// Fraction of BN channels masked so far.
+    pub fn channel_sparsity(&self) -> f32 {
+        let total: usize = self.gamma_ranges.iter().map(|r| r.len()).sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.masked.len() as f32 / total as f32
+        }
+    }
+}
+
+impl Optimizer for NetworkSlimming {
+    fn step(&mut self, ps: &mut ParamStore, lr: f32) {
+        if self.phase == Phase::Sparsify && self.l1 > 0.0 {
+            // L1 subgradient on γ.
+            for r in &self.gamma_ranges {
+                let (params, _) = ps.params_and_grads_mut(r);
+                let signs: Vec<f32> = params.iter().map(|&g| g.signum()).collect();
+                let scaled: Vec<f32> = signs.iter().map(|s| s * self.l1).collect();
+                ps.accumulate_grad(r, &scaled);
+            }
+        }
+        let (params, grads) = ps.update_view();
+        for (p, &g) in params.iter_mut().zip(grads) {
+            *p -= lr * g;
+        }
+        if self.phase == Phase::FineTune {
+            // Pinned channels stay dead during fine-tuning.
+            let params = ps.params_mut();
+            for &i in &self.masked {
+                params[i] = 0.0;
+            }
+        }
+    }
+
+    fn end_epoch(&mut self, epoch: usize, ps: &mut ParamStore) {
+        if self.phase == Phase::Sparsify {
+            if let Some(pe) = self.prune_at_epoch {
+                if epoch + 1 >= pe {
+                    self.prune(ps);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "network-slimming"
+    }
+
+    /// Structural-compression estimate: removing a fraction `f` of channels
+    /// removes roughly the same fraction of incident conv weights, so the
+    /// stored count is `total × (1 − channel_sparsity)`. (The original
+    /// paper rebuilds smaller tensors; our masked substitute keeps the
+    /// dense layout but the *shippable* model is the compacted one.)
+    fn stored_weights(&self, ps: &ParamStore) -> usize {
+        let keep = 1.0 - self.channel_sparsity();
+        ((ps.len() as f32 * keep).round() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dropback_nn::InitScheme;
+
+    fn store_with_bn() -> (ParamStore, Vec<ParamRange>) {
+        let mut ps = ParamStore::new(1);
+        ps.register("conv.weight", 8, InitScheme::lecun_normal(4));
+        let g1 = ps.register("bn1.gamma", 4, InitScheme::Constant(1.0));
+        ps.register("bn1.beta", 4, InitScheme::Constant(0.0));
+        let g2 = ps.register("bn2.gamma", 4, InitScheme::Constant(1.0));
+        (ps, vec![g1, g2])
+    }
+
+    #[test]
+    fn l1_shrinks_gammas() {
+        let (mut ps, gammas) = store_with_bn();
+        let mut slim = NetworkSlimming::new(gammas.clone(), 0.1, 0.5);
+        for _ in 0..10 {
+            ps.zero_grads();
+            slim.step(&mut ps, 0.1);
+        }
+        for r in &gammas {
+            for &g in ps.slice(r) {
+                assert!(g < 1.0, "γ should shrink under L1, got {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn prune_masks_lowest_gammas() {
+        let (mut ps, gammas) = store_with_bn();
+        // Handcraft γ values: bn1 = [0.9, 0.01, 0.8, 0.02], bn2 = [1,1,1,0.03]
+        let r1 = gammas[0].clone();
+        let r2 = gammas[1].clone();
+        ps.params_mut()[r1.start()..r1.end()].copy_from_slice(&[0.9, 0.01, 0.8, 0.02]);
+        ps.params_mut()[r2.start()..r2.end()].copy_from_slice(&[1.0, 1.0, 1.0, 0.03]);
+        let mut slim = NetworkSlimming::new(gammas, 0.0, 0.375); // 3 of 8
+        slim.prune(&mut ps);
+        assert!(slim.is_pruned());
+        assert_eq!(slim.masked_channels().len(), 3);
+        assert_eq!(ps.params()[r1.start() + 1], 0.0);
+        assert_eq!(ps.params()[r1.start() + 3], 0.0);
+        assert_eq!(ps.params()[r2.start() + 3], 0.0);
+        assert!((slim.channel_sparsity() - 0.375).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finetune_keeps_masked_channels_dead() {
+        let (mut ps, gammas) = store_with_bn();
+        let r1 = gammas[0].clone();
+        let mut slim = NetworkSlimming::new(gammas, 0.0, 0.5);
+        slim.prune(&mut ps);
+        // Big gradient on a masked γ must not revive it.
+        ps.zero_grads();
+        ps.accumulate_grad(&r1, &[5.0, 5.0, 5.0, 5.0]);
+        slim.step(&mut ps, 0.5);
+        for &i in slim.masked_channels() {
+            assert_eq!(ps.params()[i], 0.0);
+        }
+    }
+
+    #[test]
+    fn end_epoch_triggers_prune() {
+        let (mut ps, gammas) = store_with_bn();
+        let mut slim = NetworkSlimming::new(gammas, 0.01, 0.25).prune_at_epoch(2);
+        slim.end_epoch(0, &mut ps);
+        assert!(!slim.is_pruned());
+        slim.end_epoch(1, &mut ps);
+        assert!(slim.is_pruned());
+    }
+}

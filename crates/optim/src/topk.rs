@@ -1,0 +1,130 @@
+//! Deterministic top-k selection used by DropBack's tracked-set update.
+
+/// Returns a boolean mask selecting exactly `min(k, n)` elements with the
+/// largest `scores`, breaking ties by preferring lower indices
+/// (deterministic, so the tracked set is reproducible across runs).
+///
+/// Runs in O(n) average time via quickselect on a copy of the scores.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn top_k_mask(scores: &[f32], k: usize) -> Vec<bool> {
+    assert!(k > 0, "top-k of zero elements is meaningless");
+    let n = scores.len();
+    if k >= n {
+        return vec![true; n];
+    }
+    let threshold = kth_largest(scores, k);
+    let mut mask = vec![false; n];
+    let mut taken = 0usize;
+    // First pass: everything strictly above the threshold.
+    for (i, &s) in scores.iter().enumerate() {
+        if s > threshold {
+            mask[i] = true;
+            taken += 1;
+        }
+    }
+    // Second pass: fill remaining slots with threshold-equal elements,
+    // lowest index first.
+    for (i, &s) in scores.iter().enumerate() {
+        if taken == k {
+            break;
+        }
+        if !mask[i] && s == threshold {
+            mask[i] = true;
+            taken += 1;
+        }
+    }
+    debug_assert_eq!(taken, k);
+    mask
+}
+
+/// The `k`-th largest value (1-indexed: `k = 1` is the maximum).
+fn kth_largest(scores: &[f32], k: usize) -> f32 {
+    let mut buf: Vec<f32> = scores.to_vec();
+    let idx = k - 1;
+    // `select_nth_unstable_by` with descending order puts the k-th largest
+    // at position idx.
+    let (_, nth, _) = buf.select_nth_unstable_by(idx, |a, b| {
+        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    *nth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn selected(mask: &[bool]) -> Vec<usize> {
+        mask.iter()
+            .enumerate()
+            .filter_map(|(i, &m)| m.then_some(i))
+            .collect()
+    }
+
+    #[test]
+    fn selects_exactly_k() {
+        let scores = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        for k in 1..=8 {
+            let mask = top_k_mask(&scores, k);
+            assert_eq!(mask.iter().filter(|&&m| m).count(), k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn matches_sort_reference() {
+        let scores = [0.3, -1.0, 0.7, 0.7, 2.0, -0.5, 0.0, 0.7, 1.5];
+        let mask = top_k_mask(&scores, 4);
+        // Sorted descending: 2.0(4), 1.5(8), 0.7(2), 0.7(3) — ties by index.
+        assert_eq!(selected(&mask), vec![2, 3, 4, 8]);
+    }
+
+    #[test]
+    fn k_larger_than_n_selects_all() {
+        let mask = top_k_mask(&[1.0, 2.0], 10);
+        assert_eq!(mask, vec![true, true]);
+    }
+
+    #[test]
+    fn all_equal_breaks_ties_by_index() {
+        let mask = top_k_mask(&[5.0; 6], 3);
+        assert_eq!(selected(&mask), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless")]
+    fn zero_k_panics() {
+        top_k_mask(&[1.0], 0);
+    }
+
+    #[test]
+    fn reference_equivalence_random() {
+        // Property-style check against a full-sort reference.
+        let mut state = 0x12345u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+        };
+        for trial in 0..20 {
+            let n = 50 + trial * 13;
+            let scores: Vec<f32> = (0..n).map(|_| next()).collect();
+            let k = 1 + trial * 2;
+            let mask = top_k_mask(&scores, k.min(n));
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                scores[b]
+                    .partial_cmp(&scores[a])
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+            let expect: std::collections::BTreeSet<usize> =
+                order[..k.min(n)].iter().copied().collect();
+            let got: std::collections::BTreeSet<usize> =
+                selected(&mask).into_iter().collect();
+            assert_eq!(expect, got, "trial {trial}");
+        }
+    }
+}

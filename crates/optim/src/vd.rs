@@ -1,0 +1,54 @@
+//! KL annealing for variational-dropout training.
+
+/// Linear KL warm-up: the KL weight ramps from 0 to `max_scale` over
+/// `warmup_epochs`, the standard trick that lets variational dropout first
+/// fit the data and then sparsify.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KlAnneal {
+    warmup_epochs: usize,
+    max_scale: f32,
+}
+
+impl KlAnneal {
+    /// Creates a schedule reaching `max_scale` after `warmup_epochs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_scale < 0`.
+    pub fn new(warmup_epochs: usize, max_scale: f32) -> Self {
+        assert!(max_scale >= 0.0, "negative KL scale");
+        Self {
+            warmup_epochs,
+            max_scale,
+        }
+    }
+
+    /// KL weight at `epoch` (0-indexed).
+    pub fn at(&self, epoch: usize) -> f32 {
+        if self.warmup_epochs == 0 {
+            return self.max_scale;
+        }
+        let t = ((epoch + 1) as f32 / self.warmup_epochs as f32).min(1.0);
+        t * self.max_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramps_linearly() {
+        let a = KlAnneal::new(10, 1.0);
+        assert!((a.at(0) - 0.1).abs() < 1e-6);
+        assert!((a.at(4) - 0.5).abs() < 1e-6);
+        assert_eq!(a.at(9), 1.0);
+        assert_eq!(a.at(50), 1.0);
+    }
+
+    #[test]
+    fn zero_warmup_is_constant() {
+        let a = KlAnneal::new(0, 0.3);
+        assert_eq!(a.at(0), 0.3);
+    }
+}

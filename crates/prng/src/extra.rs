@@ -1,0 +1,138 @@
+//! Additional generators: xorwow (the xorshift variant used by CUDA's
+//! cuRAND, relevant because the paper's GPU substrate generates inits with
+//! it) and splitmix64 (the stateless mixer underlying [`crate::regen_normal`],
+//! exposed as a sequential generator for completeness).
+
+/// Marsaglia's xorwow: a 160-bit xorshift state plus a Weyl counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Xorwow {
+    x: [u32; 5],
+    counter: u32,
+}
+
+impl Xorwow {
+    /// Creates a generator, expanding `seed` into the 5-word state.
+    pub fn new(seed: u64) -> Self {
+        let mut s = crate::Xorshift64::new(seed);
+        let mut x = [0u32; 5];
+        for w in &mut x {
+            *w = s.next_u32();
+        }
+        if x.iter().all(|&w| w == 0) {
+            x[0] = 1;
+        }
+        Self { x, counter: 0 }
+    }
+
+    /// Advances the generator and returns the next 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        let mut t = self.x[4];
+        let s = self.x[0];
+        self.x[4] = self.x[3];
+        self.x[3] = self.x[2];
+        self.x[2] = self.x[1];
+        self.x[1] = s;
+        t ^= t >> 2;
+        t ^= t << 1;
+        t ^= s ^ (s << 4);
+        self.x[0] = t;
+        self.counter = self.counter.wrapping_add(362437);
+        t.wrapping_add(self.counter)
+    }
+
+    /// Returns a uniform value in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl crate::xorshift::UniformSource for Xorwow {
+    fn uniform(&mut self) -> f32 {
+        self.next_f32()
+    }
+}
+
+/// Sequential splitmix64 — one 64-bit state word, extremely fast, used
+/// here for state expansion and as a reference stream in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from `seed` (all seeds are valid, including 0).
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Advances the generator and returns the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform value in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as u32) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl crate::xorshift::UniformSource for SplitMix64 {
+    fn uniform(&mut self) -> f32 {
+        self.next_f32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::chi_square_uniform;
+
+    #[test]
+    fn xorwow_is_deterministic_and_uniform() {
+        let mut a = Xorwow::new(3);
+        let mut b = Xorwow::new(3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+        let samples: Vec<f32> = (0..50_000).map(|_| a.next_f32()).collect();
+        let stat = chi_square_uniform(&samples, 100);
+        assert!(stat < 148.0, "chi2 {stat}");
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniform() {
+        let mut a = SplitMix64::new(0); // zero seed is fine for splitmix
+        let mut b = SplitMix64::new(0);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let samples: Vec<f32> = (0..50_000).map(|_| a.next_f32()).collect();
+        let stat = chi_square_uniform(&samples, 100);
+        assert!(stat < 148.0, "chi2 {stat}");
+    }
+
+    #[test]
+    fn generators_differ_across_seeds() {
+        let a: Vec<u32> = {
+            let mut g = Xorwow::new(1);
+            (0..8).map(|_| g.next_u32()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut g = Xorwow::new(2);
+            (0..8).map(|_| g.next_u32()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn box_muller_over_xorwow_is_normal() {
+        let mut n = crate::BoxMuller::new(Xorwow::new(11));
+        let samples: Vec<f32> = (0..50_000).map(|_| n.next_normal()).collect();
+        let d = crate::stats::ks_statistic_normal(&samples);
+        assert!(d * (samples.len() as f64).sqrt() < 1.95);
+    }
+}

@@ -1,0 +1,49 @@
+//! Xorshift pseudo-random number generation and **index-addressable weight
+//! regeneration** for the DropBack reproduction.
+//!
+//! DropBack (Golub et al., MLSys 2019) avoids storing untracked weights by
+//! observing that initialization values "can be deterministically regenerated
+//! exactly when [they are] needed for computation, without ever being stored
+//! in memory". The paper uses the xorshift family of generators
+//! (Marsaglia 2003) postprocessed into a scaled normal distribution.
+//!
+//! This crate provides:
+//!
+//! * Sequential xorshift generators ([`Xorshift32`], [`Xorshift64`],
+//!   [`Xorshift128`]) for ordinary streaming randomness (shuffling, noise).
+//! * The stateless, O(1) [`regen_normal`] / [`regen_uniform`] functions that
+//!   map `(seed, index)` to a reproducible value — the core primitive that
+//!   lets DropBack "forget" untracked weights.
+//! * [`RegenInit`], an index-addressable initializer carrying a seed and an
+//!   [`InitScheme`] (LeCun / He / Xavier scaled normals or constants).
+//! * Operation-count constants used by the energy model to reproduce the
+//!   paper's "427× less energy than a DRAM access" claim.
+//!
+//! # Example
+//!
+//! ```
+//! use dropback_prng::{RegenInit, InitScheme};
+//!
+//! // A layer with fan-in 784 whose weights are never stored:
+//! let init = RegenInit::new(42, InitScheme::lecun_normal(784));
+//! let w0 = init.value(10_001);
+//! // ... training happens, weight 10_001 is untracked and forgotten ...
+//! let again = init.value(10_001);
+//! assert_eq!(w0, again); // bit-exact regeneration
+//! ```
+
+#![deny(missing_docs)]
+
+mod extra;
+mod init;
+mod regen;
+pub mod stats;
+mod xorshift;
+
+pub use extra::{SplitMix64, Xorwow};
+pub use init::{InitScheme, RegenInit};
+pub use regen::{
+    regen_normal, regen_normal_fast, regen_uniform, REGEN_FAST_FLOPS, REGEN_FAST_INT_OPS,
+    REGEN_FLOPS, REGEN_INT_OPS,
+};
+pub use xorshift::{BoxMuller, UniformSource, Xorshift128, Xorshift32, Xorshift64};

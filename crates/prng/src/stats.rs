@@ -1,0 +1,164 @@
+//! Statistical quality checks for the generators.
+//!
+//! DropBack leans on the regenerated initialization being statistically
+//! indistinguishable from a stored `N(0, σ)` init — if the regeneration
+//! stream were biased or correlated, the "scaffolding" argument of §2.1
+//! would not carry over. These helpers make that property testable (and
+//! are used by this crate's own test suite).
+
+/// Chi-square uniformity statistic of `samples` in `[0, 1)` over `bins`
+/// equal-width bins.
+///
+/// For a uniform source the statistic is approximately χ²(bins−1); values
+/// below the 99.9% quantile (`bins + 3·sqrt(2·bins)` is a serviceable
+/// approximation for large `bins`) indicate no gross bias.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty, `bins < 2`, or any sample is outside
+/// `[0, 1)`.
+pub fn chi_square_uniform(samples: &[f32], bins: usize) -> f64 {
+    assert!(!samples.is_empty(), "no samples");
+    assert!(bins >= 2, "need at least two bins");
+    let mut counts = vec![0u64; bins];
+    for &s in samples {
+        assert!((0.0..1.0).contains(&s), "sample {s} outside [0, 1)");
+        counts[((s as f64) * bins as f64) as usize] += 1;
+    }
+    let expected = samples.len() as f64 / bins as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// One-sample Kolmogorov–Smirnov statistic of `samples` against the
+/// standard normal CDF.
+///
+/// Returns the max absolute CDF gap `D`. For `n` i.i.d. standard-normal
+/// samples, `D · sqrt(n)` is below ~1.95 with 99.9% probability.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn ks_statistic_normal(samples: &[f32]) -> f64 {
+    assert!(!samples.is_empty(), "no samples");
+    let mut sorted: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let cdf = normal_cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((cdf - lo).abs()).max((hi - cdf).abs());
+    }
+    d
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (absolute error < 1.5e-7).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Lag-`k` autocorrelation of a sample stream (≈0 for independent draws).
+///
+/// # Panics
+///
+/// Panics if `samples.len() <= lag` or `lag == 0`.
+pub fn autocorrelation(samples: &[f32], lag: usize) -> f64 {
+    assert!(lag > 0, "lag must be positive");
+    assert!(samples.len() > lag, "not enough samples for lag {lag}");
+    let n = samples.len();
+    let mean = samples.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+    let var = samples
+        .iter()
+        .map(|&v| (v as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n as f64;
+    if var == 0.0 {
+        return 0.0;
+    }
+    let cov = (0..n - lag)
+        .map(|i| (samples[i] as f64 - mean) * (samples[i + lag] as f64 - mean))
+        .sum::<f64>()
+        / (n - lag) as f64;
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{regen_normal, regen_uniform, Xorshift128};
+
+    #[test]
+    fn regen_uniform_passes_chi_square() {
+        let samples: Vec<f32> = (0..100_000u64).map(|i| regen_uniform(42, i)).collect();
+        let stat = chi_square_uniform(&samples, 100);
+        // 99.9% quantile of chi2(99) is ~148.
+        assert!(stat < 148.0, "chi2 = {stat}");
+    }
+
+    #[test]
+    fn sequential_xorshift_passes_chi_square() {
+        let mut rng = Xorshift128::new(7);
+        let samples: Vec<f32> = (0..100_000).map(|_| rng.next_f32()).collect();
+        let stat = chi_square_uniform(&samples, 100);
+        assert!(stat < 148.0, "chi2 = {stat}");
+    }
+
+    #[test]
+    fn regen_normal_passes_ks() {
+        let samples: Vec<f32> = (0..50_000u64).map(|i| regen_normal(42, i)).collect();
+        let d = ks_statistic_normal(&samples);
+        let scaled = d * (samples.len() as f64).sqrt();
+        assert!(scaled < 1.95, "KS sqrt(n)·D = {scaled}");
+    }
+
+    #[test]
+    fn biased_stream_fails_chi_square() {
+        // Sanity: the test can actually detect bias.
+        let samples: Vec<f32> = (0..10_000)
+            .map(|i| ((i % 100) as f32 / 100.0).powi(2).min(0.999))
+            .collect();
+        let stat = chi_square_uniform(&samples, 50);
+        assert!(stat > 200.0, "chi2 = {stat} should flag bias");
+    }
+
+    #[test]
+    fn normal_cdf_anchors() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn regen_stream_has_no_lag_correlation() {
+        let samples: Vec<f32> = (0..50_000u64).map(|i| regen_normal(9, i)).collect();
+        for lag in [1usize, 2, 7, 64] {
+            let ac = autocorrelation(&samples, lag);
+            assert!(ac.abs() < 0.02, "lag {lag}: {ac}");
+        }
+    }
+
+    #[test]
+    fn constant_stream_autocorrelation_is_zero() {
+        assert_eq!(autocorrelation(&[1.0; 100], 3), 0.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Sequential xorshift generators (Marsaglia 2003) and a Box–Muller adapter.
+
+/// A 32-bit xorshift generator with period `2^32 - 1`.
+///
+/// This is the `13/17/5` triple from Marsaglia's paper. One step costs six
+/// 32-bit integer operations (three shifts, three xors), which is the cost
+/// the DropBack paper quotes for regeneration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Xorshift32 {
+    state: u32,
+}
+
+impl Xorshift32 {
+    /// Creates a generator from `seed`. A zero seed is remapped to a fixed
+    /// non-zero constant because the all-zero state is a fixed point of
+    /// xorshift.
+    pub fn new(seed: u32) -> Self {
+        Self {
+            state: if seed == 0 { 0x9E37_79B9 } else { seed },
+        }
+    }
+
+    /// Advances the generator and returns the next 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.state = x;
+        x
+    }
+
+    /// Returns a uniform value in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        // 24 explicit mantissa bits keep the conversion exact in f32.
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Returns a uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn next_range(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Returns a uniform integer in `[0, n)` via rejection-free modulo with
+    /// a widening multiply (Lemire's method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn next_below(&mut self, n: u32) -> u32 {
+        assert!(n > 0, "next_below(0) is meaningless");
+        (((self.next_u32() as u64) * (n as u64)) >> 32) as u32
+    }
+}
+
+/// A 64-bit xorshift generator with period `2^64 - 1` (triple `13/7/17`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Xorshift64 {
+    state: u64,
+}
+
+impl Xorshift64 {
+    /// Creates a generator from `seed` (zero is remapped to a non-zero
+    /// constant).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Advances the generator and returns the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Returns the high 32 bits of the next 64-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniform value in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// The 128-bit xorshift generator from Marsaglia's paper
+/// (`x, y, z, w` state, period `2^128 - 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Xorshift128 {
+    x: u32,
+    y: u32,
+    z: u32,
+    w: u32,
+}
+
+impl Xorshift128 {
+    /// Creates a generator whose state is expanded from `seed` with a
+    /// [`Xorshift64`] stream.
+    pub fn new(seed: u64) -> Self {
+        let mut s = Xorshift64::new(seed);
+        Self {
+            x: s.next_u32(),
+            y: s.next_u32(),
+            z: s.next_u32(),
+            w: s.next_u32() | 1, // ensure non-zero state
+        }
+    }
+
+    /// Advances the generator and returns the next 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        let t = self.x ^ (self.x << 11);
+        self.x = self.y;
+        self.y = self.z;
+        self.z = self.w;
+        self.w = (self.w ^ (self.w >> 19)) ^ (t ^ (t >> 8));
+        self.w
+    }
+
+    /// Returns a uniform value in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Adapts any uniform `f32` source into a standard-normal source using the
+/// Box–Muller transform. Generates values in pairs and caches the second.
+#[derive(Debug, Clone)]
+pub struct BoxMuller<R> {
+    rng: R,
+    cached: Option<f32>,
+}
+
+/// A uniform `[0, 1)` source consumable by [`BoxMuller`].
+pub trait UniformSource {
+    /// Returns the next uniform value in `[0, 1)`.
+    fn uniform(&mut self) -> f32;
+}
+
+impl UniformSource for Xorshift32 {
+    fn uniform(&mut self) -> f32 {
+        self.next_f32()
+    }
+}
+
+impl UniformSource for Xorshift64 {
+    fn uniform(&mut self) -> f32 {
+        self.next_f32()
+    }
+}
+
+impl UniformSource for Xorshift128 {
+    fn uniform(&mut self) -> f32 {
+        self.next_f32()
+    }
+}
+
+impl<R: UniformSource> BoxMuller<R> {
+    /// Wraps a uniform source.
+    pub fn new(rng: R) -> Self {
+        Self { rng, cached: None }
+    }
+
+    /// Returns the next standard-normal (`N(0, 1)`) variate.
+    pub fn next_normal(&mut self) -> f32 {
+        if let Some(v) = self.cached.take() {
+            return v;
+        }
+        // Avoid u1 == 0 (ln(0) = -inf).
+        let mut u1 = self.rng.uniform();
+        while u1 <= f32::EPSILON {
+            u1 = self.rng.uniform();
+        }
+        let u2 = self.rng.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Consumes the adapter and returns the wrapped source.
+    pub fn into_inner(self) -> R {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift32_is_deterministic() {
+        let mut a = Xorshift32::new(7);
+        let mut b = Xorshift32::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn xorshift32_zero_seed_is_remapped() {
+        let mut r = Xorshift32::new(0);
+        assert_ne!(r.next_u32(), 0);
+    }
+
+    #[test]
+    fn xorshift32_known_sequence_differs_across_seeds() {
+        let mut a = Xorshift32::new(1);
+        let mut b = Xorshift32::new(2);
+        let sa: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        let sb: Vec<u32> = (0..8).map(|_| b.next_u32()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn next_f32_in_unit_interval() {
+        let mut r = Xorshift32::new(99);
+        for _ in 0..10_000 {
+            let v = r.next_f32();
+            assert!((0.0..1.0).contains(&v), "{v} out of [0,1)");
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = Xorshift32::new(5);
+        for _ in 0..10_000 {
+            assert!(r.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "next_below(0)")]
+    fn next_below_zero_panics() {
+        Xorshift32::new(5).next_below(0);
+    }
+
+    #[test]
+    fn next_range_is_within_bounds() {
+        let mut r = Xorshift32::new(5);
+        for _ in 0..1000 {
+            let v = r.next_range(-2.5, 3.5);
+            assert!((-2.5..3.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn xorshift64_and_128_produce_nonconstant_streams() {
+        let mut r64 = Xorshift64::new(3);
+        let mut r128 = Xorshift128::new(3);
+        let v64: Vec<u64> = (0..16).map(|_| r64.next_u64()).collect();
+        let v128: Vec<u32> = (0..16).map(|_| r128.next_u32()).collect();
+        assert!(v64.windows(2).any(|w| w[0] != w[1]));
+        assert!(v128.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn box_muller_moments_are_plausible() {
+        let mut n = BoxMuller::new(Xorshift128::new(42));
+        let samples: Vec<f32> = (0..200_000).map(|_| n.next_normal()).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / samples.len() as f32;
+        let var: f32 =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / samples.len() as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn box_muller_uniform_mean_matches() {
+        let mut r = Xorshift64::new(11);
+        let mean: f32 = (0..100_000).map(|_| r.next_f32()).sum::<f32>() / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Elementwise activation functions and their derivatives.
+//!
+//! The model zoo only needs ReLU/PReLU, but a reusable substrate should
+//! cover the standard battery; each function comes with its exact
+//! derivative (in terms of input or output, whichever is cheaper) and is
+//! finite-difference-tested.
+
+use crate::Tensor;
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`, numerically stable on both tails.
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    x.map(sigmoid_scalar)
+}
+
+/// Scalar sigmoid (stable: never exponentiates a large positive value).
+#[inline]
+pub fn sigmoid_scalar(v: f32) -> f32 {
+    if v >= 0.0 {
+        1.0 / (1.0 + (-v).exp())
+    } else {
+        let e = v.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Sigmoid backward given the *output* `y`: `dx = dout · y · (1 − y)`.
+pub fn sigmoid_backward(dout: &Tensor, output: &Tensor) -> Tensor {
+    dout.zip(output, |g, y| g * y * (1.0 - y))
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(x: &Tensor) -> Tensor {
+    x.map(f32::tanh)
+}
+
+/// Tanh backward given the *output* `y`: `dx = dout · (1 − y²)`.
+pub fn tanh_backward(dout: &Tensor, output: &Tensor) -> Tensor {
+    dout.zip(output, |g, y| g * (1.0 - y * y))
+}
+
+/// GELU (tanh approximation, as used by transformer stacks).
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(gelu_scalar)
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/π)
+
+#[inline]
+fn gelu_scalar(v: f32) -> f32 {
+    0.5 * v * (1.0 + (GELU_C * (v + 0.044715 * v * v * v)).tanh())
+}
+
+/// GELU backward given the *input* `x` (derivative of the tanh
+/// approximation).
+pub fn gelu_backward(dout: &Tensor, input: &Tensor) -> Tensor {
+    dout.zip(input, |g, v| {
+        let u = GELU_C * (v + 0.044715 * v * v * v);
+        let t = u.tanh();
+        let du = GELU_C * (1.0 + 3.0 * 0.044715 * v * v);
+        g * (0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * du)
+    })
+}
+
+/// Leaky ReLU with fixed negative slope.
+pub fn leaky_relu(x: &Tensor, slope: f32) -> Tensor {
+    x.map(|v| if v > 0.0 { v } else { slope * v })
+}
+
+/// Leaky ReLU backward given the *input*.
+pub fn leaky_relu_backward(dout: &Tensor, input: &Tensor, slope: f32) -> Tensor {
+    dout.zip(input, |g, v| if v > 0.0 { g } else { slope * g })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd_check(
+        f: impl Fn(&Tensor) -> Tensor,
+        df: impl Fn(&Tensor, &Tensor, &Tensor) -> Tensor, // (dout, input, output)
+        points: &[f32],
+        tol: f32,
+    ) {
+        let x = Tensor::from_vec(vec![points.len()], points.to_vec());
+        let y = f(&x);
+        let dout = Tensor::filled(vec![points.len()], 1.0);
+        let dx = df(&dout, &x, &y);
+        let eps = 1e-3;
+        for i in 0..points.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let lp = f(&xp).data()[i];
+            xp.data_mut()[i] -= 2.0 * eps;
+            let lm = f(&xp).data()[i];
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[i]).abs() < tol,
+                "point {}: numeric {num} vs analytic {}",
+                points[i],
+                dx.data()[i]
+            );
+        }
+    }
+
+    const PTS: [f32; 7] = [-3.0, -1.0, -0.2, 0.1, 0.5, 1.5, 4.0];
+
+    #[test]
+    fn sigmoid_matches_finite_difference() {
+        fd_check(sigmoid, |d, _x, y| sigmoid_backward(d, y), &PTS, 1e-3);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_on_tails() {
+        assert!(sigmoid_scalar(-100.0) >= 0.0);
+        assert!((sigmoid_scalar(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid_scalar(-100.0) < 1e-6);
+        assert!((sigmoid_scalar(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn tanh_matches_finite_difference() {
+        fd_check(tanh, |d, _x, y| tanh_backward(d, y), &PTS, 1e-3);
+    }
+
+    #[test]
+    fn gelu_matches_finite_difference() {
+        fd_check(gelu, |d, x, _y| gelu_backward(d, x), &PTS, 2e-3);
+    }
+
+    #[test]
+    fn gelu_anchors() {
+        // GELU(0) = 0; GELU(large) ≈ identity; GELU(-large) ≈ 0.
+        assert_eq!(gelu_scalar(0.0), 0.0);
+        assert!((gelu_scalar(6.0) - 6.0).abs() < 1e-3);
+        assert!(gelu_scalar(-6.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn leaky_relu_matches_finite_difference() {
+        fd_check(
+            |x| leaky_relu(x, 0.1),
+            |d, x, _y| leaky_relu_backward(d, x, 0.1),
+            &PTS,
+            1e-3,
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Axis-wise reductions and shape surgery for rank-N tensors.
+//!
+//! The layer kernels mostly hand-roll their reductions for speed, but a
+//! reusable substrate needs general axis operations; these are used by the
+//! analysis code (per-channel statistics) and exposed for downstream users.
+
+use crate::Tensor;
+
+/// Sums over `axis`, removing that dimension
+/// (`[a, b, c]`, axis 1 → `[a, c]`).
+///
+/// # Panics
+///
+/// Panics if `axis >= rank` or the tensor is rank-1 (reduce to a scalar
+/// with [`Tensor::sum`] instead).
+pub fn sum_axis(t: &Tensor, axis: usize) -> Tensor {
+    reduce_axis(t, axis, 0.0, |acc, v| acc + v)
+}
+
+/// Means over `axis`, removing that dimension.
+///
+/// # Panics
+///
+/// Panics if `axis >= rank` or the tensor is rank-1.
+pub fn mean_axis(t: &Tensor, axis: usize) -> Tensor {
+    let n = t.shape()[axis] as f32;
+    let mut out = sum_axis(t, axis);
+    out.scale_inplace(1.0 / n);
+    out
+}
+
+/// Maximum over `axis`, removing that dimension.
+///
+/// # Panics
+///
+/// Panics if `axis >= rank` or the tensor is rank-1.
+pub fn max_axis(t: &Tensor, axis: usize) -> Tensor {
+    reduce_axis(t, axis, f32::NEG_INFINITY, f32::max)
+}
+
+fn reduce_axis(t: &Tensor, axis: usize, init: f32, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    let shape = t.shape();
+    assert!(axis < shape.len(), "axis {axis} out of range for {shape:?}");
+    assert!(shape.len() >= 2, "use Tensor::sum for rank-1 reductions");
+    let outer: usize = shape[..axis].iter().product();
+    let mid = shape[axis];
+    let inner: usize = shape[axis + 1..].iter().product();
+    let mut out_shape: Vec<usize> = Vec::with_capacity(shape.len() - 1);
+    out_shape.extend_from_slice(&shape[..axis]);
+    out_shape.extend_from_slice(&shape[axis + 1..]);
+    let mut out = vec![init; outer * inner];
+    let data = t.data();
+    for o in 0..outer {
+        for m in 0..mid {
+            let base = (o * mid + m) * inner;
+            let out_base = o * inner;
+            for i in 0..inner {
+                out[out_base + i] = f(out[out_base + i], data[base + i]);
+            }
+        }
+    }
+    Tensor::from_vec(out_shape, out)
+}
+
+/// Concatenates tensors along `axis`; all other dimensions must match.
+///
+/// # Panics
+///
+/// Panics on empty input, rank/shape mismatch, or `axis >= rank`.
+pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
+    assert!(!tensors.is_empty(), "nothing to concatenate");
+    let first = tensors[0].shape();
+    assert!(axis < first.len(), "axis {axis} out of range");
+    for t in tensors {
+        assert_eq!(t.rank(), first.len(), "rank mismatch in concat");
+        for (d, (a, b)) in t.shape().iter().zip(first).enumerate() {
+            assert!(d == axis || a == b, "dim {d} mismatch in concat");
+        }
+    }
+    let outer: usize = first[..axis].iter().product();
+    let inner: usize = first[axis + 1..].iter().product();
+    let total_mid: usize = tensors.iter().map(|t| t.shape()[axis]).sum();
+    let mut out_shape = first.to_vec();
+    out_shape[axis] = total_mid;
+    let mut out = Vec::with_capacity(outer * total_mid * inner);
+    for o in 0..outer {
+        for t in tensors {
+            let mid = t.shape()[axis];
+            let chunk = mid * inner;
+            out.extend_from_slice(&t.data()[o * chunk..(o + 1) * chunk]);
+        }
+    }
+    Tensor::from_vec(out_shape, out)
+}
+
+/// Splits a tensor along `axis` at the given sizes (must sum to the axis
+/// length). Inverse of [`concat`].
+///
+/// # Panics
+///
+/// Panics if sizes don't sum to the axis length or any size is zero.
+pub fn split(t: &Tensor, axis: usize, sizes: &[usize]) -> Vec<Tensor> {
+    let shape = t.shape();
+    assert!(axis < shape.len(), "axis {axis} out of range");
+    assert_eq!(
+        sizes.iter().sum::<usize>(),
+        shape[axis],
+        "split sizes must sum to the axis length"
+    );
+    assert!(sizes.iter().all(|&s| s > 0), "zero-sized split piece");
+    let outer: usize = shape[..axis].iter().product();
+    let inner: usize = shape[axis + 1..].iter().product();
+    let mid = shape[axis];
+    let mut pieces: Vec<Vec<f32>> = sizes
+        .iter()
+        .map(|&s| Vec::with_capacity(outer * s * inner))
+        .collect();
+    let data = t.data();
+    for o in 0..outer {
+        let mut offset = 0usize;
+        for (p, &s) in pieces.iter_mut().zip(sizes) {
+            let base = (o * mid + offset) * inner;
+            p.extend_from_slice(&data[base..base + s * inner]);
+            offset += s;
+        }
+    }
+    pieces
+        .into_iter()
+        .zip(sizes)
+        .map(|(p, &s)| {
+            let mut sh = shape.to_vec();
+            sh[axis] = s;
+            Tensor::from_vec(sh, p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t234() -> Tensor {
+        Tensor::from_fn(vec![2, 3, 4], |i| i as f32)
+    }
+
+    #[test]
+    fn sum_axis_middle() {
+        let s = sum_axis(&t234(), 1);
+        assert_eq!(s.shape(), &[2, 4]);
+        // element (0,0): 0 + 4 + 8 = 12
+        assert_eq!(s.data()[0], 12.0);
+        // element (1,3): 15 + 19 + 23 = 57
+        assert_eq!(s.data()[7], 57.0);
+    }
+
+    #[test]
+    fn sum_axis_first_and_last() {
+        let s0 = sum_axis(&t234(), 0);
+        assert_eq!(s0.shape(), &[3, 4]);
+        assert_eq!(s0.data()[0], 0.0 + 12.0);
+        let s2 = sum_axis(&t234(), 2);
+        assert_eq!(s2.shape(), &[2, 3]);
+        assert_eq!(s2.data()[0], 0.0 + 1.0 + 2.0 + 3.0);
+    }
+
+    #[test]
+    fn mean_and_max_axis() {
+        let m = mean_axis(&t234(), 2);
+        assert_eq!(m.data()[0], 1.5);
+        let mx = max_axis(&t234(), 2);
+        assert_eq!(mx.data()[0], 3.0);
+        assert_eq!(mx.data()[5], 23.0);
+    }
+
+    #[test]
+    fn axis_reductions_agree_with_total() {
+        let t = t234();
+        let via_axes = sum_axis(&sum_axis(&t, 0), 0).sum();
+        assert!((via_axes - t.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn concat_then_split_roundtrips() {
+        let a = Tensor::from_fn(vec![2, 2, 3], |i| i as f32);
+        let b = Tensor::from_fn(vec![2, 4, 3], |i| 100.0 + i as f32);
+        let c = concat(&[&a, &b], 1);
+        assert_eq!(c.shape(), &[2, 6, 3]);
+        let parts = split(&c, 1, &[2, 4]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn concat_axis0_is_stacking() {
+        let a = Tensor::from_vec(vec![1, 2], vec![1., 2.]);
+        let b = Tensor::from_vec(vec![2, 2], vec![3., 4., 5., 6.]);
+        let c = concat(&[&a, &b], 0);
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.data(), &[1., 2., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim 1 mismatch")]
+    fn concat_shape_mismatch_panics() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![2, 4]);
+        concat(&[&a, &b], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to the axis length")]
+    fn split_bad_sizes_panics() {
+        split(&t234(), 1, &[1, 1]);
+    }
+}

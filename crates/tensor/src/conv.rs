@@ -1,0 +1,576 @@
+//! Convolution and pooling kernels (NCHW layout).
+//!
+//! Convolution is implemented with the classic `im2col` lowering: each
+//! receptive field is unrolled into a column, so the forward pass becomes a
+//! GEMM against the `[filters, channels*kh*kw]` weight matrix, and both
+//! backward passes (weights and inputs) are GEMMs too. This mirrors how the
+//! paper's GPU substrate (Chainer/cuDNN) computes convolutions and keeps all
+//! FLOPs countable for the energy model.
+
+use crate::{matmul, matmul_nt, matmul_tn, Tensor};
+
+/// Output spatial size for a convolution/pooling dimension.
+///
+/// # Panics
+///
+/// Panics if the kernel does not fit the padded input or `stride == 0`.
+pub fn out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * pad;
+    assert!(padded >= kernel, "kernel {kernel} larger than padded input {padded}");
+    (padded - kernel) / stride + 1
+}
+
+/// Geometry of one convolution, shared by forward and backward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input channels.
+    pub c: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output height.
+    pub fn oh(&self) -> usize {
+        out_dim(self.h, self.kh, self.stride, self.pad)
+    }
+    /// Output width.
+    pub fn ow(&self) -> usize {
+        out_dim(self.w, self.kw, self.stride, self.pad)
+    }
+    /// Rows of the im2col matrix (`c * kh * kw`).
+    pub fn col_rows(&self) -> usize {
+        self.c * self.kh * self.kw
+    }
+    /// Columns of the im2col matrix (`oh * ow`).
+    pub fn col_cols(&self) -> usize {
+        self.oh() * self.ow()
+    }
+}
+
+/// Unrolls one `[c, h, w]` image into an `[c*kh*kw, oh*ow]` column matrix.
+pub fn im2col(x: &[f32], g: ConvGeom) -> Tensor {
+    let (oh, ow) = (g.oh(), g.ow());
+    let mut col = vec![0.0f32; g.col_rows() * g.col_cols()];
+    let cols = oh * ow;
+    for c in 0..g.c {
+        for ky in 0..g.kh {
+            for kx in 0..g.kw {
+                let row = (c * g.kh + ky) * g.kw + kx;
+                let out_base = row * cols;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy >= g.h as isize {
+                        continue;
+                    }
+                    let in_base = (c * g.h + iy as usize) * g.w;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if ix < 0 || ix >= g.w as isize {
+                            continue;
+                        }
+                        col[out_base + oy * ow + ox] = x[in_base + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![g.col_rows(), g.col_cols()], col)
+}
+
+/// Scatters an `[c*kh*kw, oh*ow]` column-gradient matrix back into a
+/// `[c, h, w]` image gradient (the adjoint of [`im2col`]).
+pub fn col2im(col: &Tensor, g: ConvGeom) -> Vec<f32> {
+    assert_eq!(col.shape(), &[g.col_rows(), g.col_cols()], "col2im shape");
+    let (oh, ow) = (g.oh(), g.ow());
+    let mut x = vec![0.0f32; g.c * g.h * g.w];
+    let data = col.data();
+    let cols = oh * ow;
+    for c in 0..g.c {
+        for ky in 0..g.kh {
+            for kx in 0..g.kw {
+                let row = (c * g.kh + ky) * g.kw + kx;
+                let in_base = row * cols;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy >= g.h as isize {
+                        continue;
+                    }
+                    let out_base = (c * g.h + iy as usize) * g.w;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if ix < 0 || ix >= g.w as isize {
+                            continue;
+                        }
+                        x[out_base + ix as usize] += data[in_base + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    x
+}
+
+/// Forward convolution.
+///
+/// * `x`: `[n, c, h, w]`
+/// * `weight`: `[f, c*kh*kw]` (pre-flattened filter matrix)
+/// * `bias`: optional `[f]`
+///
+/// Returns `(output [n, f, oh, ow], per-sample im2col matrices)`. The column
+/// matrices are needed by [`conv2d_backward`]; callers that only infer can
+/// drop them.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv2d_forward(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    g: ConvGeom,
+) -> (Tensor, Vec<Tensor>) {
+    assert_eq!(x.rank(), 4, "conv input must be [n,c,h,w]");
+    let n = x.shape()[0];
+    assert_eq!(x.shape()[1..], [g.c, g.h, g.w], "conv input vs geom");
+    let f = weight.shape()[0];
+    assert_eq!(
+        weight.shape()[1],
+        g.col_rows(),
+        "weight cols {} != c*kh*kw {}",
+        weight.shape()[1],
+        g.col_rows()
+    );
+    if let Some(b) = bias {
+        assert_eq!(b.len(), f, "bias len");
+    }
+    let (oh, ow) = (g.oh(), g.ow());
+    let sample = g.c * g.h * g.w;
+    let mut out = vec![0.0f32; n * f * oh * ow];
+    let mut cols = Vec::with_capacity(n);
+    for i in 0..n {
+        let col = im2col(&x.data()[i * sample..(i + 1) * sample], g);
+        let y = matmul(weight, &col); // [f, oh*ow]
+        let dst = &mut out[i * f * oh * ow..(i + 1) * f * oh * ow];
+        dst.copy_from_slice(y.data());
+        if let Some(b) = bias {
+            for (fi, bv) in b.iter().enumerate() {
+                for v in &mut dst[fi * oh * ow..(fi + 1) * oh * ow] {
+                    *v += bv;
+                }
+            }
+        }
+        cols.push(col);
+    }
+    (Tensor::from_vec(vec![n, f, oh, ow], out), cols)
+}
+
+/// Backward convolution.
+///
+/// * `dout`: `[n, f, oh, ow]`
+/// * `weight`: `[f, c*kh*kw]`
+/// * `cols`: the per-sample im2col matrices from [`conv2d_forward`]
+///
+/// Returns `(dx [n,c,h,w], dweight [f, c*kh*kw], dbias [f])`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv2d_backward(
+    dout: &Tensor,
+    weight: &Tensor,
+    cols: &[Tensor],
+    g: ConvGeom,
+) -> (Tensor, Tensor, Vec<f32>) {
+    assert_eq!(dout.rank(), 4, "dout must be [n,f,oh,ow]");
+    let n = dout.shape()[0];
+    let f = dout.shape()[1];
+    assert_eq!(n, cols.len(), "one im2col matrix per sample");
+    let (oh, ow) = (g.oh(), g.ow());
+    assert_eq!(dout.shape()[2..], [oh, ow], "dout spatial dims");
+    let mut dw = Tensor::zeros(vec![f, g.col_rows()]);
+    let mut db = vec![0.0f32; f];
+    let mut dx = vec![0.0f32; n * g.c * g.h * g.w];
+    let sample = g.c * g.h * g.w;
+    for i in 0..n {
+        let dy = Tensor::from_vec(
+            vec![f, oh * ow],
+            dout.data()[i * f * oh * ow..(i + 1) * f * oh * ow].to_vec(),
+        );
+        // dW += dY · colᵀ
+        dw.axpy(1.0, &matmul_nt(&dy, &cols[i]));
+        // db += row sums of dY
+        for (fi, row) in dy.data().chunks_exact(oh * ow).enumerate() {
+            db[fi] += row.iter().sum::<f32>();
+        }
+        // dcol = Wᵀ · dY, then scatter back.
+        let dcol = matmul_tn(weight, &dy);
+        let dxi = col2im(&dcol, g);
+        dx[i * sample..(i + 1) * sample].copy_from_slice(&dxi);
+    }
+    (
+        Tensor::from_vec(vec![n, g.c, g.h, g.w], dx),
+        dw,
+        db,
+    )
+}
+
+/// Max pooling over `[n, c, h, w]` with square window `size` and `stride`.
+///
+/// Returns `(output, argmax)` where `argmax[i]` is the flat input index that
+/// produced output element `i` (needed for the backward pass).
+///
+/// # Panics
+///
+/// Panics if the input is not rank-4 or the window does not fit.
+pub fn maxpool2d(x: &Tensor, size: usize, stride: usize) -> (Tensor, Vec<u32>) {
+    assert_eq!(x.rank(), 4, "pool input must be [n,c,h,w]");
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let oh = out_dim(h, size, stride, 0);
+    let ow = out_dim(w, size, stride, 0);
+    let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+    let mut arg = vec![0u32; n * c * oh * ow];
+    let data = x.data();
+    for nc in 0..n * c {
+        let in_base = nc * h * w;
+        let out_base = nc * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for ky in 0..size {
+                    for kx in 0..size {
+                        let idx = in_base + (oy * stride + ky) * w + (ox * stride + kx);
+                        if data[idx] > best {
+                            best = data[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                out[out_base + oy * ow + ox] = best;
+                arg[out_base + oy * ow + ox] = best_idx as u32;
+            }
+        }
+    }
+    (Tensor::from_vec(vec![n, c, oh, ow], out), arg)
+}
+
+/// Backward of [`maxpool2d`]: routes each output gradient to the input
+/// element that won the max.
+pub fn maxpool2d_backward(dout: &Tensor, argmax: &[u32], input_shape: &[usize]) -> Tensor {
+    assert_eq!(dout.len(), argmax.len(), "dout/argmax length mismatch");
+    let mut dx = Tensor::zeros(input_shape.to_vec());
+    let dxd = dx.data_mut();
+    for (&g, &idx) in dout.data().iter().zip(argmax) {
+        dxd[idx as usize] += g;
+    }
+    dx
+}
+
+/// Global average pooling: `[n, c, h, w]` → `[n, c]`.
+///
+/// # Panics
+///
+/// Panics if the input is not rank-4.
+pub fn global_avg_pool(x: &Tensor) -> Tensor {
+    assert_eq!(x.rank(), 4, "pool input must be [n,c,h,w]");
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let hw = (h * w) as f32;
+    let mut out = vec![0.0f32; n * c];
+    for (o, plane) in out.iter_mut().zip(x.data().chunks_exact(h * w)) {
+        *o = plane.iter().sum::<f32>() / hw;
+    }
+    Tensor::from_vec(vec![n, c], out)
+}
+
+/// Backward of [`global_avg_pool`]: spreads each `[n, c]` gradient uniformly
+/// over the corresponding `h*w` plane.
+pub fn global_avg_pool_backward(dout: &Tensor, input_shape: &[usize]) -> Tensor {
+    assert_eq!(dout.rank(), 2, "dout must be [n,c]");
+    let (h, w) = (input_shape[2], input_shape[3]);
+    let hw = (h * w) as f32;
+    let mut dx = Tensor::zeros(input_shape.to_vec());
+    for (plane, &g) in dx.data_mut().chunks_exact_mut(h * w).zip(dout.data()) {
+        let v = g / hw;
+        for p in plane {
+            *p = v;
+        }
+    }
+    dx
+}
+
+/// Average pooling over `[n, c, h, w]` with square window `size`/`stride`.
+pub fn avgpool2d(x: &Tensor, size: usize, stride: usize) -> Tensor {
+    assert_eq!(x.rank(), 4, "pool input must be [n,c,h,w]");
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let oh = out_dim(h, size, stride, 0);
+    let ow = out_dim(w, size, stride, 0);
+    let inv = 1.0 / (size * size) as f32;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let data = x.data();
+    for nc in 0..n * c {
+        let in_base = nc * h * w;
+        let out_base = nc * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ky in 0..size {
+                    for kx in 0..size {
+                        acc += data[in_base + (oy * stride + ky) * w + (ox * stride + kx)];
+                    }
+                }
+                out[out_base + oy * ow + ox] = acc * inv;
+            }
+        }
+    }
+    Tensor::from_vec(vec![n, c, oh, ow], out)
+}
+
+/// Backward of [`avgpool2d`].
+pub fn avgpool2d_backward(dout: &Tensor, size: usize, stride: usize, input_shape: &[usize]) -> Tensor {
+    let (h, w) = (input_shape[2], input_shape[3]);
+    let (oh, ow) = (dout.shape()[2], dout.shape()[3]);
+    let inv = 1.0 / (size * size) as f32;
+    let mut dx = Tensor::zeros(input_shape.to_vec());
+    let dxd = dx.data_mut();
+    let nc = input_shape[0] * input_shape[1];
+    for p in 0..nc {
+        let in_base = p * h * w;
+        let out_base = p * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = dout.data()[out_base + oy * ow + ox] * inv;
+                for ky in 0..size {
+                    for kx in 0..size {
+                        dxd[in_base + (oy * stride + ky) * w + (ox * stride + kx)] += g;
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct (definition-based) convolution for cross-checking.
+    fn naive_conv(x: &Tensor, w4: &Tensor, bias: Option<&[f32]>, g: ConvGeom) -> Tensor {
+        let n = x.shape()[0];
+        let f = w4.shape()[0];
+        let (oh, ow) = (g.oh(), g.ow());
+        let mut out = vec![0.0f32; n * f * oh * ow];
+        for ni in 0..n {
+            for fi in 0..f {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias.map(|b| b[fi]).unwrap_or(0.0);
+                        for c in 0..g.c {
+                            for ky in 0..g.kh {
+                                for kx in 0..g.kw {
+                                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                                    let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                                    if iy < 0 || ix < 0 || iy >= g.h as isize || ix >= g.w as isize
+                                    {
+                                        continue;
+                                    }
+                                    let xv = x.data()[((ni * g.c + c) * g.h + iy as usize) * g.w
+                                        + ix as usize];
+                                    let wv = w4.data()
+                                        [((fi * g.c + c) * g.kh + ky) * g.kw + kx];
+                                    acc += xv * wv;
+                                }
+                            }
+                        }
+                        out[((ni * f + fi) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(vec![n, f, oh, ow], out)
+    }
+
+    fn rand_tensor(shape: Vec<usize>, seed: u64) -> Tensor {
+        let mut state = seed.max(1);
+        Tensor::from_fn(shape, |_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+        })
+    }
+
+    #[test]
+    fn out_dim_basics() {
+        assert_eq!(out_dim(28, 3, 1, 1), 28);
+        assert_eq!(out_dim(28, 2, 2, 0), 14);
+        assert_eq!(out_dim(5, 3, 1, 0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        out_dim(5, 3, 0, 0);
+    }
+
+    #[test]
+    fn conv_matches_naive_no_pad() {
+        let g = ConvGeom { c: 2, h: 6, w: 6, kh: 3, kw: 3, stride: 1, pad: 0 };
+        let x = rand_tensor(vec![2, 2, 6, 6], 1);
+        let w4 = rand_tensor(vec![4, 2, 3, 3], 2);
+        let wmat = w4.clone().reshape(vec![4, 18]);
+        let bias = vec![0.1, -0.2, 0.3, 0.0];
+        let (y, _) = conv2d_forward(&x, &wmat, Some(&bias), g);
+        let r = naive_conv(&x, &w4, Some(&bias), g);
+        for (a, b) in y.data().iter().zip(r.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conv_matches_naive_with_pad_and_stride() {
+        let g = ConvGeom { c: 3, h: 7, w: 5, kh: 3, kw: 3, stride: 2, pad: 1 };
+        let x = rand_tensor(vec![1, 3, 7, 5], 3);
+        let w4 = rand_tensor(vec![2, 3, 3, 3], 4);
+        let wmat = w4.clone().reshape(vec![2, 27]);
+        let (y, _) = conv2d_forward(&x, &wmat, None, g);
+        let r = naive_conv(&x, &w4, None, g);
+        assert_eq!(y.shape(), r.shape());
+        for (a, b) in y.data().iter().zip(r.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), c> == <x, col2im(c)> for all x, c (adjoint property).
+        let g = ConvGeom { c: 2, h: 5, w: 4, kh: 3, kw: 2, stride: 1, pad: 1 };
+        let x = rand_tensor(vec![g.c * g.h * g.w], 5);
+        let cmat = rand_tensor(vec![g.col_rows(), g.col_cols()], 6);
+        let cx = im2col(x.data(), g);
+        let lhs: f64 = cx
+            .data()
+            .iter()
+            .zip(cmat.data())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        let back = col2im(&cmat, g);
+        let rhs: f64 = x
+            .data()
+            .iter()
+            .zip(&back)
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_backward_weight_grad_matches_finite_difference() {
+        let g = ConvGeom { c: 1, h: 4, w: 4, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let x = rand_tensor(vec![1, 1, 4, 4], 7);
+        let mut wmat = rand_tensor(vec![2, 9], 8);
+        let loss = |w: &Tensor| -> f32 {
+            let (y, _) = conv2d_forward(&x, w, None, g);
+            y.data().iter().map(|v| v * v).sum::<f32>() * 0.5
+        };
+        let (y, cols) = conv2d_forward(&x, &wmat, None, g);
+        let (_, dw, _) = conv2d_backward(&y, &wmat, &cols, g);
+        let eps = 1e-3;
+        for idx in [0usize, 4, 8, 13] {
+            let orig = wmat.data()[idx];
+            wmat.data_mut()[idx] = orig + eps;
+            let lp = loss(&wmat);
+            wmat.data_mut()[idx] = orig - eps;
+            let lm = loss(&wmat);
+            wmat.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - dw.data()[idx]).abs() < 2e-2 * (1.0 + num.abs()),
+                "idx {idx}: numeric {num} vs analytic {}",
+                dw.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_backward_input_grad_matches_finite_difference() {
+        let g = ConvGeom { c: 2, h: 4, w: 3, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let mut x = rand_tensor(vec![1, 2, 4, 3], 9);
+        let wmat = rand_tensor(vec![2, 18], 10);
+        let loss = |x: &Tensor| -> f32 {
+            let (y, _) = conv2d_forward(x, &wmat, None, g);
+            y.data().iter().map(|v| v * v).sum::<f32>() * 0.5
+        };
+        let (y, cols) = conv2d_forward(&x, &wmat, None, g);
+        let (dx, _, _) = conv2d_backward(&y, &wmat, &cols, g);
+        let eps = 1e-3;
+        for idx in [0usize, 5, 11, 23] {
+            let orig = x.data()[idx];
+            x.data_mut()[idx] = orig + eps;
+            let lp = loss(&x);
+            x.data_mut()[idx] = orig - eps;
+            let lm = loss(&x);
+            x.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[idx]).abs() < 2e-2 * (1.0 + num.abs()),
+                "idx {idx}: numeric {num} vs analytic {}",
+                dx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let x = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            vec![
+                1., 2., 5., 3., //
+                4., 0., 1., 2., //
+                7., 8., 2., 1., //
+                0., 3., 4., 9.,
+            ],
+        );
+        let (y, arg) = maxpool2d(&x, 2, 2);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4., 5., 8., 9.]);
+        let dout = Tensor::from_vec(vec![1, 1, 2, 2], vec![1., 1., 1., 1.]);
+        let dx = maxpool2d_backward(&dout, &arg, &[1, 1, 4, 4]);
+        assert_eq!(dx.data().iter().sum::<f32>(), 4.0);
+        assert_eq!(dx.data()[4], 1.0); // the "4" won its window
+        assert_eq!(dx.data()[15], 1.0); // the "9" won its window
+    }
+
+    #[test]
+    fn avgpool_forward_and_backward() {
+        let x = Tensor::from_fn(vec![1, 1, 4, 4], |i| i as f32);
+        let y = avgpool2d(&x, 2, 2);
+        assert_eq!(y.data(), &[2.5, 4.5, 10.5, 12.5]);
+        let dout = Tensor::filled(vec![1, 1, 2, 2], 1.0);
+        let dx = avgpool2d_backward(&dout, 2, 2, &[1, 1, 4, 4]);
+        assert!(dx.data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let x = Tensor::from_fn(vec![2, 3, 2, 2], |i| i as f32);
+        let y = global_avg_pool(&x);
+        assert_eq!(y.shape(), &[2, 3]);
+        assert!((y.data()[0] - 1.5).abs() < 1e-6);
+        let dx = global_avg_pool_backward(&y, &[2, 3, 2, 2]);
+        assert_eq!(dx.shape(), &[2, 3, 2, 2]);
+        assert!((dx.data()[0] - 1.5 / 4.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,267 @@
+//! Blocked, multi-threaded matrix multiplication.
+//!
+//! Three entry points cover everything the layer backward passes need
+//! without materializing transposes:
+//!
+//! * [`matmul`]     — `C = A · B`
+//! * [`matmul_tn`]  — `C = Aᵀ · B` (e.g. weight gradients `Xᵀ · dY`)
+//! * [`matmul_nt`]  — `C = A · Bᵀ` (e.g. input gradients `dY · Wᵀ`)
+//!
+//! The kernel is a cache-friendly `i-k-j` loop over row blocks; when the
+//! problem is large enough, row blocks are distributed over threads with
+//! `crossbeam::scope`.
+
+use crate::Tensor;
+
+/// Problems smaller than this many multiply-accumulates stay single-threaded.
+const PARALLEL_THRESHOLD: usize = 1 << 18;
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
+
+/// `C = A · B` for rank-2 tensors `A: [m, k]`, `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics if either input is not rank-2 or the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul lhs");
+    let (k2, n) = dims2(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul inner dims: lhs [{m},{k}] vs rhs [{k2},{n}]");
+    let mut out = vec![0.0f32; m * n];
+    gemm_rows(a.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]`, producing `[m, n]`.
+///
+/// # Panics
+///
+/// Panics if either input is not rank-2 or the shared dimension disagrees.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a, "matmul_tn lhs");
+    let (k2, n) = dims2(b, "matmul_tn rhs");
+    assert_eq!(k, k2, "matmul_tn shared dim: lhs [{k},{m}] vs rhs [{k2},{n}]");
+    // Transposing A up front turns this into the cache-friendly kernel; the
+    // copy is O(km) against O(kmn) compute.
+    let at = a.t();
+    let mut out = vec![0.0f32; m * n];
+    gemm_rows(at.data(), b.data(), &mut out, m, k, n);
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]`, producing `[m, n]`.
+///
+/// # Panics
+///
+/// Panics if either input is not rank-2 or the shared dimension disagrees.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_nt lhs");
+    let (n, k2) = dims2(b, "matmul_nt rhs");
+    assert_eq!(k, k2, "matmul_nt shared dim: lhs [{m},{k}] vs rhs [{n},{k2}]");
+    let mut out = vec![0.0f32; m * n];
+    let work = m * n * k;
+    let threads = num_threads();
+    if work < PARALLEL_THRESHOLD || threads < 2 || m < 2 {
+        gemm_nt_block(a.data(), b.data(), &mut out, 0, m, k, n);
+    } else {
+        let chunk = m.div_ceil(threads);
+        let a_data = a.data();
+        let b_data = b.data();
+        crossbeam::scope(|s| {
+            for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
+                let rows = out_chunk.len() / n;
+                s.spawn(move |_| {
+                    gemm_nt_block(a_data, b_data, out_chunk, t * chunk, rows, k, n);
+                });
+            }
+        })
+        .expect("gemm worker panicked");
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// Dispatches `C = A · B` over row blocks, threading when profitable.
+fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let work = m * n * k;
+    let threads = num_threads();
+    if work < PARALLEL_THRESHOLD || threads < 2 || m < 2 {
+        gemm_block(a, b, out, 0, m, k, n);
+        return;
+    }
+    let chunk = m.div_ceil(threads);
+    crossbeam::scope(|s| {
+        for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
+            let rows = out_chunk.len() / n;
+            s.spawn(move |_| {
+                gemm_block(a, b, out_chunk, t * chunk, rows, k, n);
+            });
+        }
+    })
+    .expect("gemm worker panicked");
+}
+
+/// `out[0..rows*n] = A[row0..row0+rows, :] · B` with an i-k-j kernel.
+fn gemm_block(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, rows: usize, k: usize, n: usize) {
+    for i in 0..rows {
+        let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out[0..rows*n] = A[row0.., :] · Bᵀ` — dot-product kernel (B rows are
+/// contiguous, so this is already cache-friendly).
+fn gemm_nt_block(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in 0..rows {
+        let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+}
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.rank(), 2, "{what} must be rank-2, got shape {:?}", t.shape());
+    (t.shape()[0], t.shape()[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        Tensor::from_fn(vec![m, n], |idx| {
+            let (i, j) = (idx / n, idx % n);
+            (0..k).map(|kk| a.at2(i, kk) * b.at2(kk, j)).sum()
+        })
+    }
+
+    fn rand_tensor(shape: Vec<usize>, seed: u64) -> Tensor {
+        let mut state = seed.max(1);
+        Tensor::from_fn(shape, |_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+        })
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        assert_eq!(matmul(&a, &b).data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = rand_tensor(vec![7, 5], 1);
+        let b = rand_tensor(vec![5, 9], 2);
+        let c = matmul(&a, &b);
+        let r = naive(&a, &b);
+        for (x, y) in c.data().iter().zip(r.data()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive_large_parallel() {
+        // Big enough to trigger the threaded path.
+        let a = rand_tensor(vec![130, 70], 3);
+        let b = rand_tensor(vec![70, 90], 4);
+        let c = matmul(&a, &b);
+        let r = naive(&a, &b);
+        for (x, y) in c.data().iter().zip(r.data()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = rand_tensor(vec![6, 4], 5);
+        let b = rand_tensor(vec![6, 3], 6);
+        let c = matmul_tn(&a, &b);
+        let r = matmul(&a.t(), &b);
+        for (x, y) in c.data().iter().zip(r.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        assert_eq!(c.shape(), &[4, 3]);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = rand_tensor(vec![6, 4], 7);
+        let b = rand_tensor(vec![5, 4], 8);
+        let c = matmul_nt(&a, &b);
+        let r = matmul(&a, &b.t());
+        for (x, y) in c.data().iter().zip(r.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        assert_eq!(c.shape(), &[6, 5]);
+    }
+
+    #[test]
+    fn matmul_nt_parallel_path() {
+        let a = rand_tensor(vec![128, 64], 9);
+        let b = rand_tensor(vec![96, 64], 10);
+        let c = matmul_nt(&a, &b);
+        let r = matmul(&a, &b.t());
+        for (x, y) in c.data().iter().zip(r.data()) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![4, 2]);
+        matmul(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be rank-2")]
+    fn matmul_rank_mismatch_panics() {
+        let a = Tensor::zeros(vec![2, 3, 4]);
+        let b = Tensor::zeros(vec![4, 2]);
+        matmul(&a, &b);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a = rand_tensor(vec![5, 5], 11);
+        let eye = Tensor::from_fn(vec![5, 5], |i| if i / 5 == i % 5 { 1.0 } else { 0.0 });
+        let c = matmul(&a, &eye);
+        for (x, y) in c.data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Dense `f32` tensor substrate for the DropBack reproduction.
+//!
+//! DropBack trains real networks (MLPs and BN-heavy convolutional nets), so
+//! this crate provides the minimal-but-complete dense linear algebra that the
+//! `dropback-nn` layer zoo is built on:
+//!
+//! * [`Tensor`] — a contiguous, row-major, dynamically-shaped `f32` tensor
+//!   with elementwise arithmetic, mapping, and reductions.
+//! * [`matmul`] and its transposed variants — blocked, multi-threaded GEMM
+//!   (threads via `crossbeam::scope`, no work-stealing dependency needed).
+//! * [`conv`] — `im2col`/`col2im` convolution helpers and pooling kernels.
+//! * [`ops`] — numerically-stable softmax / log-softmax and friends.
+//!
+//! The crate is deliberately framework-free: every operation is a pure
+//! function over `Tensor`, and all state (e.g. pooling argmax caches) is
+//! returned to the caller, which keeps the layer implementations explicit
+//! about what they store between forward and backward passes.
+//!
+//! # Example
+//!
+//! ```
+//! use dropback_tensor::{Tensor, matmul};
+//!
+//! let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+//! let b = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]);
+//! let c = matmul(&a, &b);
+//! assert_eq!(c.shape(), &[2, 2]);
+//! assert_eq!(c.data(), &[58., 64., 139., 154.]);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod activations;
+pub mod axis;
+pub mod conv;
+mod gemm;
+pub mod ops;
+mod tensor;
+
+pub use gemm::{matmul, matmul_nt, matmul_tn};
+pub use tensor::Tensor;

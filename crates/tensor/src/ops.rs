@@ -1,0 +1,172 @@
+//! Numerically-stable activation and normalization primitives.
+
+use crate::Tensor;
+
+/// Row-wise softmax of a rank-2 tensor (max-subtracted for stability).
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.rank(), 2, "softmax_rows requires rank-2 input");
+    let cols = logits.shape()[1];
+    let mut out = logits.clone();
+    for row in out.data_mut().chunks_exact_mut(cols) {
+        let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            z += *v;
+        }
+        let inv = 1.0 / z;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+/// Row-wise log-softmax of a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2.
+pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.rank(), 2, "log_softmax_rows requires rank-2 input");
+    let cols = logits.shape()[1];
+    let mut out = logits.clone();
+    for row in out.data_mut().chunks_exact_mut(cols) {
+        let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let logz = row.iter().map(|v| (v - m).exp()).sum::<f32>().ln() + m;
+        for v in row.iter_mut() {
+            *v -= logz;
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy loss and its logit gradient for one-hot labels.
+///
+/// Returns `(loss, dlogits)` where `dlogits = (softmax(logits) - onehot) / n`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.rank(), 2, "logits must be rank-2");
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(n, labels.len(), "one label per row");
+    let mut probs = softmax_rows(logits);
+    let mut loss = 0.0f64;
+    let inv_n = 1.0 / n as f32;
+    for (i, (&label, row)) in labels
+        .iter()
+        .zip(probs.data_mut().chunks_exact_mut(c))
+        .enumerate()
+    {
+        assert!(label < c, "label {label} out of range at row {i}");
+        loss -= (row[label].max(1e-12) as f64).ln();
+        row[label] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= inv_n;
+        }
+    }
+    ((loss / n as f64) as f32, probs)
+}
+
+/// ReLU applied elementwise.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// ReLU backward: passes gradient where the *input* was positive.
+pub fn relu_backward(dout: &Tensor, input: &Tensor) -> Tensor {
+    dout.zip(input, |g, x| if x > 0.0 { g } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., -1., 0., 1.]);
+        let s = softmax_rows(&t);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(vec![1, 3], vec![1000., 1001., 1002.]);
+        let b = Tensor::from_vec(vec![1, 3], vec![0., 1., 2.]);
+        let sa = softmax_rows(&a);
+        let sb = softmax_rows(&b);
+        for (x, y) in sa.data().iter().zip(sb.data()) {
+            assert!((x - y).abs() < 1e-6);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let t = Tensor::from_vec(vec![2, 4], vec![0.5, -1., 2., 0., 3., 3., 3., 3.]);
+        let ls = log_softmax_rows(&t);
+        let s = softmax_rows(&t);
+        for (a, b) in ls.data().iter().zip(s.data()) {
+            assert!((a - b.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        // Uniform logits over 4 classes: loss = ln(4).
+        let t = Tensor::zeros(vec![3, 4]);
+        let (loss, grad) = softmax_cross_entropy(&t, &[0, 1, 2]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+        // Gradient rows sum to zero.
+        for r in 0..3 {
+            let sum: f32 = grad.row(r).iter().sum();
+            assert!(sum.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let mut t = Tensor::from_vec(vec![2, 3], vec![0.2, -0.4, 0.7, 1.0, 0.0, -1.0]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&t, &labels);
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let orig = t.data()[idx];
+            t.data_mut()[idx] = orig + eps;
+            let (lp, _) = softmax_cross_entropy(&t, &labels);
+            t.data_mut()[idx] = orig - eps;
+            let (lm, _) = softmax_cross_entropy(&t, &labels);
+            t.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad.data()[idx]).abs() < 1e-3,
+                "idx {idx}: {num} vs {}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label 7 out of range")]
+    fn cross_entropy_bad_label_panics() {
+        let t = Tensor::zeros(vec![1, 3]);
+        softmax_cross_entropy(&t, &[7]);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let x = Tensor::from_vec(vec![4], vec![-1., 0., 2., -3.]);
+        assert_eq!(relu(&x).data(), &[0., 0., 2., 0.]);
+        let dout = Tensor::filled(vec![4], 1.0);
+        assert_eq!(relu_backward(&dout, &x).data(), &[0., 0., 1., 0.]);
+    }
+}

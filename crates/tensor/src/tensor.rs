@@ -1,0 +1,468 @@
+//! The dense row-major [`Tensor`] type.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A contiguous, row-major, dynamically-shaped `f32` tensor.
+///
+/// Invariant: `data.len() == shape.iter().product()`. A rank-0 tensor is not
+/// supported; scalars are rank-1 tensors of length 1.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{:?}, {:?}, ... ({} elems)]", self.data[0], self.data[1], self.data.len())
+        }
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        Self::filled(shape, 0.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn filled(shape: Vec<usize>, value: f32) -> Self {
+        let n = checked_len(&shape);
+        Self {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Creates a tensor from a flat `Vec` in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the product of `shape`.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let n = checked_len(&shape);
+        assert_eq!(
+            n,
+            data.len(),
+            "shape {:?} implies {} elements but data has {}",
+            shape,
+            n,
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// Creates a tensor by evaluating `f` at each flat index.
+    pub fn from_fn(shape: Vec<usize>, mut f: impl FnMut(usize) -> f32) -> Self {
+        let n = checked_len(&shape);
+        Self {
+            shape,
+            data: (0..n).map(&mut f).collect(),
+        }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a 2-D position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2 or the indices are out of bounds.
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.rank(), 2);
+        let cols = self.shape[1];
+        assert!(r < self.shape[0] && c < cols, "index ({r},{c}) out of bounds");
+        self.data[r * cols + c]
+    }
+
+    /// Returns a copy with a new shape sharing the same data order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, shape: Vec<usize>) -> Self {
+        let n = checked_len(&shape);
+        assert_eq!(n, self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        self.shape = shape;
+        self
+    }
+
+    /// Row `i` of a rank-2 tensor, as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2 or `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert_eq!(self.rank(), 2, "row() requires a rank-2 tensor");
+        let cols = self.shape[1];
+        &self.data[i * cols..(i + 1) * cols]
+    }
+
+    /// Copies rows `[start, end)` of a rank-2 tensor into a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2 or the range is out of bounds.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        assert_eq!(self.rank(), 2, "slice_rows() requires a rank-2 tensor");
+        assert!(start <= end && end <= self.shape[0], "bad row range {start}..{end}");
+        let cols = self.shape[1];
+        Tensor::from_vec(
+            vec![end - start, cols],
+            self.data[start * cols..end * cols].to_vec(),
+        )
+    }
+
+    /// Transpose of a rank-2 tensor (copying).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn t(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "t() requires a rank-2 tensor");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor::from_vec(vec![c, r], out)
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch in zip");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Multiplies every element by `s`, in place.
+    pub fn scale_inplace(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Returns `self * s` elementwise.
+    pub fn scaled(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// `self += alpha * other`, in place (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in axpy");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sum of all elements (f64 accumulator for stability).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().map(|&v| v as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.len() as f32
+    }
+
+    /// Maximum element.
+    pub fn max(&self) -> f32 {
+        self.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        self.data.iter().cloned().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Squared ℓ2 norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() as f32
+    }
+
+    /// ℓ2 norm.
+    pub fn norm(&self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Per-row argmax of a rank-2 tensor (e.g. class predictions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.rank(), 2, "argmax_rows() requires a rank-2 tensor");
+        let cols = self.shape[1];
+        self.data
+            .chunks_exact(cols)
+            .map(|row| {
+                let mut best = 0usize;
+                for (i, &v) in row.iter().enumerate().skip(1) {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Column-wise sum of a rank-2 tensor, returning shape `[cols]`
+    /// (used for bias gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn sum_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "sum_rows() requires a rank-2 tensor");
+        let cols = self.shape[1];
+        let mut out = vec![0.0f32; cols];
+        for row in self.data.chunks_exact(cols) {
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(vec![cols], out)
+    }
+}
+
+fn checked_len(shape: &[usize]) -> usize {
+    assert!(!shape.is_empty(), "tensors must have rank >= 1");
+    assert!(
+        shape.iter().all(|&d| d > 0),
+        "zero-sized dimension in shape {shape:?}"
+    );
+    shape.iter().product()
+}
+
+impl Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a * b)
+    }
+}
+
+impl AddAssign<&Tensor> for Tensor {
+    fn add_assign(&mut self, rhs: &Tensor) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_filled() {
+        let t = Tensor::zeros(vec![2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+        let u = Tensor::filled(vec![4], 2.5);
+        assert!(u.data().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank >= 1")]
+    fn empty_shape_panics() {
+        Tensor::zeros(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized dimension")]
+    fn zero_dim_panics() {
+        Tensor::zeros(vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "implies 6 elements")]
+    fn from_vec_len_mismatch_panics() {
+        Tensor::from_vec(vec![2, 3], vec![1.0; 5]);
+    }
+
+    #[test]
+    fn from_fn_indexes_flat() {
+        let t = Tensor::from_fn(vec![2, 2], |i| i as f32);
+        assert_eq!(t.data(), &[0., 1., 2., 3.]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_fn(vec![2, 3], |i| i as f32).reshape(vec![3, 2]);
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.data(), &[0., 1., 2., 3., 4., 5.]);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let tt = t.t();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.data(), &[1., 4., 2., 5., 3., 6.]);
+        assert_eq!(tt.t(), t);
+    }
+
+    #[test]
+    fn row_and_slice_rows() {
+        let t = Tensor::from_fn(vec![4, 3], |i| i as f32);
+        assert_eq!(t.row(2), &[6., 7., 8.]);
+        let s = t.slice_rows(1, 3);
+        assert_eq!(s.shape(), &[2, 3]);
+        assert_eq!(s.data(), &[3., 4., 5., 6., 7., 8.]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![3], vec![1., 2., 3.]);
+        let b = Tensor::from_vec(vec![3], vec![4., 5., 6.]);
+        assert_eq!((&a + &b).data(), &[5., 7., 9.]);
+        assert_eq!((&b - &a).data(), &[3., 3., 3.]);
+        assert_eq!((&a * &b).data(), &[4., 10., 18.]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_vec(vec![2], vec![1., 1.]);
+        let b = Tensor::from_vec(vec![2], vec![2., 4.]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[2., 3.]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![2, 2], vec![1., -2., 3., 4.]);
+        assert_eq!(t.sum(), 6.0);
+        assert_eq!(t.mean(), 1.5);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.min(), -2.0);
+        assert!((t.norm_sq() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_max() {
+        let t = Tensor::from_vec(vec![2, 3], vec![0.1, 0.9, 0.5, 0.7, 0.7, 0.2]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn sum_rows_is_column_sum() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 10., 20., 30.]);
+        assert_eq!(t.sum_rows().data(), &[11., 22., 33.]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let t = Tensor::zeros(vec![100]);
+        let s = format!("{t:?}");
+        assert!(s.contains("Tensor[100]"));
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let mut t = Tensor::from_vec(vec![2], vec![1., -2.]);
+        let m = t.map(|v| v.abs());
+        assert_eq!(m.data(), &[1., 2.]);
+        t.scale_inplace(3.0);
+        assert_eq!(t.data(), &[3., -6.]);
+        assert_eq!(t.scaled(-1.0).data(), &[-3., 6.]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Weight-diffusion analysis (the paper's §4 discussion): compare how far
+//! each training rule's weight vector travels from initialization, and why
+//! that predicts which ones generalize.
+//!
+//! ```text
+//! cargo run --release --example diffusion_analysis
+//! ```
+
+use dropback::prelude::*;
+
+struct Probe {
+    tracker: DiffusionTracker,
+}
+
+impl StepProbe for Probe {
+    fn after_step(&mut self, iteration: u64, ps: &ParamStore) {
+        if DiffusionTracker::should_sample(iteration + 1, 4) {
+            self.tracker.record(iteration + 1, ps.params());
+        }
+    }
+}
+
+fn run(name: &str, net: Network, opt: impl Optimizer, train: &Dataset, test: &Dataset) {
+    let mut probe = Probe {
+        tracker: DiffusionTracker::new(&net.store().regen_initial()),
+    };
+    let cfg = TrainConfig::new(4, 64)
+        .lr(LrSchedule::Constant(0.1))
+        .patience(None);
+    let report = Trainer::new(cfg).run_probed(net, opt, train, test, &mut probe);
+    let series: Vec<String> = probe
+        .tracker
+        .samples()
+        .iter()
+        .map(|(it, d)| format!("{it}:{d:.1}"))
+        .collect();
+    println!(
+        "{name:<16} val acc {:.3}  ℓ2-from-init: {}",
+        report.best_val_acc,
+        series.join("  ")
+    );
+}
+
+fn main() {
+    let (train, test) = synthetic_mnist(2500, 500, 21);
+    println!("ℓ2 distance from initialization vs iteration (MNIST-100-100):\n");
+    run(
+        "baseline sgd",
+        models::mnist_100_100(21),
+        Sgd::new(),
+        &train,
+        &test,
+    );
+    run(
+        "dropback 10k",
+        models::mnist_100_100(21),
+        DropBack::new(10_000),
+        &train,
+        &test,
+    );
+    run(
+        "dropback 2k",
+        models::mnist_100_100(21),
+        DropBack::new(2_000),
+        &train,
+        &test,
+    );
+    run(
+        "mag prune .75",
+        models::mnist_100_100(21),
+        MagnitudePruning::new(0.75),
+        &train,
+        &test,
+    );
+    println!(
+        "\nreading the curves: DropBack moves almost exactly like the baseline (it\n\
+         updates the weights that matter and leaves the rest at their init values);\n\
+         magnitude pruning starts far from init because zeroing small weights\n\
+         destroys the initialization scaffolding SGD needs."
+    );
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Waits for finish_experiments.sh to complete, then captures the final
+# workspace test and bench outputs required by the deliverables.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+until grep -q "ALL EXPERIMENTS DONE" results/finish.log 2>/dev/null; do
+  sleep 10
+done
+
+echo "[$(date +%T)] running workspace tests"
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt
+echo "[$(date +%T)] running workspace benches"
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt
+echo "[$(date +%T)] FINALIZE DONE"

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Sequential completion of the remaining experiment queue (single-core box).
+set -uo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+echo "[$(date +%T)] building"
+cargo build --release -p dropback-bench
+
+echo "[$(date +%T)] vgg rows 6-7"
+DROPBACK_SUITE=vgg DROPBACK_ROWS=6-7 cargo run --release -q -p dropback-bench --bin repro_table3 > results/t3_vgg_c.txt 2>&1
+
+echo "[$(date +%T)] densenet rows 0-2"
+DROPBACK_SUITE=densenet DROPBACK_ROWS=0-2 cargo run --release -q -p dropback-bench --bin repro_table3 > results/t3_dense_a.txt 2>&1
+echo "[$(date +%T)] densenet rows 3-5"
+DROPBACK_SUITE=densenet DROPBACK_ROWS=3-5 cargo run --release -q -p dropback-bench --bin repro_table3 > results/t3_dense_b.txt 2>&1
+
+echo "[$(date +%T)] wrn rows 0-3"
+DROPBACK_SUITE=wrn DROPBACK_ROWS=0-3 cargo run --release -q -p dropback-bench --bin repro_table3 > results/t3_wrn_a.txt 2>&1
+echo "[$(date +%T)] wrn rows 4-6"
+DROPBACK_SUITE=wrn DROPBACK_ROWS=4-6 cargo run --release -q -p dropback-bench --bin repro_table3 > results/t3_wrn_b.txt 2>&1
+
+echo "[$(date +%T)] fig6"
+cargo run --release -q -p dropback-bench --bin repro_fig6 > results/repro_fig6.txt 2>&1
+echo "[$(date +%T)] fig4"
+DROPBACK_EPOCHS=10 cargo run --release -q -p dropback-bench --bin repro_fig4 > results/repro_fig4.txt 2>&1
+
+echo "[$(date +%T)] ablation: zeroed"
+cargo run --release -q -p dropback-bench --bin repro_ablation_zeroed > results/repro_ablation_zeroed.txt 2>&1
+echo "[$(date +%T)] ablation: freeze"
+cargo run --release -q -p dropback-bench --bin repro_ablation_freeze > results/repro_ablation_freeze.txt 2>&1
+echo "[$(date +%T)] ablation: quant"
+cargo run --release -q -p dropback-bench --bin repro_ablation_quant > results/repro_ablation_quant.txt 2>&1
+echo "[$(date +%T)] ablation: optimizers"
+cargo run --release -q -p dropback-bench --bin repro_ablation_optimizers > results/repro_ablation_optimizers.txt 2>&1
+
+echo "[$(date +%T)] ALL EXPERIMENTS DONE"

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure plus the ablations into results/.
+# Scale knobs: DROPBACK_EPOCHS / DROPBACK_TRAIN / DROPBACK_TEST / DROPBACK_SEED.
+# On a slow machine, export smaller values or run Table 3 suite-by-suite:
+#   DROPBACK_SUITE=vgg DROPBACK_ROWS=0-3 ... --bin repro_table3
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+run() {
+  local bin=$1
+  shift
+  echo "== $bin =="
+  cargo run --release -q -p dropback-bench --bin "$bin" "$@" | tee "results/$bin.txt"
+}
+
+cargo build --release -p dropback-bench
+
+run repro_energy
+run repro_fig1
+run repro_fig2
+run repro_fig3
+run repro_table1
+run repro_table2
+run repro_fig5
+run repro_fig6
+run repro_fig4
+run repro_table3
+run repro_ablation_zeroed
+run repro_ablation_freeze
+run repro_ablation_quant
+run repro_ablation_optimizers
+
+echo "all experiment outputs written to results/"

@@ -1,0 +1,9 @@
+//! Top-level façade for the DropBack reproduction workspace.
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! directories required by the project layout; the actual library surface
+//! lives in [`dropback`] and the substrate crates it re-exports.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use dropback;

@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: full training runs exercising the
+//! tensor → nn → optim → trainer stack together.
+
+use dropback::prelude::*;
+
+fn data(seed: u64) -> (Dataset, Dataset) {
+    synthetic_mnist(1200, 300, seed)
+}
+
+fn quick(epochs: usize) -> TrainConfig {
+    TrainConfig::new(epochs, 64)
+        .lr(LrSchedule::StepDecay {
+            initial: 0.2,
+            factor: 0.5,
+            every: 2,
+        })
+        .patience(None)
+}
+
+#[test]
+fn baseline_sgd_reaches_high_accuracy() {
+    let (train, test) = data(1);
+    let report = Trainer::new(quick(6)).run(models::mnist_100_100(1), Sgd::new(), &train, &test);
+    assert!(
+        report.best_val_acc > 0.85,
+        "baseline stuck at {}",
+        report.best_val_acc
+    );
+}
+
+#[test]
+fn dropback_matches_baseline_at_moderate_budget() {
+    let (train, test) = data(2);
+    let base = Trainer::new(quick(6)).run(models::mnist_100_100(2), Sgd::new(), &train, &test);
+    let db = Trainer::new(quick(6)).run(
+        models::mnist_100_100(2),
+        DropBack::new(20_000),
+        &train,
+        &test,
+    );
+    assert!(
+        db.best_val_acc > base.best_val_acc - 0.08,
+        "dropback {} vs baseline {}",
+        db.best_val_acc,
+        base.best_val_acc
+    );
+    assert_eq!(db.stored_weights, 20_000);
+}
+
+#[test]
+fn dropback_with_full_budget_equals_sgd_exactly() {
+    // k >= n makes DropBack's update identical to SGD, step for step.
+    let (train, _) = data(3);
+    let mut net_a = models::mnist_100_100(3);
+    let mut net_b = models::mnist_100_100(3);
+    let mut sgd = Sgd::new();
+    let mut db = DropBack::new(usize::MAX / 2);
+    let batcher = Batcher::new(64, 5);
+    for (x, labels) in batcher.epoch(&train, 0) {
+        let _ = net_a.loss_backward(&x, &labels);
+        sgd.step(net_a.store_mut(), 0.1);
+        let _ = net_b.loss_backward(&x, &labels);
+        db.step(net_b.store_mut(), 0.1);
+        assert_eq!(net_a.store().params(), net_b.store().params());
+    }
+}
+
+#[test]
+fn untracked_weights_stay_at_init_through_training() {
+    let (train, test) = data(4);
+    let mut net = models::mnist_100_100(4);
+    let mut opt = DropBack::new(5_000);
+    let batcher = Batcher::new(64, 7);
+    for epoch in 0..2u64 {
+        for (x, labels) in batcher.epoch(&train, epoch) {
+            let _ = net.loss_backward(&x, &labels);
+            opt.step(net.store_mut(), 0.1);
+        }
+    }
+    let mask = opt.mask();
+    let store = net.store();
+    for i in (0..store.len()).step_by(97) {
+        if !mask[i] {
+            assert_eq!(
+                store.params()[i],
+                store.init_value(i),
+                "untracked weight {i} drifted"
+            );
+        }
+    }
+    let _ = net.accuracy(&test, 256);
+}
+
+#[test]
+fn frozen_tracked_set_never_changes() {
+    let (train, _) = data(5);
+    let mut net = models::mnist_100_100(5);
+    let mut opt = DropBack::new(10_000).freeze_after(1);
+    let batcher = Batcher::new(64, 9);
+    for (x, labels) in batcher.epoch(&train, 0) {
+        let _ = net.loss_backward(&x, &labels);
+        opt.step(net.store_mut(), 0.1);
+    }
+    opt.end_epoch(0, net.store_mut());
+    assert!(opt.is_frozen());
+    let frozen_mask = opt.mask().to_vec();
+    for (x, labels) in batcher.epoch(&train, 1) {
+        let _ = net.loss_backward(&x, &labels);
+        opt.step(net.store_mut(), 0.1);
+        assert_eq!(opt.mask(), &frozen_mask[..]);
+        assert_eq!(opt.last_swaps(), 0);
+    }
+}
+
+#[test]
+fn magnitude_pruning_trains_but_diffuses_far() {
+    let (train, test) = data(6);
+    let net = models::mnist_100_100(6);
+    let w0 = net.store().regen_initial();
+    let report = Trainer::new(quick(3)).run(net, MagnitudePruning::new(0.75), &train, &test);
+    // Learns something...
+    assert!(report.best_val_acc > 0.4, "{}", report.best_val_acc);
+    // ...but its compression accounting matches 4x.
+    assert!((report.compression() - 4.0).abs() < 0.1);
+    let _ = w0;
+}
+
+#[test]
+fn variational_dropout_trains_and_sparsifies() {
+    let (train, test) = data(7);
+    let cfg = TrainConfig::new(8, 64)
+        .lr(LrSchedule::Constant(0.08))
+        .patience(None)
+        .kl_anneal(KlAnneal::new(4, 5e-4));
+    let report = Trainer::new(cfg).run(models::mnist_100_100_vd(7), Sgd::new(), &train, &test);
+    assert!(report.best_val_acc > 0.5, "{}", report.best_val_acc);
+    // KL was actually applied.
+    assert!(report.history.iter().any(|e| e.kl > 0.0));
+}
+
+#[test]
+fn network_slimming_prunes_and_finetunes() {
+    let hw = dropback::nn::models::CIFAR_NANO_HW;
+    let (train, test) = synthetic_cifar(300, 100, hw, hw, 8);
+    let net = models::vgg_s_nano(8);
+    let gammas: Vec<_> = net
+        .param_ranges()
+        .into_iter()
+        .filter(|r| r.name().ends_with(".gamma"))
+        .collect();
+    assert!(!gammas.is_empty());
+    let slim = NetworkSlimming::new(gammas, 1e-4, 0.5).prune_at_epoch(1);
+    let cfg = TrainConfig::new(3, 32)
+        .lr(LrSchedule::Constant(0.05))
+        .patience(None);
+    let report = Trainer::new(cfg).run(net, slim, &train, &test);
+    assert!(report.history.len() == 3);
+    assert!(report.best_val_acc > 0.15, "{}", report.best_val_acc);
+}
+
+#[test]
+fn training_is_deterministic_given_seeds() {
+    let (train, test) = data(9);
+    let r1 = Trainer::new(quick(2)).run(
+        models::mnist_100_100(9),
+        DropBack::new(10_000),
+        &train,
+        &test,
+    );
+    let r2 = Trainer::new(quick(2)).run(
+        models::mnist_100_100(9),
+        DropBack::new(10_000),
+        &train,
+        &test,
+    );
+    assert_eq!(r1.history, r2.history);
+}

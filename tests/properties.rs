@@ -1,0 +1,187 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, spanning crate boundaries.
+
+use dropback::prelude::*;
+use dropback::prng::{regen_normal, regen_uniform, InitScheme, RegenInit};
+use dropback::tensor::{matmul, matmul_nt, matmul_tn};
+use proptest::prelude::*;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    (-100i32..100).prop_map(|v| v as f32 / 10.0)
+}
+
+proptest! {
+    #[test]
+    fn regen_is_pure(seed in any::<u64>(), index in any::<u64>()) {
+        prop_assert_eq!(regen_normal(seed, index).to_bits(), regen_normal(seed, index).to_bits());
+        prop_assert_eq!(regen_uniform(seed, index).to_bits(), regen_uniform(seed, index).to_bits());
+        let u = regen_uniform(seed, index);
+        prop_assert!((0.0..1.0).contains(&u));
+        prop_assert!(regen_normal(seed, index).is_finite());
+    }
+
+    #[test]
+    fn regen_init_fill_matches_pointwise(seed in any::<u64>(), start in 0u64..1_000_000, len in 1usize..64) {
+        let init = RegenInit::new(seed, InitScheme::lecun_normal(100));
+        let mut buf = vec![0.0f32; len];
+        init.fill(start, &mut buf);
+        for (i, &v) in buf.iter().enumerate() {
+            prop_assert_eq!(v.to_bits(), init.value(start + i as u64).to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_variants_agree(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6,
+        vals in proptest::collection::vec(-10i32..10, 0..1)
+    ) {
+        let _ = vals;
+        let a = Tensor::from_fn(vec![m, k], |i| ((i * 31 + 7) % 13) as f32 - 6.0);
+        let b = Tensor::from_fn(vec![k, n], |i| ((i * 17 + 3) % 11) as f32 - 5.0);
+        let c = matmul(&a, &b);
+        let c_tn = matmul_tn(&a.t(), &b);
+        let c_nt = matmul_nt(&a, &b.t());
+        for ((x, y), z) in c.data().iter().zip(c_tn.data()).zip(c_nt.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+            prop_assert!((x - z).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_is_linear_in_lhs(scale in small_f32()) {
+        let a = Tensor::from_fn(vec![3, 4], |i| (i as f32 * 0.7).sin());
+        let b = Tensor::from_fn(vec![4, 2], |i| (i as f32 * 0.3).cos());
+        let left = matmul(&a.scaled(scale), &b);
+        let right = matmul(&a, &b).scaled(scale);
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-2 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution(r in 1usize..8, c in 1usize..8) {
+        let t = Tensor::from_fn(vec![r, c], |i| i as f32);
+        prop_assert_eq!(t.t().t(), t);
+    }
+
+    #[test]
+    fn top_k_mask_matches_full_sort(
+        scores in proptest::collection::vec(-1000i32..1000, 1..200),
+        k_frac in 1usize..100
+    ) {
+        let scores: Vec<f32> = scores.iter().map(|&v| v as f32 / 10.0).collect();
+        let k = (k_frac * scores.len() / 100).max(1);
+        let mask = dropback::optim::top_k_mask(&scores, k);
+        prop_assert_eq!(mask.iter().filter(|&&m| m).count(), k.min(scores.len()));
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b))
+        });
+        for (rank, &idx) in order.iter().enumerate() {
+            prop_assert_eq!(mask[idx], rank < k.min(scores.len()), "rank {} idx {}", rank, idx);
+        }
+    }
+
+    #[test]
+    fn dropback_invariant_holds_for_random_gradients(
+        grads in proptest::collection::vec(-100i32..100, 16..64),
+        k in 1usize..16,
+        steps in 1usize..5
+    ) {
+        let n = grads.len();
+        let mut ps = ParamStore::new(77);
+        let r = ps.register("w", n, dropback::prng::InitScheme::lecun_normal(8));
+        let mut opt = DropBack::new(k);
+        for s in 0..steps {
+            ps.zero_grads();
+            let g: Vec<f32> = grads.iter().map(|&v| (v as f32 / 50.0) * (s as f32 + 1.0)).collect();
+            ps.accumulate_grad(&r, &g);
+            dropback::optim::Optimizer::step(&mut opt, &mut ps, 0.1);
+            // Invariant: untracked == regenerated init; tracked count == k.
+            let tracked = opt.mask().iter().filter(|&&m| m).count();
+            prop_assert_eq!(tracked, k.min(n));
+            for i in 0..n {
+                if !opt.mask()[i] {
+                    prop_assert_eq!(ps.params()[i], ps.init_value(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_gather_preserves_rows(n in 2usize..20, d in 1usize..8) {
+        let ds = Dataset::new(
+            Tensor::from_fn(vec![n, d], |i| i as f32),
+            (0..n).map(|i| i % 3).collect(),
+            3,
+        );
+        let idx: Vec<usize> = (0..n).rev().collect();
+        let (x, y) = ds.gather(&idx);
+        for (row, &src) in idx.iter().enumerate() {
+            let _ = row;
+            prop_assert_eq!(y[idx.len() - 1 - src], src % 3);
+        }
+        prop_assert_eq!(x.shape(), &[n, d]);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..6, cols in 2usize..8, shift in small_f32()) {
+        let t = Tensor::from_fn(vec![rows, cols], |i| (i as f32 * 0.37).sin() * 5.0 + shift);
+        let s = dropback::tensor::ops::softmax_rows(&t);
+        for r in 0..rows {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn axis_sum_matches_total_sum(a in 1usize..5, b in 1usize..5, c in 1usize..5, axis in 0usize..3) {
+        use dropback::tensor::axis::sum_axis;
+        let t = Tensor::from_fn(vec![a, b, c], |i| ((i * 7 % 13) as f32) - 6.0);
+        let reduced = sum_axis(&t, axis);
+        prop_assert!((reduced.sum() - t.sum()).abs() < 1e-3);
+        let mut expect_shape = vec![a, b, c];
+        expect_shape.remove(axis);
+        prop_assert_eq!(reduced.shape(), &expect_shape[..]);
+    }
+
+    #[test]
+    fn concat_split_roundtrip(a in 1usize..4, s1 in 1usize..4, s2 in 1usize..4, inner in 1usize..4) {
+        use dropback::tensor::axis::{concat, split};
+        let x = Tensor::from_fn(vec![a, s1, inner], |i| i as f32);
+        let y = Tensor::from_fn(vec![a, s2, inner], |i| 1000.0 + i as f32);
+        let joined = concat(&[&x, &y], 1);
+        let parts = split(&joined, 1, &[s1, s2]);
+        prop_assert_eq!(&parts[0], &x);
+        prop_assert_eq!(&parts[1], &y);
+    }
+
+    #[test]
+    fn sigmoid_tanh_ranges(v in -50.0f32..50.0) {
+        use dropback::tensor::activations::{sigmoid_scalar};
+        let s = sigmoid_scalar(v);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!(s.is_finite());
+        // Symmetry: σ(−v) = 1 − σ(v).
+        prop_assert!((sigmoid_scalar(-v) - (1.0 - s)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantizer_is_idempotent(bits in 2u32..9, v in -10.0f32..10.0) {
+        let q = Quantizer::new(bits);
+        let once = q.quantize(v, 10.0);
+        let twice = q.quantize(once, 10.0);
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+        prop_assert!((once - v).abs() <= 10.0 / (q.levels() as f32 / 2.0) + 1e-5);
+    }
+
+    #[test]
+    fn compression_ratio_roundtrips(total in 1usize..1_000_000, stored in 1usize..1_000_000) {
+        let stored = stored.min(total);
+        let ratio = compression_ratio(total, stored);
+        prop_assert!(ratio >= 1.0);
+        let rel_err = (ratio * stored as f32 - total as f32).abs() / total as f32;
+        prop_assert!(rel_err < 1e-3);
+    }
+}
