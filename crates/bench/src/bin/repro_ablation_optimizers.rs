@@ -33,7 +33,13 @@ fn main() {
     let runs: Vec<(&str, TrainReport)> = vec![
         (
             "SGD (paper's choice)",
-            runners::run_mnist(models::mnist_100_100(seed()), Sgd::new(), &train, &test, epochs),
+            runners::run_mnist(
+                models::mnist_100_100(seed()),
+                Sgd::new(),
+                &train,
+                &test,
+                epochs,
+            ),
         ),
         (
             "SGD + momentum 0.9",
@@ -45,14 +51,11 @@ fn main() {
                 epochs,
             ),
         ),
-        (
-            "Adam",
-            {
-                // Adam needs a much smaller rate.
-                let cfg = TrainConfig::new(epochs, 64).lr(LrSchedule::Constant(0.002));
-                Trainer::new(cfg).run(models::mnist_100_100(seed()), Adam::new(), &train, &test)
-            },
-        ),
+        ("Adam", {
+            // Adam needs a much smaller rate.
+            let cfg = TrainConfig::new(epochs, 64).lr(LrSchedule::Constant(0.002));
+            Trainer::new(cfg).run(models::mnist_100_100(seed()), Adam::new(), &train, &test)
+        }),
         (
             "DropBack 20k",
             runners::run_mnist(

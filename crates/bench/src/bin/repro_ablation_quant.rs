@@ -19,7 +19,12 @@ fn main() {
 
     let k = 20_000usize;
     let params = 89_610usize;
-    let mut table = Table::new(&["config", "bits", "error", "total compression (count x width)"]);
+    let mut table = Table::new(&[
+        "config",
+        "bits",
+        "error",
+        "total compression (count x width)",
+    ]);
 
     let full = runners::run_mnist(
         models::mnist_100_100(seed()),
@@ -46,10 +51,7 @@ fn main() {
             &format!("DropBack 20k q{bits}"),
             &bits,
             &format!("{:.2}%", report.best_val_error_percent()),
-            &format!(
-                "{:.1}x",
-                (params as f32 / k as f32) * (32.0 / bits as f32)
-            ),
+            &format!("{:.1}x", (params as f32 / k as f32) * (32.0 / bits as f32)),
         ]);
     }
     println!("{}", table.render());

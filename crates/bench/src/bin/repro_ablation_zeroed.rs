@@ -21,7 +21,12 @@ fn main() {
     let n_test = env_usize("DROPBACK_TEST", 1000);
     let (train, test) = runners::mnist_data(n_train, n_test, seed());
 
-    let mut table = Table::new(&["budget k", "compression", "err (regenerated)", "err (zeroed)"]);
+    let mut table = Table::new(&[
+        "budget k",
+        "compression",
+        "err (regenerated)",
+        "err (zeroed)",
+    ]);
     let mut biggest_gap = 0.0f32;
     for k in [45_000usize, 20_000, 5_000, 1_500] {
         let regen = runners::run_mnist(

@@ -14,11 +14,18 @@ use dropback::prelude::*;
 use dropback_bench::{banner, Table};
 
 fn main() {
-    banner("Energy model", "45nm per-access energy and training traffic");
+    banner(
+        "Energy model",
+        "45nm per-access energy and training traffic",
+    );
     let m = EnergyModel::paper_45nm();
 
     let mut consts = Table::new(&["quantity", "paper", "model"]);
-    consts.row(&[&"DRAM 32-bit access", &"640 pJ", &format!("{} pJ", m.dram_access_pj)]);
+    consts.row(&[
+        &"DRAM 32-bit access",
+        &"640 pJ",
+        &format!("{} pJ", m.dram_access_pj),
+    ]);
     consts.row(&[&"32-bit FLOP", &"0.9 pJ", &format!("{} pJ", m.flop_pj)]);
     consts.row(&[
         &"xorshift regeneration (6 int + 1 fp)",

@@ -13,7 +13,10 @@ use dropback::prelude::*;
 use dropback_bench::{banner, env_usize, runners, seed, sparkline};
 
 fn main() {
-    banner("Figure 1", "KDE of accumulated gradients (MNIST-100-100, SGD)");
+    banner(
+        "Figure 1",
+        "KDE of accumulated gradients (MNIST-100-100, SGD)",
+    );
     let epochs = env_usize("DROPBACK_EPOCHS", 8);
     let n_train = env_usize("DROPBACK_TRAIN", 3000);
     let (train, test) = runners::mnist_data(n_train, 500, seed());

@@ -13,7 +13,10 @@ use dropback::prelude::*;
 use dropback_bench::{banner, env_usize, runners, seed, sparkline};
 
 fn main() {
-    banner("Figure 2", "top-2k set churn per iteration (MNIST-100-100, SGD)");
+    banner(
+        "Figure 2",
+        "top-2k set churn per iteration (MNIST-100-100, SGD)",
+    );
     let epochs = env_usize("DROPBACK_EPOCHS", 6);
     let n_train = env_usize("DROPBACK_TRAIN", 3000);
     let (train, _) = runners::mnist_data(n_train, 100, seed());

@@ -13,7 +13,10 @@ use dropback::prelude::*;
 use dropback_bench::{banner, env_usize, runners, seed, sparkline, Table};
 
 fn main() {
-    banner("Figure 3", "LeNet-300-100 convergence: DropBack vs baseline");
+    banner(
+        "Figure 3",
+        "LeNet-300-100 convergence: DropBack vs baseline",
+    );
     let epochs = env_usize("DROPBACK_EPOCHS", 12);
     let n_train = env_usize("DROPBACK_TRAIN", 4000);
     let n_test = env_usize("DROPBACK_TEST", 1000);
@@ -37,8 +40,16 @@ fn main() {
     let base_curve: Vec<f32> = base.val_curve().iter().map(|&(_, a)| a).collect();
     let db_curve: Vec<f32> = db.val_curve().iter().map(|&(_, a)| a).collect();
     println!("validation accuracy per epoch:");
-    println!("  baseline  {}  (final {:.4})", sparkline(&base_curve), base_curve.last().unwrap());
-    println!("  dropback  {}  (final {:.4})", sparkline(&db_curve), db_curve.last().unwrap());
+    println!(
+        "  baseline  {}  (final {:.4})",
+        sparkline(&base_curve),
+        base_curve.last().unwrap()
+    );
+    println!(
+        "  dropback  {}  (final {:.4})",
+        sparkline(&db_curve),
+        db_curve.last().unwrap()
+    );
 
     let mut t = Table::new(&["epoch", "baseline", "dropback 20k"]);
     for (b, d) in base.val_curve().iter().zip(db.val_curve()) {

@@ -13,7 +13,10 @@ use dropback::prelude::*;
 use dropback_bench::{banner, env_usize, runners, seed, sparkline, Table};
 
 fn main() {
-    banner("Figure 4", "VGG-S convergence: DropBack vs variational dropout vs baseline");
+    banner(
+        "Figure 4",
+        "VGG-S convergence: DropBack vs variational dropout vs baseline",
+    );
     let epochs = env_usize("DROPBACK_EPOCHS", 12);
     let n_train = env_usize("DROPBACK_TRAIN", 1200);
     let n_test = env_usize("DROPBACK_TEST", 400);
@@ -40,7 +43,11 @@ fn main() {
         Trainer::new(cfg).run(models::vgg_s_nano_vd(seed()), Sgd::new(), &train, &test)
     };
 
-    let curves = [("baseline", &base), ("dropback 5x", &db), ("variational", &vd)];
+    let curves = [
+        ("baseline", &base),
+        ("dropback 5x", &db),
+        ("variational", &vd),
+    ];
     println!("validation accuracy per epoch:");
     for (name, r) in &curves {
         let c: Vec<f32> = r.val_curve().iter().map(|&(_, a)| a).collect();

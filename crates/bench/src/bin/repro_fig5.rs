@@ -12,7 +12,8 @@
 //! ```
 
 use dropback::prelude::*;
-use dropback_bench::{banner, env_usize, runners, seed, Table};
+use dropback::telemetry::Json;
+use dropback_bench::{banner, env_usize, runners, seed, telemetry_from_env, Table};
 
 /// Probe recording ℓ2 distance from init on a log-spaced iteration grid.
 struct DiffusionProbe {
@@ -54,14 +55,25 @@ fn run(
 }
 
 fn main() {
-    banner("Figure 5", "diffusion (L2) distance vs training time (MNIST-100-100)");
+    banner(
+        "Figure 5",
+        "diffusion (L2) distance vs training time (MNIST-100-100)",
+    );
     let epochs = env_usize("DROPBACK_EPOCHS", 6);
     let n_train = env_usize("DROPBACK_TRAIN", 3000);
     let n_test = env_usize("DROPBACK_TEST", 600);
     let (train, test) = runners::mnist_data(n_train, n_test, seed());
 
     let results = vec![
-        run("baseline", models::mnist_100_100(seed()), Sgd::new(), None, &train, &test, epochs),
+        run(
+            "baseline",
+            models::mnist_100_100(seed()),
+            Sgd::new(),
+            None,
+            &train,
+            &test,
+            epochs,
+        ),
         run(
             "dropback 2k",
             models::mnist_100_100(seed()),
@@ -100,11 +112,15 @@ fn main() {
         ),
     ];
 
+    let mut telemetry = telemetry_from_env();
     let mut t = Table::new(&["method", "dist@iter1", "dist@mid", "dist@end", "val acc"]);
     let mut summary = Vec::new();
     for (name, samples, acc) in &results {
         let first = samples.first().map(|&(_, d)| d).unwrap_or(0.0);
-        let mid = samples.get(samples.len() / 2).map(|&(_, d)| d).unwrap_or(0.0);
+        let mid = samples
+            .get(samples.len() / 2)
+            .map(|&(_, d)| d)
+            .unwrap_or(0.0);
         let last = samples.last().map(|&(_, d)| d).unwrap_or(0.0);
         t.row(&[
             name,
@@ -113,6 +129,21 @@ fn main() {
             &format!("{last:.2}"),
             &format!("{acc:.4}"),
         ]);
+        // Structured counterpart of the table row, including the full
+        // (iteration, distance) series for downstream plotting.
+        let series: Vec<Json> = samples
+            .iter()
+            .map(|&(it, d)| Json::Arr(vec![it.into(), d.into()]))
+            .collect();
+        telemetry.emit(
+            Event::new("diffusion")
+                .with("method", name.as_str())
+                .with("dist_first", first)
+                .with("dist_mid", mid)
+                .with("dist_last", last)
+                .with("val_acc", *acc)
+                .with("series", series),
+        );
         summary.push((name.clone(), first, last));
     }
     println!("{}", t.render());
@@ -126,7 +157,13 @@ fn main() {
     }
 
     // Shape assertions mirroring the paper's qualitative claims.
-    let get = |n: &str| summary.iter().find(|(name, _, _)| name == n).unwrap().clone();
+    let get = |n: &str| {
+        summary
+            .iter()
+            .find(|(name, _, _)| name == n)
+            .unwrap()
+            .clone()
+    };
     let (_, base_first, base_last) = get("baseline");
     let (_, db10_first, db10_last) = get("dropback 10k");
     let (_, mag_first, _) = get("mag prune .75");
@@ -138,11 +175,25 @@ fn main() {
          end distance {:.1} >= baseline {:.1}",
         db10_last, base_last, mag_first, base_first, vd_last, base_last
     );
-    assert!(db10_first <= base_first * 1.5 + 1.0, "dropback should start near baseline");
-    assert!(db10_last <= base_last * 1.2 + 1.0, "dropback should not out-diffuse baseline");
+    assert!(
+        db10_first <= base_first * 1.5 + 1.0,
+        "dropback should start near baseline"
+    );
+    assert!(
+        db10_last <= base_last * 1.2 + 1.0,
+        "dropback should not out-diffuse baseline"
+    );
     assert!(
         mag_first > base_first * 3.0,
         "magnitude pruning should start far from init (zeroed scaffolding)"
     );
+    telemetry.emit(
+        Event::new("figure")
+            .with("name", "fig5")
+            .with("methods", results.len())
+            .with("epochs", epochs)
+            .with("shape_check", "pass"),
+    );
+    telemetry.flush();
     println!("PASS");
 }

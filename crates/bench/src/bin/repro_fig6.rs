@@ -65,7 +65,10 @@ fn trajectory(
 }
 
 fn main() {
-    banner("Figure 6", "PCA projection of weight evolution (MNIST-100-100)");
+    banner(
+        "Figure 6",
+        "PCA projection of weight evolution (MNIST-100-100)",
+    );
     let epochs = env_usize("DROPBACK_EPOCHS", 4);
     let n_train = env_usize("DROPBACK_TRAIN", 2000);
     let (train, test) = runners::mnist_data(n_train, 400, seed());
@@ -74,7 +77,15 @@ fn main() {
     let runs: Vec<(&str, Vec<Vec<f32>>)> = vec![
         (
             "baseline",
-            trajectory(models::mnist_100_100(seed()), Sgd::new(), None, &train, &test, epochs, every),
+            trajectory(
+                models::mnist_100_100(seed()),
+                Sgd::new(),
+                None,
+                &train,
+                &test,
+                epochs,
+                every,
+            ),
         ),
         (
             "dropback 2k",
@@ -140,9 +151,16 @@ fn main() {
     let pca = pca_project(&all, 3);
     println!(
         "explained variance by top-3 PCs: {:?}",
-        pca.explained.iter().map(|e| format!("{e:.3}")).collect::<Vec<_>>()
+        pca.explained
+            .iter()
+            .map(|e| format!("{e:.3}"))
+            .collect::<Vec<_>>()
     );
-    let mut t = Table::new(&["method", "endpoint (PC1, PC2, PC3)", "dist from baseline endpoint"]);
+    let mut t = Table::new(&[
+        "method",
+        "endpoint (PC1, PC2, PC3)",
+        "dist from baseline endpoint",
+    ]);
     let base_end = {
         let (_, snaps) = &runs[0];
         pca.projections[offsets[0] + snaps.len() - 1].clone()

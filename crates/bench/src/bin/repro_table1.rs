@@ -6,7 +6,7 @@
 //! ```
 
 use dropback::prelude::*;
-use dropback_bench::{banner, env_usize, runners, seed, Table};
+use dropback_bench::{banner, env_usize, runners, seed, telemetry_from_env, Table};
 
 struct PaperRow {
     label: &'static str,
@@ -20,19 +20,52 @@ fn main() {
     let n_train = env_usize("DROPBACK_TRAIN", 5000);
     let n_test = env_usize("DROPBACK_TEST", 1000);
     let (train, test) = runners::mnist_data(n_train, n_test, seed());
+    let mut telemetry = telemetry_from_env();
 
     // (model ctor, paper rows, budgets, freeze epochs)
     let lenet_paper = [
-        PaperRow { label: "Baseline 267k", err: "1.41%", comp: "1x" },
-        PaperRow { label: "DropBack 50k", err: "1.51%", comp: "5.33x" },
-        PaperRow { label: "DropBack 20k", err: "1.78%", comp: "13.33x" },
-        PaperRow { label: "DropBack 1.5k", err: "3.84%", comp: "177.74x" },
+        PaperRow {
+            label: "Baseline 267k",
+            err: "1.41%",
+            comp: "1x",
+        },
+        PaperRow {
+            label: "DropBack 50k",
+            err: "1.51%",
+            comp: "5.33x",
+        },
+        PaperRow {
+            label: "DropBack 20k",
+            err: "1.78%",
+            comp: "13.33x",
+        },
+        PaperRow {
+            label: "DropBack 1.5k",
+            err: "3.84%",
+            comp: "177.74x",
+        },
     ];
     let small_paper = [
-        PaperRow { label: "Baseline 90k", err: "1.70%", comp: "1x" },
-        PaperRow { label: "DropBack 50k", err: "1.58%", comp: "1.8x" },
-        PaperRow { label: "DropBack 20k", err: "1.70%", comp: "4.5x" },
-        PaperRow { label: "DropBack 1.5k", err: "3.78%", comp: "60x" },
+        PaperRow {
+            label: "Baseline 90k",
+            err: "1.70%",
+            comp: "1x",
+        },
+        PaperRow {
+            label: "DropBack 50k",
+            err: "1.58%",
+            comp: "1.8x",
+        },
+        PaperRow {
+            label: "DropBack 20k",
+            err: "1.70%",
+            comp: "4.5x",
+        },
+        PaperRow {
+            label: "DropBack 1.5k",
+            err: "3.78%",
+            comp: "60x",
+        },
     ];
     let budgets: [Option<usize>; 4] = [None, Some(50_000), Some(20_000), Some(1_500)];
     // Paper freeze epochs, rescaled to the reduced epoch budget.
@@ -92,9 +125,29 @@ fn main() {
                 &report.best_epoch,
                 &freeze_str,
             ]);
+            // Structured counterpart of the table row.
+            telemetry.emit(
+                Event::new("table1_row")
+                    .with("model", model_name)
+                    .with("config", paper_row.label)
+                    .with("paper_err", paper_row.err)
+                    .with("measured_err_percent", report.best_val_error_percent())
+                    .with("paper_comp", paper_row.comp)
+                    .with("measured_comp", report.compression())
+                    .with("best_epoch", report.best_epoch)
+                    .with("stored_weights", report.stored_weights),
+            );
         }
         println!("{}", table.render());
     }
+    telemetry.emit(
+        Event::new("table")
+            .with("name", "table1")
+            .with("epochs", epochs)
+            .with("train", n_train)
+            .with("test", n_test),
+    );
+    telemetry.flush();
     println!(
         "shape check: DropBack at moderate budgets (>=20k) should sit within ~1-2% of the\n\
          baseline error while storing 4-13x fewer weights; the 1.5k extreme point should\n\

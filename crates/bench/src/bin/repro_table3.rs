@@ -60,14 +60,54 @@ fn main() {
             vgg,
             vgg_vd,
             vec![
-                Row { rule: Rule::Baseline, label: "Baseline", paper_err: "10.08%", paper_comp: "1x" },
-                Row { rule: Rule::DropBackRatio(3.0), label: "DropBack 3x", paper_err: "9.75%", paper_comp: "3x" },
-                Row { rule: Rule::DropBackRatio(5.0), label: "DropBack 5x", paper_err: "9.90%", paper_comp: "5x" },
-                Row { rule: Rule::DropBackRatio(20.0), label: "DropBack 20x", paper_err: "13.49%", paper_comp: "20x" },
-                Row { rule: Rule::DropBackRatio(30.0), label: "DropBack 30x", paper_err: "20.85%", paper_comp: "30x" },
-                Row { rule: Rule::VarDrop, label: "Var. Dropout", paper_err: "13.50%", paper_comp: "3.4x" },
-                Row { rule: Rule::Magnitude(0.80), label: "Mag Pruning .80", paper_err: "9.42%", paper_comp: "5x" },
-                Row { rule: Rule::Slimming(0.74), label: "Slimming", paper_err: "11.08%", paper_comp: "3.8x" },
+                Row {
+                    rule: Rule::Baseline,
+                    label: "Baseline",
+                    paper_err: "10.08%",
+                    paper_comp: "1x",
+                },
+                Row {
+                    rule: Rule::DropBackRatio(3.0),
+                    label: "DropBack 3x",
+                    paper_err: "9.75%",
+                    paper_comp: "3x",
+                },
+                Row {
+                    rule: Rule::DropBackRatio(5.0),
+                    label: "DropBack 5x",
+                    paper_err: "9.90%",
+                    paper_comp: "5x",
+                },
+                Row {
+                    rule: Rule::DropBackRatio(20.0),
+                    label: "DropBack 20x",
+                    paper_err: "13.49%",
+                    paper_comp: "20x",
+                },
+                Row {
+                    rule: Rule::DropBackRatio(30.0),
+                    label: "DropBack 30x",
+                    paper_err: "20.85%",
+                    paper_comp: "30x",
+                },
+                Row {
+                    rule: Rule::VarDrop,
+                    label: "Var. Dropout",
+                    paper_err: "13.50%",
+                    paper_comp: "3.4x",
+                },
+                Row {
+                    rule: Rule::Magnitude(0.80),
+                    label: "Mag Pruning .80",
+                    paper_err: "9.42%",
+                    paper_comp: "5x",
+                },
+                Row {
+                    rule: Rule::Slimming(0.74),
+                    label: "Slimming",
+                    paper_err: "11.08%",
+                    paper_comp: "3.8x",
+                },
             ],
         ),
         (
@@ -75,12 +115,42 @@ fn main() {
             dense,
             dense_vd,
             vec![
-                Row { rule: Rule::Baseline, label: "Baseline", paper_err: "6.48%", paper_comp: "1x" },
-                Row { rule: Rule::DropBackRatio(4.5), label: "DropBack 4.5x", paper_err: "5.86%", paper_comp: "4.5x" },
-                Row { rule: Rule::DropBackRatio(27.0), label: "DropBack 27x", paper_err: "9.42%", paper_comp: "27x" },
-                Row { rule: Rule::VarDrop, label: "Var. Dropout", paper_err: "90%", paper_comp: "N/A" },
-                Row { rule: Rule::Magnitude(0.75), label: "Mag Pruning .75", paper_err: "6.41%", paper_comp: "4x" },
-                Row { rule: Rule::Slimming(0.66), label: "Slimming", paper_err: "5.65%", paper_comp: "2.9x" },
+                Row {
+                    rule: Rule::Baseline,
+                    label: "Baseline",
+                    paper_err: "6.48%",
+                    paper_comp: "1x",
+                },
+                Row {
+                    rule: Rule::DropBackRatio(4.5),
+                    label: "DropBack 4.5x",
+                    paper_err: "5.86%",
+                    paper_comp: "4.5x",
+                },
+                Row {
+                    rule: Rule::DropBackRatio(27.0),
+                    label: "DropBack 27x",
+                    paper_err: "9.42%",
+                    paper_comp: "27x",
+                },
+                Row {
+                    rule: Rule::VarDrop,
+                    label: "Var. Dropout",
+                    paper_err: "90%",
+                    paper_comp: "N/A",
+                },
+                Row {
+                    rule: Rule::Magnitude(0.75),
+                    label: "Mag Pruning .75",
+                    paper_err: "6.41%",
+                    paper_comp: "4x",
+                },
+                Row {
+                    rule: Rule::Slimming(0.66),
+                    label: "Slimming",
+                    paper_err: "5.65%",
+                    paper_comp: "2.9x",
+                },
             ],
         ),
         (
@@ -88,13 +158,48 @@ fn main() {
             wrn,
             wrn_vd,
             vec![
-                Row { rule: Rule::Baseline, label: "Baseline", paper_err: "3.75%", paper_comp: "1x" },
-                Row { rule: Rule::DropBackRatio(4.5), label: "DropBack 4.5x", paper_err: "3.85%", paper_comp: "4.5x" },
-                Row { rule: Rule::DropBackRatio(5.2), label: "DropBack 5.2x", paper_err: "4.02%", paper_comp: "5.2x" },
-                Row { rule: Rule::DropBackRatio(7.3), label: "DropBack 7.3x", paper_err: "4.20%", paper_comp: "7.3x" },
-                Row { rule: Rule::VarDrop, label: "Var. Dropout", paper_err: "90%", paper_comp: "N/A" },
-                Row { rule: Rule::Magnitude(0.75), label: "Mag Pruning .75", paper_err: "26.52%", paper_comp: "4x" },
-                Row { rule: Rule::Slimming(0.75), label: "Slimming .75", paper_err: "16.64%", paper_comp: "4x" },
+                Row {
+                    rule: Rule::Baseline,
+                    label: "Baseline",
+                    paper_err: "3.75%",
+                    paper_comp: "1x",
+                },
+                Row {
+                    rule: Rule::DropBackRatio(4.5),
+                    label: "DropBack 4.5x",
+                    paper_err: "3.85%",
+                    paper_comp: "4.5x",
+                },
+                Row {
+                    rule: Rule::DropBackRatio(5.2),
+                    label: "DropBack 5.2x",
+                    paper_err: "4.02%",
+                    paper_comp: "5.2x",
+                },
+                Row {
+                    rule: Rule::DropBackRatio(7.3),
+                    label: "DropBack 7.3x",
+                    paper_err: "4.20%",
+                    paper_comp: "7.3x",
+                },
+                Row {
+                    rule: Rule::VarDrop,
+                    label: "Var. Dropout",
+                    paper_err: "90%",
+                    paper_comp: "N/A",
+                },
+                Row {
+                    rule: Rule::Magnitude(0.75),
+                    label: "Mag Pruning .75",
+                    paper_err: "26.52%",
+                    paper_comp: "4x",
+                },
+                Row {
+                    rule: Rule::Slimming(0.75),
+                    label: "Slimming .75",
+                    paper_err: "16.64%",
+                    paper_comp: "4x",
+                },
             ],
         ),
     ];
@@ -102,12 +207,10 @@ fn main() {
     // Optional suite filter: DROPBACK_SUITE=vgg|densenet|wrn runs one family;
     // DROPBACK_ROWS=a-b restricts to a row range within it (chunked runs).
     let suite_filter = std::env::var("DROPBACK_SUITE").unwrap_or_default();
-    let row_range: Option<(usize, usize)> = std::env::var("DROPBACK_ROWS")
-        .ok()
-        .and_then(|s| {
-            let (a, b) = s.split_once('-')?;
-            Some((a.parse().ok()?, b.parse().ok()?))
-        });
+    let row_range: Option<(usize, usize)> = std::env::var("DROPBACK_ROWS").ok().and_then(|s| {
+        let (a, b) = s.split_once('-')?;
+        Some((a.parse().ok()?, b.parse().ok()?))
+    });
     for (suite_name, ctor, vd_ctor, rows) in suites {
         if !suite_filter.is_empty()
             && !suite_name

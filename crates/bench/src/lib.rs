@@ -12,7 +12,10 @@
 //! | `DROPBACK_TRAIN` | training examples | per-experiment |
 //! | `DROPBACK_TEST` | test examples | per-experiment |
 //! | `DROPBACK_SEED` | master seed | 42 |
+//! | `DROPBACK_TELEMETRY` | JSONL event capture path | off |
+//! | `DROPBACK_TELEMETRY_STDERR` | mirror events to stderr | off |
 
+use dropback::telemetry::{JsonlSink, StderrSink, TeeSink, Telemetry};
 use std::fmt::Display;
 
 /// Reads a `usize` scale knob from the environment.
@@ -29,6 +32,32 @@ pub fn seed() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(42)
+}
+
+/// Builds the experiment telemetry bundle from the environment:
+/// `DROPBACK_TELEMETRY=path.jsonl` captures every structured event as
+/// JSONL; `DROPBACK_TELEMETRY_STDERR=1` mirrors them human-readably to
+/// stderr. With neither set the bundle is disabled and emitting is free,
+/// so the `repro_*` binaries route their results through it
+/// unconditionally (see `docs/OBSERVABILITY.md`).
+pub fn telemetry_from_env() -> Telemetry {
+    let mut tee = TeeSink::default();
+    if let Ok(path) = std::env::var("DROPBACK_TELEMETRY") {
+        if !path.is_empty() {
+            match JsonlSink::create(&path) {
+                Ok(sink) => tee.push(Box::new(sink)),
+                Err(e) => eprintln!("cannot create {path}: {e}; telemetry disabled"),
+            }
+        }
+    }
+    if std::env::var("DROPBACK_TELEMETRY_STDERR").is_ok() {
+        tee.push(Box::new(StderrSink));
+    }
+    if tee.is_empty() {
+        Telemetry::disabled()
+    } else {
+        Telemetry::with_sink(Box::new(tee))
+    }
 }
 
 /// A fixed-width text table that prints paper-reported values alongside
@@ -227,6 +256,13 @@ mod tests {
     #[test]
     fn env_fallbacks() {
         assert_eq!(env_usize("DROPBACK_NO_SUCH_VAR_XYZ", 7), 7);
+    }
+
+    #[test]
+    fn telemetry_from_env_defaults_disabled() {
+        std::env::remove_var("DROPBACK_TELEMETRY");
+        std::env::remove_var("DROPBACK_TELEMETRY_STDERR");
+        assert!(!telemetry_from_env().is_active());
     }
 
     #[test]

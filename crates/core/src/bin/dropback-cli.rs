@@ -3,30 +3,81 @@
 //!
 //! ```text
 //! dropback-cli train --model mnist-100-100 --budget 20000 --epochs 8 \
-//!                    --checkpoint model.dbk
+//!                    --checkpoint model.dbk --telemetry run.jsonl
 //! dropback-cli eval  --model mnist-100-100 --checkpoint model.dbk
 //! dropback-cli info  --model lenet-300-100
 //! dropback-cli energy --params 266610 --budget 20000
 //! ```
+//!
+//! Output contract: stdout carries only the machine-parseable result (one
+//! JSON line for `train`/`eval`, aligned text for `info`/`energy`); all
+//! progress and diagnostics go to stderr. `--quiet` silences the stderr
+//! progress; `--telemetry PATH` additionally streams every event as JSONL.
 
 use dropback::prelude::*;
+use dropback::telemetry::take_phase_totals;
 use dropback::Checkpoint;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+/// Flags each subcommand accepts; anything else is an error, not a silent
+/// fallback to defaults.
+fn known_flags(cmd: &str) -> &'static [&'static str] {
+    match cmd {
+        "train" => &[
+            "model",
+            "epochs",
+            "batch",
+            "lr",
+            "budget",
+            "freeze",
+            "checkpoint",
+            "data",
+            "train",
+            "test",
+            "seed",
+            "telemetry",
+            "quiet",
+        ],
+        "eval" => &["model", "checkpoint", "data", "train", "test", "seed"],
+        "info" => &["model", "seed"],
+        "energy" => &["params", "budget", "sram", "model"],
+        _ => &[],
+    }
+}
+
+fn parse_flags(cmd: &str, args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            let value = args.get(i + 1).cloned().unwrap_or_default();
-            flags.insert(key.to_string(), value);
-            i += 2;
+            if !known_flags(cmd).contains(&key) {
+                return Err(format!(
+                    "unknown flag --{key} for {cmd:?} (valid: {})",
+                    known_flags(cmd)
+                        .iter()
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ));
+            }
+            // Boolean flags (`--quiet`) take no value: the next token is a
+            // value only if it is not itself a flag.
+            match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                Some(value) => {
+                    flags.insert(key.to_string(), value.clone());
+                    i += 2;
+                }
+                None => {
+                    flags.insert(key.to_string(), String::new());
+                    i += 1;
+                }
+            }
         } else {
-            i += 1;
+            return Err(format!("unexpected argument {:?}", args[i]));
         }
     }
-    flags
+    Ok(flags)
 }
 
 fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
@@ -34,6 +85,41 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
         .get(key)
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// A stderr progress sink that drops per-step events — epoch and run
+/// summaries are progress; per-step spam is not.
+struct EpochStderr(StderrSink);
+
+impl EventSink for EpochStderr {
+    fn emit(&mut self, event: &Event) {
+        if event.kind() != "step" {
+            self.0.emit(event);
+        }
+    }
+}
+
+/// Builds the telemetry bundle from `--telemetry PATH` and `--quiet`:
+/// JSONL to the path (all events), human-readable epoch lines to stderr
+/// unless quiet. With neither, telemetry is fully disabled.
+fn telemetry_from_flags(flags: &HashMap<String, String>) -> Result<Telemetry, String> {
+    let quiet = flags.contains_key("quiet");
+    let mut tee = TeeSink::default();
+    if let Some(path) = flags.get("telemetry") {
+        if path.is_empty() {
+            return Err("--telemetry requires a file path".into());
+        }
+        let sink = JsonlSink::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        tee.push(Box::new(sink));
+    }
+    if !quiet {
+        tee.push(Box::new(EpochStderr(StderrSink)));
+    }
+    if tee.is_empty() {
+        Ok(Telemetry::disabled())
+    } else {
+        Ok(Telemetry::with_sink(Box::new(tee)))
+    }
 }
 
 fn build_model(name: &str, seed: u64) -> Result<Network, String> {
@@ -50,11 +136,7 @@ fn build_model(name: &str, seed: u64) -> Result<Network, String> {
     }
 }
 
-fn load_data(
-    flags: &HashMap<String, String>,
-    model: &str,
-    seed: u64,
-) -> (Dataset, Dataset) {
+fn load_data(flags: &HashMap<String, String>, model: &str, seed: u64) -> (Dataset, Dataset) {
     let n_train = get(flags, "train", 4000usize);
     let n_test = get(flags, "test", 1000usize);
     if let Some(dir) = flags.get("data") {
@@ -83,12 +165,16 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     let batch = get(flags, "batch", 64usize);
     let lr = get(flags, "lr", 0.2f32);
     let budget = get(flags, "budget", 0usize);
+    let quiet = flags.contains_key("quiet");
+    let mut telemetry = telemetry_from_flags(flags)?;
     let net = build_model(&model_name, seed)?;
     let params = net.num_params();
     let (train, test) = load_data(flags, &model_name, seed);
-    println!(
-        "training {model_name} ({params} params) for {epochs} epochs, batch {batch}, lr {lr}"
-    );
+    if !quiet {
+        eprintln!(
+            "training {model_name} ({params} params) for {epochs} epochs, batch {batch}, lr {lr}"
+        );
+    }
     let cfg = TrainConfig::new(epochs, batch).lr(LrSchedule::StepDecay {
         initial: lr,
         factor: 0.5,
@@ -101,37 +187,75 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         // Manual loop: the checkpoint needs the optimizer afterwards.
         let mut net = net;
         let batcher = Batcher::new(batch, cfg.shuffle_seed);
+        if telemetry.is_active() {
+            let _ = take_phase_totals(); // fresh phase sums for epoch 0
+        }
+        let mut last_val = 0.0f32;
         for epoch in 0..epochs {
             let lr_now = cfg.schedule.at(epoch);
             let mut loss_sum = 0.0f32;
+            let mut acc_sum = 0.0f32;
             let mut n_batches = 0usize;
             for (x, labels) in batcher.epoch(&train, epoch as u64) {
-                let (loss, _) = net.loss_backward(&x, &labels);
-                opt.step(net.store_mut(), lr_now);
+                let (loss, acc) = net.loss_backward(&x, &labels);
+                {
+                    let _span = dropback::telemetry::Span::enter("optimizer-step");
+                    opt.step(net.store_mut(), lr_now);
+                }
                 loss_sum += loss;
+                acc_sum += acc;
                 n_batches += 1;
             }
             opt.end_epoch(epoch, net.store_mut());
-            println!(
-                "epoch {epoch:>3}  lr {lr_now:.4}  loss {:.4}  val acc {:.4}",
-                loss_sum / n_batches.max(1) as f32,
-                net.accuracy(&test, 256)
-            );
+            let val_acc = net.accuracy(&test, 256);
+            last_val = val_acc;
+            let mut ev = Event::new("epoch")
+                .with("epoch", epoch)
+                .with("train_loss", loss_sum / n_batches.max(1) as f32)
+                .with("train_acc", acc_sum / n_batches.max(1) as f32)
+                .with("val_acc", val_acc)
+                .with("lr", lr_now);
+            for (name, value) in opt.metrics() {
+                ev.push(name, value);
+            }
+            for (phase, stat) in take_phase_totals() {
+                ev.push(&format!("{}_ns", phase.replace('-', "_")), stat.total_ns);
+            }
+            telemetry.emit(ev);
         }
-        println!(
-            "stored {} of {params} weights ({:.1}x compression)",
-            opt.storage_entries(),
-            params as f32 / budget as f32
-        );
+        let mut run_ev = Event::new("run");
+        let result = Event::new("result")
+            .with("model", model_name.as_str())
+            .with("optimizer", "dropback-sparse")
+            .with("params", params)
+            .with("stored_weights", opt.storage_entries())
+            .with("compression", params as f32 / budget as f32)
+            .with("val_acc", last_val);
+        for (k, v) in result.fields() {
+            run_ev.push(k, v.clone());
+        }
+        telemetry.emit(run_ev);
+        telemetry.flush();
+        println!("{}", result.to_json().render());
         if let Some(path) = flags.get("checkpoint") {
             let ckpt = Checkpoint::from_sparse(&net, &opt);
             let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
             ckpt.write_to(file).map_err(|e| e.to_string())?;
-            println!("wrote {path} ({} bytes)", ckpt.size_bytes());
+            eprintln!("wrote {path} ({} bytes)", ckpt.size_bytes());
         }
     } else {
-        let report = Trainer::new(cfg).run(net, Sgd::new(), &train, &test);
-        print!("{}", report.to_table());
+        let report = Trainer::new(cfg).run_telemetry(
+            net,
+            Sgd::new(),
+            &train,
+            &test,
+            &mut NoProbe,
+            &mut telemetry,
+        );
+        if !quiet {
+            eprint!("{}", report.to_table());
+        }
+        println!("{}", report.to_json().render());
         if flags.contains_key("checkpoint") {
             return Err("--checkpoint requires a --budget below the model size".into());
         }
@@ -153,11 +277,17 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut net = build_model(&model_name, ckpt.seed())?;
     ckpt.apply(&mut net);
     let (_, test) = load_data(flags, &model_name, seed);
-    println!(
-        "{model_name} from {path}: {} stored weights, val acc {:.4}",
-        ckpt.len(),
-        net.accuracy(&test, 256)
+    let val_acc = net.accuracy(&test, 256);
+    eprintln!(
+        "{model_name} from {path}: {} stored weights, val acc {val_acc:.4}",
+        ckpt.len()
     );
+    let result = Event::new("result")
+        .with("model", model_name.as_str())
+        .with("checkpoint", path.as_str())
+        .with("stored_weights", ckpt.len())
+        .with("val_acc", val_acc);
+    println!("{}", result.to_json().render());
     Ok(())
 }
 
@@ -202,7 +332,11 @@ fn cmd_energy(flags: &HashMap<String, String>) -> Result<(), String> {
         "  with {} KiB weight SRAM: tracked set {} on-chip; max trainable model at this\n\
          compression: {} weights",
         sram / 1024,
-        if acc.fits_on_chip(budget) { "fits" } else { "spills" },
+        if acc.fits_on_chip(budget) {
+            "fits"
+        } else {
+            "spills"
+        },
         acc.max_trainable_weights(params as f64 / budget as f64)
     );
     Ok(())
@@ -211,10 +345,12 @@ fn cmd_energy(flags: &HashMap<String, String>) -> Result<(), String> {
 fn usage() -> String {
     "usage: dropback-cli <train|eval|info|energy> [--flag value ...]\n\
      train : --model M --epochs N --batch B --lr X --budget K --freeze E \
-             --checkpoint PATH --data synthetic|DIR --train N --test N --seed S\n\
+             --checkpoint PATH --data synthetic|DIR --train N --test N --seed S \
+             --telemetry PATH.jsonl --quiet\n\
      eval  : --model M --checkpoint PATH [--data ...]\n\
      info  : --model M\n\
-     energy: --params N --budget K [--sram BYTES]"
+     energy: --params N --budget K [--sram BYTES]\n\
+     stdout carries one JSON result line (train/eval); progress goes to stderr"
         .to_string()
 }
 
@@ -224,13 +360,16 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let flags = parse_flags(&args[1..]);
-    let result = match cmd.as_str() {
-        "train" => cmd_train(&flags),
-        "eval" => cmd_eval(&flags),
-        "info" => cmd_info(&flags),
-        "energy" => cmd_energy(&flags),
-        _ => Err(usage()),
+    let result = if known_flags(cmd).is_empty() {
+        Err(usage())
+    } else {
+        parse_flags(cmd, &args[1..]).and_then(|flags| match cmd.as_str() {
+            "train" => cmd_train(&flags),
+            "eval" => cmd_eval(&flags),
+            "info" => cmd_info(&flags),
+            "energy" => cmd_energy(&flags),
+            _ => unreachable!("known_flags gates the command set"),
+        })
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -22,11 +22,8 @@ impl Checkpoint {
     /// Captures a checkpoint from a network trained with
     /// [`SparseDropBack`] (whose tracked map *is* the stored model).
     pub fn from_sparse(net: &Network, opt: &SparseDropBack) -> Self {
-        let mut entries: Vec<(u64, f32)> = opt
-            .tracked()
-            .iter()
-            .map(|(&i, &w)| (i as u64, w))
-            .collect();
+        let mut entries: Vec<(u64, f32)> =
+            opt.tracked().iter().map(|(&i, &w)| (i as u64, w)).collect();
         entries.sort_unstable_by_key(|&(i, _)| i);
         Self {
             seed: net.store().seed(),
@@ -202,9 +199,8 @@ mod tests {
         let (net, opt) = trained();
         let ckpt = Checkpoint::from_sparse(&net, &opt);
         let mut other = models::mnist_100_100(999);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            ckpt.apply(&mut other)
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ckpt.apply(&mut other)));
         assert!(result.is_err());
     }
 

@@ -38,6 +38,11 @@
 //! | DropBack + baseline optimizers | [`optim`] |
 //! | diffusion / KDE / churn / PCA analysis | [`metrics`] |
 //! | 45 nm energy + traffic model | [`energy`] |
+//! | counters, spans, event sinks, JSONL | [`telemetry`] |
+//!
+//! Observability: [`Trainer::run_telemetry`] streams structured `step` /
+//! `epoch` / `run` events into any [`telemetry::EventSink`]; see
+//! `docs/OBSERVABILITY.md` for the full metric and span taxonomy.
 
 #![deny(missing_docs)]
 
@@ -47,6 +52,7 @@ pub use dropback_metrics as metrics;
 pub use dropback_nn as nn;
 pub use dropback_optim as optim;
 pub use dropback_prng as prng;
+pub use dropback_telemetry as telemetry;
 pub use dropback_tensor as tensor;
 
 mod checkpoint;
@@ -57,15 +63,15 @@ mod trainer;
 
 pub use checkpoint::Checkpoint;
 pub use config::TrainConfig;
-pub use sparse_infer::{stream_mlp_forward, StreamStats, StreamingLinear};
 pub use report::{EpochStats, TrainReport};
-pub use trainer::{StepProbe, Trainer};
+pub use sparse_infer::{stream_mlp_forward, StreamStats, StreamingLinear};
+pub use trainer::{NoProbe, StepProbe, Trainer};
 
 /// Convenient glob-import surface for examples and experiment binaries.
 pub mod prelude {
     pub use crate::config::TrainConfig;
     pub use crate::report::{EpochStats, TrainReport};
-    pub use crate::trainer::{StepProbe, Trainer};
+    pub use crate::trainer::{NoProbe, StepProbe, Trainer};
     pub use dropback_data::{synthetic_cifar, synthetic_mnist, Batcher, Dataset};
     pub use dropback_energy::{EnergyModel, TrainingTraffic};
     pub use dropback_metrics::{
@@ -75,6 +81,9 @@ pub mod prelude {
     pub use dropback_optim::{
         DropBack, KlAnneal, LrSchedule, MagnitudePruning, NetworkSlimming, Optimizer, Quantized,
         Quantizer, Sgd, SparseDropBack,
+    };
+    pub use dropback_telemetry::{
+        Event, EventSink, JsonlSink, NullSink, StderrSink, TeeSink, Telemetry, TelemetrySnapshot,
     };
     pub use dropback_tensor::Tensor;
 }

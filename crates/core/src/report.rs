@@ -1,5 +1,7 @@
 //! Training-run results.
 
+use dropback_telemetry::Json;
+
 /// Per-epoch statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochStats {
@@ -67,6 +69,40 @@ impl TrainReport {
             ));
         }
         out
+    }
+
+    /// The report as a JSON object (summary fields plus a `history` array)
+    /// — the machine-readable counterpart of [`TrainReport::to_table`].
+    /// Render with [`Json::render`]; parse back with [`Json::parse`].
+    pub fn to_json(&self) -> Json {
+        let history: Vec<Json> = self
+            .history
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("epoch".to_string(), e.epoch.into()),
+                    ("lr".to_string(), e.lr.into()),
+                    ("train_loss".to_string(), e.train_loss.into()),
+                    ("train_acc".to_string(), e.train_acc.into()),
+                    ("val_acc".to_string(), e.val_acc.into()),
+                    ("kl".to_string(), e.kl.into()),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("model".to_string(), self.model.as_str().into()),
+            ("optimizer".to_string(), self.optimizer.as_str().into()),
+            ("params".to_string(), self.params.into()),
+            ("stored_weights".to_string(), self.stored_weights.into()),
+            ("compression".to_string(), self.compression().into()),
+            ("best_epoch".to_string(), self.best_epoch.into()),
+            ("best_val_acc".to_string(), self.best_val_acc.into()),
+            (
+                "best_val_error_percent".to_string(),
+                self.best_val_error_percent().into(),
+            ),
+            ("history".to_string(), Json::Arr(history)),
+        ])
     }
 
     /// Renders the epoch history as an aligned text table.
@@ -147,6 +183,24 @@ mod tests {
         let t = report().to_table();
         assert!(t.contains("best epoch 1"));
         assert!(t.contains("val_acc"));
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let r = report();
+        let rendered = r.to_json().render();
+        let parsed = Json::parse(&rendered).unwrap();
+        assert_eq!(parsed.get("model").unwrap().as_str(), Some("m"));
+        assert_eq!(parsed.get("params").unwrap().as_u64(), Some(1000));
+        assert_eq!(parsed.get("best_epoch").unwrap().as_u64(), Some(1));
+        assert_eq!(parsed.get("compression").unwrap().as_f64().unwrap(), 10.0);
+        let hist = parsed.get("history").unwrap().as_array().unwrap();
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[1].get("epoch").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            hist[1].get("val_acc").unwrap().as_f64().unwrap() as f32,
+            0.9
+        );
     }
 
     #[test]

@@ -5,6 +5,8 @@ use crate::report::{EpochStats, TrainReport};
 use dropback_data::{Batcher, Dataset};
 use dropback_nn::{Network, ParamStore};
 use dropback_optim::Optimizer;
+use dropback_telemetry::{take_phase_totals, Event, Span, Telemetry};
+use std::time::Instant;
 
 /// A per-step observation hook: receives the global iteration index and the
 /// parameter store *after* the optimizer step. Used by the analysis
@@ -57,13 +59,57 @@ impl Trainer {
     /// Runs training with a [`StepProbe`] observing every step.
     pub fn run_probed(
         &self,
+        net: Network,
+        optimizer: impl Optimizer,
+        train: &Dataset,
+        val: &Dataset,
+        probe: &mut dyn StepProbe,
+    ) -> TrainReport {
+        self.run_telemetry(
+            net,
+            optimizer,
+            train,
+            val,
+            probe,
+            &mut Telemetry::disabled(),
+        )
+    }
+
+    /// Runs training with a [`StepProbe`] and a [`Telemetry`] bundle.
+    ///
+    /// When the bundle is active the trainer emits one `"step"` event per
+    /// optimizer step (`iteration`, `epoch`, `loss`, `acc`, `lr`), one
+    /// `"epoch"` event per epoch (the [`EpochStats`] fields, every
+    /// [`Optimizer::metrics`] entry such as `tracked_k` and `churn`, and a
+    /// `<phase>_ns` wall-time sum for each recorded span phase — forward,
+    /// backward, topk-rank, regen, optimizer-step, eval), and a final
+    /// `"run"` summary event. A disabled bundle costs nothing measurable.
+    pub fn run_telemetry(
+        &self,
         mut net: Network,
         mut optimizer: impl Optimizer,
         train: &Dataset,
         val: &Dataset,
         probe: &mut dyn StepProbe,
+        telemetry: &mut Telemetry,
     ) -> TrainReport {
         let cfg = &self.config;
+        let active = telemetry.is_active();
+        let (step_counter, step_hist, val_gauge) = if active {
+            let c = telemetry.collector();
+            (
+                Some(c.counter("train.steps")),
+                Some(c.histogram("train.step_ns")),
+                Some(c.gauge("train.val_acc")),
+            )
+        } else {
+            (None, None, None)
+        };
+        if active {
+            // Old totals (e.g. from a previous run in this process) must not
+            // leak into the first epoch's phase sums.
+            let _ = take_phase_totals();
+        }
         let batcher = Batcher::new(cfg.batch_size, cfg.shuffle_seed);
         let mut history = Vec::with_capacity(cfg.epochs);
         let mut best_epoch = 0usize;
@@ -78,12 +124,32 @@ impl Trainer {
             let mut kl_sum = 0.0f64;
             let mut batches = 0usize;
             for (x, labels) in batcher.epoch(train, epoch as u64) {
+                let step_start = active.then(Instant::now);
                 let (loss, acc) = net.loss_backward(&x, &labels);
                 if kl_scale > 0.0 {
                     kl_sum += net.kl_backward(kl_scale) as f64;
                 }
-                optimizer.step(net.store_mut(), lr);
+                {
+                    let _span = Span::enter("optimizer-step");
+                    optimizer.step(net.store_mut(), lr);
+                }
                 probe.after_step(iteration, net.store());
+                if let Some(start) = step_start {
+                    if let Some(h) = &step_hist {
+                        h.record(start.elapsed().as_nanos() as f64);
+                    }
+                    if let Some(c) = &step_counter {
+                        c.inc();
+                    }
+                    telemetry.emit(
+                        Event::new("step")
+                            .with("iteration", iteration)
+                            .with("epoch", epoch)
+                            .with("loss", loss)
+                            .with("acc", acc)
+                            .with("lr", lr),
+                    );
+                }
                 loss_sum += loss as f64;
                 acc_sum += acc as f64;
                 batches += 1;
@@ -92,14 +158,34 @@ impl Trainer {
             optimizer.end_epoch(epoch, net.store_mut());
             let val_acc = net.accuracy(val, cfg.eval_batch);
             probe.after_epoch(epoch, val_acc);
-            history.push(EpochStats {
+            let stats = EpochStats {
                 epoch,
                 train_loss: (loss_sum / batches.max(1) as f64) as f32,
                 train_acc: (acc_sum / batches.max(1) as f64) as f32,
                 val_acc,
                 lr,
                 kl: (kl_sum / batches.max(1) as f64) as f32,
-            });
+            };
+            if active {
+                if let Some(g) = &val_gauge {
+                    g.set(val_acc as f64);
+                }
+                let mut ev = Event::new("epoch")
+                    .with("epoch", stats.epoch)
+                    .with("train_loss", stats.train_loss)
+                    .with("train_acc", stats.train_acc)
+                    .with("val_acc", stats.val_acc)
+                    .with("lr", stats.lr)
+                    .with("kl", stats.kl);
+                for (name, value) in optimizer.metrics() {
+                    ev.push(name, value);
+                }
+                for (phase, stat) in take_phase_totals() {
+                    ev.push(&format!("{}_ns", phase.replace('-', "_")), stat.total_ns);
+                }
+                telemetry.emit(ev);
+            }
+            history.push(stats);
             if val_acc > best_val {
                 best_val = val_acc;
                 best_epoch = epoch;
@@ -114,7 +200,7 @@ impl Trainer {
             }
         }
         let stored = optimizer.stored_weights(net.store());
-        TrainReport {
+        let report = TrainReport {
             model: net.name().to_string(),
             optimizer: optimizer.name().to_string(),
             history,
@@ -122,7 +208,22 @@ impl Trainer {
             best_val_acc: best_val,
             params: net.num_params(),
             stored_weights: stored,
+        };
+        if active {
+            telemetry.emit(
+                Event::new("run")
+                    .with("model", report.model.as_str())
+                    .with("optimizer", report.optimizer.as_str())
+                    .with("epochs", report.history.len())
+                    .with("best_epoch", report.best_epoch)
+                    .with("best_val_acc", report.best_val_acc)
+                    .with("params", report.params)
+                    .with("stored_weights", report.stored_weights)
+                    .with("compression", report.compression()),
+            );
+            telemetry.flush();
         }
+        report
     }
 }
 
@@ -132,6 +233,7 @@ mod tests {
     use dropback_data::synthetic_mnist;
     use dropback_nn::models;
     use dropback_optim::{DropBack, LrSchedule, Sgd};
+    use dropback_telemetry::{Json, JsonlSink};
 
     fn quick_config(epochs: usize) -> TrainConfig {
         TrainConfig::new(epochs, 32)
@@ -157,8 +259,7 @@ mod tests {
     fn dropback_learns_with_small_budget() {
         let (train, val) = synthetic_mnist(600, 150, 43);
         let net = models::mnist_100_100(43);
-        let report =
-            Trainer::new(quick_config(3)).run(net, DropBack::new(20_000), &train, &val);
+        let report = Trainer::new(quick_config(3)).run(net, DropBack::new(20_000), &train, &val);
         assert!(
             report.best_val_acc > 0.5,
             "val acc only {}",
@@ -176,7 +277,11 @@ mod tests {
             .lr(LrSchedule::Constant(0.0))
             .patience(Some(2));
         let report = Trainer::new(cfg).run(net, Sgd::new(), &train, &val);
-        assert!(report.history.len() <= 4, "{} epochs ran", report.history.len());
+        assert!(
+            report.history.len() <= 4,
+            "{} epochs ran",
+            report.history.len()
+        );
     }
 
     #[test]
@@ -195,5 +300,117 @@ mod tests {
         let _ = Trainer::new(cfg).run_probed(net, Sgd::new(), &train, &val, &mut probe);
         // 96/32 = 3 batches per epoch, 2 epochs.
         assert_eq!(probe.0, 6);
+    }
+
+    /// A probe that relies on the default no-op `after_epoch` body while
+    /// still observing steps — the default implementation must be callable
+    /// and harmless.
+    struct StepsOnly(u64);
+    impl StepProbe for StepsOnly {
+        fn after_step(&mut self, _it: u64, _ps: &ParamStore) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn default_after_epoch_is_a_no_op() {
+        let (train, val) = synthetic_mnist(64, 32, 46);
+        let net = models::mnist_100_100(46);
+        let mut probe = StepsOnly(0);
+        let report =
+            Trainer::new(quick_config(2)).run_probed(net, Sgd::new(), &train, &val, &mut probe);
+        assert_eq!(probe.0, 4, "2 batches x 2 epochs");
+        assert_eq!(report.history.len(), 2);
+        // Exercise the default body directly as well.
+        probe.after_epoch(0, 0.5);
+        assert_eq!(probe.0, 4, "after_epoch must not affect probe state");
+    }
+
+    #[test]
+    fn early_stop_still_fires_after_epoch_for_every_ran_epoch() {
+        struct EpochLog(Vec<(usize, f32)>);
+        impl StepProbe for EpochLog {
+            fn after_step(&mut self, _it: u64, _ps: &ParamStore) {}
+            fn after_epoch(&mut self, epoch: usize, val_acc: f32) {
+                self.0.push((epoch, val_acc));
+            }
+        }
+        let (train, val) = synthetic_mnist(200, 50, 47);
+        let net = models::mnist_100_100(47);
+        let cfg = TrainConfig::new(50, 32)
+            .lr(LrSchedule::Constant(0.0))
+            .patience(Some(2));
+        let mut probe = EpochLog(Vec::new());
+        let report = Trainer::new(cfg).run_probed(net, Sgd::new(), &train, &val, &mut probe);
+        // The probe saw exactly the epochs that ran, in order, even though
+        // early stopping truncated the budget.
+        assert_eq!(probe.0.len(), report.history.len());
+        for (i, &(epoch, val_acc)) in probe.0.iter().enumerate() {
+            assert_eq!(epoch, i);
+            assert_eq!(val_acc, report.history[i].val_acc);
+        }
+        assert!(probe.0.len() < 50);
+    }
+
+    #[test]
+    fn telemetry_run_emits_epoch_records_with_dropback_metrics() {
+        let (train, val) = synthetic_mnist(96, 32, 48);
+        let net = models::mnist_100_100(48);
+        // A clonable writer so we can read the JSONL back after the run
+        // consumes the sink.
+        use std::io::Write;
+        #[derive(Clone, Default)]
+        struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = SharedBuf::default();
+        let mut tel = Telemetry::with_sink(Box::new(JsonlSink::new(buf.clone())));
+        let report = Trainer::new(quick_config(2)).run_telemetry(
+            net,
+            DropBack::new(20_000),
+            &train,
+            &val,
+            &mut NoProbe,
+            &mut tel,
+        );
+        dropback_telemetry::set_enabled(false);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+        let epochs: Vec<&Json> = lines
+            .iter()
+            .filter(|j| j.get("event").and_then(Json::as_str) == Some("epoch"))
+            .collect();
+        assert_eq!(epochs.len(), report.history.len());
+        for (i, e) in epochs.iter().enumerate() {
+            assert_eq!(e.get("epoch").unwrap().as_u64(), Some(i as u64));
+            assert!(e.get("train_loss").unwrap().as_f64().is_some());
+            assert!(e.get("val_acc").unwrap().as_f64().is_some());
+            assert_eq!(e.get("tracked_k").unwrap().as_u64(), Some(20_000));
+            assert!(e.get("churn").unwrap().as_f64().is_some());
+            // Per-phase wall-time sums from the span registry.
+            for phase in ["forward_ns", "backward_ns", "optimizer_step_ns", "eval_ns"] {
+                assert!(
+                    e.get(phase).and_then(Json::as_u64).unwrap_or(0) > 0,
+                    "missing phase sum {phase} in epoch record {i}"
+                );
+            }
+        }
+        let steps: usize = lines
+            .iter()
+            .filter(|j| j.get("event").and_then(Json::as_str) == Some("step"))
+            .count();
+        assert_eq!(steps, 6, "3 batches x 2 epochs");
+        let run = lines
+            .iter()
+            .find(|j| j.get("event").and_then(Json::as_str) == Some("run"))
+            .expect("run summary event");
+        assert_eq!(run.get("stored_weights").unwrap().as_u64(), Some(20_000));
     }
 }

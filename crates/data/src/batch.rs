@@ -166,9 +166,9 @@ mod tests {
         let d = data(6);
         let b = Batcher::new(2, 9);
         for (x, y) in b.epoch(&d, 0) {
-            for r in 0..x.shape()[0] {
+            for (r, &label) in y.iter().enumerate().take(x.shape()[0]) {
                 // label parity matches the example index parity by construction
-                assert_eq!(y[r], (x.row(r)[0] as usize) % 2);
+                assert_eq!(label, (x.row(r)[0] as usize) % 2);
             }
         }
     }

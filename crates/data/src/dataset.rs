@@ -89,14 +89,14 @@ impl Dataset {
     ///
     /// Panics if the range is out of bounds or empty.
     pub fn batch(&self, start: usize, end: usize) -> (Tensor, Vec<usize>) {
-        assert!(start < end && end <= self.len(), "bad batch range {start}..{end}");
+        assert!(
+            start < end && end <= self.len(),
+            "bad batch range {start}..{end}"
+        );
         let d = self.example_len();
         let mut shape = vec![end - start];
         shape.extend_from_slice(self.example_shape());
-        let images = Tensor::from_vec(
-            shape,
-            self.images.data()[start * d..end * d].to_vec(),
-        );
+        let images = Tensor::from_vec(shape, self.images.data()[start * d..end * d].to_vec());
         (images, self.labels[start..end].to_vec())
     }
 

@@ -81,11 +81,7 @@ pub fn load_mnist_idx(dir: impl AsRef<Path>) -> io::Result<(Dataset, Dataset)> {
         if labels.iter().any(|&l| l > 9) {
             return Err(bad(format!("{lbls}: label out of range")));
         }
-        sets.push(Dataset::new(
-            Tensor::from_vec(vec![n, d], data),
-            labels,
-            10,
-        ));
+        sets.push(Dataset::new(Tensor::from_vec(vec![n, d], data), labels, 10));
     }
     let test = sets.pop().expect("two datasets pushed");
     let train = sets.pop().expect("two datasets pushed");

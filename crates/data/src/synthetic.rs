@@ -130,7 +130,11 @@ fn shift(src: &[f32], h: usize, w: usize, dx: isize, dy: isize) -> Vec<f32> {
 fn generate(spec: &SyntheticSpec, n: usize, stream: u64, flat: bool) -> Dataset {
     assert!(n > 0, "cannot generate an empty dataset");
     let protos: Vec<Vec<Vec<f32>>> = (0..spec.classes)
-        .map(|c| (0..spec.channels).map(|ch| prototype(spec, c, ch)).collect())
+        .map(|c| {
+            (0..spec.channels)
+                .map(|ch| prototype(spec, c, ch))
+                .collect()
+        })
         .collect();
     let mut rng = Xorshift128::new(spec.seed.wrapping_add(stream.wrapping_mul(0xDEAD_BEEF)));
     let mut noise = BoxMuller::new(Xorshift128::new(
@@ -143,12 +147,20 @@ fn generate(spec: &SyntheticSpec, n: usize, stream: u64, flat: bool) -> Dataset 
     for _ in 0..n {
         let class = rng.next_u32() as usize % spec.classes;
         let j = spec.jitter as isize;
-        let dx = if j > 0 { (rng.next_u32() as isize % (2 * j + 1)) - j } else { 0 };
-        let dy = if j > 0 { (rng.next_u32() as isize % (2 * j + 1)) - j } else { 0 };
+        let dx = if j > 0 {
+            (rng.next_u32() as isize % (2 * j + 1)) - j
+        } else {
+            0
+        };
+        let dy = if j > 0 {
+            (rng.next_u32() as isize % (2 * j + 1)) - j
+        } else {
+            0
+        };
         let gain = 0.7 + 0.6 * rng.next_f32();
         let m = dead_margin(spec);
-        for ch in 0..spec.channels {
-            let shifted = shift(&protos[class][ch], h, w, dx, dy);
+        for proto in protos[class].iter().take(spec.channels) {
+            let shifted = shift(proto, h, w, dx, dy);
             for (i, v) in shifted.into_iter().enumerate() {
                 let (y, x) = (i / w, i % w);
                 // Dead border pixels stay exactly zero, like MNIST's.

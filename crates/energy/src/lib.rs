@@ -21,6 +21,8 @@ mod accelerator;
 mod model;
 mod traffic;
 
-pub use accelerator::{lenet_300_100_layers, mnist_100_100_layers, Accelerator, LayerShape, StepEnergy};
+pub use accelerator::{
+    lenet_300_100_layers, mnist_100_100_layers, Accelerator, LayerShape, StepEnergy,
+};
 pub use model::EnergyModel;
 pub use traffic::{SchemeTraffic, TrainingTraffic};

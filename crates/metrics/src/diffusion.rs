@@ -97,7 +97,9 @@ mod tests {
 
     #[test]
     fn log_sampling_thins_out() {
-        let early: usize = (1..100).filter(|&i| DiffusionTracker::should_sample(i, 8)).count();
+        let early: usize = (1..100)
+            .filter(|&i| DiffusionTracker::should_sample(i, 8))
+            .count();
         let late: usize = (1000..1100)
             .filter(|&i| DiffusionTracker::should_sample(i, 8))
             .count();

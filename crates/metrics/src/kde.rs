@@ -46,7 +46,9 @@ mod tests {
 
     #[test]
     fn integrates_to_one() {
-        let samples: Vec<f32> = (0..500).map(|i| ((i * 37 % 100) as f32) / 50.0 - 1.0).collect();
+        let samples: Vec<f32> = (0..500)
+            .map(|i| ((i * 37 % 100) as f32) / 50.0 - 1.0)
+            .collect();
         let (xs, ys) = gaussian_kde(&samples, 200);
         let dx = xs[1] - xs[0];
         let integral: f32 = ys.iter().map(|&y| y * dx).sum();

@@ -61,8 +61,8 @@ pub fn pca_project(snapshots: &[Vec<f32>], components: usize) -> PcaResult {
         let (lambda, v) = power_iteration(&deflated, 500, comp as u64 + 1);
         // Projection of snapshot i on component = sqrt(λ)·v[i].
         let scale = lambda.max(0.0).sqrt();
-        for i in 0..t {
-            projections[i][comp] = (scale * v[i]) as f32;
+        for (proj, &vi) in projections.iter_mut().zip(&v) {
+            proj[comp] = (scale * vi) as f32;
         }
         explained.push(if trace > 0.0 {
             (lambda / trace) as f32
@@ -154,11 +154,7 @@ mod tests {
         let coords = [(0.0, 0.0), (1.0, 0.5), (2.0, -1.0), (0.5, 2.0)];
         let snapshots: Vec<Vec<f32>> = coords
             .iter()
-            .map(|&(a, b)| {
-                (0..20)
-                    .map(|i| a * e1[i] + b * e2[i])
-                    .collect::<Vec<f32>>()
-            })
+            .map(|&(a, b)| (0..20).map(|i| a * e1[i] + b * e2[i]).collect::<Vec<f32>>())
             .collect();
         let r = pca_project(&snapshots, 2);
         for i in 0..4 {

@@ -54,7 +54,11 @@ impl PRelu {
     /// Panics if `channels == 0`.
     pub fn new(ps: &mut ParamStore, name: &str, channels: usize) -> Self {
         assert!(channels > 0, "PRelu needs at least one channel");
-        let slope = ps.register(&format!("{name}.slope"), channels, InitScheme::Constant(0.25));
+        let slope = ps.register(
+            &format!("{name}.slope"),
+            channels,
+            InitScheme::Constant(0.25),
+        );
         Self {
             channels,
             slope,
@@ -153,7 +157,13 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mask: Vec<f32> = (0..x.len())
-            .map(|_| if self.rng.next_f32() < keep { scale } else { 0.0 })
+            .map(|_| {
+                if self.rng.next_f32() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mut y = x.clone();
         for (v, &m) in y.data_mut().iter_mut().zip(&mask) {

@@ -274,7 +274,11 @@ mod tests {
         let mut ps = ParamStore::new(1);
         let l = LayerNorm::new(&mut ps, "ln", 4);
         for r in l.param_ranges() {
-            assert!(!r.scheme().needs_prng(), "{} must be constant-init", r.name());
+            assert!(
+                !r.scheme().needs_prng(),
+                "{} must be constant-init",
+                r.name()
+            );
         }
     }
 }

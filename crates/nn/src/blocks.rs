@@ -18,6 +18,7 @@ use dropback_tensor::Tensor;
 /// Builds either a plain or a variational-dropout 3×3-style convolution,
 /// letting blocks host both kinds (used by the paper's VD baseline on
 /// DenseNet and WRN).
+#[allow(clippy::too_many_arguments)] // geometry params mirror the conv layer ctor
 fn make_conv(
     ps: &mut ParamStore,
     name: &str,
@@ -88,7 +89,11 @@ pub struct ResidualBlock {
 
 impl std::fmt::Debug for ResidualBlock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ResidualBlock(projection: {})", self.projection.is_some())
+        write!(
+            f,
+            "ResidualBlock(projection: {})",
+            self.projection.is_some()
+        )
     }
 }
 
@@ -143,7 +148,10 @@ impl ResidualBlock {
             vd_seed,
         ));
         let projection = if in_ch != out_ch || stride != 1 {
-            Some(Conv2d::new(ps, &format!("{name}.proj"), in_ch, out_ch, 1, stride, 0).without_bias())
+            Some(
+                Conv2d::new(ps, &format!("{name}.proj"), in_ch, out_ch, 1, stride, 0)
+                    .without_bias(),
+            )
         } else {
             None
         };
@@ -225,7 +233,13 @@ impl DenseBlock {
     /// # Panics
     ///
     /// Panics if `layers == 0` or `growth == 0`.
-    pub fn new(ps: &mut ParamStore, name: &str, in_ch: usize, layers: usize, growth: usize) -> Self {
+    pub fn new(
+        ps: &mut ParamStore,
+        name: &str,
+        in_ch: usize,
+        layers: usize,
+        growth: usize,
+    ) -> Self {
         Self::with_variational(ps, name, in_ch, layers, growth, None)
     }
 

@@ -138,7 +138,13 @@ mod tests {
         let mut ps = ParamStore::new(3);
         let mut l = Relu::new();
         // Keep values away from the kink at 0.
-        let x = Tensor::from_fn(vec![2, 8], |i| if i % 2 == 0 { 1.0 + i as f32 * 0.1 } else { -1.0 - i as f32 * 0.1 });
+        let x = Tensor::from_fn(vec![2, 8], |i| {
+            if i % 2 == 0 {
+                1.0 + i as f32 * 0.1
+            } else {
+                -1.0 - i as f32 * 0.1
+            }
+        });
         let r = check_layer(&mut l, &mut ps, &x, 1e-3, 1);
         assert!(r.passes(0.05), "{r:?}");
     }

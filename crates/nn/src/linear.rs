@@ -60,7 +60,10 @@ impl Linear {
     }
 
     fn weight_tensor(&self, ps: &ParamStore) -> Tensor {
-        Tensor::from_vec(vec![self.out_dim, self.in_dim], ps.slice(&self.weight).to_vec())
+        Tensor::from_vec(
+            vec![self.out_dim, self.in_dim],
+            ps.slice(&self.weight).to_vec(),
+        )
     }
 }
 
@@ -159,7 +162,10 @@ mod tests {
             ps.params_mut()[gi] = orig;
             let num = (lp - lm) / (2.0 * eps);
             let ana = ps.grads()[gi];
-            assert!((num - ana).abs() < 1e-2 * (1.0 + num.abs()), "{num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+                "{num} vs {ana}"
+            );
         }
         // And an input gradient.
         let xi = 3;

@@ -119,7 +119,13 @@ pub fn vgg_s_nano_vd(seed: u64) -> Network {
         .push(Relu::new())
         .push(MaxPool2d::new(2, 2))
         .push(Flatten::new())
-        .push(VarDropLinear::new(&mut ps, "fc1", 96 * 2 * 2, 192, seed ^ 0xE0))
+        .push(VarDropLinear::new(
+            &mut ps,
+            "fc1",
+            96 * 2 * 2,
+            192,
+            seed ^ 0xE0,
+        ))
         .push(Relu::new())
         .push(VarDropLinear::new(&mut ps, "fc2", 192, 10, seed ^ 0xE1));
     Network::new("vgg-s-nano-vd", seq, ps)
@@ -130,8 +136,8 @@ pub fn vgg_s_nano_vd(seed: u64) -> Network {
 /// classifier. Input: `[n, 3, 16, 16]`. ~65k parameters.
 pub fn densenet_nano(seed: u64) -> Network {
     let mut ps = ParamStore::new(seed);
-    let mut seq = Sequential::new()
-        .push(Conv2d::new(&mut ps, "conv0", 3, 16, 3, 1, 1).without_bias());
+    let mut seq =
+        Sequential::new().push(Conv2d::new(&mut ps, "conv0", 3, 16, 3, 1, 1).without_bias());
     let block1 = DenseBlock::new(&mut ps, "dense1", 16, 4, 12); // -> 64 ch
     let b1_out = block1.out_channels();
     seq = seq.push(block1);
@@ -162,8 +168,8 @@ pub fn wrn_nano(seed: u64, width: usize) -> Network {
     let w = [16 * width, 32 * width, 64 * width];
     // Strided stem: quarters the spatial compute of every group while
     // keeping the residual structure and parameter layout (nano budget).
-    let mut seq = Sequential::new()
-        .push(Conv2d::new(&mut ps, "conv0", 3, 16, 3, 2, 1).without_bias());
+    let mut seq =
+        Sequential::new().push(Conv2d::new(&mut ps, "conv0", 3, 16, 3, 2, 1).without_bias());
     let mut in_ch = 16;
     for (g, &out_ch) in w.iter().enumerate() {
         let stride = if g == 0 { 1 } else { 2 };
@@ -197,8 +203,8 @@ pub fn wrn_nano(seed: u64, width: usize) -> Network {
 pub fn densenet_nano_vd(seed: u64) -> Network {
     let mut ps = ParamStore::new(seed);
     let vd = Some(seed ^ 0xF00D);
-    let mut seq = Sequential::new()
-        .push(Conv2d::new(&mut ps, "conv0", 3, 16, 3, 1, 1).without_bias());
+    let mut seq =
+        Sequential::new().push(Conv2d::new(&mut ps, "conv0", 3, 16, 3, 1, 1).without_bias());
     let block1 = DenseBlock::with_variational(&mut ps, "dense1", 16, 4, 12, vd);
     let b1_out = block1.out_channels();
     seq = seq.push(block1);
@@ -225,8 +231,8 @@ pub fn wrn_nano_vd(seed: u64, width: usize) -> Network {
     let mut ps = ParamStore::new(seed);
     let vd = Some(seed ^ 0xBEEF);
     let w = [16 * width, 32 * width, 64 * width];
-    let mut seq = Sequential::new()
-        .push(Conv2d::new(&mut ps, "conv0", 3, 16, 3, 2, 1).without_bias());
+    let mut seq =
+        Sequential::new().push(Conv2d::new(&mut ps, "conv0", 3, 16, 3, 2, 1).without_bias());
     let mut in_ch = 16;
     for (g, &out_ch) in w.iter().enumerate() {
         let stride = if g == 0 { 1 } else { 2 };

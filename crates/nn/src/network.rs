@@ -5,6 +5,7 @@ use crate::layer::{Layer, Mode};
 use crate::param::{ParamRange, ParamStore};
 use crate::sequential::Sequential;
 use dropback_data::Dataset;
+use dropback_telemetry::Span;
 use dropback_tensor::ops::softmax_cross_entropy;
 use dropback_tensor::Tensor;
 
@@ -70,15 +71,22 @@ impl Network {
     /// to the store.
     pub fn loss_backward(&mut self, x: &Tensor, labels: &[usize]) -> (f32, f32) {
         self.ps.zero_grads();
-        let logits = self.seq.forward(x, &self.ps, Mode::Train);
-        let (loss, dlogits) = softmax_cross_entropy(&logits, labels);
-        let correct = logits
-            .argmax_rows()
-            .iter()
-            .zip(labels)
-            .filter(|(p, l)| p == l)
-            .count();
-        let _ = self.seq.backward(&dlogits, &mut self.ps);
+        let (loss, dlogits, correct) = {
+            let _span = Span::enter("forward");
+            let logits = self.seq.forward(x, &self.ps, Mode::Train);
+            let (loss, dlogits) = softmax_cross_entropy(&logits, labels);
+            let correct = logits
+                .argmax_rows()
+                .iter()
+                .zip(labels)
+                .filter(|(p, l)| p == l)
+                .count();
+            (loss, dlogits, correct)
+        };
+        {
+            let _span = Span::enter("backward");
+            let _ = self.seq.backward(&dlogits, &mut self.ps);
+        }
         (loss, correct as f32 / labels.len() as f32)
     }
 
@@ -117,6 +125,7 @@ impl Network {
     /// Panics if `batch == 0` or the dataset is empty.
     pub fn accuracy(&mut self, data: &Dataset, batch: usize) -> f32 {
         assert!(batch > 0 && !data.is_empty(), "empty evaluation");
+        let _span = Span::enter("eval");
         let mut correct = 0usize;
         let mut start = 0;
         while start < data.len() {

@@ -39,7 +39,11 @@ impl BatchNorm {
     /// Panics if `channels == 0`.
     pub fn new(ps: &mut ParamStore, name: &str, channels: usize) -> Self {
         assert!(channels > 0, "BatchNorm needs at least one channel");
-        let gamma = ps.register(&format!("{name}.gamma"), channels, InitScheme::Constant(1.0));
+        let gamma = ps.register(
+            &format!("{name}.gamma"),
+            channels,
+            InitScheme::Constant(1.0),
+        );
         let beta = ps.register(&format!("{name}.beta"), channels, InitScheme::Constant(0.0));
         Self {
             channels,
@@ -127,8 +131,7 @@ impl Layer for BatchNorm {
             Mode::Eval => {
                 for (i, v) in y.data_mut().iter_mut().enumerate() {
                     let c = self.channel_of(i, inner);
-                    let xhat = (*v - self.running_mean[c])
-                        / (self.running_var[c] + EPS).sqrt();
+                    let xhat = (*v - self.running_mean[c]) / (self.running_var[c] + EPS).sqrt();
                     *v = gamma[c] * xhat + beta[c];
                 }
                 self.cache = None;
@@ -266,7 +269,10 @@ mod tests {
             let lm = loss(&mut bn, &ps, &x);
             ps.params_mut()[gi] = orig;
             let num = (lp - lm) / (2.0 * eps);
-            assert!((num - ps.grads()[gi]).abs() < 2e-2 * (1.0 + num.abs()), "γ[{c}]");
+            assert!(
+                (num - ps.grads()[gi]).abs() < 2e-2 * (1.0 + num.abs()),
+                "γ[{c}]"
+            );
         }
     }
 
@@ -274,7 +280,13 @@ mod tests {
     fn four_d_normalizes_per_channel() {
         let mut ps = ParamStore::new(1);
         let mut bn = BatchNorm::new(&mut ps, "bn", 2);
-        let x = Tensor::from_fn(vec![2, 2, 2, 2], |i| if (i / 4) % 2 == 0 { 5.0 } else { i as f32 });
+        let x = Tensor::from_fn(vec![2, 2, 2, 2], |i| {
+            if (i / 4) % 2 == 0 {
+                5.0
+            } else {
+                i as f32
+            }
+        });
         let y = bn.forward(&x, &ps, Mode::Train);
         assert_eq!(y.shape(), &[2, 2, 2, 2]);
         // Channel 0 planes are constant 5.0 -> normalized output 0.

@@ -259,8 +259,8 @@ mod tests {
         for p in ps.params_mut() {
             *p = 99.0;
         }
-        for i in r.start()..r.end() {
-            assert_eq!(ps.init_value(i), inits[i]);
+        for (i, &init) in inits.iter().enumerate().take(r.end()).skip(r.start()) {
+            assert_eq!(ps.init_value(i), init);
         }
     }
 

@@ -65,10 +65,7 @@ impl Layer for Sequential {
     }
 
     fn param_ranges(&self) -> Vec<ParamRange> {
-        self.layers
-            .iter()
-            .flat_map(|l| l.param_ranges())
-            .collect()
+        self.layers.iter().flat_map(|l| l.param_ranges()).collect()
     }
 
     fn kl_backward(&self, ps: &mut ParamStore, scale: f32) -> f32 {

@@ -120,7 +120,10 @@ impl VarDropLinear {
     /// Fraction of weights with `log α` above the pruning threshold.
     pub fn sparsity(&self, ps: &ParamStore) -> f32 {
         let la = self.log_alpha(ps);
-        la.iter().filter(|&&v| v > LOG_ALPHA_PRUNE_THRESHOLD).count() as f32 / la.len() as f32
+        la.iter()
+            .filter(|&&v| v > LOG_ALPHA_PRUNE_THRESHOLD)
+            .count() as f32
+            / la.len() as f32
     }
 
     /// Accumulates the KL-divergence gradient (Molchanov et al. 2017
@@ -134,7 +137,10 @@ impl VarDropLinear {
     }
 
     fn weight_tensor(&self, ps: &ParamStore) -> Tensor {
-        Tensor::from_vec(vec![self.out_dim, self.in_dim], ps.slice(&self.weight).to_vec())
+        Tensor::from_vec(
+            vec![self.out_dim, self.in_dim],
+            ps.slice(&self.weight).to_vec(),
+        )
     }
 
     /// σ² as a `[out, in]` tensor.
@@ -160,7 +166,13 @@ impl Layer for VarDropLinear {
                     w.data()
                         .iter()
                         .zip(&la)
-                        .map(|(&w, &a)| if a > LOG_ALPHA_PRUNE_THRESHOLD { 0.0 } else { w })
+                        .map(|(&w, &a)| {
+                            if a > LOG_ALPHA_PRUNE_THRESHOLD {
+                                0.0
+                            } else {
+                                w
+                            }
+                        })
                         .collect(),
                 );
                 self.cache = None;

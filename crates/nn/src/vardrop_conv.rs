@@ -56,6 +56,7 @@ impl VarDropConv2d {
     /// # Panics
     ///
     /// Panics if channels or kernel are zero.
+    #[allow(clippy::too_many_arguments)] // geometry params mirror Conv2d::new
     pub fn new(
         ps: &mut ParamStore,
         name: &str,

@@ -3,6 +3,7 @@
 use crate::topk::top_k_mask;
 use crate::Optimizer;
 use dropback_nn::ParamStore;
+use dropback_telemetry::Span;
 
 /// DropBack: continuous pruning during training.
 ///
@@ -34,6 +35,8 @@ pub struct DropBack {
     mask: Vec<bool>,
     scores: Vec<f32>,
     last_swaps: usize,
+    epoch_swaps: usize,
+    last_epoch_churn: usize,
     steps: u64,
 }
 
@@ -53,6 +56,8 @@ impl DropBack {
             mask: Vec::new(),
             scores: Vec::new(),
             last_swaps: 0,
+            epoch_swaps: 0,
+            last_epoch_churn: 0,
             steps: 0,
         }
     }
@@ -87,6 +92,12 @@ impl DropBack {
     /// the churn quantity of the paper's Figure 2.
     pub fn last_swaps(&self) -> usize {
         self.last_swaps
+    }
+
+    /// Total swaps over the most recently finished epoch (updated by
+    /// [`Optimizer::end_epoch`]) — the per-epoch churn telemetry reports.
+    pub fn epoch_churn(&self) -> usize {
+        self.last_epoch_churn
     }
 
     /// The current tracked mask (empty before the first step).
@@ -136,6 +147,7 @@ impl Optimizer for DropBack {
         let new_mask = if self.frozen {
             std::mem::take(&mut self.mask)
         } else {
+            let _rank_span = Span::enter("topk-rank");
             // Score: tracked -> |w - w0| (recomputed, Algorithm 1's T);
             //        untracked -> |lr·g| (Algorithm 1's U).
             for r in &ranges {
@@ -166,6 +178,7 @@ impl Optimizer for DropBack {
                 .filter(|&(&new, &old)| new && !old)
                 .count()
         };
+        self.epoch_swaps += self.last_swaps;
         // Update tracked, regenerate untracked. Regeneration is idempotent
         // for weights that were already untracked, so no old-mask check is
         // needed to preserve the invariant untracked ⇒ w == init.
@@ -177,16 +190,19 @@ impl Optimizer for DropBack {
                 }
             }
         }
-        for r in &ranges {
-            let scheme = r.scheme();
-            let params = ps.params_mut();
-            for i in r.start()..r.end() {
-                if !new_mask[i] {
-                    params[i] = if self.zero_untracked {
-                        0.0
-                    } else {
-                        scheme.value(seed, i as u64)
-                    };
+        {
+            let _regen_span = Span::enter("regen");
+            for r in &ranges {
+                let scheme = r.scheme();
+                let params = ps.params_mut();
+                for i in r.start()..r.end() {
+                    if !new_mask[i] {
+                        params[i] = if self.zero_untracked {
+                            0.0
+                        } else {
+                            scheme.value(seed, i as u64)
+                        };
+                    }
                 }
             }
         }
@@ -195,6 +211,8 @@ impl Optimizer for DropBack {
     }
 
     fn end_epoch(&mut self, epoch: usize, _ps: &mut ParamStore) {
+        self.last_epoch_churn = self.epoch_swaps;
+        self.epoch_swaps = 0;
         if let Some(fe) = self.freeze_after {
             if epoch + 1 >= fe {
                 self.frozen = true;
@@ -212,6 +230,14 @@ impl Optimizer for DropBack {
 
     fn stored_weights(&self, ps: &ParamStore) -> usize {
         self.k.min(ps.len())
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("tracked_k", self.tracked_count() as f64),
+            ("churn", self.last_epoch_churn as f64),
+            ("frozen", if self.frozen { 1.0 } else { 0.0 }),
+        ]
     }
 }
 
@@ -276,7 +302,7 @@ mod tests {
         let mut ps = store_with_grads(3, &[10.0, 0.0, 0.0]);
         let mut db = DropBack::new(1);
         db.step(&mut ps, 0.1); // index 0 tracked, displacement 1.0
-        // Current gradient 5.0 at index 1 -> candidate score 0.5 < 1.0.
+                               // Current gradient 5.0 at index 1 -> candidate score 0.5 < 1.0.
         regrad(&mut ps, &[0.0, 5.0, 0.0]);
         db.step(&mut ps, 0.1);
         assert!(db.mask()[0], "displacement 1.0 should beat candidate 0.5");
@@ -315,6 +341,24 @@ mod tests {
         db.step(&mut ps, 0.1);
         assert_eq!(db.last_swaps(), 1); // index 3 replaced index 0
         assert!(db.mask()[3]);
+    }
+
+    #[test]
+    fn epoch_churn_accumulates_and_resets() {
+        let mut ps = store_with_grads(4, &[5.0, 0.0, 0.0, 0.0]);
+        let mut db = DropBack::new(1);
+        db.step(&mut ps, 0.1); // 1 swap (initial fill)
+        regrad(&mut ps, &[0.0, 0.0, 0.0, 100.0]);
+        db.step(&mut ps, 0.1); // 1 swap (index 3 evicts index 0)
+        assert_eq!(db.epoch_churn(), 0, "no epoch has finished yet");
+        db.end_epoch(0, &mut ps);
+        assert_eq!(db.epoch_churn(), 2);
+        let metrics = db.metrics();
+        assert!(metrics.contains(&("tracked_k", 1.0)));
+        assert!(metrics.contains(&("churn", 2.0)));
+        assert!(metrics.contains(&("frozen", 0.0)));
+        db.end_epoch(1, &mut ps);
+        assert_eq!(db.epoch_churn(), 0, "stepless epoch has no churn");
     }
 
     #[test]

@@ -78,7 +78,7 @@ impl Optimizer for GradualMagnitudePruning {
             }
         }
         // Re-threshold on schedule.
-        if self.step % self.prune_every == 0 {
+        if self.step.is_multiple_of(self.prune_every) {
             let sparsity = self.sparsity_at(self.step);
             let keep = ((1.0 - sparsity) * n as f32).round().max(1.0) as usize;
             let magnitudes: Vec<f32> = ps.params().iter().map(|w| w.abs()).collect();

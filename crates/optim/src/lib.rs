@@ -67,4 +67,13 @@ pub trait Optimizer {
     fn stored_weights(&self, ps: &ParamStore) -> usize {
         ps.len()
     }
+
+    /// Per-epoch scalar metrics for telemetry, as `(name, value)` pairs.
+    /// Read by the trainer after [`Optimizer::end_epoch`]; the default
+    /// reports nothing. DropBack rules report `tracked_k`, `churn` (weights
+    /// that entered the tracked set during the finished epoch), and
+    /// `frozen`.
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
 }

@@ -44,9 +44,9 @@ impl MagnitudePruning {
     }
 
     fn keep_count(&mut self, n: usize) -> usize {
-        *self
-            .keep
-            .get_or_insert_with(|| (((1.0 - self.prune_fraction) * n as f32).round() as usize).max(1))
+        *self.keep.get_or_insert_with(|| {
+            (((1.0 - self.prune_fraction) * n as f32).round() as usize).max(1)
+        })
     }
 }
 

@@ -26,10 +26,7 @@ impl SgdMomentum {
     ///
     /// Panics unless `0 <= momentum < 1`.
     pub fn new(momentum: f32) -> Self {
-        assert!(
-            (0.0..1.0).contains(&momentum),
-            "momentum must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
         Self {
             momentum,
             velocity: Vec::new(),

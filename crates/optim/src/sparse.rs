@@ -13,6 +13,7 @@
 use crate::topk::top_k_mask;
 use crate::Optimizer;
 use dropback_nn::ParamStore;
+use dropback_telemetry::Span;
 use std::collections::HashMap;
 
 /// DropBack with the tracked set held in an actual sparse map.
@@ -23,6 +24,8 @@ pub struct SparseDropBack {
     frozen: bool,
     /// The only persistent weight storage: tracked index → current value.
     tracked: HashMap<usize, f32>,
+    epoch_swaps: usize,
+    last_epoch_churn: usize,
     steps: u64,
 }
 
@@ -39,6 +42,8 @@ impl SparseDropBack {
             freeze_after: None,
             frozen: false,
             tracked: HashMap::new(),
+            epoch_swaps: 0,
+            last_epoch_churn: 0,
             steps: 0,
         }
     }
@@ -59,6 +64,12 @@ impl SparseDropBack {
     /// The tracked map (index → value).
     pub fn tracked(&self) -> &HashMap<usize, f32> {
         &self.tracked
+    }
+
+    /// Total swaps over the most recently finished epoch (updated by
+    /// [`Optimizer::end_epoch`]).
+    pub fn epoch_churn(&self) -> usize {
+        self.last_epoch_churn
     }
 }
 
@@ -82,19 +93,25 @@ impl Optimizer for SparseDropBack {
                 *w -= lr * grads[i];
             }
         } else {
-            // Scores: tracked displacement vs untracked current gradient.
-            let mut scores = vec![0.0f32; n];
-            for i in 0..n {
-                scores[i] = match self.tracked.get(&i) {
-                    Some(&w) => (w - init(i)).abs(),
-                    None => (lr * ps.grads()[i]).abs(),
-                };
-            }
-            let mask = top_k_mask(&scores, self.k);
+            let mask = {
+                let _rank_span = Span::enter("topk-rank");
+                // Scores: tracked displacement vs untracked current gradient.
+                let mut scores = vec![0.0f32; n];
+                for (i, s) in scores.iter_mut().enumerate() {
+                    *s = match self.tracked.get(&i) {
+                        Some(&w) => (w - init(i)).abs(),
+                        None => (lr * ps.grads()[i]).abs(),
+                    };
+                }
+                top_k_mask(&scores, self.k)
+            };
             let grads = ps.grads().to_vec();
             let mut next: HashMap<usize, f32> = HashMap::with_capacity(self.k);
             for (i, &m) in mask.iter().enumerate() {
                 if m {
+                    if !self.tracked.contains_key(&i) {
+                        self.epoch_swaps += 1;
+                    }
                     let w = self.tracked.get(&i).copied().unwrap_or_else(|| init(i));
                     next.insert(i, w - lr * grads[i]);
                 }
@@ -103,20 +120,25 @@ impl Optimizer for SparseDropBack {
         }
         // Reconstruct the dense view for the next forward pass: tracked
         // values from the map, everything else regenerated.
-        for r in &ranges {
-            let scheme = r.scheme();
-            let params = ps.params_mut();
-            for i in r.start()..r.end() {
-                params[i] = match self.tracked.get(&i) {
-                    Some(&w) => w,
-                    None => scheme.value(seed, i as u64),
-                };
+        {
+            let _regen_span = Span::enter("regen");
+            for r in &ranges {
+                let scheme = r.scheme();
+                let params = ps.params_mut();
+                for (i, p) in params.iter_mut().enumerate().take(r.end()).skip(r.start()) {
+                    *p = match self.tracked.get(&i) {
+                        Some(&w) => w,
+                        None => scheme.value(seed, i as u64),
+                    };
+                }
             }
         }
         self.steps += 1;
     }
 
     fn end_epoch(&mut self, epoch: usize, _ps: &mut ParamStore) {
+        self.last_epoch_churn = self.epoch_swaps;
+        self.epoch_swaps = 0;
         if let Some(fe) = self.freeze_after {
             if epoch + 1 >= fe {
                 self.frozen = true;
@@ -130,6 +152,14 @@ impl Optimizer for SparseDropBack {
 
     fn stored_weights(&self, ps: &ParamStore) -> usize {
         self.k.min(ps.len())
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("tracked_k", self.tracked.len() as f64),
+            ("churn", self.last_epoch_churn as f64),
+            ("frozen", if self.frozen { 1.0 } else { 0.0 }),
+        ]
     }
 }
 

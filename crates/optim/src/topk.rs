@@ -114,16 +114,10 @@ mod tests {
             let k = 1 + trial * 2;
             let mask = top_k_mask(&scores, k.min(n));
             let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by(|&a, &b| {
-                scores[b]
-                    .partial_cmp(&scores[a])
-                    .unwrap()
-                    .then(a.cmp(&b))
-            });
+            order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
             let expect: std::collections::BTreeSet<usize> =
                 order[..k.min(n)].iter().copied().collect();
-            let got: std::collections::BTreeSet<usize> =
-                selected(&mask).into_iter().collect();
+            let got: std::collections::BTreeSet<usize> = selected(&mask).into_iter().collect();
             assert_eq!(expect, got, "trial {trial}");
         }
     }

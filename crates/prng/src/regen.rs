@@ -102,10 +102,7 @@ mod tests {
     fn regen_is_bit_exact() {
         for i in 0..10_000u64 {
             assert_eq!(regen_normal(7, i).to_bits(), regen_normal(7, i).to_bits());
-            assert_eq!(
-                regen_uniform(7, i).to_bits(),
-                regen_uniform(7, i).to_bits()
-            );
+            assert_eq!(regen_uniform(7, i).to_bits(), regen_uniform(7, i).to_bits());
         }
     }
 
@@ -120,7 +117,11 @@ mod tests {
     fn regen_depends_on_index() {
         let distinct: std::collections::HashSet<u32> =
             (0..1000).map(|i| regen_normal(3, i).to_bits()).collect();
-        assert!(distinct.len() > 990, "only {} distinct values", distinct.len());
+        assert!(
+            distinct.len() > 990,
+            "only {} distinct values",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! # `dropback-telemetry` — structured tracing + metrics for the stack
+//!
+//! The paper's claims are quantitative trajectories (accuracy vs budget,
+//! weight diffusion, tracked-set churn), so the reproduction needs one
+//! first-class observability layer instead of per-binary `println!`
+//! plumbing. This crate provides it with **zero external dependencies**:
+//!
+//! * [`Collector`] — named [`Counter`]s, [`Gauge`]s, and log-bucket
+//!   [`Histogram`]s (p50/p90/p99) behind cheap atomic handles; a
+//!   process-wide instance is available via [`global`].
+//! * [`Span`] — RAII wall-time phases (`Span::enter("gemm")`) with
+//!   nesting; one atomic load of overhead when disabled, totals drained
+//!   per epoch via [`take_phase_totals`].
+//! * [`Event`] + [`EventSink`] — structured events consumed by
+//!   [`JsonlSink`] (one JSON object per line), [`StderrSink`]
+//!   (human-readable progress), [`NullSink`], or a fan-out [`TeeSink`].
+//! * [`TelemetrySnapshot`] — freezes a collector + the span registry and
+//!   serializes to the workspace's hand-rolled [`Json`].
+//! * [`Telemetry`] — the bundle the trainer threads through a run:
+//!   collector + sink + activity flag.
+//!
+//! ## Example
+//!
+//! ```
+//! use dropback_telemetry::{Event, JsonlSink, Json, Telemetry};
+//!
+//! let mut tel = Telemetry::with_sink(Box::new(JsonlSink::new(Vec::new())));
+//! tel.collector().counter("steps").inc();
+//! tel.emit(Event::new("epoch").with("epoch", 0usize).with("val_acc", 0.91));
+//! let snapshot = tel.snapshot();
+//! assert_eq!(snapshot.counters[0], ("steps".to_string(), 1));
+//! # let _ = Json::Null;
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod json;
+mod metrics;
+mod sink;
+mod snapshot;
+mod span;
+
+pub use json::Json;
+pub use metrics::{bucket_index, bucket_upper, Collector, Counter, Gauge, Histogram};
+pub use sink::{Event, EventSink, JsonlSink, NullSink, StderrSink, TeeSink};
+pub use snapshot::{HistogramSummary, TelemetrySnapshot};
+pub use span::{is_enabled, phase_totals, set_enabled, take_phase_totals, PhaseStat, Span};
+
+use std::sync::OnceLock;
+
+/// The process-wide collector. Feature-gated hot-path hooks (e.g. the
+/// tensor crate's gemm/conv instrumentation) record here so they need no
+/// handle plumbing.
+pub fn global() -> &'static Collector {
+    static GLOBAL: OnceLock<Collector> = OnceLock::new();
+    GLOBAL.get_or_init(Collector::new)
+}
+
+/// The telemetry bundle a training run threads through its loop: a
+/// [`Collector`], an [`EventSink`], and an activity flag. A disabled
+/// bundle makes every call a cheap no-op so un-instrumented runs pay
+/// nothing measurable.
+pub struct Telemetry {
+    collector: Collector,
+    sink: Box<dyn EventSink>,
+    active: bool,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Telemetry {
+    /// A disabled bundle: events are dropped, spans stay off.
+    pub fn disabled() -> Self {
+        Self {
+            collector: Collector::new(),
+            sink: Box::new(NullSink),
+            active: false,
+        }
+    }
+
+    /// An active bundle emitting to `sink`. Also turns on process-wide
+    /// span recording (see [`set_enabled`]).
+    pub fn with_sink(sink: Box<dyn EventSink>) -> Self {
+        set_enabled(true);
+        Self {
+            collector: Collector::new(),
+            sink,
+            active: true,
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The bundle's collector.
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Emits an event (dropped when inactive).
+    pub fn emit(&mut self, event: Event) {
+        if self.active {
+            self.sink.emit(&event);
+        }
+    }
+
+    /// Flushes the sink.
+    pub fn flush(&mut self) {
+        self.sink.flush();
+    }
+
+    /// Freezes the collector plus current span totals.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::capture(&self.collector)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_bundle_drops_events() {
+        struct Panics;
+        impl EventSink for Panics {
+            fn emit(&mut self, _e: &Event) {
+                panic!("must not be called");
+            }
+        }
+        let mut tel = Telemetry {
+            collector: Collector::new(),
+            sink: Box::new(Panics),
+            active: false,
+        };
+        tel.emit(Event::new("step"));
+        assert!(!tel.is_active());
+    }
+
+    #[test]
+    fn active_bundle_forwards_events() {
+        let mut tel = Telemetry::with_sink(Box::new(JsonlSink::new(Vec::new())));
+        assert!(tel.is_active());
+        tel.collector().counter("n").inc();
+        tel.emit(Event::new("step").with("i", 0usize));
+        tel.flush();
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters, vec![("n".to_string(), 1)]);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn global_collector_is_shared() {
+        global().counter("lib_test_shared").add(2);
+        global().counter("lib_test_shared").inc();
+        assert!(global().counter("lib_test_shared").get() >= 3);
+    }
+}

@@ -1,0 +1,373 @@
+//! Named counters, gauges, and fixed-bucket histograms behind cheap
+//! clonable handles.
+//!
+//! A [`Collector`] is a registry: asking for a metric by name either
+//! creates it or returns a handle to the existing one, so independent
+//! subsystems can share metrics without threading handles through every
+//! call site. Handles are `Arc`-backed and update through atomics — a
+//! recorded sample is one atomic add on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log-spaced histogram buckets; bucket `i` holds values
+/// `v ≤ 2^i` (and `> 2^(i−1)` for `i > 0`), so the range spans 1 to 2^63 —
+/// enough for nanosecond timings of anything from a single FMA to hours.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram with [`HISTOGRAM_BUCKETS`] log₂-spaced buckets.
+///
+/// Designed for non-negative values such as nanosecond durations or byte
+/// sizes; values ≤ 1 land in the first bucket. Quantiles are answered by
+/// bucket upper bound, i.e. within a factor of 2 — the right fidelity for
+/// "did the gemm get slower", at a fixed 64-word footprint.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    /// Sum of raw values, as f64 bits updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+}
+
+/// Index of the bucket whose upper bound `2^i` first covers `v`.
+pub fn bucket_index(v: f64) -> usize {
+    if v <= 1.0 {
+        return 0;
+    }
+    let x = if v >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        v.ceil() as u64
+    };
+    // ceil(log2(x)) for x >= 2.
+    let idx = 64 - (x - 1).leading_zeros() as usize;
+    idx.min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// The upper bound of bucket `i`, i.e. `2^i`.
+pub fn bucket_upper(i: usize) -> f64 {
+    (2.0f64).powi(i as i32)
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) as the upper bound of the bucket
+    /// containing the ranked sample, or `None` for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        // 1-based rank of the sample at quantile q (nearest-rank method).
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return Some(bucket_upper(i));
+            }
+        }
+        Some(bucket_upper(HISTOGRAM_BUCKETS - 1))
+    }
+
+    /// Median (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Per-bucket counts (for serialization).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// A registry of named metrics.
+///
+/// `counter` / `gauge` / `histogram` create-or-get by name, so the same
+/// metric can be updated from anywhere that can reach the collector (or the
+/// process-wide [`crate::global`] one).
+#[derive(Debug, Default)]
+pub struct Collector {
+    counters: Mutex<Vec<(String, Counter)>>,
+    gauges: Mutex<Vec<(String, Gauge)>>,
+    histograms: Mutex<Vec<(String, Arc<Histogram>)>>,
+}
+
+impl Collector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A handle to the counter `name`, creating it at zero if absent.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut list = self.counters.lock().unwrap();
+        if let Some((_, c)) = list.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter(Arc::new(AtomicU64::new(0)));
+        list.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// A handle to the gauge `name`, creating it at zero if absent.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut list = self.gauges.lock().unwrap();
+        if let Some((_, g)) = list.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits())));
+        list.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// A handle to the histogram `name`, creating it empty if absent.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut list = self.histograms.lock().unwrap();
+        if let Some((_, h)) = list.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let h = Arc::new(Histogram::default());
+        list.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// Current counter values, sorted by name.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<_> = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Current gauge values, sorted by name.
+    pub fn gauge_values(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<_> = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Handles to every registered histogram, sorted by name.
+    pub fn histogram_handles(&self) -> Vec<(String, Arc<Histogram>)> {
+        let mut v: Vec<_> = self
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, h)| (n.clone(), h.clone()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_state_by_name() {
+        let c = Collector::new();
+        let a = c.counter("steps");
+        let b = c.counter("steps");
+        a.inc();
+        b.add(4);
+        assert_eq!(c.counter("steps").get(), 5);
+        assert_eq!(c.counter_values(), vec![("steps".to_string(), 5)]);
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let c = Collector::new();
+        let g = c.gauge("lr");
+        g.set(0.1);
+        g.set(0.05);
+        assert_eq!(c.gauge("lr").get(), 0.05);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // v ≤ 1 → bucket 0; 2^i lands in bucket i; 2^i + ε in bucket i+1.
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(1.0), 0);
+        assert_eq!(bucket_index(2.0), 1);
+        assert_eq!(bucket_index(2.5), 2);
+        assert_eq!(bucket_index(4.0), 2);
+        assert_eq!(bucket_index(5.0), 3);
+        assert_eq!(bucket_index(1024.0), 10);
+        assert_eq!(bucket_index(1025.0), 11);
+        assert_eq!(bucket_index(f64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper(10), 1024.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let h = Histogram::default();
+        h.record(100.0); // bucket 7, upper bound 128
+        assert_eq!(h.quantile(0.0), Some(128.0));
+        assert_eq!(h.p50(), Some(128.0));
+        assert_eq!(h.p99(), Some(128.0));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 100.0);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_counts() {
+        let h = Histogram::default();
+        // 90 fast samples (bucket 0) and 10 slow ones (bucket 10).
+        for _ in 0..90 {
+            h.record(1.0);
+        }
+        for _ in 0..10 {
+            h.record(1000.0);
+        }
+        assert_eq!(h.p50(), Some(1.0));
+        assert_eq!(h.quantile(0.90), Some(1.0)); // rank 90 is the last fast one
+        assert_eq!(h.p99(), Some(1024.0));
+        assert_eq!(h.quantile(1.0), Some(1024.0));
+        assert_eq!(h.mean(), (90.0 + 10_000.0) / 100.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let h = Histogram::default();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn histogram_handles_share_state() {
+        let c = Collector::new();
+        c.histogram("t").record(3.0);
+        c.histogram("t").record(5.0);
+        assert_eq!(c.histogram("t").count(), 2);
+        assert_eq!(c.histogram_handles().len(), 1);
+    }
+}

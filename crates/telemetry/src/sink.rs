@@ -1,0 +1,264 @@
+//! Structured events and the sinks that consume them.
+//!
+//! Producers build an [`Event`] (a kind plus ordered key/value fields) and
+//! hand it to an [`EventSink`]. Three implementations cover the stack's
+//! needs: [`JsonlSink`] writes one JSON object per line for machines,
+//! [`StderrSink`] renders a human-readable progress line, and [`NullSink`]
+//! drops everything. [`TeeSink`] fans an event out to several sinks (the
+//! CLI uses JSONL + stderr together).
+
+use crate::json::Json;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+
+/// A structured telemetry event: a kind (`"epoch"`, `"step"`, ...) plus
+/// ordered fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    kind: String,
+    fields: Vec<(String, Json)>,
+}
+
+impl Event {
+    /// Creates an event of the given kind with no fields.
+    pub fn new(kind: &str) -> Self {
+        Self {
+            kind: kind.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder style).
+    pub fn with(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.push(key, value);
+        self
+    }
+
+    /// Appends a field in place.
+    pub fn push(&mut self, key: &str, value: impl Into<Json>) {
+        self.fields.push((key.to_string(), value.into()));
+    }
+
+    /// The event kind.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// The fields, in insertion order.
+    pub fn fields(&self) -> &[(String, Json)] {
+        &self.fields
+    }
+
+    /// Looks up a field by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The event as a JSON object; the kind is the `"event"` key, first.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = Vec::with_capacity(self.fields.len() + 1);
+        pairs.push(("event".to_string(), Json::Str(self.kind.clone())));
+        pairs.extend(self.fields.iter().cloned());
+        Json::Obj(pairs)
+    }
+
+    /// A single human-readable line, e.g.
+    /// `[epoch] epoch=3 train_loss=0.4102 val_acc=0.9120`.
+    pub fn render_human(&self) -> String {
+        let mut out = format!("[{}]", self.kind);
+        for (k, v) in &self.fields {
+            let rendered = match v {
+                Json::Str(s) => s.clone(),
+                Json::Num(n) if n.fract() != 0.0 => format!("{n:.4}"),
+                other => other.render(),
+            };
+            out.push_str(&format!(" {k}={rendered}"));
+        }
+        out
+    }
+}
+
+/// Consumes telemetry events.
+pub trait EventSink {
+    /// Handles one event.
+    fn emit(&mut self, event: &Event);
+
+    /// Flushes buffered output (no-op by default).
+    fn flush(&mut self) {}
+}
+
+/// Drops every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _event: &Event) {}
+}
+
+/// Renders each event as one human-readable line on stderr, keeping
+/// stdout machine-parseable.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl EventSink for StderrSink {
+    fn emit(&mut self, event: &Event) {
+        eprintln!("{}", event.render_human());
+    }
+}
+
+/// Writes one JSON object per event, newline-delimited (JSONL).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    w: W,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: &str) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps any writer.
+    pub fn new(w: W) -> Self {
+        Self { w }
+    }
+
+    /// Unwraps the inner writer (tests use this to inspect output).
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn emit(&mut self, event: &Event) {
+        // Telemetry must not take down training: swallow I/O errors here
+        // and let flush() report persistent ones.
+        let _ = writeln!(self.w, "{}", event.to_json().render());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+/// Fans each event out to several sinks in order.
+#[derive(Default)]
+pub struct TeeSink {
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl TeeSink {
+    /// Creates a tee over the given sinks.
+    pub fn new(sinks: Vec<Box<dyn EventSink>>) -> Self {
+        Self { sinks }
+    }
+
+    /// Adds another sink.
+    pub fn push(&mut self, sink: Box<dyn EventSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl EventSink for TeeSink {
+    fn emit(&mut self, event: &Event) {
+        for s in &mut self.sinks {
+            s.emit(event);
+        }
+    }
+
+    fn flush(&mut self) {
+        for s in &mut self.sinks {
+            s.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event::new("epoch")
+            .with("epoch", 3usize)
+            .with("train_loss", 0.5f32)
+            .with("model", "mnist-100-100")
+    }
+
+    #[test]
+    fn event_json_leads_with_kind() {
+        let line = sample().to_json().render();
+        assert!(line.starts_with(r#"{"event":"epoch","#), "{line}");
+        assert!(line.contains(r#""train_loss":0.5"#));
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_through_parser() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(&sample());
+        sink.emit(&Event::new("done").with("ok", true));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("event").unwrap().as_str(), Some("epoch"));
+        assert_eq!(first.get("epoch").unwrap().as_u64(), Some(3));
+        assert_eq!(first.get("train_loss").unwrap().as_f64(), Some(0.5));
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn human_rendering_is_one_line() {
+        let line = sample().render_human();
+        assert!(line.starts_with("[epoch]"));
+        assert!(line.contains("epoch=3"));
+        assert!(line.contains("train_loss=0.5000"));
+        assert!(line.contains("model=mnist-100-100"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn tee_fans_out() {
+        struct CountSink(std::rc::Rc<std::cell::Cell<usize>>);
+        impl EventSink for CountSink {
+            fn emit(&mut self, _e: &Event) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let n = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut tee = TeeSink::new(vec![
+            Box::new(CountSink(n.clone())),
+            Box::new(CountSink(n.clone())),
+            Box::new(NullSink),
+        ]);
+        assert_eq!(tee.len(), 3);
+        tee.emit(&sample());
+        tee.flush();
+        assert_eq!(n.get(), 2);
+    }
+
+    #[test]
+    fn event_get_finds_fields() {
+        let e = sample();
+        assert_eq!(e.kind(), "epoch");
+        assert_eq!(e.get("epoch").unwrap().as_u64(), Some(3));
+        assert!(e.get("nope").is_none());
+        assert_eq!(e.fields().len(), 3);
+    }
+}

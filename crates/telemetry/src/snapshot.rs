@@ -1,0 +1,222 @@
+//! Point-in-time serialization of a collector plus the span registry.
+
+use crate::json::Json;
+use crate::metrics::Collector;
+use crate::span::{self, PhaseStat};
+use std::fmt::Write as _;
+
+/// Summary statistics of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Median (bucket upper bound); `None` when empty.
+    pub p50: Option<f64>,
+    /// 90th percentile; `None` when empty.
+    pub p90: Option<f64>,
+    /// 99th percentile; `None` when empty.
+    pub p99: Option<f64>,
+}
+
+/// Everything a collector and the span registry know, frozen at one
+/// instant, serializable to the workspace's hand-rolled JSON.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySnapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+    /// Span phase totals, sorted by name.
+    pub phases: Vec<(String, PhaseStat)>,
+}
+
+impl TelemetrySnapshot {
+    /// Captures a collector plus the current (non-drained) span totals.
+    pub fn capture(collector: &Collector) -> Self {
+        Self {
+            counters: collector.counter_values(),
+            gauges: collector.gauge_values(),
+            histograms: collector
+                .histogram_handles()
+                .into_iter()
+                .map(|(n, h)| {
+                    (
+                        n,
+                        HistogramSummary {
+                            count: h.count(),
+                            sum: h.sum(),
+                            mean: h.mean(),
+                            p50: h.p50(),
+                            p90: h.p90(),
+                            p99: h.p99(),
+                        },
+                    )
+                })
+                .collect(),
+            phases: span::phase_totals()
+                .into_iter()
+                .map(|(n, s)| (n.to_string(), s))
+                .collect(),
+        }
+    }
+
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> Json {
+        let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+        Json::Obj(vec![
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(n, h)| {
+                            (
+                                n.clone(),
+                                Json::Obj(vec![
+                                    ("count".into(), Json::from(h.count)),
+                                    ("sum".into(), Json::from(h.sum)),
+                                    ("mean".into(), Json::from(h.mean)),
+                                    ("p50".into(), opt(h.p50)),
+                                    ("p90".into(), opt(h.p90)),
+                                    ("p99".into(), opt(h.p99)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "phases".into(),
+                Json::Obj(
+                    self.phases
+                        .iter()
+                        .map(|(n, s)| {
+                            (
+                                n.clone(),
+                                Json::Obj(vec![
+                                    ("total_ns".into(), Json::from(s.total_ns)),
+                                    ("count".into(), Json::from(s.count)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Renders an aligned human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (n, v) in &self.counters {
+                let _ = writeln!(out, "  {n:<28} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (n, v) in &self.gauges {
+                let _ = writeln!(out, "  {n:<28} {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (n, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {n:<28} n={} mean={:.1} p50={:.0} p90={:.0} p99={:.0}",
+                    h.count,
+                    h.mean,
+                    h.p50.unwrap_or(0.0),
+                    h.p90.unwrap_or(0.0),
+                    h.p99.unwrap_or(0.0)
+                );
+            }
+        }
+        if !self.phases.is_empty() {
+            out.push_str("phases:\n");
+            for (n, s) in &self.phases {
+                let _ = writeln!(out, "  {n:<28} {:.3}s over {} spans", s.seconds(), s.count);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_serializes_and_parses_back() {
+        let c = Collector::new();
+        c.counter("steps").add(7);
+        c.gauge("lr").set(0.125);
+        c.histogram("step_ns").record(900.0);
+        let snap = TelemetrySnapshot::capture(&c);
+        let j = snap.to_json();
+        let parsed = Json::parse(&j.render()).unwrap();
+        assert_eq!(
+            parsed
+                .get("counters")
+                .unwrap()
+                .get("steps")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
+        assert_eq!(
+            parsed.get("gauges").unwrap().get("lr").unwrap().as_f64(),
+            Some(0.125)
+        );
+        let h = parsed.get("histograms").unwrap().get("step_ns").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(h.get("p50").unwrap().as_f64(), Some(1024.0));
+    }
+
+    #[test]
+    fn empty_histogram_serializes_null_quantiles() {
+        let c = Collector::new();
+        let _ = c.histogram("empty");
+        let j = TelemetrySnapshot::capture(&c).to_json();
+        let h = j.get("histograms").unwrap().get("empty").unwrap();
+        assert_eq!(h.get("p50"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn render_lists_everything() {
+        let c = Collector::new();
+        c.counter("gemm_calls").add(3);
+        c.gauge("tracked_k").set(20_000.0);
+        c.histogram("gemm_ns").record(5000.0);
+        let text = TelemetrySnapshot::capture(&c).render();
+        assert!(text.contains("gemm_calls"));
+        assert!(text.contains("tracked_k"));
+        assert!(text.contains("gemm_ns"));
+    }
+}

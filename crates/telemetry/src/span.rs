@@ -1,0 +1,213 @@
+//! RAII wall-time spans over a process-wide phase registry.
+//!
+//! `Span::enter("gemm")` starts a timer; dropping the span adds the
+//! elapsed nanoseconds to the global total for `"gemm"`. Spans nest
+//! (a thread-local depth tracks containment) and cost a single relaxed
+//! atomic load when tracing is disabled, so instrumentation can stay in
+//! the hot paths permanently.
+//!
+//! Totals are drained with [`take_phase_totals`] — the trainer does this
+//! once per epoch to report per-phase time sums — or read non-destructively
+//! with [`phase_totals`].
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<&'static str, PhaseStat>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<&'static str, PhaseStat>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Turns span recording on or off process-wide. Off by default; spans
+/// created while disabled never touch the clock or the registry.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span recording is currently enabled.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Accumulated wall time and entry count for one phase name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Total nanoseconds spent inside spans with this name.
+    pub total_ns: u64,
+    /// Number of completed spans with this name.
+    pub count: u64,
+}
+
+impl PhaseStat {
+    /// Total time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+}
+
+/// A live timing span; records on drop.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+    depth: usize,
+}
+
+impl Span {
+    /// Starts a span named `name`. When tracing is disabled this is a
+    /// no-op costing one atomic load.
+    pub fn enter(name: &'static str) -> Self {
+        if !is_enabled() {
+            return Self {
+                name,
+                start: None,
+                depth: 0,
+            };
+        }
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        Self {
+            name,
+            start: Some(Instant::now()),
+            depth,
+        }
+    }
+
+    /// The phase name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Nesting depth at entry (0 = outermost), or 0 when disabled.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Whether this span is live (tracing was enabled at entry).
+    pub fn is_recording(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let mut reg = registry().lock().unwrap();
+        let stat = reg.entry(self.name).or_default();
+        stat.total_ns += elapsed;
+        stat.count += 1;
+    }
+}
+
+/// Snapshot of all phase totals, sorted by name.
+pub fn phase_totals() -> Vec<(&'static str, PhaseStat)> {
+    let reg = registry().lock().unwrap();
+    let mut v: Vec<_> = reg.iter().map(|(&n, &s)| (n, s)).collect();
+    v.sort_by_key(|&(n, _)| n);
+    v
+}
+
+/// Drains and returns all phase totals, sorted by name. Subsequent spans
+/// accumulate from zero — callers use this for per-interval (e.g.
+/// per-epoch) phase breakdowns.
+pub fn take_phase_totals() -> Vec<(&'static str, PhaseStat)> {
+    let mut reg = registry().lock().unwrap();
+    let mut v: Vec<_> = reg.drain().collect();
+    v.sort_by_key(|&(n, _)| n);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as TestMutex, OnceLock as TestOnce};
+
+    /// Span tests share the process-global registry; serialize them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: TestOnce<TestMutex<()>> = TestOnce::new();
+        GATE.get_or_init(|| TestMutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = lock();
+        set_enabled(false);
+        let _ = take_phase_totals();
+        {
+            let s = Span::enter("phantom");
+            assert!(!s.is_recording());
+        }
+        assert!(phase_totals().iter().all(|&(n, _)| n != "phantom"));
+    }
+
+    #[test]
+    fn spans_accumulate_time_and_count() {
+        let _g = lock();
+        set_enabled(true);
+        let _ = take_phase_totals();
+        for _ in 0..3 {
+            let _s = Span::enter("work");
+            std::hint::black_box((0..100).sum::<u64>());
+        }
+        set_enabled(false);
+        let totals = take_phase_totals();
+        let (_, stat) = totals.iter().find(|&&(n, _)| n == "work").unwrap();
+        assert_eq!(stat.count, 3);
+        assert!(stat.total_ns > 0);
+        assert!(stat.seconds() > 0.0);
+    }
+
+    #[test]
+    fn spans_nest_and_track_depth() {
+        let _g = lock();
+        set_enabled(true);
+        let _ = take_phase_totals();
+        {
+            let outer = Span::enter("outer");
+            assert_eq!(outer.depth(), 0);
+            {
+                let inner = Span::enter("inner");
+                assert_eq!(inner.depth(), 1);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let sibling = Span::enter("inner");
+            assert_eq!(sibling.depth(), 1);
+        }
+        set_enabled(false);
+        let totals = take_phase_totals();
+        let get = |name: &str| totals.iter().find(|&&(n, _)| n == name).unwrap().1;
+        assert_eq!(get("outer").count, 1);
+        assert_eq!(get("inner").count, 2);
+        // The inner spans ran inside the outer one.
+        assert!(get("outer").total_ns >= get("inner").total_ns / 2);
+    }
+
+    #[test]
+    fn take_resets_totals() {
+        let _g = lock();
+        set_enabled(true);
+        {
+            let _s = Span::enter("once");
+        }
+        set_enabled(false);
+        let first = take_phase_totals();
+        assert!(first.iter().any(|&(n, _)| n == "once"));
+        assert!(take_phase_totals().iter().all(|&(n, _)| n != "once"));
+    }
+}

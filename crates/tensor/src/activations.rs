@@ -86,7 +86,7 @@ mod tests {
         let dout = Tensor::filled(vec![points.len()], 1.0);
         let dx = df(&dout, &x, &y);
         let eps = 1e-3;
-        for i in 0..points.len() {
+        for (i, &point) in points.iter().enumerate() {
             let mut xp = x.clone();
             xp.data_mut()[i] += eps;
             let lp = f(&xp).data()[i];
@@ -96,7 +96,7 @@ mod tests {
             assert!(
                 (num - dx.data()[i]).abs() < tol,
                 "point {}: numeric {num} vs analytic {}",
-                points[i],
+                point,
                 dx.data()[i]
             );
         }

@@ -9,6 +9,16 @@
 
 use crate::{matmul, matmul_nt, matmul_tn, Tensor};
 
+/// Records one conv call over `n` samples in the global collector and
+/// returns the timing span guard. Compiled out without `telemetry`.
+#[cfg(feature = "telemetry")]
+fn conv_telemetry(span: &'static str, n: usize) -> dropback_telemetry::Span {
+    let g = dropback_telemetry::global();
+    g.counter("tensor.conv.calls").inc();
+    g.counter("tensor.conv.samples").add(n as u64);
+    dropback_telemetry::Span::enter(span)
+}
+
 /// Output spatial size for a convolution/pooling dimension.
 ///
 /// # Panics
@@ -17,7 +27,10 @@ use crate::{matmul, matmul_nt, matmul_tn, Tensor};
 pub fn out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
     assert!(stride > 0, "stride must be positive");
     let padded = input + 2 * pad;
-    assert!(padded >= kernel, "kernel {kernel} larger than padded input {padded}");
+    assert!(
+        padded >= kernel,
+        "kernel {kernel} larger than padded input {padded}"
+    );
     (padded - kernel) / stride + 1
 }
 
@@ -155,6 +168,8 @@ pub fn conv2d_forward(
     if let Some(b) = bias {
         assert_eq!(b.len(), f, "bias len");
     }
+    #[cfg(feature = "telemetry")]
+    let _span = conv_telemetry("conv", n);
     let (oh, ow) = (g.oh(), g.ow());
     let sample = g.c * g.h * g.w;
     let mut out = vec![0.0f32; n * f * oh * ow];
@@ -197,6 +212,8 @@ pub fn conv2d_backward(
     let n = dout.shape()[0];
     let f = dout.shape()[1];
     assert_eq!(n, cols.len(), "one im2col matrix per sample");
+    #[cfg(feature = "telemetry")]
+    let _span = conv_telemetry("conv", n);
     let (oh, ow) = (g.oh(), g.ow());
     assert_eq!(dout.shape()[2..], [oh, ow], "dout spatial dims");
     let mut dw = Tensor::zeros(vec![f, g.col_rows()]);
@@ -219,11 +236,7 @@ pub fn conv2d_backward(
         let dxi = col2im(&dcol, g);
         dx[i * sample..(i + 1) * sample].copy_from_slice(&dxi);
     }
-    (
-        Tensor::from_vec(vec![n, g.c, g.h, g.w], dx),
-        dw,
-        db,
-    )
+    (Tensor::from_vec(vec![n, g.c, g.h, g.w], dx), dw, db)
 }
 
 /// Max pooling over `[n, c, h, w]` with square window `size` and `stride`.
@@ -338,7 +351,12 @@ pub fn avgpool2d(x: &Tensor, size: usize, stride: usize) -> Tensor {
 }
 
 /// Backward of [`avgpool2d`].
-pub fn avgpool2d_backward(dout: &Tensor, size: usize, stride: usize, input_shape: &[usize]) -> Tensor {
+pub fn avgpool2d_backward(
+    dout: &Tensor,
+    size: usize,
+    stride: usize,
+    input_shape: &[usize],
+) -> Tensor {
     let (h, w) = (input_shape[2], input_shape[3]);
     let (oh, ow) = (dout.shape()[2], dout.shape()[3]);
     let inv = 1.0 / (size * size) as f32;
@@ -386,10 +404,9 @@ mod tests {
                                     {
                                         continue;
                                     }
-                                    let xv = x.data()[((ni * g.c + c) * g.h + iy as usize) * g.w
-                                        + ix as usize];
-                                    let wv = w4.data()
-                                        [((fi * g.c + c) * g.kh + ky) * g.kw + kx];
+                                    let xv = x.data()
+                                        [((ni * g.c + c) * g.h + iy as usize) * g.w + ix as usize];
+                                    let wv = w4.data()[((fi * g.c + c) * g.kh + ky) * g.kw + kx];
                                     acc += xv * wv;
                                 }
                             }
@@ -427,7 +444,15 @@ mod tests {
 
     #[test]
     fn conv_matches_naive_no_pad() {
-        let g = ConvGeom { c: 2, h: 6, w: 6, kh: 3, kw: 3, stride: 1, pad: 0 };
+        let g = ConvGeom {
+            c: 2,
+            h: 6,
+            w: 6,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 0,
+        };
         let x = rand_tensor(vec![2, 2, 6, 6], 1);
         let w4 = rand_tensor(vec![4, 2, 3, 3], 2);
         let wmat = w4.clone().reshape(vec![4, 18]);
@@ -441,7 +466,15 @@ mod tests {
 
     #[test]
     fn conv_matches_naive_with_pad_and_stride() {
-        let g = ConvGeom { c: 3, h: 7, w: 5, kh: 3, kw: 3, stride: 2, pad: 1 };
+        let g = ConvGeom {
+            c: 3,
+            h: 7,
+            w: 5,
+            kh: 3,
+            kw: 3,
+            stride: 2,
+            pad: 1,
+        };
         let x = rand_tensor(vec![1, 3, 7, 5], 3);
         let w4 = rand_tensor(vec![2, 3, 3, 3], 4);
         let wmat = w4.clone().reshape(vec![2, 27]);
@@ -456,7 +489,15 @@ mod tests {
     #[test]
     fn col2im_is_adjoint_of_im2col() {
         // <im2col(x), c> == <x, col2im(c)> for all x, c (adjoint property).
-        let g = ConvGeom { c: 2, h: 5, w: 4, kh: 3, kw: 2, stride: 1, pad: 1 };
+        let g = ConvGeom {
+            c: 2,
+            h: 5,
+            w: 4,
+            kh: 3,
+            kw: 2,
+            stride: 1,
+            pad: 1,
+        };
         let x = rand_tensor(vec![g.c * g.h * g.w], 5);
         let cmat = rand_tensor(vec![g.col_rows(), g.col_cols()], 6);
         let cx = im2col(x.data(), g);
@@ -478,7 +519,15 @@ mod tests {
 
     #[test]
     fn conv_backward_weight_grad_matches_finite_difference() {
-        let g = ConvGeom { c: 1, h: 4, w: 4, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let g = ConvGeom {
+            c: 1,
+            h: 4,
+            w: 4,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
         let x = rand_tensor(vec![1, 1, 4, 4], 7);
         let mut wmat = rand_tensor(vec![2, 9], 8);
         let loss = |w: &Tensor| -> f32 {
@@ -506,7 +555,15 @@ mod tests {
 
     #[test]
     fn conv_backward_input_grad_matches_finite_difference() {
-        let g = ConvGeom { c: 2, h: 4, w: 3, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let g = ConvGeom {
+            c: 2,
+            h: 4,
+            w: 3,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
         let mut x = rand_tensor(vec![1, 2, 4, 3], 9);
         let wmat = rand_tensor(vec![2, 18], 10);
         let loss = |x: &Tensor| -> f32 {

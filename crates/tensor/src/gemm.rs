@@ -9,7 +9,10 @@
 //!
 //! The kernel is a cache-friendly `i-k-j` loop over row blocks; when the
 //! problem is large enough, row blocks are distributed over threads with
-//! `crossbeam::scope`.
+//! `std::thread::scope`.
+//!
+//! With the `telemetry` feature enabled, every entry point records a
+//! `"gemm"` span plus call/FLOP counters in the global collector.
 
 use crate::Tensor;
 
@@ -22,6 +25,16 @@ fn num_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Records one gemm call of `2·m·n·k` FLOPs in the global collector and
+/// returns the timing span guard. Compiled out without `telemetry`.
+#[cfg(feature = "telemetry")]
+fn gemm_telemetry(m: usize, k: usize, n: usize) -> dropback_telemetry::Span {
+    let g = dropback_telemetry::global();
+    g.counter("tensor.gemm.calls").inc();
+    g.counter("tensor.gemm.flops").add(2 * (m * n * k) as u64);
+    dropback_telemetry::Span::enter("gemm")
+}
+
 /// `C = A · B` for rank-2 tensors `A: [m, k]`, `B: [k, n]`.
 ///
 /// # Panics
@@ -31,6 +44,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "matmul lhs");
     let (k2, n) = dims2(b, "matmul rhs");
     assert_eq!(k, k2, "matmul inner dims: lhs [{m},{k}] vs rhs [{k2},{n}]");
+    #[cfg(feature = "telemetry")]
+    let _span = gemm_telemetry(m, k, n);
     let mut out = vec![0.0f32; m * n];
     gemm_rows(a.data(), b.data(), &mut out, m, k, n);
     Tensor::from_vec(vec![m, n], out)
@@ -44,7 +59,12 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = dims2(a, "matmul_tn lhs");
     let (k2, n) = dims2(b, "matmul_tn rhs");
-    assert_eq!(k, k2, "matmul_tn shared dim: lhs [{k},{m}] vs rhs [{k2},{n}]");
+    assert_eq!(
+        k, k2,
+        "matmul_tn shared dim: lhs [{k},{m}] vs rhs [{k2},{n}]"
+    );
+    #[cfg(feature = "telemetry")]
+    let _span = gemm_telemetry(m, k, n);
     // Transposing A up front turns this into the cache-friendly kernel; the
     // copy is O(km) against O(kmn) compute.
     let at = a.t();
@@ -61,7 +81,12 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "matmul_nt lhs");
     let (n, k2) = dims2(b, "matmul_nt rhs");
-    assert_eq!(k, k2, "matmul_nt shared dim: lhs [{m},{k}] vs rhs [{n},{k2}]");
+    assert_eq!(
+        k, k2,
+        "matmul_nt shared dim: lhs [{m},{k}] vs rhs [{n},{k2}]"
+    );
+    #[cfg(feature = "telemetry")]
+    let _span = gemm_telemetry(m, k, n);
     let mut out = vec![0.0f32; m * n];
     let work = m * n * k;
     let threads = num_threads();
@@ -71,15 +96,14 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
         let chunk = m.div_ceil(threads);
         let a_data = a.data();
         let b_data = b.data();
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
                 let rows = out_chunk.len() / n;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     gemm_nt_block(a_data, b_data, out_chunk, t * chunk, rows, k, n);
                 });
             }
-        })
-        .expect("gemm worker panicked");
+        });
     }
     Tensor::from_vec(vec![m, n], out)
 }
@@ -93,15 +117,14 @@ fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize
         return;
     }
     let chunk = m.div_ceil(threads);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
             let rows = out_chunk.len() / n;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 gemm_block(a, b, out_chunk, t * chunk, rows, k, n);
             });
         }
-    })
-    .expect("gemm worker panicked");
+    });
 }
 
 /// `out[0..rows*n] = A[row0..row0+rows, :] · B` with an i-k-j kernel.
@@ -147,7 +170,12 @@ fn gemm_nt_block(
 }
 
 fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
-    assert_eq!(t.rank(), 2, "{what} must be rank-2, got shape {:?}", t.shape());
+    assert_eq!(
+        t.rank(),
+        2,
+        "{what} must be rank-2, got shape {:?}",
+        t.shape()
+    );
     (t.shape()[0], t.shape()[1])
 }
 
@@ -253,6 +281,22 @@ mod tests {
         let a = Tensor::zeros(vec![2, 3, 4]);
         let b = Tensor::zeros(vec![4, 2]);
         matmul(&a, &b);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_hook_counts_calls_and_flops() {
+        let g = dropback_telemetry::global();
+        let calls_before = g.counter("tensor.gemm.calls").get();
+        let flops_before = g.counter("tensor.gemm.flops").get();
+        let a = rand_tensor(vec![4, 5], 20);
+        let b = rand_tensor(vec![5, 6], 21);
+        let _ = matmul(&a, &b);
+        assert_eq!(g.counter("tensor.gemm.calls").get(), calls_before + 1);
+        assert_eq!(
+            g.counter("tensor.gemm.flops").get(),
+            flops_before + 2 * 4 * 5 * 6
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! * [`Tensor`] — a contiguous, row-major, dynamically-shaped `f32` tensor
 //!   with elementwise arithmetic, mapping, and reductions.
 //! * [`matmul`] and its transposed variants — blocked, multi-threaded GEMM
-//!   (threads via `crossbeam::scope`, no work-stealing dependency needed).
+//!   (threads via `std::thread::scope`, no external dependency needed).
 //! * [`conv`] — `im2col`/`col2im` convolution helpers and pooling kernels.
 //! * [`ops`] — numerically-stable softmax / log-softmax and friends.
 //!

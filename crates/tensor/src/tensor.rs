@@ -19,7 +19,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 16 {
             write!(f, " {:?}", self.data)
         } else {
-            write!(f, " [{:?}, {:?}, ... ({} elems)]", self.data[0], self.data[1], self.data.len())
+            write!(
+                f,
+                " [{:?}, {:?}, ... ({} elems)]",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
         }
     }
 }
@@ -124,7 +130,10 @@ impl Tensor {
     pub fn at2(&self, r: usize, c: usize) -> f32 {
         debug_assert_eq!(self.rank(), 2);
         let cols = self.shape[1];
-        assert!(r < self.shape[0] && c < cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.shape[0] && c < cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * cols + c]
     }
 
@@ -135,7 +144,13 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape(mut self, shape: Vec<usize>) -> Self {
         let n = checked_len(&shape);
-        assert_eq!(n, self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        assert_eq!(
+            n,
+            self.data.len(),
+            "reshape {:?} -> {:?}",
+            self.shape,
+            shape
+        );
         self.shape = shape;
         self
     }
@@ -158,7 +173,10 @@ impl Tensor {
     /// Panics if the tensor is not rank-2 or the range is out of bounds.
     pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
         assert_eq!(self.rank(), 2, "slice_rows() requires a rank-2 tensor");
-        assert!(start <= end && end <= self.shape[0], "bad row range {start}..{end}");
+        assert!(
+            start <= end && end <= self.shape[0],
+            "bad row range {start}..{end}"
+        );
         let cols = self.shape[1];
         Tensor::from_vec(
             vec![end - start, cols],
@@ -262,7 +280,10 @@ impl Tensor {
 
     /// Squared ℓ2 norm.
     pub fn norm_sq(&self) -> f32 {
-        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() as f32
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>() as f32
     }
 
     /// ℓ2 norm.

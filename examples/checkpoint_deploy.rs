@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         opt.end_epoch(epoch as usize, net.store_mut());
     }
     let acc = net.accuracy(&test, 256);
-    println!("trained: val acc {acc:.4} with {} stored weights", opt.storage_entries());
+    println!(
+        "trained: val acc {acc:.4} with {} stored weights",
+        opt.storage_entries()
+    );
 
     // Cut the checkpoint: seed + tracked entries, nothing else.
     let ckpt = Checkpoint::from_sparse(&net, &opt);

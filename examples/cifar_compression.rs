@@ -24,7 +24,10 @@ fn main() {
     let base = Trainer::new(cfg).run(models::densenet_nano(11), Sgd::new(), &train, &test);
     let db = Trainer::new(cfg).run(net, DropBack::new(k).freeze_after(3), &train, &test);
 
-    println!("baseline   : best val error {:>5.2}%", base.best_val_error_percent());
+    println!(
+        "baseline   : best val error {:>5.2}%",
+        base.best_val_error_percent()
+    );
     println!(
         "DropBack 4x: best val error {:>5.2}%  ({:.2}x weight compression)",
         db.best_val_error_percent(),
@@ -46,7 +49,9 @@ fn main() {
         .tracked_per_range(net2.store())
         .iter()
         .filter(|(name, _, _)| name.contains(".gamma") || name.contains(".beta"))
-        .fold((0, 0), |(t, n), (_, tracked, total)| (t + tracked, n + total));
+        .fold((0, 0), |(t, n), (_, tracked, total)| {
+            (t + tracked, n + total)
+        });
     println!(
         "\nbatch-norm params tracked: {bn_tracked} / {bn_total} — the rest regenerate to\n\
          their γ=1 / β=0 constants for free (the paper's 'prunes layers like batch\n\

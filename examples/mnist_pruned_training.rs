@@ -17,7 +17,10 @@ fn main() {
     let mut opt = DropBack::new(20_000).freeze_after(5);
     let batcher = Batcher::new(64, 1);
 
-    println!("LeNet-300-100: {} params, tracking 20,000\n", net.num_params());
+    println!(
+        "LeNet-300-100: {} params, tracking 20,000\n",
+        net.num_params()
+    );
     for epoch in 0..epochs {
         let lr = schedule.at(epoch);
         let mut loss_sum = 0.0;

@@ -17,12 +17,7 @@ fn main() {
 
     println!("training MNIST-100-100 (89,610 params) two ways...\n");
 
-    let sgd_report = Trainer::new(config).run(
-        models::mnist_100_100(42),
-        Sgd::new(),
-        &train,
-        &test,
-    );
+    let sgd_report = Trainer::new(config).run(models::mnist_100_100(42), Sgd::new(), &train, &test);
     println!(
         "baseline SGD:    stored {:>6} weights, best val error {:>5.2}%",
         sgd_report.stored_weights,

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The pre-merge gate: formatting, lints, and the full test suite.
+# Everything here must pass before a change lands (see README "Install /
+# build"). Runs entirely offline — the workspace has no external deps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "All checks passed."

@@ -58,10 +58,8 @@ fn quantized_weights_lie_on_a_grid() {
     }
     // Each range has at most 2^4 = 16 distinct values.
     for r in net.store().ranges() {
-        let distinct: std::collections::BTreeSet<u32> = net.store().slice(r)
-            .iter()
-            .map(|v| v.to_bits())
-            .collect();
+        let distinct: std::collections::BTreeSet<u32> =
+            net.store().slice(r).iter().map(|v| v.to_bits()).collect();
         assert!(
             distinct.len() <= 16,
             "{}: {} distinct values",
@@ -128,7 +126,8 @@ fn checkpoint_roundtrips_through_a_file() {
     let acc = net.accuracy(&test, 256);
     let ckpt = Checkpoint::from_sparse(&net, &opt);
     let path = std::env::temp_dir().join(format!("dropback_it_{}.dbk", std::process::id()));
-    ckpt.write_to(std::fs::File::create(&path).unwrap()).unwrap();
+    ckpt.write_to(std::fs::File::create(&path).unwrap())
+        .unwrap();
     let loaded = Checkpoint::read_from(std::fs::File::open(&path).unwrap()).unwrap();
     std::fs::remove_file(&path).unwrap();
     let mut rebuilt = models::mnist_100_100(loaded.seed());

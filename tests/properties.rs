@@ -1,115 +1,193 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants, spanning crate boundaries.
+//! Randomized property tests on the core data structures and invariants,
+//! spanning crate boundaries.
+//!
+//! A dependency-free harness replaces proptest: each property runs over a
+//! deterministic stream of pseudo-random cases drawn from the workspace's
+//! own [`Xorshift64`] generator, so failures reproduce exactly and the
+//! workspace builds offline.
 
 use dropback::prelude::*;
-use dropback::prng::{regen_normal, regen_uniform, InitScheme, RegenInit};
+use dropback::prng::{regen_normal, regen_uniform, InitScheme, RegenInit, Xorshift64};
 use dropback::tensor::{matmul, matmul_nt, matmul_tn};
-use proptest::prelude::*;
 
-fn small_f32() -> impl Strategy<Value = f32> {
-    (-100i32..100).prop_map(|v| v as f32 / 10.0)
+/// Deterministic case generator: a thin sampling layer over xorshift.
+struct Cases {
+    rng: Xorshift64,
 }
 
-proptest! {
-    #[test]
-    fn regen_is_pure(seed in any::<u64>(), index in any::<u64>()) {
-        prop_assert_eq!(regen_normal(seed, index).to_bits(), regen_normal(seed, index).to_bits());
-        prop_assert_eq!(regen_uniform(seed, index).to_bits(), regen_uniform(seed, index).to_bits());
-        let u = regen_uniform(seed, index);
-        prop_assert!((0.0..1.0).contains(&u));
-        prop_assert!(regen_normal(seed, index).is_finite());
+impl Cases {
+    fn new(seed: u64) -> Self {
+        Self {
+            rng: Xorshift64::new(seed),
+        }
     }
 
-    #[test]
-    fn regen_init_fill_matches_pointwise(seed in any::<u64>(), start in 0u64..1_000_000, len in 1usize..64) {
+    fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi);
+        lo + (self.u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Uniform f32 in `[lo, hi)`.
+    fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + self.rng.next_f32() * (hi - lo)
+    }
+
+    /// A vector of f32 drawn from `[lo, hi)`.
+    fn f32_vec(&mut self, len: usize, lo: f32, hi: f32) -> Vec<f32> {
+        (0..len).map(|_| self.f32_in(lo, hi)).collect()
+    }
+}
+
+/// Runs `body` over `n` generated cases; panics carry the case index so a
+/// failure pinpoints its inputs (the generator is deterministic per test).
+fn check(n: usize, seed: u64, mut body: impl FnMut(&mut Cases, usize)) {
+    let mut cases = Cases::new(seed);
+    for case in 0..n {
+        body(&mut cases, case);
+    }
+}
+
+#[test]
+fn regen_is_pure() {
+    check(200, 0xA11CE, |c, case| {
+        let (seed, index) = (c.u64(), c.u64());
+        assert_eq!(
+            regen_normal(seed, index).to_bits(),
+            regen_normal(seed, index).to_bits(),
+            "case {case}"
+        );
+        assert_eq!(
+            regen_uniform(seed, index).to_bits(),
+            regen_uniform(seed, index).to_bits(),
+            "case {case}"
+        );
+        let u = regen_uniform(seed, index);
+        assert!((0.0..1.0).contains(&u), "case {case}: {u}");
+        assert!(regen_normal(seed, index).is_finite(), "case {case}");
+    });
+}
+
+#[test]
+fn regen_init_fill_matches_pointwise() {
+    check(50, 0xF111, |c, case| {
+        let seed = c.u64();
+        let start = c.u64() % 1_000_000;
+        let len = c.usize_in(1, 64);
         let init = RegenInit::new(seed, InitScheme::lecun_normal(100));
         let mut buf = vec![0.0f32; len];
         init.fill(start, &mut buf);
         for (i, &v) in buf.iter().enumerate() {
-            prop_assert_eq!(v.to_bits(), init.value(start + i as u64).to_bits());
+            assert_eq!(
+                v.to_bits(),
+                init.value(start + i as u64).to_bits(),
+                "case {case} offset {i}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn matmul_transpose_variants_agree(
-        m in 1usize..6, k in 1usize..6, n in 1usize..6,
-        vals in proptest::collection::vec(-10i32..10, 0..1)
-    ) {
-        let _ = vals;
+#[test]
+fn matmul_transpose_variants_agree() {
+    check(40, 0x3A7, |c, case| {
+        let (m, k, n) = (c.usize_in(1, 6), c.usize_in(1, 6), c.usize_in(1, 6));
         let a = Tensor::from_fn(vec![m, k], |i| ((i * 31 + 7) % 13) as f32 - 6.0);
         let b = Tensor::from_fn(vec![k, n], |i| ((i * 17 + 3) % 11) as f32 - 5.0);
-        let c = matmul(&a, &b);
+        let c_ = matmul(&a, &b);
         let c_tn = matmul_tn(&a.t(), &b);
         let c_nt = matmul_nt(&a, &b.t());
-        for ((x, y), z) in c.data().iter().zip(c_tn.data()).zip(c_nt.data()) {
-            prop_assert!((x - y).abs() < 1e-3);
-            prop_assert!((x - z).abs() < 1e-3);
+        for ((x, y), z) in c_.data().iter().zip(c_tn.data()).zip(c_nt.data()) {
+            assert!((x - y).abs() < 1e-3, "case {case}: {x} vs {y}");
+            assert!((x - z).abs() < 1e-3, "case {case}: {x} vs {z}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn matmul_is_linear_in_lhs(scale in small_f32()) {
+#[test]
+fn matmul_is_linear_in_lhs() {
+    check(50, 0x11EA2, |c, case| {
+        let scale = c.f32_in(-10.0, 10.0);
         let a = Tensor::from_fn(vec![3, 4], |i| (i as f32 * 0.7).sin());
         let b = Tensor::from_fn(vec![4, 2], |i| (i as f32 * 0.3).cos());
         let left = matmul(&a.scaled(scale), &b);
         let right = matmul(&a, &b).scaled(scale);
         for (x, y) in left.data().iter().zip(right.data()) {
-            prop_assert!((x - y).abs() < 1e-2 * (1.0 + y.abs()));
+            assert!(
+                (x - y).abs() < 1e-2 * (1.0 + y.abs()),
+                "case {case}: {x} vs {y} at scale {scale}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn transpose_is_an_involution(r in 1usize..8, c in 1usize..8) {
-        let t = Tensor::from_fn(vec![r, c], |i| i as f32);
-        prop_assert_eq!(t.t().t(), t);
-    }
+#[test]
+fn transpose_is_an_involution() {
+    check(40, 0x7A5, |c, case| {
+        let (r, cols) = (c.usize_in(1, 8), c.usize_in(1, 8));
+        let t = Tensor::from_fn(vec![r, cols], |i| i as f32);
+        assert_eq!(t.t().t(), t, "case {case}");
+    });
+}
 
-    #[test]
-    fn top_k_mask_matches_full_sort(
-        scores in proptest::collection::vec(-1000i32..1000, 1..200),
-        k_frac in 1usize..100
-    ) {
-        let scores: Vec<f32> = scores.iter().map(|&v| v as f32 / 10.0).collect();
-        let k = (k_frac * scores.len() / 100).max(1);
+#[test]
+fn top_k_mask_matches_full_sort() {
+    check(60, 0x70B, |c, case| {
+        let len = c.usize_in(1, 200);
+        let scores = c.f32_vec(len, -100.0, 100.0);
+        let k = (c.usize_in(1, 100) * len / 100).max(1);
         let mask = dropback::optim::top_k_mask(&scores, k);
-        prop_assert_eq!(mask.iter().filter(|&&m| m).count(), k.min(scores.len()));
-        let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&a, &b| {
-            scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b))
-        });
+        assert_eq!(
+            mask.iter().filter(|&&m| m).count(),
+            k.min(len),
+            "case {case}"
+        );
+        let mut order: Vec<usize> = (0..len).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
         for (rank, &idx) in order.iter().enumerate() {
-            prop_assert_eq!(mask[idx], rank < k.min(scores.len()), "rank {} idx {}", rank, idx);
+            assert_eq!(
+                mask[idx],
+                rank < k.min(len),
+                "case {case} rank {rank} idx {idx}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn dropback_invariant_holds_for_random_gradients(
-        grads in proptest::collection::vec(-100i32..100, 16..64),
-        k in 1usize..16,
-        steps in 1usize..5
-    ) {
-        let n = grads.len();
+#[test]
+fn dropback_invariant_holds_for_random_gradients() {
+    check(25, 0xD20B, |c, case| {
+        let n = c.usize_in(16, 64);
+        let grads = c.f32_vec(n, -2.0, 2.0);
+        let k = c.usize_in(1, 16);
+        let steps = c.usize_in(1, 5);
         let mut ps = ParamStore::new(77);
         let r = ps.register("w", n, dropback::prng::InitScheme::lecun_normal(8));
         let mut opt = DropBack::new(k);
         for s in 0..steps {
             ps.zero_grads();
-            let g: Vec<f32> = grads.iter().map(|&v| (v as f32 / 50.0) * (s as f32 + 1.0)).collect();
+            let g: Vec<f32> = grads.iter().map(|&v| v * (s as f32 + 1.0)).collect();
             ps.accumulate_grad(&r, &g);
             dropback::optim::Optimizer::step(&mut opt, &mut ps, 0.1);
             // Invariant: untracked == regenerated init; tracked count == k.
             let tracked = opt.mask().iter().filter(|&&m| m).count();
-            prop_assert_eq!(tracked, k.min(n));
+            assert_eq!(tracked, k.min(n), "case {case} step {s}");
             for i in 0..n {
                 if !opt.mask()[i] {
-                    prop_assert_eq!(ps.params()[i], ps.init_value(i));
+                    assert_eq!(ps.params()[i], ps.init_value(i), "case {case} idx {i}");
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dataset_gather_preserves_rows(n in 2usize..20, d in 1usize..8) {
+#[test]
+fn dataset_gather_preserves_rows() {
+    check(40, 0xDA7A, |c, case| {
+        let (n, d) = (c.usize_in(2, 20), c.usize_in(1, 8));
         let ds = Dataset::new(
             Tensor::from_fn(vec![n, d], |i| i as f32),
             (0..n).map(|i| i % 3).collect(),
@@ -117,71 +195,105 @@ proptest! {
         );
         let idx: Vec<usize> = (0..n).rev().collect();
         let (x, y) = ds.gather(&idx);
-        for (row, &src) in idx.iter().enumerate() {
-            let _ = row;
-            prop_assert_eq!(y[idx.len() - 1 - src], src % 3);
+        for &src in &idx {
+            assert_eq!(y[idx.len() - 1 - src], src % 3, "case {case} src {src}");
         }
-        prop_assert_eq!(x.shape(), &[n, d]);
-    }
+        assert_eq!(x.shape(), &[n, d], "case {case}");
+    });
+}
 
-    #[test]
-    fn softmax_rows_are_distributions(rows in 1usize..6, cols in 2usize..8, shift in small_f32()) {
+#[test]
+fn softmax_rows_are_distributions() {
+    check(40, 0x50F7, |c, case| {
+        let (rows, cols) = (c.usize_in(1, 6), c.usize_in(2, 8));
+        let shift = c.f32_in(-10.0, 10.0);
         let t = Tensor::from_fn(vec![rows, cols], |i| (i as f32 * 0.37).sin() * 5.0 + shift);
         let s = dropback::tensor::ops::softmax_rows(&t);
         for r in 0..rows {
             let sum: f32 = s.row(r).iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4);
-            prop_assert!(s.row(r).iter().all(|&p| p >= 0.0));
+            assert!((sum - 1.0).abs() < 1e-4, "case {case} row {r}: {sum}");
+            assert!(s.row(r).iter().all(|&p| p >= 0.0), "case {case} row {r}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn axis_sum_matches_total_sum(a in 1usize..5, b in 1usize..5, c in 1usize..5, axis in 0usize..3) {
+#[test]
+fn axis_sum_matches_total_sum() {
+    check(40, 0xA715, |c, case| {
         use dropback::tensor::axis::sum_axis;
-        let t = Tensor::from_fn(vec![a, b, c], |i| ((i * 7 % 13) as f32) - 6.0);
+        let (a, b, d) = (c.usize_in(1, 5), c.usize_in(1, 5), c.usize_in(1, 5));
+        let axis = c.usize_in(0, 3);
+        let t = Tensor::from_fn(vec![a, b, d], |i| ((i * 7 % 13) as f32) - 6.0);
         let reduced = sum_axis(&t, axis);
-        prop_assert!((reduced.sum() - t.sum()).abs() < 1e-3);
-        let mut expect_shape = vec![a, b, c];
+        assert!(
+            (reduced.sum() - t.sum()).abs() < 1e-3,
+            "case {case} axis {axis}"
+        );
+        let mut expect_shape = vec![a, b, d];
         expect_shape.remove(axis);
-        prop_assert_eq!(reduced.shape(), &expect_shape[..]);
-    }
+        assert_eq!(reduced.shape(), &expect_shape[..], "case {case}");
+    });
+}
 
-    #[test]
-    fn concat_split_roundtrip(a in 1usize..4, s1 in 1usize..4, s2 in 1usize..4, inner in 1usize..4) {
+#[test]
+fn concat_split_roundtrip() {
+    check(40, 0xC0CA, |c, case| {
         use dropback::tensor::axis::{concat, split};
+        let (a, s1, s2, inner) = (
+            c.usize_in(1, 4),
+            c.usize_in(1, 4),
+            c.usize_in(1, 4),
+            c.usize_in(1, 4),
+        );
         let x = Tensor::from_fn(vec![a, s1, inner], |i| i as f32);
         let y = Tensor::from_fn(vec![a, s2, inner], |i| 1000.0 + i as f32);
         let joined = concat(&[&x, &y], 1);
         let parts = split(&joined, 1, &[s1, s2]);
-        prop_assert_eq!(&parts[0], &x);
-        prop_assert_eq!(&parts[1], &y);
-    }
+        assert_eq!(&parts[0], &x, "case {case}");
+        assert_eq!(&parts[1], &y, "case {case}");
+    });
+}
 
-    #[test]
-    fn sigmoid_tanh_ranges(v in -50.0f32..50.0) {
-        use dropback::tensor::activations::{sigmoid_scalar};
+#[test]
+fn sigmoid_tanh_ranges() {
+    check(100, 0x516, |c, case| {
+        use dropback::tensor::activations::sigmoid_scalar;
+        let v = c.f32_in(-50.0, 50.0);
         let s = sigmoid_scalar(v);
-        prop_assert!((0.0..=1.0).contains(&s));
-        prop_assert!(s.is_finite());
+        assert!((0.0..=1.0).contains(&s), "case {case}: σ({v}) = {s}");
+        assert!(s.is_finite(), "case {case}");
         // Symmetry: σ(−v) = 1 − σ(v).
-        prop_assert!((sigmoid_scalar(-v) - (1.0 - s)).abs() < 1e-5);
-    }
+        assert!(
+            (sigmoid_scalar(-v) - (1.0 - s)).abs() < 1e-5,
+            "case {case}: v = {v}"
+        );
+    });
+}
 
-    #[test]
-    fn quantizer_is_idempotent(bits in 2u32..9, v in -10.0f32..10.0) {
+#[test]
+fn quantizer_is_idempotent() {
+    check(100, 0x4A7, |c, case| {
+        let bits = c.usize_in(2, 9) as u32;
+        let v = c.f32_in(-10.0, 10.0);
         let q = Quantizer::new(bits);
         let once = q.quantize(v, 10.0);
         let twice = q.quantize(once, 10.0);
-        prop_assert_eq!(once.to_bits(), twice.to_bits());
-        prop_assert!((once - v).abs() <= 10.0 / (q.levels() as f32 / 2.0) + 1e-5);
-    }
+        assert_eq!(once.to_bits(), twice.to_bits(), "case {case}");
+        assert!(
+            (once - v).abs() <= 10.0 / (q.levels() as f32 / 2.0) + 1e-5,
+            "case {case}: {v} -> {once} at {bits} bits"
+        );
+    });
+}
 
-    #[test]
-    fn compression_ratio_roundtrips(total in 1usize..1_000_000, stored in 1usize..1_000_000) {
-        let stored = stored.min(total);
+#[test]
+fn compression_ratio_roundtrips() {
+    check(100, 0xC0DE, |c, case| {
+        let total = c.usize_in(1, 1_000_000);
+        let stored = c.usize_in(1, 1_000_000).min(total);
         let ratio = compression_ratio(total, stored);
-        prop_assert!(ratio >= 1.0);
+        assert!(ratio >= 1.0, "case {case}");
         let rel_err = (ratio * stored as f32 - total as f32).abs() / total as f32;
-        prop_assert!(rel_err < 1e-3);
-    }
+        assert!(rel_err < 1e-3, "case {case}: {total}/{stored} -> {ratio}");
+    });
 }

@@ -47,10 +47,7 @@ fn trained_model_reconstructs_from_k_weights_plus_seed() {
 
     // "Ship" only (seed, tracked) and rebuild the network from scratch.
     let mut rebuilt = models::mnist_100_100(23);
-    assert_eq!(
-        rebuilt.store().params().len(),
-        net.store().params().len()
-    );
+    assert_eq!(rebuilt.store().params().len(), net.store().params().len());
     for (i, w) in tracked {
         rebuilt.store_mut().params_mut()[i] = w;
     }
