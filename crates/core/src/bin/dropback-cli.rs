@@ -80,11 +80,23 @@ fn parse_flags(cmd: &str, args: &[String]) -> Result<HashMap<String, String>, St
     Ok(flags)
 }
 
-fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
-    flags
-        .get(key)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+/// Reads `--key` from the parsed flags: absent means `default`, present
+/// but unparsable is an error naming the flag and the bad value — never a
+/// silent fall-back to the default.
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|e| format!("invalid value {raw:?} for --{key}: {e}")),
+    }
 }
 
 /// A stderr progress sink that drops per-step events — epoch and run
@@ -136,40 +148,44 @@ fn build_model(name: &str, seed: u64) -> Result<Network, String> {
     }
 }
 
-fn load_data(flags: &HashMap<String, String>, model: &str, seed: u64) -> (Dataset, Dataset) {
-    let n_train = get(flags, "train", 4000usize);
-    let n_test = get(flags, "test", 1000usize);
+fn load_data(
+    flags: &HashMap<String, String>,
+    model: &str,
+    seed: u64,
+) -> Result<(Dataset, Dataset), String> {
+    let n_train = get(flags, "train", 4000usize)?;
+    let n_test = get(flags, "test", 1000usize)?;
     if let Some(dir) = flags.get("data") {
         if dir != "synthetic" {
             match dropback::data::load_mnist_idx(dir) {
-                Ok(pair) => return pair,
+                Ok(pair) => return Ok(pair),
                 Err(e) => eprintln!("could not load {dir}: {e}; using synthetic data"),
             }
         }
     }
-    if model.contains("mnist") || model.contains("lenet") {
+    Ok(if model.contains("mnist") || model.contains("lenet") {
         synthetic_mnist(n_train, n_test, seed)
     } else {
         let hw = dropback::nn::models::CIFAR_NANO_HW;
         synthetic_cifar(n_train, n_test, hw, hw, seed)
-    }
+    })
 }
 
 fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
-    let seed: u64 = get(flags, "seed", 42);
+    let seed: u64 = get(flags, "seed", 42)?;
     let model_name = flags
         .get("model")
         .cloned()
         .unwrap_or_else(|| "mnist-100-100".into());
-    let epochs = get(flags, "epochs", 8usize);
-    let batch = get(flags, "batch", 64usize);
-    let lr = get(flags, "lr", 0.2f32);
-    let budget = get(flags, "budget", 0usize);
+    let epochs = get(flags, "epochs", 8usize)?;
+    let batch = get(flags, "batch", 64usize)?;
+    let lr = get(flags, "lr", 0.2f32)?;
+    let budget = get(flags, "budget", 0usize)?;
     let quiet = flags.contains_key("quiet");
     let mut telemetry = telemetry_from_flags(flags)?;
     let net = build_model(&model_name, seed)?;
     let params = net.num_params();
-    let (train, test) = load_data(flags, &model_name, seed);
+    let (train, test) = load_data(flags, &model_name, seed)?;
     if !quiet {
         eprintln!(
             "training {model_name} ({params} params) for {epochs} epochs, batch {batch}, lr {lr}"
@@ -182,7 +198,7 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     });
     // Use the sparse rule when a budget is set so a checkpoint can be cut.
     if budget > 0 && budget < params {
-        let freeze = get(flags, "freeze", epochs / 2);
+        let freeze = get(flags, "freeze", epochs / 2)?;
         let mut opt = SparseDropBack::new(budget).freeze_after(freeze.max(1));
         // Manual loop: the checkpoint needs the optimizer afterwards.
         let mut net = net;
@@ -264,7 +280,7 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
-    let seed: u64 = get(flags, "seed", 42);
+    let seed: u64 = get(flags, "seed", 42)?;
     let model_name = flags
         .get("model")
         .cloned()
@@ -276,7 +292,7 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     let ckpt = Checkpoint::read_from(file).map_err(|e| e.to_string())?;
     let mut net = build_model(&model_name, ckpt.seed())?;
     ckpt.apply(&mut net);
-    let (_, test) = load_data(flags, &model_name, seed);
+    let (_, test) = load_data(flags, &model_name, seed)?;
     let val_acc = net.accuracy(&test, 256);
     eprintln!(
         "{model_name} from {path}: {} stored weights, val acc {val_acc:.4}",
@@ -292,7 +308,7 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
-    let seed: u64 = get(flags, "seed", 42);
+    let seed: u64 = get(flags, "seed", 42)?;
     let model_name = flags
         .get("model")
         .cloned()
@@ -306,8 +322,8 @@ fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_energy(flags: &HashMap<String, String>) -> Result<(), String> {
-    let params: u64 = get(flags, "params", 266_610u64);
-    let budget: u64 = get(flags, "budget", 20_000u64);
+    let params: u64 = get(flags, "params", 266_610u64)?;
+    let budget: u64 = get(flags, "budget", 20_000u64)?;
     let model = EnergyModel::paper_45nm();
     let base = TrainingTraffic::baseline(params);
     let db = TrainingTraffic::dropback(params, budget);
@@ -321,7 +337,7 @@ fn cmd_energy(flags: &HashMap<String, String>) -> Result<(), String> {
         db.step().energy_pj(&model) / 1e6,
         db.advantage_over(&base, &model)
     );
-    let sram: u64 = get(flags, "sram", 256 * 1024u64);
+    let sram: u64 = get(flags, "sram", 256 * 1024u64)?;
     let acc = dropback::energy::Accelerator {
         sram_bytes: sram,
         word_bytes: 4,

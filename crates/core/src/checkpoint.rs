@@ -22,9 +22,9 @@ impl Checkpoint {
     /// Captures a checkpoint from a network trained with
     /// [`SparseDropBack`] (whose tracked map *is* the stored model).
     pub fn from_sparse(net: &Network, opt: &SparseDropBack) -> Self {
-        let mut entries: Vec<(u64, f32)> =
-            opt.tracked().iter().map(|(&i, &w)| (i as u64, w)).collect();
-        entries.sort_unstable_by_key(|&(i, _)| i);
+        // The tracked map is a BTreeMap, so this iteration is already in
+        // ascending index order — the checkpoint's canonical layout.
+        let entries: Vec<(u64, f32)> = opt.tracked().iter().map(|(&i, &w)| (i as u64, w)).collect();
         Self {
             seed: net.store().seed(),
             entries,

@@ -64,7 +64,7 @@ mod trainer;
 pub use checkpoint::Checkpoint;
 pub use config::TrainConfig;
 pub use report::{EpochStats, TrainReport};
-pub use sparse_infer::{stream_mlp_forward, StreamStats, StreamingLinear};
+pub use sparse_infer::{stream_mlp_forward, StreamError, StreamStats, StreamingLinear};
 pub use trainer::{NoProbe, StepProbe, Trainer};
 
 /// Convenient glob-import surface for examples and experiment binaries.

@@ -7,10 +7,74 @@
 //! workspace rebuilds a dense view for the layer kernels (convenient on a
 //! CPU); this module shows the dense view is unnecessary and counts the
 //! traffic the energy model charges for.
+//!
+//! The tracked map is a `BTreeMap` to match
+//! [`dropback_optim::SparseDropBack::tracked`]: index-ordered iteration
+//! keeps every walk over the stored weights reproducible, which the
+//! `dropback-lint` `hash-iteration` rule checks mechanically.
+//!
+//! Shape errors surface as [`StreamError`] values rather than panics so a
+//! caller wiring up a model zoo entry gets an actionable message instead
+//! of a backtrace.
 
 use dropback_nn::{ParamRange, ParamStore};
 use dropback_tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+/// Why a streaming evaluator could not be built or run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// The weight range length disagrees with `in_dim * out_dim`.
+    ShapeMismatch {
+        /// Name of the offending weight range.
+        range: String,
+        /// Length of the range in the parameter store.
+        range_len: usize,
+        /// Input dimension the caller requested.
+        in_dim: usize,
+        /// Output dimension the caller requested.
+        out_dim: usize,
+    },
+    /// The input tensor is not `[n, in_dim]`.
+    InputShape {
+        /// Shape the caller passed.
+        got: Vec<usize>,
+        /// Input dimension the layer expects.
+        in_dim: usize,
+    },
+    /// The parameter store has no `*.weight` ranges to stream.
+    NoWeights,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::ShapeMismatch {
+                range,
+                range_len,
+                in_dim,
+                out_dim,
+            } => write!(
+                f,
+                "weight range `{range}` has {range_len} values but the layer \
+                 was asked for {in_dim}x{out_dim} = {} — check the model's \
+                 layer dimensions against the parameter store",
+                in_dim * out_dim
+            ),
+            StreamError::InputShape { got, in_dim } => write!(
+                f,
+                "streaming forward expects input shape [n, {in_dim}], got {got:?}"
+            ),
+            StreamError::NoWeights => write!(
+                f,
+                "parameter store has no `*.weight` ranges — nothing to stream \
+                 (was the store built by the model zoo?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
 
 /// Access counts from a streaming forward pass (feeds the energy model).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -30,7 +94,7 @@ pub struct StreamingLinear {
     bias: Option<ParamRange>,
     in_dim: usize,
     out_dim: usize,
-    tracked: HashMap<usize, f32>,
+    tracked: BTreeMap<usize, f32>,
 }
 
 impl StreamingLinear {
@@ -39,22 +103,26 @@ impl StreamingLinear {
     /// optional `bias`, with tracked entries taken from `tracked`
     /// (global-index keyed, e.g. [`dropback_optim::SparseDropBack::tracked`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the weight range length disagrees with the dimensions.
+    /// Returns [`StreamError::ShapeMismatch`] if the weight range length
+    /// disagrees with the dimensions.
     pub fn new(
         seed: u64,
         weight: ParamRange,
         bias: Option<ParamRange>,
         in_dim: usize,
         out_dim: usize,
-        tracked: &HashMap<usize, f32>,
-    ) -> Self {
-        assert_eq!(
-            weight.len(),
-            in_dim * out_dim,
-            "weight range does not match dimensions"
-        );
+        tracked: &BTreeMap<usize, f32>,
+    ) -> Result<Self, StreamError> {
+        if weight.len() != in_dim * out_dim {
+            return Err(StreamError::ShapeMismatch {
+                range: weight.name().to_string(),
+                range_len: weight.len(),
+                in_dim,
+                out_dim,
+            });
+        }
         // Keep only this layer's entries (weight and bias ranges).
         let in_weight = |i: usize| i >= weight.start() && i < weight.end();
         let in_bias = |i: usize| {
@@ -62,19 +130,19 @@ impl StreamingLinear {
                 .map(|b| i >= b.start() && i < b.end())
                 .unwrap_or(false)
         };
-        let mine: HashMap<usize, f32> = tracked
+        let mine: BTreeMap<usize, f32> = tracked
             .iter()
             .filter(|(&i, _)| in_weight(i) || in_bias(i))
             .map(|(&i, &w)| (i, w))
             .collect();
-        Self {
+        Ok(Self {
             seed,
             weight,
             bias,
             in_dim,
             out_dim,
             tracked: mine,
-        }
+        })
     }
 
     /// Number of tracked (stored) weights this layer carries.
@@ -88,12 +156,16 @@ impl StreamingLinear {
     /// The tracked map and the bias (when present) are the only stored
     /// values consulted; everything else is regenerated per use.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `x` is not `[n, in_dim]`.
-    pub fn forward(&self, x: &Tensor) -> (Tensor, StreamStats) {
-        assert_eq!(x.rank(), 2, "input must be [n, d]");
-        assert_eq!(x.shape()[1], self.in_dim, "input dim mismatch");
+    /// Returns [`StreamError::InputShape`] if `x` is not `[n, in_dim]`.
+    pub fn forward(&self, x: &Tensor) -> Result<(Tensor, StreamStats), StreamError> {
+        if x.rank() != 2 || x.shape()[1] != self.in_dim {
+            return Err(StreamError::InputShape {
+                got: x.shape().to_vec(),
+                in_dim: self.in_dim,
+            });
+        }
         let n = x.shape()[0];
         let scheme = self.weight.scheme();
         let mut stats = StreamStats::default();
@@ -139,7 +211,7 @@ impl StreamingLinear {
                 }
             }
         }
-        (Tensor::from_vec(vec![n, self.out_dim], out), stats)
+        Ok((Tensor::from_vec(vec![n, self.out_dim], out), stats))
     }
 }
 
@@ -147,21 +219,24 @@ impl StreamingLinear {
 /// `fcN.weight`/`fcN.bias` naming of the model zoo, applying ReLU between
 /// layers. Returns class logits and total access statistics.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the store has no `*.weight` ranges.
+/// Returns [`StreamError::NoWeights`] if the store has no `*.weight`
+/// ranges, and propagates shape errors from the per-layer evaluators.
 pub fn stream_mlp_forward(
     ps: &ParamStore,
-    tracked: &HashMap<usize, f32>,
+    tracked: &BTreeMap<usize, f32>,
     x: &Tensor,
-) -> (Tensor, StreamStats) {
+) -> Result<(Tensor, StreamStats), StreamError> {
     let weights: Vec<ParamRange> = ps
         .ranges()
         .iter()
         .filter(|r| r.name().ends_with(".weight"))
         .cloned()
         .collect();
-    assert!(!weights.is_empty(), "no weight ranges in store");
+    if weights.is_empty() {
+        return Err(StreamError::NoWeights);
+    }
     let mut cur = x.clone();
     let mut total = StreamStats::default();
     let count = weights.len();
@@ -173,8 +248,8 @@ pub fn stream_mlp_forward(
             .cloned();
         let in_dim = cur.shape()[1];
         let out_dim = w.len() / in_dim;
-        let layer = StreamingLinear::new(ps.seed(), w.clone(), bias, in_dim, out_dim, tracked);
-        let (y, stats) = layer.forward(&cur);
+        let layer = StreamingLinear::new(ps.seed(), w.clone(), bias, in_dim, out_dim, tracked)?;
+        let (y, stats) = layer.forward(&cur)?;
         total.stored_reads += stats.stored_reads;
         total.regens += stats.regens;
         cur = if li + 1 < count {
@@ -183,7 +258,7 @@ pub fn stream_mlp_forward(
             y
         };
     }
-    (cur, total)
+    Ok((cur, total))
 }
 
 #[cfg(test)]
@@ -205,7 +280,8 @@ mod tests {
         }
         let (x, _) = test.batch(0, 16);
         let dense = net.forward(&x, Mode::Eval);
-        let (streamed, stats) = stream_mlp_forward(net.store(), opt.tracked(), &x);
+        let (streamed, stats) =
+            stream_mlp_forward(net.store(), opt.tracked(), &x).expect("zoo MLP streams");
         assert_eq!(dense.shape(), streamed.shape());
         for (a, b) in dense.data().iter().zip(streamed.data()) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
@@ -219,9 +295,9 @@ mod tests {
     #[test]
     fn untrained_model_streams_with_zero_stored_reads() {
         let net = models::mnist_100_100(29);
-        let empty = HashMap::new();
+        let empty = BTreeMap::new();
         let x = Tensor::filled(vec![2, 784], 0.1);
-        let (y, stats) = stream_mlp_forward(net.store(), &empty, &x);
+        let (y, stats) = stream_mlp_forward(net.store(), &empty, &x).expect("zoo MLP streams");
         assert_eq!(y.shape(), &[2, 10]);
         assert_eq!(stats.stored_reads, 0);
         assert_eq!(stats.regens, 89_610);
@@ -234,10 +310,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not match dimensions")]
-    fn dimension_mismatch_panics() {
+    fn dimension_mismatch_is_an_actionable_error() {
         let net = models::mnist_100_100(1);
         let w = net.param_ranges()[0].clone();
-        StreamingLinear::new(1, w, None, 10, 10, &HashMap::new());
+        let err = StreamingLinear::new(1, w, None, 10, 10, &BTreeMap::new())
+            .expect_err("78400 values cannot be a 10x10 layer");
+        let msg = err.to_string();
+        assert!(msg.contains("10x10"), "mentions requested dims: {msg}");
+        assert!(msg.contains("78400"), "mentions actual length: {msg}");
+    }
+
+    #[test]
+    fn input_shape_mismatch_is_an_actionable_error() {
+        let net = models::mnist_100_100(2);
+        let w = net.param_ranges()[0].clone();
+        let layer = StreamingLinear::new(2, w, None, 784, 100, &BTreeMap::new()).expect("fc1");
+        let bad = Tensor::filled(vec![2, 3], 0.0);
+        let err = layer.forward(&bad).expect_err("wrong input width");
+        assert_eq!(
+            err,
+            StreamError::InputShape {
+                got: vec![2, 3],
+                in_dim: 784
+            }
+        );
+        assert!(err.to_string().contains("[n, 784]"));
+    }
+
+    #[test]
+    fn empty_store_reports_no_weights() {
+        let ps = ParamStore::new(7);
+        let x = Tensor::filled(vec![1, 4], 0.0);
+        let err = stream_mlp_forward(&ps, &BTreeMap::new(), &x).expect_err("nothing to stream");
+        assert_eq!(err, StreamError::NoWeights);
+        assert!(err.to_string().contains("no `*.weight` ranges"));
     }
 }

@@ -5,8 +5,7 @@ use crate::report::{EpochStats, TrainReport};
 use dropback_data::{Batcher, Dataset};
 use dropback_nn::{Network, ParamStore};
 use dropback_optim::Optimizer;
-use dropback_telemetry::{take_phase_totals, Event, Span, Telemetry};
-use std::time::Instant;
+use dropback_telemetry::{take_phase_totals, Event, Span, Stopwatch, Telemetry};
 
 /// A per-step observation hook: receives the global iteration index and the
 /// parameter store *after* the optimizer step. Used by the analysis
@@ -124,7 +123,7 @@ impl Trainer {
             let mut kl_sum = 0.0f64;
             let mut batches = 0usize;
             for (x, labels) in batcher.epoch(train, epoch as u64) {
-                let step_start = active.then(Instant::now);
+                let step_timer = Stopwatch::started_if(active);
                 let (loss, acc) = net.loss_backward(&x, &labels);
                 if kl_scale > 0.0 {
                     kl_sum += net.kl_backward(kl_scale) as f64;
@@ -134,9 +133,9 @@ impl Trainer {
                     optimizer.step(net.store_mut(), lr);
                 }
                 probe.after_step(iteration, net.store());
-                if let Some(start) = step_start {
+                if let Some(step_ns) = step_timer.elapsed_ns() {
                     if let Some(h) = &step_hist {
-                        h.record(start.elapsed().as_nanos() as f64);
+                        h.record(step_ns as f64);
                     }
                     if let Some(c) = &step_counter {
                         c.inc();

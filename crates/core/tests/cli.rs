@@ -1,0 +1,38 @@
+//! `dropback-cli` contract tests: bad flag values fail loudly with an
+//! actionable message instead of silently falling back to defaults.
+
+use std::process::Command;
+
+fn cli(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dropback-cli"))
+        .args(args)
+        .output()
+        .expect("dropback-cli runs")
+}
+
+#[test]
+fn unparsable_flag_value_is_an_error_not_a_default() {
+    let out = cli(&["train", "--epochs", "banana"]);
+    assert!(!out.status.success(), "must not train with a bad --epochs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("invalid value \"banana\" for --epochs"),
+        "error must name the flag and the bad value, got: {stderr}"
+    );
+}
+
+#[test]
+fn unparsable_numeric_flags_fail_across_subcommands() {
+    let out = cli(&["energy", "--budget", "-3"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("for --budget"), "got: {stderr}");
+}
+
+#[test]
+fn info_still_works_with_valid_flags() {
+    let out = cli(&["info", "--model", "mnist-100-100", "--seed", "7"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("parameters"), "got: {stdout}");
+}

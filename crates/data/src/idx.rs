@@ -65,11 +65,7 @@ fn load_labels(path: &Path) -> io::Result<Vec<usize>> {
 /// magic number, or has mismatched image/label counts.
 pub fn load_mnist_idx(dir: impl AsRef<Path>) -> io::Result<(Dataset, Dataset)> {
     let dir = dir.as_ref();
-    let mut sets = Vec::with_capacity(2);
-    for (imgs, lbls) in [
-        ("train-images-idx3-ubyte", "train-labels-idx1-ubyte"),
-        ("t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte"),
-    ] {
+    let load_split = |imgs: &str, lbls: &str| -> io::Result<Dataset> {
         let (n, d, data) = load_images(&dir.join(imgs))?;
         let labels = load_labels(&dir.join(lbls))?;
         if labels.len() != n {
@@ -81,10 +77,10 @@ pub fn load_mnist_idx(dir: impl AsRef<Path>) -> io::Result<(Dataset, Dataset)> {
         if labels.iter().any(|&l| l > 9) {
             return Err(bad(format!("{lbls}: label out of range")));
         }
-        sets.push(Dataset::new(Tensor::from_vec(vec![n, d], data), labels, 10));
-    }
-    let test = sets.pop().expect("two datasets pushed");
-    let train = sets.pop().expect("two datasets pushed");
+        Ok(Dataset::new(Tensor::from_vec(vec![n, d], data), labels, 10))
+    };
+    let train = load_split("train-images-idx3-ubyte", "train-labels-idx1-ubyte")?;
+    let test = load_split("t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte")?;
     Ok((train, test))
 }
 

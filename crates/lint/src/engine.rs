@@ -1,0 +1,360 @@
+//! File classification, test-region detection, and the workspace walk.
+
+use crate::allow::Allowlist;
+use crate::lexer::{tokenize, Token};
+use crate::report::{Finding, Report, Severity};
+use crate::rules::all_rules;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// How a file participates in the build — rules scope themselves by role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Library source (`crates/*/src/**`, top-level `src/**`).
+    Lib,
+    /// Binary source (`src/bin/**`).
+    Bin,
+    /// Tests, benches, examples, build scripts — exempt from the
+    /// library-contract rules but still scanned for hygiene.
+    Aux,
+}
+
+/// Everything a rule needs to know about one file.
+#[derive(Debug)]
+pub struct FileCtx {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Build role, derived from the path.
+    pub role: Role,
+    /// Owning crate (`optim`, `telemetry`, ... or `dropback-repro` for the
+    /// top-level package).
+    pub crate_name: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Token-index ranges (inclusive start, inclusive end) covered by
+    /// `#[cfg(test)]` modules or `#[test]` functions.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Indices into `tokens` of the non-comment tokens, for neighbor
+    /// lookups that must skip comments.
+    pub significant: Vec<usize>,
+}
+
+impl FileCtx {
+    /// Builds the context for `source` as if it lived at `path` (relative,
+    /// `/`-separated). Pure — no filesystem access — so tests can feed
+    /// synthetic files at arbitrary paths.
+    pub fn from_source(path: &str, source: &str) -> Self {
+        let tokens = tokenize(source);
+        let test_regions = find_test_regions(&tokens);
+        let significant = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        Self {
+            path: path.to_string(),
+            role: role_of(path),
+            crate_name: crate_of(path),
+            tokens,
+            test_regions,
+            significant,
+        }
+    }
+
+    /// Whether token index `i` lies inside a test region.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| i >= s && i <= e)
+    }
+
+    /// The nearest non-comment token strictly before token index `i`.
+    pub fn prev_significant(&self, i: usize) -> Option<&Token> {
+        let pos = self.significant.partition_point(|&k| k < i);
+        pos.checked_sub(1)
+            .map(|p| &self.tokens[self.significant[p]])
+    }
+
+    /// The nearest non-comment token strictly after token index `i`.
+    pub fn next_significant(&self, i: usize) -> Option<&Token> {
+        let pos = self.significant.partition_point(|&k| k <= i);
+        self.significant.get(pos).map(|&k| &self.tokens[k])
+    }
+
+    /// Emits a finding anchored at token index `i`.
+    pub fn finding(&self, rule: &'static str, i: usize, message: String) -> Finding {
+        let t = &self.tokens[i];
+        Finding {
+            rule,
+            path: self.path.clone(),
+            line: t.line,
+            col: t.col,
+            message,
+            severity: Severity::Error,
+        }
+    }
+}
+
+/// Classifies a workspace-relative path.
+fn role_of(path: &str) -> Role {
+    let parts: Vec<&str> = path.split('/').collect();
+    if parts
+        .iter()
+        .any(|p| matches!(*p, "tests" | "benches" | "examples" | "fixtures"))
+        || path.ends_with("build.rs")
+    {
+        return Role::Aux;
+    }
+    if path.contains("/src/bin/") || path.ends_with("src/main.rs") {
+        return Role::Bin;
+    }
+    if path.contains("/src/") || path.starts_with("src/") {
+        return Role::Lib;
+    }
+    Role::Aux
+}
+
+/// The crate a workspace-relative path belongs to.
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_string();
+        }
+    }
+    "dropback-repro".to_string()
+}
+
+/// Finds token-index ranges belonging to `#[cfg(test)]` modules and
+/// `#[test]` functions by brace matching. `#[cfg(not(test))]` is not a
+/// test marker; nested `cfg(all(test, ...))` forms are not recognized (the
+/// workspace does not use them).
+fn find_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let (attr_text, attr_end) = collect_attr(tokens, i + 1);
+            if attr_text == "test"
+                || attr_text.ends_with("::test")
+                || attr_text.contains("cfg(test)")
+            {
+                if let Some((start, end)) = body_after(tokens, attr_end + 1) {
+                    regions.push((start, end));
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Joins the tokens of an attribute starting at its `[` (index `open`)
+/// into a canonical spaceless string, returning it with the index of the
+/// closing `]`.
+fn collect_attr(tokens: &[Token], open: usize) -> (String, usize) {
+    let mut depth = 0usize;
+    let mut text = String::new();
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("[") {
+            depth += 1;
+            if depth == 1 {
+                i += 1;
+                continue;
+            }
+        }
+        if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return (text, i);
+            }
+        }
+        if !t.is_comment() {
+            text.push_str(&t.text);
+        }
+        i += 1;
+    }
+    (text, tokens.len().saturating_sub(1))
+}
+
+/// After a test-marking attribute, the marked item's body: scans past any
+/// further attributes to the first top-level `{` and returns the token
+/// range from the item start through the matching `}`. Items without a
+/// body (`mod tests;`) yield `None`.
+fn body_after(tokens: &[Token], from: usize) -> Option<(usize, usize)> {
+    let mut i = from;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let (_, end) = collect_attr(tokens, i + 1);
+            i = end + 1;
+            continue;
+        }
+        if t.is_punct(";") {
+            return None;
+        }
+        if t.is_punct("{") {
+            let mut depth = 0usize;
+            for (j, t) in tokens.iter().enumerate().skip(i) {
+                if t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((from, j));
+                    }
+                }
+            }
+            return Some((from, tokens.len() - 1));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Runs every rule over one in-memory file.
+pub fn analyze_source(path: &str, source: &str) -> Vec<Finding> {
+    let ctx = FileCtx::from_source(path, source);
+    let mut findings = Vec::new();
+    for rule in all_rules() {
+        (rule.check)(&ctx, &mut findings);
+    }
+    findings
+}
+
+/// Collects every `.rs` file under `root`, skipping `target`, `.git`, and
+/// fixture corpora (which hold seeded violations and are linted only by
+/// their own tests). Paths come back sorted for deterministic reports.
+pub fn collect_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            fs::read_dir(&dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !matches!(name.as_ref(), "target" | ".git" | "fixtures" | "results") {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints the whole workspace rooted at `root` with `allow` suppressions.
+///
+/// # Errors
+///
+/// Returns a message when the walk or a file read fails.
+pub fn check_workspace(root: &Path, allow: &Allowlist) -> Result<Report, String> {
+    let files = collect_rs_files(root)?;
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source =
+            fs::read_to_string(file).map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        for finding in analyze_source(&rel, &source) {
+            report.add(finding, allow);
+        }
+    }
+    report.unused_allows = allow.unused(&report);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_from_paths() {
+        assert_eq!(role_of("crates/optim/src/topk.rs"), Role::Lib);
+        assert_eq!(role_of("crates/core/src/bin/dropback-cli.rs"), Role::Bin);
+        assert_eq!(role_of("crates/lint/tests/selfcheck.rs"), Role::Aux);
+        assert_eq!(role_of("crates/bench/benches/microbench.rs"), Role::Aux);
+        assert_eq!(role_of("examples/quickstart.rs"), Role::Aux);
+        assert_eq!(role_of("src/lib.rs"), Role::Lib);
+        assert_eq!(role_of("tests/end_to_end.rs"), Role::Aux);
+    }
+
+    #[test]
+    fn crate_names_from_paths() {
+        assert_eq!(crate_of("crates/optim/src/topk.rs"), "optim");
+        assert_eq!(crate_of("src/lib.rs"), "dropback-repro");
+        assert_eq!(crate_of("tests/end_to_end.rs"), "dropback-repro");
+    }
+
+    #[test]
+    fn cfg_test_module_region_detected() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}";
+        let ctx = FileCtx::from_source("crates/x/src/a.rs", src);
+        let helper = ctx
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("helper"))
+            .unwrap();
+        let libfn = ctx.tokens.iter().position(|t| t.is_ident("lib")).unwrap();
+        let after = ctx.tokens.iter().position(|t| t.is_ident("after")).unwrap();
+        assert!(ctx.in_test(helper));
+        assert!(!ctx.in_test(libfn));
+        assert!(!ctx.in_test(after), "code after the test mod is live again");
+    }
+
+    #[test]
+    fn test_fn_region_detected() {
+        let src = "#[test]\nfn checks() { body(); }\nfn live() {}";
+        let ctx = FileCtx::from_source("crates/x/src/a.rs", src);
+        let body = ctx.tokens.iter().position(|t| t.is_ident("body")).unwrap();
+        let live = ctx.tokens.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(ctx.in_test(body));
+        assert!(!ctx.in_test(live));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nmod live { fn inner() {} }";
+        let ctx = FileCtx::from_source("crates/x/src/a.rs", src);
+        let inner = ctx.tokens.iter().position(|t| t.is_ident("inner")).unwrap();
+        assert!(!ctx.in_test(inner));
+    }
+
+    #[test]
+    fn should_panic_attr_is_not_a_test_marker_but_test_above_is() {
+        let src = "#[test]\n#[should_panic(expected = \"boom\")]\nfn dies() { go(); }";
+        let ctx = FileCtx::from_source("crates/x/src/a.rs", src);
+        let go = ctx.tokens.iter().position(|t| t.is_ident("go")).unwrap();
+        assert!(ctx.in_test(go));
+    }
+
+    #[test]
+    fn neighbor_lookups_skip_comments() {
+        let src = "a /* c */ . /* c */ unwrap /* c */ ( )";
+        let ctx = FileCtx::from_source("crates/x/src/a.rs", src);
+        let u = ctx
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .unwrap();
+        assert!(ctx.prev_significant(u).unwrap().is_punct("."));
+        assert!(ctx.next_significant(u).unwrap().is_punct("("));
+    }
+}

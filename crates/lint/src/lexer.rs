@@ -1,0 +1,549 @@
+//! A hand-rolled Rust lexer: a line/column-tracking token stream that
+//! understands string literals, raw strings, byte strings, char literals,
+//! lifetimes, and *nested* block comments.
+//!
+//! The rule engine needs exactly enough lexical fidelity to never mistake
+//! `"HashMap"` inside a string (or a `.unwrap()` mentioned in a comment)
+//! for real code, and to never *miss* real code that follows a tricky
+//! literal. Full parsing (`syn`) is deliberately avoided — the workspace
+//! must stay offline-buildable with zero external dependencies.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `unwrap`, `unsafe`, `r#type`).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// An integer literal (`42`, `0xff_u8`).
+    Int,
+    /// A floating-point literal (`1.0`, `2.5e-3`, `1f32`).
+    Float,
+    /// A `"..."` string literal.
+    Str,
+    /// An `r"..."` / `r#"..."#` raw string literal (or raw byte string).
+    RawStr,
+    /// A `b"..."` byte-string literal.
+    ByteStr,
+    /// A `'x'` char literal.
+    Char,
+    /// A `b'x'` byte literal.
+    Byte,
+    /// A `// ...` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// A `/* ... */` comment, nesting tracked.
+    BlockComment,
+    /// An operator or delimiter; multi-char operators (`==`, `::`, `->`)
+    /// arrive as a single token.
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is a comment of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this is an identifier with exactly the text `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether this is a punctuation token with exactly the text `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == p
+    }
+}
+
+/// Multi-char operators merged into one `Punct` token, longest first so
+/// greedy matching is correct (`..=` before `..` before `.`).
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Self {
+        Self {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line/col.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_into(&mut self, buf: &mut String) {
+        if let Some(c) = self.bump() {
+            buf.push(c);
+        }
+    }
+
+    fn is_ident_start(c: char) -> bool {
+        c.is_alphabetic() || c == '_'
+    }
+
+    fn is_ident_continue(c: char) -> bool {
+        c.is_alphanumeric() || c == '_'
+    }
+
+    /// Reads `// ...` up to (not including) the newline.
+    fn line_comment(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        text
+    }
+
+    /// Reads a `/* ... */` comment with nesting. Unterminated comments run
+    /// to end of file (the lint pass still sees everything before them).
+    fn block_comment(&mut self) -> String {
+        let mut text = String::from("/*");
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump_into(&mut text);
+                    self.bump_into(&mut text);
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump_into(&mut text);
+                    self.bump_into(&mut text);
+                }
+                (Some(_), _) => self.bump_into(&mut text),
+                (None, _) => break,
+            }
+        }
+        text
+    }
+
+    /// Reads a `"..."` string body (after the opening quote is *not* yet
+    /// consumed — `text` holds any prefix such as `b`).
+    fn quoted_string(&mut self, mut text: String) -> String {
+        self.bump_into(&mut text); // opening quote
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump_into(&mut text);
+                    self.bump_into(&mut text);
+                }
+                '"' => {
+                    self.bump_into(&mut text);
+                    break;
+                }
+                _ => self.bump_into(&mut text),
+            }
+        }
+        text
+    }
+
+    /// Reads a raw string starting at `r`/`br` (prefix already in `text`,
+    /// cursor on `#` or `"`): counts `#`s, then scans for `"` followed by
+    /// the same number of `#`s.
+    fn raw_string(&mut self, mut text: String) -> String {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump_into(&mut text);
+        }
+        self.bump_into(&mut text); // opening quote
+        'scan: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some('#') {
+                        self.bump_into(&mut text);
+                        continue 'scan;
+                    }
+                }
+                // Closing quote plus its hashes.
+                self.bump_into(&mut text);
+                for _ in 0..hashes {
+                    self.bump_into(&mut text);
+                }
+                break;
+            }
+            self.bump_into(&mut text);
+        }
+        text
+    }
+
+    /// Reads a char/byte literal body after the opening `'` (prefix such as
+    /// `b` already in `text`).
+    fn char_literal(&mut self, mut text: String) -> String {
+        self.bump_into(&mut text); // opening quote
+        if self.peek(0) == Some('\\') {
+            self.bump_into(&mut text);
+            self.bump_into(&mut text); // the escaped char (or u of \u{...})
+            while self.peek(0).is_some() && self.peek(0) != Some('\'') {
+                self.bump_into(&mut text); // e.g. the rest of \u{1F600}
+            }
+        } else {
+            self.bump_into(&mut text);
+        }
+        self.bump_into(&mut text); // closing quote
+        text
+    }
+
+    /// A char literal (as opposed to a lifetime) follows the opening `'`
+    /// when the next char is an escape or the char after it closes the
+    /// quote. `'a` → lifetime, `'a'` → char, `'\n'` → char.
+    fn is_char_literal(&self) -> bool {
+        match self.peek(1) {
+            Some('\\') => true,
+            Some(_) => self.peek(2) == Some('\''),
+            None => false,
+        }
+    }
+
+    fn number(&mut self) -> (TokenKind, String) {
+        let mut text = String::new();
+        let mut kind = TokenKind::Int;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'b' | 'o')) {
+            self.bump_into(&mut text);
+            self.bump_into(&mut text);
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+            {
+                self.bump_into(&mut text);
+            }
+            return (kind, text);
+        }
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            self.bump_into(&mut text);
+        }
+        // A fractional part only when a digit follows the dot — `0..n` is a
+        // range and `1.max(2)` is a method call.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            kind = TokenKind::Float;
+            self.bump_into(&mut text);
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                self.bump_into(&mut text);
+            }
+        }
+        if matches!(self.peek(0), Some('e' | 'E'))
+            && (self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                || (matches!(self.peek(1), Some('+' | '-'))
+                    && self.peek(2).is_some_and(|c| c.is_ascii_digit())))
+        {
+            kind = TokenKind::Float;
+            self.bump_into(&mut text);
+            if matches!(self.peek(0), Some('+' | '-')) {
+                self.bump_into(&mut text);
+            }
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                self.bump_into(&mut text);
+            }
+        }
+        // Type suffix (`1.0f32`, `1u8`); an `f` suffix makes it a float.
+        if self.peek(0).is_some_and(Self::is_ident_start) {
+            if self.peek(0) == Some('f') {
+                kind = TokenKind::Float;
+            }
+            while self.peek(0).is_some_and(Self::is_ident_continue) {
+                self.bump_into(&mut text);
+            }
+        }
+        (kind, text)
+    }
+}
+
+/// Tokenizes `source`, skipping whitespace but keeping comments as tokens
+/// (the hygiene rules read them). Never fails: unterminated constructs run
+/// to end of input.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let mut lx = Lexer::new(source);
+    let mut tokens = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let (line, col) = (lx.line, lx.col);
+        let (kind, text) = match c {
+            '/' if lx.peek(1) == Some('/') => (TokenKind::LineComment, lx.line_comment()),
+            '/' if lx.peek(1) == Some('*') => (TokenKind::BlockComment, lx.block_comment()),
+            '"' => (TokenKind::Str, lx.quoted_string(String::new())),
+            'r' if lx.peek(1) == Some('"') || raw_ahead(&lx, 1) => {
+                let mut text = String::new();
+                lx.bump_into(&mut text);
+                (TokenKind::RawStr, lx.raw_string(text))
+            }
+            'r' if lx.peek(1) == Some('#') && lx.peek(2).is_some_and(Lexer::is_ident_start) => {
+                // Raw identifier `r#type`.
+                let mut text = String::new();
+                lx.bump_into(&mut text);
+                lx.bump_into(&mut text);
+                while lx.peek(0).is_some_and(Lexer::is_ident_continue) {
+                    lx.bump_into(&mut text);
+                }
+                (TokenKind::Ident, text)
+            }
+            'b' if lx.peek(1) == Some('"') => {
+                let mut text = String::new();
+                lx.bump_into(&mut text);
+                (TokenKind::ByteStr, lx.quoted_string(text))
+            }
+            'b' if lx.peek(1) == Some('r') && (lx.peek(2) == Some('"') || raw_ahead(&lx, 2)) => {
+                let mut text = String::new();
+                lx.bump_into(&mut text);
+                lx.bump_into(&mut text);
+                (TokenKind::RawStr, lx.raw_string(text))
+            }
+            'b' if lx.peek(1) == Some('\'') => {
+                let mut text = String::new();
+                lx.bump_into(&mut text);
+                (TokenKind::Byte, lx.char_literal(text))
+            }
+            '\'' => {
+                if lx.is_char_literal() {
+                    (TokenKind::Char, lx.char_literal(String::new()))
+                } else {
+                    let mut text = String::new();
+                    lx.bump_into(&mut text); // the quote
+                    while lx.peek(0).is_some_and(Lexer::is_ident_continue) {
+                        lx.bump_into(&mut text);
+                    }
+                    (TokenKind::Lifetime, text)
+                }
+            }
+            c if c.is_ascii_digit() => lx.number(),
+            c if Lexer::is_ident_start(c) => {
+                let mut text = String::new();
+                while lx.peek(0).is_some_and(Lexer::is_ident_continue) {
+                    lx.bump_into(&mut text);
+                }
+                (TokenKind::Ident, text)
+            }
+            _ => {
+                let mut matched = None;
+                for op in MULTI_PUNCT {
+                    if op.chars().enumerate().all(|(k, oc)| lx.peek(k) == Some(oc)) {
+                        matched = Some(*op);
+                        break;
+                    }
+                }
+                match matched {
+                    Some(op) => {
+                        let mut text = String::new();
+                        for _ in 0..op.chars().count() {
+                            lx.bump_into(&mut text);
+                        }
+                        (TokenKind::Punct, text)
+                    }
+                    None => {
+                        let mut text = String::new();
+                        lx.bump_into(&mut text);
+                        (TokenKind::Punct, text)
+                    }
+                }
+            }
+        };
+        tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+/// After an `r`/`br` prefix at offset `from`, a run of `#`s followed by a
+/// quote means a raw string (rather than, say, `r#ident`).
+fn raw_ahead(lx: &Lexer, from: usize) -> bool {
+    let mut k = from;
+    while lx.peek(k) == Some('#') {
+        k += 1;
+    }
+    k > from && lx.peek(k) == Some('"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_strings_and_puncts() {
+        let toks = kinds(r#"let x = "HashMap.unwrap()";"#);
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Str, "\"HashMap.unwrap()\"".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let toks = kinds(r#""a\"b" x"#);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[0].1, r#""a\"b""#);
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"r#"say "hi" unwrap()"# after"###);
+        assert_eq!(toks[0].0, TokenKind::RawStr);
+        assert_eq!(toks[1], (TokenKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn raw_byte_string() {
+        let toks = kinds(r###"br#"bytes"# x"###);
+        assert_eq!(toks[0].0, TokenKind::RawStr);
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        let toks = kinds("r#type x");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#type".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "code".into()));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let toks = kinds("'a' 'static '\\n' '_' &'a str");
+        assert_eq!(toks[0], (TokenKind::Char, "'a'".into()));
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'static".into()));
+        assert_eq!(toks[2], (TokenKind::Char, "'\\n'".into()));
+        assert_eq!(toks[3], (TokenKind::Char, "'_'".into()));
+        assert_eq!(toks[5].0, TokenKind::Lifetime);
+    }
+
+    #[test]
+    fn char_literal_with_quote_inside() {
+        let toks = kinds(r"'\'' x");
+        assert_eq!(toks[0], (TokenKind::Char, r"'\''".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r#"b'x' b"raw" ident"#);
+        assert_eq!(toks[0].0, TokenKind::Byte);
+        assert_eq!(toks[1].0, TokenKind::ByteStr);
+        assert_eq!(toks[2], (TokenKind::Ident, "ident".into()));
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        let toks = kinds("1 2.5 1e3 0x1f 0..10 x.0 1.0f32 7f64 1.max(2)");
+        assert_eq!(toks[0], (TokenKind::Int, "1".into()));
+        assert_eq!(toks[1], (TokenKind::Float, "2.5".into()));
+        assert_eq!(toks[2], (TokenKind::Float, "1e3".into()));
+        assert_eq!(toks[3], (TokenKind::Int, "0x1f".into()));
+        assert_eq!(toks[4], (TokenKind::Int, "0".into()));
+        assert_eq!(toks[5], (TokenKind::Punct, "..".into()));
+        assert_eq!(toks[6], (TokenKind::Int, "10".into()));
+        // x.0 — tuple access stays an int after a dot.
+        assert_eq!(toks[7], (TokenKind::Ident, "x".into()));
+        assert_eq!(toks[8], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[9], (TokenKind::Int, "0".into()));
+        assert_eq!(toks[10], (TokenKind::Float, "1.0f32".into()));
+        assert_eq!(toks[11], (TokenKind::Float, "7f64".into()));
+        assert_eq!(toks[12], (TokenKind::Int, "1".into()));
+        assert_eq!(toks[13], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[14], (TokenKind::Ident, "max".into()));
+    }
+
+    #[test]
+    fn multi_char_operators_merge() {
+        let toks = kinds("a == b != c -> d :: e ..= f");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "->", "::", "..="]);
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = tokenize("ab\n  cd /* x\ny */ ef");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        // The block comment spans a newline; `ef` lands on line 3.
+        assert_eq!(toks[3].text, "ef");
+        assert_eq!((toks[3].line, toks[3].col), (3, 6));
+    }
+
+    #[test]
+    fn line_comment_keeps_text() {
+        let toks = kinds("x // TODO: later\ny");
+        assert_eq!(toks[1], (TokenKind::LineComment, "// TODO: later".into()));
+        assert_eq!(toks[2], (TokenKind::Ident, "y".into()));
+    }
+
+    #[test]
+    fn unterminated_string_consumes_rest() {
+        let toks = kinds("\"open");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokenKind::Str);
+    }
+}

@@ -1,0 +1,50 @@
+//! `dropback-lint` — a zero-dependency determinism & robustness
+//! static-analysis pass for the DropBack workspace.
+//!
+//! DropBack's correctness hinges on bit-exact determinism: every forgotten
+//! weight must be regenerated identically from `regen(seed, index)` and the
+//! tracked top-k set must be reproducible across runs. This crate enforces
+//! the coding invariants that property depends on — no order-nondeterministic
+//! containers in tracked-set/serialization paths, no wall-clock or entropy
+//! reads in deterministic code, no silent panics or stray prints in library
+//! crates — mechanically, on every PR.
+//!
+//! Run it with:
+//!
+//! ```text
+//! cargo run -p dropback-lint -- --check [--json]
+//! ```
+//!
+//! Suppressions live in the committed `lint.allow` file and must each carry
+//! a justification. `docs/LINTS.md` documents every rule and its rationale.
+//!
+//! The implementation is deliberately dependency-free (no `syn`): a
+//! hand-rolled lexer ([`lexer`]) feeds a rule engine ([`rules`]) that walks
+//! every `.rs` file in the workspace ([`engine`]).
+
+pub mod allow;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use allow::{AllowEntry, Allowlist};
+pub use engine::{analyze_source, check_workspace, FileCtx, Role};
+pub use report::{Finding, Report, Severity, Suppressed};
+pub use rules::{all_rules, Rule};
+
+use std::path::Path;
+
+/// Lints the workspace at `root`, loading `root/lint.allow` when present.
+///
+/// # Errors
+///
+/// Returns a message when the allowlist is malformed or the walk fails.
+pub fn check_workspace_with_default_allow(root: &Path) -> Result<Report, String> {
+    let allow_path = root.join("lint.allow");
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => Allowlist::parse(&text)?,
+        Err(_) => Allowlist::empty(),
+    };
+    check_workspace(root, &allow)
+}

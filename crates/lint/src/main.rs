@@ -1,0 +1,108 @@
+//! The `dropback-lint` command-line gate.
+//!
+//! ```text
+//! dropback-lint --check [--json] [--root DIR] [--allow FILE]
+//! ```
+//!
+//! Exits 0 when the tree is clean, 1 on any unsuppressed finding, and 2 on
+//! usage or I/O errors. Human diagnostics (`file:line:col: [rule] message`)
+//! go to stdout; `--json` replaces them with the machine-readable report.
+
+use dropback_lint::{check_workspace, Allowlist};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    check: bool,
+    json: bool,
+    root: PathBuf,
+    allow: Option<PathBuf>,
+}
+
+fn usage() -> String {
+    "usage: dropback-lint --check [--json] [--root DIR] [--allow FILE]\n\
+     \n\
+     Determinism & robustness lints for the DropBack workspace.\n\
+     --check        run the pass (required; guards against accidental no-ops)\n\
+     --json         emit the machine-readable JSON report instead of text\n\
+     --root DIR     workspace root to scan (default: current directory)\n\
+     --allow FILE   suppression file (default: <root>/lint.allow if present)\n\
+     \n\
+     Rules and rationale: docs/LINTS.md. Exit: 0 clean, 1 findings, 2 errors."
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        check: false,
+        json: false,
+        root: PathBuf::from("."),
+        allow: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => opts.check = true,
+            "--json" => opts.json = true,
+            "--root" => {
+                i += 1;
+                let dir = args.get(i).ok_or("--root requires a directory")?;
+                opts.root = PathBuf::from(dir);
+            }
+            "--allow" => {
+                i += 1;
+                let file = args.get(i).ok_or("--allow requires a file path")?;
+                opts.allow = Some(PathBuf::from(file));
+            }
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+        i += 1;
+    }
+    if !opts.check {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let allow = match &opts.allow {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read allowlist {}: {e}", path.display()))?;
+            Allowlist::parse(&text)?
+        }
+        None => {
+            let default = opts.root.join("lint.allow");
+            match std::fs::read_to_string(&default) {
+                Ok(text) => Allowlist::parse(&text)?,
+                Err(_) => Allowlist::empty(),
+            }
+        }
+    };
+    let report = check_workspace(&opts.root, &allow)?;
+    if opts.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    Ok(report.has_failures())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Findings, the aggregate report, and its human/JSON renderings.
+
+use crate::allow::{AllowEntry, Allowlist};
+
+/// How severe a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the check unless suppressed.
+    Error,
+    /// Inventory only (TODO/FIXME markers) — never fails the check.
+    Info,
+}
+
+/// One diagnostic at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (see [`crate::rules::all_rules`]).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// Error or informational.
+    pub severity: Severity,
+}
+
+impl Finding {
+    /// `path:line:col: [rule] message` — the clickable diagnostic line.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// A suppressed finding together with the allowlist justification.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// The original finding.
+    pub finding: Finding,
+    /// The `lint.allow` justification that silenced it.
+    pub justification: String,
+}
+
+/// The aggregate result of a workspace pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed error-severity findings — these fail the check.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by `lint.allow`.
+    pub suppressed: Vec<Suppressed>,
+    /// TODO/FIXME inventory (informational).
+    pub todos: Vec<Finding>,
+    /// Allowlist entries that suppressed nothing (stale — worth pruning).
+    pub unused_allows: Vec<AllowEntry>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Routes one finding into the right bucket, consulting `allow`.
+    pub fn add(&mut self, finding: Finding, allow: &Allowlist) {
+        if finding.severity == Severity::Info {
+            self.todos.push(finding);
+        } else if let Some(justification) = allow.suppresses(&finding) {
+            self.suppressed.push(Suppressed {
+                finding,
+                justification,
+            });
+        } else {
+            self.findings.push(finding);
+        }
+    }
+
+    /// Whether the check should exit nonzero.
+    pub fn has_failures(&self) -> bool {
+        !self.findings.is_empty()
+    }
+
+    /// Human-readable rendering: one diagnostic per line plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        for entry in &self.unused_allows {
+            out.push_str(&format!(
+                "lint.allow:{}: unused suppression for rule '{}' on '{}' — prune it\n",
+                entry.source_line, entry.rule, entry.path_prefix
+            ));
+        }
+        out.push_str(&format!(
+            "{} finding(s), {} suppressed by lint.allow, {} TODO/FIXME marker(s), \
+             {} file(s) scanned\n",
+            self.findings.len(),
+            self.suppressed.len(),
+            self.todos.len(),
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// Machine-readable JSON rendering (hand-rolled — the lint tool stays
+    /// dependency-free, including on the workspace's own crates).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        out.push_str(&format!("\"failures\":{},", self.findings.len()));
+        out.push_str("\"findings\":[");
+        push_findings(&mut out, self.findings.iter());
+        out.push_str("],\"suppressed\":[");
+        for (i, s) in self.suppressed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&finding_json(&s.finding, Some(&s.justification)));
+        }
+        out.push_str("],\"todos\":[");
+        push_findings(&mut out, self.todos.iter());
+        out.push_str("],\"unused_allows\":[");
+        for (i, e) in self.unused_allows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"path\":{},\"line\":{}}}",
+                json_str(&e.rule),
+                json_str(&e.path_prefix),
+                e.source_line
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_findings<'a>(out: &mut String, findings: impl Iterator<Item = &'a Finding>) {
+    for (i, f) in findings.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&finding_json(f, None));
+    }
+}
+
+fn finding_json(f: &Finding, justification: Option<&str>) -> String {
+    let mut s = format!(
+        "{{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{}",
+        json_str(f.rule),
+        json_str(&f.path),
+        f.line,
+        f.col,
+        json_str(&f.message)
+    );
+    if let Some(j) = justification {
+        s.push_str(&format!(",\"justification\":{}", json_str(j)));
+    }
+    s.push('}');
+    s
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.into(),
+            line: 3,
+            col: 7,
+            message: "msg with \"quotes\"".into(),
+            severity: Severity::Error,
+        }
+    }
+
+    #[test]
+    fn render_is_clickable() {
+        let f = finding("no-unwrap", "crates/x/src/a.rs");
+        assert!(f.render().starts_with("crates/x/src/a.rs:3:7: [no-unwrap]"));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_buckets_and_json_shape() {
+        let allow = Allowlist::parse("no-unwrap crates/x/src/a.rs -- fine here\n").unwrap();
+        let mut r = Report {
+            files_scanned: 2,
+            ..Report::default()
+        };
+        r.add(finding("no-unwrap", "crates/x/src/a.rs"), &allow);
+        r.add(finding("no-print", "crates/y/src/b.rs"), &allow);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.suppressed.len(), 1);
+        assert!(r.has_failures());
+        let json = r.render_json();
+        assert!(json.contains("\"failures\":1"));
+        assert!(json.contains("\"justification\":\"fine here\""));
+        assert!(json.contains("\\\"quotes\\\""));
+    }
+}

@@ -1,0 +1,392 @@
+//! The rule set. Every rule is a pure function over a [`FileCtx`].
+//!
+//! The rules exist to protect one property end to end: a DropBack run is
+//! replayable bit-for-bit from `(seed, architecture, k)` because every
+//! untracked weight is `regen(seed, index)` and every tracked-set decision
+//! is a deterministic function of the training history. Nondeterministic
+//! iteration order, wall-clock reads, and silent panics each break that
+//! property in ways reviewers rarely catch by eye — so a machine catches
+//! them instead. See `docs/LINTS.md` for the full rationale.
+
+use crate::engine::{FileCtx, Role};
+use crate::report::{Finding, Severity};
+
+/// A single lint rule.
+pub struct Rule {
+    /// Stable identifier used in diagnostics and `lint.allow`.
+    pub id: &'static str,
+    /// One-line description for `--json` output and docs.
+    pub summary: &'static str,
+    /// The check itself.
+    pub check: fn(&FileCtx, &mut Vec<Finding>),
+}
+
+/// Every rule, in reporting order.
+pub fn all_rules() -> &'static [Rule] {
+    &[
+        Rule {
+            id: "hash-iteration",
+            summary: "no HashMap/HashSet in tracked-set, checkpoint, or serialization paths \
+                      (iteration order is nondeterministic)",
+            check: hash_iteration,
+        },
+        Rule {
+            id: "wall-clock",
+            summary: "no SystemTime/Instant/entropy APIs outside telemetry and bench",
+            check: wall_clock,
+        },
+        Rule {
+            id: "no-unwrap",
+            summary: "no unwrap()/expect()/panic!/todo!/unimplemented! in non-test code",
+            check: no_unwrap,
+        },
+        Rule {
+            id: "no-print",
+            summary: "no println!/eprintln!/dbg! in library crates (stdout/stderr are \
+                      machine-parseable contracts)",
+            check: no_print,
+        },
+        Rule {
+            id: "float-eq",
+            summary: "no ==/!= against float literals (use a tolerance or an integer domain)",
+            check: float_eq,
+        },
+        Rule {
+            id: "unsafe-safety",
+            summary: "every `unsafe` needs a preceding `// SAFETY:` comment",
+            check: unsafe_safety,
+        },
+        Rule {
+            id: "todo-marker",
+            summary: "TODO/FIXME inventory (informational)",
+            check: todo_marker,
+        },
+    ]
+}
+
+/// Paths where the tracked set, checkpoints, or serialized output are
+/// produced — iteration order there must be reproducible because
+/// `regen(seed, index)` replay and report diffing both depend on it.
+const DETERMINISM_PATHS: &[&str] = &[
+    "crates/optim/src/",
+    "crates/core/src/checkpoint.rs",
+    "crates/core/src/report.rs",
+    "crates/core/src/sparse_infer.rs",
+    "crates/telemetry/src/json.rs",
+    "crates/telemetry/src/snapshot.rs",
+];
+
+/// Crates allowed to read the clock or entropy: telemetry owns timing,
+/// bench measures it.
+const CLOCK_CRATES: &[&str] = &["telemetry", "bench"];
+
+fn in_determinism_path(path: &str) -> bool {
+    DETERMINISM_PATHS.iter().any(|p| path.starts_with(p))
+}
+
+fn hash_iteration(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.role == Role::Aux || !in_determinism_path(&ctx.path) {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if (t.is_ident("HashMap") || t.is_ident("HashSet")) && !ctx.in_test(i) {
+            out.push(ctx.finding(
+                "hash-iteration",
+                i,
+                format!(
+                    "{} iteration order is nondeterministic across runs; use BTreeMap/BTreeSet \
+                     or a sorted Vec so tracked-set replay from regen(seed, index) stays \
+                     bit-exact",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+const CLOCK_IDENTS: &[&str] = &[
+    "SystemTime",
+    "Instant",
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+];
+
+fn wall_clock(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.role == Role::Aux || CLOCK_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if t.kind == crate::lexer::TokenKind::Ident
+            && CLOCK_IDENTS.contains(&t.text.as_str())
+            && !ctx.in_test(i)
+        {
+            out.push(ctx.finding(
+                "wall-clock",
+                i,
+                format!(
+                    "{} injects wall-clock/entropy state into deterministic code; route timing \
+                     through dropback-telemetry (Span/Stopwatch) and randomness through the \
+                     seeded dropback-prng generators",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+fn no_unwrap(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.role == Role::Aux {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let method_call = |name: &str| {
+            t.is_ident(name)
+                && ctx.prev_significant(i).is_some_and(|p| p.is_punct("."))
+                && ctx.next_significant(i).is_some_and(|n| n.is_punct("("))
+        };
+        let macro_call = |name: &str| {
+            t.is_ident(name) && ctx.next_significant(i).is_some_and(|n| n.is_punct("!"))
+        };
+        if method_call("unwrap") || method_call("expect") {
+            out.push(ctx.finding(
+                "no-unwrap",
+                i,
+                format!(
+                    ".{}() can panic mid-training and lose the run; propagate a Result with an \
+                     actionable message instead",
+                    t.text
+                ),
+            ));
+        } else if macro_call("panic") || macro_call("todo") || macro_call("unimplemented") {
+            out.push(ctx.finding(
+                "no-unwrap",
+                i,
+                format!(
+                    "{}! in library code aborts the whole process; return an error the caller \
+                     can handle (assert! for internal invariants is allowed)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+fn no_print(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.role != Role::Lib {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if t.kind == crate::lexer::TokenKind::Ident
+            && PRINT_MACROS.contains(&t.text.as_str())
+            && ctx.next_significant(i).is_some_and(|n| n.is_punct("!"))
+            && !ctx.in_test(i)
+        {
+            out.push(ctx.finding(
+                "no-print",
+                i,
+                format!(
+                    "{}! in a library crate corrupts the machine-parseable stdout/stderr \
+                     contract; emit telemetry events or return data to the caller",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+fn float_eq(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.role == Role::Aux {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if !(t.is_punct("==") || t.is_punct("!=")) || ctx.in_test(i) {
+            continue;
+        }
+        let float_neighbor = [ctx.prev_significant(i), ctx.next_significant(i)]
+            .into_iter()
+            .flatten()
+            .any(|n| n.kind == crate::lexer::TokenKind::Float);
+        if float_neighbor {
+            out.push(ctx.finding(
+                "float-eq",
+                i,
+                format!(
+                    "`{}` against a float literal is exact bit comparison; if that is \
+                     intentional (zero-skip, integrality check) allowlist it with a \
+                     justification, otherwise compare with a tolerance",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+fn unsafe_safety(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let justified = ctx.tokens.iter().any(|c| {
+            c.is_comment() && c.text.contains("SAFETY:") && c.line <= t.line && c.line + 3 >= t.line
+        });
+        if !justified {
+            out.push(
+                ctx.finding(
+                    "unsafe-safety",
+                    i,
+                    "`unsafe` without a `// SAFETY:` comment in the preceding 3 lines; state the \
+                 invariant that makes this sound"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+fn todo_marker(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for t in &ctx.tokens {
+        if !t.is_comment() {
+            continue;
+        }
+        for marker in ["TODO", "FIXME"] {
+            if t.text.contains(marker) {
+                out.push(Finding {
+                    rule: "todo-marker",
+                    path: ctx.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!("{marker} marker: {}", t.text.trim()),
+                    severity: Severity::Info,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyze_source;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        analyze_source(path, src)
+            .into_iter()
+            .filter(|f| f.severity == Severity::Error)
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn hashmap_flagged_only_in_determinism_paths() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(
+            rules_hit("crates/optim/src/sparse.rs", src),
+            vec!["hash-iteration"]
+        );
+        assert!(rules_hit("crates/nn/src/linear.rs", src).is_empty());
+        assert!(rules_hit("crates/optim/tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_in_string_or_comment_is_clean() {
+        let src = "// a HashMap would be bad here\nfn f() -> &'static str { \"HashMap\" }";
+        assert!(rules_hit("crates/optim/src/sparse.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_flagged_outside_telemetry_and_bench() {
+        let src = "use std::time::Instant;";
+        assert_eq!(
+            rules_hit("crates/core/src/trainer.rs", src),
+            vec!["wall-clock"]
+        );
+        assert!(rules_hit("crates/telemetry/src/span.rs", src).is_empty());
+        assert!(rules_hit("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_and_friends_flagged_in_lib_and_bin() {
+        assert_eq!(
+            rules_hit("crates/nn/src/act.rs", "fn f() { x.unwrap(); }"),
+            vec!["no-unwrap"]
+        );
+        assert_eq!(
+            rules_hit("crates/core/src/bin/cli.rs", "fn f() { x.expect(\"m\"); }"),
+            vec!["no-unwrap"]
+        );
+        assert_eq!(
+            rules_hit("crates/nn/src/act.rs", "fn f() { panic!(\"boom\"); }"),
+            vec!["no-unwrap"]
+        );
+        assert_eq!(
+            rules_hit("crates/nn/src/act.rs", "fn f() { todo!() }"),
+            vec!["no-unwrap"]
+        );
+    }
+
+    #[test]
+    fn unwrap_lookalikes_are_clean() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(g); z.expect_err(\"m\"); \
+                   assert!(true, \"panic! free\"); }";
+        assert!(rules_hit("crates/nn/src/act.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_clean() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}";
+        assert!(rules_hit("crates/nn/src/act.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_after_test_module_is_flagged() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { ok.unwrap(); } }\nfn f() { x.unwrap(); }";
+        assert_eq!(rules_hit("crates/nn/src/act.rs", src), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn println_flagged_in_lib_but_not_bin() {
+        let src = "fn f() { println!(\"hi\"); }";
+        assert_eq!(rules_hit("crates/nn/src/act.rs", src), vec!["no-print"]);
+        assert!(rules_hit("crates/core/src/bin/cli.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_literal_comparison_flagged() {
+        assert_eq!(
+            rules_hit("crates/nn/src/act.rs", "fn f(x: f32) -> bool { x == 0.0 }"),
+            vec!["float-eq"]
+        );
+        assert_eq!(
+            rules_hit("crates/nn/src/act.rs", "fn f(x: f64) -> bool { 1.5 != x }"),
+            vec!["float-eq"]
+        );
+        // Integer comparison and range syntax are clean.
+        assert!(rules_hit("crates/nn/src/act.rs", "fn f(x: u8) -> bool { x == 0 }").is_empty());
+        assert!(rules_hit("crates/nn/src/act.rs", "fn f() { for _ in 0..10 {} }").is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        assert_eq!(
+            rules_hit("crates/tensor/src/gemm.rs", "fn f() { unsafe { g() } }"),
+            vec!["unsafe-safety"]
+        );
+        let ok = "// SAFETY: g upholds the aliasing contract.\nfn f() { unsafe { g() } }";
+        assert!(rules_hit("crates/tensor/src/gemm.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn todo_markers_are_informational() {
+        let findings = analyze_source("crates/nn/src/act.rs", "// TODO: faster path\nfn f() {}");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "todo-marker");
+        assert_eq!(findings[0].severity, Severity::Info);
+    }
+}

@@ -1,0 +1,158 @@
+//! Fixture tests: the lexer torture file and the seeded bad workspace.
+//!
+//! `tests/fixtures/lexer/tricky.rs` packs raw strings, nested block
+//! comments, char literals, and a `#[cfg(test)]` module around one real
+//! violation; these tests pin down that nothing inside a string or
+//! comment is ever flagged and nothing after one is ever missed.
+
+use dropback_lint::lexer::{tokenize, TokenKind};
+use dropback_lint::{analyze_source, check_workspace, Allowlist};
+use std::path::Path;
+
+const TRICKY: &str = include_str!("fixtures/lexer/tricky.rs");
+
+#[test]
+fn raw_strings_lex_as_single_tokens() {
+    let tokens = tokenize(TRICKY);
+    let raws: Vec<_> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::RawStr)
+        .collect();
+    assert_eq!(raws.len(), 2, "RAW and RAW2");
+    assert!(raws[0].text.contains("foo.unwrap()"));
+    assert!(raws[1].text.contains(r##"nested "# quote"##));
+}
+
+#[test]
+fn nested_block_comment_is_one_token() {
+    let tokens = tokenize(TRICKY);
+    let nested = tokens
+        .iter()
+        .find(|t| t.kind == TokenKind::BlockComment && t.text.contains("nested comment"))
+        .expect("nested block comment token");
+    // The whole nested construct — including the inner close — is one
+    // comment; the decoy macros inside never become idents.
+    assert!(nested.text.contains(r#"println!("hidden")"#));
+}
+
+#[test]
+fn char_literals_do_not_derail_string_tracking() {
+    let tokens = tokenize(TRICKY);
+    let chars: Vec<_> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Char)
+        .collect();
+    // '"', '\'', '\n'
+    assert_eq!(chars.len(), 3);
+    // And lifetimes survive as lifetimes, not unterminated chars.
+    assert!(tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+}
+
+#[test]
+fn decoys_in_strings_and_comments_are_never_flagged() {
+    let findings = analyze_source("crates/nn/src/tricky.rs", TRICKY);
+    let errors: Vec<_> = findings
+        .iter()
+        .filter(|f| f.severity == dropback_lint::Severity::Error)
+        .collect();
+    // Exactly one real violation: `v.unwrap()` in `real_violation` —
+    // none of the unwrap/println/SystemTime text in strings or comments,
+    // and not the test-module unwrap.
+    assert_eq!(
+        errors.len(),
+        1,
+        "expected exactly the real_violation finding, got: {:?}",
+        errors
+    );
+    assert_eq!(errors[0].rule, "no-unwrap");
+    let unwrap_line = TRICKY
+        .lines()
+        .position(|l| l.contains("v.unwrap()"))
+        .expect("fixture has the violation")
+        + 1;
+    assert_eq!(errors[0].line as usize, unwrap_line);
+}
+
+#[test]
+fn cfg_test_modules_are_recognized_after_tricky_tokens() {
+    // The #[cfg(test)] module sits after every raw string and comment in
+    // the file; `test_only_unwrap` must still be seen as test code.
+    let findings = analyze_source("crates/nn/src/tricky.rs", TRICKY);
+    assert!(
+        !findings.iter().any(|f| {
+            f.line > 0
+                && TRICKY
+                    .lines()
+                    .nth(f.line as usize - 1)
+                    .unwrap_or("")
+                    .contains("3u8")
+        }),
+        "test-module unwrap must not be flagged"
+    );
+}
+
+#[test]
+fn seeded_workspace_yields_expected_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws");
+    let report = check_workspace(&root, &Allowlist::empty()).expect("fixture ws lints");
+    assert!(report.has_failures());
+
+    let hits = |rule: &str| {
+        report
+            .findings
+            .iter()
+            .filter(|f| f.rule == rule)
+            .map(|f| f.path.clone())
+            .collect::<Vec<_>>()
+    };
+    // bad_hash.rs: HashMap use + field type, both outside the test module.
+    assert_eq!(hits("hash-iteration").len(), 2);
+    assert!(hits("hash-iteration")
+        .iter()
+        .all(|p| p == "crates/optim/src/bad_hash.rs"));
+    // bad_hash.rs: Instant import + Instant::now().
+    assert_eq!(hits("wall-clock").len(), 2);
+    // bad_hash.rs first() + nn lib.rs expect; the test-module unwrap and
+    // every decoy in strings/comments stay clean.
+    assert_eq!(hits("no-unwrap").len(), 2);
+    // nn lib.rs println!; the binary tool.rs may print freely.
+    assert_eq!(hits("no-print"), vec!["crates/nn/src/lib.rs"]);
+    assert_eq!(hits("float-eq"), vec!["crates/nn/src/lib.rs"]);
+    // raw_read has no SAFETY comment; checked_read does.
+    assert_eq!(hits("unsafe-safety"), vec!["crates/nn/src/lib.rs"]);
+    // One TODO marker, informational.
+    assert_eq!(report.todos.len(), 1);
+}
+
+#[test]
+fn allowlist_suppresses_seeded_findings_with_justification() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws");
+    let allow = Allowlist::parse(
+        "hash-iteration crates/optim/src/bad_hash.rs -- fixture exercises suppression\n\
+         wall-clock crates/optim/src/bad_hash.rs -- fixture exercises suppression\n\
+         no-unwrap crates/ -- fixture exercises suppression\n\
+         no-print crates/nn/src/lib.rs -- fixture exercises suppression\n\
+         float-eq crates/nn/src/lib.rs -- fixture exercises suppression\n\
+         unsafe-safety crates/nn/src/lib.rs -- fixture exercises suppression\n",
+    )
+    .expect("well-formed allowlist");
+    let report = check_workspace(&root, &allow).expect("fixture ws lints");
+    assert!(!report.has_failures(), "all findings suppressed");
+    assert_eq!(report.suppressed.len(), 9);
+    assert!(report.unused_allows.is_empty());
+}
+
+#[test]
+fn stale_allow_entries_are_reported() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws");
+    let allow = Allowlist::parse(
+        "no-print crates/nn/src/lib.rs -- real suppression\n\
+         wall-clock crates/data/src/ -- nothing there uses the clock\n",
+    )
+    .expect("well-formed allowlist");
+    let report = check_workspace(&root, &allow).expect("fixture ws lints");
+    assert_eq!(report.unused_allows.len(), 1);
+    assert_eq!(report.unused_allows[0].path_prefix, "crates/data/src/");
+}

@@ -1,0 +1,35 @@
+//! Lexer torture fixture: every construct here is designed to trip a
+//! naive scanner. The integration tests assert none of the decoy text in
+//! strings/comments is flagged and the real violation after them is.
+
+pub const RAW: &str = r#"not code: foo.unwrap() and println!("x") and HashMap"#;
+pub const RAW2: &str = r##"nested "# quote: SystemTime::now().unwrap()"##;
+pub const PLAIN: &str = "escaped \" quote then .unwrap() text";
+pub const BYTES: &[u8] = b"bytes with .expect(\"msg\") inside";
+
+/* outer comment /* nested comment with .unwrap() and panic!("no") */
+   still inside the outer comment: println!("hidden") */
+
+pub fn chars() -> (char, char, char) {
+    let quote = '"';
+    let escape = '\'';
+    let newline = '\n';
+    (quote, escape, newline)
+}
+
+pub fn lifetimes<'a>(x: &'a str) -> &'a str {
+    // 'a above must lex as a lifetime, not an unterminated char literal
+    x
+}
+
+pub fn real_violation(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_only_unwrap() {
+        Some(3u8).unwrap();
+    }
+}

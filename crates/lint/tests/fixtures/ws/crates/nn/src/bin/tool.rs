@@ -1,0 +1,6 @@
+//! Seeded fixture: a binary — printing here is its job, not a finding.
+
+fn main() {
+    println!("binaries may print");
+    eprintln!("and write progress to stderr");
+}

@@ -1,0 +1,23 @@
+//! Seeded fixture: robustness and hygiene violations in a library crate.
+
+pub fn noisy(x: f32) -> f32 {
+    println!("debug: {x}");
+    if x == 0.5 {
+        return 0.0;
+    }
+    x
+}
+
+pub fn risky(v: &[f32]) -> f32 {
+    // TODO: bounds-check instead of expecting
+    *v.first().expect("non-empty")
+}
+
+pub fn raw_read(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn checked_read(p: *const u8) -> u8 {
+    // SAFETY: callers guarantee `p` is valid for reads per this fn's docs.
+    unsafe { *p }
+}

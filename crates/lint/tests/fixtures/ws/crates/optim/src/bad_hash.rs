@@ -1,0 +1,42 @@
+//! Seeded fixture: determinism violations in an optimizer path.
+//! Linted only by the dropback-lint integration tests — never by the
+//! workspace self-check (the walker skips `fixtures/` directories).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct BadTracked {
+    tracked: HashMap<usize, f32>,
+}
+
+impl BadTracked {
+    pub fn sum(&self) -> f32 {
+        let start = Instant::now();
+        let mut total = 0.0;
+        for (_, v) in self.tracked.iter() {
+            total += v;
+        }
+        let _ = start.elapsed();
+        total
+    }
+
+    pub fn first(&self) -> f32 {
+        *self.tracked.values().next().unwrap()
+    }
+}
+
+// The strings and comments below mention HashMap::iter(), .unwrap() and
+// Instant::now() — none of that text is code, so none of it may be flagged.
+pub fn decoys() -> &'static str {
+    // a comment naming HashMap and .unwrap() and println!("x")
+    "HashMap iteration with .unwrap() and Instant::now() inside a string"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

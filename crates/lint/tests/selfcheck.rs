@@ -1,0 +1,127 @@
+//! The linter eating its own dog food: `cargo test` fails if the real
+//! workspace picks up an unsuppressed violation, and the CLI's exit-code
+//! contract (0 clean / 1 findings / 2 usage) is pinned with the seeded
+//! fixture workspace.
+
+use std::path::Path;
+use std::process::Command;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives two levels below the workspace root")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = dropback_lint::check_workspace_with_default_allow(workspace_root())
+        .expect("workspace walk succeeds");
+    assert!(
+        !report.has_failures(),
+        "the workspace has unsuppressed lint findings — run \
+         `cargo run -p dropback-lint -- --check` for details:\n{}",
+        report.render_human()
+    );
+    assert!(
+        report.unused_allows.is_empty(),
+        "lint.allow has stale entries suppressing nothing:\n{}",
+        report.render_human()
+    );
+    // Sanity: the walk actually covered the workspace.
+    assert!(
+        report.files_scanned > 50,
+        "only {} files",
+        report.files_scanned
+    );
+}
+
+fn run_lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dropback-lint"))
+        .args(args)
+        .current_dir(workspace_root())
+        .output()
+        .expect("dropback-lint binary runs")
+}
+
+#[test]
+fn cli_exits_zero_on_clean_tree() {
+    let out = run_lint(&["--check"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn cli_exits_one_on_seeded_violations() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws");
+    let out = run_lint(&["--check", "--root", fixture.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Diagnostics carry file:line:col and the rule id.
+    assert!(
+        stdout.contains("crates/optim/src/bad_hash.rs:") && stdout.contains("[hash-iteration]"),
+        "diagnostics missing file/rule: {stdout}"
+    );
+}
+
+#[test]
+fn cli_json_report_is_emitted_on_request() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws");
+    let out = run_lint(&[
+        "--check",
+        "--json",
+        "--root",
+        fixture.to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "json: {stdout}");
+    assert!(
+        stdout.contains("\"rule\":\"hash-iteration\""),
+        "json: {stdout}"
+    );
+}
+
+#[test]
+fn cli_exits_two_on_usage_errors() {
+    // Missing --check is a usage error, not a silent no-op pass.
+    assert_eq!(run_lint(&[]).status.code(), Some(2));
+    assert_eq!(run_lint(&["--frobnicate"]).status.code(), Some(2));
+    // Unreadable root is an I/O error.
+    assert_eq!(
+        run_lint(&["--check", "--root", "/nonexistent-dropback-path"])
+            .status
+            .code(),
+        Some(2)
+    );
+}
+
+#[test]
+fn cli_rejects_allowlist_without_justification() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws");
+    let dir = std::env::temp_dir().join("dropback-lint-selfcheck");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let allow = dir.join("bad.allow");
+    std::fs::write(&allow, "no-print crates/nn/src/lib.rs\n").expect("write allow");
+    let out = run_lint(&[
+        "--check",
+        "--root",
+        fixture.to_str().expect("utf8 path"),
+        "--allow",
+        allow.to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "malformed allowlist is an error"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("justification"), "stderr: {stderr}");
+    let _ = std::fs::remove_file(&allow);
+}

@@ -4,17 +4,23 @@
 //! layers read it), but the algorithm only ever *needs* the `k` tracked
 //! values — everything else is `init(i)`, recomputable from the seed. This
 //! module makes that claim concrete: [`SparseDropBack`] holds the tracked
-//! weights in a `HashMap<usize, f32>` of size ≤ `k`, and *reconstructs* the
+//! weights in a `BTreeMap<usize, f32>` of size ≤ `k`, and *reconstructs* the
 //! dense vector each step from the map plus regeneration. Tests assert the
 //! reconstruction is bit-identical to the dense implementation, which is
 //! the paper's "only needs enough weight memory to store the unpruned
 //! weights" in executable form.
+//!
+//! The tracked map is a `BTreeMap` — not a `HashMap` — on purpose: its
+//! iteration order is the index order, so every walk over the tracked set
+//! (frozen updates, checkpoint capture, metrics) is reproducible across
+//! runs and the `regen(seed, index)` replay contract stays bit-exact. The
+//! `dropback-lint` `hash-iteration` rule enforces this mechanically.
 
 use crate::topk::top_k_mask;
 use crate::Optimizer;
 use dropback_nn::ParamStore;
 use dropback_telemetry::Span;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// DropBack with the tracked set held in an actual sparse map.
 #[derive(Debug, Clone)]
@@ -23,7 +29,7 @@ pub struct SparseDropBack {
     freeze_after: Option<usize>,
     frozen: bool,
     /// The only persistent weight storage: tracked index → current value.
-    tracked: HashMap<usize, f32>,
+    tracked: BTreeMap<usize, f32>,
     epoch_swaps: usize,
     last_epoch_churn: usize,
     steps: u64,
@@ -41,7 +47,7 @@ impl SparseDropBack {
             k,
             freeze_after: None,
             frozen: false,
-            tracked: HashMap::new(),
+            tracked: BTreeMap::new(),
             epoch_swaps: 0,
             last_epoch_churn: 0,
             steps: 0,
@@ -61,8 +67,8 @@ impl SparseDropBack {
         self.tracked.len()
     }
 
-    /// The tracked map (index → value).
-    pub fn tracked(&self) -> &HashMap<usize, f32> {
+    /// The tracked map (index → value), iterating in index order.
+    pub fn tracked(&self) -> &BTreeMap<usize, f32> {
         &self.tracked
     }
 
@@ -78,14 +84,6 @@ impl Optimizer for SparseDropBack {
         let n = ps.len();
         let seed = ps.seed();
         let ranges: Vec<_> = ps.ranges().to_vec();
-        let init = |i: usize| -> f32 {
-            // Per-range scheme lookup (ranges are few).
-            let r = ranges
-                .iter()
-                .find(|r| i >= r.start() && i < r.end())
-                .expect("index within a range");
-            r.scheme().value(seed, i as u64)
-        };
         if self.frozen {
             // Only tracked entries update; dense vector rebuilt below.
             let grads = ps.grads().to_vec();
@@ -96,24 +94,37 @@ impl Optimizer for SparseDropBack {
             let mask = {
                 let _rank_span = Span::enter("topk-rank");
                 // Scores: tracked displacement vs untracked current gradient.
+                // Walking range-by-range keeps the per-index init scheme in
+                // hand without a per-index range search.
                 let mut scores = vec![0.0f32; n];
-                for (i, s) in scores.iter_mut().enumerate() {
-                    *s = match self.tracked.get(&i) {
-                        Some(&w) => (w - init(i)).abs(),
-                        None => (lr * ps.grads()[i]).abs(),
-                    };
+                for r in &ranges {
+                    let scheme = r.scheme();
+                    for (off, s) in scores[r.start()..r.end()].iter_mut().enumerate() {
+                        let i = r.start() + off;
+                        *s = match self.tracked.get(&i) {
+                            Some(&w) => (w - scheme.value(seed, i as u64)).abs(),
+                            None => (lr * ps.grads()[i]).abs(),
+                        };
+                    }
                 }
                 top_k_mask(&scores, self.k)
             };
             let grads = ps.grads().to_vec();
-            let mut next: HashMap<usize, f32> = HashMap::with_capacity(self.k);
-            for (i, &m) in mask.iter().enumerate() {
-                if m {
-                    if !self.tracked.contains_key(&i) {
-                        self.epoch_swaps += 1;
+            let mut next: BTreeMap<usize, f32> = BTreeMap::new();
+            for r in &ranges {
+                let scheme = r.scheme();
+                for i in r.start()..r.end() {
+                    if mask[i] {
+                        if !self.tracked.contains_key(&i) {
+                            self.epoch_swaps += 1;
+                        }
+                        let w = self
+                            .tracked
+                            .get(&i)
+                            .copied()
+                            .unwrap_or_else(|| scheme.value(seed, i as u64));
+                        next.insert(i, w - lr * grads[i]);
                     }
-                    let w = self.tracked.get(&i).copied().unwrap_or_else(|| init(i));
-                    next.insert(i, w - lr * grads[i]);
                 }
             }
             self.tracked = next;

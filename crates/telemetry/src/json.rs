@@ -276,7 +276,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Consume one UTF-8 scalar (input is a &str, so this is safe).
                 let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().unwrap();
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| format!("unterminated string at byte {}", *pos))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }

@@ -44,9 +44,19 @@ pub use json::Json;
 pub use metrics::{bucket_index, bucket_upper, Collector, Counter, Gauge, Histogram};
 pub use sink::{Event, EventSink, JsonlSink, NullSink, StderrSink, TeeSink};
 pub use snapshot::{HistogramSummary, TelemetrySnapshot};
-pub use span::{is_enabled, phase_totals, set_enabled, take_phase_totals, PhaseStat, Span};
+pub use span::{
+    is_enabled, phase_totals, set_enabled, take_phase_totals, PhaseStat, Span, Stopwatch,
+};
 
-use std::sync::OnceLock;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Locks `m`, recovering the data from a poisoned mutex instead of
+/// panicking: telemetry state is plain counters, so observing the values a
+/// panicking thread left behind is always safe, and instrumentation must
+/// never be the thing that kills a training run.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// The process-wide collector. Feature-gated hot-path hooks (e.g. the
 /// tensor crate's gemm/conv instrumentation) record here so they need no

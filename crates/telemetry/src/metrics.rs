@@ -207,7 +207,7 @@ impl Collector {
 
     /// A handle to the counter `name`, creating it at zero if absent.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut list = self.counters.lock().unwrap();
+        let mut list = crate::lock_unpoisoned(&self.counters);
         if let Some((_, c)) = list.iter().find(|(n, _)| n == name) {
             return c.clone();
         }
@@ -218,7 +218,7 @@ impl Collector {
 
     /// A handle to the gauge `name`, creating it at zero if absent.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut list = self.gauges.lock().unwrap();
+        let mut list = crate::lock_unpoisoned(&self.gauges);
         if let Some((_, g)) = list.iter().find(|(n, _)| n == name) {
             return g.clone();
         }
@@ -229,7 +229,7 @@ impl Collector {
 
     /// A handle to the histogram `name`, creating it empty if absent.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut list = self.histograms.lock().unwrap();
+        let mut list = crate::lock_unpoisoned(&self.histograms);
         if let Some((_, h)) = list.iter().find(|(n, _)| n == name) {
             return h.clone();
         }
@@ -240,10 +240,7 @@ impl Collector {
 
     /// Current counter values, sorted by name.
     pub fn counter_values(&self) -> Vec<(String, u64)> {
-        let mut v: Vec<_> = self
-            .counters
-            .lock()
-            .unwrap()
+        let mut v: Vec<_> = crate::lock_unpoisoned(&self.counters)
             .iter()
             .map(|(n, c)| (n.clone(), c.get()))
             .collect();
@@ -253,10 +250,7 @@ impl Collector {
 
     /// Current gauge values, sorted by name.
     pub fn gauge_values(&self) -> Vec<(String, f64)> {
-        let mut v: Vec<_> = self
-            .gauges
-            .lock()
-            .unwrap()
+        let mut v: Vec<_> = crate::lock_unpoisoned(&self.gauges)
             .iter()
             .map(|(n, g)| (n.clone(), g.get()))
             .collect();
@@ -266,10 +260,7 @@ impl Collector {
 
     /// Handles to every registered histogram, sorted by name.
     pub fn histogram_handles(&self) -> Vec<(String, Arc<Histogram>)> {
-        let mut v: Vec<_> = self
-            .histograms
-            .lock()
-            .unwrap()
+        let mut v: Vec<_> = crate::lock_unpoisoned(&self.histograms)
             .iter()
             .map(|(n, h)| (n.clone(), h.clone()))
             .collect();

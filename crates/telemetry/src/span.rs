@@ -106,16 +106,57 @@ impl Drop for Span {
         let Some(start) = self.start else { return };
         let elapsed = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
-        let mut reg = registry().lock().unwrap();
+        let mut reg = crate::lock_unpoisoned(registry());
         let stat = reg.entry(self.name).or_default();
         stat.total_ns += elapsed;
         stat.count += 1;
     }
 }
 
+/// A manual timer over the same monotonic clock the spans use, for code
+/// that needs an elapsed-nanoseconds value rather than a named phase total
+/// (e.g. the trainer's per-step latency histogram).
+///
+/// Clock access is deliberately confined to this crate: the training stack
+/// is deterministic by contract (`dropback-lint`'s `wall-clock` rule), so
+/// anything that reads time must go through telemetry, where it can only
+/// ever *observe* a run — never steer it.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// Starts a running stopwatch.
+    pub fn started() -> Self {
+        Self {
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// Starts a stopwatch only when `on`; otherwise every later read is
+    /// `None` and the clock is never touched.
+    pub fn started_if(on: bool) -> Self {
+        Self {
+            start: on.then(Instant::now),
+        }
+    }
+
+    /// Whether the stopwatch is running.
+    pub fn is_running(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Nanoseconds since start, or `None` for a stopwatch that never ran.
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.start
+            .map(|s| s.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    }
+}
+
 /// Snapshot of all phase totals, sorted by name.
 pub fn phase_totals() -> Vec<(&'static str, PhaseStat)> {
-    let reg = registry().lock().unwrap();
+    let reg = crate::lock_unpoisoned(registry());
     let mut v: Vec<_> = reg.iter().map(|(&n, &s)| (n, s)).collect();
     v.sort_by_key(|&(n, _)| n);
     v
@@ -125,7 +166,7 @@ pub fn phase_totals() -> Vec<(&'static str, PhaseStat)> {
 /// accumulate from zero — callers use this for per-interval (e.g.
 /// per-epoch) phase breakdowns.
 pub fn take_phase_totals() -> Vec<(&'static str, PhaseStat)> {
-    let mut reg = registry().lock().unwrap();
+    let mut reg = crate::lock_unpoisoned(registry());
     let mut v: Vec<_> = reg.drain().collect();
     v.sort_by_key(|&(n, _)| n);
     v
@@ -196,6 +237,18 @@ mod tests {
         assert_eq!(get("inner").count, 2);
         // The inner spans ran inside the outer one.
         assert!(get("outer").total_ns >= get("inner").total_ns / 2);
+    }
+
+    #[test]
+    fn stopwatch_measures_only_when_started() {
+        let off = Stopwatch::started_if(false);
+        assert!(!off.is_running());
+        assert_eq!(off.elapsed_ns(), None);
+        let on = Stopwatch::started();
+        assert!(on.is_running());
+        std::hint::black_box((0..100).sum::<u64>());
+        let ns = on.elapsed_ns().unwrap();
+        assert!(on.elapsed_ns().unwrap() >= ns, "monotone");
     }
 
     #[test]

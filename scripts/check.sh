@@ -11,6 +11,13 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== dropback-lint"
+if ! cargo run -q -p dropback-lint -- --check; then
+    echo "dropback-lint found violations; run \`cargo run -p dropback-lint -- --check\` for details" >&2
+    echo "(rules and rationale: docs/LINTS.md; suppressions: lint.allow)" >&2
+    exit 1
+fi
+
 echo "== cargo test"
 cargo test --workspace -q
 
