@@ -15,10 +15,49 @@
 //! progress; `--telemetry PATH` additionally streams every event as JSONL.
 
 use dropback::prelude::*;
-use dropback::telemetry::take_phase_totals;
 use dropback::Checkpoint;
 use std::collections::HashMap;
 use std::process::ExitCode;
+
+/// Exit code for a resume request that cannot be honoured (snapshot from
+/// a different seed / model / optimizer): the run configuration is wrong,
+/// not the file system, so retrying will not help.
+const EXIT_INCOMPATIBLE: u8 = 2;
+
+/// A CLI failure: the message for stderr plus the process exit code.
+struct CliError {
+    message: String,
+    code: u8,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        Self { message, code: 1 }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        Self::from(message.to_string())
+    }
+}
+
+/// Maps a resume failure to its exit code: incompatibility (wrong seed,
+/// model, optimizer, shuffle seed) is a configuration error → exit 2
+/// with the checkpoint's actionable message; anything else is a plain
+/// failure → exit 1.
+fn resume_error(e: CheckpointError) -> CliError {
+    let code = match &e {
+        CheckpointError::SeedMismatch { .. } | CheckpointError::Incompatible(_) => {
+            EXIT_INCOMPATIBLE
+        }
+        _ => 1,
+    };
+    CliError {
+        message: format!("cannot resume: {e}"),
+        code,
+    }
+}
 
 /// Flags each subcommand accepts; anything else is an error, not a silent
 /// fallback to defaults.
@@ -32,6 +71,9 @@ fn known_flags(cmd: &str) -> &'static [&'static str] {
             "budget",
             "freeze",
             "checkpoint",
+            "checkpoint-dir",
+            "checkpoint-every",
+            "resume",
             "data",
             "train",
             "test",
@@ -171,7 +213,63 @@ fn load_data(
     })
 }
 
-fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+/// Builds the optional [`CheckpointStore`] from `--checkpoint-dir`,
+/// `--checkpoint-every`, and `--resume`. `--resume` without a directory
+/// is an error — there is nothing to resume from.
+fn checkpoint_store_from_flags(
+    flags: &HashMap<String, String>,
+) -> Result<Option<CheckpointStore>, CliError> {
+    let resume = flags.contains_key("resume");
+    let Some(dir) = flags.get("checkpoint-dir") else {
+        if resume {
+            return Err("--resume requires --checkpoint-dir DIR".into());
+        }
+        return Ok(None);
+    };
+    if dir.is_empty() {
+        return Err("--checkpoint-dir requires a directory path".into());
+    }
+    let every = get(flags, "checkpoint-every", 1usize)?;
+    if every == 0 {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
+    let store = CheckpointStore::open(dir)
+        .map_err(|e| CliError::from(format!("cannot open checkpoint dir {dir}: {e}")))?
+        .every(every)
+        .resume(resume);
+    Ok(Some(store))
+}
+
+/// Runs the trainer, through the crash-safe path when a snapshot store is
+/// configured. Corrupt snapshots skipped during resume are surfaced as
+/// stderr warnings; an incompatible snapshot aborts with exit code 2.
+fn run_with_store(
+    trainer: &Trainer,
+    net: &mut Network,
+    opt: &mut dyn Optimizer,
+    data: (&Dataset, &Dataset),
+    store: Option<&mut CheckpointStore>,
+    telemetry: &mut Telemetry,
+) -> Result<TrainReport, CliError> {
+    let (train, test) = data;
+    match store {
+        Some(st) => {
+            let report = trainer
+                .run_resumable(net, opt, train, test, st, telemetry)
+                .map_err(resume_error)?;
+            for (path, err) in st.take_skipped() {
+                eprintln!(
+                    "warning: skipped corrupt snapshot {}: {err}",
+                    path.display()
+                );
+            }
+            Ok(report)
+        }
+        None => Ok(trainer.run_mut(net, opt, train, test, &mut NoProbe, telemetry)),
+    }
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let seed: u64 = get(flags, "seed", 42)?;
     let model_name = flags
         .get("model")
@@ -183,7 +281,7 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     let budget = get(flags, "budget", 0usize)?;
     let quiet = flags.contains_key("quiet");
     let mut telemetry = telemetry_from_flags(flags)?;
-    let net = build_model(&model_name, seed)?;
+    let mut net = build_model(&model_name, seed)?;
     let params = net.num_params();
     let (train, test) = load_data(flags, &model_name, seed)?;
     if !quiet {
@@ -196,62 +294,30 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         factor: 0.5,
         every: (epochs / 5).max(1),
     });
+    let mut store = checkpoint_store_from_flags(flags)?;
+    let trainer = Trainer::new(cfg);
     // Use the sparse rule when a budget is set so a checkpoint can be cut.
     if budget > 0 && budget < params {
         let freeze = get(flags, "freeze", epochs / 2)?;
         let mut opt = SparseDropBack::new(budget).freeze_after(freeze.max(1));
-        // Manual loop: the checkpoint needs the optimizer afterwards.
-        let mut net = net;
-        let batcher = Batcher::new(batch, cfg.shuffle_seed);
-        if telemetry.is_active() {
-            let _ = take_phase_totals(); // fresh phase sums for epoch 0
-        }
-        let mut last_val = 0.0f32;
-        for epoch in 0..epochs {
-            let lr_now = cfg.schedule.at(epoch);
-            let mut loss_sum = 0.0f32;
-            let mut acc_sum = 0.0f32;
-            let mut n_batches = 0usize;
-            for (x, labels) in batcher.epoch(&train, epoch as u64) {
-                let (loss, acc) = net.loss_backward(&x, &labels);
-                {
-                    let _span = dropback::telemetry::Span::enter("optimizer-step");
-                    opt.step(net.store_mut(), lr_now);
-                }
-                loss_sum += loss;
-                acc_sum += acc;
-                n_batches += 1;
-            }
-            opt.end_epoch(epoch, net.store_mut());
-            let val_acc = net.accuracy(&test, 256);
-            last_val = val_acc;
-            let mut ev = Event::new("epoch")
-                .with("epoch", epoch)
-                .with("train_loss", loss_sum / n_batches.max(1) as f32)
-                .with("train_acc", acc_sum / n_batches.max(1) as f32)
-                .with("val_acc", val_acc)
-                .with("lr", lr_now);
-            for (name, value) in opt.metrics() {
-                ev.push(name, value);
-            }
-            for (phase, stat) in take_phase_totals() {
-                ev.push(&format!("{}_ns", phase.replace('-', "_")), stat.total_ns);
-            }
-            telemetry.emit(ev);
-        }
-        let mut run_ev = Event::new("run");
+        let report = run_with_store(
+            &trainer,
+            &mut net,
+            &mut opt,
+            (&train, &test),
+            store.as_mut(),
+            &mut telemetry,
+        )?;
         let result = Event::new("result")
             .with("model", model_name.as_str())
             .with("optimizer", "dropback-sparse")
             .with("params", params)
             .with("stored_weights", opt.storage_entries())
             .with("compression", params as f32 / budget as f32)
-            .with("val_acc", last_val);
-        for (k, v) in result.fields() {
-            run_ev.push(k, v.clone());
-        }
-        telemetry.emit(run_ev);
-        telemetry.flush();
+            .with(
+                "val_acc",
+                report.history.last().map(|e| e.val_acc).unwrap_or(0.0),
+            );
         println!("{}", result.to_json().render());
         if let Some(path) = flags.get("checkpoint") {
             let ckpt = Checkpoint::from_sparse(&net, &opt);
@@ -260,26 +326,27 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
             eprintln!("wrote {path} ({} bytes)", ckpt.size_bytes());
         }
     } else {
-        let report = Trainer::new(cfg).run_telemetry(
-            net,
-            Sgd::new(),
-            &train,
-            &test,
-            &mut NoProbe,
+        if flags.contains_key("checkpoint") {
+            return Err("--checkpoint requires a --budget below the model size".into());
+        }
+        let mut opt = Sgd::new();
+        let report = run_with_store(
+            &trainer,
+            &mut net,
+            &mut opt,
+            (&train, &test),
+            store.as_mut(),
             &mut telemetry,
-        );
+        )?;
         if !quiet {
             eprint!("{}", report.to_table());
         }
         println!("{}", report.to_json().render());
-        if flags.contains_key("checkpoint") {
-            return Err("--checkpoint requires a --budget below the model size".into());
-        }
     }
     Ok(())
 }
 
-fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let seed: u64 = get(flags, "seed", 42)?;
     let model_name = flags
         .get("model")
@@ -291,7 +358,7 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
     let ckpt = Checkpoint::read_from(file).map_err(|e| e.to_string())?;
     let mut net = build_model(&model_name, ckpt.seed())?;
-    ckpt.apply(&mut net);
+    ckpt.apply(&mut net).map_err(|e| e.to_string())?;
     let (_, test) = load_data(flags, &model_name, seed)?;
     let val_acc = net.accuracy(&test, 256);
     eprintln!(
@@ -361,11 +428,16 @@ fn cmd_energy(flags: &HashMap<String, String>) -> Result<(), String> {
 fn usage() -> String {
     "usage: dropback-cli <train|eval|info|energy> [--flag value ...]\n\
      train : --model M --epochs N --batch B --lr X --budget K --freeze E \
-             --checkpoint PATH --data synthetic|DIR --train N --test N --seed S \
+             --checkpoint PATH --checkpoint-dir DIR --checkpoint-every N --resume \
+             --data synthetic|DIR --train N --test N --seed S \
              --telemetry PATH.jsonl --quiet\n\
      eval  : --model M --checkpoint PATH [--data ...]\n\
      info  : --model M\n\
      energy: --params N --budget K [--sram BYTES]\n\
+     crash safety: --checkpoint-dir snapshots full training state each \
+     --checkpoint-every epochs (atomic writes, CRC-validated); --resume \
+     continues bit-identically from the newest readable snapshot (exit 2 \
+     if the snapshot is from a different seed/model/optimizer)\n\
      stdout carries one JSON result line (train/eval); progress goes to stderr"
         .to_string()
 }
@@ -376,22 +448,25 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let result = if known_flags(cmd).is_empty() {
-        Err(usage())
+    let result: Result<(), CliError> = if known_flags(cmd).is_empty() {
+        Err(usage().into())
     } else {
-        parse_flags(cmd, &args[1..]).and_then(|flags| match cmd.as_str() {
-            "train" => cmd_train(&flags),
-            "eval" => cmd_eval(&flags),
-            "info" => cmd_info(&flags),
-            "energy" => cmd_energy(&flags),
-            _ => unreachable!("known_flags gates the command set"),
-        })
+        match parse_flags(cmd, &args[1..]) {
+            Err(e) => Err(e.into()),
+            Ok(flags) => match cmd.as_str() {
+                "train" => cmd_train(&flags),
+                "eval" => cmd_eval(&flags),
+                "info" => cmd_info(&flags).map_err(CliError::from),
+                "energy" => cmd_energy(&flags).map_err(CliError::from),
+                _ => unreachable!("known_flags gates the command set"),
+            },
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }

@@ -1,0 +1,211 @@
+//! Deterministic I/O fault injection for checkpoint robustness tests.
+//!
+//! Production training stacks *prove* their recovery paths with injected
+//! failures rather than hoping for them. [`FaultInjector`] wraps any
+//! reader/writer and misbehaves on command: it can fail a write once a
+//! byte budget is exhausted (simulating a crash or full disk mid-write)
+//! or flip a byte on read (simulating bit-rot). Faults are fully
+//! deterministic — offsets come from the caller or from a seeded
+//! [`Xorshift64`] stream, never from wall-clock or OS entropy — so every
+//! failing test is replayable from its seed.
+
+use dropback_prng::Xorshift64;
+use std::io::{self, Read, Write};
+
+/// What the injector should do to the wrapped stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Pass everything through untouched.
+    None,
+    /// Accept exactly `n` bytes of writes, then fail every subsequent
+    /// write with [`io::ErrorKind::Other`] — a torn write: the prefix is
+    /// on disk, the rest never arrives.
+    FailWriteAfter(u64),
+    /// XOR the byte at stream `offset` with `xor` while reading
+    /// (`xor != 0`, or the fault would be a no-op).
+    FlipReadByte {
+        /// Byte offset into the stream, 0-based.
+        offset: u64,
+        /// Mask XOR-ed into that byte.
+        xor: u8,
+    },
+}
+
+impl FaultMode {
+    /// Derives a deterministic read-flip fault for a stream of `len`
+    /// bytes from `seed`: a pseudorandom offset and a nonzero bit mask.
+    /// Returns [`FaultMode::None`] for empty streams.
+    pub fn seeded_flip(seed: u64, len: u64) -> FaultMode {
+        if len == 0 {
+            return FaultMode::None;
+        }
+        let mut rng = Xorshift64::new(seed ^ 0xFA57_1E57);
+        let offset = rng.next_u64() % len;
+        let xor = 1u8 << (rng.next_u64() % 8) as u8;
+        FaultMode::FlipReadByte { offset, xor }
+    }
+
+    /// Derives a deterministic torn-write fault from `seed`: the write
+    /// budget is a pseudorandom prefix of a `len`-byte stream (strictly
+    /// less than `len`, so the fault always fires for non-empty streams).
+    pub fn seeded_tear(seed: u64, len: u64) -> FaultMode {
+        if len == 0 {
+            return FaultMode::FailWriteAfter(0);
+        }
+        let mut rng = Xorshift64::new(seed ^ 0x7EA2_0FF5);
+        FaultMode::FailWriteAfter(rng.next_u64() % len)
+    }
+}
+
+/// An I/O wrapper that injects one deterministic fault; see [`FaultMode`].
+#[derive(Debug)]
+pub struct FaultInjector<T> {
+    inner: T,
+    mode: FaultMode,
+    /// Bytes successfully passed through so far (written or read).
+    pos: u64,
+}
+
+impl<T> FaultInjector<T> {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: T, mode: FaultMode) -> Self {
+        Self {
+            inner,
+            mode,
+            pos: 0,
+        }
+    }
+
+    /// Bytes passed through so far.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Unwraps the inner reader/writer.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Write> Write for FaultInjector<T> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let FaultMode::FailWriteAfter(budget) = self.mode {
+            let remaining = budget.saturating_sub(self.pos);
+            if remaining == 0 {
+                return Err(io::Error::other(
+                    "injected write fault: byte budget exhausted (simulated crash)",
+                ));
+            }
+            // Write at most the remaining budget so the failure lands at a
+            // deterministic byte offset regardless of caller chunking.
+            let take = (remaining.min(buf.len() as u64)) as usize;
+            let n = self.inner.write(&buf[..take])?;
+            self.pos += n as u64;
+            return Ok(n);
+        }
+        let n = self.inner.write(buf)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<T: Read> Read for FaultInjector<T> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        if let FaultMode::FlipReadByte { offset, xor } = self.mode {
+            // Does the faulty offset land inside this chunk?
+            if offset >= self.pos && offset < self.pos + n as u64 {
+                buf[(offset - self.pos) as usize] ^= xor;
+            }
+        }
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_mode_is_transparent() {
+        let mut w = FaultInjector::new(Vec::new(), FaultMode::None);
+        w.write_all(b"hello").unwrap();
+        assert_eq!(w.into_inner(), b"hello");
+        let mut r = FaultInjector::new(&b"world"[..], FaultMode::None);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"world");
+    }
+
+    #[test]
+    fn write_fails_exactly_at_the_byte_budget() {
+        let mut w = FaultInjector::new(Vec::new(), FaultMode::FailWriteAfter(7));
+        let err = w.write_all(b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert_eq!(w.position(), 7);
+        assert_eq!(w.into_inner(), b"0123456");
+    }
+
+    #[test]
+    fn zero_budget_fails_the_first_write() {
+        let mut w = FaultInjector::new(Vec::new(), FaultMode::FailWriteAfter(0));
+        assert!(w.write_all(b"x").is_err());
+        assert!(w.into_inner().is_empty());
+    }
+
+    #[test]
+    fn read_flip_corrupts_exactly_one_byte_across_chunkings() {
+        let data: Vec<u8> = (0..64).collect();
+        for chunk in [1usize, 3, 64] {
+            let mut r = FaultInjector::new(
+                &data[..],
+                FaultMode::FlipReadByte {
+                    offset: 17,
+                    xor: 0x80,
+                },
+            );
+            let mut out = Vec::new();
+            let mut buf = vec![0u8; chunk];
+            loop {
+                let n = r.read(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                out.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(out.len(), 64);
+            for (i, (&got, &want)) in out.iter().zip(&data).enumerate() {
+                if i == 17 {
+                    assert_eq!(got, want ^ 0x80, "chunk {chunk}");
+                } else {
+                    assert_eq!(got, want, "chunk {chunk} byte {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_faults_are_deterministic_and_in_range() {
+        for seed in 0..50u64 {
+            let a = FaultMode::seeded_flip(seed, 100);
+            assert_eq!(a, FaultMode::seeded_flip(seed, 100), "seed {seed}");
+            match a {
+                FaultMode::FlipReadByte { offset, xor } => {
+                    assert!(offset < 100);
+                    assert_ne!(xor, 0);
+                }
+                other => panic!("unexpected mode {other:?}"),
+            }
+            match FaultMode::seeded_tear(seed, 100) {
+                FaultMode::FailWriteAfter(n) => assert!(n < 100),
+                other => panic!("unexpected mode {other:?}"),
+            }
+        }
+        assert_eq!(FaultMode::seeded_flip(1, 0), FaultMode::None);
+    }
+}

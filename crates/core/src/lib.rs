@@ -56,21 +56,33 @@ pub use dropback_telemetry as telemetry;
 pub use dropback_tensor as tensor;
 
 mod checkpoint;
+mod ckpt_store;
 mod config;
+mod crc;
+mod fault;
 mod report;
 mod sparse_infer;
+mod train_state;
 mod trainer;
 
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use ckpt_store::CheckpointStore;
 pub use config::TrainConfig;
+pub use crc::crc32;
+pub use fault::{FaultInjector, FaultMode};
 pub use report::{EpochStats, TrainReport};
 pub use sparse_infer::{stream_mlp_forward, StreamError, StreamStats, StreamingLinear};
+pub use train_state::{TrainProgress, TrainState};
 pub use trainer::{NoProbe, StepProbe, Trainer};
 
 /// Convenient glob-import surface for examples and experiment binaries.
 pub mod prelude {
+    pub use crate::checkpoint::{Checkpoint, CheckpointError};
+    pub use crate::ckpt_store::CheckpointStore;
     pub use crate::config::TrainConfig;
+    pub use crate::fault::{FaultInjector, FaultMode};
     pub use crate::report::{EpochStats, TrainReport};
+    pub use crate::train_state::{TrainProgress, TrainState};
     pub use crate::trainer::{NoProbe, StepProbe, Trainer};
     pub use dropback_data::{synthetic_cifar, synthetic_mnist, Batcher, Dataset};
     pub use dropback_energy::{EnergyModel, TrainingTraffic};

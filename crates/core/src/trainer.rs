@@ -1,7 +1,10 @@
 //! The epoch-loop training harness.
 
+use crate::checkpoint::CheckpointError;
+use crate::ckpt_store::CheckpointStore;
 use crate::config::TrainConfig;
 use crate::report::{EpochStats, TrainReport};
+use crate::train_state::{TrainProgress, TrainState};
 use dropback_data::{Batcher, Dataset};
 use dropback_nn::{Network, ParamStore};
 use dropback_optim::Optimizer;
@@ -24,6 +27,15 @@ pub struct NoProbe;
 
 impl StepProbe for NoProbe {
     fn after_step(&mut self, _iteration: u64, _ps: &ParamStore) {}
+}
+
+/// Everything one invocation of the epoch loop needs beyond the model,
+/// optimizer, and data: the observation hook, the progress to resume
+/// from, and (optionally) where to write snapshots.
+struct LoopPlan<'a> {
+    probe: &'a mut dyn StepProbe,
+    carry: TrainProgress,
+    store: Option<&'a mut CheckpointStore>,
 }
 
 /// Drives a [`Network`] + [`Optimizer`] pair over a dataset according to a
@@ -92,7 +104,103 @@ impl Trainer {
         probe: &mut dyn StepProbe,
         telemetry: &mut Telemetry,
     ) -> TrainReport {
+        self.run_mut(&mut net, &mut optimizer, train, val, probe, telemetry)
+    }
+
+    /// Like [`Trainer::run_telemetry`], but borrows the network and
+    /// optimizer instead of consuming them, so callers can inspect both
+    /// after training (e.g. to build a [`crate::Checkpoint`] from the
+    /// optimizer's tracked set).
+    pub fn run_mut(
+        &self,
+        net: &mut Network,
+        optimizer: &mut dyn Optimizer,
+        train: &Dataset,
+        val: &Dataset,
+        probe: &mut dyn StepProbe,
+        telemetry: &mut Telemetry,
+    ) -> TrainReport {
+        self.run_loop(
+            net,
+            optimizer,
+            train,
+            val,
+            telemetry,
+            LoopPlan {
+                probe,
+                carry: TrainProgress::fresh(),
+                store: None,
+            },
+        )
+    }
+
+    /// Crash-safe training: snapshots the full training state into
+    /// `store` at the cadence the store was configured with, and — when
+    /// the store has resume enabled and holds a readable snapshot —
+    /// restores it and continues from the epoch after it was taken.
+    ///
+    /// The headline guarantee (pinned by `tests/resume.rs`): training
+    /// `n` epochs straight and training `m < n` epochs, "crashing", and
+    /// resuming to `n` produce **bit-identical** [`TrainReport`]s and
+    /// parameter stores. This holds for models whose mutable state lives
+    /// entirely in the parameter store; see `docs/CHECKPOINTS.md`.
+    ///
+    /// Snapshot *write* failures mid-run are non-fatal: the run
+    /// continues and the failure is recorded as `checkpoint.write_failed`
+    /// telemetry. Corrupt snapshots on *load* are skipped (newest-first
+    /// fallback inside [`CheckpointStore::load_latest`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the snapshot directory is unreadable, or if the latest
+    /// readable snapshot is incompatible with this run (different init
+    /// seed, shuffle seed, model, or optimizer configuration).
+    pub fn run_resumable(
+        &self,
+        net: &mut Network,
+        optimizer: &mut dyn Optimizer,
+        train: &Dataset,
+        val: &Dataset,
+        store: &mut CheckpointStore,
+        telemetry: &mut Telemetry,
+    ) -> Result<TrainReport, CheckpointError> {
+        let carry = if store.resume_enabled() {
+            match store.load_latest(telemetry)? {
+                Some(state) => state.restore_into(net, optimizer, self.config.shuffle_seed)?,
+                None => TrainProgress::fresh(),
+            }
+        } else {
+            TrainProgress::fresh()
+        };
+        Ok(self.run_loop(
+            net,
+            optimizer,
+            train,
+            val,
+            telemetry,
+            LoopPlan {
+                probe: &mut NoProbe,
+                carry,
+                store: Some(store),
+            },
+        ))
+    }
+
+    fn run_loop(
+        &self,
+        net: &mut Network,
+        optimizer: &mut dyn Optimizer,
+        train: &Dataset,
+        val: &Dataset,
+        telemetry: &mut Telemetry,
+        plan: LoopPlan<'_>,
+    ) -> TrainReport {
         let cfg = &self.config;
+        let LoopPlan {
+            probe,
+            carry,
+            mut store,
+        } = plan;
         let active = telemetry.is_active();
         let (step_counter, step_hist, val_gauge) = if active {
             let c = telemetry.collector();
@@ -110,12 +218,26 @@ impl Trainer {
             let _ = take_phase_totals();
         }
         let batcher = Batcher::new(cfg.batch_size, cfg.shuffle_seed);
-        let mut history = Vec::with_capacity(cfg.epochs);
-        let mut best_epoch = 0usize;
-        let mut best_val = f32::NEG_INFINITY;
-        let mut since_best = 0usize;
-        let mut iteration = 0u64;
-        for epoch in 0..cfg.epochs {
+        let TrainProgress {
+            next_epoch: start_epoch,
+            mut iteration,
+            mut best_epoch,
+            mut since_best,
+            mut best_val,
+            mut history,
+        } = carry;
+        history.reserve(cfg.epochs.saturating_sub(history.len()));
+        for epoch in start_epoch..cfg.epochs {
+            // A resumed snapshot may carry already-exhausted patience (it
+            // was taken at the exact epoch the straight run stopped on);
+            // running further epochs would diverge from that run.
+            if !history.is_empty() {
+                if let Some(p) = cfg.patience {
+                    if since_best >= p {
+                        break;
+                    }
+                }
+            }
             let lr = cfg.schedule.at(epoch);
             let kl_scale = cfg.kl.map(|a| a.at(epoch)).unwrap_or(0.0);
             let mut loss_sum = 0.0f64;
@@ -185,6 +307,7 @@ impl Trainer {
                 telemetry.emit(ev);
             }
             history.push(stats);
+            let mut stop = false;
             if val_acc > best_val {
                 best_val = val_acc;
                 best_epoch = epoch;
@@ -193,9 +316,28 @@ impl Trainer {
                 since_best += 1;
                 if let Some(p) = cfg.patience {
                     if since_best >= p {
-                        break;
+                        stop = true;
                     }
                 }
+            }
+            if let Some(st) = store.as_deref_mut() {
+                if st.due(epoch, cfg.epochs) || stop {
+                    let progress = TrainProgress {
+                        next_epoch: epoch + 1,
+                        iteration,
+                        best_epoch,
+                        since_best,
+                        best_val,
+                        history: history.clone(),
+                    };
+                    let snap = TrainState::capture(net, &*optimizer, cfg.shuffle_seed, &progress);
+                    // A failed snapshot write must not kill the run; the
+                    // store records it as `checkpoint.write_failed`.
+                    let _ = st.save(&snap, telemetry);
+                }
+            }
+            if stop {
+                break;
             }
         }
         let stored = optimizer.stored_weights(net.store());

@@ -70,8 +70,12 @@ pub fn all_rules() -> &'static [Rule] {
 const DETERMINISM_PATHS: &[&str] = &[
     "crates/optim/src/",
     "crates/core/src/checkpoint.rs",
+    "crates/core/src/ckpt_store.rs",
+    "crates/core/src/crc.rs",
+    "crates/core/src/fault.rs",
     "crates/core/src/report.rs",
     "crates/core/src/sparse_infer.rs",
+    "crates/core/src/train_state.rs",
     "crates/telemetry/src/json.rs",
     "crates/telemetry/src/snapshot.rs",
 ];

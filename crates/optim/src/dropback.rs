@@ -1,7 +1,8 @@
 //! The DropBack training rule (Algorithm 1 of the paper).
 
+use crate::state::encode_opt_epoch;
 use crate::topk::top_k_mask;
-use crate::Optimizer;
+use crate::{OptState, Optimizer, StateError, StateField};
 use dropback_nn::ParamStore;
 use dropback_telemetry::Span;
 
@@ -239,6 +240,50 @@ impl Optimizer for DropBack {
             ("frozen", if self.frozen { 1.0 } else { 0.0 }),
         ]
     }
+
+    fn snapshot_state(&self) -> OptState {
+        OptState::new(self.name())
+            // Configuration, captured so a restore can refuse to resume a
+            // run trained under different settings.
+            .with("k", StateField::U64(self.k as u64))
+            .with(
+                "freeze_after",
+                StateField::U64(encode_opt_epoch(self.freeze_after)),
+            )
+            .with(
+                "zero_untracked",
+                StateField::U64(u64::from(self.zero_untracked)),
+            )
+            // Mutable state: everything the next step/end_epoch reads.
+            // `scores` is excluded on purpose — it is fully overwritten
+            // before every use, so it carries no cross-step information.
+            .with("frozen", StateField::U64(u64::from(self.frozen)))
+            .with("steps", StateField::U64(self.steps))
+            .with("last_swaps", StateField::U64(self.last_swaps as u64))
+            .with("epoch_swaps", StateField::U64(self.epoch_swaps as u64))
+            .with(
+                "last_epoch_churn",
+                StateField::U64(self.last_epoch_churn as u64),
+            )
+            .with("mask", StateField::Bools(self.mask.clone()))
+    }
+
+    fn restore_state(&mut self, state: &OptState) -> Result<(), StateError> {
+        state.expect_name(self.name())?;
+        state.expect_u64("k", self.k as u64)?;
+        state.expect_u64("freeze_after", encode_opt_epoch(self.freeze_after))?;
+        state.expect_u64("zero_untracked", u64::from(self.zero_untracked))?;
+        self.frozen = state.u64("frozen")? != 0;
+        self.steps = state.u64("steps")?;
+        self.last_swaps = state.u64("last_swaps")? as usize;
+        self.epoch_swaps = state.u64("epoch_swaps")? as usize;
+        self.last_epoch_churn = state.u64("last_epoch_churn")? as usize;
+        self.mask = state.bools("mask")?.to_vec();
+        // Keep the scratch buffer in lockstep with the mask so
+        // `ensure_state` does not wipe the restored mask on the next step.
+        self.scores = vec![0.0; self.mask.len()];
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -403,6 +448,62 @@ mod tests {
         assert_eq!(ps.params()[2], 0.0);
         assert_ne!(ps.params()[1], 0.0);
         assert_eq!(db.name(), "dropback-zeroed");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        // Two optimizers stepped through the same gradient stream: one
+        // straight through, one snapshot/restored midway into a fresh
+        // instance. Their masks and parameter trajectories must agree
+        // bit-for-bit afterwards.
+        let grads = |t: usize| -> Vec<f32> { (0..6).map(|i| ((i + t) % 5) as f32 - 1.5).collect() };
+        let mut ps_a = store_with_grads(6, &grads(0));
+        let mut ps_b = ps_a.clone();
+        let mut a = DropBack::new(2).freeze_after(4);
+        let mut b = DropBack::new(2).freeze_after(4);
+        for t in 0..3 {
+            regrad(&mut ps_a, &grads(t));
+            a.step(&mut ps_a, 0.1);
+            regrad(&mut ps_b, &grads(t));
+            b.step(&mut ps_b, 0.1);
+        }
+        a.end_epoch(0, &mut ps_a);
+        b.end_epoch(0, &mut ps_b);
+        // Kill b; bring up a fresh instance from its snapshot.
+        let snap = b.snapshot_state();
+        let mut b2 = DropBack::new(2).freeze_after(4);
+        b2.restore_state(&snap).unwrap();
+        for t in 3..8 {
+            regrad(&mut ps_a, &grads(t));
+            a.step(&mut ps_a, 0.1);
+            regrad(&mut ps_b, &grads(t));
+            b2.step(&mut ps_b, 0.1);
+        }
+        assert_eq!(a.mask(), b2.mask());
+        assert_eq!(ps_a.params(), ps_b.params());
+        assert_eq!(a.last_swaps(), b2.last_swaps());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config() {
+        let snap = DropBack::new(2).snapshot_state();
+        assert!(matches!(
+            DropBack::new(3).restore_state(&snap),
+            Err(StateError::ConfigMismatch { field: "k", .. })
+        ));
+        assert!(matches!(
+            DropBack::new(2).freeze_after(1).restore_state(&snap),
+            Err(StateError::ConfigMismatch {
+                field: "freeze_after",
+                ..
+            })
+        ));
+        assert!(matches!(
+            DropBack::new(2)
+                .with_zeroed_untracked()
+                .restore_state(&snap),
+            Err(StateError::NameMismatch { .. })
+        ));
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod schedule;
 mod sgd;
 mod slim;
 mod sparse;
+mod state;
 mod topk;
 mod vd;
 
@@ -45,6 +46,7 @@ pub use schedule::LrSchedule;
 pub use sgd::Sgd;
 pub use slim::NetworkSlimming;
 pub use sparse::SparseDropBack;
+pub use state::{OptState, StateError, StateField};
 pub use topk::top_k_mask;
 pub use vd::KlAnneal;
 
@@ -75,5 +77,27 @@ pub trait Optimizer {
     /// `frozen`.
     fn metrics(&self) -> Vec<(&'static str, f64)> {
         Vec::new()
+    }
+
+    /// Captures the optimizer's mutable state (accumulators, counters,
+    /// tracked sets) for a resumable checkpoint. The default snapshot is
+    /// empty — correct for stateless rules like [`Sgd`]. Stateful rules
+    /// must capture *everything* their next [`Optimizer::step`] reads, or
+    /// a resumed run diverges from an uninterrupted one.
+    fn snapshot_state(&self) -> OptState {
+        OptState::new(self.name())
+    }
+
+    /// Restores state captured by [`Optimizer::snapshot_state`] into a
+    /// freshly-constructed optimizer with identical configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] if the snapshot came from a different
+    /// optimizer, a required field is missing or mis-shaped, or a
+    /// configuration value (budget, freeze epoch, momentum) disagrees with
+    /// the constructed optimizer.
+    fn restore_state(&mut self, state: &OptState) -> Result<(), StateError> {
+        state.expect_name(self.name())
     }
 }

@@ -9,7 +9,7 @@
 //! `repro_ablation_optimizers` binary compares the budget-equalized
 //! accuracy of each rule.
 
-use crate::Optimizer;
+use crate::{OptState, Optimizer, StateError, StateField};
 use dropback_nn::ParamStore;
 
 /// SGD with classical momentum: `v ← µ·v + g; w ← w − lr·v`.
@@ -61,6 +61,22 @@ impl Optimizer for SgdMomentum {
     fn stored_weights(&self, ps: &ParamStore) -> usize {
         // Weights + one velocity word per weight.
         ps.len() * (1 + Self::STATE_PER_WEIGHT)
+    }
+
+    fn snapshot_state(&self) -> OptState {
+        OptState::new(self.name())
+            .with(
+                "momentum_bits",
+                StateField::U64(self.momentum.to_bits() as u64),
+            )
+            .with("velocity", StateField::F32s(self.velocity.clone()))
+    }
+
+    fn restore_state(&mut self, state: &OptState) -> Result<(), StateError> {
+        state.expect_name(self.name())?;
+        state.expect_u64("momentum_bits", self.momentum.to_bits() as u64)?;
+        self.velocity = state.f32s("velocity")?.to_vec();
+        Ok(())
     }
 }
 
@@ -141,6 +157,25 @@ impl Optimizer for Adam {
     fn stored_weights(&self, ps: &ParamStore) -> usize {
         ps.len() * (1 + Self::STATE_PER_WEIGHT)
     }
+
+    fn snapshot_state(&self) -> OptState {
+        OptState::new(self.name())
+            .with("beta1_bits", StateField::U64(self.beta1.to_bits() as u64))
+            .with("beta2_bits", StateField::U64(self.beta2.to_bits() as u64))
+            .with("t", StateField::U64(self.t))
+            .with("m", StateField::F32s(self.m.clone()))
+            .with("v", StateField::F32s(self.v.clone()))
+    }
+
+    fn restore_state(&mut self, state: &OptState) -> Result<(), StateError> {
+        state.expect_name(self.name())?;
+        state.expect_u64("beta1_bits", self.beta1.to_bits() as u64)?;
+        state.expect_u64("beta2_bits", self.beta2.to_bits() as u64)?;
+        self.t = state.u64("t")?;
+        self.m = state.f32s("m")?.to_vec();
+        self.v = state.f32s("v")?.to_vec();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -218,5 +253,50 @@ mod tests {
     #[should_panic(expected = "momentum must be in")]
     fn bad_momentum_panics() {
         SgdMomentum::new(1.0);
+    }
+
+    #[test]
+    fn momentum_state_round_trips_bit_exactly() {
+        let mut ps_a = quadratic_store();
+        let mut ps_b = quadratic_store();
+        let mut a = SgdMomentum::new(0.9);
+        let mut b = SgdMomentum::new(0.9);
+        for _ in 0..5 {
+            grad_step(&mut ps_a, &mut a, 0.05);
+            grad_step(&mut ps_b, &mut b, 0.05);
+        }
+        let mut b2 = SgdMomentum::new(0.9);
+        b2.restore_state(&b.snapshot_state()).unwrap();
+        for _ in 0..5 {
+            grad_step(&mut ps_a, &mut a, 0.05);
+            grad_step(&mut ps_b, &mut b2, 0.05);
+        }
+        assert_eq!(ps_a.params(), ps_b.params());
+        // A different momentum coefficient refuses the snapshot.
+        assert!(SgdMomentum::new(0.8)
+            .restore_state(&a.snapshot_state())
+            .is_err());
+    }
+
+    #[test]
+    fn adam_state_round_trips_bit_exactly() {
+        let mut ps_a = quadratic_store();
+        let mut ps_b = quadratic_store();
+        let mut a = Adam::new();
+        let mut b = Adam::new();
+        for _ in 0..7 {
+            grad_step(&mut ps_a, &mut a, 0.05);
+            grad_step(&mut ps_b, &mut b, 0.05);
+        }
+        let mut b2 = Adam::new();
+        b2.restore_state(&b.snapshot_state()).unwrap();
+        for _ in 0..7 {
+            grad_step(&mut ps_a, &mut a, 0.05);
+            grad_step(&mut ps_b, &mut b2, 0.05);
+        }
+        assert_eq!(ps_a.params(), ps_b.params());
+        assert!(Adam::with_betas(0.5, 0.999)
+            .restore_state(&a.snapshot_state())
+            .is_err());
     }
 }

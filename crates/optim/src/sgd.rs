@@ -1,6 +1,6 @@
 //! Plain stochastic gradient descent.
 
-use crate::Optimizer;
+use crate::{OptState, Optimizer, StateError};
 use dropback_nn::ParamStore;
 
 /// Momentum-free SGD — the paper's baseline training rule ("all other
@@ -26,6 +26,16 @@ impl Optimizer for Sgd {
     fn name(&self) -> &str {
         "sgd"
     }
+
+    // SGD is stateless: the snapshot carries only the name tag, and a
+    // restore merely validates that the snapshot really is an SGD one.
+    fn snapshot_state(&self) -> OptState {
+        OptState::new(self.name())
+    }
+
+    fn restore_state(&mut self, state: &OptState) -> Result<(), StateError> {
+        state.expect_name(self.name())
+    }
 }
 
 #[cfg(test)]
@@ -50,5 +60,17 @@ mod tests {
         let mut ps = ParamStore::new(1);
         ps.register("w", 10, InitScheme::Constant(0.0));
         assert_eq!(Sgd::new().stored_weights(&ps), 10);
+    }
+
+    #[test]
+    fn state_round_trip_is_empty_and_validated() {
+        let sgd = Sgd::new();
+        let state = sgd.snapshot_state();
+        assert_eq!(state.name(), "sgd");
+        assert!(state.fields().is_empty());
+        assert!(Sgd::new().restore_state(&state).is_ok());
+        // A foreign snapshot is rejected, not silently ignored.
+        let foreign = crate::OptState::new("adam");
+        assert!(Sgd::new().restore_state(&foreign).is_err());
     }
 }

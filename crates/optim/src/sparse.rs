@@ -16,8 +16,9 @@
 //! runs and the `regen(seed, index)` replay contract stays bit-exact. The
 //! `dropback-lint` `hash-iteration` rule enforces this mechanically.
 
+use crate::state::encode_opt_epoch;
 use crate::topk::top_k_mask;
-use crate::Optimizer;
+use crate::{OptState, Optimizer, StateError, StateField};
 use dropback_nn::ParamStore;
 use dropback_telemetry::Span;
 use std::collections::BTreeMap;
@@ -172,6 +173,43 @@ impl Optimizer for SparseDropBack {
             ("frozen", if self.frozen { 1.0 } else { 0.0 }),
         ]
     }
+
+    fn snapshot_state(&self) -> OptState {
+        // BTreeMap iteration is index-ascending, so the pairs field is
+        // canonical without sorting — the same property the checkpoint
+        // serializer relies on.
+        let tracked: Vec<(u64, f32)> = self.tracked.iter().map(|(&i, &w)| (i as u64, w)).collect();
+        OptState::new(self.name())
+            .with("k", StateField::U64(self.k as u64))
+            .with(
+                "freeze_after",
+                StateField::U64(encode_opt_epoch(self.freeze_after)),
+            )
+            .with("frozen", StateField::U64(u64::from(self.frozen)))
+            .with("steps", StateField::U64(self.steps))
+            .with("epoch_swaps", StateField::U64(self.epoch_swaps as u64))
+            .with(
+                "last_epoch_churn",
+                StateField::U64(self.last_epoch_churn as u64),
+            )
+            .with("tracked", StateField::Pairs(tracked))
+    }
+
+    fn restore_state(&mut self, state: &OptState) -> Result<(), StateError> {
+        state.expect_name(self.name())?;
+        state.expect_u64("k", self.k as u64)?;
+        state.expect_u64("freeze_after", encode_opt_epoch(self.freeze_after))?;
+        self.frozen = state.u64("frozen")? != 0;
+        self.steps = state.u64("steps")?;
+        self.epoch_swaps = state.u64("epoch_swaps")? as usize;
+        self.last_epoch_churn = state.u64("last_epoch_churn")? as usize;
+        self.tracked = state
+            .pairs("tracked")?
+            .iter()
+            .map(|&(i, w)| (i as usize, w))
+            .collect();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +274,55 @@ mod tests {
             opt.step(&mut ps, 0.3);
             assert!(opt.storage_entries() <= 7);
         }
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let mut ps_a = ParamStore::new(13);
+        ps_a.register("w", 30, InitScheme::lecun_normal(6));
+        let mut ps_b = ps_a.clone();
+        let mut a = SparseDropBack::new(6).freeze_after(2);
+        let mut b = SparseDropBack::new(6).freeze_after(2);
+        let mut rng = Xorshift64::new(21);
+        let mut grads = Vec::new();
+        for _ in 0..8 {
+            grads.push((0..30).map(|_| rng.next_f32() - 0.5).collect::<Vec<f32>>());
+        }
+        let feed = |ps: &mut ParamStore, g: &[f32]| {
+            ps.zero_grads();
+            let r = ps.ranges()[0].clone();
+            ps.accumulate_grad(&r, g);
+        };
+        for (t, g) in grads.iter().take(4).enumerate() {
+            feed(&mut ps_a, g);
+            a.step(&mut ps_a, 0.1);
+            feed(&mut ps_b, g);
+            b.step(&mut ps_b, 0.1);
+            if t == 1 {
+                a.end_epoch(0, &mut ps_a);
+                b.end_epoch(0, &mut ps_b);
+            }
+        }
+        let snap = b.snapshot_state();
+        let mut b2 = SparseDropBack::new(6).freeze_after(2);
+        b2.restore_state(&snap).unwrap();
+        assert_eq!(b2.tracked(), b.tracked());
+        for g in grads.iter().skip(4) {
+            feed(&mut ps_a, g);
+            a.step(&mut ps_a, 0.1);
+            feed(&mut ps_b, g);
+            b2.step(&mut ps_b, 0.1);
+        }
+        assert_eq!(ps_a.params(), ps_b.params());
+        assert_eq!(a.tracked(), b2.tracked());
+    }
+
+    #[test]
+    fn restore_rejects_foreign_or_misconfigured_snapshots() {
+        let snap = SparseDropBack::new(4).snapshot_state();
+        assert!(SparseDropBack::new(4).restore_state(&snap).is_ok());
+        assert!(SparseDropBack::new(5).restore_state(&snap).is_err());
+        assert!(DropBack::new(4).restore_state(&snap).is_err());
     }
 
     #[test]

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // "Device B": knows only the architecture; loads seed + entries.
     let loaded = Checkpoint::read_from(std::fs::File::open(&path)?)?;
     let mut device_b = models::mnist_100_100(loaded.seed());
-    loaded.apply(&mut device_b);
+    loaded.apply(&mut device_b)?;
     let acc_b = device_b.accuracy(&test, 256);
     println!("rebuilt: val acc {acc_b:.4} (must match exactly)");
     assert_eq!(acc, acc_b);

@@ -18,6 +18,12 @@ if ! cargo run -q -p dropback-lint -- --check; then
     exit 1
 fi
 
+echo "== resume-determinism smoke (bit-identical crash/resume)"
+cargo test -q -p dropback --test resume
+
+echo "== checkpoint corruption fuzz (truncation/bit-flips never panic)"
+cargo test -q -p dropback --test corruption
+
 echo "== cargo test"
 cargo test --workspace -q
 

@@ -131,7 +131,7 @@ fn checkpoint_roundtrips_through_a_file() {
     let loaded = Checkpoint::read_from(std::fs::File::open(&path).unwrap()).unwrap();
     std::fs::remove_file(&path).unwrap();
     let mut rebuilt = models::mnist_100_100(loaded.seed());
-    loaded.apply(&mut rebuilt);
+    loaded.apply(&mut rebuilt).unwrap();
     assert_eq!(rebuilt.accuracy(&test, 256), acc);
 }
 
