@@ -13,7 +13,9 @@
 
 use dropback::prelude::*;
 use dropback::telemetry::Json;
-use dropback_bench::{banner, env_usize, runners, seed, telemetry_from_env, Table};
+use dropback_bench::{
+    banner, env_usize, finish_trace, runners, seed, telemetry_from_env, trace_from_env, Table,
+};
 
 /// Probe recording ℓ2 distance from init on a log-spaced iteration grid.
 struct DiffusionProbe {
@@ -62,6 +64,7 @@ fn main() {
     let epochs = env_usize("DROPBACK_EPOCHS", 6);
     let n_train = env_usize("DROPBACK_TRAIN", 3000);
     let n_test = env_usize("DROPBACK_TEST", 600);
+    let trace_path = trace_from_env();
     let (train, test) = runners::mnist_data(n_train, n_test, seed());
 
     let results = vec![
@@ -195,5 +198,8 @@ fn main() {
             .with("shape_check", "pass"),
     );
     telemetry.flush();
+    if let Some(path) = &trace_path {
+        finish_trace(path);
+    }
     println!("PASS");
 }

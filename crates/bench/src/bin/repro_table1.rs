@@ -6,7 +6,9 @@
 //! ```
 
 use dropback::prelude::*;
-use dropback_bench::{banner, env_usize, runners, seed, telemetry_from_env, Table};
+use dropback_bench::{
+    banner, env_usize, finish_trace, runners, seed, telemetry_from_env, trace_from_env, Table,
+};
 
 struct PaperRow {
     label: &'static str,
@@ -21,6 +23,7 @@ fn main() {
     let n_test = env_usize("DROPBACK_TEST", 1000);
     let (train, test) = runners::mnist_data(n_train, n_test, seed());
     let mut telemetry = telemetry_from_env();
+    let trace_path = trace_from_env();
 
     // (model ctor, paper rows, budgets, freeze epochs)
     let lenet_paper = [
@@ -148,6 +151,9 @@ fn main() {
             .with("test", n_test),
     );
     telemetry.flush();
+    if let Some(path) = &trace_path {
+        finish_trace(path);
+    }
     println!(
         "shape check: DropBack at moderate budgets (>=20k) should sit within ~1-2% of the\n\
          baseline error while storing 4-13x fewer weights; the 1.5k extreme point should\n\

@@ -14,8 +14,9 @@
 //! | `DROPBACK_SEED` | master seed | 42 |
 //! | `DROPBACK_TELEMETRY` | JSONL event capture path | off |
 //! | `DROPBACK_TELEMETRY_STDERR` | mirror events to stderr | off |
+//! | `DROPBACK_TRACE` | Chrome trace-event timeline path | off |
 
-use dropback::telemetry::{JsonlSink, StderrSink, TeeSink, Telemetry};
+use dropback::telemetry::{trace, JsonlSink, StderrSink, TeeSink, Telemetry};
 use std::fmt::Display;
 
 /// Reads a `usize` scale knob from the environment.
@@ -57,6 +58,33 @@ pub fn telemetry_from_env() -> Telemetry {
         Telemetry::disabled()
     } else {
         Telemetry::with_sink(Box::new(tee))
+    }
+}
+
+/// Arms the timeline tracer when `DROPBACK_TRACE=path.json` is set;
+/// returns the path to hand back to [`finish_trace`] after the runs.
+/// Call once at experiment start, before any training.
+pub fn trace_from_env() -> Option<String> {
+    let path = std::env::var("DROPBACK_TRACE")
+        .ok()
+        .filter(|p| !p.is_empty())?;
+    trace::start_tracing();
+    Some(path)
+}
+
+/// Stops tracing and writes the collected timeline as Chrome trace-event
+/// JSON. Failures are reported on stderr, not fatal — a repro binary's
+/// tables are still valid without its profile.
+pub fn finish_trace(path: &str) {
+    trace::stop_tracing();
+    let records = trace::take_trace();
+    let write = |p: &str| -> std::io::Result<()> {
+        let mut out = std::io::BufWriter::new(std::fs::File::create(p)?);
+        trace::write_chrome_trace(&mut out, &records)
+    };
+    match write(path) {
+        Ok(()) => eprintln!("wrote {} trace events to {path}", records.len()),
+        Err(e) => eprintln!("cannot write trace {path}: {e}"),
     }
 }
 

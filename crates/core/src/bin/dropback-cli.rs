@@ -79,6 +79,7 @@ fn known_flags(cmd: &str) -> &'static [&'static str] {
             "test",
             "seed",
             "telemetry",
+            "trace",
             "quiet",
         ],
         "eval" => &["model", "checkpoint", "data", "train", "test", "seed"],
@@ -174,6 +175,40 @@ fn telemetry_from_flags(flags: &HashMap<String, String>) -> Result<Telemetry, St
     } else {
         Ok(Telemetry::with_sink(Box::new(tee)))
     }
+}
+
+/// Arms the timeline tracer when `--trace PATH` is present; returns the
+/// path the Chrome trace should be written to after the run.
+fn start_trace_from_flags(flags: &HashMap<String, String>) -> Result<Option<String>, String> {
+    let Some(path) = flags.get("trace") else {
+        return Ok(None);
+    };
+    if path.is_empty() {
+        return Err("--trace requires a file path".into());
+    }
+    dropback::telemetry::trace::start_tracing();
+    Ok(Some(path.clone()))
+}
+
+/// Stops tracing and writes the collected events as Chrome trace-event
+/// JSON (load in Perfetto / `chrome://tracing`, or feed to
+/// `dropback-trace` for a hotspot report).
+fn finish_trace(path: &str, quiet: bool) -> Result<(), String> {
+    use dropback::telemetry::trace;
+    trace::stop_tracing();
+    let records = trace::take_trace();
+    let file =
+        std::fs::File::create(path).map_err(|e| format!("cannot create trace {path}: {e}"))?;
+    let mut out = std::io::BufWriter::new(file);
+    trace::write_chrome_trace(&mut out, &records)
+        .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+    if !quiet {
+        eprintln!(
+            "wrote {} trace events to {path} (analyze with dropback-trace, or load in Perfetto)",
+            records.len()
+        );
+    }
+    Ok(())
 }
 
 fn build_model(name: &str, seed: u64) -> Result<Network, String> {
@@ -281,6 +316,7 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let budget = get(flags, "budget", 0usize)?;
     let quiet = flags.contains_key("quiet");
     let mut telemetry = telemetry_from_flags(flags)?;
+    let trace_path = start_trace_from_flags(flags)?;
     let mut net = build_model(&model_name, seed)?;
     let params = net.num_params();
     let (train, test) = load_data(flags, &model_name, seed)?;
@@ -342,6 +378,9 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
             eprint!("{}", report.to_table());
         }
         println!("{}", report.to_json().render());
+    }
+    if let Some(path) = &trace_path {
+        finish_trace(path, quiet)?;
     }
     Ok(())
 }
@@ -430,7 +469,7 @@ fn usage() -> String {
      train : --model M --epochs N --batch B --lr X --budget K --freeze E \
              --checkpoint PATH --checkpoint-dir DIR --checkpoint-every N --resume \
              --data synthetic|DIR --train N --test N --seed S \
-             --telemetry PATH.jsonl --quiet\n\
+             --telemetry PATH.jsonl --trace PATH.json --quiet\n\
      eval  : --model M --checkpoint PATH [--data ...]\n\
      info  : --model M\n\
      energy: --params N --budget K [--sram BYTES]\n\
@@ -438,6 +477,9 @@ fn usage() -> String {
      --checkpoint-every epochs (atomic writes, CRC-validated); --resume \
      continues bit-identically from the newest readable snapshot (exit 2 \
      if the snapshot is from a different seed/model/optimizer)\n\
+     profiling: --trace PATH.json records a Chrome trace-event timeline \
+     (kernel spans + Fig. 5 counters); inspect with dropback-trace or \
+     Perfetto\n\
      stdout carries one JSON result line (train/eval); progress goes to stderr"
         .to_string()
 }

@@ -1,0 +1,92 @@
+//! `dropback-trace` — hotspot analyzer for Chrome trace-event files
+//! written by `dropback-cli train --trace` or the `DROPBACK_TRACE`
+//! environment variable on the repro binaries.
+//!
+//! ```text
+//! dropback-trace run.trace.json             # human-readable hotspot report
+//! dropback-trace run.trace.json --top 5     # only the 5 hottest spans
+//! dropback-trace run.trace.json --json      # machine-readable digest
+//! ```
+//!
+//! The report shows self-time/total-time per span name, per-kernel
+//! GFLOP/s (from the `flops` annotations the tensor kernels attach),
+//! `train-step` latency percentiles, and the gemm vs topk-rank vs regen
+//! breakdown of DropBack step time. Exit is non-zero on unreadable files,
+//! invalid JSON, or begin/end pairing violations, so this binary doubles
+//! as the trace validator in `scripts/check.sh`.
+
+use dropback::trace_analysis::analyze_chrome_trace;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dropback-trace <trace.json> [--json] [--top N]\n\
+     analyzes a Chrome trace-event file produced by `dropback-cli train --trace`\n\
+     --json   emit the analysis as one JSON document on stdout\n\
+     --top N  limit the hotspot table to the N hottest spans (default 20)";
+
+struct Options {
+    path: String,
+    json: bool,
+    top: usize,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut path = None;
+    let mut json = false;
+    let mut top = 20usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--top" => {
+                let raw = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--top requires a number".to_string())?;
+                top = raw
+                    .parse()
+                    .map_err(|e| format!("invalid value {raw:?} for --top: {e}"))?;
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            file => {
+                if path.replace(file.to_string()).is_some() {
+                    return Err("expected exactly one trace file".to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    let path = path.ok_or_else(|| "missing trace file argument".to_string())?;
+    Ok(Options { path, json, top })
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let text = std::fs::read_to_string(&opts.path)
+        .map_err(|e| format!("cannot read {}: {e}", opts.path))?;
+    let analysis = analyze_chrome_trace(&text).map_err(|e| format!("{}: {e}", opts.path))?;
+    if opts.json {
+        println!("{}", analysis.to_json().render());
+    } else {
+        print!("{}", analysis.render(opts.top));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -62,6 +62,7 @@ mod crc;
 mod fault;
 mod report;
 mod sparse_infer;
+pub mod trace_analysis;
 mod train_state;
 mod trainer;
 
@@ -72,6 +73,7 @@ pub use crc::crc32;
 pub use fault::{FaultInjector, FaultMode};
 pub use report::{EpochStats, TrainReport};
 pub use sparse_infer::{stream_mlp_forward, StreamError, StreamStats, StreamingLinear};
+pub use trace_analysis::{analyze_chrome_trace, PhaseRow, TraceAnalysis, TraceError};
 pub use train_state::{TrainProgress, TrainState};
 pub use trainer::{NoProbe, StepProbe, Trainer};
 

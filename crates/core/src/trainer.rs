@@ -6,9 +6,10 @@ use crate::config::TrainConfig;
 use crate::report::{EpochStats, TrainReport};
 use crate::train_state::{TrainProgress, TrainState};
 use dropback_data::{Batcher, Dataset};
+use dropback_metrics::DiffusionTracker;
 use dropback_nn::{Network, ParamStore};
 use dropback_optim::Optimizer;
-use dropback_telemetry::{take_phase_totals, Event, Span, Stopwatch, Telemetry};
+use dropback_telemetry::{take_phase_totals, trace, Event, Span, Stopwatch, Telemetry};
 
 /// A per-step observation hook: receives the global iteration index and the
 /// parameter store *after* the optimizer step. Used by the analysis
@@ -202,6 +203,14 @@ impl Trainer {
             mut store,
         } = plan;
         let active = telemetry.is_active();
+        // When timeline tracing is on (`trace::start_tracing`, wired from
+        // `--trace` / `DROPBACK_TRACE`), each epoch also emits the paper's
+        // Fig. 5 observables as trace counters: weight-diffusion ℓ2 from
+        // init, tracked-set churn, and the tensor-allocation high-water
+        // mark. The diffusion anchor is only computed when tracing —
+        // `regen_initial` is a full parameter materialization.
+        let tracing = trace::is_tracing();
+        let diffusion = tracing.then(|| DiffusionTracker::new(&net.store().regen_initial()));
         let (step_counter, step_hist, val_gauge) = if active {
             let c = telemetry.collector();
             (
@@ -246,6 +255,10 @@ impl Trainer {
             let mut batches = 0usize;
             for (x, labels) in batcher.epoch(train, epoch as u64) {
                 let step_timer = Stopwatch::started_if(active);
+                // One umbrella span per optimizer step: the trace analyzer
+                // derives step-time percentiles from its durations, and in
+                // Perfetto the kernel spans nest under it.
+                let step_span = Span::enter("train-step");
                 let (loss, acc) = net.loss_backward(&x, &labels);
                 if kl_scale > 0.0 {
                     kl_sum += net.kl_backward(kl_scale) as f64;
@@ -255,6 +268,7 @@ impl Trainer {
                     optimizer.step(net.store_mut(), lr);
                 }
                 probe.after_step(iteration, net.store());
+                drop(step_span);
                 if let Some(step_ns) = step_timer.elapsed_ns() {
                     if let Some(h) = &step_hist {
                         h.record(step_ns as f64);
@@ -279,6 +293,21 @@ impl Trainer {
             optimizer.end_epoch(epoch, net.store_mut());
             let val_acc = net.accuracy(val, cfg.eval_batch);
             probe.after_epoch(epoch, val_acc);
+            if tracing {
+                if let Some(d) = &diffusion {
+                    let dist = d.distance(net.store().params());
+                    trace::record_counter("diffusion.l2_from_init", f64::from(dist));
+                }
+                for (name, value) in optimizer.metrics() {
+                    if name == "churn" {
+                        trace::record_counter("tracked.churn", value);
+                    }
+                }
+                trace::record_counter(
+                    "tensor.alloc_hwm_bytes",
+                    dropback_tensor::alloc::hwm_bytes() as f64,
+                );
+            }
             let stats = EpochStats {
                 epoch,
                 train_loss: (loss_sum / batches.max(1) as f64) as f32,
@@ -291,6 +320,10 @@ impl Trainer {
                 if let Some(g) = &val_gauge {
                     g.set(val_acc as f64);
                 }
+                telemetry
+                    .collector()
+                    .gauge("tensor.alloc_hwm_bytes")
+                    .set(dropback_tensor::alloc::hwm_bytes() as f64);
                 let mut ev = Event::new("epoch")
                     .with("epoch", stats.epoch)
                     .with("train_loss", stats.train_loss)

@@ -32,7 +32,8 @@ pub fn all_rules() -> &'static [Rule] {
         },
         Rule {
             id: "wall-clock",
-            summary: "no SystemTime/Instant/entropy APIs outside telemetry and bench",
+            summary: "no SystemTime/Instant/entropy APIs outside the telemetry clock modules \
+                      (span.rs, trace.rs)",
             check: wall_clock,
         },
         Rule {
@@ -80,9 +81,15 @@ const DETERMINISM_PATHS: &[&str] = &[
     "crates/telemetry/src/snapshot.rs",
 ];
 
-/// Crates allowed to read the clock or entropy: telemetry owns timing,
-/// bench measures it.
-const CLOCK_CRATES: &[&str] = &["telemetry", "bench"];
+/// The only files allowed to read the clock: `span.rs` owns the timing
+/// switches and `trace.rs` owns the trace epoch. Everything else —
+/// including the rest of the telemetry crate and all of bench — must take
+/// timestamps from those modules, so every clock read is behind the same
+/// enable flags and the same monotonic epoch.
+const CLOCK_PATHS: &[&str] = &[
+    "crates/telemetry/src/span.rs",
+    "crates/telemetry/src/trace.rs",
+];
 
 fn in_determinism_path(path: &str) -> bool {
     DETERMINISM_PATHS.iter().any(|p| path.starts_with(p))
@@ -118,7 +125,7 @@ const CLOCK_IDENTS: &[&str] = &[
 ];
 
 fn wall_clock(ctx: &FileCtx, out: &mut Vec<Finding>) {
-    if ctx.role == Role::Aux || CLOCK_CRATES.contains(&ctx.crate_name.as_str()) {
+    if ctx.role == Role::Aux || CLOCK_PATHS.iter().any(|p| ctx.path.starts_with(p)) {
         return;
     }
     for (i, t) in ctx.tokens.iter().enumerate() {
@@ -305,14 +312,25 @@ mod tests {
     }
 
     #[test]
-    fn instant_flagged_outside_telemetry_and_bench() {
+    fn instant_flagged_outside_clock_modules() {
         let src = "use std::time::Instant;";
         assert_eq!(
             rules_hit("crates/core/src/trainer.rs", src),
             vec!["wall-clock"]
         );
+        // Only the two clock-owning telemetry modules may read the clock.
         assert!(rules_hit("crates/telemetry/src/span.rs", src).is_empty());
-        assert!(rules_hit("crates/bench/src/lib.rs", src).is_empty());
+        assert!(rules_hit("crates/telemetry/src/trace.rs", src).is_empty());
+        // The rest of the telemetry crate — and all of bench — must route
+        // timing through span/trace, not read the clock directly.
+        assert_eq!(
+            rules_hit("crates/telemetry/src/json.rs", src),
+            vec!["wall-clock"]
+        );
+        assert_eq!(
+            rules_hit("crates/bench/src/lib.rs", src),
+            vec!["wall-clock"]
+        );
     }
 
     #[test]

@@ -112,8 +112,17 @@ fn seeded_workspace_yields_expected_findings() {
     assert!(hits("hash-iteration")
         .iter()
         .all(|p| p == "crates/optim/src/bad_hash.rs"));
-    // bad_hash.rs: Instant import + Instant::now().
-    assert_eq!(hits("wall-clock").len(), 2);
+    // bad_hash.rs: Instant import + Instant::now(); bad_clock.rs proves the
+    // allowlist is per-file — Instant in the telemetry crate outside
+    // span.rs/trace.rs is still flagged (import + now()), while the
+    // fixture span.rs (also using Instant) stays clean.
+    assert_eq!(hits("wall-clock").len(), 4);
+    assert!(hits("wall-clock")
+        .iter()
+        .any(|p| p == "crates/telemetry/src/bad_clock.rs"));
+    assert!(!hits("wall-clock")
+        .iter()
+        .any(|p| p == "crates/telemetry/src/span.rs"));
     // bad_hash.rs first() + nn lib.rs expect; the test-module unwrap and
     // every decoy in strings/comments stay clean.
     assert_eq!(hits("no-unwrap").len(), 2);
@@ -132,6 +141,7 @@ fn allowlist_suppresses_seeded_findings_with_justification() {
     let allow = Allowlist::parse(
         "hash-iteration crates/optim/src/bad_hash.rs -- fixture exercises suppression\n\
          wall-clock crates/optim/src/bad_hash.rs -- fixture exercises suppression\n\
+         wall-clock crates/telemetry/src/bad_clock.rs -- fixture exercises suppression\n\
          no-unwrap crates/ -- fixture exercises suppression\n\
          no-print crates/nn/src/lib.rs -- fixture exercises suppression\n\
          float-eq crates/nn/src/lib.rs -- fixture exercises suppression\n\
@@ -140,7 +150,7 @@ fn allowlist_suppresses_seeded_findings_with_justification() {
     .expect("well-formed allowlist");
     let report = check_workspace(&root, &allow).expect("fixture ws lints");
     assert!(!report.has_failures(), "all findings suppressed");
-    assert_eq!(report.suppressed.len(), 9);
+    assert_eq!(report.suppressed.len(), 11);
     assert!(report.unused_allows.is_empty());
 }
 

@@ -1,0 +1,11 @@
+//! Seeded fixture: a clock read in the telemetry crate but *outside* the
+//! clock-owning modules (span.rs / trace.rs). The wall-clock allowlist is
+//! per-file, not per-crate, so this must still be flagged — otherwise any
+//! telemetry helper could smuggle in an unguarded `Instant::now()` that
+//! bypasses the enable flags and the trace epoch.
+
+use std::time::Instant;
+
+pub fn sneaky_timestamp() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

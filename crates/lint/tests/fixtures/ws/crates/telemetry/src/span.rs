@@ -1,0 +1,9 @@
+//! Seeded fixture: the clock-owning span module. `Instant` here is the
+//! sanctioned read — the wall-clock rule allowlists exactly this path
+//! (and trace.rs), so this file must produce no findings.
+
+use std::time::Instant;
+
+pub fn sanctioned_timestamp() -> Instant {
+    Instant::now()
+}

@@ -18,6 +18,9 @@
 //!   serializes to the workspace's hand-rolled [`Json`].
 //! * [`Telemetry`] — the bundle the trainer threads through a run:
 //!   collector + sink + activity flag.
+//! * [`trace`] — timeline tracing: thread-aware begin/end/counter events
+//!   exportable as Chrome trace-event JSON (Perfetto-loadable); spans
+//!   feed it automatically when [`trace::start_tracing`] is on.
 //!
 //! ## Example
 //!
@@ -39,6 +42,7 @@ mod metrics;
 mod sink;
 mod snapshot;
 mod span;
+pub mod trace;
 
 pub use json::Json;
 pub use metrics::{bucket_index, bucket_upper, Collector, Counter, Gauge, Histogram};
@@ -58,9 +62,9 @@ pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// The process-wide collector. Feature-gated hot-path hooks (e.g. the
-/// tensor crate's gemm/conv instrumentation) record here so they need no
-/// handle plumbing.
+/// The process-wide collector. Hot-path hooks (e.g. the tensor crate's
+/// gemm/conv instrumentation, compiled in permanently) record here so
+/// they need no handle plumbing.
 pub fn global() -> &'static Collector {
     static GLOBAL: OnceLock<Collector> = OnceLock::new();
     GLOBAL.get_or_init(Collector::new)
@@ -131,6 +135,18 @@ impl Telemetry {
     }
 }
 
+/// Serializes tests that touch the process-global flags byte, span
+/// registry, or trace buffer. Span, trace, and bundle tests all share this
+/// gate: e.g. a span test asserting "disabled spans record nothing" must
+/// not overlap a trace test that has tracing switched on.
+#[cfg(test)]
+pub(crate) fn test_gate() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +170,7 @@ mod tests {
 
     #[test]
     fn active_bundle_forwards_events() {
+        let _g = test_gate();
         let mut tel = Telemetry::with_sink(Box::new(JsonlSink::new(Vec::new())));
         assert!(tel.is_active());
         tel.collector().counter("n").inc();

@@ -12,11 +12,33 @@
 
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bit 0: phase-total timing ([`set_enabled`]). Bit 1: timeline tracing
+/// ([`crate::trace::start_tracing`]). One byte so the disabled hot path
+/// stays a single relaxed load even with both subsystems present.
+const FLAG_TIMING: u8 = 1;
+const FLAG_TRACING: u8 = 2;
+
+static FLAGS: AtomicU8 = AtomicU8::new(0);
+
+fn set_flag(mask: u8, on: bool) {
+    if on {
+        FLAGS.fetch_or(mask, Ordering::Relaxed);
+    } else {
+        FLAGS.fetch_and(!mask, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn set_tracing_flag(on: bool) {
+    set_flag(FLAG_TRACING, on);
+}
+
+pub(crate) fn is_tracing_flag() -> bool {
+    FLAGS.load(Ordering::Relaxed) & FLAG_TRACING != 0
+}
 
 fn registry() -> &'static Mutex<HashMap<&'static str, PhaseStat>> {
     static REGISTRY: OnceLock<Mutex<HashMap<&'static str, PhaseStat>>> = OnceLock::new();
@@ -27,15 +49,25 @@ thread_local! {
     static DEPTH: Cell<usize> = const { Cell::new(0) };
 }
 
+/// Current span nesting depth on this thread. The trace buffer uses this
+/// to publish a thread's events when its outermost span closes — scoped
+/// worker threads (gemm) must not rely on their TLS destructor for
+/// visibility, because `std::thread::scope` returns when the worker
+/// *closure* finishes, which can be before OS-thread teardown runs the
+/// destructor.
+pub(crate) fn current_depth() -> usize {
+    DEPTH.with(Cell::get)
+}
+
 /// Turns span recording on or off process-wide. Off by default; spans
 /// created while disabled never touch the clock or the registry.
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::Relaxed);
+    set_flag(FLAG_TIMING, on);
 }
 
 /// Whether span recording is currently enabled.
 pub fn is_enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    FLAGS.load(Ordering::Relaxed) & FLAG_TIMING != 0
 }
 
 /// Accumulated wall time and entry count for one phase name.
@@ -60,17 +92,27 @@ pub struct Span {
     name: &'static str,
     start: Option<Instant>,
     depth: usize,
+    traced: bool,
 }
 
 impl Span {
-    /// Starts a span named `name`. When tracing is disabled this is a
-    /// no-op costing one atomic load.
+    /// Starts a span named `name`. When both timing and tracing are
+    /// disabled this is a no-op costing one relaxed atomic load.
     pub fn enter(name: &'static str) -> Self {
-        if !is_enabled() {
+        Self::enter_with(name, &[])
+    }
+
+    /// Starts a span carrying numeric annotations (flop counts, byte
+    /// counts) that end up in the trace's begin event `args`. The phase
+    /// registry ignores them — annotations only matter on a timeline.
+    pub fn enter_with(name: &'static str, args: &[(&'static str, f64)]) -> Self {
+        let flags = FLAGS.load(Ordering::Relaxed);
+        if flags == 0 {
             return Self {
                 name,
                 start: None,
                 depth: 0,
+                traced: false,
             };
         }
         let depth = DEPTH.with(|d| {
@@ -78,10 +120,15 @@ impl Span {
             d.set(v + 1);
             v
         });
+        let traced = flags & FLAG_TRACING != 0;
+        if traced {
+            crate::trace::record_begin(name, args);
+        }
         Self {
             name,
-            start: Some(Instant::now()),
+            start: (flags & FLAG_TIMING != 0).then(Instant::now),
             depth,
+            traced,
         }
     }
 
@@ -95,17 +142,25 @@ impl Span {
         self.depth
     }
 
-    /// Whether this span is live (tracing was enabled at entry).
+    /// Whether this span is live (timing or tracing was enabled at entry).
     pub fn is_recording(&self) -> bool {
-        self.start.is_some()
+        self.start.is_some() || self.traced
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if !self.is_recording() {
+            return;
+        }
+        // Close the trace event first (even if tracing was switched off
+        // mid-span) so every recorded begin has a matching end.
+        if self.traced {
+            crate::trace::record_end(self.name);
+        }
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         let Some(start) = self.start else { return };
         let elapsed = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         let mut reg = crate::lock_unpoisoned(registry());
         let stat = reg.entry(self.name).or_default();
         stat.total_ns += elapsed;
@@ -175,15 +230,10 @@ pub fn take_phase_totals() -> Vec<(&'static str, PhaseStat)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::{Mutex as TestMutex, OnceLock as TestOnce};
 
-    /// Span tests share the process-global registry; serialize them.
-    fn lock() -> std::sync::MutexGuard<'static, ()> {
-        static GATE: TestOnce<TestMutex<()>> = TestOnce::new();
-        GATE.get_or_init(|| TestMutex::new(()))
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-    }
+    /// Span tests share the process-global registry and flags byte with
+    /// the trace tests; serialize them all on one gate.
+    use crate::test_gate as lock;
 
     #[test]
     fn disabled_spans_record_nothing() {

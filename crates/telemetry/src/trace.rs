@@ -1,0 +1,451 @@
+//! Timeline tracing: thread-aware begin/end/counter events with
+//! monotonic timestamps, exportable as Chrome trace-event JSON.
+//!
+//! Where the span registry ([`crate::phase_totals`]) answers "how much
+//! total time went into `gemm`?", the trace buffer answers "*when* did
+//! each `gemm` run, on which thread, nested under what?" — the timeline
+//! view Perfetto / `chrome://tracing` renders.
+//!
+//! Recording is lock-cheap: each thread appends to a thread-local buffer
+//! that is spilled into a process-global vector only when it fills up or
+//! the thread's outermost span closes (one mutex lock per top-level span
+//! per thread — for the tensor crate's scoped gemm workers that is once
+//! per parallel matmul). The spill-on-outermost-end rule is also what
+//! makes worker events *reliably* visible: `std::thread::scope` returns
+//! when worker closures finish, which can be before OS-thread teardown
+//! runs TLS destructors, so the destructor spill is only a backstop. With
+//! tracing off, [`Span`](crate::Span) creation costs the same single
+//! relaxed atomic load as before — the timing and tracing switches share
+//! one flags byte.
+//!
+//! Clock access stays confined to this crate (`dropback-lint`'s
+//! `wall-clock` rule): timestamps are nanoseconds since a process-wide
+//! epoch pinned by the first [`start_tracing`] call.
+
+use std::cell::RefCell;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::span;
+
+/// Event kind, mirroring the Chrome trace-event `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Duration begin (`"B"`).
+    Begin,
+    /// Duration end (`"E"`).
+    End,
+    /// Counter sample (`"C"`).
+    Counter,
+}
+
+impl TracePhase {
+    /// The single-letter Chrome trace-event phase code.
+    pub fn code(self) -> &'static str {
+        match self {
+            TracePhase::Begin => "B",
+            TracePhase::End => "E",
+            TracePhase::Counter => "C",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Nanoseconds since the tracing epoch (monotonic).
+    pub ts_ns: u64,
+    /// Sequential id of the recording thread (0 = first recorder).
+    pub tid: u64,
+    /// Begin / End / Counter.
+    pub phase: TracePhase,
+    /// Span or counter name.
+    pub name: &'static str,
+    /// Numeric annotations (e.g. `("flops", 2.0 * m * n * k)`).
+    pub args: Vec<(&'static str, f64)>,
+}
+
+/// Thread-local buffer size that triggers a spill to the global vector.
+const LOCAL_SPILL: usize = 1024;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn global_buf() -> &'static Mutex<Vec<TraceRecord>> {
+    static BUF: OnceLock<Mutex<Vec<TraceRecord>>> = OnceLock::new();
+    BUF.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+struct LocalBuf {
+    tid: u64,
+    records: Vec<TraceRecord>,
+}
+
+impl LocalBuf {
+    fn new() -> Self {
+        Self {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            records: Vec::new(),
+        }
+    }
+
+    fn spill(&mut self) {
+        if self.records.is_empty() {
+            return;
+        }
+        let mut global = crate::lock_unpoisoned(global_buf());
+        global.append(&mut self.records);
+    }
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        // Backstop only: a thread's events normally publish when its
+        // outermost span closes (see `push`). The destructor catches
+        // counters or still-open spans left behind on an exiting thread.
+        self.spill();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf::new());
+}
+
+/// Turns timeline tracing on process-wide. The first call pins the
+/// timestamp epoch; later events are relative to it.
+pub fn start_tracing() {
+    let _ = epoch();
+    span::set_tracing_flag(true);
+}
+
+/// Turns timeline tracing off. Spans already open still record their
+/// pending `End` event so the exported trace stays balanced.
+pub fn stop_tracing() {
+    span::set_tracing_flag(false);
+}
+
+/// Whether timeline tracing is currently on.
+pub fn is_tracing() -> bool {
+    span::is_tracing_flag()
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+fn push(phase: TracePhase, name: &'static str, args: Vec<(&'static str, f64)>) {
+    let ts_ns = now_ns();
+    // An End at depth <= 1 closes this thread's outermost span: publish
+    // now, because on a scoped worker thread nothing later is guaranteed
+    // to run before the spawning scope returns (TLS destructors race with
+    // `thread::scope` exit). Depth is still pre-decrement here — the Span
+    // drop records the End before unwinding its depth.
+    let outermost_end = phase == TracePhase::End && span::current_depth() <= 1;
+    LOCAL.with(|l| {
+        // A record emitted while this thread's buffer is mid-teardown (the
+        // TLS destructor is running) is dropped rather than resurrecting
+        // the destroyed cell.
+        if let Ok(mut l) = l.try_borrow_mut() {
+            let tid = l.tid;
+            l.records.push(TraceRecord {
+                ts_ns,
+                tid,
+                phase,
+                name,
+                args,
+            });
+            if l.records.len() >= LOCAL_SPILL || outermost_end {
+                l.spill();
+            }
+        }
+    });
+}
+
+/// Records a duration-begin event. Called by [`Span`](crate::Span) when
+/// tracing is on; `args` are numeric annotations such as flop counts.
+pub(crate) fn record_begin(name: &'static str, args: &[(&'static str, f64)]) {
+    push(TracePhase::Begin, name, args.to_vec());
+}
+
+/// Records the matching duration-end event. Unconditional: a span that
+/// recorded a `Begin` always closes it, even if tracing was switched off
+/// in between, so every exported trace is balanced.
+pub(crate) fn record_end(name: &'static str) {
+    push(TracePhase::End, name, Vec::new());
+}
+
+/// Records a counter sample (a Chrome `"C"` event), e.g. the per-epoch
+/// weight-diffusion distance. No-op when tracing is off.
+pub fn record_counter(name: &'static str, value: f64) {
+    if !is_tracing() {
+        return;
+    }
+    push(TracePhase::Counter, name, vec![("value", value)]);
+}
+
+/// Flushes the calling thread's buffer and drains every record collected
+/// so far, sorted by timestamp. Typically called once, after
+/// [`stop_tracing`], to export the run.
+pub fn take_trace() -> Vec<TraceRecord> {
+    LOCAL.with(|l| {
+        if let Ok(mut l) = l.try_borrow_mut() {
+            l.spill();
+        }
+    });
+    let mut records = {
+        let mut global = crate::lock_unpoisoned(global_buf());
+        std::mem::take(&mut *global)
+    };
+    records.sort_by_key(|r| r.ts_ns);
+    records
+}
+
+fn event_json(r: &TraceRecord) -> Json {
+    let mut fields = vec![
+        ("name".to_string(), Json::from(r.name)),
+        ("cat".to_string(), Json::from("dropback")),
+        ("ph".to_string(), Json::from(r.phase.code())),
+        ("ts".to_string(), Json::Num(r.ts_ns as f64 / 1_000.0)),
+        ("pid".to_string(), Json::Num(1.0)),
+        ("tid".to_string(), Json::Num(r.tid as f64)),
+    ];
+    if !r.args.is_empty() {
+        let args: Vec<(String, Json)> = r
+            .args
+            .iter()
+            .map(|&(k, v)| (k.to_string(), Json::Num(v)))
+            .collect();
+        fields.push(("args".to_string(), Json::Obj(args)));
+    }
+    Json::Obj(fields)
+}
+
+/// Renders records as a Chrome trace-event JSON document (object form,
+/// `{"traceEvents": [...]}`), loadable in Perfetto or `chrome://tracing`.
+/// Timestamps are microseconds as the format requires.
+pub fn chrome_trace_json(records: &[TraceRecord]) -> Json {
+    let events: Vec<Json> = records.iter().map(event_json).collect();
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(events)),
+        ("displayTimeUnit".to_string(), Json::from("ms")),
+    ])
+}
+
+/// Writes records to `w` as Chrome trace-event JSON, one event per line
+/// inside the `traceEvents` array so large traces stay diff- and
+/// grep-friendly.
+pub fn write_chrome_trace<W: Write>(w: &mut W, records: &[TraceRecord]) -> io::Result<()> {
+    writeln!(w, "{{\"traceEvents\":[")?;
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        writeln!(w, "{}{}", event_json(r).render(), comma)?;
+    }
+    writeln!(w, "],\"displayTimeUnit\":\"ms\"}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trace tests share the process-global buffer and flags byte with
+    /// the span tests, so assertions filter on names unique to this
+    /// module and everything serializes on the crate-wide gate.
+    use crate::test_gate as lock;
+
+    fn drain_named(prefix: &str) -> Vec<TraceRecord> {
+        take_trace()
+            .into_iter()
+            .filter(|r| r.name.starts_with(prefix))
+            .collect()
+    }
+
+    #[test]
+    fn spans_emit_paired_begin_end_with_args() {
+        let _g = lock();
+        let _ = take_trace();
+        start_tracing();
+        {
+            let _outer = crate::Span::enter("trtest-outer");
+            let _inner =
+                crate::Span::enter_with("trtest-inner", &[("flops", 128.0), ("bytes", 64.0)]);
+        }
+        stop_tracing();
+        let records = drain_named("trtest-");
+        assert_eq!(records.len(), 4);
+        assert_eq!(
+            records
+                .iter()
+                .filter(|r| r.phase == TracePhase::Begin)
+                .count(),
+            2
+        );
+        let inner_begin = records
+            .iter()
+            .find(|r| r.name == "trtest-inner" && r.phase == TracePhase::Begin)
+            .map(|r| r.args.clone());
+        assert_eq!(
+            inner_begin,
+            Some(vec![("flops", 128.0), ("bytes", 64.0)]),
+            "begin event carries the annotations"
+        );
+        // LIFO nesting on one thread: outer B, inner B, inner E, outer E.
+        let order: Vec<_> = records.iter().map(|r| (r.name, r.phase)).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("trtest-outer", TracePhase::Begin),
+                ("trtest-inner", TracePhase::Begin),
+                ("trtest-inner", TracePhase::End),
+                ("trtest-outer", TracePhase::End),
+            ]
+        );
+        let tid = records[0].tid;
+        assert!(records.iter().all(|r| r.tid == tid));
+    }
+
+    #[test]
+    fn counters_record_only_while_tracing() {
+        let _g = lock();
+        let _ = take_trace();
+        record_counter("trtest-gauge", 1.0);
+        start_tracing();
+        record_counter("trtest-gauge", 2.5);
+        stop_tracing();
+        record_counter("trtest-gauge", 3.0);
+        let records = drain_named("trtest-gauge");
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].phase, TracePhase::Counter);
+        assert_eq!(records[0].args, vec![("value", 2.5)]);
+    }
+
+    #[test]
+    fn worker_thread_events_flush_on_thread_exit() {
+        let _g = lock();
+        let _ = take_trace();
+        start_tracing();
+        let main_tid = LOCAL.with(|l| l.borrow().tid);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _s = crate::Span::enter("trtest-worker");
+            });
+        });
+        stop_tracing();
+        let records = drain_named("trtest-worker");
+        assert_eq!(records.len(), 2, "outermost-end spill published both");
+        assert_ne!(records[0].tid, main_tid);
+        assert_eq!(records[0].tid, records[1].tid);
+    }
+
+    #[test]
+    fn tracing_off_records_nothing() {
+        let _g = lock();
+        let _ = take_trace();
+        crate::set_enabled(false);
+        stop_tracing();
+        {
+            let s = crate::Span::enter_with("trtest-off", &[("flops", 1.0)]);
+            // With both the timing and tracing flags clear the span took
+            // the single-atomic-load fast path: no clock read, no buffer
+            // push, nothing to account for on Drop.
+            assert!(!s.is_recording());
+        }
+        record_counter("trtest-off", 2.0);
+        assert!(drain_named("trtest-off").is_empty());
+    }
+
+    #[test]
+    fn every_begin_has_matching_end_on_same_tid() {
+        let _g = lock();
+        let _ = take_trace();
+        start_tracing();
+        {
+            let _outer = crate::Span::enter("trtest-pair-outer");
+            let _inner = crate::Span::enter("trtest-pair-inner");
+            std::thread::scope(|s| {
+                for _ in 0..3 {
+                    s.spawn(|| {
+                        let _w = crate::Span::enter("trtest-pair-worker");
+                    });
+                }
+            });
+        }
+        stop_tracing();
+        let records = drain_named("trtest-pair");
+        let mut out = Vec::new();
+        write_chrome_trace(&mut out, &records).expect("write to Vec cannot fail");
+        let text = String::from_utf8(out).expect("trace output is UTF-8");
+        let doc = Json::parse(&text).expect("exported trace parses back");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 10, "2 nested + 3 worker spans, B+E each");
+        // Replay per-tid stacks: every E must close the innermost open B
+        // of the same name on its own thread, and no B may stay open.
+        let mut stacks: std::collections::BTreeMap<u64, Vec<&str>> = Default::default();
+        for e in events {
+            let tid = e.get("tid").and_then(Json::as_u64).expect("tid");
+            let name = e.get("name").and_then(Json::as_str).expect("name");
+            match e.get("ph").and_then(Json::as_str).expect("ph") {
+                "B" => stacks.entry(tid).or_default().push(name),
+                "E" => assert_eq!(
+                    stacks.entry(tid).or_default().pop(),
+                    Some(name),
+                    "E must close the innermost B of the same name on tid {tid}"
+                ),
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        assert!(stacks.values().all(Vec::is_empty), "no B left open");
+    }
+
+    #[test]
+    fn chrome_export_round_trips_through_json_parse() {
+        let _g = lock();
+        let _ = take_trace();
+        start_tracing();
+        {
+            let _s = crate::Span::enter_with("trtest-export", &[("flops", 42.0)]);
+        }
+        record_counter("trtest-export-counter", 7.0);
+        stop_tracing();
+        let records = drain_named("trtest-export");
+        let mut out = Vec::new();
+        write_chrome_trace(&mut out, &records).expect("write to Vec cannot fail");
+        let text = String::from_utf8(out).expect("trace output is UTF-8");
+        let doc = Json::parse(&text).expect("exported trace parses back");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 3);
+        let phases: Vec<_> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Json::as_str))
+            .collect();
+        assert_eq!(phases, vec!["B", "E", "C"]);
+        let begin = &events[0];
+        assert_eq!(
+            begin
+                .get("args")
+                .and_then(|a| a.get("flops"))
+                .and_then(Json::as_f64),
+            Some(42.0)
+        );
+        assert_eq!(begin.get("pid").and_then(Json::as_u64), Some(1));
+        // ts is microseconds and non-decreasing across the pair.
+        let ts: Vec<_> = events
+            .iter()
+            .filter_map(|e| e.get("ts").and_then(Json::as_f64))
+            .collect();
+        assert!(ts[0] <= ts[1]);
+    }
+}

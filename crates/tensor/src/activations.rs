@@ -6,9 +6,17 @@
 //! finite-difference-tested.
 
 use crate::Tensor;
+use dropback_telemetry::Span;
+
+/// Span guard for an elementwise activation kernel, annotated with the
+/// payload it reads.
+fn act_span(x: &Tensor) -> Span {
+    Span::enter_with("activation", &[("bytes", (x.len() * 4) as f64)])
+}
 
 /// Logistic sigmoid `1 / (1 + e^{-x})`, numerically stable on both tails.
 pub fn sigmoid(x: &Tensor) -> Tensor {
+    let _span = act_span(x);
     x.map(sigmoid_scalar)
 }
 
@@ -25,21 +33,25 @@ pub fn sigmoid_scalar(v: f32) -> f32 {
 
 /// Sigmoid backward given the *output* `y`: `dx = dout · y · (1 − y)`.
 pub fn sigmoid_backward(dout: &Tensor, output: &Tensor) -> Tensor {
+    let _span = act_span(dout);
     dout.zip(output, |g, y| g * y * (1.0 - y))
 }
 
 /// Hyperbolic tangent.
 pub fn tanh(x: &Tensor) -> Tensor {
+    let _span = act_span(x);
     x.map(f32::tanh)
 }
 
 /// Tanh backward given the *output* `y`: `dx = dout · (1 − y²)`.
 pub fn tanh_backward(dout: &Tensor, output: &Tensor) -> Tensor {
+    let _span = act_span(dout);
     dout.zip(output, |g, y| g * (1.0 - y * y))
 }
 
 /// GELU (tanh approximation, as used by transformer stacks).
 pub fn gelu(x: &Tensor) -> Tensor {
+    let _span = act_span(x);
     x.map(gelu_scalar)
 }
 
@@ -53,6 +65,7 @@ fn gelu_scalar(v: f32) -> f32 {
 /// GELU backward given the *input* `x` (derivative of the tanh
 /// approximation).
 pub fn gelu_backward(dout: &Tensor, input: &Tensor) -> Tensor {
+    let _span = act_span(dout);
     dout.zip(input, |g, v| {
         let u = GELU_C * (v + 0.044715 * v * v * v);
         let t = u.tanh();
@@ -63,11 +76,13 @@ pub fn gelu_backward(dout: &Tensor, input: &Tensor) -> Tensor {
 
 /// Leaky ReLU with fixed negative slope.
 pub fn leaky_relu(x: &Tensor, slope: f32) -> Tensor {
+    let _span = act_span(x);
     x.map(|v| if v > 0.0 { v } else { slope * v })
 }
 
 /// Leaky ReLU backward given the *input*.
 pub fn leaky_relu_backward(dout: &Tensor, input: &Tensor, slope: f32) -> Tensor {
+    let _span = act_span(dout);
     dout.zip(input, |g, v| if v > 0.0 { g } else { slope * g })
 }
 

@@ -1,0 +1,102 @@
+//! Process-wide tensor-allocation accounting.
+//!
+//! Every [`Tensor`](crate::Tensor) registers its payload size (4 bytes per
+//! `f32` element) at construction and releases it on drop, maintaining a
+//! live-bytes counter and a high-water mark. The trainer samples the mark
+//! per epoch as a telemetry gauge / trace counter, answering "how much
+//! tensor memory did this configuration peak at?" — the memory half of the
+//! paper's pruned-weight-budget story.
+//!
+//! Everything is relaxed atomics: two uncontended read-modify-writes per
+//! tensor lifetime, noise next to the `Vec` allocation itself. Counts are
+//! element bytes only — `Vec` capacity slack and the shape vector are not
+//! modeled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static HWM_BYTES: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn track_alloc(bytes: usize) {
+    let live = LIVE_BYTES.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
+    HWM_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+pub(crate) fn track_free(bytes: usize) {
+    // Saturating rather than wrapping: a (would-be) accounting bug must
+    // never poison the high-water mark with a near-u64::MAX "live" value.
+    let _ = LIVE_BYTES.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_sub(bytes as u64))
+    });
+}
+
+/// Bytes of tensor payload currently alive in the process.
+pub fn live_bytes() -> u64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// Highest [`live_bytes`] value observed since process start (or the last
+/// [`reset_hwm`]).
+pub fn hwm_bytes() -> u64 {
+    HWM_BYTES.load(Ordering::Relaxed)
+}
+
+/// Resets the high-water mark to the current live total, so a caller can
+/// measure the peak of one phase (e.g. a single epoch) in isolation.
+pub fn reset_hwm() {
+    HWM_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    // Other tests in the crate allocate tensors concurrently (KBs), so
+    // these tests use multi-MB tensors and leave generous slack instead
+    // of asserting exact totals.
+
+    /// 4 MiB of payload — two orders of magnitude above anything the rest
+    /// of the test binary allocates at once.
+    const BIG: usize = 1 << 20;
+    const BIG_BYTES: u64 = (BIG as u64) * 4;
+    const SLACK: u64 = BIG_BYTES / 4;
+
+    #[test]
+    fn alloc_raises_live_and_hwm_and_drop_releases() {
+        let before = live_bytes();
+        let t = Tensor::zeros(vec![BIG]);
+        let with = live_bytes();
+        assert!(with >= before + BIG_BYTES, "alloc tracked");
+        assert!(hwm_bytes() >= with, "hwm covers the peak");
+        drop(t);
+        assert!(
+            live_bytes() <= with - BIG_BYTES + SLACK,
+            "drop released the payload"
+        );
+    }
+
+    #[test]
+    fn clone_and_into_vec_balance() {
+        let t = Tensor::from_fn(vec![BIG], |i| i as f32);
+        let live_one = live_bytes();
+        let c = t.clone();
+        assert!(live_bytes() >= live_one + BIG_BYTES, "clone tracked");
+        let with_clone = live_bytes();
+        let v = c.into_vec();
+        assert_eq!(v.len(), BIG);
+        assert!(
+            live_bytes() <= with_clone - BIG_BYTES + SLACK,
+            "into_vec released the tensor's accounting"
+        );
+        drop(t);
+    }
+
+    #[test]
+    fn reset_hwm_tracks_current_live() {
+        let t = Tensor::zeros(vec![BIG]);
+        reset_hwm();
+        assert!(hwm_bytes() >= BIG_BYTES, "reset keeps live tensors counted");
+        drop(t);
+    }
+}

@@ -8,15 +8,32 @@
 //! FLOPs countable for the energy model.
 
 use crate::{matmul, matmul_nt, matmul_tn, Tensor};
+use dropback_telemetry::{global, Counter, Span};
+use std::sync::OnceLock;
 
 /// Records one conv call over `n` samples in the global collector and
-/// returns the timing span guard. Compiled out without `telemetry`.
-#[cfg(feature = "telemetry")]
-fn conv_telemetry(span: &'static str, n: usize) -> dropback_telemetry::Span {
-    let g = dropback_telemetry::global();
-    g.counter("tensor.conv.calls").inc();
-    g.counter("tensor.conv.samples").add(n as u64);
-    dropback_telemetry::Span::enter(span)
+/// returns the timing span guard, annotated with the GEMM-equivalent FLOP
+/// count (`2 · f · col_rows · col_cols` per sample) so the trace analyzer
+/// can report conv GFLOP/s.
+fn conv_telemetry(n: usize, f: usize, g: ConvGeom) -> Span {
+    static COUNTERS: OnceLock<(Counter, Counter)> = OnceLock::new();
+    let (calls, samples) = COUNTERS.get_or_init(|| {
+        let c = global();
+        (
+            c.counter("tensor.conv.calls"),
+            c.counter("tensor.conv.samples"),
+        )
+    });
+    calls.inc();
+    samples.add(n as u64);
+    let flops = 2.0 * (n * f * g.col_rows() * g.col_cols()) as f64;
+    Span::enter_with("conv", &[("flops", flops), ("samples", n as f64)])
+}
+
+/// Span guard for the im2col/col2im lowering steps, annotated with the
+/// column-matrix payload size.
+fn lowering_span(name: &'static str, g: ConvGeom) -> Span {
+    Span::enter_with(name, &[("bytes", (g.col_rows() * g.col_cols() * 4) as f64)])
 }
 
 /// Output spatial size for a convolution/pooling dimension.
@@ -74,6 +91,7 @@ impl ConvGeom {
 
 /// Unrolls one `[c, h, w]` image into an `[c*kh*kw, oh*ow]` column matrix.
 pub fn im2col(x: &[f32], g: ConvGeom) -> Tensor {
+    let _span = lowering_span("im2col", g);
     let (oh, ow) = (g.oh(), g.ow());
     let mut col = vec![0.0f32; g.col_rows() * g.col_cols()];
     let cols = oh * ow;
@@ -106,6 +124,7 @@ pub fn im2col(x: &[f32], g: ConvGeom) -> Tensor {
 /// `[c, h, w]` image gradient (the adjoint of [`im2col`]).
 pub fn col2im(col: &Tensor, g: ConvGeom) -> Vec<f32> {
     assert_eq!(col.shape(), &[g.col_rows(), g.col_cols()], "col2im shape");
+    let _span = lowering_span("col2im", g);
     let (oh, ow) = (g.oh(), g.ow());
     let mut x = vec![0.0f32; g.c * g.h * g.w];
     let data = col.data();
@@ -168,8 +187,7 @@ pub fn conv2d_forward(
     if let Some(b) = bias {
         assert_eq!(b.len(), f, "bias len");
     }
-    #[cfg(feature = "telemetry")]
-    let _span = conv_telemetry("conv", n);
+    let _span = conv_telemetry(n, f, g);
     let (oh, ow) = (g.oh(), g.ow());
     let sample = g.c * g.h * g.w;
     let mut out = vec![0.0f32; n * f * oh * ow];
@@ -212,8 +230,7 @@ pub fn conv2d_backward(
     let n = dout.shape()[0];
     let f = dout.shape()[1];
     assert_eq!(n, cols.len(), "one im2col matrix per sample");
-    #[cfg(feature = "telemetry")]
-    let _span = conv_telemetry("conv", n);
+    let _span = conv_telemetry(n, f, g);
     let (oh, ow) = (g.oh(), g.ow());
     assert_eq!(dout.shape()[2..], [oh, ow], "dout spatial dims");
     let mut dw = Tensor::zeros(vec![f, g.col_rows()]);
@@ -249,6 +266,7 @@ pub fn conv2d_backward(
 /// Panics if the input is not rank-4 or the window does not fit.
 pub fn maxpool2d(x: &Tensor, size: usize, stride: usize) -> (Tensor, Vec<u32>) {
     assert_eq!(x.rank(), 4, "pool input must be [n,c,h,w]");
+    let _span = Span::enter_with("pool", &[("bytes", (x.len() * 4) as f64)]);
     let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let oh = out_dim(h, size, stride, 0);
     let ow = out_dim(w, size, stride, 0);
@@ -283,6 +301,7 @@ pub fn maxpool2d(x: &Tensor, size: usize, stride: usize) -> (Tensor, Vec<u32>) {
 /// element that won the max.
 pub fn maxpool2d_backward(dout: &Tensor, argmax: &[u32], input_shape: &[usize]) -> Tensor {
     assert_eq!(dout.len(), argmax.len(), "dout/argmax length mismatch");
+    let _span = Span::enter_with("pool", &[("bytes", (dout.len() * 4) as f64)]);
     let mut dx = Tensor::zeros(input_shape.to_vec());
     let dxd = dx.data_mut();
     for (&g, &idx) in dout.data().iter().zip(argmax) {
@@ -298,6 +317,7 @@ pub fn maxpool2d_backward(dout: &Tensor, argmax: &[u32], input_shape: &[usize]) 
 /// Panics if the input is not rank-4.
 pub fn global_avg_pool(x: &Tensor) -> Tensor {
     assert_eq!(x.rank(), 4, "pool input must be [n,c,h,w]");
+    let _span = Span::enter_with("pool", &[("bytes", (x.len() * 4) as f64)]);
     let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let hw = (h * w) as f32;
     let mut out = vec![0.0f32; n * c];
@@ -311,6 +331,7 @@ pub fn global_avg_pool(x: &Tensor) -> Tensor {
 /// over the corresponding `h*w` plane.
 pub fn global_avg_pool_backward(dout: &Tensor, input_shape: &[usize]) -> Tensor {
     assert_eq!(dout.rank(), 2, "dout must be [n,c]");
+    let _span = Span::enter_with("pool", &[("bytes", (dout.len() * 4) as f64)]);
     let (h, w) = (input_shape[2], input_shape[3]);
     let hw = (h * w) as f32;
     let mut dx = Tensor::zeros(input_shape.to_vec());
@@ -326,6 +347,7 @@ pub fn global_avg_pool_backward(dout: &Tensor, input_shape: &[usize]) -> Tensor 
 /// Average pooling over `[n, c, h, w]` with square window `size`/`stride`.
 pub fn avgpool2d(x: &Tensor, size: usize, stride: usize) -> Tensor {
     assert_eq!(x.rank(), 4, "pool input must be [n,c,h,w]");
+    let _span = Span::enter_with("pool", &[("bytes", (x.len() * 4) as f64)]);
     let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let oh = out_dim(h, size, stride, 0);
     let ow = out_dim(w, size, stride, 0);
@@ -357,6 +379,7 @@ pub fn avgpool2d_backward(
     stride: usize,
     input_shape: &[usize],
 ) -> Tensor {
+    let _span = Span::enter_with("pool", &[("bytes", (dout.len() * 4) as f64)]);
     let (h, w) = (input_shape[2], input_shape[3]);
     let (oh, ow) = (dout.shape()[2], dout.shape()[3]);
     let inv = 1.0 / (size * size) as f32;

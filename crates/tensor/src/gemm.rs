@@ -11,10 +11,13 @@
 //! problem is large enough, row blocks are distributed over threads with
 //! `std::thread::scope`.
 //!
-//! With the `telemetry` feature enabled, every entry point records a
-//! `"gemm"` span plus call/FLOP counters in the global collector.
+//! Every entry point records a `"gemm"` span (annotated with the call's
+//! FLOP count for the trace analyzer's GFLOP/s column) plus call/FLOP
+//! counters in the global collector.
 
 use crate::Tensor;
+use dropback_telemetry::{global, Counter, Span};
+use std::sync::OnceLock;
 
 /// Problems smaller than this many multiply-accumulates stay single-threaded.
 const PARALLEL_THRESHOLD: usize = 1 << 18;
@@ -26,13 +29,22 @@ fn num_threads() -> usize {
 }
 
 /// Records one gemm call of `2·m·n·k` FLOPs in the global collector and
-/// returns the timing span guard. Compiled out without `telemetry`.
-#[cfg(feature = "telemetry")]
-fn gemm_telemetry(m: usize, k: usize, n: usize) -> dropback_telemetry::Span {
-    let g = dropback_telemetry::global();
-    g.counter("tensor.gemm.calls").inc();
-    g.counter("tensor.gemm.flops").add(2 * (m * n * k) as u64);
-    dropback_telemetry::Span::enter("gemm")
+/// returns the timing span guard, annotated with the FLOP count so the
+/// trace analyzer can derive per-kernel GFLOP/s. Counter handles are
+/// resolved once — the per-call cost is two relaxed atomic adds.
+fn gemm_telemetry(m: usize, k: usize, n: usize) -> Span {
+    static COUNTERS: OnceLock<(Counter, Counter)> = OnceLock::new();
+    let (calls, flops) = COUNTERS.get_or_init(|| {
+        let g = global();
+        (
+            g.counter("tensor.gemm.calls"),
+            g.counter("tensor.gemm.flops"),
+        )
+    });
+    let nflops = 2 * (m * n * k) as u64;
+    calls.inc();
+    flops.add(nflops);
+    Span::enter_with("gemm", &[("flops", nflops as f64)])
 }
 
 /// `C = A · B` for rank-2 tensors `A: [m, k]`, `B: [k, n]`.
@@ -44,7 +56,6 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "matmul lhs");
     let (k2, n) = dims2(b, "matmul rhs");
     assert_eq!(k, k2, "matmul inner dims: lhs [{m},{k}] vs rhs [{k2},{n}]");
-    #[cfg(feature = "telemetry")]
     let _span = gemm_telemetry(m, k, n);
     let mut out = vec![0.0f32; m * n];
     gemm_rows(a.data(), b.data(), &mut out, m, k, n);
@@ -63,7 +74,6 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
         k, k2,
         "matmul_tn shared dim: lhs [{k},{m}] vs rhs [{k2},{n}]"
     );
-    #[cfg(feature = "telemetry")]
     let _span = gemm_telemetry(m, k, n);
     // Transposing A up front turns this into the cache-friendly kernel; the
     // copy is O(km) against O(kmn) compute.
@@ -85,7 +95,6 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
         k, k2,
         "matmul_nt shared dim: lhs [{m},{k}] vs rhs [{n},{k2}]"
     );
-    #[cfg(feature = "telemetry")]
     let _span = gemm_telemetry(m, k, n);
     let mut out = vec![0.0f32; m * n];
     let work = m * n * k;
@@ -283,7 +292,6 @@ mod tests {
         matmul(&a, &b);
     }
 
-    #[cfg(feature = "telemetry")]
     #[test]
     fn telemetry_hook_counts_calls_and_flops() {
         let g = dropback_telemetry::global();
@@ -292,11 +300,10 @@ mod tests {
         let a = rand_tensor(vec![4, 5], 20);
         let b = rand_tensor(vec![5, 6], 21);
         let _ = matmul(&a, &b);
-        assert_eq!(g.counter("tensor.gemm.calls").get(), calls_before + 1);
-        assert_eq!(
-            g.counter("tensor.gemm.flops").get(),
-            flops_before + 2 * 4 * 5 * 6
-        );
+        // Other tests call matmul concurrently in this process, so the
+        // deltas are lower bounds rather than exact.
+        assert!(g.counter("tensor.gemm.calls").get() > calls_before);
+        assert!(g.counter("tensor.gemm.flops").get() >= flops_before + 2 * 4 * 5 * 6);
     }
 
     #[test]

@@ -10,6 +10,14 @@
 //!   (threads via `std::thread::scope`, no external dependency needed).
 //! * [`conv`] — `im2col`/`col2im` convolution helpers and pooling kernels.
 //! * [`ops`] — numerically-stable softmax / log-softmax and friends.
+//! * [`alloc`] — process-wide tensor-allocation accounting (live bytes +
+//!   high-water mark), sampled by the trainer's telemetry.
+//!
+//! The hot kernels (gemm, im2col/col2im, conv, pooling, activations) are
+//! permanently instrumented with `dropback-telemetry` spans annotated with
+//! flop/byte counts; with both timing and tracing off a span costs one
+//! relaxed atomic load, so the instrumentation lives in the kernels
+//! unconditionally.
 //!
 //! The crate is deliberately framework-free: every operation is a pure
 //! function over `Tensor`, and all state (e.g. pooling argmax caches) is
@@ -31,6 +39,7 @@
 #![deny(missing_docs)]
 
 pub mod activations;
+pub mod alloc;
 pub mod axis;
 pub mod conv;
 mod gemm;

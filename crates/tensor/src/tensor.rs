@@ -7,10 +7,25 @@ use std::ops::{Add, AddAssign, Mul, Sub};
 ///
 /// Invariant: `data.len() == shape.iter().product()`. A rank-0 tensor is not
 /// supported; scalars are rank-1 tensors of length 1.
-#[derive(Clone, PartialEq)]
+///
+/// Payload bytes are registered with [`crate::alloc`] at construction and
+/// released on drop, feeding the process-wide allocation high-water mark.
+#[derive(PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Self::tracked(self.shape.clone(), self.data.clone())
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        crate::alloc::track_free(self.data.len() * 4);
+    }
 }
 
 impl fmt::Debug for Tensor {
@@ -31,6 +46,12 @@ impl fmt::Debug for Tensor {
 }
 
 impl Tensor {
+    /// The single tracked constructor every other one funnels through.
+    fn tracked(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        crate::alloc::track_alloc(data.len() * 4);
+        Self { shape, data }
+    }
+
     /// Creates a tensor of zeros with the given shape.
     ///
     /// # Panics
@@ -47,10 +68,7 @@ impl Tensor {
     /// Panics if the shape is empty or has a zero dimension.
     pub fn filled(shape: Vec<usize>, value: f32) -> Self {
         let n = checked_len(&shape);
-        Self {
-            shape,
-            data: vec![value; n],
-        }
+        Self::tracked(shape, vec![value; n])
     }
 
     /// Creates a tensor from a flat `Vec` in row-major order.
@@ -68,16 +86,14 @@ impl Tensor {
             n,
             data.len()
         );
-        Self { shape, data }
+        Self::tracked(shape, data)
     }
 
     /// Creates a tensor by evaluating `f` at each flat index.
     pub fn from_fn(shape: Vec<usize>, mut f: impl FnMut(usize) -> f32) -> Self {
         let n = checked_len(&shape);
-        Self {
-            shape,
-            data: (0..n).map(&mut f).collect(),
-        }
+        let data = (0..n).map(&mut f).collect();
+        Self::tracked(shape, data)
     }
 
     /// The tensor's shape.
@@ -117,8 +133,11 @@ impl Tensor {
     }
 
     /// Consumes the tensor, returning its flat data.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        let data = std::mem::take(&mut self.data);
+        // `Drop` will see the emptied vec, so release the payload here.
+        crate::alloc::track_free(data.len() * 4);
+        data
     }
 
     /// Element at a 2-D position.
@@ -203,10 +222,10 @@ impl Tensor {
 
     /// Applies `f` elementwise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Tensor::tracked(
+            self.shape.clone(),
+            self.data.iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// Applies `f` elementwise in place.
@@ -223,15 +242,14 @@ impl Tensor {
     /// Panics if the shapes differ.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch in zip");
-        Tensor {
-            shape: self.shape.clone(),
-            data: self
-                .data
+        Tensor::tracked(
+            self.shape.clone(),
+            self.data
                 .iter()
                 .zip(&other.data)
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
-        }
+        )
     }
 
     /// Multiplies every element by `s`, in place.

@@ -27,4 +27,17 @@ cargo test -q -p dropback --test corruption
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== trace smoke (Chrome trace export parses, spans pair up)"
+# A short traced training run, then the analyzer re-parses the file and
+# fails on JSON errors or unpaired begin/end events.
+TRACE_TMP="$(mktemp -t dropback-trace-smoke.XXXXXX.json)"
+trap 'rm -f "$TRACE_TMP"' EXIT
+cargo build --release -q -p dropback --bins
+./target/release/dropback-cli train --model mnist-100-100 --epochs 2 \
+    --budget 20000 --train 600 --test 150 --trace "$TRACE_TMP" --quiet > /dev/null
+if ! ./target/release/dropback-trace "$TRACE_TMP" > /dev/null; then
+    echo "dropback-trace rejected the smoke trace (parse error or unpaired events)" >&2
+    exit 1
+fi
+
 echo "All checks passed."
