@@ -80,6 +80,7 @@ fn known_flags(cmd: &str) -> &'static [&'static str] {
             "seed",
             "telemetry",
             "trace",
+            "threads",
             "quiet",
         ],
         "eval" => &["model", "checkpoint", "data", "train", "test", "seed"],
@@ -315,6 +316,14 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let lr = get(flags, "lr", 0.2f32)?;
     let budget = get(flags, "budget", 0usize)?;
     let quiet = flags.contains_key("quiet");
+    // Worker-pool override; results are bit-identical at any value (see
+    // docs/PERFORMANCE.md), so this is purely a throughput knob.
+    if let Some(threads) = flags.get("threads") {
+        let n: usize = threads
+            .parse()
+            .map_err(|_| format!("--threads expects a positive integer, got {threads:?}"))?;
+        dropback_tensor::pool::set_threads(n.max(1));
+    }
     let mut telemetry = telemetry_from_flags(flags)?;
     let trace_path = start_trace_from_flags(flags)?;
     let mut net = build_model(&model_name, seed)?;

@@ -307,6 +307,7 @@ impl Trainer {
                     "tensor.alloc_hwm_bytes",
                     dropback_tensor::alloc::hwm_bytes() as f64,
                 );
+                trace::record_counter("pool.threads", dropback_tensor::pool::threads() as f64);
             }
             let stats = EpochStats {
                 epoch,

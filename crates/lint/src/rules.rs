@@ -58,6 +58,12 @@ pub fn all_rules() -> &'static [Rule] {
             check: unsafe_safety,
         },
         Rule {
+            id: "raw-thread",
+            summary: "no raw std::thread::spawn/scope outside the worker pool \
+                      (crates/tensor/src/pool.rs owns thread lifecycle and determinism)",
+            check: raw_thread,
+        },
+        Rule {
             id: "todo-marker",
             summary: "TODO/FIXME inventory (informational)",
             check: todo_marker,
@@ -261,6 +267,38 @@ fn unsafe_safety(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
+/// The one file allowed to create threads: the worker pool owns thread
+/// lifecycle (spawn count, retirement, panic routing) and carries the
+/// determinism contract every parallel kernel relies on. Raw spawns
+/// elsewhere would bypass `DROPBACK_THREADS`, the pool's engagement
+/// counters, and the thread-invariance guarantees.
+const THREAD_PATHS: &[&str] = &["crates/tensor/src/pool.rs"];
+
+fn raw_thread(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.role == Role::Aux || THREAD_PATHS.iter().any(|p| ctx.path.starts_with(p)) {
+        return;
+    }
+    for w in ctx.significant.windows(3) {
+        let (a, b, c) = (&ctx.tokens[w[0]], &ctx.tokens[w[1]], &ctx.tokens[w[2]]);
+        if a.is_ident("thread")
+            && b.is_punct("::")
+            && (c.is_ident("spawn") || c.is_ident("scope"))
+            && !ctx.in_test(w[2])
+        {
+            out.push(ctx.finding(
+                "raw-thread",
+                w[2],
+                format!(
+                    "thread::{} bypasses the worker pool; submit tasks through \
+                     dropback_tensor::pool so DROPBACK_THREADS, engagement counters, and the \
+                     thread-count-invariance contract keep holding",
+                    c.text
+                ),
+            ));
+        }
+    }
+}
+
 fn todo_marker(ctx: &FileCtx, out: &mut Vec<Finding>) {
     for t in &ctx.tokens {
         if !t.is_comment() {
@@ -402,6 +440,35 @@ mod tests {
         );
         let ok = "// SAFETY: g upholds the aliasing contract.\nfn f() { unsafe { g() } }";
         assert!(rules_hit("crates/tensor/src/gemm.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn raw_thread_flagged_outside_pool() {
+        let spawn = "fn f() { std::thread::spawn(|| {}); }";
+        let scope = "fn f() { std::thread::scope(|s| { let _ = s; }); }";
+        assert_eq!(
+            rules_hit("crates/tensor/src/gemm.rs", spawn),
+            vec!["raw-thread"]
+        );
+        assert_eq!(
+            rules_hit("crates/optim/src/topk.rs", scope),
+            vec!["raw-thread"]
+        );
+        // The pool module owns thread lifecycle; tests and benches may
+        // spawn helpers freely.
+        assert!(rules_hit("crates/tensor/src/pool.rs", spawn).is_empty());
+        assert!(rules_hit("crates/tensor/tests/pool_overhead.rs", spawn).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests { fn t() { std::thread::spawn(|| {}); } }";
+        assert!(rules_hit("crates/core/src/trainer.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn thread_lookalikes_are_clean() {
+        // Other items from std::thread stay legal — only spawn/scope create
+        // threads behind the pool's back.
+        let src = "fn f() { let n = std::thread::available_parallelism(); \
+                   std::thread::sleep(d); my::scope(); spawn(); }";
+        assert!(rules_hit("crates/core/src/trainer.rs", src).is_empty());
     }
 
     #[test]

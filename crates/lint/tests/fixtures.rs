@@ -131,6 +131,12 @@ fn seeded_workspace_yields_expected_findings() {
     assert_eq!(hits("float-eq"), vec!["crates/nn/src/lib.rs"]);
     // raw_read has no SAFETY comment; checked_read does.
     assert_eq!(hits("unsafe-safety"), vec!["crates/nn/src/lib.rs"]);
+    // bad_thread.rs: one spawn + one scope outside the pool; the fixture
+    // pool.rs (sanctioned owner) and the test-module spawn stay clean.
+    assert_eq!(hits("raw-thread").len(), 2);
+    assert!(hits("raw-thread")
+        .iter()
+        .all(|p| p == "crates/tensor/src/bad_thread.rs"));
     // One TODO marker, informational.
     assert_eq!(report.todos.len(), 1);
 }
@@ -145,12 +151,13 @@ fn allowlist_suppresses_seeded_findings_with_justification() {
          no-unwrap crates/ -- fixture exercises suppression\n\
          no-print crates/nn/src/lib.rs -- fixture exercises suppression\n\
          float-eq crates/nn/src/lib.rs -- fixture exercises suppression\n\
-         unsafe-safety crates/nn/src/lib.rs -- fixture exercises suppression\n",
+         unsafe-safety crates/nn/src/lib.rs -- fixture exercises suppression\n\
+         raw-thread crates/tensor/src/bad_thread.rs -- fixture exercises suppression\n",
     )
     .expect("well-formed allowlist");
     let report = check_workspace(&root, &allow).expect("fixture ws lints");
     assert!(!report.has_failures(), "all findings suppressed");
-    assert_eq!(report.suppressed.len(), 11);
+    assert_eq!(report.suppressed.len(), 13);
     assert!(report.unused_allows.is_empty());
 }
 

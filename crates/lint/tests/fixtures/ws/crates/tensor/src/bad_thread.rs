@@ -1,0 +1,38 @@
+//! Fixture: raw thread creation outside the worker pool.
+//!
+//! Both call sites below must be flagged by `raw-thread`; the decoys in
+//! the string, the comment, and the test module must not.
+
+/// A kernel that spawns its own helper thread instead of using the pool.
+pub fn rogue_spawn() {
+    let handle = std::thread::spawn(|| 41 + 1);
+    let _ = handle.join();
+}
+
+/// A kernel that opens a scoped region instead of submitting pool tasks.
+pub fn rogue_scope(data: &mut [u64]) {
+    std::thread::scope(|s| {
+        for chunk in data.chunks_mut(2) {
+            s.spawn(move || {
+                for v in chunk.iter_mut() {
+                    *v += 1;
+                }
+            });
+        }
+    });
+}
+
+/// Decoy: the words "thread::spawn" in a string are not a call.
+pub fn describe() -> &'static str {
+    // A comment mentioning thread::scope is also fine.
+    "never call thread::spawn directly"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_helpers_may_spawn() {
+        let h = std::thread::spawn(|| 7u8);
+        assert_eq!(h.join().ok(), Some(7));
+    }
+}

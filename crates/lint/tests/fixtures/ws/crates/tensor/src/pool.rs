@@ -1,0 +1,10 @@
+//! Fixture: the sanctioned thread owner. `raw-thread` allowlists this
+//! path, so the spawn below must stay clean without any `lint.allow`
+//! entry — mirroring the real `crates/tensor/src/pool.rs`.
+
+/// Spawns the worker set; only this module may create threads.
+pub fn start_workers(n: usize) -> Vec<std::thread::JoinHandle<()>> {
+    (1..n)
+        .map(|_| std::thread::spawn(|| {}))
+        .collect()
+}

@@ -109,6 +109,7 @@ mod tests {
     use crate::conv_layer::Conv2d;
     use crate::linear::Linear;
     use crate::norm::BatchNorm;
+    use crate::pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
 
     fn wavy(shape: Vec<usize>) -> Tensor {
         Tensor::from_fn(shape, |i| ((i as f32) * 0.61).sin() * 0.8)
@@ -164,6 +165,59 @@ mod tests {
         let mut l = BatchNorm::new(&mut ps, "bn", 3);
         let x = wavy(vec![5, 3]);
         let r = check_layer(&mut l, &mut ps, &x, 1e-2, 1);
+        assert!(r.passes(0.08), "{r:?}");
+    }
+
+    #[test]
+    fn maxpool_passes() {
+        let mut ps = ParamStore::new(3);
+        let mut l = MaxPool2d::new(2, 2);
+        // Distinct values keep every pooling window's argmax stable under
+        // the ±eps probes (ties would make the loss non-differentiable).
+        let x = Tensor::from_fn(vec![2, 2, 4, 4], |i| ((i * 7919) % 101) as f32 * 0.1);
+        let r = check_layer(&mut l, &mut ps, &x, 1e-3, 1);
+        assert!(r.passes(0.05), "{r:?}");
+        assert!(r.inputs_checked > 0);
+    }
+
+    #[test]
+    fn avgpool_passes() {
+        let mut ps = ParamStore::new(3);
+        let mut l = AvgPool2d::new(2, 2);
+        let x = wavy(vec![2, 3, 4, 4]);
+        let r = check_layer(&mut l, &mut ps, &x, 1e-3, 1);
+        assert!(r.passes(0.05), "{r:?}");
+    }
+
+    #[test]
+    fn global_avg_pool_passes() {
+        let mut ps = ParamStore::new(3);
+        let mut l = GlobalAvgPool::new();
+        let x = wavy(vec![2, 4, 3, 3]);
+        let r = check_layer(&mut l, &mut ps, &x, 1e-3, 1);
+        assert!(r.passes(0.05), "{r:?}");
+    }
+
+    #[test]
+    fn conv_passes_at_parallel_sizes() {
+        // Large enough that im2col/conv cross the pool's chunking paths
+        // (multiple channels and samples), checked with a sparse stride to
+        // stay fast. The result must agree with finite differences at the
+        // ambient thread count, whatever it is.
+        let mut ps = ParamStore::new(5);
+        let mut l = Conv2d::new(&mut ps, "c", 4, 6, 3, 1, 1);
+        let x = wavy(vec![2, 4, 8, 8]);
+        let r = check_layer(&mut l, &mut ps, &x, 1e-2, 29);
+        assert!(r.passes(0.08), "{r:?}");
+        assert!(r.params_checked > 0 && r.inputs_checked > 0);
+    }
+
+    #[test]
+    fn batchnorm_passes_at_parallel_sizes() {
+        let mut ps = ParamStore::new(5);
+        let mut l = BatchNorm::new(&mut ps, "bn", 8);
+        let x = wavy(vec![32, 8]);
+        let r = check_layer(&mut l, &mut ps, &x, 1e-2, 17);
         assert!(r.passes(0.08), "{r:?}");
     }
 

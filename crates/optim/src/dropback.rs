@@ -1,10 +1,16 @@
 //! The DropBack training rule (Algorithm 1 of the paper).
 
 use crate::state::encode_opt_epoch;
-use crate::topk::top_k_mask;
+use crate::topk::top_k_mask_sharded;
 use crate::{OptState, Optimizer, StateError, StateField};
 use dropback_nn::ParamStore;
 use dropback_telemetry::Span;
+use dropback_tensor::pool;
+
+/// Elements per parallel chunk for the score/update/regen sweeps. Fixed
+/// (never derived from the thread count), so the per-element work
+/// assignment is identical at any `DROPBACK_THREADS` value.
+const CHUNK: usize = 1 << 14;
 
 /// DropBack: continuous pruning during training.
 ///
@@ -151,22 +157,32 @@ impl Optimizer for DropBack {
             let _rank_span = Span::enter("topk-rank");
             // Score: tracked -> |w - w0| (recomputed, Algorithm 1's T);
             //        untracked -> |lr·g| (Algorithm 1's U).
+            // Each score depends only on its own index, so the sweep is
+            // chunked over the pool per range.
+            let mask = &self.mask;
+            let zero_untracked = self.zero_untracked;
+            let (params, grads) = (ps.params(), ps.grads());
             for r in &ranges {
                 let scheme = r.scheme();
-                for i in r.start()..r.end() {
-                    self.scores[i] = if self.mask[i] {
-                        let origin = if self.zero_untracked {
-                            0.0
+                let start = r.start();
+                pool::for_each_chunk_mut(&mut self.scores[start..r.end()], CHUNK, |ci, chunk| {
+                    let base = start + ci * CHUNK;
+                    for (j, s) in chunk.iter_mut().enumerate() {
+                        let i = base + j;
+                        *s = if mask[i] {
+                            let origin = if zero_untracked {
+                                0.0
+                            } else {
+                                scheme.value(seed, i as u64)
+                            };
+                            (params[i] - origin).abs()
                         } else {
-                            scheme.value(seed, i as u64)
+                            (lr * grads[i]).abs()
                         };
-                        (ps.params()[i] - origin).abs()
-                    } else {
-                        (lr * ps.grads()[i]).abs()
-                    };
-                }
+                    }
+                });
             }
-            top_k_mask(&self.scores, self.k)
+            top_k_mask_sharded(&self.scores, self.k)
         };
         self.last_swaps = if self.frozen {
             0
@@ -185,26 +201,37 @@ impl Optimizer for DropBack {
         // needed to preserve the invariant untracked ⇒ w == init.
         {
             let (params, grads) = ps.update_view();
-            for i in 0..n {
-                if new_mask[i] {
-                    params[i] -= lr * grads[i];
-                }
-            }
-        }
-        {
-            let _regen_span = Span::enter("regen");
-            for r in &ranges {
-                let scheme = r.scheme();
-                let params = ps.params_mut();
-                for i in r.start()..r.end() {
-                    if !new_mask[i] {
-                        params[i] = if self.zero_untracked {
-                            0.0
-                        } else {
-                            scheme.value(seed, i as u64)
-                        };
+            pool::for_each_chunk_mut(params, CHUNK, |ci, chunk| {
+                let base = ci * CHUNK;
+                for (j, p) in chunk.iter_mut().enumerate() {
+                    if new_mask[base + j] {
+                        *p -= lr * grads[base + j];
                     }
                 }
+            });
+        }
+        {
+            // Regeneration is O(1) per index (`scheme.value(seed, i)`), so
+            // untracked shards regenerate embarrassingly parallel.
+            let _regen_span = Span::enter("regen");
+            let zero_untracked = self.zero_untracked;
+            for r in &ranges {
+                let scheme = r.scheme();
+                let start = r.start();
+                let params = ps.params_mut();
+                pool::for_each_chunk_mut(&mut params[start..r.end()], CHUNK, |ci, chunk| {
+                    let base = start + ci * CHUNK;
+                    for (j, p) in chunk.iter_mut().enumerate() {
+                        let i = base + j;
+                        if !new_mask[i] {
+                            *p = if zero_untracked {
+                                0.0
+                            } else {
+                                scheme.value(seed, i as u64)
+                            };
+                        }
+                    }
+                });
             }
         }
         self.mask = new_mask;

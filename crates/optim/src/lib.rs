@@ -47,7 +47,7 @@ pub use sgd::Sgd;
 pub use slim::NetworkSlimming;
 pub use sparse::SparseDropBack;
 pub use state::{OptState, StateError, StateField};
-pub use topk::top_k_mask;
+pub use topk::{top_k_mask, top_k_mask_sharded};
 pub use vd::KlAnneal;
 
 use dropback_nn::ParamStore;

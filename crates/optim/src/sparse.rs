@@ -17,11 +17,16 @@
 //! `dropback-lint` `hash-iteration` rule enforces this mechanically.
 
 use crate::state::encode_opt_epoch;
-use crate::topk::top_k_mask;
+use crate::topk::top_k_mask_sharded;
 use crate::{OptState, Optimizer, StateError, StateField};
 use dropback_nn::ParamStore;
 use dropback_telemetry::Span;
+use dropback_tensor::pool;
 use std::collections::BTreeMap;
+
+/// Elements per parallel chunk for the score and reconstruction sweeps
+/// (fixed, thread-count-independent — same contract as the dense rule).
+const CHUNK: usize = 1 << 14;
 
 /// DropBack with the tracked set held in an actual sparse map.
 #[derive(Debug, Clone)]
@@ -98,17 +103,23 @@ impl Optimizer for SparseDropBack {
                 // Walking range-by-range keeps the per-index init scheme in
                 // hand without a per-index range search.
                 let mut scores = vec![0.0f32; n];
+                let tracked = &self.tracked;
+                let grads = ps.grads();
                 for r in &ranges {
                     let scheme = r.scheme();
-                    for (off, s) in scores[r.start()..r.end()].iter_mut().enumerate() {
-                        let i = r.start() + off;
-                        *s = match self.tracked.get(&i) {
-                            Some(&w) => (w - scheme.value(seed, i as u64)).abs(),
-                            None => (lr * ps.grads()[i]).abs(),
-                        };
-                    }
+                    let start = r.start();
+                    pool::for_each_chunk_mut(&mut scores[start..r.end()], CHUNK, |ci, chunk| {
+                        let base = start + ci * CHUNK;
+                        for (j, s) in chunk.iter_mut().enumerate() {
+                            let i = base + j;
+                            *s = match tracked.get(&i) {
+                                Some(&w) => (w - scheme.value(seed, i as u64)).abs(),
+                                None => (lr * grads[i]).abs(),
+                            };
+                        }
+                    });
                 }
-                top_k_mask(&scores, self.k)
+                top_k_mask_sharded(&scores, self.k)
             };
             let grads = ps.grads().to_vec();
             let mut next: BTreeMap<usize, f32> = BTreeMap::new();
@@ -134,15 +145,21 @@ impl Optimizer for SparseDropBack {
         // values from the map, everything else regenerated.
         {
             let _regen_span = Span::enter("regen");
+            let tracked = &self.tracked;
             for r in &ranges {
                 let scheme = r.scheme();
+                let start = r.start();
                 let params = ps.params_mut();
-                for (i, p) in params.iter_mut().enumerate().take(r.end()).skip(r.start()) {
-                    *p = match self.tracked.get(&i) {
-                        Some(&w) => w,
-                        None => scheme.value(seed, i as u64),
-                    };
-                }
+                pool::for_each_chunk_mut(&mut params[start..r.end()], CHUNK, |ci, chunk| {
+                    let base = start + ci * CHUNK;
+                    for (j, p) in chunk.iter_mut().enumerate() {
+                        let i = base + j;
+                        *p = match tracked.get(&i) {
+                            Some(&w) => w,
+                            None => scheme.value(seed, i as u64),
+                        };
+                    }
+                });
             }
         }
         self.steps += 1;

@@ -1,4 +1,12 @@
 //! Deterministic top-k selection used by DropBack's tracked-set update.
+//!
+//! Two implementations produce the exact same mask: the serial
+//! [`top_k_mask`] reference, and [`top_k_mask_sharded`], which ranks fixed
+//! `SHARD`-sized score shards in parallel on the `dropback-tensor` worker
+//! pool and merges per-shard candidates. The sharded selection is
+//! bit-identical to the serial one (same threshold, same lowest-index
+//! tie-break) at any thread count — see `docs/PERFORMANCE.md` for the
+//! argument and `tests/thread_invariance.rs` for the end-to-end pin.
 
 /// Returns a boolean mask selecting exactly `min(k, n)` elements with the
 /// largest `scores`, breaking ties by preferring lower indices
@@ -52,6 +60,77 @@ fn kth_largest(scores: &[f32], k: usize) -> f32 {
     *nth
 }
 
+/// Scores per shard for [`top_k_mask_sharded`]. Fixed (never derived from
+/// the thread count) so the shard boundaries — and the merged candidate
+/// pool — are identical at any `DROPBACK_THREADS` value.
+const SHARD: usize = 1 << 15;
+
+/// Sharded [`top_k_mask`]: bit-identical result, parallel selection.
+///
+/// Each fixed-size shard contributes its top `min(k, shard_len)` values to
+/// a candidate pool. Every element of the global top-k is in the pool:
+/// a value `x` among the `k` largest overall has fewer than `k` elements
+/// `≥ x` globally, hence fewer than `k` within its shard, so `x` survives
+/// its shard's selection. The pool is also a sub-multiset of `scores`, so
+/// its `k`-th largest equals the global `k`-th largest, and the final
+/// strict-greater / lowest-index-tie-fill passes reproduce the serial mask
+/// exactly.
+///
+/// Falls back to the serial reference when the input is small or `k` is a
+/// large fraction of `n` (the candidate pool would approach `n` anyway) —
+/// both paths return the same mask, so the cutover is invisible.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn top_k_mask_sharded(scores: &[f32], k: usize) -> Vec<bool> {
+    assert!(k > 0, "top-k of zero elements is meaningless");
+    let n = scores.len();
+    if k >= n {
+        return vec![true; n];
+    }
+    let shards = n.div_ceil(SHARD);
+    if shards < 2 || k.saturating_mul(4) >= n {
+        return top_k_mask(scores, k);
+    }
+    let candidates = dropback_tensor::pool::map_indexed(shards, |s| {
+        let lo = s * SHARD;
+        let hi = (lo + SHARD).min(n);
+        let mut buf: Vec<f32> = scores[lo..hi].to_vec();
+        let kk = k.min(buf.len());
+        let (top, nth, _) = buf.select_nth_unstable_by(kk - 1, |a, b| {
+            b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut v = top.to_vec();
+        v.push(*nth);
+        v
+    });
+    let merged: Vec<f32> = candidates.into_iter().flatten().collect();
+    let threshold = kth_largest(&merged, k);
+    let mut mask = vec![false; n];
+    // Strict-greater pass, parallel over the same fixed shards (each mask
+    // element depends only on its own score).
+    dropback_tensor::pool::for_each_chunk_mut(&mut mask, SHARD, |ci, chunk| {
+        let base = ci * SHARD;
+        for (j, m) in chunk.iter_mut().enumerate() {
+            *m = scores[base + j] > threshold;
+        }
+    });
+    let mut taken = mask.iter().filter(|&&m| m).count();
+    // Serial tie-fill, lowest index first — identical to the reference.
+    for (i, &s) in scores.iter().enumerate() {
+        if taken == k {
+            break;
+        }
+        if !mask[i] && s == threshold {
+            mask[i] = true;
+            taken += 1;
+        }
+    }
+    debug_assert_eq!(taken, k);
+    mask
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,7 +179,8 @@ mod tests {
 
     #[test]
     fn reference_equivalence_random() {
-        // Property-style check against a full-sort reference.
+        // Property-style check against a full-sort reference; the sharded
+        // implementation must agree with both.
         let mut state = 0x12345u64;
         let mut next = move || {
             state ^= state << 13;
@@ -119,6 +199,86 @@ mod tests {
                 order[..k.min(n)].iter().copied().collect();
             let got: std::collections::BTreeSet<usize> = selected(&mask).into_iter().collect();
             assert_eq!(expect, got, "trial {trial}");
+            assert_eq!(
+                mask,
+                top_k_mask_sharded(&scores, k.min(n)),
+                "sharded diverged on trial {trial}"
+            );
         }
+    }
+
+    /// Deterministic xorshift stream for the sharded property tests.
+    fn rand_scores(n: usize, seed: u64, quantize: Option<f32>) -> Vec<f32> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let v = ((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+                match quantize {
+                    // Coarse grid => plenty of exact ties across shards.
+                    Some(q) => (v * q).round() / q,
+                    None => v,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_matches_serial_on_random_vectors() {
+        // Large enough to cross multiple shard boundaries.
+        for (trial, &n) in [SHARD * 2 + 17, SHARD * 3, SHARD * 4 - 1]
+            .iter()
+            .enumerate()
+        {
+            let scores = rand_scores(n, 0xBEEF + trial as u64, None);
+            for k in [1usize, 7, 100, n / 8] {
+                assert_eq!(
+                    top_k_mask(&scores, k),
+                    top_k_mask_sharded(&scores, k),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_with_heavy_ties() {
+        // Quantized scores force threshold ties that span shards, which is
+        // exactly where the lowest-index tie-break must agree.
+        let n = SHARD * 3 + 5;
+        let scores = rand_scores(n, 0xD00D, Some(8.0));
+        for k in [3usize, 64, n / 16, n / 5] {
+            assert_eq!(
+                top_k_mask(&scores, k),
+                top_k_mask_sharded(&scores, k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_k_at_least_n_selects_all() {
+        let scores = rand_scores(1000, 42, None);
+        for k in [1000usize, 1001, 5000] {
+            assert_eq!(top_k_mask_sharded(&scores, k), vec![true; 1000]);
+        }
+    }
+
+    #[test]
+    fn sharded_all_equal_breaks_ties_by_index() {
+        let n = SHARD * 2 + 3;
+        let scores = vec![1.25f32; n];
+        let k = 77;
+        let mask = top_k_mask_sharded(&scores, k);
+        assert_eq!(mask, top_k_mask(&scores, k));
+        assert_eq!(selected(&mask), (0..k).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless")]
+    fn sharded_zero_k_panics() {
+        top_k_mask_sharded(&[1.0], 0);
     }
 }

@@ -17,7 +17,7 @@ fn act_span(x: &Tensor) -> Span {
 /// Logistic sigmoid `1 / (1 + e^{-x})`, numerically stable on both tails.
 pub fn sigmoid(x: &Tensor) -> Tensor {
     let _span = act_span(x);
-    x.map(sigmoid_scalar)
+    x.par_map(sigmoid_scalar)
 }
 
 /// Scalar sigmoid (stable: never exponentiates a large positive value).
@@ -34,25 +34,25 @@ pub fn sigmoid_scalar(v: f32) -> f32 {
 /// Sigmoid backward given the *output* `y`: `dx = dout · y · (1 − y)`.
 pub fn sigmoid_backward(dout: &Tensor, output: &Tensor) -> Tensor {
     let _span = act_span(dout);
-    dout.zip(output, |g, y| g * y * (1.0 - y))
+    dout.par_zip(output, |g, y| g * y * (1.0 - y))
 }
 
 /// Hyperbolic tangent.
 pub fn tanh(x: &Tensor) -> Tensor {
     let _span = act_span(x);
-    x.map(f32::tanh)
+    x.par_map(f32::tanh)
 }
 
 /// Tanh backward given the *output* `y`: `dx = dout · (1 − y²)`.
 pub fn tanh_backward(dout: &Tensor, output: &Tensor) -> Tensor {
     let _span = act_span(dout);
-    dout.zip(output, |g, y| g * (1.0 - y * y))
+    dout.par_zip(output, |g, y| g * (1.0 - y * y))
 }
 
 /// GELU (tanh approximation, as used by transformer stacks).
 pub fn gelu(x: &Tensor) -> Tensor {
     let _span = act_span(x);
-    x.map(gelu_scalar)
+    x.par_map(gelu_scalar)
 }
 
 const GELU_C: f32 = 0.797_884_6; // sqrt(2/π)
@@ -66,7 +66,7 @@ fn gelu_scalar(v: f32) -> f32 {
 /// approximation).
 pub fn gelu_backward(dout: &Tensor, input: &Tensor) -> Tensor {
     let _span = act_span(dout);
-    dout.zip(input, |g, v| {
+    dout.par_zip(input, |g, v| {
         let u = GELU_C * (v + 0.044715 * v * v * v);
         let t = u.tanh();
         let du = GELU_C * (1.0 + 3.0 * 0.044715 * v * v);
@@ -77,13 +77,13 @@ pub fn gelu_backward(dout: &Tensor, input: &Tensor) -> Tensor {
 /// Leaky ReLU with fixed negative slope.
 pub fn leaky_relu(x: &Tensor, slope: f32) -> Tensor {
     let _span = act_span(x);
-    x.map(|v| if v > 0.0 { v } else { slope * v })
+    x.par_map(|v| if v > 0.0 { v } else { slope * v })
 }
 
 /// Leaky ReLU backward given the *input*.
 pub fn leaky_relu_backward(dout: &Tensor, input: &Tensor, slope: f32) -> Tensor {
     let _span = act_span(dout);
-    dout.zip(input, |g, v| if v > 0.0 { g } else { slope * g })
+    dout.par_zip(input, |g, v| if v > 0.0 { g } else { slope * g })
 }
 
 #[cfg(test)]

@@ -6,8 +6,15 @@
 //! backward passes (weights and inputs) are GEMMs too. This mirrors how the
 //! paper's GPU substrate (Chainer/cuDNN) computes convolutions and keeps all
 //! FLOPs countable for the energy model.
+//!
+//! All kernels distribute work over the persistent [`pool`](crate::pool):
+//! `im2col`/`col2im` by channel, conv forward/backward by sample (with
+//! per-sample weight/bias partials merged serially in sample order), and
+//! pooling by `(n, c)` plane. Each partition depends only on the problem
+//! shape — never on the thread count — so outputs are bit-identical at any
+//! `DROPBACK_THREADS` value.
 
-use crate::{matmul, matmul_nt, matmul_tn, Tensor};
+use crate::{matmul, matmul_nt, matmul_tn, pool, Tensor};
 use dropback_telemetry::{global, Counter, Span};
 use std::sync::OnceLock;
 
@@ -90,16 +97,18 @@ impl ConvGeom {
 }
 
 /// Unrolls one `[c, h, w]` image into an `[c*kh*kw, oh*ow]` column matrix.
+///
+/// Parallelized by input channel: channel `c` owns the `kh*kw` column rows
+/// derived from it, a disjoint slice of the output.
 pub fn im2col(x: &[f32], g: ConvGeom) -> Tensor {
     let _span = lowering_span("im2col", g);
     let (oh, ow) = (g.oh(), g.ow());
     let mut col = vec![0.0f32; g.col_rows() * g.col_cols()];
     let cols = oh * ow;
-    for c in 0..g.c {
+    pool::for_each_chunk_mut(&mut col, g.kh * g.kw * cols, |c, chunk| {
         for ky in 0..g.kh {
             for kx in 0..g.kw {
-                let row = (c * g.kh + ky) * g.kw + kx;
-                let out_base = row * cols;
+                let out_base = (ky * g.kw + kx) * cols;
                 for oy in 0..oh {
                     let iy = (oy * g.stride + ky) as isize - g.pad as isize;
                     if iy < 0 || iy >= g.h as isize {
@@ -111,17 +120,22 @@ pub fn im2col(x: &[f32], g: ConvGeom) -> Tensor {
                         if ix < 0 || ix >= g.w as isize {
                             continue;
                         }
-                        col[out_base + oy * ow + ox] = x[in_base + ix as usize];
+                        chunk[out_base + oy * ow + ox] = x[in_base + ix as usize];
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(vec![g.col_rows(), g.col_cols()], col)
 }
 
 /// Scatters an `[c*kh*kw, oh*ow]` column-gradient matrix back into a
 /// `[c, h, w]` image gradient (the adjoint of [`im2col`]).
+///
+/// Parallelized by channel: the `kh*kw` column rows of channel `c` scatter
+/// only into channel `c`'s `[h, w]` plane, so the accumulation per plane
+/// keeps the serial loop order (`ky`, `kx`, `oy`, `ox`) and is
+/// bit-identical at any thread count.
 pub fn col2im(col: &Tensor, g: ConvGeom) -> Vec<f32> {
     assert_eq!(col.shape(), &[g.col_rows(), g.col_cols()], "col2im shape");
     let _span = lowering_span("col2im", g);
@@ -129,7 +143,7 @@ pub fn col2im(col: &Tensor, g: ConvGeom) -> Vec<f32> {
     let mut x = vec![0.0f32; g.c * g.h * g.w];
     let data = col.data();
     let cols = oh * ow;
-    for c in 0..g.c {
+    pool::for_each_chunk_mut(&mut x, g.h * g.w, |c, plane| {
         for ky in 0..g.kh {
             for kx in 0..g.kw {
                 let row = (c * g.kh + ky) * g.kw + kx;
@@ -139,18 +153,18 @@ pub fn col2im(col: &Tensor, g: ConvGeom) -> Vec<f32> {
                     if iy < 0 || iy >= g.h as isize {
                         continue;
                     }
-                    let out_base = (c * g.h + iy as usize) * g.w;
+                    let out_base = iy as usize * g.w;
                     for ox in 0..ow {
                         let ix = (ox * g.stride + kx) as isize - g.pad as isize;
                         if ix < 0 || ix >= g.w as isize {
                             continue;
                         }
-                        x[out_base + ix as usize] += data[in_base + oy * ow + ox];
+                        plane[out_base + ix as usize] += data[in_base + oy * ow + ox];
                     }
                 }
             }
         }
-    }
+    });
     x
 }
 
@@ -191,11 +205,13 @@ pub fn conv2d_forward(
     let (oh, ow) = (g.oh(), g.ow());
     let sample = g.c * g.h * g.w;
     let mut out = vec![0.0f32; n * f * oh * ow];
-    let mut cols = Vec::with_capacity(n);
-    for i in 0..n {
+    // One task per sample, each writing a disjoint output slice and its own
+    // im2col slot; the lowering/GEMM inside a task run inline on its worker.
+    let mut slots: Vec<Option<Tensor>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    pool::for_each_chunk_mut2(&mut out, f * oh * ow, &mut slots, 1, |i, dst, slot| {
         let col = im2col(&x.data()[i * sample..(i + 1) * sample], g);
         let y = matmul(weight, &col); // [f, oh*ow]
-        let dst = &mut out[i * f * oh * ow..(i + 1) * f * oh * ow];
         dst.copy_from_slice(y.data());
         if let Some(b) = bias {
             for (fi, bv) in b.iter().enumerate() {
@@ -204,8 +220,10 @@ pub fn conv2d_forward(
                 }
             }
         }
-        cols.push(col);
-    }
+        slot[0] = Some(col);
+    });
+    let cols: Vec<Tensor> = slots.into_iter().flatten().collect();
+    assert_eq!(cols.len(), n, "every sample task fills its im2col slot");
     (Tensor::from_vec(vec![n, f, oh, ow], out), cols)
 }
 
@@ -237,21 +255,38 @@ pub fn conv2d_backward(
     let mut db = vec![0.0f32; f];
     let mut dx = vec![0.0f32; n * g.c * g.h * g.w];
     let sample = g.c * g.h * g.w;
-    for i in 0..n {
+    // One task per sample: dx slices are disjoint direct writes; the
+    // per-sample dW/db partials land in slots and are merged serially in
+    // sample order below — the same accumulation order as a serial loop,
+    // so the result is bit-identical at any thread count.
+    let mut partials: Vec<Option<(Tensor, Vec<f32>)>> = Vec::with_capacity(n);
+    partials.resize_with(n, || None);
+    pool::for_each_chunk_mut2(&mut dx, sample, &mut partials, 1, |i, dxi, slot| {
         let dy = Tensor::from_vec(
             vec![f, oh * ow],
             dout.data()[i * f * oh * ow..(i + 1) * f * oh * ow].to_vec(),
         );
-        // dW += dY · colᵀ
-        dw.axpy(1.0, &matmul_nt(&dy, &cols[i]));
-        // db += row sums of dY
+        // dW_i = dY · colᵀ
+        let dw_i = matmul_nt(&dy, &cols[i]);
+        // db_i = row sums of dY
+        let mut db_i = vec![0.0f32; f];
         for (fi, row) in dy.data().chunks_exact(oh * ow).enumerate() {
-            db[fi] += row.iter().sum::<f32>();
+            db_i[fi] = row.iter().sum::<f32>();
         }
         // dcol = Wᵀ · dY, then scatter back.
         let dcol = matmul_tn(weight, &dy);
-        let dxi = col2im(&dcol, g);
-        dx[i * sample..(i + 1) * sample].copy_from_slice(&dxi);
+        dxi.copy_from_slice(&col2im(&dcol, g));
+        slot[0] = Some((dw_i, db_i));
+    });
+    assert!(
+        partials.iter().all(Option::is_some),
+        "every sample task fills its gradient slot"
+    );
+    for (dw_i, db_i) in partials.into_iter().flatten() {
+        dw.axpy(1.0, &dw_i);
+        for (d, p) in db.iter_mut().zip(&db_i) {
+            *d += p;
+        }
     }
     (Tensor::from_vec(vec![n, g.c, g.h, g.w], dx), dw, db)
 }
@@ -273,9 +308,11 @@ pub fn maxpool2d(x: &Tensor, size: usize, stride: usize) -> (Tensor, Vec<u32>) {
     let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
     let mut arg = vec![0u32; n * c * oh * ow];
     let data = x.data();
-    for nc in 0..n * c {
+    let plane = oh * ow;
+    // One task per (n, c) plane; argmax stores absolute input indices, so
+    // each task only needs its plane offset `nc`.
+    pool::for_each_chunk_mut2(&mut out, plane, &mut arg, plane, |nc, po, pa| {
         let in_base = nc * h * w;
-        let out_base = nc * oh * ow;
         for oy in 0..oh {
             for ox in 0..ow {
                 let mut best = f32::NEG_INFINITY;
@@ -289,24 +326,38 @@ pub fn maxpool2d(x: &Tensor, size: usize, stride: usize) -> (Tensor, Vec<u32>) {
                         }
                     }
                 }
-                out[out_base + oy * ow + ox] = best;
-                arg[out_base + oy * ow + ox] = best_idx as u32;
+                po[oy * ow + ox] = best;
+                pa[oy * ow + ox] = best_idx as u32;
             }
         }
-    }
+    });
     (Tensor::from_vec(vec![n, c, oh, ow], out), arg)
 }
 
 /// Backward of [`maxpool2d`]: routes each output gradient to the input
 /// element that won the max.
+///
+/// Parallelized by `(n, c)` plane: every argmax index from output plane
+/// `p` points into input plane `p`, so per-plane scatters are disjoint and
+/// keep the serial accumulation order within the plane.
 pub fn maxpool2d_backward(dout: &Tensor, argmax: &[u32], input_shape: &[usize]) -> Tensor {
     assert_eq!(dout.len(), argmax.len(), "dout/argmax length mismatch");
     let _span = Span::enter_with("pool", &[("bytes", (dout.len() * 4) as f64)]);
     let mut dx = Tensor::zeros(input_shape.to_vec());
-    let dxd = dx.data_mut();
-    for (&g, &idx) in dout.data().iter().zip(argmax) {
-        dxd[idx as usize] += g;
-    }
+    let (h, w) = (input_shape[2], input_shape[3]);
+    let nc = input_shape[0] * input_shape[1];
+    assert_eq!(dout.len() % nc.max(1), 0, "dout planes");
+    let out_plane = dout.len() / nc.max(1);
+    pool::for_each_chunk_mut(dx.data_mut(), h * w, |p, plane| {
+        let base = p * h * w;
+        let lo = p * out_plane;
+        for (&g, &idx) in dout.data()[lo..lo + out_plane]
+            .iter()
+            .zip(&argmax[lo..lo + out_plane])
+        {
+            plane[idx as usize - base] += g;
+        }
+    });
     dx
 }
 
@@ -321,9 +372,15 @@ pub fn global_avg_pool(x: &Tensor) -> Tensor {
     let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let hw = (h * w) as f32;
     let mut out = vec![0.0f32; n * c];
-    for (o, plane) in out.iter_mut().zip(x.data().chunks_exact(h * w)) {
-        *o = plane.iter().sum::<f32>() / hw;
-    }
+    // Group whole planes per task so the chunking depends only on shape.
+    let planes_per = ((1 << 15) / (h * w).max(1)).max(1);
+    pool::for_each_chunk_mut(&mut out, planes_per, |ci, chunk| {
+        let first = ci * planes_per;
+        for (j, o) in chunk.iter_mut().enumerate() {
+            let plane = &x.data()[(first + j) * h * w..(first + j + 1) * h * w];
+            *o = plane.iter().sum::<f32>() / hw;
+        }
+    });
     Tensor::from_vec(vec![n, c], out)
 }
 
@@ -335,12 +392,12 @@ pub fn global_avg_pool_backward(dout: &Tensor, input_shape: &[usize]) -> Tensor 
     let (h, w) = (input_shape[2], input_shape[3]);
     let hw = (h * w) as f32;
     let mut dx = Tensor::zeros(input_shape.to_vec());
-    for (plane, &g) in dx.data_mut().chunks_exact_mut(h * w).zip(dout.data()) {
-        let v = g / hw;
-        for p in plane {
-            *p = v;
+    pool::for_each_chunk_mut(dx.data_mut(), h * w, |p, plane| {
+        let v = dout.data()[p] / hw;
+        for e in plane {
+            *e = v;
         }
-    }
+    });
     dx
 }
 
@@ -354,9 +411,8 @@ pub fn avgpool2d(x: &Tensor, size: usize, stride: usize) -> Tensor {
     let inv = 1.0 / (size * size) as f32;
     let mut out = vec![0.0f32; n * c * oh * ow];
     let data = x.data();
-    for nc in 0..n * c {
+    pool::for_each_chunk_mut(&mut out, oh * ow, |nc, po| {
         let in_base = nc * h * w;
-        let out_base = nc * oh * ow;
         for oy in 0..oh {
             for ox in 0..ow {
                 let mut acc = 0.0f32;
@@ -365,10 +421,10 @@ pub fn avgpool2d(x: &Tensor, size: usize, stride: usize) -> Tensor {
                         acc += data[in_base + (oy * stride + ky) * w + (ox * stride + kx)];
                     }
                 }
-                out[out_base + oy * ow + ox] = acc * inv;
+                po[oy * ow + ox] = acc * inv;
             }
         }
-    }
+    });
     Tensor::from_vec(vec![n, c, oh, ow], out)
 }
 
@@ -384,22 +440,19 @@ pub fn avgpool2d_backward(
     let (oh, ow) = (dout.shape()[2], dout.shape()[3]);
     let inv = 1.0 / (size * size) as f32;
     let mut dx = Tensor::zeros(input_shape.to_vec());
-    let dxd = dx.data_mut();
-    let nc = input_shape[0] * input_shape[1];
-    for p in 0..nc {
-        let in_base = p * h * w;
+    pool::for_each_chunk_mut(dx.data_mut(), h * w, |p, plane| {
         let out_base = p * oh * ow;
         for oy in 0..oh {
             for ox in 0..ow {
                 let g = dout.data()[out_base + oy * ow + ox] * inv;
                 for ky in 0..size {
                     for kx in 0..size {
-                        dxd[in_base + (oy * stride + ky) * w + (ox * stride + kx)] += g;
+                        plane[(oy * stride + ky) * w + (ox * stride + kx)] += g;
                     }
                 }
             }
         }
-    }
+    });
     dx
 }
 

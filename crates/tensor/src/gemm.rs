@@ -8,24 +8,33 @@
 //! * [`matmul_nt`]  — `C = A · Bᵀ` (e.g. input gradients `dY · Wᵀ`)
 //!
 //! The kernel is a cache-friendly `i-k-j` loop over row blocks; when the
-//! problem is large enough, row blocks are distributed over threads with
-//! `std::thread::scope`.
+//! problem is large enough, row blocks are dispatched to the persistent
+//! worker [`pool`](crate::pool). Row blocks are sized from the problem
+//! shape alone (never from the thread count), and each block computes its
+//! output rows independently, so results are bit-identical for every
+//! `DROPBACK_THREADS` value.
 //!
 //! Every entry point records a `"gemm"` span (annotated with the call's
 //! FLOP count for the trace analyzer's GFLOP/s column) plus call/FLOP
 //! counters in the global collector.
 
-use crate::Tensor;
+use crate::{pool, Tensor};
 use dropback_telemetry::{global, Counter, Span};
 use std::sync::OnceLock;
 
 /// Problems smaller than this many multiply-accumulates stay single-threaded.
 const PARALLEL_THRESHOLD: usize = 1 << 18;
 
-fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(1)
+/// Multiply-accumulates per parallel row block. The row-chunk size is
+/// derived from this and the problem shape only, keeping the task list
+/// independent of the worker count (the determinism contract of
+/// [`pool::run_tasks`]).
+const BLOCK_MACS: usize = 1 << 16;
+
+/// Rows per parallel task for an `m × k × n` problem — a pure function of
+/// the problem shape.
+fn par_row_chunk(m: usize, k: usize, n: usize) -> usize {
+    (BLOCK_MACS / (k * n).max(1)).clamp(1, m)
 }
 
 /// Records one gemm call of `2·m·n·k` FLOPs in the global collector and
@@ -98,21 +107,23 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let _span = gemm_telemetry(m, k, n);
     let mut out = vec![0.0f32; m * n];
     let work = m * n * k;
-    let threads = num_threads();
-    if work < PARALLEL_THRESHOLD || threads < 2 || m < 2 {
+    if work < PARALLEL_THRESHOLD || pool::threads() < 2 || m < 2 {
         gemm_nt_block(a.data(), b.data(), &mut out, 0, m, k, n);
     } else {
-        let chunk = m.div_ceil(threads);
+        let chunk = par_row_chunk(m, k, n);
         let a_data = a.data();
         let b_data = b.data();
-        std::thread::scope(|s| {
-            for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
+        let tasks: Vec<pool::Task<'_>> = out
+            .chunks_mut(chunk * n)
+            .enumerate()
+            .map(|(t, out_chunk)| {
                 let rows = out_chunk.len() / n;
-                s.spawn(move || {
+                Box::new(move || {
                     gemm_nt_block(a_data, b_data, out_chunk, t * chunk, rows, k, n);
-                });
-            }
-        });
+                }) as pool::Task<'_>
+            })
+            .collect();
+        pool::run_tasks(tasks);
     }
     Tensor::from_vec(vec![m, n], out)
 }
@@ -120,20 +131,22 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 /// Dispatches `C = A · B` over row blocks, threading when profitable.
 fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     let work = m * n * k;
-    let threads = num_threads();
-    if work < PARALLEL_THRESHOLD || threads < 2 || m < 2 {
+    if work < PARALLEL_THRESHOLD || pool::threads() < 2 || m < 2 {
         gemm_block(a, b, out, 0, m, k, n);
         return;
     }
-    let chunk = m.div_ceil(threads);
-    std::thread::scope(|s| {
-        for (t, out_chunk) in out.chunks_mut(chunk * n).enumerate() {
+    let chunk = par_row_chunk(m, k, n);
+    let tasks: Vec<pool::Task<'_>> = out
+        .chunks_mut(chunk * n)
+        .enumerate()
+        .map(|(t, out_chunk)| {
             let rows = out_chunk.len() / n;
-            s.spawn(move || {
+            Box::new(move || {
                 gemm_block(a, b, out_chunk, t * chunk, rows, k, n);
-            });
-        }
-    });
+            }) as pool::Task<'_>
+        })
+        .collect();
+    pool::run_tasks(tasks);
 }
 
 /// `out[0..rows*n] = A[row0..row0+rows, :] · B` with an i-k-j kernel.

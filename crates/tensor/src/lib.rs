@@ -7,9 +7,13 @@
 //! * [`Tensor`] — a contiguous, row-major, dynamically-shaped `f32` tensor
 //!   with elementwise arithmetic, mapping, and reductions.
 //! * [`matmul`] and its transposed variants — blocked, multi-threaded GEMM
-//!   (threads via `std::thread::scope`, no external dependency needed).
+//!   running on the persistent worker [`pool`] (no external dependency).
 //! * [`conv`] — `im2col`/`col2im` convolution helpers and pooling kernels.
 //! * [`ops`] — numerically-stable softmax / log-softmax and friends.
+//! * [`pool`] — the deterministic worker pool every threaded kernel in the
+//!   workspace runs on (`DROPBACK_THREADS`; fixed, thread-count-independent
+//!   work partitioning so results are bit-identical at any thread count —
+//!   see `docs/PERFORMANCE.md`).
 //! * [`alloc`] — process-wide tensor-allocation accounting (live bytes +
 //!   high-water mark), sampled by the trainer's telemetry.
 //!
@@ -44,6 +48,7 @@ pub mod axis;
 pub mod conv;
 mod gemm;
 pub mod ops;
+pub mod pool;
 mod tensor;
 
 pub use gemm::{matmul, matmul_nt, matmul_tn};

@@ -1,6 +1,16 @@
 //! Numerically-stable activation and normalization primitives.
 
-use crate::Tensor;
+use crate::{pool, Tensor};
+
+/// Elements per parallel chunk for the row-wise kernels. Rows are grouped
+/// so each task covers roughly this many elements; the grouping depends
+/// only on the tensor shape, never on the thread count.
+const ROW_BLOCK_ELEMS: usize = 1 << 15;
+
+/// Whole rows per parallel chunk for a rank-2 tensor with `cols` columns.
+fn rows_per_chunk(cols: usize) -> usize {
+    (ROW_BLOCK_ELEMS / cols.max(1)).max(1)
+}
 
 /// Row-wise softmax of a rank-2 tensor (max-subtracted for stability).
 ///
@@ -11,18 +21,21 @@ pub fn softmax_rows(logits: &Tensor) -> Tensor {
     assert_eq!(logits.rank(), 2, "softmax_rows requires rank-2 input");
     let cols = logits.shape()[1];
     let mut out = logits.clone();
-    for row in out.data_mut().chunks_exact_mut(cols) {
-        let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut z = 0.0f32;
-        for v in row.iter_mut() {
-            *v = (*v - m).exp();
-            z += *v;
+    let chunk = rows_per_chunk(cols) * cols.max(1);
+    pool::for_each_chunk_mut(out.data_mut(), chunk, |_ci, block| {
+        for row in block.chunks_mut(cols) {
+            let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                z += *v;
+            }
+            let inv = 1.0 / z;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
         }
-        let inv = 1.0 / z;
-        for v in row.iter_mut() {
-            *v *= inv;
-        }
-    }
+    });
     out
 }
 
@@ -35,13 +48,16 @@ pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
     assert_eq!(logits.rank(), 2, "log_softmax_rows requires rank-2 input");
     let cols = logits.shape()[1];
     let mut out = logits.clone();
-    for row in out.data_mut().chunks_exact_mut(cols) {
-        let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let logz = row.iter().map(|v| (v - m).exp()).sum::<f32>().ln() + m;
-        for v in row.iter_mut() {
-            *v -= logz;
+    let chunk = rows_per_chunk(cols) * cols.max(1);
+    pool::for_each_chunk_mut(out.data_mut(), chunk, |_ci, block| {
+        for row in block.chunks_mut(cols) {
+            let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let logz = row.iter().map(|v| (v - m).exp()).sum::<f32>().ln() + m;
+            for v in row.iter_mut() {
+                *v -= logz;
+            }
         }
-    }
+    });
     out
 }
 
@@ -76,12 +92,12 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
 
 /// ReLU applied elementwise.
 pub fn relu(x: &Tensor) -> Tensor {
-    x.map(|v| v.max(0.0))
+    x.par_map(|v| v.max(0.0))
 }
 
 /// ReLU backward: passes gradient where the *input* was positive.
 pub fn relu_backward(dout: &Tensor, input: &Tensor) -> Tensor {
-    dout.zip(input, |g, x| if x > 0.0 { g } else { 0.0 })
+    dout.par_zip(input, |g, x| if x > 0.0 { g } else { 0.0 })
 }
 
 #[cfg(test)]

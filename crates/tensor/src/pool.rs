@@ -1,0 +1,520 @@
+//! Deterministic persistent worker pool for the training hot path.
+//!
+//! Every parallel kernel in the workspace (gemm, im2col/col2im, pooling,
+//! elementwise maps, sharded top-k, untracked-weight regeneration) submits
+//! its work here instead of spawning threads per call. The pool upholds two
+//! contracts that plain `std::thread::scope` does not:
+//!
+//! 1. **Thread-count invariance.** Callers partition work by *problem size
+//!    only* — never by [`threads()`] — and every task writes a disjoint
+//!    region (or returns a partial merged serially in task order). The
+//!    worker count then only decides *where* tasks run, not *what* they
+//!    compute, so outputs are bit-identical for any `DROPBACK_THREADS`
+//!    value. `tests/thread_invariance.rs` pins this end to end.
+//! 2. **No per-call spawn cost.** Workers are created once (lazily, or on
+//!    [`set_threads`]) and live for the process; a dispatch is one queue
+//!    push per task. With one thread the pool is never engaged at all:
+//!    [`run_tasks`] degrades to a plain in-order loop on the caller's
+//!    thread, so a 1-thread "pool" adds zero dispatch cost
+//!    (`crates/tensor/tests/pool_overhead.rs`).
+//!
+//! The thread count comes from `DROPBACK_THREADS` (falling back to
+//! `available_parallelism`, capped at 8) and can be overridden at runtime
+//! with [`set_threads`]. Pool engagement is observable through the global
+//! telemetry collector (`pool.runs.parallel`, `pool.runs.inline`,
+//! `pool.tasks`) and, when tracing is armed, a `pool.tasks` trace counter
+//! per parallel run — see `docs/PERFORMANCE.md`.
+//!
+//! Tasks never nest: a task that itself reaches a parallel kernel (e.g. a
+//! per-sample conv task calling `matmul`) runs that kernel inline on its
+//! worker, which keeps execution deadlock-free and the partitioning
+//! identical to the serial path.
+
+use dropback_telemetry::{global, trace, Counter};
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock};
+
+/// A borrowed unit of work submitted to [`run_tasks`]. The borrow is safe
+/// because [`run_tasks`] does not return until every task has finished.
+pub type Task<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// A task whose borrows have been erased; only constructed inside
+/// [`run_tasks`], which guarantees the borrows outlive the execution.
+type ErasedTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion state shared by the tasks of one `run_tasks` call.
+struct RunState {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+enum Job {
+    Run {
+        state: Arc<RunState>,
+        task: ErasedTask,
+    },
+    /// Retires one worker (pushed by [`set_threads`] during a rebuild).
+    Stop,
+}
+
+/// The queue shared between the submitting threads and the workers.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Cached thread count (0 = pool not yet initialized). Kept outside the
+/// lock so the hot-path `threads()` check is one relaxed load.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True while this thread is executing a pool task; nested parallel
+    /// kernels run inline instead of re-entering the queue.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Poison-proof lock: a panic in a task is already routed through
+/// [`RunState::panic`], so a poisoned mutex carries no extra information.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct PoolStats {
+    parallel: Counter,
+    inline: Counter,
+    tasks: Counter,
+}
+
+fn stats() -> &'static PoolStats {
+    static STATS: OnceLock<PoolStats> = OnceLock::new();
+    STATS.get_or_init(|| {
+        let g = global();
+        PoolStats {
+            parallel: g.counter("pool.runs.parallel"),
+            inline: g.counter("pool.runs.inline"),
+            tasks: g.counter("pool.tasks"),
+        }
+    })
+}
+
+fn env_threads() -> usize {
+    std::env::var("DROPBACK_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1)
+        })
+}
+
+fn handle() -> &'static RwLock<Pool> {
+    static POOL: OnceLock<RwLock<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let n = env_threads();
+        THREADS.store(n, Ordering::Relaxed);
+        RwLock::new(Pool::start(n))
+    })
+}
+
+impl Pool {
+    /// Spawns `n - 1` workers; the thread that submits a run is always the
+    /// `n`-th participant, so `n == 1` spawns nothing.
+    fn start(n: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        let workers = (1..n)
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&sh))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Retires every worker and joins them. Called with the pool write
+    /// lock held, so no run can be queueing concurrently.
+    fn shutdown(self) {
+        {
+            let mut q = lock(&self.shared.queue);
+            for _ in &self.workers {
+                q.push_back(Job::Stop);
+            }
+        }
+        self.shared.available.notify_all();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // Everything a worker runs is a pool task; nested parallel kernels
+    // inside tasks must execute inline.
+    IN_POOL.with(|f| f.set(true));
+    loop {
+        let job = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match job {
+            Job::Stop => return,
+            Job::Run { state, task } => execute(&state, task),
+        }
+    }
+}
+
+/// Runs one task, capturing a panic into the run's state, and signals the
+/// submitter when the run's last task finishes.
+fn execute(state: &RunState, task: ErasedTask) {
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+        let mut slot = lock(&state.panic);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+    let mut rem = lock(&state.remaining);
+    *rem -= 1;
+    if *rem == 0 {
+        state.done.notify_all();
+    }
+}
+
+/// The configured worker-thread count (including the submitting thread).
+///
+/// Resolved once from `DROPBACK_THREADS` (or `available_parallelism`,
+/// capped at 8) and updated by [`set_threads`]. Kernels consult this only
+/// to decide *whether* to engage the pool — never to shape their work
+/// partitioning, which must depend on problem size alone.
+pub fn threads() -> usize {
+    let t = THREADS.load(Ordering::Relaxed);
+    if t != 0 {
+        return t;
+    }
+    let _ = handle();
+    THREADS.load(Ordering::Relaxed)
+}
+
+/// Overrides the worker-thread count at runtime (clamped to at least 1),
+/// rebuilding the worker set. Blocks until in-flight runs finish and the
+/// retired workers have exited, so the switch is atomic with respect to
+/// determinism: no run ever observes a half-rebuilt pool.
+pub fn set_threads(n: usize) {
+    let n = n.max(1);
+    let mut guard = handle().write().unwrap_or_else(|e| e.into_inner());
+    if THREADS.load(Ordering::Relaxed) == n {
+        return;
+    }
+    let old = std::mem::replace(&mut *guard, Pool::start(n));
+    THREADS.store(n, Ordering::Relaxed);
+    old.shutdown();
+}
+
+/// Runs every task to completion, distributing them over the pool when it
+/// has more than one thread.
+///
+/// Tasks may borrow from the caller's stack: the call does not return
+/// until all of them have finished (or one has panicked — the first panic
+/// payload is re-raised on the caller after the run drains). The caller's
+/// thread participates in draining the queue, so a 1-thread pool executes
+/// everything inline, in submission order, with zero dispatch cost.
+///
+/// Determinism contract for callers: partition work by problem size only
+/// and give every task a disjoint output region; then the result is
+/// bit-identical for every thread count, because each task's computation
+/// is self-contained and execution order cannot matter.
+pub fn run_tasks(tasks: Vec<Task<'_>>) {
+    if tasks.len() <= 1 || threads() < 2 || IN_POOL.with(|f| f.get()) {
+        stats().inline.inc();
+        for t in tasks {
+            t();
+        }
+        return;
+    }
+    stats().parallel.inc();
+    stats().tasks.add(tasks.len() as u64);
+    trace::record_counter("pool.tasks", tasks.len() as f64);
+    let state = Arc::new(RunState {
+        remaining: Mutex::new(tasks.len()),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    {
+        // Hold the read lock for the whole run so `set_threads` cannot
+        // retire the workers while our jobs are queued.
+        let pool = handle().read().unwrap_or_else(|e| e.into_inner());
+        {
+            let mut q = lock(&pool.shared.queue);
+            for task in tasks {
+                // SAFETY: the erased borrow cannot outlive its referent;
+                // this function blocks until `remaining` hits zero, i.e.
+                // every erased task ran, and none is stored past that.
+                let erased: ErasedTask = unsafe { std::mem::transmute(task) };
+                q.push_back(Job::Run {
+                    state: Arc::clone(&state),
+                    task: erased,
+                });
+            }
+        }
+        pool.shared.available.notify_all();
+        // Drain alongside the workers (FIFO, so our own tasks come first;
+        // jobs from concurrent runs may be executed too, which only helps).
+        loop {
+            let job = lock(&pool.shared.queue).pop_front();
+            match job {
+                Some(Job::Run { state, task }) => {
+                    IN_POOL.with(|f| f.set(true));
+                    execute(&state, task);
+                    IN_POOL.with(|f| f.set(false));
+                }
+                Some(Job::Stop) => {
+                    // Unreachable while we hold the read lock (rebuilds
+                    // need the write lock), but hand it back defensively.
+                    lock(&pool.shared.queue).push_back(Job::Stop);
+                    pool.shared.available.notify_one();
+                    break;
+                }
+                None => break,
+            }
+        }
+        let mut rem = lock(&state.remaining);
+        while *rem > 0 {
+            rem = state.done.wait(rem).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    let payload = lock(&state.panic).take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// Splits `data` into fixed `chunk`-sized pieces and applies
+/// `f(chunk_index, chunk)` to each, in parallel when profitable.
+///
+/// The chunking depends only on `data.len()` and `chunk`, so the write
+/// pattern — and therefore the result — is identical at every thread
+/// count. `chunk_index * chunk` is the global offset of a chunk's first
+/// element.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    if data.len() <= chunk || threads() < 2 || IN_POOL.with(|p| p.get()) {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let f = &f;
+    let tasks: Vec<Task<'_>> = data
+        .chunks_mut(chunk)
+        .enumerate()
+        .map(|(i, c)| Box::new(move || f(i, c)) as Task<'_>)
+        .collect();
+    run_tasks(tasks);
+}
+
+/// Two-slice variant of [`for_each_chunk_mut`]: chunks `a` by `chunk_a`
+/// and `b` by `chunk_b` in lockstep and applies `f(i, a_chunk, b_chunk)`.
+///
+/// # Panics
+///
+/// Panics if either chunk size is zero or the chunk counts differ.
+pub fn for_each_chunk_mut2<A, B, F>(a: &mut [A], chunk_a: usize, b: &mut [B], chunk_b: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    assert!(chunk_a > 0 && chunk_b > 0, "chunk sizes must be positive");
+    assert_eq!(
+        a.len().div_ceil(chunk_a),
+        b.len().div_ceil(chunk_b),
+        "slices must split into the same number of chunks"
+    );
+    if a.len() <= chunk_a || threads() < 2 || IN_POOL.with(|p| p.get()) {
+        for (i, (ca, cb)) in a.chunks_mut(chunk_a).zip(b.chunks_mut(chunk_b)).enumerate() {
+            f(i, ca, cb);
+        }
+        return;
+    }
+    let f = &f;
+    let tasks: Vec<Task<'_>> = a
+        .chunks_mut(chunk_a)
+        .zip(b.chunks_mut(chunk_b))
+        .enumerate()
+        .map(|(i, (ca, cb))| Box::new(move || f(i, ca, cb)) as Task<'_>)
+        .collect();
+    run_tasks(tasks);
+}
+
+/// Computes `f(0), f(1), …, f(n-1)` (in parallel when profitable) and
+/// returns the results in index order — a deterministic parallel map for
+/// per-shard partials that a caller then merges serially.
+pub fn map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    {
+        let f = &f;
+        let tasks: Vec<Task<'_>> = slots
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| Box::new(move || *slot = Some(f(i))) as Task<'_>)
+            .collect();
+        run_tasks(tasks);
+    }
+    let out: Vec<R> = slots.into_iter().flatten().collect();
+    assert_eq!(out.len(), n, "every task fills its slot");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests that reconfigure the global pool serialize on this lock so
+    /// they do not interleave thread-count changes.
+    fn config_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        lock(&LOCK)
+    }
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let _guard = config_lock();
+        set_threads(4);
+        let mut hits = [0u8; 64];
+        {
+            let tasks: Vec<Task<'_>> = hits
+                .iter_mut()
+                .map(|h| Box::new(move || *h += 1) as Task<'_>)
+                .collect();
+            run_tasks(tasks);
+        }
+        assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn chunked_results_are_identical_across_thread_counts() {
+        let _guard = config_lock();
+        let compute = || {
+            let mut data = vec![0.0f32; 1000];
+            for_each_chunk_mut(&mut data, 64, |i, c| {
+                for (j, v) in c.iter_mut().enumerate() {
+                    *v = ((i * 64 + j) as f32).sin();
+                }
+            });
+            data
+        };
+        set_threads(1);
+        let serial = compute();
+        for n in [2, 4, 7] {
+            set_threads(n);
+            let par = compute();
+            let same = serial
+                .iter()
+                .zip(&par)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "thread count {n} changed the bits");
+        }
+        set_threads(1);
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let _guard = config_lock();
+        set_threads(3);
+        let out = map_indexed(17, |i| i * i);
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        set_threads(1);
+    }
+
+    #[test]
+    fn nested_runs_execute_inline_without_deadlock() {
+        let _guard = config_lock();
+        set_threads(4);
+        let mut outer = vec![0usize; 8];
+        for_each_chunk_mut(&mut outer, 1, |_, c| {
+            // A nested parallel map inside a pool task must run inline.
+            let inner = map_indexed(5, |i| i + 1);
+            c[0] = inner.iter().sum();
+        });
+        assert!(outer.iter().all(|&v| v == 15));
+        set_threads(1);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_the_submitter() {
+        let _guard = config_lock();
+        set_threads(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let data = [1u8; 8];
+            let tasks: Vec<Task<'_>> = data
+                .iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    Box::new(move || {
+                        assert!(i != 3, "task 3 fails");
+                    }) as Task<'_>
+                })
+                .collect();
+            run_tasks(tasks);
+        }));
+        assert!(result.is_err(), "panic must reach the caller");
+        set_threads(1);
+    }
+
+    #[test]
+    fn set_threads_clamps_to_one_and_reports() {
+        let _guard = config_lock();
+        set_threads(0);
+        assert_eq!(threads(), 1);
+        set_threads(5);
+        assert_eq!(threads(), 5);
+        set_threads(1);
+        assert_eq!(threads(), 1);
+    }
+
+    #[test]
+    fn chunk_mut2_walks_slices_in_lockstep() {
+        let _guard = config_lock();
+        set_threads(4);
+        let mut a = vec![0u32; 30];
+        let mut b = vec![0u32; 60];
+        for_each_chunk_mut2(&mut a, 5, &mut b, 10, |i, ca, cb| {
+            ca.fill(i as u32);
+            cb.fill(10 + i as u32);
+        });
+        assert_eq!(a[14], 2);
+        assert_eq!(b[29], 12);
+        set_threads(1);
+    }
+}

@@ -252,6 +252,48 @@ impl Tensor {
         )
     }
 
+    /// Elements per parallel chunk for [`Tensor::par_map`]/[`Tensor::par_zip`].
+    /// Fixed (independent of the thread count), so the per-element work
+    /// assignment — and therefore the result — is identical at any
+    /// `DROPBACK_THREADS` value.
+    const PAR_CHUNK: usize = 1 << 15;
+
+    /// Like [`Tensor::map`], but distributed over the worker
+    /// [`pool`](crate::pool) for large tensors. `f` must be pure (each
+    /// element is computed exactly once, from its input alone), which is
+    /// what makes the parallel result bit-identical to the serial one.
+    pub fn par_map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = self.clone();
+        let src = &self.data;
+        crate::pool::for_each_chunk_mut(&mut out.data, Self::PAR_CHUNK, |ci, chunk| {
+            let base = ci * Self::PAR_CHUNK;
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = f(src[base + j]);
+            }
+        });
+        out
+    }
+
+    /// Like [`Tensor::zip`], but distributed over the worker
+    /// [`pool`](crate::pool) for large tensors. Same purity requirement as
+    /// [`Tensor::par_map`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn par_zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch in zip");
+        let mut out = self.clone();
+        let (a, b) = (&self.data, &other.data);
+        crate::pool::for_each_chunk_mut(&mut out.data, Self::PAR_CHUNK, |ci, chunk| {
+            let base = ci * Self::PAR_CHUNK;
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = f(a[base + j], b[base + j]);
+            }
+        });
+        out
+    }
+
     /// Multiplies every element by `s`, in place.
     pub fn scale_inplace(&mut self, s: f32) {
         for v in &mut self.data {

@@ -27,6 +27,14 @@ cargo test -q -p dropback --test corruption
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== threads-matrix (bit-identical training at 1 and 4 worker threads)"
+# The thread-invariance suite trains the same models at several thread
+# counts inside one process; running the whole suite under two ambient
+# DROPBACK_THREADS values additionally pins that the *default* pool size
+# never leaks into results (see docs/PERFORMANCE.md).
+DROPBACK_THREADS=1 cargo test -q -p dropback-repro --test thread_invariance
+DROPBACK_THREADS=4 cargo test -q -p dropback-repro --test thread_invariance
+
 echo "== trace smoke (Chrome trace export parses, spans pair up)"
 # A short traced training run, then the analyzer re-parses the file and
 # fails on JSON errors or unpaired begin/end events.
