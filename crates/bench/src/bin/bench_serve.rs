@@ -1,0 +1,242 @@
+//! `BENCH_serve.json` — the serving-path load baseline.
+//!
+//! Boots a real in-process [`dropback_serve::Server`] on a loopback port
+//! from a deterministic snapshot, then drives it closed-loop over actual
+//! HTTP at several concurrency levels: each client thread holds one
+//! keep-alive connection and fires its next `/infer` the moment the
+//! previous reply lands. Latency quantiles are computed client-side from
+//! the exact sorted per-request samples (not the server's log2-bucketed
+//! histograms), so p50/p99 here are sharp; the server's own digest rides
+//! along for batch-fill and regen counts.
+//!
+//! What to look for: batch fill should rise with concurrency (that is
+//! micro-batching working — more rows share one regen sweep of the
+//! untracked weights), so throughput should scale better than 1/latency.
+//!
+//! ```text
+//! cargo run --release -p dropback-bench --bin bench_serve
+//! ```
+//!
+//! Scale knobs: `DROPBACK_BENCH_CLIENTS` (max level, default 16),
+//! `DROPBACK_BENCH_REQS` (requests per client, default 100). Timing goes
+//! through `dropback_telemetry::Stopwatch`, the workspace's sanctioned
+//! clock. How to read the output: docs/SERVING.md.
+
+use dropback::prelude::*;
+use dropback_bench::{banner, env_usize, seed};
+use dropback_serve::{rt, BatchConfig, HttpClient, Server, ServerConfig};
+use dropback_telemetry::{Json, Stopwatch, TelemetrySnapshot};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Writes one deterministic snapshot (a perturbed `mnist-100-100` with a
+/// realistic tracked-entry count) and returns the directory.
+fn prep_snapshot_dir(seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dropback-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut net = models::mnist_100_100(seed);
+    let mut opt = SparseDropBack::new(20_000);
+    opt.step(net.store_mut(), 0.0);
+    for i in 0..20_000 {
+        net.store_mut().params_mut()[(i * 4) % 89_610] = (i % 631) as f32 * 1e-3 - 0.3;
+    }
+    let progress = TrainProgress {
+        next_epoch: 1,
+        ..TrainProgress::fresh()
+    };
+    let state = TrainState::capture(&net, &opt, seed, &progress);
+    let mut store = CheckpointStore::open(&dir).unwrap().keep(3);
+    let mut tel = Telemetry::disabled();
+    store.save(&state, &mut tel).unwrap();
+    dir
+}
+
+/// The fixed probe input every client sends (dim 784, values in [-0.4, 0.6)).
+fn probe_input() -> Vec<f32> {
+    (0..784)
+        .map(|i| ((i * 37) % 113) as f32 / 113.0 - 0.4)
+        .collect()
+}
+
+/// One measured level: client-side latencies plus the server's digest.
+struct LevelResult {
+    clients: usize,
+    requests: usize,
+    wall_ns: u64,
+    latencies_ns: Vec<u64>,
+    digest: TelemetrySnapshot,
+}
+
+impl LevelResult {
+    fn throughput_rps(&self) -> f64 {
+        self.requests as f64 / (self.wall_ns as f64 / 1e9).max(1e-9)
+    }
+
+    /// Exact quantile from the sorted sample set (nearest-rank).
+    fn quantile_us(&self, q: f64) -> f64 {
+        let idx = ((self.latencies_ns.len() - 1) as f64 * q).round() as usize;
+        self.latencies_ns[idx] as f64 / 1_000.0
+    }
+
+    fn digest_counter(&self, name: &str) -> u64 {
+        self.digest
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    fn batch_fill_mean(&self) -> f64 {
+        self.digest
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "serve.batch_fill")
+            .map_or(0.0, |(_, h)| h.mean)
+    }
+}
+
+/// Runs `clients` closed-loop connections of `reqs` requests each against
+/// a fresh server over `dir`, so each level gets its own digest.
+fn run_level(dir: &PathBuf, clients: usize, reqs: usize) -> LevelResult {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        batch: BatchConfig::default(),
+        poll: Duration::from_millis(200),
+    };
+    let store = CheckpointStore::open(dir).unwrap();
+    let server = Server::start(cfg, store).unwrap();
+    let addr = server.addr();
+
+    // Warm the connection path and the first regen sweep untimed.
+    let input = probe_input();
+    let mut warm = HttpClient::connect(addr).unwrap();
+    warm.infer(&input).unwrap();
+
+    let (tx, rx) = mpsc::channel::<Vec<u64>>();
+    let sw = Stopwatch::started();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let tx = tx.clone();
+            rt::spawn(&format!("load-{c}"), move || {
+                let input = probe_input();
+                let mut client = HttpClient::connect(addr).unwrap();
+                let mut lat = Vec::with_capacity(reqs);
+                for _ in 0..reqs {
+                    let one = Stopwatch::started();
+                    client.infer(&input).unwrap();
+                    lat.push(one.elapsed_ns().unwrap_or(0));
+                }
+                let _ = tx.send(lat);
+            })
+            .unwrap()
+        })
+        .collect();
+    drop(tx);
+    let mut latencies_ns: Vec<u64> = rx.iter().flatten().collect();
+    let wall_ns = sw.elapsed_ns().unwrap_or(0);
+    for w in workers {
+        let _ = w.join();
+    }
+    latencies_ns.sort_unstable();
+    let digest = server.stop();
+    LevelResult {
+        clients,
+        requests: clients * reqs,
+        wall_ns,
+        latencies_ns,
+        digest,
+    }
+}
+
+fn main() {
+    banner(
+        "BENCH serve",
+        "closed-loop /infer load vs concurrency on one snapshot",
+    );
+    let max_clients = env_usize("DROPBACK_BENCH_CLIENTS", 16).max(2);
+    let reqs = env_usize("DROPBACK_BENCH_REQS", 100).max(1);
+    let dir = prep_snapshot_dir(seed());
+
+    // 1, 4, 16, ... up to the configured ceiling — always >= 2 levels.
+    let mut levels = vec![1usize];
+    while *levels.last().unwrap() * 4 <= max_clients {
+        levels.push(levels.last().unwrap() * 4);
+    }
+    if levels.len() < 2 {
+        levels.push(max_clients);
+    }
+
+    println!("closed-loop clients x {reqs} reqs each (client-side exact quantiles):");
+    println!("  clients  reqs    rps        p50_ms     p99_ms     batch_fill");
+    let mut rows = Vec::new();
+    for &clients in &levels {
+        let level = run_level(&dir, clients, reqs);
+        println!(
+            "  {:<8} {:<7} {:<10.1} {:<10.3} {:<10.3} {:.2}",
+            level.clients,
+            level.requests,
+            level.throughput_rps(),
+            level.quantile_us(0.50) / 1_000.0,
+            level.quantile_us(0.99) / 1_000.0,
+            level.batch_fill_mean(),
+        );
+        rows.push(level);
+    }
+
+    let base = rows[0].throughput_rps();
+    let peak = rows
+        .iter()
+        .map(LevelResult::throughput_rps)
+        .fold(base, f64::max);
+    println!(
+        "\npeak throughput {:.1} rps ({:.2}x the 1-client baseline);",
+        peak,
+        peak / base.max(1e-9)
+    );
+    println!("batch fill rising with clients = micro-batching amortizing the");
+    println!("regen sweep across rows (see docs/SERVING.md)");
+
+    let level_json = |l: &LevelResult| {
+        Json::Obj(vec![
+            ("clients".into(), Json::from(l.clients)),
+            ("requests".into(), Json::from(l.requests)),
+            ("throughput_rps".into(), Json::from(l.throughput_rps())),
+            ("p50_us".into(), Json::from(l.quantile_us(0.50))),
+            ("p90_us".into(), Json::from(l.quantile_us(0.90))),
+            ("p99_us".into(), Json::from(l.quantile_us(0.99))),
+            ("batch_fill_mean".into(), Json::from(l.batch_fill_mean())),
+            (
+                "batches".into(),
+                Json::from(l.digest_counter("serve.batches")),
+            ),
+            (
+                "regens".into(),
+                Json::from(l.digest_counter("serve.regens")),
+            ),
+            (
+                "stored_reads".into(),
+                Json::from(l.digest_counter("serve.stored_reads")),
+            ),
+        ])
+    };
+    let json = Json::Obj(vec![
+        (
+            "host_parallelism".into(),
+            Json::from(std::thread::available_parallelism().map_or(1, |n| n.get())),
+        ),
+        ("model".into(), Json::from("mnist-100-100")),
+        ("reqs_per_client".into(), Json::from(reqs)),
+        ("seed".into(), Json::from(seed())),
+        (
+            "levels".into(),
+            Json::Arr(rows.iter().map(level_json).collect()),
+        ),
+    ]);
+    let path = "BENCH_serve.json";
+    match std::fs::write(path, json.render() + "\n") {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

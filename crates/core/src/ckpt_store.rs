@@ -247,6 +247,24 @@ impl CheckpointStore {
         Ok(())
     }
 
+    /// Name of the newest *committed* snapshot, without opening it: a
+    /// directory listing plus a sort, no decode and no CRC. "Valid" here
+    /// means the file was committed via the atomic temp-write + rename
+    /// protocol (a `.partial` leftover is never returned); byte-level
+    /// validation still happens in [`Self::load_latest`], which falls
+    /// back past corruption.
+    ///
+    /// This is the cheap poll a hot-swap watcher runs every tick: only
+    /// when the returned path *changes* does it pay for a full
+    /// [`Self::load_latest`]. Returns `Ok(None)` for an empty directory.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the directory cannot be listed.
+    pub fn latest_valid(&self) -> Result<Option<PathBuf>, CheckpointError> {
+        Ok(self.list_snapshots()?.pop())
+    }
+
     /// Loads the newest readable snapshot, falling back past corrupt or
     /// truncated files (each recorded for [`Self::take_skipped`] and
     /// counted as `checkpoint.recovered`). Returns `Ok(None)` when the
@@ -419,6 +437,30 @@ mod tests {
         fs::write(dir.join("state-00000009.dbk2"), b"not a snapshot").unwrap();
         assert!(store.load_latest(&mut tel).unwrap().is_none());
         assert_eq!(store.take_skipped().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_valid_is_a_cheap_name_poll() {
+        let dir = tmp_dir("latest-valid");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let mut tel = Telemetry::disabled();
+        assert_eq!(store.latest_valid().unwrap(), None);
+
+        store.save(&snapshot_at(1), &mut tel).unwrap();
+        let first = store.latest_valid().unwrap().unwrap();
+        assert!(first.ends_with("state-00000001.dbk2"));
+
+        // A stray .partial (torn write debris) is never the candidate.
+        fs::write(dir.join("state-00000007.dbk2.partial"), b"torn").unwrap();
+        assert_eq!(store.latest_valid().unwrap().unwrap(), first);
+
+        // A newer committed snapshot changes the answer — this name flip
+        // is the only signal the hot-swap watcher polls for.
+        store.save(&snapshot_at(2), &mut tel).unwrap();
+        let second = store.latest_valid().unwrap().unwrap();
+        assert!(second.ends_with("state-00000002.dbk2"));
+        assert_ne!(first, second);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -72,7 +72,9 @@ pub use config::TrainConfig;
 pub use crc::crc32;
 pub use fault::{FaultInjector, FaultMode};
 pub use report::{EpochStats, TrainReport};
-pub use sparse_infer::{stream_mlp_forward, StreamError, StreamStats, StreamingLinear};
+pub use sparse_infer::{
+    stream_mlp_forward, StreamError, StreamStats, StreamingLinear, StreamingModel,
+};
 pub use trace_analysis::{analyze_chrome_trace, PhaseRow, TraceAnalysis, TraceError};
 pub use train_state::{TrainProgress, TrainState};
 pub use trainer::{NoProbe, StepProbe, Trainer};
@@ -84,6 +86,7 @@ pub mod prelude {
     pub use crate::config::TrainConfig;
     pub use crate::fault::{FaultInjector, FaultMode};
     pub use crate::report::{EpochStats, TrainReport};
+    pub use crate::sparse_infer::{stream_mlp_forward, StreamStats, StreamingModel};
     pub use crate::train_state::{TrainProgress, TrainState};
     pub use crate::trainer::{NoProbe, StepProbe, Trainer};
     pub use dropback_data::{synthetic_cifar, synthetic_mnist, Batcher, Dataset};

@@ -88,13 +88,16 @@ const DETERMINISM_PATHS: &[&str] = &[
 ];
 
 /// The only files allowed to read the clock: `span.rs` owns the timing
-/// switches and `trace.rs` owns the trace epoch. Everything else —
+/// switches, `trace.rs` owns the trace epoch, and serve's `clock.rs`
+/// owns batching deadlines (wrapped as a monotonic `Deadline` so the
+/// serving path never handles raw instants). Everything else —
 /// including the rest of the telemetry crate and all of bench — must take
 /// timestamps from those modules, so every clock read is behind the same
 /// enable flags and the same monotonic epoch.
 const CLOCK_PATHS: &[&str] = &[
     "crates/telemetry/src/span.rs",
     "crates/telemetry/src/trace.rs",
+    "crates/serve/src/clock.rs",
 ];
 
 fn in_determinism_path(path: &str) -> bool {
@@ -267,12 +270,15 @@ fn unsafe_safety(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
-/// The one file allowed to create threads: the worker pool owns thread
+/// The files allowed to create threads: the worker pool owns thread
 /// lifecycle (spawn count, retirement, panic routing) and carries the
-/// determinism contract every parallel kernel relies on. Raw spawns
+/// determinism contract every parallel kernel relies on, and serve's
+/// `rt.rs` owns the server's named service threads (accept loop, batch
+/// worker, watcher) plus the shutdown latch they all observe. Raw spawns
 /// elsewhere would bypass `DROPBACK_THREADS`, the pool's engagement
-/// counters, and the thread-invariance guarantees.
-const THREAD_PATHS: &[&str] = &["crates/tensor/src/pool.rs"];
+/// counters, and the thread-invariance guarantees — or detach a serve
+/// thread from the shutdown protocol.
+const THREAD_PATHS: &[&str] = &["crates/tensor/src/pool.rs", "crates/serve/src/rt.rs"];
 
 fn raw_thread(ctx: &FileCtx, out: &mut Vec<Finding>) {
     if ctx.role == Role::Aux || THREAD_PATHS.iter().any(|p| ctx.path.starts_with(p)) {
@@ -356,9 +362,16 @@ mod tests {
             rules_hit("crates/core/src/trainer.rs", src),
             vec!["wall-clock"]
         );
-        // Only the two clock-owning telemetry modules may read the clock.
+        // Only the clock-owning modules may read the clock: telemetry's
+        // span/trace pair and serve's deadline wrapper.
         assert!(rules_hit("crates/telemetry/src/span.rs", src).is_empty());
         assert!(rules_hit("crates/telemetry/src/trace.rs", src).is_empty());
+        assert!(rules_hit("crates/serve/src/clock.rs", src).is_empty());
+        // The rest of the serve crate takes deadlines, not instants.
+        assert_eq!(
+            rules_hit("crates/serve/src/batch.rs", src),
+            vec!["wall-clock"]
+        );
         // The rest of the telemetry crate — and all of bench — must route
         // timing through span/trace, not read the clock directly.
         assert_eq!(
@@ -454,9 +467,16 @@ mod tests {
             rules_hit("crates/optim/src/topk.rs", scope),
             vec!["raw-thread"]
         );
-        // The pool module owns thread lifecycle; tests and benches may
+        // The pool module owns compute-thread lifecycle and serve's rt
+        // module owns service-thread lifecycle; tests and benches may
         // spawn helpers freely.
         assert!(rules_hit("crates/tensor/src/pool.rs", spawn).is_empty());
+        assert!(rules_hit("crates/serve/src/rt.rs", spawn).is_empty());
+        // The rest of serve must go through rt::spawn, not raw spawns.
+        assert_eq!(
+            rules_hit("crates/serve/src/server.rs", spawn),
+            vec!["raw-thread"]
+        );
         assert!(rules_hit("crates/tensor/tests/pool_overhead.rs", spawn).is_empty());
         let in_test = "#[cfg(test)]\nmod tests { fn t() { std::thread::spawn(|| {}); } }";
         assert!(rules_hit("crates/core/src/trainer.rs", in_test).is_empty());

@@ -1,0 +1,11 @@
+//! Seeded fixture: a clock read in the serve crate but *outside* its
+//! clock-owning module (clock.rs). The wall-clock allowlist is per-file,
+//! not per-crate, so this must still be flagged — the serving path takes
+//! deadlines from clock.rs, it does not read instants directly.
+
+use std::time::Instant;
+
+/// A request handler timing itself behind the telemetry layer's back.
+pub fn sneaky_latency() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,31 @@
+//! Fixture: raw thread creation in the serve crate outside rt.rs.
+//!
+//! Both call sites below must be flagged by `raw-thread` — a handler
+//! thread spawned here would detach from the shutdown latch and the
+//! serve-thread naming scheme that rt.rs enforces.
+
+/// A connection handler spawned outside the runtime module.
+pub fn rogue_handler() {
+    let handle = std::thread::spawn(|| 6 * 7);
+    let _ = handle.join();
+}
+
+/// A batch drain using a scoped region instead of the rt worker.
+pub fn rogue_drain(rows: &mut [u64]) {
+    std::thread::scope(|s| {
+        for row in rows.iter_mut() {
+            s.spawn(move || {
+                *row += 1;
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_helpers_may_spawn() {
+        let h = std::thread::spawn(|| 9u8);
+        assert_eq!(h.join().ok(), Some(9));
+    }
+}

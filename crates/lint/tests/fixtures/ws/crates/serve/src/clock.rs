@@ -1,0 +1,11 @@
+//! Seeded fixture: serve's sanctioned deadline module. `Instant` here is
+//! the sanctioned read — the wall-clock rule allowlists exactly this path
+//! (alongside telemetry's span.rs/trace.rs), so this file must produce no
+//! findings.
+
+use std::time::Instant;
+
+/// The one place the serving stack reads the monotonic clock.
+pub fn deadline_anchor() -> Instant {
+    Instant::now()
+}

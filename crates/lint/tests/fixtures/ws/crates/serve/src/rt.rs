@@ -1,0 +1,9 @@
+//! Fixture: serve's sanctioned service-thread owner. `raw-thread`
+//! allowlists this path, so the spawn below must stay clean without any
+//! `lint.allow` entry — mirroring the real `crates/serve/src/rt.rs`.
+
+/// Spawns a service thread; only this module (and the tensor pool) may
+/// create threads.
+pub fn start_service() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(|| {})
+}

@@ -1,0 +1,170 @@
+//! A tiny blocking HTTP client over `std::net`, for everything that
+//! talks *to* the server from inside the workspace: the `bench_serve`
+//! load generator, `dropback-serve probe` (the smoke test's curl
+//! substitute), and the integration tests. One client = one keep-alive
+//! connection, so a closed-loop load thread exercises the server the way
+//! a pooled production client would.
+
+use crate::batch::InferReply;
+use crate::error::ServeError;
+use crate::http::{self, StatusLine};
+use dropback_telemetry::Json;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+/// One keep-alive connection to a serve endpoint.
+#[derive(Debug)]
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects to `addr` (anything resolvable: `SocketAddr`,
+    /// `"127.0.0.1:8080"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution and connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ServeError::BadRequest("address resolved to nothing".into()))?;
+        Self::connect_resolved(addr)
+    }
+
+    fn connect_resolved(addr: SocketAddr) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        // Latency over bandwidth: a closed-loop client's next request
+        // must not sit in Nagle's buffer waiting for an ACK.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends a `GET` and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures and malformed responses.
+    pub fn get(&mut self, target: &str) -> Result<StatusLine, ServeError> {
+        http::write_request(&mut self.writer, "GET", target, "")?;
+        http::read_response(&mut self.reader)
+    }
+
+    /// Sends a `POST` with a JSON body and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures and malformed responses.
+    pub fn post(&mut self, target: &str, body: &str) -> Result<StatusLine, ServeError> {
+        http::write_request(&mut self.writer, "POST", target, body)?;
+        http::read_response(&mut self.reader)
+    }
+
+    /// Runs one inference round trip: builds the `/infer` body, sends it,
+    /// parses the reply. Input bits survive the wire exactly (f32 → JSON
+    /// → f32 is lossless), so replies are comparable bit-for-bit against
+    /// a local forward.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, non-200 statuses (surfaced with the server's
+    /// error message), and malformed reply bodies.
+    pub fn infer(&mut self, input: &[f32]) -> Result<InferReply, ServeError> {
+        let resp = self.post("/infer", &infer_body(input))?;
+        if resp.status != 200 {
+            return Err(ServeError::BadRequest(format!(
+                "server answered {}: {}",
+                resp.status, resp.body
+            )));
+        }
+        parse_reply(&resp.body)
+    }
+}
+
+/// Renders the `/infer` request body for `input`.
+pub fn infer_body(input: &[f32]) -> String {
+    let vals: Vec<Json> = input.iter().map(|&v| Json::from(v)).collect();
+    Json::Obj(vec![("input".into(), Json::Arr(vals))]).render()
+}
+
+/// Parses an `/infer` response body.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] naming the missing/mistyped field.
+pub fn parse_reply(body: &str) -> Result<InferReply, ServeError> {
+    let bad = |what: &str| ServeError::BadRequest(format!("malformed /infer reply: {what}"));
+    let json = Json::parse(body).map_err(|e| bad(&e))?;
+    let logits = json
+        .get("logits")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad("no logits array"))?
+        .iter()
+        .map(|v| v.as_f64().map(|f| f as f32))
+        .collect::<Option<Vec<f32>>>()
+        .ok_or_else(|| bad("non-numeric logit"))?;
+    let field = |name: &str| {
+        json.get(name)
+            .and_then(Json::as_u64)
+            .map(|v| v as usize)
+            .ok_or_else(|| bad(name))
+    };
+    Ok(InferReply {
+        logits,
+        argmax: field("argmax")?,
+        epoch: field("epoch")?,
+        batch: field("batch")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infer_body_is_lossless_for_awkward_floats() {
+        let input = [
+            0.1f32,
+            f32::MIN_POSITIVE,
+            1.0e20,
+            -0.0,
+            std::f32::consts::PI,
+        ];
+        let body = infer_body(&input);
+        let parsed = Json::parse(&body).unwrap();
+        let arr = parsed.get("input").unwrap().as_array().unwrap();
+        for (orig, got) in input.iter().zip(arr) {
+            let back = got.as_f64().unwrap() as f32;
+            assert_eq!(orig.to_bits(), back.to_bits(), "{orig} mangled in transit");
+        }
+    }
+
+    #[test]
+    fn reply_parser_round_trips_and_rejects_nonsense() {
+        let reply = InferReply {
+            logits: vec![0.5, -1.25],
+            argmax: 0,
+            epoch: 7,
+            batch: 3,
+        };
+        let logits: Vec<Json> = reply.logits.iter().map(|&v| Json::from(v)).collect();
+        let body = Json::Obj(vec![
+            ("logits".into(), Json::Arr(logits)),
+            ("argmax".into(), Json::from(reply.argmax)),
+            ("epoch".into(), Json::from(reply.epoch)),
+            ("batch".into(), Json::from(reply.batch)),
+        ])
+        .render();
+        assert_eq!(parse_reply(&body).unwrap(), reply);
+
+        assert!(parse_reply("{}").is_err());
+        assert!(parse_reply("{\"logits\":[\"x\"]}").is_err());
+        assert!(parse_reply("not json").is_err());
+    }
+}

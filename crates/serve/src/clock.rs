@@ -1,0 +1,60 @@
+//! The serve crate's one sanctioned clock: flush/poll deadlines.
+//!
+//! The `dropback-lint` `wall-clock` rule bans `Instant` everywhere except
+//! the telemetry span/trace modules and this file. Serving genuinely
+//! needs wall time in two places — the micro-batch flush deadline and the
+//! watcher poll interval — so both take their time from the [`Deadline`]
+//! type defined here, and no other serve module ever names the clock.
+//! Timings destined for metrics still go through
+//! [`dropback_telemetry::Stopwatch`] like the rest of the workspace.
+
+use std::time::{Duration, Instant};
+
+/// A point in the future, measured on the monotonic clock.
+///
+/// Consumers only ever ask "how long until?" ([`Deadline::remaining`]) or
+/// "is it past?" ([`Deadline::expired`]) — both answerable without naming
+/// `Instant` at the call site, which keeps the wall-clock lint scoped to
+/// this module.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `d` from now.
+    pub fn after(d: Duration) -> Self {
+        Self {
+            at: Instant::now() + d,
+        }
+    }
+
+    /// Time left until the deadline; zero once it has passed.
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.remaining() == Duration::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_deadline_has_time_remaining() {
+        let d = Deadline::after(Duration::from_secs(60));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(59));
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,113 @@
+//! One error type for the whole serving path.
+//!
+//! Every failure a request can hit — malformed HTTP, an unloadable
+//! snapshot, a model the streaming evaluator cannot serve, an overloaded
+//! queue — flows through [`ServeError`] so handlers can map it onto an
+//! HTTP status in exactly one place ([`ServeError::http_status`]).
+
+use dropback::{CheckpointError, StreamError};
+use std::io;
+use std::path::PathBuf;
+
+/// Why a serving operation failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An underlying socket or filesystem error.
+    Io(io::Error),
+    /// The checkpoint store could not list or load snapshots.
+    Checkpoint(CheckpointError),
+    /// The streaming evaluator rejected the model or the input.
+    Stream(StreamError),
+    /// The snapshot directory holds no loadable snapshot.
+    NoSnapshot(PathBuf),
+    /// The snapshot's architecture has no streaming-inference path.
+    UnsupportedModel(String),
+    /// The client sent something the server cannot act on (HTTP 400).
+    BadRequest(String),
+    /// The bounded request queue is full (HTTP 503).
+    Overloaded,
+    /// The server is shutting down; the request was not evaluated.
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// The HTTP status this error maps to when it reaches a handler.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::Overloaded | ServeError::ShuttingDown => 503,
+            _ => 500,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "I/O error: {e}"),
+            ServeError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            ServeError::Stream(e) => write!(f, "streaming inference error: {e}"),
+            ServeError::NoSnapshot(dir) => write!(
+                f,
+                "no loadable snapshot in {} — train with checkpointing enabled \
+                 (or run `dropback-serve prep`) before serving",
+                dir.display()
+            ),
+            ServeError::UnsupportedModel(name) => write!(
+                f,
+                "model {name:?} has no streaming-inference path; serving supports \
+                 the MLP zoo entries (mnist-100-100, lenet-300-100)"
+            ),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Overloaded => {
+                write!(f, "request queue is full; retry later or raise --queue-cap")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}
+
+impl From<StreamError> for ServeError {
+    fn from(e: StreamError) -> Self {
+        ServeError::Stream(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_map_client_faults_to_4xx_and_pressure_to_503() {
+        assert_eq!(ServeError::BadRequest("x".into()).http_status(), 400);
+        assert_eq!(ServeError::Overloaded.http_status(), 503);
+        assert_eq!(ServeError::ShuttingDown.http_status(), 503);
+        assert_eq!(ServeError::NoSnapshot("/tmp".into()).http_status(), 500);
+        assert_eq!(
+            ServeError::UnsupportedModel("vgg-s-nano".into()).http_status(),
+            500
+        );
+    }
+
+    #[test]
+    fn messages_are_actionable() {
+        let e = ServeError::UnsupportedModel("wrn-nano".into());
+        assert!(e.to_string().contains("mnist-100-100"));
+        let e = ServeError::NoSnapshot("/data/ckpt".into());
+        assert!(e.to_string().contains("/data/ckpt"));
+    }
+}

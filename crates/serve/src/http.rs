@@ -1,0 +1,338 @@
+//! A deliberately small HTTP/1.1 subset, hand-rolled over `std::io`.
+//!
+//! The workspace takes no external dependencies, so the server speaks
+//! just enough HTTP for its four endpoints: request line, headers,
+//! `Content-Length` bodies, keep-alive, and `Connection: close`. No
+//! chunked transfer, no continuations, no upgrades — anything outside
+//! the subset is a clean 400, never a panic.
+//!
+//! Both sides of the conversation live here: [`read_request`] /
+//! [`write_response`] for the server, [`write_request`] /
+//! [`read_response`] for the in-crate client ([`crate::client`]) that the
+//! load generator, the smoke test, and the integration tests share.
+
+use crate::error::ServeError;
+use std::io::{BufRead, Write};
+
+/// Longest accepted request/status line or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+
+/// Most headers accepted on one message.
+const MAX_HEADERS: usize = 64;
+
+/// Largest accepted message body (1 MiB — an `/infer` body for a
+/// 784-feature input is ~15 KiB).
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// Header name/value pairs in arrival order; names lowercased.
+pub type Headers = Vec<(String, String)>;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as sent (`/infer`).
+    pub target: String,
+    /// Header name/value pairs in arrival order; names lowercased.
+    pub headers: Headers,
+    /// Message body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Status line + body of a parsed HTTP response (client side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusLine {
+    /// Numeric status code.
+    pub status: u16,
+    /// Response body as UTF-8 (all serve endpoints speak JSON).
+    pub body: String,
+}
+
+/// Reads one line up to CRLF (or bare LF), rejecting oversized lines.
+fn read_line(r: &mut impl BufRead) -> Result<Option<String>, ServeError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None); // clean EOF between messages
+                }
+                return Err(ServeError::BadRequest("connection closed mid-line".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text = String::from_utf8(line)
+                        .map_err(|_| ServeError::BadRequest("header line is not UTF-8".into()))?;
+                    return Ok(Some(text));
+                }
+                if line.len() >= MAX_LINE {
+                    return Err(ServeError::BadRequest(format!(
+                        "header line exceeds {MAX_LINE} bytes"
+                    )));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+    }
+}
+
+/// Parses headers + optional `Content-Length` body following a start line.
+fn read_headers_and_body(r: &mut impl BufRead) -> Result<(Headers, Vec<u8>), ServeError> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?.ok_or_else(|| {
+            ServeError::BadRequest("connection closed inside the header block".into())
+        })?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ServeError::BadRequest(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ServeError::BadRequest(format!("malformed header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ServeError::BadRequest(format!("unparseable Content-Length {v:?}")))?,
+        None => 0,
+    };
+    if length > MAX_BODY {
+        return Err(ServeError::BadRequest(format!(
+            "body of {length} bytes exceeds the {MAX_BODY}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; length];
+    r.read_exact(&mut body)?;
+    Ok((headers, body))
+}
+
+/// Reads one request off a keep-alive connection. `Ok(None)` means the
+/// peer closed cleanly between requests; protocol violations are
+/// [`ServeError::BadRequest`] so the caller can answer 400.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] on malformed or oversized messages,
+/// [`ServeError::Io`] on socket failures.
+pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, ServeError> {
+    let Some(line) = read_line(r)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(ServeError::BadRequest(format!(
+                "malformed request line {line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ServeError::BadRequest(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+    let (headers, body) = read_headers_and_body(r)?;
+    Ok(Some(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// The standard reason phrase for the statuses the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete JSON response.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(w: &mut impl Write, status: u16, body: &str) -> std::io::Result<()> {
+    // One buffer, one write: interleaving small header writes with the
+    // body on a raw TcpStream triggers Nagle/delayed-ACK stalls.
+    let msg = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        reason(status),
+        body.len()
+    );
+    w.write_all(msg.as_bytes())?;
+    w.flush()
+}
+
+/// Writes a complete request (client side). An empty body sends no
+/// `Content-Length`, matching a bare `GET`.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_request(
+    w: &mut impl Write,
+    method: &str,
+    target: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    // Single-buffer write for the same Nagle reason as `write_response`.
+    let msg = if body.is_empty() {
+        format!("{method} {target} HTTP/1.1\r\nHost: dropback\r\n\r\n")
+    } else {
+        format!(
+            "{method} {target} HTTP/1.1\r\nHost: dropback\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+    };
+    w.write_all(msg.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one response off the connection (client side).
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] on malformed messages (the message names
+/// the server as the offender), [`ServeError::Io`] on socket failures.
+pub fn read_response(r: &mut impl BufRead) -> Result<StatusLine, ServeError> {
+    let line = read_line(r)?.ok_or_else(|| {
+        ServeError::BadRequest("server closed the connection before responding".into())
+    })?;
+    // "HTTP/1.1 200 OK" — the code is the second token.
+    let status = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| ServeError::BadRequest(format!("malformed status line {line:?}")))?;
+    let (_, body) = read_headers_and_body(r)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| ServeError::BadRequest("response body is not UTF-8".into()))?;
+    Ok(StatusLine { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, ServeError> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_post_with_content_length_body() {
+        let req =
+            parse(b"POST /infer HTTP/1.1\r\nContent-Length: 5\r\nConnection: close\r\n\r\nhello")
+                .unwrap()
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_none_not_an_error() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_messages_are_bad_requests() {
+        for raw in [
+            &b"BROKEN\r\n\r\n"[..],
+            &b"GET /x HTTP/9.9\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: pony\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"[..],
+        ] {
+            let err = parse(raw).unwrap_err();
+            assert_eq!(err.http_status(), 400, "{raw:?} should be a 400: {err}");
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error_not_a_hang_or_panic() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi").unwrap_err();
+        assert!(matches!(err, ServeError::Io(_)));
+    }
+
+    #[test]
+    fn response_round_trips_through_the_client_parser() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, "{\"ok\":true}").unwrap();
+        let parsed = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(
+            parsed,
+            StatusLine {
+                status: 200,
+                body: "{\"ok\":true}".into()
+            }
+        );
+    }
+
+    #[test]
+    fn request_round_trips_through_the_server_parser() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/infer", "{\"input\":[1]}").unwrap();
+        let req = parse(&wire).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/infer");
+        assert_eq!(req.body, b"{\"input\":[1]}");
+    }
+
+    #[test]
+    fn oversized_header_line_is_rejected() {
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_LINE + 10));
+        raw.extend(b" HTTP/1.1\r\n\r\n");
+        let err = parse(&raw).unwrap_err();
+        assert_eq!(err.http_status(), 400);
+    }
+}

@@ -1,0 +1,51 @@
+//! # dropback-serve: checkpoint-backed inference serving
+//!
+//! The paper's deployment story is that a trained network ships as just
+//! `(seed, k tracked entries)` — a sparse checkpoint small enough to
+//! hot-load and swap at will. This crate turns that artifact into a
+//! request-serving path: a multi-threaded HTTP/1.1 server hand-rolled
+//! over `std::net` (the workspace has no external dependencies) that
+//!
+//! * loads snapshots through [`dropback::CheckpointStore`]
+//!   (newest-valid-first, reusing the corruption fallback),
+//! * reconstructs every untracked weight from `regen(seed, index)` via
+//!   the streaming [`dropback::StreamingModel`] evaluator — the dense
+//!   matrix is never materialized,
+//! * **hot-swaps** the live model atomically when a newer snapshot
+//!   appears: in-flight requests finish on the old model, new requests
+//!   see the new one ([`watcher`]),
+//! * **micro-batches** concurrent requests through a bounded queue that
+//!   flushes on batch-size or deadline into a single batched forward on
+//!   the worker pool ([`batch`]),
+//! * reports latency, throughput, batch-fill, and swap counters through
+//!   the existing telemetry stack (`serve.*` metrics, spans visible in
+//!   `dropback-trace`).
+//!
+//! Two modules deliberately own otherwise-forbidden capabilities, and the
+//! `dropback-lint` allowlists name them file-by-file: [`clock`] is the
+//! only serve module allowed to read `Instant` (deadlines), and [`rt`] is
+//! the only one allowed to create threads (accept loop, connection
+//! handlers, batch worker, watcher). Everything else in the crate stays
+//! under the same determinism lints as the training stack.
+//!
+//! See `docs/SERVING.md` for the protocol, the knobs, and how to read
+//! `BENCH_serve.json`.
+
+#![deny(missing_docs)]
+
+pub mod batch;
+pub mod client;
+pub mod clock;
+pub mod error;
+pub mod http;
+pub mod model;
+pub mod rt;
+pub mod server;
+pub mod watcher;
+
+pub use batch::{BatchConfig, BatchQueue, InferReply};
+pub use client::HttpClient;
+pub use error::ServeError;
+pub use http::{Request, StatusLine};
+pub use model::{ModelSlot, ServingModel};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,114 @@
+//! The serve crate's one sanctioned thread-creation site, plus the
+//! shutdown latch every serve thread parks on.
+//!
+//! The `dropback-lint` `raw-thread` rule confines `thread::spawn` to the
+//! tensor worker pool — compute must go through the pool so the
+//! thread-count-invariance contract holds. A server, though, needs
+//! *lifecycle* threads that are not compute: the accept loop, per
+//! connection handlers, the batch worker, and the snapshot watcher. Those
+//! all spawn through [`spawn`] here, the one serve file on the rule's
+//! allowlist; batched forwards themselves still run on the worker pool.
+
+use std::io;
+use std::sync::{Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// A named OS thread's join handle.
+pub type JoinHandle = thread::JoinHandle<()>;
+
+/// Spawns a named lifecycle thread. Names show up in panic messages and
+/// debuggers as `serve-{name}`.
+///
+/// # Errors
+///
+/// Propagates the OS error if the thread cannot be created.
+pub fn spawn<F>(name: &str, f: F) -> io::Result<JoinHandle>
+where
+    F: FnOnce() + Send + 'static,
+{
+    thread::Builder::new()
+        .name(format!("serve-{name}"))
+        .spawn(f)
+}
+
+/// A one-way latch that tells every serve thread to wind down.
+///
+/// Threads either poll [`Shutdown::is_set`] between requests or park in
+/// [`Shutdown::wait_for`], which doubles as an interruptible sleep: it
+/// returns early (with `true`) the moment shutdown triggers, so a watcher
+/// sleeping out its poll interval still exits promptly.
+#[derive(Debug, Default)]
+pub struct Shutdown {
+    set: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Shutdown {
+    /// A latch in the armed (not yet triggered) state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the latch and wakes every parked thread.
+    pub fn trigger(&self) {
+        let mut set = self.set.lock().unwrap_or_else(|e| e.into_inner());
+        *set = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether the latch has been tripped.
+    pub fn is_set(&self) -> bool {
+        *self.set.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Sleeps up to `d`, returning `true` immediately if shutdown
+    /// triggers first (or had already triggered).
+    pub fn wait_for(&self, d: Duration) -> bool {
+        let mut set = self.set.lock().unwrap_or_else(|e| e.into_inner());
+        if *set {
+            return true;
+        }
+        let (guard, _timeout) = self
+            .cv
+            .wait_timeout(set, d)
+            .unwrap_or_else(|e| e.into_inner());
+        set = guard;
+        *set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spawned_threads_carry_the_serve_prefix() {
+        let h = spawn("unit", || {
+            assert_eq!(
+                thread::current().name(),
+                Some("serve-unit"),
+                "lifecycle threads must be identifiable"
+            );
+        })
+        .unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_interrupts_a_parked_thread() {
+        let latch = Arc::new(Shutdown::new());
+        let seen = Arc::clone(&latch);
+        let h = spawn("latch", move || {
+            // Far longer than the test will take; trigger() must cut it.
+            assert!(seen.wait_for(Duration::from_secs(30)));
+        })
+        .unwrap();
+        latch.trigger();
+        h.join().unwrap();
+        assert!(latch.is_set());
+        // After triggering, waits return instantly.
+        assert!(latch.wait_for(Duration::from_secs(30)));
+    }
+}

@@ -1,0 +1,440 @@
+//! The server: accept loop, request routing, and lifecycle.
+//!
+//! Four endpoints, all JSON:
+//!
+//! | endpoint | answers |
+//! |---|---|
+//! | `GET /healthz` | serving generation: model, epoch, dims, source |
+//! | `POST /infer` | `{"input":[...]}` → logits via the micro-batcher |
+//! | `GET /metrics` | the full telemetry snapshot (`serve.*` and all) |
+//! | `POST /shutdown` | acknowledges, then winds the server down |
+//!
+//! Threads: one accept loop, one handler per connection (keep-alive), one
+//! batch worker, one snapshot watcher — all spawned through [`crate::rt`]
+//! and all torn down by [`Server::stop`] / [`Server::wait`]. Batched
+//! forwards run on the tensor worker pool, so `DROPBACK_THREADS` governs
+//! compute parallelism independently of connection count.
+
+use crate::batch::{BatchConfig, BatchQueue};
+use crate::error::ServeError;
+use crate::http::{self, Request};
+use crate::model::{ModelSlot, ServingModel};
+use crate::rt::{self, Shutdown};
+use crate::watcher;
+use dropback::CheckpointStore;
+use dropback_telemetry::{Collector, Json, Span, Stopwatch, Telemetry, TelemetrySnapshot};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything tunable about a server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::addr`] for the resolved one).
+    pub addr: String,
+    /// Micro-batching knobs.
+    pub batch: BatchConfig,
+    /// How often the watcher polls the snapshot directory.
+    pub poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            batch: BatchConfig::default(),
+            poll: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Shared state every connection handler needs.
+struct Ctx {
+    slot: Arc<ModelSlot>,
+    queue: Arc<BatchQueue>,
+    collector: Arc<Collector>,
+    shutdown: Arc<Shutdown>,
+}
+
+/// A running server. Dropping it does **not** stop the threads; call
+/// [`Server::stop`] (tests, benches) or [`Server::wait`] (the bin).
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    slot: Arc<ModelSlot>,
+    collector: Arc<Collector>,
+    shutdown: Arc<Shutdown>,
+    queue: Arc<BatchQueue>,
+    handles: Vec<rt::JoinHandle>,
+}
+
+impl Server {
+    /// Loads the newest valid snapshot from `store`, binds the listener,
+    /// and starts the accept loop, batch worker, and hot-swap watcher.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoSnapshot`] when the directory holds nothing
+    /// loadable, plus model-building and socket errors.
+    pub fn start(cfg: ServerConfig, mut store: CheckpointStore) -> Result<Self, ServeError> {
+        let collector = Arc::new(Collector::new());
+        let mut tel = Telemetry::disabled();
+        let state = store
+            .load_latest(&mut tel)?
+            .ok_or_else(|| ServeError::NoSnapshot(store.dir().to_path_buf()))?;
+        collector
+            .counter("serve.swap_rejected")
+            .add(store.take_skipped().len() as u64);
+
+        // The store names snapshots state-{epoch:08}.dbk2, so the loaded
+        // state's epoch identifies its source file.
+        let source = store
+            .dir()
+            .join(format!("state-{:08}.dbk2", state.progress.next_epoch));
+        let model = ServingModel::from_state(&state, source.clone())?;
+        collector
+            .gauge("serve.model_epoch")
+            .set(model.epoch() as f64);
+        let slot = Arc::new(ModelSlot::new(model));
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(Shutdown::new());
+        let queue = Arc::new(BatchQueue::new(cfg.batch));
+
+        let mut handles = Vec::new();
+        handles.push(queue.start_worker(Arc::clone(&slot), Arc::clone(&collector))?);
+        handles.push(watcher::start(
+            store,
+            source,
+            Arc::clone(&slot),
+            Arc::clone(&collector),
+            Arc::clone(&shutdown),
+            cfg.poll,
+        )?);
+
+        let ctx = Arc::new(Ctx {
+            slot: Arc::clone(&slot),
+            queue: Arc::clone(&queue),
+            collector: Arc::clone(&collector),
+            shutdown: Arc::clone(&shutdown),
+        });
+        let accept_shutdown = Arc::clone(&shutdown);
+        handles.push(rt::spawn("accept", move || {
+            accept_loop(&listener, &ctx, &accept_shutdown);
+        })?);
+
+        Ok(Self {
+            addr,
+            slot,
+            collector,
+            shutdown,
+            queue,
+            handles,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The generation currently answering requests.
+    pub fn model(&self) -> Arc<ServingModel> {
+        self.slot.get()
+    }
+
+    /// The server's metrics registry (`serve.*` counters live here).
+    pub fn collector(&self) -> &Arc<Collector> {
+        &self.collector
+    }
+
+    /// Triggers shutdown remotely-equivalent to `POST /shutdown`.
+    pub fn trigger_shutdown(&self) {
+        self.shutdown.trigger();
+    }
+
+    /// Blocks until something triggers shutdown (`POST /shutdown`,
+    /// [`Server::trigger_shutdown`]), then tears the threads down and
+    /// returns the final telemetry snapshot.
+    pub fn wait(self) -> TelemetrySnapshot {
+        while !self.shutdown.wait_for(Duration::from_millis(500)) {}
+        self.teardown()
+    }
+
+    /// Stops the server now and returns the final telemetry snapshot.
+    pub fn stop(self) -> TelemetrySnapshot {
+        self.shutdown.trigger();
+        self.teardown()
+    }
+
+    fn teardown(self) -> TelemetrySnapshot {
+        self.queue.stop();
+        // The accept loop is blocked in accept(); poke it awake so it
+        // observes the tripped latch and exits.
+        if let Ok(s) = TcpStream::connect(self.addr) {
+            drop(s);
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+        TelemetrySnapshot::capture(&self.collector)
+    }
+}
+
+fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>, shutdown: &Shutdown) {
+    loop {
+        let conn = listener.accept();
+        if shutdown.is_set() {
+            return;
+        }
+        match conn {
+            Ok((stream, _)) => {
+                let ctx = Arc::clone(ctx);
+                ctx.collector.counter("serve.connections").inc();
+                if rt::spawn("conn", move || handle_connection(stream, &ctx)).is_err() {
+                    // Thread exhaustion: the connection drops; the client
+                    // retries. Nothing else to do without a thread.
+                }
+            }
+            Err(_) => {
+                ctx.collector.counter("serve.accept_errors").inc();
+            }
+        }
+    }
+}
+
+/// Serves one keep-alive connection until the peer closes, asks to
+/// close, sends garbage, or shutdown trips.
+fn handle_connection(stream: TcpStream, ctx: &Ctx) {
+    // Responses are small and latency-bound; never let them sit in
+    // Nagle's buffer waiting for the client's ACK.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match http::read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean close between requests
+            Err(e) => {
+                let status = e.http_status();
+                let body = error_body(&e);
+                let _ = http::write_response(&mut write_half, status, &body);
+                return;
+            }
+        };
+        let close = req.wants_close();
+        let (status, body) = route(&req, ctx);
+        if http::write_response(&mut write_half, status, &body).is_err() {
+            return;
+        }
+        if close || ctx.shutdown.is_set() {
+            return;
+        }
+    }
+}
+
+fn error_body(e: &ServeError) -> String {
+    Json::Obj(vec![("error".into(), Json::from(e.to_string()))]).render()
+}
+
+fn route(req: &Request, ctx: &Ctx) -> (u16, String) {
+    let _span = Span::enter("serve.request");
+    match (req.method.as_str(), req.target.as_str()) {
+        ("GET", "/healthz") => healthz(ctx),
+        ("POST", "/infer") => infer(req, ctx),
+        ("GET", "/metrics") => (
+            200,
+            TelemetrySnapshot::capture(&ctx.collector)
+                .to_json()
+                .render(),
+        ),
+        ("POST", "/shutdown") => {
+            ctx.shutdown.trigger();
+            (
+                200,
+                Json::Obj(vec![("status".into(), Json::from("shutting-down"))]).render(),
+            )
+        }
+        (_, "/healthz" | "/infer" | "/metrics" | "/shutdown") => (
+            405,
+            error_body(&ServeError::BadRequest(format!(
+                "method {} not allowed on {}",
+                req.method, req.target
+            ))),
+        ),
+        _ => (
+            404,
+            error_body(&ServeError::BadRequest(format!(
+                "no such endpoint {:?} (have /healthz, /infer, /metrics, /shutdown)",
+                req.target
+            ))),
+        ),
+    }
+}
+
+fn healthz(ctx: &Ctx) -> (u16, String) {
+    let m = ctx.slot.get();
+    let body = Json::Obj(vec![
+        ("status".into(), Json::from("ok")),
+        ("model".into(), Json::from(m.name())),
+        ("epoch".into(), Json::from(m.epoch())),
+        ("in_dim".into(), Json::from(m.in_dim())),
+        ("out_dim".into(), Json::from(m.out_dim())),
+        ("entries".into(), Json::from(m.entries())),
+        (
+            "source".into(),
+            Json::from(m.source().to_string_lossy().as_ref()),
+        ),
+    ]);
+    (200, body.render())
+}
+
+fn parse_input(body: &[u8]) -> Result<Vec<f32>, ServeError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServeError::BadRequest("body is not UTF-8".into()))?;
+    let json = Json::parse(text).map_err(|e| ServeError::BadRequest(format!("bad JSON: {e}")))?;
+    let arr = json
+        .get("input")
+        .and_then(Json::as_array)
+        .ok_or_else(|| ServeError::BadRequest("expected {\"input\": [numbers]}".into()))?;
+    let mut input = Vec::with_capacity(arr.len());
+    for (i, v) in arr.iter().enumerate() {
+        let f = v
+            .as_f64()
+            .ok_or_else(|| ServeError::BadRequest(format!("input[{i}] is not a number")))?;
+        // f32 values render exactly into JSON and cast back exactly, so
+        // the wire preserves input bits end to end.
+        input.push(f as f32);
+    }
+    Ok(input)
+}
+
+fn infer(req: &Request, ctx: &Ctx) -> (u16, String) {
+    let watch = Stopwatch::started();
+    ctx.collector.counter("serve.requests").inc();
+    let result = parse_input(&req.body).and_then(|input| ctx.queue.submit(input));
+    let (status, body) = match result {
+        Ok(reply) => {
+            let logits: Vec<Json> = reply.logits.iter().map(|&v| Json::from(v)).collect();
+            let body = Json::Obj(vec![
+                ("logits".into(), Json::Arr(logits)),
+                ("argmax".into(), Json::from(reply.argmax)),
+                ("epoch".into(), Json::from(reply.epoch)),
+                ("batch".into(), Json::from(reply.batch)),
+            ]);
+            (200, body.render())
+        }
+        Err(e) => {
+            ctx.collector.counter("serve.request_failed").inc();
+            (e.http_status(), error_body(&e))
+        }
+    };
+    if let Some(ns) = watch.elapsed_ns() {
+        ctx.collector
+            .histogram("serve.request_ns")
+            .record(ns as f64);
+    }
+    (status, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use dropback::{TrainProgress, TrainState};
+    use dropback_nn::models;
+    use dropback_optim::{Optimizer, SparseDropBack};
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dropback-server-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn seeded_store(dir: &PathBuf) -> CheckpointStore {
+        let mut store = CheckpointStore::open(dir).unwrap();
+        let mut net = models::mnist_100_100(3);
+        let mut opt = SparseDropBack::new(300);
+        opt.step(net.store_mut(), 0.0);
+        let state = TrainState::capture(
+            &net,
+            &opt,
+            1,
+            &TrainProgress {
+                next_epoch: 1,
+                ..TrainProgress::fresh()
+            },
+        );
+        store.save(&state, &mut Telemetry::disabled()).unwrap();
+        store
+    }
+
+    #[test]
+    fn empty_directory_refuses_to_start() {
+        let dir = tmp_dir("empty");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let err = Server::start(ServerConfig::default(), store).unwrap_err();
+        assert!(matches!(err, ServeError::NoSnapshot(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serves_health_infer_metrics_and_shuts_down() {
+        let dir = tmp_dir("roundtrip");
+        let server = Server::start(ServerConfig::default(), seeded_store(&dir)).unwrap();
+        let addr = server.addr();
+        let mut client = HttpClient::connect(addr).unwrap();
+
+        let health = client.get("/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        let health = Json::parse(&health.body).unwrap();
+        assert_eq!(health.get("model").unwrap().as_str(), Some("mnist-100-100"));
+        assert_eq!(health.get("in_dim").unwrap().as_u64(), Some(784));
+
+        let reply = client.infer(&vec![0.25; 784]).unwrap();
+        assert_eq!(reply.logits.len(), 10);
+        assert_eq!(reply.epoch, 1);
+
+        // Unknown endpoint and wrong method are typed refusals.
+        assert_eq!(client.get("/nope").unwrap().status, 404);
+        assert_eq!(client.post("/healthz", "").unwrap().status, 405);
+        // Bad JSON is a 400, not a hang or a 500.
+        assert_eq!(client.post("/infer", "{oops").unwrap().status, 400);
+
+        let metrics = client.get("/metrics").unwrap();
+        assert_eq!(metrics.status, 200);
+        let metrics = Json::parse(&metrics.body).unwrap();
+        assert!(
+            metrics
+                .get("histograms")
+                .unwrap()
+                .get("serve.request_ns")
+                .unwrap()
+                .get("p50")
+                .unwrap()
+                .as_f64()
+                .unwrap_or(0.0)
+                > 0.0
+        );
+
+        let bye = client.post("/shutdown", "").unwrap();
+        assert_eq!(bye.status, 200);
+        let snap = server.wait();
+        let requests = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "serve.requests")
+            .map(|(_, v)| *v);
+        assert!(requests.is_some_and(|v| v >= 2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -135,7 +135,9 @@ impl Json {
 fn render_number(v: f64, out: &mut String) {
     if !v.is_finite() {
         out.push_str("null");
-    } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
+    } else if v.fract() == 0.0 && v.abs() < 9.0e15 && !(v == 0.0 && v.is_sign_negative()) {
+        // Negative zero must skip the integer shortcut: `-0.0 as i64`
+        // is 0, which would drop the sign bit on the wire.
         let _ = write!(out, "{}", v as i64);
     } else {
         let _ = write!(out, "{v}");

@@ -39,12 +39,56 @@ echo "== trace smoke (Chrome trace export parses, spans pair up)"
 # A short traced training run, then the analyzer re-parses the file and
 # fails on JSON errors or unpaired begin/end events.
 TRACE_TMP="$(mktemp -t dropback-trace-smoke.XXXXXX.json)"
-trap 'rm -f "$TRACE_TMP"' EXIT
+SERVE_TMP="$(mktemp -d -t dropback-serve-smoke.XXXXXX)"
+SERVE_PID=""
+cleanup() {
+    rm -f "$TRACE_TMP"
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2> /dev/null || true
+    rm -rf "$SERVE_TMP"
+}
+trap cleanup EXIT
 cargo build --release -q -p dropback --bins
 ./target/release/dropback-cli train --model mnist-100-100 --epochs 2 \
     --budget 20000 --train 600 --test 150 --trace "$TRACE_TMP" --quiet > /dev/null
 if ! ./target/release/dropback-trace "$TRACE_TMP" > /dev/null; then
     echo "dropback-trace rejected the smoke trace (parse error or unpaired events)" >&2
+    exit 1
+fi
+
+echo "== serve smoke (boot, /infer, live hot-swap, telemetry digest, clean exit)"
+# Prep one real snapshot, boot the server on an ephemeral port, probe it
+# over HTTP, write a *newer* snapshot and wait for the hot swap to land,
+# assert the latency histogram is populated, then shut down cleanly and
+# require the final telemetry digest on stdout.
+cargo build --release -q -p dropback-serve --bins
+./target/release/dropback-serve prep --dir "$SERVE_TMP/ckpts" --epochs 1 \
+    --samples 128 --quiet
+./target/release/dropback-serve serve --dir "$SERVE_TMP/ckpts" \
+    --addr 127.0.0.1:0 --addr-file "$SERVE_TMP/addr" --quiet \
+    > "$SERVE_TMP/digest.json" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -f "$SERVE_TMP/addr" ] && break
+    sleep 0.1
+done
+if [ ! -f "$SERVE_TMP/addr" ]; then
+    echo "dropback-serve never published its address" >&2
+    exit 1
+fi
+SERVE_ADDR="$(cat "$SERVE_TMP/addr")"
+./target/release/dropback-serve probe --addr "$SERVE_ADDR" \
+    --healthz --infer --repeat 3 > /dev/null
+# A second training epoch lands on disk; the watcher must hot-swap to it.
+./target/release/dropback-serve prep --dir "$SERVE_TMP/ckpts" --epochs 2 \
+    --samples 128 --quiet
+./target/release/dropback-serve probe --addr "$SERVE_ADDR" \
+    --expect-epoch 2 --infer --assert-latency > /dev/null
+./target/release/dropback-serve probe --addr "$SERVE_ADDR" --shutdown > /dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+if ! grep -q '"serve.swaps":1' "$SERVE_TMP/digest.json"; then
+    echo "serve digest missing the hot swap:" >&2
+    cat "$SERVE_TMP/digest.json" >&2
     exit 1
 fi
 
