@@ -98,6 +98,28 @@ impl Allowlist {
         self.entries.is_empty()
     }
 
+    /// Rejects entries naming rule ids the engine does not define.
+    ///
+    /// A typo'd id would otherwise parse fine and then suppress nothing
+    /// forever, surfacing only as a perpetual stale-entry warning.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line and the known ids.
+    pub fn validate_rules(&self, known: &[&str]) -> Result<(), String> {
+        for e in &self.entries {
+            if !known.contains(&e.rule.as_str()) {
+                return Err(format!(
+                    "lint.allow:{}: unknown rule id '{}' — known rules: {}",
+                    e.source_line,
+                    e.rule,
+                    known.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// The justification of the first entry suppressing `finding`, if any.
     pub fn suppresses(&self, finding: &Finding) -> Option<String> {
         self.entries
@@ -171,6 +193,17 @@ mod tests {
         assert!(err.contains("expected"), "{err}");
         let err = Allowlist::parse("rule path extra -- why\n").unwrap_err();
         assert!(err.contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn unknown_rule_ids_are_rejected() {
+        let list = Allowlist::parse("no-unwrpa crates/nn/src/ -- typo'd rule id\n").unwrap();
+        let err = list.validate_rules(&["no-unwrap", "no-print"]).unwrap_err();
+        assert!(err.contains("lint.allow:1"), "{err}");
+        assert!(err.contains("no-unwrpa"), "{err}");
+        assert!(err.contains("known rules"), "{err}");
+        let ok = Allowlist::parse("no-print crates/nn/src/ -- fine\n").unwrap();
+        assert!(ok.validate_rules(&["no-unwrap", "no-print"]).is_ok());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::allow::Allowlist;
 use crate::lexer::{tokenize, Token};
+use crate::parse::{parse, ItemModel};
 use crate::report::{Finding, Report, Severity};
 use crate::rules::all_rules;
 use std::fs;
@@ -37,6 +38,9 @@ pub struct FileCtx {
     /// Indices into `tokens` of the non-comment tokens, for neighbor
     /// lookups that must skip comments.
     pub significant: Vec<usize>,
+    /// The structural item model — fns, impls, `unsafe` blocks, statics —
+    /// so rules can reason about *where* a pattern occurs.
+    pub model: ItemModel,
 }
 
 impl FileCtx {
@@ -52,6 +56,7 @@ impl FileCtx {
             .filter(|(_, t)| !t.is_comment())
             .map(|(i, _)| i)
             .collect();
+        let model = parse(&tokens);
         Self {
             path: path.to_string(),
             role: role_of(path),
@@ -59,7 +64,14 @@ impl FileCtx {
             tokens,
             test_regions,
             significant,
+            model,
         }
+    }
+
+    /// Where token `i` sits structurally — `` in fn `submit` `` or
+    /// `at module scope` — for diagnostic messages.
+    pub fn context_label(&self, i: usize) -> String {
+        self.model.context_label(i)
     }
 
     /// Whether token index `i` lies inside a test region.
@@ -260,6 +272,8 @@ pub fn collect_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
 ///
 /// Returns a message when the walk or a file read fails.
 pub fn check_workspace(root: &Path, allow: &Allowlist) -> Result<Report, String> {
+    let known: Vec<&str> = crate::rules::all_rules().iter().map(|r| r.id).collect();
+    allow.validate_rules(&known)?;
     let files = collect_rs_files(root)?;
     let mut report = Report {
         files_scanned: files.len(),

@@ -19,9 +19,11 @@ pub enum TokenKind {
     Int,
     /// A floating-point literal (`1.0`, `2.5e-3`, `1f32`).
     Float,
-    /// A `"..."` string literal.
+    /// A `"..."` string literal, or a `c"..."` C-string (same escape
+    /// rules; the prefix stays in the token text).
     Str,
-    /// An `r"..."` / `r#"..."#` raw string literal (or raw byte string).
+    /// An `r"..."` / `r#"..."#` raw string literal — or a raw byte
+    /// (`br`) / raw C (`cr`) string; the prefix stays in the token text.
     RawStr,
     /// A `b"..."` byte-string literal.
     ByteStr,
@@ -335,6 +337,23 @@ pub fn tokenize(source: &str) -> Vec<Token> {
                 lx.bump_into(&mut text);
                 (TokenKind::RawStr, lx.raw_string(text))
             }
+            // C-string literals (Rust 1.77): `c"..."` escapes like a
+            // normal string, `cr"..."`/`cr#"..."#` scan raw. Without
+            // these arms the `cr` prefix lexes as an identifier and the
+            // body as an escaped string, desyncing the stream on any
+            // backslash-before-quote — decoy text inside the literal
+            // would be flagged and real code after it silently skipped.
+            'c' if lx.peek(1) == Some('"') => {
+                let mut text = String::new();
+                lx.bump_into(&mut text);
+                (TokenKind::Str, lx.quoted_string(text))
+            }
+            'c' if lx.peek(1) == Some('r') && (lx.peek(2) == Some('"') || raw_ahead(&lx, 2)) => {
+                let mut text = String::new();
+                lx.bump_into(&mut text);
+                lx.bump_into(&mut text);
+                (TokenKind::RawStr, lx.raw_string(text))
+            }
             'b' if lx.peek(1) == Some('\'') => {
                 let mut text = String::new();
                 lx.bump_into(&mut text);
@@ -450,6 +469,63 @@ mod tests {
         let toks = kinds(r###"br#"bytes"# x"###);
         assert_eq!(toks[0].0, TokenKind::RawStr);
         assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn c_string_literals_are_single_tokens() {
+        let toks = kinds(r#"c"bytes .unwrap()" x"#);
+        assert_eq!(toks[0], (TokenKind::Str, r#"c"bytes .unwrap()""#.into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_c_string_does_not_desync_the_stream() {
+        // The body ends in a backslash: raw semantics mean the `"` after
+        // it closes the literal. Escaped-string scanning would swallow
+        // that close and eat the real code after the literal.
+        let toks = kinds("cr\"path\\\" after.unwrap()");
+        assert_eq!(toks[0], (TokenKind::RawStr, "cr\"path\\\"".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "after".into()));
+        let toks = kinds(r###"cr#"raw c .unwrap()"# tail"###);
+        assert_eq!(toks[0].0, TokenKind::RawStr);
+        assert!(toks[0].1.contains(".unwrap()"));
+        assert_eq!(toks[1], (TokenKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn c_ident_before_separate_string_stays_an_ident() {
+        let toks = kinds(r#"c "not a cstring""#);
+        assert_eq!(toks[0], (TokenKind::Ident, "c".into()));
+        assert_eq!(toks[1].0, TokenKind::Str);
+        // And idents merely starting with c are untouched.
+        let toks = kinds(r#"crate::foo cr8 c2"#);
+        assert_eq!(toks[0], (TokenKind::Ident, "crate".into()));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "cr8"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "c2"));
+    }
+
+    #[test]
+    fn raw_string_containing_comment_opener_and_vice_versa() {
+        // A `/*` inside a raw string must not open a comment...
+        let toks = kinds("r#\" /* \"# here");
+        assert_eq!(toks[0].0, TokenKind::RawStr);
+        assert_eq!(toks[1], (TokenKind::Ident, "here".into()));
+        // ...and a raw-string opener inside a block comment must not
+        // start a literal that swallows the comment close.
+        let toks = kinds("/* r#\" */ after");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn multiline_raw_string_keeps_line_tracking() {
+        let toks = tokenize("r#\"a\nb\"# after");
+        assert_eq!(toks[0].kind, TokenKind::RawStr);
+        assert_eq!((toks[1].line, toks[1].col), (2, 5));
     }
 
     #[test]

@@ -25,11 +25,13 @@
 pub mod allow;
 pub mod engine;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
 
 pub use allow::{AllowEntry, Allowlist};
 pub use engine::{analyze_source, check_workspace, FileCtx, Role};
+pub use parse::{Item, ItemKind, ItemModel, UnsafeBlock};
 pub use report::{Finding, Report, Severity, Suppressed};
 pub use rules::{all_rules, Rule};
 

@@ -1,11 +1,13 @@
 //! The `dropback-lint` command-line gate.
 //!
 //! ```text
-//! dropback-lint --check [--json] [--root DIR] [--allow FILE]
+//! dropback-lint --check [--strict] [--json] [--root DIR] [--allow FILE]
 //! ```
 //!
 //! Exits 0 when the tree is clean, 1 on any unsuppressed finding, and 2 on
-//! usage or I/O errors. Human diagnostics (`file:line:col: [rule] message`)
+//! usage or I/O errors. Stale `lint.allow` entries print as warnings by
+//! default; `--strict` (the CI gate's mode) turns them into failures so the
+//! allowlist cannot rot. Human diagnostics (`file:line:col: [rule] message`)
 //! go to stdout; `--json` replaces them with the machine-readable report.
 
 use dropback_lint::{check_workspace, Allowlist};
@@ -14,16 +16,18 @@ use std::process::ExitCode;
 
 struct Options {
     check: bool,
+    strict: bool,
     json: bool,
     root: PathBuf,
     allow: Option<PathBuf>,
 }
 
 fn usage() -> String {
-    "usage: dropback-lint --check [--json] [--root DIR] [--allow FILE]\n\
+    "usage: dropback-lint --check [--strict] [--json] [--root DIR] [--allow FILE]\n\
      \n\
      Determinism & robustness lints for the DropBack workspace.\n\
      --check        run the pass (required; guards against accidental no-ops)\n\
+     --strict       stale lint.allow entries fail the check instead of warning\n\
      --json         emit the machine-readable JSON report instead of text\n\
      --root DIR     workspace root to scan (default: current directory)\n\
      --allow FILE   suppression file (default: <root>/lint.allow if present)\n\
@@ -35,6 +39,7 @@ fn usage() -> String {
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         check: false,
+        strict: false,
         json: false,
         root: PathBuf::from("."),
         allow: None,
@@ -43,6 +48,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     while i < args.len() {
         match args[i].as_str() {
             "--check" => opts.check = true,
+            "--strict" => opts.strict = true,
             "--json" => opts.json = true,
             "--root" => {
                 i += 1;
@@ -85,7 +91,19 @@ fn run(opts: &Options) -> Result<bool, String> {
     } else {
         print!("{}", report.render_human());
     }
-    Ok(report.has_failures())
+    let stale_fails = opts.strict && !report.unused_allows.is_empty();
+    if stale_fails && !opts.json {
+        println!(
+            "--strict: {} stale allowlist entr{} fail the check",
+            report.unused_allows.len(),
+            if report.unused_allows.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        );
+    }
+    Ok(report.has_failures() || stale_fails)
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,762 @@
+//! The structural layer: a recursive-descent pass over the token stream
+//! that builds a per-file item model — modules, fns, impl/trait blocks,
+//! `unsafe` blocks, statics — with accurate token spans and ancestry.
+//!
+//! The flat token rules ([`crate::rules`]) answer "does this pattern
+//! appear"; the item model answers "*where* does it appear": which fn an
+//! `unwrap` sits in, whether an `unsafe` block is a block or an `unsafe
+//! fn`, whether a `static` is `static mut`. It is not a Rust parser — it
+//! tracks exactly the structure the rules need and deliberately shrugs at
+//! everything else (expressions, types, generics are skipped by balanced
+//! bracket matching). Macro bodies are walked as ordinary code: a fn
+//! defined by a macro is still a fn worth auditing.
+//!
+//! The parser is single-pass and never backtracks more than a couple of
+//! tokens of lookahead, so it adds O(tokens) to the per-file cost — the
+//! lint-timing budget in `scripts/check.sh` pins that this stays cheap.
+
+use crate::lexer::{Token, TokenKind};
+
+/// What kind of item an [`Item`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name { ... }` (or `mod name;`).
+    Mod,
+    /// `fn name(...)` — free, associated, or nested.
+    Fn,
+    /// `impl Type { ... }` / `impl Trait for Type { ... }`.
+    Impl,
+    /// `trait Name { ... }`.
+    Trait,
+    /// `struct Name ...`.
+    Struct,
+    /// `enum Name { ... }`.
+    Enum,
+    /// `union Name { ... }`.
+    Union,
+    /// `static NAME: T = ...;` (`is_mut_static` marks `static mut`).
+    Static,
+    /// `const NAME: T = ...;` — item or associated const.
+    Const,
+    /// `type Name = ...;` — alias or associated type.
+    TypeAlias,
+    /// `extern "ABI" { ... }` foreign block.
+    ExternBlock,
+}
+
+impl ItemKind {
+    /// The lowercase keyword-ish label used in diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            ItemKind::Mod => "mod",
+            ItemKind::Fn => "fn",
+            ItemKind::Impl => "impl",
+            ItemKind::Trait => "trait",
+            ItemKind::Struct => "struct",
+            ItemKind::Enum => "enum",
+            ItemKind::Union => "union",
+            ItemKind::Static => "static",
+            ItemKind::Const => "const",
+            ItemKind::TypeAlias => "type",
+            ItemKind::ExternBlock => "extern block",
+        }
+    }
+}
+
+/// One parsed item with its span and ancestry.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// What the item is.
+    pub kind: ItemKind,
+    /// Its name (`submit`, `BatchQueue`); for impl blocks, the rendered
+    /// header (`Drop for Pool`); empty when no name applies.
+    pub name: String,
+    /// Declared `unsafe` (`unsafe fn`, `unsafe impl`, `unsafe trait`,
+    /// `unsafe extern`).
+    pub is_unsafe: bool,
+    /// `static mut` — mutable global state.
+    pub is_mut_static: bool,
+    /// The item's doc comments contain a `# Safety` section or a
+    /// `SAFETY:` marker.
+    pub has_safety_doc: bool,
+    /// Index of the innermost enclosing item in [`ItemModel::items`].
+    pub parent: Option<usize>,
+    /// First token of the item (its leading modifier or keyword).
+    pub first_tok: usize,
+    /// Token range of the `{ ... }` body, braces inclusive; `None` for
+    /// bodyless items (`fn f();`, `static X: T = 0;`, `mod m;`).
+    pub body: Option<(usize, usize)>,
+    /// Last token of the item (closing `}` or terminating `;`).
+    pub end_tok: usize,
+}
+
+/// One `unsafe { ... }` expression block.
+#[derive(Debug, Clone)]
+pub struct UnsafeBlock {
+    /// The `unsafe` keyword token.
+    pub kw_tok: usize,
+    /// The opening `{`.
+    pub open: usize,
+    /// The matching `}`.
+    pub close: usize,
+    /// Index of the enclosing fn in [`ItemModel::items`], if any.
+    pub enclosing_fn: Option<usize>,
+}
+
+/// The per-file item model.
+#[derive(Debug, Default)]
+pub struct ItemModel {
+    /// Every item, outer-before-inner (an item is pushed when its body
+    /// opens, so parents always precede children).
+    pub items: Vec<Item>,
+    /// Every `unsafe { ... }` expression block, in source order.
+    pub unsafe_blocks: Vec<UnsafeBlock>,
+}
+
+impl ItemModel {
+    /// The innermost item whose span contains token index `tok`.
+    pub fn enclosing_item(&self, tok: usize) -> Option<&Item> {
+        self.items
+            .iter()
+            .filter(|it| it.first_tok <= tok && tok <= it.end_tok)
+            .max_by_key(|it| it.first_tok)
+    }
+
+    /// The innermost fn whose span contains token index `tok`.
+    pub fn enclosing_fn(&self, tok: usize) -> Option<&Item> {
+        self.items
+            .iter()
+            .filter(|it| it.kind == ItemKind::Fn && it.first_tok <= tok && tok <= it.end_tok)
+            .max_by_key(|it| it.first_tok)
+    }
+
+    /// A short human label for where token `tok` sits — `` in fn `submit` ``,
+    /// `` in impl `Drop for Pool` ``, or `at module scope` — for use at the
+    /// end of a diagnostic message.
+    pub fn context_label(&self, tok: usize) -> String {
+        match self.enclosing_fn(tok).or_else(|| self.enclosing_item(tok)) {
+            Some(it) if !it.name.is_empty() => {
+                format!("in {} `{}`", it.kind.label(), it.name)
+            }
+            Some(it) => format!("in {}", it.kind.label()),
+            None => "at module scope".to_string(),
+        }
+    }
+}
+
+/// Whether a comment token adjacent to `line` (same line or up to three
+/// lines above) carries a `SAFETY:` justification. Shared by the
+/// unsafe-audit rule for both blocks and `unsafe fn` headers.
+pub fn safety_comment_near(tokens: &[Token], line: u32) -> bool {
+    tokens.iter().any(|c| {
+        c.is_comment() && c.text.contains("SAFETY:") && c.line <= line && c.line + 3 >= line
+    })
+}
+
+/// An item whose header has been seen but whose body `{` (or terminating
+/// `;`) has not arrived yet.
+struct PendingItem {
+    kind: ItemKind,
+    name: String,
+    is_unsafe: bool,
+    is_mut_static: bool,
+    has_safety_doc: bool,
+    first_tok: usize,
+    kw_tok: usize,
+    /// `(`/`[` nesting inside the header, so a `;` inside `[u8; 4]` or a
+    /// `{` inside an array-length expression does not end it early.
+    depth: usize,
+    parent: Option<usize>,
+}
+
+/// One open `{` on the parse stack.
+enum Frame {
+    /// An item body; the index into `ItemModel::items`.
+    Item(usize),
+    /// An `unsafe { ... }` block; the index into `ItemModel::unsafe_blocks`.
+    Unsafe(usize),
+    /// Any other brace pair — expression block, match body, struct
+    /// literal, macro body.
+    Block,
+}
+
+/// Builds the item model for a token stream.
+pub fn parse(tokens: &[Token]) -> ItemModel {
+    let mut model = ItemModel::default();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut pending: Option<PendingItem> = None;
+    // Modifiers buffered for the next item or unsafe block: the index of
+    // the first one (item span start), a seen `unsafe` keyword, and a
+    // seen `extern` (so `extern "C" {` opens a foreign block, not an
+    // expression block).
+    let mut mod_start: Option<usize> = None;
+    let mut saw_unsafe: Option<usize> = None;
+    let mut saw_extern = false;
+    // Comment tokens accumulated since the last statement boundary —
+    // doc comments here belong to the next item.
+    let mut doc_run: Vec<usize> = Vec::new();
+
+    fn innermost_item(stack: &[Frame]) -> Option<usize> {
+        stack.iter().rev().find_map(|f| match f {
+            Frame::Item(i) => Some(*i),
+            _ => None,
+        })
+    }
+
+    fn innermost_fn(stack: &[Frame], items: &[Item]) -> Option<usize> {
+        stack.iter().rev().find_map(|f| match f {
+            Frame::Item(i) if items[*i].kind == ItemKind::Fn => Some(*i),
+            _ => None,
+        })
+    }
+
+    // The next non-comment token at or after `from`.
+    fn next_sig(tokens: &[Token], from: usize) -> Option<(usize, &Token)> {
+        tokens
+            .iter()
+            .enumerate()
+            .skip(from)
+            .find(|(_, t)| !t.is_comment())
+    }
+
+    let safety_doc = |run: &[usize]| {
+        run.iter().any(|&c| {
+            let text = &tokens[c].text;
+            (text.starts_with("///") || text.starts_with("/**") || text.starts_with("//!"))
+                && (text.contains("# Safety") || text.contains("SAFETY:"))
+        })
+    };
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_comment() {
+            doc_run.push(i);
+            i += 1;
+            continue;
+        }
+
+        // Inside an item header: skip to its body `{` or terminating `;`.
+        if let Some(mut p) = pending.take() {
+            if t.is_punct(";") && p.depth == 0 {
+                model.items.push(finish(p, tokens, None, i));
+            } else if t.is_punct("{") && p.depth == 0 {
+                let idx = model.items.len();
+                model.items.push(finish(p, tokens, Some((i, i)), i));
+                stack.push(Frame::Item(idx));
+            } else {
+                if t.is_punct("(") || t.is_punct("[") {
+                    p.depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") {
+                    p.depth = p.depth.saturating_sub(1);
+                }
+                pending = Some(p);
+            }
+            i += 1;
+            continue;
+        }
+
+        // Attributes `#[...]` / `#![...]`: skip whole, keep the doc run
+        // (docs legitimately precede attributes).
+        if t.is_punct("#") {
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|n| n.is_punct("!")) {
+                j += 1;
+            }
+            if tokens.get(j).is_some_and(|n| n.is_punct("[")) {
+                i = skip_balanced(tokens, j, "[", "]");
+                continue;
+            }
+        }
+
+        // Modifier keywords buffer up for the item (or unsafe block) that
+        // follows; anything else is a statement boundary that clears them.
+        if t.is_ident("pub") {
+            mod_start.get_or_insert(i);
+            // `pub(crate)` / `pub(in path)`: the restriction parens are
+            // part of the modifier, not an expression.
+            if let Some((j, n)) = next_sig(tokens, i + 1) {
+                if n.is_punct("(") {
+                    i = skip_balanced(tokens, j, "(", ")");
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("async") {
+            mod_start.get_or_insert(i);
+            i += 1;
+            continue;
+        }
+        if t.is_ident("unsafe") {
+            mod_start.get_or_insert(i);
+            saw_unsafe = Some(i);
+            i += 1;
+            continue;
+        }
+        if t.is_ident("extern") {
+            // `extern "C" fn` (modifier), `extern "C" { ... }` (foreign
+            // block); `extern crate x;` falls through to the boundary arm.
+            mod_start.get_or_insert(i);
+            saw_extern = true;
+            if let Some((j, n)) = next_sig(tokens, i + 1) {
+                if matches!(n.kind, TokenKind::Str | TokenKind::RawStr) {
+                    i = j + 1;
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        // Item keywords.
+        let item_start = |kw: usize| mod_start.unwrap_or(kw);
+        let named_item = |kind: ItemKind, kw: usize| -> Option<PendingItem> {
+            let (_, name) = next_sig(tokens, kw + 1)?;
+            if name.kind != TokenKind::Ident {
+                return None;
+            }
+            Some(PendingItem {
+                kind,
+                name: name.text.clone(),
+                is_unsafe: saw_unsafe.is_some(),
+                is_mut_static: false,
+                has_safety_doc: safety_doc(&doc_run),
+                first_tok: item_start(kw),
+                kw_tok: kw,
+                depth: 0,
+                parent: innermost_item(&stack),
+            })
+        };
+
+        let mut started = None;
+        if t.is_ident("mod") || t.is_ident("struct") || t.is_ident("enum") || t.is_ident("trait") {
+            let kind = match t.text.as_str() {
+                "mod" => ItemKind::Mod,
+                "struct" => ItemKind::Struct,
+                "enum" => ItemKind::Enum,
+                _ => ItemKind::Trait,
+            };
+            started = named_item(kind, i);
+        } else if t.is_ident("fn") || t.is_ident("union") {
+            // `fn` without a following name is a fn-pointer type; `union`
+            // without one is the odd fn named union being called.
+            let kind = if t.text == "fn" {
+                ItemKind::Fn
+            } else {
+                ItemKind::Union
+            };
+            started = named_item(kind, i);
+        } else if t.is_ident("type") {
+            started = named_item(ItemKind::TypeAlias, i);
+        } else if t.is_ident("static") {
+            let mut p = None;
+            if let Some((j, n)) = next_sig(tokens, i + 1) {
+                let (name_at, is_mut) = if n.is_ident("mut") {
+                    (j + 1, true)
+                } else {
+                    (j, false)
+                };
+                if let Some((_, name)) = next_sig(tokens, name_at) {
+                    if name.kind == TokenKind::Ident {
+                        p = Some(PendingItem {
+                            kind: ItemKind::Static,
+                            name: name.text.clone(),
+                            is_unsafe: saw_unsafe.is_some(),
+                            is_mut_static: is_mut,
+                            has_safety_doc: safety_doc(&doc_run),
+                            first_tok: item_start(i),
+                            kw_tok: i,
+                            depth: 0,
+                            parent: innermost_item(&stack),
+                        });
+                    }
+                }
+            }
+            started = p;
+        } else if t.is_ident("const") {
+            // `const NAME: T` is an item; `const fn` is a modifier;
+            // `*const T` and `const { ... }` are neither.
+            if let Some((j, n)) = next_sig(tokens, i + 1) {
+                if n.is_ident("fn") {
+                    mod_start.get_or_insert(i);
+                    i += 1;
+                    continue;
+                }
+                if n.kind == TokenKind::Ident
+                    && next_sig(tokens, j + 1).is_some_and(|(_, c)| c.is_punct(":"))
+                {
+                    started = named_item(ItemKind::Const, i);
+                }
+            }
+        } else if t.is_ident("impl") {
+            started = Some(PendingItem {
+                kind: ItemKind::Impl,
+                name: String::new(),
+                is_unsafe: saw_unsafe.is_some(),
+                is_mut_static: false,
+                has_safety_doc: safety_doc(&doc_run),
+                first_tok: item_start(i),
+                kw_tok: i,
+                depth: 0,
+                parent: innermost_item(&stack),
+            });
+        }
+
+        if let Some(p) = started {
+            pending = Some(p);
+            mod_start = None;
+            saw_unsafe = None;
+            saw_extern = false;
+            doc_run.clear();
+            i += 1;
+            continue;
+        }
+
+        if t.is_punct("{") {
+            if saw_extern {
+                // `extern "C" { ... }` (possibly `unsafe extern`).
+                let idx = model.items.len();
+                model.items.push(Item {
+                    kind: ItemKind::ExternBlock,
+                    name: String::new(),
+                    is_unsafe: saw_unsafe.is_some(),
+                    is_mut_static: false,
+                    has_safety_doc: safety_doc(&doc_run),
+                    parent: innermost_item(&stack),
+                    first_tok: mod_start.unwrap_or(i),
+                    body: Some((i, i)),
+                    end_tok: i,
+                });
+                stack.push(Frame::Item(idx));
+            } else if let Some(kw) = saw_unsafe {
+                let idx = model.unsafe_blocks.len();
+                model.unsafe_blocks.push(UnsafeBlock {
+                    kw_tok: kw,
+                    open: i,
+                    close: i,
+                    enclosing_fn: innermost_fn(&stack, &model.items),
+                });
+                stack.push(Frame::Unsafe(idx));
+            } else {
+                stack.push(Frame::Block);
+            }
+        } else if t.is_punct("}") {
+            match stack.pop() {
+                Some(Frame::Item(idx)) => {
+                    let it = &mut model.items[idx];
+                    if let Some(b) = it.body.as_mut() {
+                        b.1 = i;
+                    }
+                    it.end_tok = i;
+                }
+                Some(Frame::Unsafe(idx)) => model.unsafe_blocks[idx].close = i,
+                Some(Frame::Block) | None => {}
+            }
+        }
+
+        // Statement boundary: this token starts no item, so any buffered
+        // modifiers and docs belonged to plain code.
+        mod_start = None;
+        saw_unsafe = None;
+        saw_extern = false;
+        doc_run.clear();
+        i += 1;
+    }
+
+    // Unterminated frames (unbalanced braces from macro-heavy code): the
+    // file's end bounds every still-open span.
+    let last = tokens.len().saturating_sub(1);
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Item(idx) => {
+                let it = &mut model.items[idx];
+                if let Some(b) = it.body.as_mut() {
+                    b.1 = last;
+                }
+                it.end_tok = last;
+            }
+            Frame::Unsafe(idx) => model.unsafe_blocks[idx].close = last,
+            Frame::Block => {}
+        }
+    }
+    if let Some(p) = pending.take() {
+        model.items.push(finish(p, tokens, None, last));
+    }
+    model
+}
+
+/// Converts a finished header into an [`Item`], rendering impl-block
+/// names from the header tokens.
+fn finish(p: PendingItem, tokens: &[Token], body: Option<(usize, usize)>, end: usize) -> Item {
+    let name = if p.kind == ItemKind::Impl {
+        render_impl_header(tokens, p.kw_tok, body.map_or(end, |(open, _)| open))
+    } else {
+        p.name
+    };
+    Item {
+        kind: p.kind,
+        name,
+        is_unsafe: p.is_unsafe,
+        is_mut_static: p.is_mut_static,
+        has_safety_doc: p.has_safety_doc,
+        parent: p.parent,
+        first_tok: p.first_tok,
+        body,
+        end_tok: end,
+    }
+}
+
+/// Renders an impl-block header (`Drop for Pool`) from the tokens between
+/// the `impl` keyword and its body, skipping generics and where clauses
+/// and capping the length so diagnostics stay one-line.
+fn render_impl_header(tokens: &[Token], kw: usize, open: usize) -> String {
+    let mut out = String::new();
+    let mut angle = 0usize;
+    let mut words = 0usize;
+    for t in tokens.iter().take(open).skip(kw + 1) {
+        if t.is_comment() {
+            continue;
+        }
+        if t.is_punct("<") {
+            angle += 1;
+            continue;
+        }
+        if t.is_punct(">") {
+            angle = angle.saturating_sub(1);
+            continue;
+        }
+        if angle > 0 {
+            continue;
+        }
+        if t.is_ident("where") {
+            break;
+        }
+        if t.kind == TokenKind::Ident {
+            if words >= 6 {
+                out.push('…');
+                break;
+            }
+            if !out.is_empty() && !out.ends_with("::") {
+                out.push(' ');
+            }
+            words += 1;
+        }
+        out.push_str(&t.text);
+        if out.len() > 60 {
+            out.push('…');
+            break;
+        }
+    }
+    out
+}
+
+/// From the index of an opening delimiter, the index just past its
+/// balanced closer (comment tokens do not participate).
+fn skip_balanced(tokens: &[Token], open: usize, l: &str, r: &str) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct(l) {
+            depth += 1;
+        } else if t.is_punct(r) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn model_of(src: &str) -> (Vec<Token>, ItemModel) {
+        let tokens = tokenize(src);
+        let model = parse(&tokens);
+        (tokens, model)
+    }
+
+    fn item<'m>(m: &'m ItemModel, name: &str) -> &'m Item {
+        m.items
+            .iter()
+            .find(|i| i.name == name)
+            .unwrap_or_else(|| panic!("no item named {name}: {:?}", m.items))
+    }
+
+    #[test]
+    fn nested_items_carry_parents_and_spans() {
+        let src =
+            "mod outer {\n    struct S { x: u32 }\n    fn f() {\n        fn inner() {}\n    }\n}";
+        let (tokens, m) = model_of(src);
+        let outer = item(&m, "outer");
+        let f = item(&m, "f");
+        let inner = item(&m, "inner");
+        assert_eq!(outer.kind, ItemKind::Mod);
+        assert_eq!(item(&m, "S").kind, ItemKind::Struct);
+        assert_eq!(f.kind, ItemKind::Fn);
+        assert!(inner.first_tok > f.first_tok && inner.end_tok < f.end_tok);
+        assert_eq!(outer.parent, None);
+        assert_eq!(m.items[inner.parent.unwrap()].name, "f");
+        // The mod's span covers the whole file body.
+        assert_eq!(outer.end_tok, tokens.len() - 1);
+    }
+
+    #[test]
+    fn unsafe_block_knows_its_enclosing_fn() {
+        let src = "fn outer() {\n    let x = unsafe { read(p) };\n    unsafe { write(p) }\n}";
+        let (_, m) = model_of(src);
+        assert_eq!(m.unsafe_blocks.len(), 2);
+        for b in &m.unsafe_blocks {
+            assert_eq!(m.items[b.enclosing_fn.unwrap()].name, "outer");
+            assert!(b.open < b.close);
+        }
+        assert!(m.context_label(m.unsafe_blocks[0].kw_tok).contains("outer"));
+    }
+
+    #[test]
+    fn unsafe_fn_and_impl_are_marked() {
+        let src =
+            "pub unsafe fn raw() {}\nunsafe impl Send for X {}\nunsafe trait T {}\nfn safe() {}";
+        let (_, m) = model_of(src);
+        assert!(item(&m, "raw").is_unsafe);
+        assert!(item(&m, "T").is_unsafe);
+        assert!(!item(&m, "safe").is_unsafe);
+        let im = m
+            .items
+            .iter()
+            .find(|i| i.kind == ItemKind::Impl)
+            .expect("impl parsed");
+        assert!(im.is_unsafe);
+        assert_eq!(im.name, "Send for X");
+        assert!(m.unsafe_blocks.is_empty(), "declarations are not blocks");
+    }
+
+    #[test]
+    fn safety_doc_sections_are_detected() {
+        let src = "/// Reads raw.\n///\n/// # Safety\n///\n/// `p` must be valid.\npub unsafe fn raw(p: *const u8) {}\n/// No section.\npub unsafe fn bare() {}";
+        let (_, m) = model_of(src);
+        assert!(item(&m, "raw").has_safety_doc);
+        assert!(!item(&m, "bare").has_safety_doc);
+    }
+
+    #[test]
+    fn static_mut_is_distinguished() {
+        let src = "static OK: u32 = 0;\nstatic mut BAD: u32 = 0;";
+        let (_, m) = model_of(src);
+        assert!(!item(&m, "OK").is_mut_static);
+        assert!(item(&m, "BAD").is_mut_static);
+        assert_eq!(item(&m, "BAD").kind, ItemKind::Static);
+    }
+
+    #[test]
+    fn fn_pointer_types_and_impl_trait_returns_are_not_items() {
+        let src = "fn real(cb: fn(u32) -> u32) -> impl Iterator<Item = u32> { body() }";
+        let (_, m) = model_of(src);
+        let fns: Vec<_> = m.items.iter().filter(|i| i.kind == ItemKind::Fn).collect();
+        assert_eq!(fns.len(), 1, "{:?}", m.items);
+        assert_eq!(fns[0].name, "real");
+        assert!(
+            !m.items.iter().any(|i| i.kind == ItemKind::Impl),
+            "-> impl Trait is not an impl block"
+        );
+    }
+
+    #[test]
+    fn const_forms_disambiguate() {
+        let src = "const K: usize = 4;\nconst fn cf() {}\nfn f(p: *const u8) -> [u8; 2] { q(p) }";
+        let (_, m) = model_of(src);
+        assert_eq!(item(&m, "K").kind, ItemKind::Const);
+        assert_eq!(item(&m, "cf").kind, ItemKind::Fn);
+        // `*const u8` starts no item; the `;` inside `[u8; 2]` does not
+        // truncate `f`'s header before its body.
+        assert_eq!(item(&m, "f").kind, ItemKind::Fn);
+        assert!(item(&m, "f").body.is_some());
+        let consts: Vec<_> = m
+            .items
+            .iter()
+            .filter(|i| i.kind == ItemKind::Const)
+            .collect();
+        assert_eq!(consts.len(), 1);
+    }
+
+    #[test]
+    fn bodyless_and_braced_items_both_close() {
+        let src = "mod decl;\ntrait T { fn req(&self); fn def(&self) {} }\nstruct Tup(u32);";
+        let (_, m) = model_of(src);
+        assert!(item(&m, "decl").body.is_none());
+        assert!(item(&m, "req").body.is_none());
+        assert!(item(&m, "def").body.is_some());
+        assert!(item(&m, "Tup").body.is_none());
+        let t = item(&m, "T");
+        assert!(item(&m, "req").first_tok > t.first_tok);
+        assert!(item(&m, "req").end_tok < t.end_tok);
+    }
+
+    #[test]
+    fn extern_blocks_and_extern_fns_parse() {
+        let src = "extern \"C\" { fn c_abi(x: u32) -> u32; }\npub extern \"C\" fn exported() {}";
+        let (_, m) = model_of(src);
+        let blocks: Vec<_> = m
+            .items
+            .iter()
+            .filter(|i| i.kind == ItemKind::ExternBlock)
+            .collect();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(item(&m, "c_abi").kind, ItemKind::Fn);
+        assert_eq!(item(&m, "exported").kind, ItemKind::Fn);
+        assert!(
+            m.unsafe_blocks.is_empty(),
+            "extern braces are not unsafe blocks"
+        );
+    }
+
+    #[test]
+    fn context_label_names_the_innermost_scope() {
+        let src = "impl Queue {\n    fn drain(&self) { x(); }\n}\nstatic TOP: u32 = y();";
+        let (tokens, m) = model_of(src);
+        let x = tokens.iter().position(|t| t.is_ident("x")).unwrap();
+        assert_eq!(m.context_label(x), "in fn `drain`");
+        let q = tokens.iter().position(|t| t.is_ident("Queue")).unwrap();
+        assert_eq!(m.context_label(q), "in impl `Queue`");
+        let top = tokens.len() - 1;
+        assert_eq!(m.context_label(top), "in static `TOP`");
+    }
+
+    #[test]
+    fn pub_crate_and_attrs_do_not_derail_headers() {
+        let src = "#[derive(Debug)]\npub(crate) struct S { f: u32 }\n#[inline]\npub(in crate::m) fn g() {}";
+        let (_, m) = model_of(src);
+        assert_eq!(item(&m, "S").kind, ItemKind::Struct);
+        assert_eq!(item(&m, "g").kind, ItemKind::Fn);
+    }
+
+    #[test]
+    fn safety_comment_near_matches_the_three_line_window() {
+        let tokens = tokenize("// SAFETY: sound because reasons.\n\n\nlet x = 1;");
+        assert!(safety_comment_near(&tokens, 4));
+        assert!(!safety_comment_near(&tokens, 5));
+    }
+
+    #[test]
+    fn macro_generated_fns_are_still_seen() {
+        let src =
+            "macro_rules! make {\n    ($n:ident) => {\n        fn $n() {}\n    };\n}\nfn real() {}";
+        let (_, m) = model_of(src);
+        // `fn $n` has no ident name and is skipped; `real` is found.
+        assert_eq!(
+            m.items
+                .iter()
+                .filter(|i| i.kind == ItemKind::Fn)
+                .map(|i| i.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["real"]
+        );
+    }
+}

@@ -53,15 +53,31 @@ pub fn all_rules() -> &'static [Rule] {
             check: float_eq,
         },
         Rule {
-            id: "unsafe-safety",
-            summary: "every `unsafe` needs a preceding `// SAFETY:` comment",
-            check: unsafe_safety,
+            id: "unsafe-audit",
+            summary: "every `unsafe` block/fn needs an adjacent `// SAFETY:` justification \
+                      (or a `# Safety` doc section), and `unsafe` itself is confined to the \
+                      allowlisted kernel modules (pool.rs, simd.rs)",
+            check: unsafe_audit,
+        },
+        Rule {
+            id: "panic-path",
+            summary: "no unwrap/expect/panic!/unreachable! on library request/decode/replay \
+                      paths (serve HTTP, checkpoint decode, core inference) — return typed \
+                      errors",
+            check: panic_path,
         },
         Rule {
             id: "raw-thread",
             summary: "no raw std::thread::spawn/scope outside the worker pool \
                       (crates/tensor/src/pool.rs owns thread lifecycle and determinism)",
             check: raw_thread,
+        },
+        Rule {
+            id: "shared-state",
+            summary: "no static mut, locks/channels, or atomics outside the sanctioned \
+                      concurrency modules (pool.rs, telemetry, serve rt.rs) — who may \
+                      share, not just who may spawn",
+            check: shared_state,
         },
         Rule {
             id: "todo-marker",
@@ -157,7 +173,10 @@ fn wall_clock(ctx: &FileCtx, out: &mut Vec<Finding>) {
 }
 
 fn no_unwrap(ctx: &FileCtx, out: &mut Vec<Finding>) {
-    if ctx.role == Role::Aux {
+    // Library files on the request/decode/replay paths are owned by the
+    // stricter `panic-path` rule; reporting both ids for one call site
+    // would force duplicate allowlist entries.
+    if ctx.role == Role::Aux || (ctx.role == Role::Lib && in_panic_path(&ctx.path)) {
         return;
     }
     for (i, t) in ctx.tokens.iter().enumerate() {
@@ -248,24 +267,134 @@ fn float_eq(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
-fn unsafe_safety(ctx: &FileCtx, out: &mut Vec<Finding>) {
-    for (i, t) in ctx.tokens.iter().enumerate() {
-        if !t.is_ident("unsafe") {
+/// The only library modules that may contain `unsafe` at all: the worker
+/// pool (lifetime-erased task handoff, `pool.rs:270`'s transmute is the
+/// template) and the upcoming `std::arch` SIMD microkernels. Everything
+/// else must stay in safe Rust — the replay contract is hard enough to
+/// audit without undefined behavior in the mix.
+const UNSAFE_PATHS: &[&str] = &["crates/tensor/src/pool.rs", "crates/tensor/src/simd.rs"];
+
+/// Library paths that make up the request/decode/replay flow: serve's
+/// HTTP surface, checkpoint decode, and streaming inference. A panic
+/// here takes down a server or a resumable run on attacker-shaped or
+/// disk-corrupted input, so these files return typed errors — no
+/// unwrap/expect and no panicking macros, `unreachable!` included.
+const PANIC_PATHS: &[&str] = &[
+    "crates/serve/src/",
+    "crates/core/src/checkpoint.rs",
+    "crates/core/src/ckpt_store.rs",
+    "crates/core/src/crc.rs",
+    "crates/core/src/fault.rs",
+    "crates/core/src/sparse_infer.rs",
+    "crates/core/src/train_state.rs",
+];
+
+fn in_panic_path(path: &str) -> bool {
+    PANIC_PATHS.iter().any(|p| path.starts_with(p))
+}
+
+fn unsafe_audit(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    use crate::parse::safety_comment_near;
+    let confined = UNSAFE_PATHS.iter().any(|p| ctx.path.starts_with(p));
+    let confinement = |i: usize, what: &str| {
+        ctx.finding(
+            "unsafe-audit",
+            i,
+            format!(
+                "{what} outside the allowlisted unsafe modules ({}); keep unsafe code in \
+                 the audited kernel files or extend the allowlist with a justification",
+                UNSAFE_PATHS.join(", ")
+            ),
+        )
+    };
+    for b in &ctx.model.unsafe_blocks {
+        if ctx.in_test(b.kw_tok) {
             continue;
         }
-        let justified = ctx.tokens.iter().any(|c| {
-            c.is_comment() && c.text.contains("SAFETY:") && c.line <= t.line && c.line + 3 >= t.line
-        });
-        if !justified {
-            out.push(
-                ctx.finding(
-                    "unsafe-safety",
-                    i,
-                    "`unsafe` without a `// SAFETY:` comment in the preceding 3 lines; state the \
-                 invariant that makes this sound"
-                        .to_string(),
+        if !safety_comment_near(&ctx.tokens, ctx.tokens[b.kw_tok].line) {
+            out.push(ctx.finding(
+                "unsafe-audit",
+                b.kw_tok,
+                format!(
+                    "`unsafe` block without a `// SAFETY:` comment in the preceding 3 lines \
+                     {}; state the invariant that makes this sound",
+                    ctx.context_label(b.kw_tok)
                 ),
-            );
+            ));
+        }
+        if ctx.role == Role::Lib && !confined {
+            out.push(confinement(b.kw_tok, "`unsafe` block"));
+        }
+    }
+    for it in ctx.model.items.iter().filter(|it| it.is_unsafe) {
+        if ctx.in_test(it.first_tok) {
+            continue;
+        }
+        let justified =
+            it.has_safety_doc || safety_comment_near(&ctx.tokens, ctx.tokens[it.first_tok].line);
+        let what = if it.name.is_empty() {
+            format!("unsafe {}", it.kind.label())
+        } else {
+            format!("unsafe {} `{}`", it.kind.label(), it.name)
+        };
+        if !justified {
+            out.push(ctx.finding(
+                "unsafe-audit",
+                it.first_tok,
+                format!(
+                    "{what} without a `# Safety` doc section or adjacent `// SAFETY:` \
+                     comment; document the contract callers must uphold"
+                ),
+            ));
+        }
+        if ctx.role == Role::Lib && !confined {
+            out.push(confinement(it.first_tok, &what));
+        }
+    }
+}
+
+fn panic_path(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.role != Role::Lib || !in_panic_path(&ctx.path) {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        let method_call = |name: &str| {
+            t.is_ident(name)
+                && ctx.prev_significant(i).is_some_and(|p| p.is_punct("."))
+                && ctx.next_significant(i).is_some_and(|n| n.is_punct("("))
+        };
+        let macro_call = |name: &str| {
+            t.is_ident(name) && ctx.next_significant(i).is_some_and(|n| n.is_punct("!"))
+        };
+        if method_call("unwrap") || method_call("expect") {
+            out.push(ctx.finding(
+                "panic-path",
+                i,
+                format!(
+                    ".{}() {} sits on a request/decode/replay path; a panic here drops a \
+                     live request or an entire resumable run — return a typed error",
+                    t.text,
+                    ctx.context_label(i)
+                ),
+            ));
+        } else if macro_call("panic")
+            || macro_call("unreachable")
+            || macro_call("todo")
+            || macro_call("unimplemented")
+        {
+            out.push(ctx.finding(
+                "panic-path",
+                i,
+                format!(
+                    "{}! {} sits on a request/decode/replay path; malformed input must \
+                     surface as a typed error the caller can refuse, not a process abort",
+                    t.text,
+                    ctx.context_label(i)
+                ),
+            ));
         }
     }
 }
@@ -299,6 +428,109 @@ fn raw_thread(ctx: &FileCtx, out: &mut Vec<Finding>) {
                      dropback_tensor::pool so DROPBACK_THREADS, engagement counters, and the \
                      thread-count-invariance contract keep holding",
                     c.text
+                ),
+            ));
+        }
+    }
+}
+
+/// The modules that may own shared mutable state: the worker pool (queue,
+/// engagement counters), the telemetry crate (its collectors are the
+/// process-wide aggregation point and hide their locking behind
+/// `lock_unpoisoned`), and serve's `rt.rs` (the shutdown latch plus the
+/// `Monitor`/`Swap` primitives every other serve module builds on).
+/// Extending PR 5's raw-thread rule: not just who may *spawn*, but who
+/// may *share*.
+const SHARED_STATE_PATHS: &[&str] = &[
+    "crates/tensor/src/pool.rs",
+    "crates/telemetry/src/",
+    "crates/serve/src/rt.rs",
+];
+
+/// Lock/channel types whose bare appearance creates shared mutable state.
+/// `OnceLock`/`LazyLock` are deliberately absent: write-once lazy init
+/// cannot reorder observable events.
+const SYNC_PRIMITIVES: &[&str] = &["Mutex", "RwLock", "Condvar", "Barrier", "mpsc"];
+
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicUsize",
+    "AtomicIsize",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicPtr",
+];
+
+/// The atomic memory orderings — disjoint from `cmp::Ordering`'s
+/// `Less`/`Equal`/`Greater`, so a `Ordering::<variant>` path is
+/// unambiguously an atomic access.
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn shared_state(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.role == Role::Aux || SHARED_STATE_PATHS.iter().any(|p| ctx.path.starts_with(p)) {
+        return;
+    }
+    // `static mut` — found structurally, so a `mut` in a `&mut` reference
+    // or pattern never false-positives.
+    for it in &ctx.model.items {
+        if it.is_mut_static && !ctx.in_test(it.first_tok) {
+            out.push(ctx.finding(
+                "shared-state",
+                it.first_tok,
+                format!(
+                    "`static mut {}` is unsynchronized global state (and nearly impossible \
+                     to use soundly); keep shared state in the sanctioned concurrency \
+                     modules ({})",
+                    it.name,
+                    SHARED_STATE_PATHS.join(", ")
+                ),
+            ));
+        }
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if t.kind != crate::lexer::TokenKind::Ident || ctx.in_test(i) {
+            continue;
+        }
+        let name = t.text.as_str();
+        if SYNC_PRIMITIVES.contains(&name) || ATOMIC_TYPES.contains(&name) {
+            out.push(ctx.finding(
+                "shared-state",
+                i,
+                format!(
+                    "{name} creates shared mutable state outside the sanctioned concurrency \
+                     modules ({}); route it through the pool, telemetry, or serve's rt \
+                     primitives — or allowlist it with a justification",
+                    SHARED_STATE_PATHS.join(", ")
+                ),
+            ));
+        }
+    }
+    // Per-site atomic-access reporting: every `Ordering::<variant>` names
+    // its ordering in the finding, so a review of the allowlist shows
+    // exactly which orderings an exempted file relies on.
+    for w in ctx.significant.windows(3) {
+        let (a, b, c) = (&ctx.tokens[w[0]], &ctx.tokens[w[1]], &ctx.tokens[w[2]]);
+        if a.is_ident("Ordering")
+            && b.is_punct("::")
+            && c.kind == crate::lexer::TokenKind::Ident
+            && ATOMIC_ORDERINGS.contains(&c.text.as_str())
+            && !ctx.in_test(w[2])
+        {
+            out.push(ctx.finding(
+                "shared-state",
+                w[2],
+                format!(
+                    "atomic access with Ordering::{} {} — cross-thread memory-ordering \
+                     decisions belong in the sanctioned concurrency modules ({})",
+                    c.text,
+                    ctx.context_label(w[2]),
+                    SHARED_STATE_PATHS.join(", ")
                 ),
             ));
         }
@@ -446,13 +678,150 @@ mod tests {
     }
 
     #[test]
-    fn unsafe_requires_safety_comment() {
-        assert_eq!(
-            rules_hit("crates/tensor/src/gemm.rs", "fn f() { unsafe { g() } }"),
-            vec!["unsafe-safety"]
-        );
+    fn unsafe_audit_wants_safety_and_confinement() {
         let ok = "// SAFETY: g upholds the aliasing contract.\nfn f() { unsafe { g() } }";
-        assert!(rules_hit("crates/tensor/src/gemm.rs", ok).is_empty());
+        let bare = "fn f() { unsafe { g() } }";
+        // In the allowlisted kernel modules, a justified block is clean
+        // and an unjustified one is exactly the SAFETY finding.
+        assert!(rules_hit("crates/tensor/src/pool.rs", ok).is_empty());
+        assert!(rules_hit("crates/tensor/src/simd.rs", ok).is_empty());
+        assert_eq!(
+            rules_hit("crates/tensor/src/pool.rs", bare),
+            vec!["unsafe-audit"]
+        );
+        // Outside them, even a justified block is a confinement finding —
+        // and an unjustified one is both findings.
+        assert_eq!(
+            rules_hit("crates/tensor/src/gemm.rs", ok),
+            vec!["unsafe-audit"]
+        );
+        assert_eq!(
+            rules_hit("crates/tensor/src/gemm.rs", bare),
+            vec!["unsafe-audit", "unsafe-audit"]
+        );
+        // Test regions may use unsafe without ceremony.
+        let in_test = "#[cfg(test)]\nmod tests { fn t() { unsafe { g() } } }";
+        assert!(rules_hit("crates/tensor/src/gemm.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_accepts_a_safety_doc_section() {
+        let documented = "/// Reads one byte.\n///\n/// # Safety\n///\n/// `p` must be valid for reads.\npub unsafe fn raw(p: *const u8) {}";
+        assert!(rules_hit("crates/tensor/src/pool.rs", documented).is_empty());
+        let undocumented = "pub unsafe fn raw(p: *const u8) {}";
+        assert_eq!(
+            rules_hit("crates/tensor/src/pool.rs", undocumented),
+            vec!["unsafe-audit"]
+        );
+        // An adjacent // SAFETY: comment works for fns too.
+        let commented = "// SAFETY: callers uphold the documented contract.\npub unsafe fn raw(p: *const u8) {}";
+        assert!(rules_hit("crates/tensor/src/pool.rs", commented).is_empty());
+    }
+
+    #[test]
+    fn panic_path_owns_request_decode_replay_files() {
+        let src = "fn f() { x.unwrap(); }";
+        assert_eq!(
+            rules_hit("crates/serve/src/http.rs", src),
+            vec!["panic-path"]
+        );
+        assert_eq!(
+            rules_hit("crates/core/src/checkpoint.rs", src),
+            vec!["panic-path"]
+        );
+        // Off the hot paths no-unwrap still owns the call site — exactly
+        // one rule id fires either way, so one allow entry suffices.
+        assert_eq!(rules_hit("crates/nn/src/act.rs", src), vec!["no-unwrap"]);
+        // Bins on the same paths keep plain no-unwrap (panic-path is a
+        // library contract; a CLI may still not unwrap, but under the
+        // laxer id).
+        assert_eq!(
+            rules_hit("crates/serve/src/bin/probe.rs", src),
+            vec!["no-unwrap"]
+        );
+        // unreachable! is a panic-path exclusive — decode code full of
+        // match arms loves it, and corrupt input reaches those arms.
+        let unreach = "fn f() { unreachable!(); }";
+        assert_eq!(
+            rules_hit("crates/serve/src/http.rs", unreach),
+            vec!["panic-path"]
+        );
+        assert!(rules_hit("crates/nn/src/act.rs", unreach).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }";
+        assert!(rules_hit("crates/serve/src/http.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn panic_path_messages_name_the_enclosing_fn() {
+        let findings = analyze_source("crates/serve/src/http.rs", "fn handle() { x.unwrap(); }");
+        assert_eq!(findings.len(), 1);
+        assert!(
+            findings[0].message.contains("in fn `handle`"),
+            "{}",
+            findings[0].message
+        );
+    }
+
+    #[test]
+    fn shared_state_confined_to_sanctioned_modules() {
+        let src = "use std::sync::Mutex;";
+        assert_eq!(
+            rules_hit("crates/serve/src/batch.rs", src),
+            vec!["shared-state"]
+        );
+        // The sanctioned owners — pool, telemetry, serve's rt — are clean.
+        assert!(rules_hit("crates/tensor/src/pool.rs", src).is_empty());
+        assert!(rules_hit("crates/telemetry/src/metrics.rs", src).is_empty());
+        assert!(rules_hit("crates/serve/src/rt.rs", src).is_empty());
+        assert!(rules_hit("crates/serve/tests/x.rs", src).is_empty());
+        // Channels and atomics are shared state too.
+        assert_eq!(
+            rules_hit("crates/core/src/trainer.rs", "use std::sync::mpsc;"),
+            vec!["shared-state"]
+        );
+        assert_eq!(
+            rules_hit(
+                "crates/nn/src/act.rs",
+                "static N: AtomicU64 = AtomicU64::new(0);"
+            ),
+            vec!["shared-state", "shared-state"]
+        );
+        // Write-once lazy init is not shared *mutable* state.
+        assert!(rules_hit("crates/tensor/src/gemm.rs", "use std::sync::OnceLock;").is_empty());
+    }
+
+    #[test]
+    fn static_mut_is_flagged_structurally() {
+        assert_eq!(
+            rules_hit("crates/nn/src/act.rs", "static mut N: u32 = 0;"),
+            vec!["shared-state"]
+        );
+        // `&mut`, `let mut`, and immutable statics never false-positive.
+        let clean = "static K: u32 = 0;\nfn f(x: &mut u32) { let mut y = *x; y += K; *x = y; }";
+        assert!(rules_hit("crates/nn/src/act.rs", clean).is_empty());
+    }
+
+    #[test]
+    fn atomic_orderings_report_per_site_but_cmp_ordering_is_clean() {
+        let findings = analyze_source(
+            "crates/nn/src/act.rs",
+            "fn f() { N.fetch_add(1, Ordering::SeqCst); }",
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(
+            findings[0].message.contains("Ordering::SeqCst"),
+            "{}",
+            findings[0].message
+        );
+        assert!(
+            findings[0].message.contains("in fn `f`"),
+            "{}",
+            findings[0].message
+        );
+        // `cmp::Ordering`'s variants share the type name but not the
+        // variant names — comparison code stays clean.
+        let cmp = "fn f(c: Ordering) -> bool { matches!(c, Ordering::Less) }";
+        assert!(rules_hit("crates/nn/src/act.rs", cmp).is_empty());
     }
 
     #[test]

@@ -131,13 +131,51 @@ fn seeded_workspace_yields_expected_findings() {
         .iter()
         .any(|p| p == "crates/serve/src/clock.rs"));
     // bad_hash.rs first() + nn lib.rs expect; the test-module unwrap and
-    // every decoy in strings/comments stay clean.
+    // every decoy in strings/comments stay clean. bad_panic.rs unwraps
+    // are owned by panic-path, so they do NOT double-count here.
     assert_eq!(hits("no-unwrap").len(), 2);
     // nn lib.rs println!; the binary tool.rs may print freely.
     assert_eq!(hits("no-print"), vec!["crates/nn/src/lib.rs"]);
     assert_eq!(hits("float-eq"), vec!["crates/nn/src/lib.rs"]);
-    // raw_read has no SAFETY comment; checked_read does.
-    assert_eq!(hits("unsafe-safety"), vec!["crates/nn/src/lib.rs"]);
+    // nn lib.rs: raw_read is missing its SAFETY comment AND unconfined;
+    // checked_read is documented but still unconfined. bad_unsafe.rs:
+    // one undocumented, unconfined block = two findings. The documented
+    // unsafe in the sanctioned simd.rs fixture stays clean.
+    assert_eq!(hits("unsafe-audit").len(), 5);
+    assert_eq!(
+        hits("unsafe-audit")
+            .iter()
+            .filter(|p| *p == "crates/nn/src/lib.rs")
+            .count(),
+        3
+    );
+    assert_eq!(
+        hits("unsafe-audit")
+            .iter()
+            .filter(|p| *p == "crates/tensor/src/bad_unsafe.rs")
+            .count(),
+        2
+    );
+    assert!(!hits("unsafe-audit")
+        .iter()
+        .any(|p| p == "crates/tensor/src/simd.rs"));
+    // bad_panic.rs: unwrap + panic! + expect on the request path; the
+    // error-propagating good_panic.rs (including its test-module unwrap)
+    // stays clean.
+    assert_eq!(hits("panic-path").len(), 3);
+    assert!(hits("panic-path")
+        .iter()
+        .all(|p| p == "crates/serve/src/bad_panic.rs"));
+    // bad_shared.rs: static mut + two Mutex sites + an atomic type + its
+    // Ordering::Relaxed site; the Mutex inside the sanctioned rt.rs
+    // fixture stays clean.
+    assert_eq!(hits("shared-state").len(), 5);
+    assert!(hits("shared-state")
+        .iter()
+        .all(|p| p == "crates/serve/src/bad_shared.rs"));
+    assert!(!hits("shared-state")
+        .iter()
+        .any(|p| p == "crates/serve/src/rt.rs"));
     // Each bad_thread.rs: one spawn + one scope outside the sanctioned
     // owners; the fixture pool.rs and serve rt.rs (sanctioned owners) and
     // the test-module spawns stay clean.
@@ -166,15 +204,30 @@ fn allowlist_suppresses_seeded_findings_with_justification() {
          no-unwrap crates/ -- fixture exercises suppression\n\
          no-print crates/nn/src/lib.rs -- fixture exercises suppression\n\
          float-eq crates/nn/src/lib.rs -- fixture exercises suppression\n\
-         unsafe-safety crates/nn/src/lib.rs -- fixture exercises suppression\n\
+         unsafe-audit crates/nn/src/lib.rs -- fixture exercises suppression\n\
+         unsafe-audit crates/tensor/src/bad_unsafe.rs -- fixture exercises suppression\n\
+         panic-path crates/serve/src/bad_panic.rs -- fixture exercises suppression\n\
+         shared-state crates/serve/src/bad_shared.rs -- fixture exercises suppression\n\
          raw-thread crates/tensor/src/bad_thread.rs -- fixture exercises suppression\n\
          raw-thread crates/serve/src/bad_thread.rs -- fixture exercises suppression\n",
     )
     .expect("well-formed allowlist");
     let report = check_workspace(&root, &allow).expect("fixture ws lints");
     assert!(!report.has_failures(), "all findings suppressed");
-    assert_eq!(report.suppressed.len(), 17);
+    assert_eq!(report.suppressed.len(), 29);
     assert!(report.unused_allows.is_empty());
+}
+
+#[test]
+fn allowlist_entries_naming_unknown_rules_are_refused() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws");
+    // `unsafe-safety` was the pre-structural rule id; a stale entry for it
+    // must be a hard error, not a silently-dead suppression.
+    let allow = Allowlist::parse("unsafe-safety crates/nn/src/lib.rs -- renamed rule\n")
+        .expect("well-formed allowlist");
+    let err = check_workspace(&root, &allow).unwrap_err();
+    assert!(err.contains("unknown rule id 'unsafe-safety'"), "{err}");
+    assert!(err.contains("unsafe-audit"), "error lists known ids: {err}");
 }
 
 #[test]

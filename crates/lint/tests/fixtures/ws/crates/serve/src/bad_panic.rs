@@ -1,0 +1,15 @@
+//! Fixture: panics on the request/decode path — `panic-path` territory.
+//! These must surface as panic-path findings (not no-unwrap: that rule
+//! hands library panic-path files over to this one).
+
+pub fn decode(buf: &[u8]) -> u32 {
+    let first = buf.first().unwrap();
+    if *first > 100 {
+        panic!("bad frame byte {first}");
+    }
+    u32::from(*first)
+}
+
+pub fn lookup(map: &std::collections::BTreeMap<u32, u32>, k: u32) -> u32 {
+    *map.get(&k).expect("key must exist")
+}

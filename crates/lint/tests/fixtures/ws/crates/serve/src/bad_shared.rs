@@ -1,0 +1,15 @@
+//! Fixture: ad-hoc synchronization outside the sanctioned concurrency
+//! modules — `shared-state` territory. A lock, an atomic with its
+//! `Ordering`, and a `static mut` must each be flagged here.
+
+use std::sync::Mutex;
+
+pub static mut LAST_SEEN: u32 = 0;
+
+pub struct Cache {
+    inner: Mutex<Vec<u32>>,
+}
+
+pub fn bump(n: &std::sync::atomic::AtomicUsize) -> usize {
+    n.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}

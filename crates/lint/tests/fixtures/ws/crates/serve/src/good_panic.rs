@@ -1,0 +1,18 @@
+//! Fixture: the same decode written with error propagation — the clean
+//! side of `panic-path`. The test-module unwrap must also stay clean.
+
+pub fn decode(buf: &[u8]) -> Result<u32, String> {
+    let first = buf.first().ok_or("empty frame")?;
+    if *first > 100 {
+        return Err(format!("bad frame byte {first}"));
+    }
+    Ok(u32::from(*first))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn decodes_a_small_byte() {
+        assert_eq!(super::decode(&[7]).unwrap(), 7);
+    }
+}

@@ -7,3 +7,9 @@
 pub fn start_service() -> std::thread::JoinHandle<()> {
     std::thread::spawn(|| {})
 }
+
+/// A lock inside the sanctioned module: `shared-state` allowlists this
+/// path too, so this must stay clean without any `lint.allow` entry.
+pub struct Latch {
+    set: std::sync::Mutex<bool>,
+}

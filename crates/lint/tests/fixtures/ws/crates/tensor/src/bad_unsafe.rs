@@ -1,0 +1,6 @@
+//! Fixture: unsafe outside the sanctioned modules and without a SAFETY
+//! comment — both `unsafe-audit` failure modes in one function.
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}

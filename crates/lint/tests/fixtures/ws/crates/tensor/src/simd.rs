@@ -1,0 +1,26 @@
+//! Fixture: the sanctioned unsafe home. `unsafe-audit` confines unsafe
+//! to this path, so documented unsafe here must stay clean without any
+//! `lint.allow` entry — mirroring the planned `crates/tensor/src/simd.rs`.
+
+pub fn lane_sum(p: *const f32, n: usize) -> f32 {
+    let mut acc = 0.0;
+    for i in 0..n {
+        // SAFETY: callers guarantee `p` is valid for `n` reads.
+        acc += unsafe { *p.add(i) };
+    }
+    acc
+}
+
+/// Sums `n` lanes without the wrapper's bounds contract.
+///
+/// # Safety
+///
+/// `p` must be valid for `n` consecutive `f32` reads.
+pub unsafe fn lane_sum_unchecked(p: *const f32, n: usize) -> f32 {
+    let mut acc = 0.0;
+    for i in 0..n {
+        // SAFETY: this fn's own contract guarantees the reads.
+        acc += unsafe { *p.add(i) };
+    }
+    acc
+}

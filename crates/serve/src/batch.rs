@@ -13,14 +13,13 @@
 //! always evaluates against one single generation, so a hot-swap can
 //! never split a batch across two models.
 
-use crate::clock::Deadline;
 use crate::error::ServeError;
 use crate::model::ModelSlot;
-use crate::rt;
+use crate::rt::{self, Monitor};
 use dropback_telemetry::{Collector, Span, Stopwatch};
 use dropback_tensor::Tensor;
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Knobs for the batching queue.
@@ -64,25 +63,16 @@ pub struct InferReply {
 /// A one-shot slot the submitting thread parks on until its batch lands.
 #[derive(Debug, Default)]
 struct ReplySlot {
-    value: Mutex<Option<Result<InferReply, ServeError>>>,
-    cv: Condvar,
+    value: Monitor<Option<Result<InferReply, ServeError>>>,
 }
 
 impl ReplySlot {
     fn fulfill(&self, r: Result<InferReply, ServeError>) {
-        let mut v = self.value.lock().unwrap_or_else(|e| e.into_inner());
-        *v = Some(r);
-        self.cv.notify_one();
+        self.value.update(|v| *v = Some(r));
     }
 
     fn wait(&self) -> Result<InferReply, ServeError> {
-        let mut v = self.value.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            if let Some(r) = v.take() {
-                return r;
-            }
-            v = self.cv.wait(v).unwrap_or_else(|e| e.into_inner());
-        }
+        self.value.wait_for(Option::take)
     }
 }
 
@@ -98,8 +88,7 @@ struct QueueState {
 
 /// The bounded request queue plus its flush conditions.
 pub struct BatchQueue {
-    state: Mutex<QueueState>,
-    cv: Condvar,
+    state: Monitor<QueueState>,
     cfg: BatchConfig,
 }
 
@@ -115,11 +104,10 @@ impl BatchQueue {
     /// An empty queue with the given knobs.
     pub fn new(cfg: BatchConfig) -> Self {
         Self {
-            state: Mutex::new(QueueState {
+            state: Monitor::new(QueueState {
                 queue: VecDeque::new(),
                 shutdown: false,
             }),
-            cv: Condvar::new(),
             cfg,
         }
     }
@@ -141,8 +129,7 @@ impl BatchQueue {
     /// from the worker.
     pub fn submit(&self, input: Vec<f32>) -> Result<InferReply, ServeError> {
         let reply = Arc::new(ReplySlot::default());
-        {
-            let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        self.state.update(|s| {
             if s.shutdown {
                 return Err(ServeError::ShuttingDown);
             }
@@ -153,56 +140,52 @@ impl BatchQueue {
                 input,
                 reply: Arc::clone(&reply),
             });
-            self.cv.notify_all();
-        }
+            Ok(())
+        })?;
         reply.wait()
     }
 
     /// Trips shutdown: queued-but-unevaluated requests are refused with
     /// [`ServeError::ShuttingDown`] and the worker exits.
     pub fn stop(&self) {
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        s.shutdown = true;
-        for p in s.queue.drain(..) {
-            p.reply.fulfill(Err(ServeError::ShuttingDown));
-        }
-        self.cv.notify_all();
+        self.state.update(|s| {
+            s.shutdown = true;
+            for p in s.queue.drain(..) {
+                p.reply.fulfill(Err(ServeError::ShuttingDown));
+            }
+        });
     }
 
     /// Blocks until a batch is ready per the flush rules, returning
     /// `None` on shutdown. A returned batch is non-empty and at most
     /// `max_batch` long.
     fn next_batch(&self) -> Option<Vec<Pending>> {
-        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        // Phase 1: wait for the first request (or shutdown).
-        while s.queue.is_empty() {
-            if s.shutdown {
-                return None;
-            }
-            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
-        }
-        // Phase 2: the flush window — fill up to max_batch or deadline.
-        let deadline = Deadline::after(self.cfg.flush);
-        while s.queue.len() < self.cfg.max_batch && !s.shutdown {
-            let left = deadline.remaining();
-            if left == Duration::ZERO {
-                break;
-            }
-            let (guard, timed_out) = self
-                .cv
-                .wait_timeout(s, left)
-                .unwrap_or_else(|e| e.into_inner());
-            s = guard;
-            if timed_out.timed_out() {
-                break;
-            }
-        }
-        if s.shutdown {
-            // stop() already refused everything still queued.
+        // Phase 1: wait for the first request (or shutdown). Only this
+        // worker drains the queue, so once non-empty it stays non-empty
+        // until the drain below.
+        let alive = self
+            .state
+            .wait_for(|s| match (s.shutdown, s.queue.is_empty()) {
+                (true, _) => Some(false),
+                (false, false) => Some(true),
+                (false, true) => None,
+            });
+        if !alive {
             return None;
         }
-        let n = s.queue.len().min(self.cfg.max_batch);
-        Some(s.queue.drain(..n).collect())
+        // Phase 2: the flush window — fill up to max_batch or deadline.
+        let max = self.cfg.max_batch;
+        self.state.wait_for_within(self.cfg.flush, |s| {
+            (s.shutdown || s.queue.len() >= max).then_some(())
+        });
+        self.state.with(|s| {
+            if s.shutdown {
+                // stop() already refused everything still queued.
+                return None;
+            }
+            let n = s.queue.len().min(max);
+            Some(s.queue.drain(..n).collect())
+        })
     }
 
     /// Evaluates one batch against the generation current at flush time.

@@ -15,12 +15,13 @@
 //! one.
 
 use crate::error::ServeError;
+use crate::rt::Swap;
 use dropback::{CheckpointError, StreamStats, StreamingModel, TrainState};
 use dropback_nn::{models, Network};
 use dropback_tensor::Tensor;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// Architectures with a streaming-inference path, by zoo name.
 fn build_network(name: &str, seed: u64) -> Option<Network> {
@@ -120,27 +121,26 @@ impl ServingModel {
 /// new requests see.
 #[derive(Debug)]
 pub struct ModelSlot {
-    cur: RwLock<Arc<ServingModel>>,
+    cur: Swap<ServingModel>,
 }
 
 impl ModelSlot {
     /// A slot serving `model`.
     pub fn new(model: ServingModel) -> Self {
         Self {
-            cur: RwLock::new(Arc::new(model)),
+            cur: Swap::new(model),
         }
     }
 
     /// The current generation, pinned: the returned `Arc` keeps serving
     /// this exact model even if a swap lands immediately after.
     pub fn get(&self) -> Arc<ServingModel> {
-        Arc::clone(&self.cur.read().unwrap_or_else(|e| e.into_inner()))
+        self.cur.get()
     }
 
     /// Atomically replaces the served generation, returning the old one.
     pub fn swap(&self, model: Arc<ServingModel>) -> Arc<ServingModel> {
-        let mut cur = self.cur.write().unwrap_or_else(|e| e.into_inner());
-        std::mem::replace(&mut *cur, model)
+        self.cur.swap(model)
     }
 }
 

@@ -1,5 +1,6 @@
-//! The serve crate's one sanctioned thread-creation site, plus the
-//! shutdown latch every serve thread parks on.
+//! The serve crate's concurrency runtime: its one sanctioned
+//! thread-creation site and the shared-state primitives every other
+//! serve module builds on.
 //!
 //! The `dropback-lint` `raw-thread` rule confines `thread::spawn` to the
 //! tensor worker pool — compute must go through the pool so the
@@ -8,9 +9,20 @@
 //! connection handlers, the batch worker, and the snapshot watcher. Those
 //! all spawn through [`spawn`] here, the one serve file on the rule's
 //! allowlist; batched forwards themselves still run on the worker pool.
+//!
+//! The companion `shared-state` rule does the same for synchronization:
+//! locks, condition variables, and atomics live only in the sanctioned
+//! concurrency modules, and this file is serve's. [`Monitor`] (a
+//! mutex/condvar pair behind a closure API) and [`Swap`] (a read-mostly
+//! `Arc` slot) are the two shapes serve needs; `batch.rs` queues on a
+//! `Monitor`, `model.rs` hot-swaps through a `Swap`, and neither names a
+//! lock type again. Both primitives ride out lock poisoning by taking
+//! the guard anyway — a panicked serve thread must not wedge every other
+//! request behind a `PoisonError`.
 
+use crate::clock::Deadline;
 use std::io;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread;
 use std::time::Duration;
 
@@ -32,6 +44,119 @@ where
         .spawn(f)
 }
 
+/// A `Mutex<T>` + `Condvar` pair behind a closure API.
+///
+/// Callers never see the guard, the condvar, or a `PoisonError`; they
+/// run closures under the lock ([`Monitor::with`], [`Monitor::update`])
+/// and park on predicates ([`Monitor::wait_for`],
+/// [`Monitor::wait_for_within`]). Predicates are re-checked after every
+/// wakeup, so spurious wakeups are invisible to callers.
+#[derive(Debug, Default)]
+pub struct Monitor<T> {
+    state: Mutex<T>,
+    cv: Condvar,
+}
+
+impl<T> Monitor<T> {
+    /// A monitor owning `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            state: Mutex::new(value),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn guard(&self) -> MutexGuard<'_, T> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Runs `f` under the lock without waking waiters — for reads and
+    /// for writes no predicate can be parked on.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.guard())
+    }
+
+    /// Runs `f` under the lock, then wakes every parked waiter so their
+    /// predicates re-run against the new state.
+    pub fn update<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let r = f(&mut self.guard());
+        self.cv.notify_all();
+        r
+    }
+
+    /// Parks until `f` answers `Some`, returning that answer. `f` runs
+    /// under the lock each wakeup.
+    pub fn wait_for<R>(&self, mut f: impl FnMut(&mut T) -> Option<R>) -> R {
+        let mut g = self.guard();
+        loop {
+            if let Some(r) = f(&mut g) {
+                return r;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Parks until `f` answers `Some` or `d` has elapsed, whichever
+    /// comes first; `None` means the window closed with the predicate
+    /// still unmet.
+    pub fn wait_for_within<R>(
+        &self,
+        d: Duration,
+        mut f: impl FnMut(&mut T) -> Option<R>,
+    ) -> Option<R> {
+        let deadline = Deadline::after(d);
+        let mut g = self.guard();
+        loop {
+            if let Some(r) = f(&mut g) {
+                return Some(r);
+            }
+            let left = deadline.remaining();
+            if left == Duration::ZERO {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(g, left)
+                .unwrap_or_else(|e| e.into_inner());
+            g = guard;
+        }
+    }
+}
+
+/// A read-mostly slot holding an `Arc<T>` that can be atomically
+/// replaced — the hot-swap shape.
+///
+/// Readers pin the current value with [`Swap::get`] and keep using that
+/// exact instance even if a [`Swap::swap`] lands immediately after;
+/// later readers see the replacement. Reads take a shared lock for a
+/// few instructions (one `Arc` clone), so the read path never blocks on
+/// another reader.
+#[derive(Debug)]
+pub struct Swap<T> {
+    cur: RwLock<Arc<T>>,
+}
+
+impl<T> Swap<T> {
+    /// A slot holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            cur: RwLock::new(Arc::new(value)),
+        }
+    }
+
+    /// The current value, pinned: the returned `Arc` stays valid across
+    /// any number of subsequent swaps.
+    pub fn get(&self) -> Arc<T> {
+        Arc::clone(&self.cur.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Atomically replaces the held value, returning the previous one.
+    pub fn swap(&self, next: Arc<T>) -> Arc<T> {
+        let mut cur = self.cur.write().unwrap_or_else(|e| e.into_inner());
+        std::mem::replace(&mut *cur, next)
+    }
+}
+
 /// A one-way latch that tells every serve thread to wind down.
 ///
 /// Threads either poll [`Shutdown::is_set`] between requests or park in
@@ -40,8 +165,7 @@ where
 /// sleeping out its poll interval still exits promptly.
 #[derive(Debug, Default)]
 pub struct Shutdown {
-    set: Mutex<bool>,
-    cv: Condvar,
+    latch: Monitor<bool>,
 }
 
 impl Shutdown {
@@ -52,36 +176,26 @@ impl Shutdown {
 
     /// Trips the latch and wakes every parked thread.
     pub fn trigger(&self) {
-        let mut set = self.set.lock().unwrap_or_else(|e| e.into_inner());
-        *set = true;
-        self.cv.notify_all();
+        self.latch.update(|set| *set = true);
     }
 
     /// Whether the latch has been tripped.
     pub fn is_set(&self) -> bool {
-        *self.set.lock().unwrap_or_else(|e| e.into_inner())
+        self.latch.with(|set| *set)
     }
 
     /// Sleeps up to `d`, returning `true` immediately if shutdown
     /// triggers first (or had already triggered).
     pub fn wait_for(&self, d: Duration) -> bool {
-        let mut set = self.set.lock().unwrap_or_else(|e| e.into_inner());
-        if *set {
-            return true;
-        }
-        let (guard, _timeout) = self
-            .cv
-            .wait_timeout(set, d)
-            .unwrap_or_else(|e| e.into_inner());
-        set = guard;
-        *set
+        self.latch
+            .wait_for_within(d, |set| set.then_some(()))
+            .is_some()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     #[test]
     fn spawned_threads_carry_the_serve_prefix() {
@@ -110,5 +224,48 @@ mod tests {
         assert!(latch.is_set());
         // After triggering, waits return instantly.
         assert!(latch.wait_for(Duration::from_secs(30)));
+    }
+
+    #[test]
+    fn monitor_wakes_a_parked_predicate() {
+        let m = Arc::new(Monitor::new(0u32));
+        let seen = Arc::clone(&m);
+        let h = spawn("monitor", move || {
+            let v = seen.wait_for(|n| (*n >= 3).then_some(*n));
+            assert_eq!(v, 3);
+        })
+        .unwrap();
+        for _ in 0..3 {
+            m.update(|n| *n += 1);
+        }
+        h.join().unwrap();
+        // `with` does not signal — reads observe without waking anyone.
+        assert_eq!(m.with(|n| *n), 3);
+    }
+
+    #[test]
+    fn monitor_timed_wait_gives_up_but_reports_late_success() {
+        let m = Monitor::new(false);
+        // Predicate never satisfied: the window closes with None.
+        assert_eq!(
+            m.wait_for_within(Duration::from_millis(5), |b| b.then_some(())),
+            None
+        );
+        m.update(|b| *b = true);
+        // Already satisfied: returns immediately regardless of window.
+        assert_eq!(
+            m.wait_for_within(Duration::from_secs(30), |b| b.then_some(1)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn swap_pins_readers_across_a_replacement() {
+        let slot = Swap::new("old");
+        let pinned = slot.get();
+        let prev = slot.swap(Arc::new("new"));
+        assert_eq!(*prev, "old");
+        assert_eq!(*pinned, "old", "in-flight readers keep their instance");
+        assert_eq!(*slot.get(), "new", "later readers see the replacement");
     }
 }

@@ -267,7 +267,7 @@ pub fn run_tasks(tasks: Vec<Task<'_>>) {
                 // SAFETY: the erased borrow cannot outlive its referent;
                 // this function blocks until `remaining` hits zero, i.e.
                 // every erased task ran, and none is stored past that.
-                let erased: ErasedTask = unsafe { std::mem::transmute(task) };
+                let erased = unsafe { std::mem::transmute::<Task<'_>, ErasedTask>(task) };
                 q.push_back(Job::Run {
                     state: Arc::clone(&state),
                     task: erased,

@@ -11,12 +11,41 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== dropback-lint"
-if ! cargo run -q -p dropback-lint -- --check; then
-    echo "dropback-lint found violations; run \`cargo run -p dropback-lint -- --check\` for details" >&2
+echo "== dropback-lint (strict, timed)"
+# Build first so the timing below measures the lint pass, not the compile.
+cargo build -q -p dropback-lint
+LINT_T0="$(date +%s%N)"
+if ! ./target/debug/dropback-lint --check --strict; then
+    echo "dropback-lint found violations (or stale lint.allow entries under --strict);" >&2
+    echo "run \`cargo run -p dropback-lint -- --check --strict\` for details" >&2
     echo "(rules and rationale: docs/LINTS.md; suppressions: lint.allow)" >&2
     exit 1
 fi
+LINT_MS=$((($(date +%s%N) - LINT_T0) / 1000000))
+# The lint pass gates every PR, so it must stay interactive-fast. The
+# budget is generous (structural parse included, the pass takes well
+# under a second today); tripping it means something pathological landed.
+LINT_BUDGET_MS=30000
+echo "dropback-lint pass: ${LINT_MS}ms (budget ${LINT_BUDGET_MS}ms)"
+if [ "$LINT_MS" -gt "$LINT_BUDGET_MS" ]; then
+    echo "dropback-lint exceeded its ${LINT_BUDGET_MS}ms budget (${LINT_MS}ms)" >&2
+    exit 1
+fi
+# The --json report feeds machine consumers; assert the schema actually
+# parses and carries every top-level key before anything downstream
+# learns the hard way.
+./target/debug/dropback-lint --check --json | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+keys = {"files_scanned", "failures", "findings", "suppressed", "todos", "unused_allows"}
+missing = keys - r.keys()
+assert not missing, f"lint --json report is missing keys: {missing}"
+assert r["failures"] == len(r["findings"]), "failures count must mirror findings"
+assert isinstance(r["files_scanned"], int) and r["files_scanned"] > 50
+for s in r["suppressed"]:
+    assert s["justification"], "every suppression carries its justification"
+print("lint --json schema ok: %d files, %d suppressed" % (r["files_scanned"], len(r["suppressed"])))
+'
 
 echo "== resume-determinism smoke (bit-identical crash/resume)"
 cargo test -q -p dropback --test resume
