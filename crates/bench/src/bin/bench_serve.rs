@@ -24,7 +24,8 @@
 
 use dropback::prelude::*;
 use dropback_bench::{banner, env_usize, seed};
-use dropback_serve::{rt, BatchConfig, HttpClient, Server, ServerConfig};
+use dropback_serve::client::infer_body;
+use dropback_serve::{rt, Backoff, BatchConfig, HttpClient, Server, ServerConfig};
 use dropback_telemetry::{Json, Stopwatch, TelemetrySnapshot};
 use std::path::PathBuf;
 use std::sync::mpsc;
@@ -103,6 +104,7 @@ fn run_level(dir: &PathBuf, clients: usize, reqs: usize) -> LevelResult {
         addr: "127.0.0.1:0".into(),
         batch: BatchConfig::default(),
         poll: Duration::from_millis(200),
+        ..ServerConfig::default()
     };
     let store = CheckpointStore::open(dir).unwrap();
     let server = Server::start(cfg, store).unwrap();
@@ -149,6 +151,117 @@ fn run_level(dir: &PathBuf, clients: usize, reqs: usize) -> LevelResult {
     }
 }
 
+/// What 2× overload looks like: shed rate and tail latency of the
+/// requests that *do* get in.
+struct OverloadResult {
+    clients: usize,
+    queue_cap: usize,
+    successes: usize,
+    shed: u64,
+    attempts: u64,
+    wall_ns: u64,
+    latencies_ns: Vec<u64>,
+}
+
+impl OverloadResult {
+    fn shed_rate(&self) -> f64 {
+        self.shed as f64 / (self.attempts as f64).max(1.0)
+    }
+
+    fn throughput_rps(&self) -> f64 {
+        self.successes as f64 / (self.wall_ns as f64 / 1e9).max(1e-9)
+    }
+
+    fn quantile_us(&self, q: f64) -> f64 {
+        let idx = ((self.latencies_ns.len() - 1) as f64 * q).round() as usize;
+        self.latencies_ns[idx] as f64 / 1_000.0
+    }
+}
+
+/// Drives the server at ~2× its queue capacity: twice `queue_cap` clients
+/// hammer a deliberately small queue, retrying every 503 after a seeded
+/// jittered backoff ([`dropback_serve::Backoff`]) until each lands `reqs`
+/// successes. Measures how much load the server refuses (shed rate) and
+/// what the tail looks like for the requests it accepts.
+fn run_overload(dir: &PathBuf, queue_cap: usize, reqs: usize) -> OverloadResult {
+    let clients = queue_cap * 2;
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        batch: BatchConfig {
+            queue_cap,
+            ..BatchConfig::default()
+        },
+        poll: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let store = CheckpointStore::open(dir).unwrap();
+    let server = Server::start(cfg, store).unwrap();
+    let addr = server.addr();
+
+    let input = probe_input();
+    let mut warm = HttpClient::connect(addr).unwrap();
+    warm.infer(&input).unwrap();
+
+    // Each worker reports (success latencies, sheds, attempts).
+    let (tx, rx) = mpsc::channel::<(Vec<u64>, u64, u64)>();
+    let sw = Stopwatch::started();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let tx = tx.clone();
+            rt::spawn(&format!("overload-{c}"), move || {
+                let body = infer_body(&probe_input());
+                let mut client = HttpClient::connect(addr).unwrap();
+                let mut backoff = Backoff::new(
+                    seed() ^ (c as u64).wrapping_mul(0x9E37_79B9),
+                    Duration::from_micros(200),
+                    Duration::from_millis(10),
+                );
+                let (mut lat, mut shed, mut attempts) = (Vec::with_capacity(reqs), 0u64, 0u64);
+                while lat.len() < reqs {
+                    attempts += 1;
+                    let one = Stopwatch::started();
+                    let resp = client.post("/infer", &body).unwrap();
+                    match resp.status {
+                        200 => {
+                            lat.push(one.elapsed_ns().unwrap_or(0));
+                            backoff.reset();
+                        }
+                        503 => {
+                            shed += 1;
+                            std::thread::sleep(backoff.next_delay());
+                        }
+                        other => panic!("unexpected status {other} under overload"),
+                    }
+                }
+                let _ = tx.send((lat, shed, attempts));
+            })
+            .unwrap()
+        })
+        .collect();
+    drop(tx);
+    let (mut latencies_ns, mut shed, mut attempts) = (Vec::new(), 0u64, 0u64);
+    for (lat, s, a) in rx.iter() {
+        latencies_ns.extend(lat);
+        shed += s;
+        attempts += a;
+    }
+    let wall_ns = sw.elapsed_ns().unwrap_or(0);
+    for w in workers {
+        let _ = w.join();
+    }
+    latencies_ns.sort_unstable();
+    let _ = server.stop();
+    OverloadResult {
+        clients,
+        queue_cap,
+        successes: clients * reqs,
+        shed,
+        attempts,
+        wall_ns,
+        latencies_ns,
+    }
+}
+
 fn main() {
     banner(
         "BENCH serve",
@@ -183,6 +296,24 @@ fn main() {
         );
         rows.push(level);
     }
+
+    // The overload level: twice as many clients as queue slots, retrying
+    // 503s with seeded backoff. The interesting numbers are the shed rate
+    // (how much the server refuses) and the p99 of what it accepts (the
+    // queue bound keeping the tail flat instead of unbounded).
+    let queue_cap = (max_clients / 2).max(2);
+    let overload = run_overload(&dir, queue_cap, reqs);
+    println!(
+        "\noverload 2x: {} clients vs queue_cap {} -> shed rate {:.1}% over {} attempts,\n\
+         \x20 accepted p50 {:.3}ms p99 {:.3}ms at {:.1} rps",
+        overload.clients,
+        overload.queue_cap,
+        overload.shed_rate() * 100.0,
+        overload.attempts,
+        overload.quantile_us(0.50) / 1_000.0,
+        overload.quantile_us(0.99) / 1_000.0,
+        overload.throughput_rps(),
+    );
 
     let base = rows[0].throughput_rps();
     let peak = rows
@@ -231,6 +362,23 @@ fn main() {
         (
             "levels".into(),
             Json::Arr(rows.iter().map(level_json).collect()),
+        ),
+        (
+            "overload".into(),
+            Json::Obj(vec![
+                ("clients".into(), Json::from(overload.clients)),
+                ("queue_cap".into(), Json::from(overload.queue_cap)),
+                ("successes".into(), Json::from(overload.successes)),
+                ("shed".into(), Json::from(overload.shed)),
+                ("attempts".into(), Json::from(overload.attempts)),
+                ("shed_rate".into(), Json::from(overload.shed_rate())),
+                (
+                    "throughput_rps".into(),
+                    Json::from(overload.throughput_rps()),
+                ),
+                ("p50_us".into(), Json::from(overload.quantile_us(0.50))),
+                ("p99_us".into(), Json::from(overload.quantile_us(0.99))),
+            ]),
         ),
     ]);
     let path = "BENCH_serve.json";

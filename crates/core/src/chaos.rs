@@ -1,0 +1,586 @@
+//! Deterministic chaos: replayable I/O fault injection for robustness
+//! tests, from checkpoint files to live sockets.
+//!
+//! Production training *and serving* stacks prove their recovery paths
+//! with injected failures rather than hoping for them. This module holds
+//! the workspace's entire fault vocabulary:
+//!
+//! * [`FaultInjector`] + [`FaultMode`] — the checkpoint-era wrapper: fail
+//!   a write once a byte budget is exhausted (torn write / full disk) or
+//!   flip one byte on read (bit-rot). Used by the checkpoint store and
+//!   the resume/corruption suites.
+//! * [`FaultStream`] + [`FaultAction`] — the network-era wrapper: stall
+//!   before the first byte (slow-loris), reset after N bytes (peer
+//!   dropped mid-message), dribble writes a few bytes at a time (trickle
+//!   client), or flip a byte in flight. Used by the serve crate's chaos
+//!   suite against real connections.
+//! * [`FaultPlan`] — a fully seeded, replayable assignment of one
+//!   [`FaultAction`] per connection ordinal, so an entire chaos scenario
+//!   (which connection stalls, which resets, which sails through) is
+//!   reproducible from a single `u64`.
+//!
+//! Every fault is deterministic — offsets and choices come from the
+//! caller or from a seeded [`Xorshift64`] stream, never from wall-clock
+//! or OS entropy — so every failing test replays from its seed.
+
+use dropback_prng::Xorshift64;
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// What the injector should do to the wrapped stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Pass everything through untouched.
+    None,
+    /// Accept exactly `n` bytes of writes, then fail every subsequent
+    /// write with [`io::ErrorKind::Other`] — a torn write: the prefix is
+    /// on disk, the rest never arrives.
+    FailWriteAfter(u64),
+    /// XOR the byte at stream `offset` with `xor` while reading
+    /// (`xor != 0`, or the fault would be a no-op).
+    FlipReadByte {
+        /// Byte offset into the stream, 0-based.
+        offset: u64,
+        /// Mask XOR-ed into that byte.
+        xor: u8,
+    },
+}
+
+impl FaultMode {
+    /// Derives a deterministic read-flip fault for a stream of `len`
+    /// bytes from `seed`: a pseudorandom offset and a nonzero bit mask.
+    /// Returns [`FaultMode::None`] for empty streams.
+    pub fn seeded_flip(seed: u64, len: u64) -> FaultMode {
+        if len == 0 {
+            return FaultMode::None;
+        }
+        let mut rng = Xorshift64::new(seed ^ 0xFA57_1E57);
+        let offset = rng.next_u64() % len;
+        let xor = 1u8 << (rng.next_u64() % 8) as u8;
+        FaultMode::FlipReadByte { offset, xor }
+    }
+
+    /// Derives a deterministic torn-write fault from `seed`: the write
+    /// budget is a pseudorandom prefix of a `len`-byte stream (strictly
+    /// less than `len`, so the fault always fires for non-empty streams).
+    pub fn seeded_tear(seed: u64, len: u64) -> FaultMode {
+        if len == 0 {
+            return FaultMode::FailWriteAfter(0);
+        }
+        let mut rng = Xorshift64::new(seed ^ 0x7EA2_0FF5);
+        FaultMode::FailWriteAfter(rng.next_u64() % len)
+    }
+}
+
+/// An I/O wrapper that injects one deterministic fault; see [`FaultMode`].
+#[derive(Debug)]
+pub struct FaultInjector<T> {
+    inner: T,
+    mode: FaultMode,
+    /// Bytes successfully passed through so far (written or read).
+    pos: u64,
+}
+
+impl<T> FaultInjector<T> {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: T, mode: FaultMode) -> Self {
+        Self {
+            inner,
+            mode,
+            pos: 0,
+        }
+    }
+
+    /// Bytes passed through so far.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Unwraps the inner reader/writer.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Write> Write for FaultInjector<T> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let FaultMode::FailWriteAfter(budget) = self.mode {
+            let remaining = budget.saturating_sub(self.pos);
+            if remaining == 0 {
+                return Err(io::Error::other(
+                    "injected write fault: byte budget exhausted (simulated crash)",
+                ));
+            }
+            // Write at most the remaining budget so the failure lands at a
+            // deterministic byte offset regardless of caller chunking.
+            let take = (remaining.min(buf.len() as u64)) as usize;
+            let n = self.inner.write(&buf[..take])?;
+            self.pos += n as u64;
+            return Ok(n);
+        }
+        let n = self.inner.write(buf)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<T: Read> Read for FaultInjector<T> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        if let FaultMode::FlipReadByte { offset, xor } = self.mode {
+            // Does the faulty offset land inside this chunk?
+            if offset >= self.pos && offset < self.pos + n as u64 {
+                buf[(offset - self.pos) as usize] ^= xor;
+            }
+        }
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+/// One network-style misbehavior a [`FaultStream`] applies to its wrapped
+/// connection half. Unlike [`FaultMode`] (built for files), these model
+/// how *peers* fail: slowly, partially, or mid-message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Pass everything through untouched.
+    None,
+    /// Sleep `delay` once, before the first byte moves in either
+    /// direction — a slow-loris peer that connects and then goes quiet.
+    Stall {
+        /// How long the first I/O call sleeps before proceeding.
+        delay: Duration,
+    },
+    /// Pass exactly `bytes` bytes through (reads and writes share the
+    /// budget), then fail every call with
+    /// [`io::ErrorKind::ConnectionReset`] — the peer vanished
+    /// mid-message.
+    ResetAfter {
+        /// Total byte budget before the connection "dies".
+        bytes: u64,
+    },
+    /// Cap every write to `chunk` bytes and sleep `pause` before each —
+    /// a trickle client feeding the peer one sip at a time. Reads pass
+    /// through untouched.
+    Dribble {
+        /// Most bytes any single write moves.
+        chunk: usize,
+        /// Sleep before each write.
+        pause: Duration,
+    },
+    /// XOR the byte at stream `offset` with `xor` on the read side —
+    /// in-flight corruption.
+    FlipByte {
+        /// Byte offset into the read stream, 0-based.
+        offset: u64,
+        /// Mask XOR-ed into that byte (nonzero, or the fault is a no-op).
+        xor: u8,
+    },
+}
+
+/// A seeded, replayable assignment of one [`FaultAction`] per connection.
+///
+/// [`FaultPlan::seeded`] derives each connection's action from
+/// `(seed, connection ordinal)` alone, so the same seed always produces
+/// the same storm; [`FaultPlan::cycle`] scripts an explicit repeating
+/// sequence for tests that need one specific failure on one specific
+/// connection. Either way, `action(n)` is a pure function — replaying a
+/// scenario never depends on call order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    kind: PlanKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PlanKind {
+    Seeded(u64),
+    Cycle(Vec<FaultAction>),
+}
+
+impl FaultPlan {
+    /// A plan deriving every connection's action pseudorandomly from
+    /// `seed`: a mix of clean passes, stalls, resets, dribbles, and byte
+    /// flips with small, test-friendly parameters.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            kind: PlanKind::Seeded(seed),
+        }
+    }
+
+    /// A plan that walks `actions` in order, wrapping around — connection
+    /// `n` gets `actions[n % len]`. An empty script behaves as all-clean.
+    pub fn cycle(actions: Vec<FaultAction>) -> Self {
+        Self {
+            kind: PlanKind::Cycle(actions),
+        }
+    }
+
+    /// The action assigned to connection ordinal `conn` (0-based).
+    pub fn action(&self, conn: u64) -> FaultAction {
+        match &self.kind {
+            PlanKind::Cycle(actions) => {
+                if actions.is_empty() {
+                    FaultAction::None
+                } else {
+                    actions[(conn % actions.len() as u64) as usize]
+                }
+            }
+            PlanKind::Seeded(seed) => {
+                // One independent stream per (seed, conn): mix the ordinal
+                // in with an odd constant so neighboring ordinals land far
+                // apart in state space.
+                let mut rng =
+                    Xorshift64::new(seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC4A0_5EED);
+                match rng.next_u64() % 5 {
+                    0 => FaultAction::None,
+                    1 => FaultAction::Stall {
+                        delay: Duration::from_millis(5 + rng.next_u64() % 45),
+                    },
+                    2 => FaultAction::ResetAfter {
+                        bytes: 1 + rng.next_u64() % 256,
+                    },
+                    3 => FaultAction::Dribble {
+                        chunk: 1 + (rng.next_u64() % 4) as usize,
+                        pause: Duration::from_millis(1 + rng.next_u64() % 4),
+                    },
+                    _ => FaultAction::FlipByte {
+                        offset: rng.next_u64() % 64,
+                        xor: 1u8 << (rng.next_u64() % 8) as u8,
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// An I/O wrapper that applies one [`FaultAction`] to a connection half.
+///
+/// Wrap each half of a duplex stream separately (each side keeps its own
+/// byte position); the same action on both halves models one misbehaving
+/// peer. All failures surface as typed [`io::Error`]s — a `FaultStream`
+/// never panics, so it is safe on request paths.
+#[derive(Debug)]
+pub struct FaultStream<T> {
+    inner: T,
+    action: FaultAction,
+    /// Bytes passed through this half so far.
+    pos: u64,
+    stalled: bool,
+}
+
+impl<T> FaultStream<T> {
+    /// Wraps `inner` with the given action.
+    pub fn new(inner: T, action: FaultAction) -> Self {
+        Self {
+            inner,
+            action,
+            pos: 0,
+            stalled: false,
+        }
+    }
+
+    /// Bytes passed through so far.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// The action this wrapper applies.
+    pub fn action(&self) -> FaultAction {
+        self.action
+    }
+
+    /// Unwraps the inner reader/writer.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn stall_once(&mut self) {
+        if let FaultAction::Stall { delay } = self.action {
+            if !self.stalled {
+                self.stalled = true;
+                std::thread::sleep(delay);
+            }
+        }
+    }
+
+    fn reset_budget(&self) -> Option<u64> {
+        match self.action {
+            FaultAction::ResetAfter { bytes } => Some(bytes.saturating_sub(self.pos)),
+            _ => None,
+        }
+    }
+
+    fn reset_error() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "injected connection reset: byte budget exhausted (simulated dropped peer)",
+        )
+    }
+}
+
+impl<T: Read> Read for FaultStream<T> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.stall_once();
+        let take = match self.reset_budget() {
+            Some(0) => return Err(Self::reset_error()),
+            // Cap the read so the reset lands at a deterministic offset
+            // regardless of caller chunking.
+            Some(budget) => (budget.min(buf.len() as u64)) as usize,
+            None => buf.len(),
+        };
+        let n = self.inner.read(&mut buf[..take])?;
+        if let FaultAction::FlipByte { offset, xor } = self.action {
+            if offset >= self.pos && offset < self.pos + n as u64 {
+                buf[(offset - self.pos) as usize] ^= xor;
+            }
+        }
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+impl<T: Write> Write for FaultStream<T> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.stall_once();
+        let mut take = match self.reset_budget() {
+            Some(0) => return Err(Self::reset_error()),
+            Some(budget) => (budget.min(buf.len() as u64)) as usize,
+            None => buf.len(),
+        };
+        if let FaultAction::Dribble { chunk, pause } = self.action {
+            std::thread::sleep(pause);
+            take = take.min(chunk.max(1));
+        }
+        let n = self.inner.write(&buf[..take])?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_mode_is_transparent() {
+        let mut w = FaultInjector::new(Vec::new(), FaultMode::None);
+        w.write_all(b"hello").unwrap();
+        assert_eq!(w.into_inner(), b"hello");
+        let mut r = FaultInjector::new(&b"world"[..], FaultMode::None);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"world");
+    }
+
+    #[test]
+    fn write_fails_exactly_at_the_byte_budget() {
+        let mut w = FaultInjector::new(Vec::new(), FaultMode::FailWriteAfter(7));
+        let err = w.write_all(b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert_eq!(w.position(), 7);
+        assert_eq!(w.into_inner(), b"0123456");
+    }
+
+    #[test]
+    fn zero_budget_fails_the_first_write() {
+        let mut w = FaultInjector::new(Vec::new(), FaultMode::FailWriteAfter(0));
+        assert!(w.write_all(b"x").is_err());
+        assert!(w.into_inner().is_empty());
+    }
+
+    #[test]
+    fn read_flip_corrupts_exactly_one_byte_across_chunkings() {
+        let data: Vec<u8> = (0..64).collect();
+        for chunk in [1usize, 3, 64] {
+            let mut r = FaultInjector::new(
+                &data[..],
+                FaultMode::FlipReadByte {
+                    offset: 17,
+                    xor: 0x80,
+                },
+            );
+            let mut out = Vec::new();
+            let mut buf = vec![0u8; chunk];
+            loop {
+                let n = r.read(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                out.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(out.len(), 64);
+            for (i, (&got, &want)) in out.iter().zip(&data).enumerate() {
+                if i == 17 {
+                    assert_eq!(got, want ^ 0x80, "chunk {chunk}");
+                } else {
+                    assert_eq!(got, want, "chunk {chunk} byte {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_faults_are_deterministic_and_in_range() {
+        for seed in 0..50u64 {
+            let a = FaultMode::seeded_flip(seed, 100);
+            assert_eq!(a, FaultMode::seeded_flip(seed, 100), "seed {seed}");
+            match a {
+                FaultMode::FlipReadByte { offset, xor } => {
+                    assert!(offset < 100);
+                    assert_ne!(xor, 0);
+                }
+                other => panic!("unexpected mode {other:?}"),
+            }
+            match FaultMode::seeded_tear(seed, 100) {
+                FaultMode::FailWriteAfter(n) => assert!(n < 100),
+                other => panic!("unexpected mode {other:?}"),
+            }
+        }
+        assert_eq!(FaultMode::seeded_flip(1, 0), FaultMode::None);
+    }
+
+    #[test]
+    fn seeded_plans_are_replayable_and_cover_every_action() {
+        let plan = FaultPlan::seeded(42);
+        let replay = FaultPlan::seeded(42);
+        let mut kinds = [false; 5];
+        for conn in 0..200u64 {
+            let a = plan.action(conn);
+            assert_eq!(a, replay.action(conn), "conn {conn} must replay");
+            let k = match a {
+                FaultAction::None => 0,
+                FaultAction::Stall { delay } => {
+                    assert!(delay >= Duration::from_millis(5));
+                    assert!(delay < Duration::from_millis(50));
+                    1
+                }
+                FaultAction::ResetAfter { bytes } => {
+                    assert!(bytes >= 1);
+                    2
+                }
+                FaultAction::Dribble { chunk, .. } => {
+                    assert!(chunk >= 1);
+                    3
+                }
+                FaultAction::FlipByte { xor, .. } => {
+                    assert_ne!(xor, 0);
+                    4
+                }
+            };
+            kinds[k] = true;
+        }
+        assert!(kinds.iter().all(|&k| k), "200 conns hit every action kind");
+        assert_ne!(
+            (0..20).map(|c| plan.action(c)).collect::<Vec<_>>(),
+            (0..20)
+                .map(|c| FaultPlan::seeded(43).action(c))
+                .collect::<Vec<_>>(),
+            "different seeds produce different storms"
+        );
+    }
+
+    #[test]
+    fn cycle_plans_script_exact_sequences() {
+        let plan = FaultPlan::cycle(vec![
+            FaultAction::ResetAfter { bytes: 10 },
+            FaultAction::None,
+        ]);
+        assert_eq!(plan.action(0), FaultAction::ResetAfter { bytes: 10 });
+        assert_eq!(plan.action(1), FaultAction::None);
+        assert_eq!(plan.action(2), FaultAction::ResetAfter { bytes: 10 });
+        assert_eq!(FaultPlan::cycle(Vec::new()).action(7), FaultAction::None);
+    }
+
+    #[test]
+    fn fault_stream_passthrough_is_transparent() {
+        let mut w = FaultStream::new(Vec::new(), FaultAction::None);
+        w.write_all(b"hello").unwrap();
+        assert_eq!(w.position(), 5);
+        assert_eq!(w.into_inner(), b"hello");
+    }
+
+    #[test]
+    fn reset_fires_at_the_exact_byte_across_chunkings() {
+        for chunk in [1usize, 3, 64] {
+            let mut w = FaultStream::new(Vec::new(), FaultAction::ResetAfter { bytes: 7 });
+            let mut err = None;
+            for piece in b"0123456789".chunks(chunk) {
+                if let Err(e) = w.write_all(piece) {
+                    err = Some(e);
+                    break;
+                }
+            }
+            let err = err.expect("reset must fire");
+            assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+            assert_eq!(w.position(), 7, "chunk {chunk}");
+            assert_eq!(w.into_inner(), b"0123456");
+        }
+    }
+
+    #[test]
+    fn reset_budget_is_shared_with_reads() {
+        let mut r = FaultStream::new(&b"abcdef"[..], FaultAction::ResetAfter { bytes: 4 });
+        let mut buf = [0u8; 16];
+        assert_eq!(r.read(&mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"abcd");
+        assert_eq!(
+            r.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+    }
+
+    #[test]
+    fn dribble_caps_every_write_to_the_chunk() {
+        let mut w = FaultStream::new(
+            Vec::new(),
+            FaultAction::Dribble {
+                chunk: 2,
+                pause: Duration::ZERO,
+            },
+        );
+        let mut sent = 0;
+        while sent < 9 {
+            let n = w.write(&b"123456789"[sent..]).unwrap();
+            assert!(n <= 2, "dribble never moves more than chunk bytes");
+            sent += n;
+        }
+        assert_eq!(w.into_inner(), b"123456789");
+    }
+
+    #[test]
+    fn stall_sleeps_once_then_passes_through() {
+        let mut r = FaultStream::new(
+            &b"xy"[..],
+            FaultAction::Stall {
+                delay: Duration::from_millis(1),
+            },
+        );
+        let mut buf = [0u8; 1];
+        assert_eq!(r.read(&mut buf).unwrap(), 1);
+        assert_eq!(&buf, b"x");
+        assert_eq!(r.read(&mut buf).unwrap(), 1);
+        assert_eq!(&buf, b"y");
+    }
+
+    #[test]
+    fn flip_byte_corrupts_reads_in_flight() {
+        let mut r = FaultStream::new(
+            &b"abcd"[..],
+            FaultAction::FlipByte {
+                offset: 2,
+                xor: 0x01,
+            },
+        );
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"ab\x62d", "byte 2 flipped: c ^ 0x01 = b");
+    }
+}

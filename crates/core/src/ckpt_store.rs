@@ -20,8 +20,8 @@
 //! deterministic [`FaultMode`] for the *n*-th write, proving the recovery
 //! path end to end.
 
+use crate::chaos::{FaultInjector, FaultMode};
 use crate::checkpoint::CheckpointError;
-use crate::fault::{FaultInjector, FaultMode};
 use crate::train_state::TrainState;
 use dropback_telemetry::{Event, Stopwatch, Telemetry};
 use std::collections::BTreeMap;

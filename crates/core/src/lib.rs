@@ -55,22 +55,22 @@ pub use dropback_prng as prng;
 pub use dropback_telemetry as telemetry;
 pub use dropback_tensor as tensor;
 
+pub mod chaos;
 mod checkpoint;
 mod ckpt_store;
 mod config;
 mod crc;
-mod fault;
 mod report;
 mod sparse_infer;
 pub mod trace_analysis;
 mod train_state;
 mod trainer;
 
+pub use chaos::{FaultAction, FaultInjector, FaultMode, FaultPlan, FaultStream};
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use ckpt_store::CheckpointStore;
 pub use config::TrainConfig;
 pub use crc::crc32;
-pub use fault::{FaultInjector, FaultMode};
 pub use report::{EpochStats, TrainReport};
 pub use sparse_infer::{
     stream_mlp_forward, StreamError, StreamStats, StreamingLinear, StreamingModel,
@@ -81,10 +81,10 @@ pub use trainer::{NoProbe, StepProbe, Trainer};
 
 /// Convenient glob-import surface for examples and experiment binaries.
 pub mod prelude {
+    pub use crate::chaos::{FaultAction, FaultInjector, FaultMode, FaultPlan, FaultStream};
     pub use crate::checkpoint::{Checkpoint, CheckpointError};
     pub use crate::ckpt_store::CheckpointStore;
     pub use crate::config::TrainConfig;
-    pub use crate::fault::{FaultInjector, FaultMode};
     pub use crate::report::{EpochStats, TrainReport};
     pub use crate::sparse_infer::{stream_mlp_forward, StreamStats, StreamingModel};
     pub use crate::train_state::{TrainProgress, TrainState};

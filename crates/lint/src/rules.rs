@@ -95,7 +95,7 @@ const DETERMINISM_PATHS: &[&str] = &[
     "crates/core/src/checkpoint.rs",
     "crates/core/src/ckpt_store.rs",
     "crates/core/src/crc.rs",
-    "crates/core/src/fault.rs",
+    "crates/core/src/chaos.rs",
     "crates/core/src/report.rs",
     "crates/core/src/sparse_infer.rs",
     "crates/core/src/train_state.rs",
@@ -284,7 +284,7 @@ const PANIC_PATHS: &[&str] = &[
     "crates/core/src/checkpoint.rs",
     "crates/core/src/ckpt_store.rs",
     "crates/core/src/crc.rs",
-    "crates/core/src/fault.rs",
+    "crates/core/src/chaos.rs",
     "crates/core/src/sparse_infer.rs",
     "crates/core/src/train_state.rs",
 ];

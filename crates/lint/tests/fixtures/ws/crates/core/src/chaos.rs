@@ -1,0 +1,34 @@
+//! Seeded bad fixture for the chaos module's lint coverage: the fault
+//! plan is on both the panic path (it wraps live request sockets) and
+//! the determinism path (replayable plans must not depend on hash
+//! order). Lib code here violates both; the test module stays exempt.
+
+pub struct PlanTable {
+    // hash-iteration: a replayable plan keyed by unordered hashing.
+    actions: std::collections::HashMap<u64, u8>,
+}
+
+impl PlanTable {
+    pub fn action(&self, conn: u64) -> u8 {
+        // panic-path: a missing entry must be a typed error, not a crash.
+        let a = self.actions.get(&conn).unwrap();
+        match a {
+            0..=4 => *a,
+            // panic-path: attacker-shaped bytes can reach here.
+            _ => unreachable!("plan actions are always 0..=4"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_only_unwrap_is_fine() {
+        let table = PlanTable {
+            actions: [(0u64, 1u8)].into_iter().collect(),
+        };
+        assert_eq!(table.actions.get(&0).copied().unwrap(), 1);
+    }
+}

@@ -13,6 +13,7 @@
 //! always evaluates against one single generation, so a hot-swap can
 //! never split a batch across two models.
 
+use crate::clock::Deadline;
 use crate::error::ServeError;
 use crate::model::ModelSlot;
 use crate::rt::{self, Monitor};
@@ -79,6 +80,10 @@ impl ReplySlot {
 struct Pending {
     input: Vec<f32>,
     reply: Arc<ReplySlot>,
+    /// Shed the request unevaluated if this passes before its batch
+    /// flushes — a backlog must never spend a forward pass on a reply
+    /// nobody is waiting for anymore.
+    deadline: Option<Deadline>,
 }
 
 struct QueueState {
@@ -119,15 +124,23 @@ impl BatchQueue {
 
     /// Queues one input and blocks until its micro-batch has been
     /// evaluated, returning this request's row of the batched forward.
+    /// A `deadline` caps how stale the request may get: if it passes
+    /// before the batch flushes, the worker sheds the request without
+    /// evaluating it.
     ///
     /// # Errors
     ///
     /// [`ServeError::Overloaded`] when the queue is at capacity,
-    /// [`ServeError::ShuttingDown`] when the server stops before the
-    /// request is evaluated, [`ServeError::BadRequest`] when the input
-    /// width does not match the model, and evaluation errors propagated
-    /// from the worker.
-    pub fn submit(&self, input: Vec<f32>) -> Result<InferReply, ServeError> {
+    /// [`ServeError::DeadlineExceeded`] when the deadline passes while
+    /// queued, [`ServeError::ShuttingDown`] when the server stops before
+    /// the request is evaluated, [`ServeError::BadRequest`] when the
+    /// input width does not match the model, and evaluation errors
+    /// propagated from the worker.
+    pub fn submit(
+        &self,
+        input: Vec<f32>,
+        deadline: Option<Deadline>,
+    ) -> Result<InferReply, ServeError> {
         let reply = Arc::new(ReplySlot::default());
         self.state.update(|s| {
             if s.shutdown {
@@ -139,6 +152,7 @@ impl BatchQueue {
             s.queue.push_back(Pending {
                 input,
                 reply: Arc::clone(&reply),
+                deadline,
             });
             Ok(())
         })?;
@@ -199,6 +213,13 @@ impl BatchQueue {
         let mut rows = Vec::with_capacity(batch.len());
         let mut flat = Vec::with_capacity(batch.len() * in_dim);
         for p in batch {
+            // Shed expired requests *before* inference: their handlers
+            // answer 503, and the forward pass never pays for them.
+            if p.deadline.is_some_and(|d| d.expired()) {
+                collector.counter("serve.batch_expired").inc();
+                p.reply.fulfill(Err(ServeError::DeadlineExceeded));
+                continue;
+            }
             if p.input.len() != in_dim {
                 p.reply.fulfill(Err(ServeError::BadRequest(format!(
                     "input has {} features, model {} (epoch {}) expects {in_dim}",
@@ -305,7 +326,7 @@ mod tests {
         let collector = Arc::new(Collector::new());
         let worker = q.start_worker(slot(), Arc::clone(&collector)).unwrap();
 
-        let reply = q.submit(vec![0.1; 784]).unwrap();
+        let reply = q.submit(vec![0.1; 784], None).unwrap();
         assert_eq!(reply.logits.len(), 10);
         assert!(reply.argmax < 10);
         assert!(reply.batch >= 1);
@@ -329,10 +350,10 @@ mod tests {
 
         let q2 = Arc::clone(&q);
         let peer = rt::spawn("peer", move || {
-            q2.submit(vec![0.2; 784]).unwrap();
+            q2.submit(vec![0.2; 784], None).unwrap();
         })
         .unwrap();
-        let reply = q.submit(vec![0.1; 784]).unwrap();
+        let reply = q.submit(vec![0.1; 784], None).unwrap();
         peer.join().unwrap();
         assert_eq!(reply.batch, 2, "both requests must ride one batch");
 
@@ -352,14 +373,49 @@ mod tests {
 
         let q2 = Arc::clone(&q);
         let bad = rt::spawn("bad", move || {
-            let err = q2.submit(vec![0.5; 3]).unwrap_err();
+            let err = q2.submit(vec![0.5; 3], None).unwrap_err();
             assert_eq!(err.http_status(), 400);
             assert!(err.to_string().contains("784"));
         })
         .unwrap();
-        let good = q.submit(vec![0.1; 784]).unwrap();
+        let good = q.submit(vec![0.1; 784], None).unwrap();
         bad.join().unwrap();
         assert_eq!(good.logits.len(), 10, "good request survives a bad peer");
+
+        q.stop();
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn expired_requests_are_shed_before_inference_peers_still_run() {
+        let q = Arc::new(BatchQueue::new(BatchConfig {
+            max_batch: 2,
+            flush: Duration::from_secs(5),
+            queue_cap: 16,
+        }));
+        let collector = Arc::new(Collector::new());
+        let worker = q.start_worker(slot(), Arc::clone(&collector)).unwrap();
+
+        // An already-expired deadline: the worker must shed it without
+        // spending a forward pass, while its fresh peer still evaluates.
+        let q2 = Arc::clone(&q);
+        let expired = rt::spawn("expired", move || {
+            let err = q2
+                .submit(vec![0.3; 784], Some(Deadline::after(Duration::ZERO)))
+                .unwrap_err();
+            assert!(matches!(err, ServeError::DeadlineExceeded), "{err}");
+            assert_eq!(err.http_status(), 503);
+        })
+        .unwrap();
+        let fresh = q
+            .submit(
+                vec![0.1; 784],
+                Some(Deadline::after(Duration::from_secs(60))),
+            )
+            .unwrap();
+        expired.join().unwrap();
+        assert_eq!(fresh.logits.len(), 10, "fresh peer survives a shed one");
+        assert_eq!(collector.counter("serve.batch_expired").get(), 1);
 
         q.stop();
         worker.join().unwrap();
@@ -374,12 +430,12 @@ mod tests {
         });
         // No worker running: capacity zero refuses immediately.
         assert!(matches!(
-            q.submit(vec![0.0; 784]),
+            q.submit(vec![0.0; 784], None),
             Err(ServeError::Overloaded)
         ));
         q.stop();
         assert!(matches!(
-            q.submit(vec![0.0; 784]),
+            q.submit(vec![0.0; 784], None),
             Err(ServeError::ShuttingDown)
         ));
     }

@@ -14,10 +14,13 @@
 //! dependencies, so `probe` stands in for `curl` in `scripts/check.sh`.
 
 use dropback::prelude::*;
-use dropback::CheckpointStore;
+use dropback::{CheckpointStore, FaultAction, FaultPlan};
+use dropback_serve::client::infer_body;
+use dropback_serve::rt::{self, Monitor};
 use dropback_serve::{BatchConfig, HttpClient, Server, ServerConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A CLI failure: the message for stderr plus the process exit code.
@@ -50,6 +53,11 @@ fn known_flags(cmd: &str) -> &'static [&'static str] {
             "flush-ms",
             "poll-ms",
             "queue-cap",
+            "max-conns",
+            "io-timeout-ms",
+            "deadline-ms",
+            "drain-ms",
+            "retry-after-s",
             "threads",
             "quiet",
         ],
@@ -64,6 +72,9 @@ fn known_flags(cmd: &str) -> &'static [&'static str] {
             "repeat",
             "expect-epoch",
             "assert-latency",
+            "flood",
+            "seed",
+            "expect-shed",
             "shutdown",
         ],
         _ => &[],
@@ -146,6 +157,12 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
             queue_cap: get(flags, "queue-cap", 256usize)?.max(1),
         },
         poll: Duration::from_millis(get(flags, "poll-ms", 50u64)?.max(1)),
+        max_conns: get(flags, "max-conns", 256usize)?.max(1),
+        io_timeout: Duration::from_millis(get(flags, "io-timeout-ms", 5_000u64)?.max(1)),
+        request_deadline: Duration::from_millis(get(flags, "deadline-ms", 2_000u64)?.max(1)),
+        drain: Duration::from_millis(get(flags, "drain-ms", 2_000u64)?),
+        retry_after: Duration::from_secs(get(flags, "retry-after-s", 1u64)?.max(1)),
+        chaos: None,
     };
     let store = CheckpointStore::open(dir).map_err(|e| format!("cannot open {dir}: {e}"))?;
     let server = Server::start(cfg, store).map_err(|e| e.to_string())?;
@@ -238,6 +255,73 @@ fn ramp_input(dims: usize) -> Vec<f32> {
     (0..dims).map(|i| (i % 251) as f32 / 251.0).collect()
 }
 
+/// One flood participant. Returns which tally slot it lands in:
+/// 0 = answered 200, 1 = shed with 503, 2 = deliberately rude client
+/// (sent half a body and vanished), 3 = anything else.
+fn flood_client(addr: &str, action: FaultAction, body: &str) -> usize {
+    if let FaultAction::ResetAfter { .. } = action {
+        // A misbehaving peer: declare a body, send part of it, vanish.
+        // The server must treat this as one cheap failed read, not a
+        // wedged handler.
+        if let Ok(mut s) = std::net::TcpStream::connect(addr) {
+            let _ = std::io::Write::write_all(
+                &mut s,
+                b"POST /infer HTTP/1.1\r\ncontent-length: 4096\r\n\r\n{\"input\":[0.1,",
+            );
+        }
+        return 2;
+    }
+    match HttpClient::connect(addr).and_then(|mut c| c.post("/infer", body)) {
+        Ok(resp) if resp.status == 200 => 0,
+        Ok(resp) if resp.status == 503 => 1,
+        _ => 3,
+    }
+}
+
+/// Slams the server with `clients` concurrent one-shot connections — a
+/// seeded mix of real `/infer` requests and rude mid-body hangups — and
+/// tallies `(ok, shed, aborted, failed)`. With `retry_until_shed`, the
+/// flood reruns with derived seeds (bounded at 5 rounds) until at least
+/// one 503 lands, so smoke runs never flake on a lucky thread schedule.
+fn flood(
+    addr: &str,
+    clients: usize,
+    seed: u64,
+    dims: usize,
+    retry_until_shed: bool,
+) -> Result<(u64, u64, u64, u64), CliError> {
+    let body = Arc::new(infer_body(&ramp_input(dims)));
+    let counts = Arc::new(Monitor::new((0u64, 0u64, 0u64, 0u64)));
+    for round in 0..5u64 {
+        let plan = FaultPlan::seeded(seed.wrapping_add(round));
+        let mut handles = Vec::with_capacity(clients);
+        for i in 0..clients {
+            let addr = addr.to_string();
+            let body = Arc::clone(&body);
+            let counts = Arc::clone(&counts);
+            let action = plan.action(i as u64);
+            let handle = rt::spawn("flood", move || {
+                let slot = flood_client(&addr, action, &body);
+                counts.update(|c| match slot {
+                    0 => c.0 += 1,
+                    1 => c.1 += 1,
+                    2 => c.2 += 1,
+                    _ => c.3 += 1,
+                });
+            })
+            .map_err(|e| format!("cannot spawn flood client: {e}"))?;
+            handles.push(handle);
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        if !retry_until_shed || counts.with(|c| c.1 > 0) {
+            break;
+        }
+    }
+    Ok(counts.with(|c| *c))
+}
+
 fn cmd_probe(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let addr = require(flags, "addr")?;
     let connect = || {
@@ -319,6 +403,34 @@ fn cmd_probe(flags: &HashMap<String, String>) -> Result<(), CliError> {
         eprintln!("serve.request_ns p50={p50}ns p99={p99}ns");
     }
 
+    if let Some(raw) = flags.get("flood") {
+        let clients: usize = raw
+            .parse()
+            .map_err(|e| format!("invalid value {raw:?} for --flood: {e}"))?;
+        let clients = clients.max(1);
+        let seed: u64 = get(flags, "seed", 42u64)?;
+        let dims: usize = get(flags, "dims", 784usize)?;
+        let expect_shed = flags.contains_key("expect-shed");
+        let counts = flood(addr, clients, seed, dims, expect_shed)?;
+        println!(
+            "{{\"flood\":{{\"clients\":{},\"ok\":{},\"shed\":{},\"aborted\":{},\"failed\":{}}}}}",
+            clients, counts.0, counts.1, counts.2, counts.3
+        );
+        if expect_shed && counts.1 == 0 {
+            return Err(CliError::from(
+                "--expect-shed: the flood never drew a 503 out of the server".to_string(),
+            ));
+        }
+        // The whole point of shedding is that the server survives it.
+        let resp = connect()?.get("/healthz").map_err(|e| e.to_string())?;
+        if resp.status != 200 {
+            return Err(CliError::from(format!(
+                "/healthz answered {} after the flood — the server did not stay live",
+                resp.status
+            )));
+        }
+    }
+
     if flags.contains_key("shutdown") {
         let resp = connect()?
             .post("/shutdown", "")
@@ -337,11 +449,14 @@ fn cmd_probe(flags: &HashMap<String, String>) -> Result<(), CliError> {
 fn usage() -> String {
     "usage: dropback-serve <serve|prep|probe> [--flags]\n\
      \x20 serve --dir DIR [--addr 127.0.0.1:0] [--addr-file PATH] [--max-batch 8]\n\
-     \x20       [--flush-ms 2] [--poll-ms 50] [--queue-cap 256] [--threads N] [--quiet]\n\
+     \x20       [--flush-ms 2] [--poll-ms 50] [--queue-cap 256] [--max-conns 256]\n\
+     \x20       [--io-timeout-ms 5000] [--deadline-ms 2000] [--drain-ms 2000]\n\
+     \x20       [--retry-after-s 1] [--threads N] [--quiet]\n\
      \x20 prep  --dir DIR [--model mnist-100-100] [--epochs 2] [--budget 20000]\n\
      \x20       [--seed 42] [--samples 512] [--quiet]\n\
      \x20 probe --addr HOST:PORT [--healthz] [--infer [--dims 784] [--repeat 1]]\n\
-     \x20       [--expect-epoch N] [--assert-latency] [--shutdown]"
+     \x20       [--expect-epoch N] [--assert-latency] [--shutdown]\n\
+     \x20       [--flood N [--seed 42] [--expect-shed]]"
         .to_string()
 }
 

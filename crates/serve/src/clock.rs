@@ -1,13 +1,17 @@
-//! The serve crate's one sanctioned clock: flush/poll deadlines.
+//! The serve crate's one sanctioned clock: flush/poll deadlines and
+//! retry pacing.
 //!
 //! The `dropback-lint` `wall-clock` rule bans `Instant` everywhere except
 //! the telemetry span/trace modules and this file. Serving genuinely
-//! needs wall time in two places — the micro-batch flush deadline and the
-//! watcher poll interval — so both take their time from the [`Deadline`]
-//! type defined here, and no other serve module ever names the clock.
-//! Timings destined for metrics still go through
+//! needs wall time in three places — the micro-batch flush deadline, the
+//! watcher poll interval, and per-request deadlines — so all of them take
+//! their time from the [`Deadline`] type defined here, and no other serve
+//! module ever names the clock. Retry pacing ([`Backoff`]) also lives
+//! here: it is pure duration arithmetic over a seeded PRNG, so waits stay
+//! replayable. Timings destined for metrics still go through
 //! [`dropback_telemetry::Stopwatch`] like the rest of the workspace.
 
+use dropback::prng::Xorshift64;
 use std::time::{Duration, Instant};
 
 /// A point in the future, measured on the monotonic clock.
@@ -40,6 +44,62 @@ impl Deadline {
     }
 }
 
+/// Seeded-jitter exponential backoff for transient-failure retry loops.
+///
+/// Each consecutive failure doubles the base delay up to `cap`; the
+/// actual wait is jittered uniformly into the upper half of that window
+/// (`[cap'/2, cap']`) so a herd of clients shedding off the same
+/// overloaded server does not reconverge in lockstep. The jitter stream
+/// is a [`Xorshift64`] seeded by the caller, never the OS — two runs
+/// with the same seed wait out the exact same sequence, so a chaos
+/// scenario that involves retry timing replays bit-for-bit.
+#[derive(Debug)]
+pub struct Backoff {
+    rng: Xorshift64,
+    base: Duration,
+    cap: Duration,
+    consecutive: u32,
+}
+
+impl Backoff {
+    /// A backoff starting at `base` per failure, never exceeding `cap`.
+    pub fn new(seed: u64, base: Duration, cap: Duration) -> Self {
+        Self {
+            rng: Xorshift64::new(seed),
+            base: base.max(Duration::from_micros(1)),
+            cap: cap.max(base),
+            consecutive: 0,
+        }
+    }
+
+    /// Consecutive failures recorded since the last [`Backoff::reset`].
+    pub fn failures(&self) -> u32 {
+        self.consecutive
+    }
+
+    /// Records one more failure and returns how long to wait before the
+    /// next attempt.
+    pub fn next_delay(&mut self) -> Duration {
+        // base * 2^n, saturating well before overflow; then cap.
+        let exp = self.base.saturating_mul(
+            1u32.checked_shl(self.consecutive.min(16))
+                .unwrap_or(u32::MAX),
+        );
+        let window = exp.min(self.cap);
+        self.consecutive = self.consecutive.saturating_add(1);
+        let nanos = window.as_nanos().min(u64::MAX as u128) as u64;
+        // Upper-half jitter: [nanos/2, nanos].
+        let half = nanos / 2;
+        Duration::from_nanos(half + self.rng.next_u64() % (nanos - half + 1))
+    }
+
+    /// Clears the failure streak after a success, so the next failure
+    /// starts back at the base delay.
+    pub fn reset(&mut self) {
+        self.consecutive = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,5 +116,41 @@ mod tests {
         let d = Deadline::after(Duration::ZERO);
         assert!(d.expired());
         assert_eq!(d.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_within_jitter_windows() {
+        let mut b = Backoff::new(7, Duration::from_millis(10), Duration::from_secs(1));
+        for (i, cap_ms) in [10u64, 20, 40, 80].into_iter().enumerate() {
+            let d = b.next_delay();
+            assert!(
+                d >= Duration::from_millis(cap_ms / 2) && d <= Duration::from_millis(cap_ms),
+                "failure {i}: {d:?} outside [{}ms/2, {cap_ms}ms]",
+                cap_ms
+            );
+        }
+        assert_eq!(b.failures(), 4);
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_cap() {
+        let mut b = Backoff::new(3, Duration::from_millis(10), Duration::from_millis(50));
+        for _ in 0..40 {
+            assert!(b.next_delay() <= Duration::from_millis(50));
+        }
+    }
+
+    #[test]
+    fn backoff_is_replayable_from_its_seed_and_resets() {
+        let mut a = Backoff::new(99, Duration::from_millis(5), Duration::from_secs(1));
+        let mut b = Backoff::new(99, Duration::from_millis(5), Duration::from_secs(1));
+        let first: Vec<_> = (0..8).map(|_| a.next_delay()).collect();
+        let again: Vec<_> = (0..8).map(|_| b.next_delay()).collect();
+        assert_eq!(first, again, "same seed, same waits");
+
+        a.reset();
+        assert_eq!(a.failures(), 0);
+        // After a reset the window is back at the base.
+        assert!(a.next_delay() <= Duration::from_millis(5));
     }
 }

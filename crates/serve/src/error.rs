@@ -24,8 +24,20 @@ pub enum ServeError {
     UnsupportedModel(String),
     /// The client sent something the server cannot act on (HTTP 400).
     BadRequest(String),
+    /// The request's header block exceeds the parser's bounds (HTTP 431).
+    HeadersTooLarge(String),
+    /// The declared body exceeds the accepted maximum (HTTP 413).
+    BodyTooLarge {
+        /// Bytes the client declared.
+        got: usize,
+        /// Largest body the server accepts.
+        limit: usize,
+    },
     /// The bounded request queue is full (HTTP 503).
     Overloaded,
+    /// The request's deadline passed before it reached the model; it was
+    /// shed unevaluated (HTTP 503 — the server is overloaded, not broken).
+    DeadlineExceeded,
     /// The server is shutting down; the request was not evaluated.
     ShuttingDown,
 }
@@ -35,9 +47,17 @@ impl ServeError {
     pub fn http_status(&self) -> u16 {
         match self {
             ServeError::BadRequest(_) => 400,
-            ServeError::Overloaded | ServeError::ShuttingDown => 503,
+            ServeError::BodyTooLarge { .. } => 413,
+            ServeError::HeadersTooLarge(_) => 431,
+            ServeError::Overloaded | ServeError::DeadlineExceeded | ServeError::ShuttingDown => 503,
             _ => 500,
         }
+    }
+
+    /// Whether this error is server pressure the client should retry
+    /// after a pause (everything the server answers 503 + `Retry-After`).
+    pub fn is_pressure(&self) -> bool {
+        self.http_status() == 503
     }
 }
 
@@ -59,9 +79,20 @@ impl std::fmt::Display for ServeError {
                  the MLP zoo entries (mnist-100-100, lenet-300-100)"
             ),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::HeadersTooLarge(msg) => {
+                write!(f, "request header block refused: {msg}")
+            }
+            ServeError::BodyTooLarge { got, limit } => {
+                write!(f, "body of {got} bytes exceeds the {limit}-byte limit")
+            }
             ServeError::Overloaded => {
                 write!(f, "request queue is full; retry later or raise --queue-cap")
             }
+            ServeError::DeadlineExceeded => write!(
+                f,
+                "request deadline passed before evaluation; server is \
+                 overloaded — retry with backoff"
+            ),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
         }
     }
@@ -94,8 +125,23 @@ mod tests {
     #[test]
     fn statuses_map_client_faults_to_4xx_and_pressure_to_503() {
         assert_eq!(ServeError::BadRequest("x".into()).http_status(), 400);
+        assert_eq!(ServeError::HeadersTooLarge("x".into()).http_status(), 431);
+        assert_eq!(
+            ServeError::BodyTooLarge { got: 9, limit: 1 }.http_status(),
+            413
+        );
         assert_eq!(ServeError::Overloaded.http_status(), 503);
+        assert_eq!(ServeError::DeadlineExceeded.http_status(), 503);
         assert_eq!(ServeError::ShuttingDown.http_status(), 503);
+        for pressure in [
+            ServeError::Overloaded,
+            ServeError::DeadlineExceeded,
+            ServeError::ShuttingDown,
+        ] {
+            assert!(pressure.is_pressure(), "{pressure} invites a retry");
+        }
+        assert!(!ServeError::BadRequest("x".into()).is_pressure());
+        assert!(!ServeError::BodyTooLarge { got: 9, limit: 1 }.is_pressure());
         assert_eq!(ServeError::NoSnapshot("/tmp".into()).http_status(), 500);
         assert_eq!(
             ServeError::UnsupportedModel("vgg-s-nano".into()).http_status(),

@@ -57,13 +57,26 @@ impl Request {
     }
 }
 
-/// Status line + body of a parsed HTTP response (client side).
+/// Status line, headers, and body of a parsed HTTP response (client
+/// side).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatusLine {
     /// Numeric status code.
     pub status: u16,
+    /// Header name/value pairs in arrival order; names lowercased.
+    pub headers: Headers,
     /// Response body as UTF-8 (all serve endpoints speak JSON).
     pub body: String,
+}
+
+impl StatusLine {
+    /// The first value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Reads one line up to CRLF (or bare LF), rejecting oversized lines.
@@ -88,7 +101,7 @@ fn read_line(r: &mut impl BufRead) -> Result<Option<String>, ServeError> {
                     return Ok(Some(text));
                 }
                 if line.len() >= MAX_LINE {
-                    return Err(ServeError::BadRequest(format!(
+                    return Err(ServeError::HeadersTooLarge(format!(
                         "header line exceeds {MAX_LINE} bytes"
                     )));
                 }
@@ -110,7 +123,7 @@ fn read_headers_and_body(r: &mut impl BufRead) -> Result<(Headers, Vec<u8>), Ser
             break;
         }
         if headers.len() >= MAX_HEADERS {
-            return Err(ServeError::BadRequest(format!(
+            return Err(ServeError::HeadersTooLarge(format!(
                 "more than {MAX_HEADERS} headers"
             )));
         }
@@ -126,9 +139,10 @@ fn read_headers_and_body(r: &mut impl BufRead) -> Result<(Headers, Vec<u8>), Ser
         None => 0,
     };
     if length > MAX_BODY {
-        return Err(ServeError::BadRequest(format!(
-            "body of {length} bytes exceeds the {MAX_BODY}-byte limit"
-        )));
+        return Err(ServeError::BodyTooLarge {
+            got: length,
+            limit: MAX_BODY,
+        });
     }
     let mut body = vec![0u8; length];
     r.read_exact(&mut body)?;
@@ -177,6 +191,8 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
@@ -188,13 +204,36 @@ fn reason(status: u16) -> &'static str {
 ///
 /// Propagates socket write failures.
 pub fn write_response(w: &mut impl Write, status: u16, body: &str) -> std::io::Result<()> {
+    write_response_with(w, status, &[], body)
+}
+
+/// Writes a complete JSON response carrying extra headers (e.g.
+/// `Retry-After` on a load-shedding 503).
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response_with(
+    w: &mut impl Write,
+    status: u16,
+    extra: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
     // One buffer, one write: interleaving small header writes with the
     // body on a raw TcpStream triggers Nagle/delayed-ACK stalls.
-    let msg = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+    let mut msg = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
         reason(status),
         body.len()
     );
+    for (name, value) in extra {
+        msg.push_str(name);
+        msg.push_str(": ");
+        msg.push_str(value);
+        msg.push_str("\r\n");
+    }
+    msg.push_str("\r\n");
+    msg.push_str(body);
     w.write_all(msg.as_bytes())?;
     w.flush()
 }
@@ -240,10 +279,14 @@ pub fn read_response(r: &mut impl BufRead) -> Result<StatusLine, ServeError> {
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| ServeError::BadRequest(format!("malformed status line {line:?}")))?;
-    let (_, body) = read_headers_and_body(r)?;
+    let (headers, body) = read_headers_and_body(r)?;
     let body = String::from_utf8(body)
         .map_err(|_| ServeError::BadRequest("response body is not UTF-8".into()))?;
-    Ok(StatusLine { status, body })
+    Ok(StatusLine {
+        status,
+        headers,
+        body,
+    })
 }
 
 #[cfg(test)]
@@ -290,11 +333,36 @@ mod tests {
             &b"GET /x HTTP/9.9\r\n\r\n"[..],
             &b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n"[..],
             &b"POST /x HTTP/1.1\r\nContent-Length: pony\r\n\r\n"[..],
-            &b"POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"[..],
         ] {
             let err = parse(raw).unwrap_err();
             assert_eq!(err.http_status(), 400, "{raw:?} should be a 400: {err}");
         }
+    }
+
+    #[test]
+    fn oversized_declared_body_is_a_413_before_any_read() {
+        // No body bytes follow the headers: the refusal must come from
+        // the declared length alone, never from buffering the payload.
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n").unwrap_err();
+        assert_eq!(err.http_status(), 413, "{err}");
+        assert!(matches!(
+            err,
+            ServeError::BodyTooLarge {
+                got: 99_999_999,
+                limit: MAX_BODY
+            }
+        ));
+    }
+
+    #[test]
+    fn too_many_headers_is_a_431() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADERS + 2) {
+            raw.extend(format!("x-h{i}: v\r\n").into_bytes());
+        }
+        raw.extend(b"\r\n");
+        let err = parse(&raw).unwrap_err();
+        assert_eq!(err.http_status(), 431, "{err}");
     }
 
     #[test]
@@ -308,13 +376,22 @@ mod tests {
         let mut wire = Vec::new();
         write_response(&mut wire, 200, "{\"ok\":true}").unwrap();
         let parsed = read_response(&mut BufReader::new(&wire[..])).unwrap();
-        assert_eq!(
-            parsed,
-            StatusLine {
-                status: 200,
-                body: "{\"ok\":true}".into()
-            }
-        );
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.body, "{\"ok\":true}");
+        assert_eq!(parsed.header("content-type"), Some("application/json"));
+    }
+
+    #[test]
+    fn extra_headers_ride_the_response_and_parse_back() {
+        let mut wire = Vec::new();
+        write_response_with(&mut wire, 503, &[("Retry-After", "2".into())], "{}").unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("\r\nRetry-After: 2\r\n"));
+        let parsed = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(parsed.status, 503);
+        assert_eq!(parsed.header("retry-after"), Some("2"));
+        assert_eq!(parsed.header("nope"), None);
     }
 
     #[test]
@@ -333,6 +410,7 @@ mod tests {
         raw.extend(std::iter::repeat_n(b'a', MAX_LINE + 10));
         raw.extend(b" HTTP/1.1\r\n\r\n");
         let err = parse(&raw).unwrap_err();
-        assert_eq!(err.http_status(), 400);
+        assert_eq!(err.http_status(), 431);
+        assert!(matches!(err, ServeError::HeadersTooLarge(_)));
     }
 }

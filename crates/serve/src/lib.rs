@@ -19,7 +19,16 @@
 //!   the worker pool ([`batch`]),
 //! * reports latency, throughput, batch-fill, and swap counters through
 //!   the existing telemetry stack (`serve.*` metrics, spans visible in
-//!   `dropback-trace`).
+//!   `dropback-trace`),
+//! * **defends itself under overload**: a connection cap and bounded
+//!   queue shed excess load with `503` + `Retry-After`, every request
+//!   carries a deadline that sheds it *before* inference once expired,
+//!   socket timeouts bound slow-loris clients, and shutdown is a
+//!   two-phase graceful drain ([`server`], `serve.shed.*` counters),
+//! * and proves all of that under **deterministic fault injection**: a
+//!   seeded [`dropback::FaultPlan`] can wrap every accepted socket in a
+//!   [`dropback::FaultStream`] (stalls, resets, dribble, bit-flips) via
+//!   [`rt::ChaosHook`] — see `crates/serve/tests/chaos.rs`.
 //!
 //! Two modules deliberately own otherwise-forbidden capabilities, and the
 //! `dropback-lint` allowlists name them file-by-file: [`clock`] is the
@@ -45,7 +54,9 @@ pub mod watcher;
 
 pub use batch::{BatchConfig, BatchQueue, InferReply};
 pub use client::HttpClient;
+pub use clock::{Backoff, Deadline};
 pub use error::ServeError;
 pub use http::{Request, StatusLine};
 pub use model::{ModelSlot, ServingModel};
+pub use rt::ChaosHook;
 pub use server::{Server, ServerConfig};

@@ -14,13 +14,19 @@
 //! locks, condition variables, and atomics live only in the sanctioned
 //! concurrency modules, and this file is serve's. [`Monitor`] (a
 //! mutex/condvar pair behind a closure API) and [`Swap`] (a read-mostly
-//! `Arc` slot) are the two shapes serve needs; `batch.rs` queues on a
+//! `Arc` slot) are the two base shapes; `batch.rs` queues on a
 //! `Monitor`, `model.rs` hot-swaps through a `Swap`, and neither names a
-//! lock type again. Both primitives ride out lock poisoning by taking
-//! the guard anyway — a panicked serve thread must not wedge every other
-//! request behind a `PoisonError`.
+//! lock type again. The overload layer builds three more primitives on
+//! `Monitor`: [`Shutdown`] (the two-phase running → draining → stopped
+//! latch), [`Gate`] (in-flight request counting for graceful drain), and
+//! [`Limiter`] (the connection cap behind admission control), plus the
+//! test-only [`ChaosHook`] that replays a seeded
+//! [`dropback::FaultPlan`] over accepted connections. All of them ride
+//! out lock poisoning by taking the guard anyway — a panicked serve
+//! thread must not wedge every other request behind a `PoisonError`.
 
 use crate::clock::Deadline;
+use dropback::{FaultAction, FaultPlan};
 use std::io;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread;
@@ -157,39 +163,226 @@ impl<T> Swap<T> {
     }
 }
 
-/// A one-way latch that tells every serve thread to wind down.
+/// Where the server is in its lifecycle; see [`Shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Running,
+    Draining,
+    Stopped,
+}
+
+/// A one-way, two-phase latch that winds the server down gracefully.
 ///
-/// Threads either poll [`Shutdown::is_set`] between requests or park in
+/// [`Shutdown::trigger`] moves `Running → Draining`: the server stops
+/// admitting new work but in-flight requests keep running; teardown then
+/// waits them out (bounded by the drain deadline) before
+/// [`Shutdown::force`] moves `Draining → Stopped` and everything exits.
+/// Both transitions are one-way — a latch never rearms.
+///
+/// Threads either poll [`Shutdown::is_set`] between requests ("should I
+/// stop taking work?" — true from `Draining` on) or park in
 /// [`Shutdown::wait_for`], which doubles as an interruptible sleep: it
 /// returns early (with `true`) the moment shutdown triggers, so a watcher
 /// sleeping out its poll interval still exits promptly.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Shutdown {
-    latch: Monitor<bool>,
+    phase: Monitor<Phase>,
+}
+
+impl Default for Shutdown {
+    fn default() -> Self {
+        Self {
+            phase: Monitor::new(Phase::Running),
+        }
+    }
 }
 
 impl Shutdown {
-    /// A latch in the armed (not yet triggered) state.
+    /// A latch in the armed (running, not yet triggered) state.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Trips the latch and wakes every parked thread.
+    /// Begins the drain phase and wakes every parked thread. In-flight
+    /// work may finish; nothing new starts.
     pub fn trigger(&self) {
-        self.latch.update(|set| *set = true);
+        self.phase.update(|p| {
+            if *p == Phase::Running {
+                *p = Phase::Draining;
+            }
+        });
     }
 
-    /// Whether the latch has been tripped.
+    /// Ends the drain phase: whatever is still in flight is out of time.
+    pub fn force(&self) {
+        self.phase.update(|p| *p = Phase::Stopped);
+    }
+
+    /// Whether the latch has been tripped (draining or stopped).
     pub fn is_set(&self) -> bool {
-        self.latch.with(|set| *set)
+        self.phase.with(|p| *p != Phase::Running)
+    }
+
+    /// Whether the server is mid-drain: no longer admitting, not yet
+    /// forced down.
+    pub fn is_draining(&self) -> bool {
+        self.phase.with(|p| *p == Phase::Draining)
+    }
+
+    /// Whether the drain window has closed.
+    pub fn is_stopped(&self) -> bool {
+        self.phase.with(|p| *p == Phase::Stopped)
     }
 
     /// Sleeps up to `d`, returning `true` immediately if shutdown
     /// triggers first (or had already triggered).
     pub fn wait_for(&self, d: Duration) -> bool {
-        self.latch
-            .wait_for_within(d, |set| set.then_some(()))
+        self.phase
+            .wait_for_within(d, |p| (*p != Phase::Running).then_some(()))
             .is_some()
+    }
+}
+
+/// An in-flight work counter the drain phase waits on.
+///
+/// Request handlers take a [`GatePass`] for the duration of each request
+/// ([`Gate::enter`]); teardown parks in [`Gate::wait_idle_within`] until
+/// every pass has dropped or the drain deadline closes. Purely advisory —
+/// a gate never blocks the request path.
+#[derive(Debug, Default)]
+pub struct Gate {
+    active: Monitor<usize>,
+}
+
+impl Gate {
+    /// An idle gate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers one in-flight request; the returned pass deregisters it
+    /// on drop (even on panic paths).
+    pub fn enter(self: &Arc<Self>) -> GatePass {
+        self.active.with(|n| *n += 1);
+        GatePass {
+            gate: Arc::clone(self),
+        }
+    }
+
+    /// Requests currently in flight.
+    pub fn active(&self) -> usize {
+        self.active.with(|n| *n)
+    }
+
+    /// Parks until every pass has dropped or `d` elapses; `true` means
+    /// the gate went idle in time.
+    pub fn wait_idle_within(&self, d: Duration) -> bool {
+        self.active
+            .wait_for_within(d, |n| (*n == 0).then_some(()))
+            .is_some()
+    }
+}
+
+/// RAII token for one in-flight request; see [`Gate`].
+#[derive(Debug)]
+pub struct GatePass {
+    gate: Arc<Gate>,
+}
+
+impl Drop for GatePass {
+    fn drop(&mut self) {
+        self.gate.active.update(|n| *n = n.saturating_sub(1));
+    }
+}
+
+/// A connection-count cap: admission control at the accept loop.
+///
+/// [`Limiter::try_acquire`] never blocks — at the cap it answers `None`
+/// and the caller sheds the connection (503 + `Retry-After`) instead of
+/// queueing it. Each admitted connection holds a [`Permit`] whose drop
+/// releases the slot, so handler exits (clean, error, or panic) can
+/// never leak capacity.
+#[derive(Debug)]
+pub struct Limiter {
+    cap: usize,
+    active: Monitor<usize>,
+}
+
+impl Limiter {
+    /// A limiter admitting at most `cap` concurrent holders.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            active: Monitor::new(0),
+        }
+    }
+
+    /// Takes a slot if one is free; `None` means shed the work.
+    pub fn try_acquire(self: &Arc<Self>) -> Option<Permit> {
+        self.active
+            .with(|n| {
+                if *n >= self.cap {
+                    false
+                } else {
+                    *n += 1;
+                    true
+                }
+            })
+            .then(|| Permit {
+                limiter: Arc::clone(self),
+            })
+    }
+
+    /// Slots currently held.
+    pub fn active(&self) -> usize {
+        self.active.with(|n| *n)
+    }
+}
+
+/// RAII token for one admitted connection; see [`Limiter`].
+#[derive(Debug)]
+pub struct Permit {
+    limiter: Arc<Limiter>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.limiter.active.update(|n| *n = n.saturating_sub(1));
+    }
+}
+
+/// Test-only chaos injection point for the accept loop.
+///
+/// A hook owns a seeded [`FaultPlan`] and hands the accept loop one
+/// [`FaultAction`] per accepted connection, in accept order; the server
+/// wraps that connection's socket halves in
+/// [`dropback::FaultStream`]s applying it. Production configs leave the
+/// hook unset — the chaos suite and the `chaos-smoke` check stage are
+/// its only intended users.
+#[derive(Debug)]
+pub struct ChaosHook {
+    plan: FaultPlan,
+    next_conn: Monitor<u64>,
+}
+
+impl ChaosHook {
+    /// A hook replaying `plan` over the server's accept order.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            next_conn: Monitor::new(0),
+        }
+    }
+
+    /// The action for the next accepted connection (advances the accept
+    /// ordinal).
+    pub fn next_action(&self) -> FaultAction {
+        let conn = self.next_conn.with(|n| {
+            let c = *n;
+            *n += 1;
+            c
+        });
+        self.plan.action(conn)
     }
 }
 
@@ -224,6 +417,80 @@ mod tests {
         assert!(latch.is_set());
         // After triggering, waits return instantly.
         assert!(latch.wait_for(Duration::from_secs(30)));
+    }
+
+    #[test]
+    fn shutdown_phases_are_one_way() {
+        let s = Shutdown::new();
+        assert!(!s.is_set());
+        assert!(!s.is_draining());
+        assert!(!s.is_stopped());
+
+        s.trigger();
+        assert!(s.is_set());
+        assert!(s.is_draining());
+        assert!(!s.is_stopped());
+        // Re-triggering mid-drain is a no-op, not a regression.
+        s.trigger();
+        assert!(s.is_draining());
+
+        s.force();
+        assert!(s.is_set());
+        assert!(!s.is_draining());
+        assert!(s.is_stopped());
+        // A late trigger cannot resurrect the drain phase.
+        s.trigger();
+        assert!(s.is_stopped());
+    }
+
+    #[test]
+    fn gate_tracks_passes_and_reports_idle() {
+        let gate = Arc::new(Gate::new());
+        assert!(gate.wait_idle_within(Duration::ZERO), "fresh gate is idle");
+
+        let pass = gate.enter();
+        let other = gate.enter();
+        assert_eq!(gate.active(), 2);
+        assert!(
+            !gate.wait_idle_within(Duration::from_millis(5)),
+            "held gate must time out"
+        );
+
+        drop(pass);
+        assert_eq!(gate.active(), 1);
+        let waiter = Arc::clone(&gate);
+        let h = spawn("drain", move || {
+            assert!(waiter.wait_idle_within(Duration::from_secs(30)));
+        })
+        .unwrap();
+        drop(other);
+        h.join().unwrap();
+        assert_eq!(gate.active(), 0);
+    }
+
+    #[test]
+    fn limiter_sheds_at_the_cap_and_permits_release_on_drop() {
+        let limiter = Arc::new(Limiter::new(2));
+        let a = limiter.try_acquire().expect("slot 1");
+        let _b = limiter.try_acquire().expect("slot 2");
+        assert_eq!(limiter.active(), 2);
+        assert!(limiter.try_acquire().is_none(), "cap reached: shed");
+
+        drop(a);
+        assert_eq!(limiter.active(), 1);
+        assert!(limiter.try_acquire().is_some(), "released slot is reusable");
+    }
+
+    #[test]
+    fn chaos_hook_replays_its_plan_in_accept_order() {
+        let plan = FaultPlan::cycle(vec![
+            FaultAction::None,
+            FaultAction::ResetAfter { bytes: 5 },
+        ]);
+        let hook = ChaosHook::new(plan.clone());
+        assert_eq!(hook.next_action(), plan.action(0));
+        assert_eq!(hook.next_action(), plan.action(1));
+        assert_eq!(hook.next_action(), plan.action(2));
     }
 
     #[test]

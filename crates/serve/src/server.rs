@@ -14,16 +14,37 @@
 //! and all torn down by [`Server::stop`] / [`Server::wait`]. Batched
 //! forwards run on the tensor worker pool, so `DROPBACK_THREADS` governs
 //! compute parallelism independently of connection count.
+//!
+//! # Overload behavior
+//!
+//! The server defends itself at three rings, each counted under
+//! `serve.shed.*` (see `docs/SERVING.md`):
+//!
+//! 1. **Connections** — at most [`ServerConfig::max_conns`] concurrent
+//!    connections; excess ones are answered `503` + `Retry-After` and
+//!    closed instead of spawning a handler.
+//! 2. **Queue depth** — the batch queue refuses past
+//!    [`BatchConfig::queue_cap`] (`503`).
+//! 3. **Deadlines** — each `/infer` carries a
+//!    [`ServerConfig::request_deadline`]; requests that expire while
+//!    queued are shed *before* inference, and socket I/O is bounded by
+//!    [`ServerConfig::io_timeout`] so a slow-loris client costs one
+//!    handler for a bounded time (`serve.timeout.{read,write}`).
+//!
+//! Shutdown is a two-phase drain: stop admitting, let in-flight requests
+//! finish inside [`ServerConfig::drain`], then force-close whatever is
+//! left (`serve.drained` / `serve.drain.forced` in the final digest).
 
 use crate::batch::{BatchConfig, BatchQueue};
+use crate::clock::Deadline;
 use crate::error::ServeError;
 use crate::http::{self, Request};
 use crate::model::{ModelSlot, ServingModel};
-use crate::rt::{self, Shutdown};
+use crate::rt::{self, ChaosHook, Gate, Limiter, Shutdown};
 use crate::watcher;
-use dropback::CheckpointStore;
+use dropback::{CheckpointStore, FaultAction, FaultStream};
 use dropback_telemetry::{Collector, Json, Span, Stopwatch, Telemetry, TelemetrySnapshot};
-use std::io::BufReader;
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
@@ -38,6 +59,23 @@ pub struct ServerConfig {
     pub batch: BatchConfig,
     /// How often the watcher polls the snapshot directory.
     pub poll: Duration,
+    /// Most concurrent connections admitted; excess ones are shed with
+    /// `503` + `Retry-After` at the accept loop.
+    pub max_conns: usize,
+    /// Socket read/write timeout per connection — the slow-loris bound.
+    pub io_timeout: Duration,
+    /// Deadline each `/infer` request carries through the batch queue;
+    /// requests older than this are shed unevaluated.
+    pub request_deadline: Duration,
+    /// How long graceful shutdown waits for in-flight requests before
+    /// force-closing them.
+    pub drain: Duration,
+    /// The `Retry-After` hint attached to every shedding `503`.
+    pub retry_after: Duration,
+    /// Test-only fault injection: every accepted connection's socket is
+    /// wrapped in a [`FaultStream`] applying the hook's next planned
+    /// action. Production configs leave this `None`.
+    pub chaos: Option<Arc<ChaosHook>>,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +84,12 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             batch: BatchConfig::default(),
             poll: Duration::from_millis(50),
+            max_conns: 256,
+            io_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(2),
+            drain: Duration::from_secs(2),
+            retry_after: Duration::from_secs(1),
+            chaos: None,
         }
     }
 }
@@ -56,6 +100,20 @@ struct Ctx {
     queue: Arc<BatchQueue>,
     collector: Arc<Collector>,
     shutdown: Arc<Shutdown>,
+    gate: Arc<Gate>,
+    limiter: Arc<Limiter>,
+    chaos: Option<Arc<ChaosHook>>,
+    io_timeout: Duration,
+    request_deadline: Duration,
+    /// Pre-rendered `Retry-After` value (whole seconds, at least 1).
+    retry_after: String,
+}
+
+impl Ctx {
+    fn shed(&self, ring: &str) {
+        self.collector.counter("serve.shed").inc();
+        self.collector.counter(&format!("serve.shed.{ring}")).inc();
+    }
 }
 
 /// A running server. Dropping it does **not** stop the threads; call
@@ -67,6 +125,8 @@ pub struct Server {
     collector: Arc<Collector>,
     shutdown: Arc<Shutdown>,
     queue: Arc<BatchQueue>,
+    gate: Arc<Gate>,
+    drain: Duration,
     handles: Vec<rt::JoinHandle>,
 }
 
@@ -87,6 +147,18 @@ impl Server {
         collector
             .counter("serve.swap_rejected")
             .add(store.take_skipped().len() as u64);
+        // Register the overload/drain counters up front so every digest
+        // carries them, zeros included — dashboards and the chaos-smoke
+        // stage grep for them unconditionally.
+        for name in [
+            "serve.shed",
+            "serve.drained",
+            "serve.drain.forced",
+            "serve.timeout.read",
+            "serve.timeout.write",
+        ] {
+            collector.counter(name).add(0);
+        }
 
         // The store names snapshots state-{epoch:08}.dbk2, so the loaded
         // state's epoch identifies its source file.
@@ -103,6 +175,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(Shutdown::new());
         let queue = Arc::new(BatchQueue::new(cfg.batch));
+        let gate = Arc::new(Gate::new());
 
         let mut handles = Vec::new();
         handles.push(queue.start_worker(Arc::clone(&slot), Arc::clone(&collector))?);
@@ -120,6 +193,12 @@ impl Server {
             queue: Arc::clone(&queue),
             collector: Arc::clone(&collector),
             shutdown: Arc::clone(&shutdown),
+            gate: Arc::clone(&gate),
+            limiter: Arc::new(Limiter::new(cfg.max_conns.max(1))),
+            chaos: cfg.chaos.clone(),
+            io_timeout: cfg.io_timeout,
+            request_deadline: cfg.request_deadline,
+            retry_after: cfg.retry_after.as_secs().max(1).to_string(),
         });
         let accept_shutdown = Arc::clone(&shutdown);
         handles.push(rt::spawn("accept", move || {
@@ -132,6 +211,8 @@ impl Server {
             collector,
             shutdown,
             queue,
+            gate,
+            drain: cfg.drain,
             handles,
         })
     }
@@ -157,23 +238,40 @@ impl Server {
     }
 
     /// Blocks until something triggers shutdown (`POST /shutdown`,
-    /// [`Server::trigger_shutdown`]), then tears the threads down and
-    /// returns the final telemetry snapshot.
+    /// [`Server::trigger_shutdown`]), then drains and tears the threads
+    /// down and returns the final telemetry snapshot.
     pub fn wait(self) -> TelemetrySnapshot {
         while !self.shutdown.wait_for(Duration::from_millis(500)) {}
         self.teardown()
     }
 
-    /// Stops the server now and returns the final telemetry snapshot.
+    /// Stops the server now (graceful drain included) and returns the
+    /// final telemetry snapshot.
     pub fn stop(self) -> TelemetrySnapshot {
         self.shutdown.trigger();
         self.teardown()
     }
 
+    /// Two-phase wind-down: stop admitting, drain in-flight requests
+    /// within the drain deadline, then force-close the stragglers.
     fn teardown(self) -> TelemetrySnapshot {
+        // Phase 1: stop admitting. New /infer requests are shed with 503
+        // from here on; connections are still *accepted* so the refusal
+        // is a typed response, not a vanished socket.
+        self.shutdown.trigger();
+        // Phase 2: drain. In-flight requests hold gate passes; the batch
+        // worker is still running, so they complete normally — we just
+        // bound how long that may take.
+        self.gate.wait_idle_within(self.drain);
+        // Phase 3: force. Whatever is still in flight is out of time:
+        // refuse everything left in the queue (their handlers answer 503)
+        // and stop the worker. The accept loop is blocked in accept();
+        // poke it awake so it observes the stop and exits.
+        self.collector
+            .counter("serve.drain.forced")
+            .add(self.gate.active() as u64);
         self.queue.stop();
-        // The accept loop is blocked in accept(); poke it awake so it
-        // observes the tripped latch and exits.
+        self.shutdown.force();
         if let Ok(s) = TcpStream::connect(self.addr) {
             drop(s);
         }
@@ -187,14 +285,34 @@ impl Server {
 fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>, shutdown: &Shutdown) {
     loop {
         let conn = listener.accept();
-        if shutdown.is_set() {
+        // Keep accepting while *draining* — late arrivals deserve a typed
+        // 503, not a vanished socket. Only a full stop ends the loop.
+        if shutdown.is_stopped() {
             return;
         }
         match conn {
             Ok((stream, _)) => {
-                let ctx = Arc::clone(ctx);
                 ctx.collector.counter("serve.connections").inc();
-                if rt::spawn("conn", move || handle_connection(stream, &ctx)).is_err() {
+                // Admission control: over the cap, the connection is
+                // answered 503 + Retry-After right here — no handler
+                // thread, no queue slot.
+                let Some(permit) = ctx.limiter.try_acquire() else {
+                    shed_connection(stream, ctx);
+                    continue;
+                };
+                let action = ctx
+                    .chaos
+                    .as_ref()
+                    .map_or(FaultAction::None, |hook| hook.next_action());
+                let ctx = Arc::clone(ctx);
+                if rt::spawn("conn", move || {
+                    // The permit rides the handler thread; dropping it on
+                    // any exit path frees the connection slot.
+                    let _permit = permit;
+                    handle_connection(stream, action, &ctx);
+                })
+                .is_err()
+                {
                     // Thread exhaustion: the connection drops; the client
                     // retries. Nothing else to do without a thread.
                 }
@@ -206,31 +324,95 @@ fn accept_loop(listener: &TcpListener, ctx: &Arc<Ctx>, shutdown: &Shutdown) {
     }
 }
 
-/// Serves one keep-alive connection until the peer closes, asks to
-/// close, sends garbage, or shutdown trips.
-fn handle_connection(stream: TcpStream, ctx: &Ctx) {
-    // Responses are small and latency-bound; never let them sit in
-    // Nagle's buffer waiting for the client's ACK.
+/// Refuses one over-cap connection with `503` + `Retry-After` without
+/// spawning a handler for it.
+fn shed_connection(stream: TcpStream, ctx: &Ctx) {
+    ctx.shed("conn");
+    let mut stream = stream;
     let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else {
+    // Bound the refusal write too: the accept loop must never block on a
+    // peer that connected and went away.
+    let _ = stream.set_write_timeout(Some(ctx.io_timeout));
+    let _ = respond(&mut stream, 503, &error_body(&ServeError::Overloaded), ctx);
+}
+
+/// Writes one response, attaching `Retry-After` to every shedding 503.
+fn respond(w: &mut impl Write, status: u16, body: &str, ctx: &Ctx) -> std::io::Result<()> {
+    if status == 503 {
+        http::write_response_with(w, status, &[("Retry-After", ctx.retry_after.clone())], body)
+    } else {
+        http::write_response(w, status, body)
+    }
+}
+
+/// Whether an error is the socket timing out (the slow-loris bound
+/// firing) rather than the peer misbehaving at the protocol level.
+/// Platforms disagree on the kind a timed-out socket read reports, so
+/// both are checked.
+fn is_timeout_kind(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    )
+}
+
+fn is_read_timeout(e: &ServeError) -> bool {
+    matches!(e, ServeError::Io(io) if is_timeout_kind(io.kind()))
+}
+
+/// Applies socket options, wires in the chaos wrapper when armed, and
+/// hands the stream to the generic keep-alive loop.
+fn handle_connection(stream: TcpStream, action: FaultAction, ctx: &Ctx) {
+    // Responses are small and latency-bound; never let them sit in
+    // Nagle's buffer waiting for the client's ACK. The read/write
+    // timeouts are the slow-loris bound: a peer that stops moving bytes
+    // costs this handler at most io_timeout before the connection dies.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(ctx.io_timeout));
+    let _ = stream.set_write_timeout(Some(ctx.io_timeout));
+    let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut write_half = write_half;
-    let mut reader = BufReader::new(stream);
+    if action == FaultAction::None {
+        serve_connection(BufReader::new(read_half), stream, ctx);
+    } else {
+        // Each half keeps its own fault position; the same action on
+        // both models one misbehaving peer.
+        serve_connection(
+            BufReader::new(FaultStream::new(read_half, action)),
+            FaultStream::new(stream, action),
+            ctx,
+        );
+    }
+}
+
+/// Serves one keep-alive connection until the peer closes, asks to
+/// close, sends garbage, times out, or shutdown trips. Generic over the
+/// stream halves so the chaos suite can interpose [`FaultStream`]s.
+fn serve_connection(mut reader: impl BufRead, mut writer: impl Write, ctx: &Ctx) {
     loop {
         let req = match http::read_request(&mut reader) {
             Ok(Some(req)) => req,
             Ok(None) => return, // clean close between requests
             Err(e) => {
+                if is_read_timeout(&e) {
+                    // A stalled client, not a protocol error: there is
+                    // nobody attentive to answer, so just hang up.
+                    ctx.collector.counter("serve.timeout.read").inc();
+                    return;
+                }
                 let status = e.http_status();
                 let body = error_body(&e);
-                let _ = http::write_response(&mut write_half, status, &body);
+                let _ = respond(&mut writer, status, &body, ctx);
                 return;
             }
         };
         let close = req.wants_close();
         let (status, body) = route(&req, ctx);
-        if http::write_response(&mut write_half, status, &body).is_err() {
+        if let Err(e) = respond(&mut writer, status, &body, ctx) {
+            if is_timeout_kind(e.kind()) {
+                ctx.collector.counter("serve.timeout.write").inc();
+            }
             return;
         }
         if close || ctx.shutdown.is_set() {
@@ -318,9 +500,22 @@ fn parse_input(body: &[u8]) -> Result<Vec<f32>, ServeError> {
 fn infer(req: &Request, ctx: &Ctx) -> (u16, String) {
     let watch = Stopwatch::started();
     ctx.collector.counter("serve.requests").inc();
-    let result = parse_input(&req.body).and_then(|input| ctx.queue.submit(input));
+    // Once the drain starts, nothing new gets in — in-flight requests
+    // (already holding gate passes) finish; arrivals are shed.
+    if ctx.shutdown.is_set() {
+        ctx.shed("drain");
+        return (503, error_body(&ServeError::ShuttingDown));
+    }
+    // The pass marks this request in flight until the reply is built, so
+    // graceful drain waits for it.
+    let _pass = ctx.gate.enter();
+    let deadline = Deadline::after(ctx.request_deadline);
+    let result = parse_input(&req.body).and_then(|input| ctx.queue.submit(input, Some(deadline)));
     let (status, body) = match result {
         Ok(reply) => {
+            if ctx.shutdown.is_draining() {
+                ctx.collector.counter("serve.drained").inc();
+            }
             let logits: Vec<Json> = reply.logits.iter().map(|&v| Json::from(v)).collect();
             let body = Json::Obj(vec![
                 ("logits".into(), Json::Arr(logits)),
@@ -332,6 +527,12 @@ fn infer(req: &Request, ctx: &Ctx) -> (u16, String) {
         }
         Err(e) => {
             ctx.collector.counter("serve.request_failed").inc();
+            match &e {
+                ServeError::Overloaded => ctx.shed("queue"),
+                ServeError::DeadlineExceeded => ctx.shed("deadline"),
+                ServeError::ShuttingDown => ctx.shed("drain"),
+                _ => {}
+            }
             (e.http_status(), error_body(&e))
         }
     };
@@ -429,12 +630,79 @@ mod tests {
         let bye = client.post("/shutdown", "").unwrap();
         assert_eq!(bye.status, 200);
         let snap = server.wait();
-        let requests = snap
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert!(counter("serve.requests").is_some_and(|v| v >= 2));
+        // The digest always carries the overload/drain counters, zeros
+        // included — the chaos-smoke stage greps for them.
+        for name in ["serve.shed", "serve.drained", "serve.drain.forced"] {
+            assert!(counter(name).is_some(), "{name} missing from digest");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn connections_past_the_cap_are_shed_with_retry_after() {
+        let dir = tmp_dir("conncap");
+        let cfg = ServerConfig {
+            max_conns: 1,
+            ..ServerConfig::default()
+        };
+        let server = Server::start(cfg, seeded_store(&dir)).unwrap();
+        let addr = server.addr();
+
+        // The first connection holds the only slot...
+        let mut held = HttpClient::connect(addr).unwrap();
+        assert_eq!(held.get("/healthz").unwrap().status, 200);
+        // ...so the second is shed at the accept loop with a hint.
+        let mut shed = HttpClient::connect(addr).unwrap();
+        let reply = shed.get("/healthz").unwrap();
+        assert_eq!(reply.status, 503);
+        assert_eq!(reply.header("retry-after"), Some("1"));
+
+        // The held connection still works: shedding is per-connection.
+        assert_eq!(held.get("/healthz").unwrap().status, 200);
+        drop(held);
+        drop(shed);
+        let snap = server.stop();
+        let shed_conns = snap
             .counters
             .iter()
-            .find(|(n, _)| n == "serve.requests")
+            .find(|(n, _)| n == "serve.shed.conn")
             .map(|(_, v)| *v);
-        assert!(requests.is_some_and(|v| v >= 2));
+        assert!(shed_conns.is_some_and(|v| v >= 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn draining_server_sheds_new_requests_and_finishes_the_digest() {
+        let dir = tmp_dir("drain");
+        let server = Server::start(ServerConfig::default(), seeded_store(&dir)).unwrap();
+        let addr = server.addr();
+        let mut client = HttpClient::connect(addr).unwrap();
+        assert_eq!(client.infer(&vec![0.5; 784]).unwrap().logits.len(), 10);
+
+        // Start the drain, then send another request on the same
+        // keep-alive connection: it must be shed, not evaluated.
+        server.trigger_shutdown();
+        let reply = client.post("/infer", "{\"input\":[0.5]}").unwrap();
+        assert_eq!(reply.status, 503);
+        assert_eq!(reply.header("retry-after"), Some("1"));
+
+        let snap = server.stop();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert!(counter("serve.shed.drain") >= 1);
+        assert_eq!(counter("serve.drain.forced"), 0, "nothing was in flight");
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -14,9 +14,18 @@
 //! (newest name changed but no newer valid generation), `serve.swap_rejected`
 //! (snapshots the fallback skipped as corrupt), `serve.swap_failed`
 //! (valid snapshot that could not be turned into a servable model),
-//! `serve.watch_errors` (directory listing failures). Gauge:
-//! `serve.model_epoch`.
+//! `serve.watch_errors` (poll failures, split into
+//! `serve.watch_errors.io` — listing/socket-level — and
+//! `serve.watch_errors.decode` — a snapshot that would not parse).
+//! Gauge: `serve.model_epoch`.
+//!
+//! A failing poll is **not** billed a bare poll interval: consecutive
+//! failures back off exponentially with seeded jitter
+//! ([`crate::clock::Backoff`]), so a wedged NFS mount costs a handful of
+//! log-spaced probes instead of a tight error loop, and the first
+//! success snaps the cadence back to the configured interval.
 
+use crate::clock::Backoff;
 use crate::error::ServeError;
 use crate::model::{ModelSlot, ServingModel};
 use crate::rt::{self, Shutdown};
@@ -82,8 +91,38 @@ fn poll_once(
     Ok(Some(candidate))
 }
 
+/// Buckets a poll failure for the `serve.watch_errors.*` counters: I/O
+/// failures (directory gone, permission flaps, network filesystems) are
+/// transient and worth backing off on; anything else means a snapshot
+/// reached the decoder and was refused.
+fn classify(e: &ServeError) -> &'static str {
+    match e {
+        ServeError::Io(_) => "io",
+        ServeError::Checkpoint(dropback::CheckpointError::Io(_)) => "io",
+        _ => "decode",
+    }
+}
+
+/// Records one poll failure and returns how long to sleep before the
+/// next attempt (the backoff's jittered delay, never shorter than the
+/// configured poll interval).
+fn note_failure(
+    e: &ServeError,
+    collector: &Collector,
+    backoff: &mut Backoff,
+    poll: Duration,
+) -> Duration {
+    collector.counter("serve.watch_errors").inc();
+    collector
+        .counter(&format!("serve.watch_errors.{}", classify(e)))
+        .inc();
+    backoff.next_delay().max(poll)
+}
+
 /// Spawns the watcher thread: polls `store` every `poll`, hot-swapping
 /// `slot` when a newer valid snapshot appears, until `stop` triggers.
+/// Consecutive poll failures stretch the interval via seeded-jitter
+/// exponential backoff; a success resets it.
 ///
 /// `last_seen` starts at the snapshot the server booted from, so the
 /// first tick does not reload it.
@@ -101,10 +140,18 @@ pub fn start(
 ) -> std::io::Result<rt::JoinHandle> {
     rt::spawn("watcher", move || {
         let mut last_seen = Some(initial_source);
-        while !stop.wait_for(poll) {
-            if poll_once(&mut store, &mut last_seen, &slot, &collector).is_err() {
-                collector.counter("serve.watch_errors").inc();
-            }
+        // The backoff seed only drives retry jitter, never results; a
+        // fixed constant keeps watcher timing replayable run to run.
+        let mut backoff = Backoff::new(0xD0_9BAC_C0FF, poll, Duration::from_secs(30));
+        let mut wait = poll;
+        while !stop.wait_for(wait) {
+            wait = match poll_once(&mut store, &mut last_seen, &slot, &collector) {
+                Ok(_) => {
+                    backoff.reset();
+                    poll
+                }
+                Err(e) => note_failure(&e, &collector, &mut backoff, poll),
+            };
         }
     })
 }
@@ -185,6 +232,55 @@ mod tests {
         poll_once(&mut store, &mut last_seen, &slot, &collector).unwrap();
         assert_eq!(collector.counter("serve.swap_noop").get(), 1);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poll_failures_are_classified_and_backed_off() {
+        use dropback::CheckpointError;
+        let io_err = ServeError::Io(std::io::Error::other("mount flapped"));
+        let store_io = ServeError::Checkpoint(CheckpointError::Io(std::io::Error::other("gone")));
+        let decode = ServeError::Checkpoint(CheckpointError::InvalidData("bad magic".into()));
+        assert_eq!(classify(&io_err), "io");
+        assert_eq!(classify(&store_io), "io");
+        assert_eq!(classify(&decode), "decode");
+
+        let collector = Collector::new();
+        let poll = Duration::from_millis(10);
+        let mut backoff = Backoff::new(5, poll, Duration::from_secs(30));
+        let mut waits = Vec::new();
+        for _ in 0..5 {
+            waits.push(note_failure(&io_err, &collector, &mut backoff, poll));
+        }
+        let decode_wait = note_failure(&decode, &collector, &mut backoff, poll);
+
+        assert_eq!(collector.counter("serve.watch_errors").get(), 6);
+        assert_eq!(collector.counter("serve.watch_errors.io").get(), 5);
+        assert_eq!(collector.counter("serve.watch_errors.decode").get(), 1);
+        assert!(
+            waits.iter().all(|w| *w >= poll),
+            "a failing poll never fires faster than the configured interval"
+        );
+        assert!(
+            decode_wait > poll * 4,
+            "six consecutive failures must stretch the interval well past \
+             the base ({decode_wait:?} vs {poll:?})"
+        );
+    }
+
+    #[test]
+    fn a_vanished_snapshot_directory_is_a_counted_error_not_a_crash() {
+        let dir = tmp_dir("vanish");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let mut tel = Telemetry::disabled();
+        let first = store.save(&state_at(1), &mut tel).unwrap();
+        let slot = ModelSlot::new(ServingModel::from_state(&state_at(1), &first).unwrap());
+        let collector = Collector::new();
+        let mut last_seen = Some(first);
+
+        fs::remove_dir_all(&dir).unwrap();
+        let err = poll_once(&mut store, &mut last_seen, &slot, &collector).unwrap_err();
+        assert_eq!(classify(&err), "io", "missing dir is an I/O flap: {err}");
+        assert_eq!(slot.get().epoch(), 1, "the serving model is untouched");
     }
 
     #[test]

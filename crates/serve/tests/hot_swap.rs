@@ -125,6 +125,7 @@ fn replies_stay_bit_identical_to_direct_inference_across_swaps_and_corruption() 
             queue_cap: 64,
         },
         poll: Duration::from_millis(10),
+        ..ServerConfig::default()
     };
     let server = Server::start(cfg, CheckpointStore::open(&dir).unwrap().keep(10)).unwrap();
     let addr = server.addr();
@@ -211,6 +212,7 @@ fn requests_in_flight_during_a_swap_complete_on_a_single_generation() {
             queue_cap: 64,
         },
         poll: Duration::from_millis(5),
+        ..ServerConfig::default()
     };
     let server = Server::start(cfg, CheckpointStore::open(&dir).unwrap().keep(10)).unwrap();
     let addr = server.addr();

@@ -70,9 +70,11 @@ echo "== trace smoke (Chrome trace export parses, spans pair up)"
 TRACE_TMP="$(mktemp -t dropback-trace-smoke.XXXXXX.json)"
 SERVE_TMP="$(mktemp -d -t dropback-serve-smoke.XXXXXX)"
 SERVE_PID=""
+CHAOS_PID=""
 cleanup() {
     rm -f "$TRACE_TMP"
     [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2> /dev/null || true
+    [ -n "$CHAOS_PID" ] && kill "$CHAOS_PID" 2> /dev/null || true
     rm -rf "$SERVE_TMP"
 }
 trap cleanup EXIT
@@ -120,5 +122,43 @@ if ! grep -q '"serve.swaps":1' "$SERVE_TMP/digest.json"; then
     cat "$SERVE_TMP/digest.json" >&2
     exit 1
 fi
+
+echo "== chaos smoke (seeded flood sheds 503s, server stays live, drain digest)"
+# Boot a deliberately tiny server (1-deep queue, slow flush, short
+# io-timeout) and slam it with a seeded flood of real requests plus rude
+# mid-body hangups. The server must shed with 503 + Retry-After, answer
+# /healthz afterwards, then drain and report the shed/drain counters.
+./target/release/dropback-serve serve --dir "$SERVE_TMP/ckpts" \
+    --addr 127.0.0.1:0 --addr-file "$SERVE_TMP/chaos-addr" --quiet \
+    --queue-cap 1 --max-batch 1 --flush-ms 100 --io-timeout-ms 500 \
+    --drain-ms 1000 > "$SERVE_TMP/chaos-digest.json" &
+CHAOS_PID=$!
+for _ in $(seq 1 100); do
+    [ -f "$SERVE_TMP/chaos-addr" ] && break
+    sleep 0.1
+done
+if [ ! -f "$SERVE_TMP/chaos-addr" ]; then
+    echo "dropback-serve (chaos) never published its address" >&2
+    exit 1
+fi
+CHAOS_ADDR="$(cat "$SERVE_TMP/chaos-addr")"
+./target/release/dropback-serve probe --addr "$CHAOS_ADDR" \
+    --flood 16 --seed 1234 --expect-shed --healthz > /dev/null
+./target/release/dropback-serve probe --addr "$CHAOS_ADDR" --shutdown > /dev/null
+wait "$CHAOS_PID"
+CHAOS_PID=""
+if grep -q '"serve.shed":0,' "$SERVE_TMP/chaos-digest.json" \
+    || ! grep -q '"serve.shed":' "$SERVE_TMP/chaos-digest.json"; then
+    echo "chaos digest shows no shed load:" >&2
+    cat "$SERVE_TMP/chaos-digest.json" >&2
+    exit 1
+fi
+for key in '"serve.drained":' '"serve.drain.forced":' '"serve.timeout.read":'; do
+    if ! grep -q "$key" "$SERVE_TMP/chaos-digest.json"; then
+        echo "chaos digest missing $key:" >&2
+        cat "$SERVE_TMP/chaos-digest.json" >&2
+        exit 1
+    fi
+done
 
 echo "All checks passed."
