@@ -262,6 +262,57 @@ fn run_overload(dir: &PathBuf, queue_cap: usize, reqs: usize) -> OverloadResult 
     }
 }
 
+/// Reruns one mid-size level with request tracing on, exports the async
+/// timeline to `trace_path` (Perfetto-loadable), and returns the
+/// per-stage digest from `dropback::trace_analysis` — queue vs infer vs
+/// write percentiles plus batch-fill stats — for the bench artifact.
+fn run_traced_level(dir: &PathBuf, clients: usize, reqs: usize, trace_path: &str) -> Json {
+    use dropback::telemetry::trace;
+    trace::start_tracing();
+    let level = run_level(dir, clients, reqs);
+    // Connection handlers publish their lane-end events right after the
+    // reply write; give the last stragglers a beat before draining the
+    // buffer so the strict analyzer never sees a half-open lane.
+    std::thread::sleep(Duration::from_millis(200));
+    trace::stop_tracing();
+    let mut records = trace::take_trace();
+    // A handler descheduled between its reply write and its lane-end
+    // events lands those ends in the buffer slightly late (they are
+    // pushed even after stop_tracing, by design). If the strict analyzer
+    // still sees an open lane, wait and merge the stragglers in.
+    let (text, analysis) = loop {
+        let mut buf = Vec::new();
+        trace::write_chrome_trace(&mut buf, &records).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        match dropback::trace_analysis::analyze_chrome_trace(&text) {
+            Ok(a) => break (text, a),
+            Err(e) if records.len() < 1_000_000 => {
+                std::thread::sleep(Duration::from_millis(200));
+                let late = trace::take_trace();
+                if late.is_empty() {
+                    panic!("traced level produced an invalid trace: {e}");
+                }
+                records.extend(late);
+                records.sort_by_key(|r| r.ts_ns);
+            }
+            Err(e) => panic!("traced level produced an invalid trace: {e}"),
+        }
+    };
+    if let Err(e) = std::fs::write(trace_path, &text) {
+        eprintln!("cannot write {trace_path}: {e}");
+    }
+    let aj = analysis.to_json();
+    let section = |k: &str| aj.get(k).cloned().unwrap_or(Json::Null);
+    Json::Obj(vec![
+        ("clients".into(), Json::from(level.clients)),
+        ("requests".into(), Json::from(level.requests)),
+        ("events".into(), Json::from(records.len())),
+        ("trace_file".into(), Json::from(trace_path)),
+        ("async".into(), section("async")),
+        ("batches".into(), section("batches")),
+    ])
+}
+
 fn main() {
     banner(
         "BENCH serve",
@@ -313,6 +364,19 @@ fn main() {
         overload.quantile_us(0.50) / 1_000.0,
         overload.quantile_us(0.99) / 1_000.0,
         overload.throughput_rps(),
+    );
+
+    // One traced rerun at a mid level: the exported timeline goes next
+    // to the artifact, and its per-stage digest (queue vs infer vs write)
+    // rides in the JSON under "trace".
+    let traced_clients = levels[levels.len() / 2];
+    let trace_digest = run_traced_level(&dir, traced_clients, reqs, "BENCH_serve.trace.json");
+    println!(
+        "\ntraced rerun at {traced_clients} clients: {} events -> BENCH_serve.trace.json",
+        trace_digest
+            .get("events")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
     );
 
     let base = rows[0].throughput_rps();
@@ -380,6 +444,7 @@ fn main() {
                 ("p99_us".into(), Json::from(overload.quantile_us(0.99))),
             ]),
         ),
+        ("trace".into(), trace_digest),
     ]);
     let path = "BENCH_serve.json";
     match std::fs::write(path, json.render() + "\n") {

@@ -11,9 +11,14 @@
 //! The report shows self-time/total-time per span name, per-kernel
 //! GFLOP/s (from the `flops` annotations the tensor kernels attach),
 //! `train-step` latency percentiles, and the gemm vs topk-rank vs regen
-//! breakdown of DropBack step time. Exit is non-zero on unreadable files,
-//! invalid JSON, or begin/end pairing violations, so this binary doubles
-//! as the trace validator in `scripts/check.sh`.
+//! breakdown of DropBack step time. Serving traces (`dropback-serve
+//! serve --trace`, flight-recorder dumps) add per-request async lanes:
+//! the analysis reports per-stage percentiles (`serve.queue` /
+//! `serve.infer` / `serve.write` / `serve.req`) and a batch-fill digest
+//! from the `serve.batch` instants. Exit is non-zero on unreadable
+//! files, invalid JSON, or begin/end (sync *and* async, per lane id)
+//! pairing violations, so this binary doubles as the trace validator in
+//! `scripts/check.sh`.
 
 use dropback::trace_analysis::analyze_chrome_trace;
 use std::process::ExitCode;

@@ -19,7 +19,7 @@
 //! `check.sh` trace-smoke stage relies on that to catch export bugs.
 
 use dropback_telemetry::Json;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// Why a trace file could not be analyzed.
@@ -83,6 +83,75 @@ pub struct CounterSeries {
     pub samples: Vec<(f64, f64)>,
 }
 
+/// Aggregate of one async lane name (`ph: "b"/"e"` pairs keyed by id) —
+/// e.g. the serving stages `serve.queue`, `serve.infer`, `serve.write`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AsyncStage {
+    /// Lane name.
+    pub name: String,
+    /// Completed begin/end pairs.
+    pub count: u64,
+    /// Sum of lane durations, microseconds.
+    pub total_us: f64,
+    /// Individual lane durations (microseconds), sorted ascending.
+    pub durations_us: Vec<f64>,
+}
+
+impl AsyncStage {
+    /// Nearest-rank percentile (`p` in 0..=100) of lane duration, in
+    /// microseconds.
+    pub fn percentile_us(&self, p: f64) -> Option<f64> {
+        let n = self.durations_us.len();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(self.durations_us[rank.clamp(1, n) - 1])
+    }
+}
+
+/// One async instant event (`ph: "n"`), e.g. a per-batch flow annotation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InstantRow {
+    /// Event name.
+    pub name: String,
+    /// Timestamp, microseconds.
+    pub ts_us: f64,
+    /// The async id the instant was keyed by (e.g. a batch id).
+    pub id: u64,
+    /// Numeric annotations.
+    pub args: Vec<(String, f64)>,
+}
+
+impl InstantRow {
+    /// The value of annotation `key`, if present.
+    pub fn arg(&self, key: &str) -> Option<f64> {
+        self.args.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
+/// The batch-fill-over-time digest derived from `serve.batch` instants.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchFillDigest {
+    /// Number of flushed batches in the trace.
+    pub batches: u64,
+    /// Mean batch fill.
+    pub fill_mean: f64,
+    /// Smallest batch fill.
+    pub fill_min: f64,
+    /// Largest batch fill.
+    pub fill_max: f64,
+    /// Total weight regenerations across all batches (from the DropBack
+    /// streaming evaluator's regen/stored split).
+    pub regens: f64,
+    /// Total stored-weight reads across all batches.
+    pub stored_reads: f64,
+    /// Timestamp of the first batch, microseconds.
+    pub first_ts_us: f64,
+    /// Timestamp of the last batch, microseconds.
+    pub last_ts_us: f64,
+}
+
 /// The digest of one trace file.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceAnalysis {
@@ -92,7 +161,11 @@ pub struct TraceAnalysis {
     pub step_durations_us: Vec<f64>,
     /// Counter series, sorted by name.
     pub counters: Vec<CounterSeries>,
-    /// Total events consumed (B + E + C).
+    /// Async lane aggregates (`b`/`e` pairs keyed by id), sorted by name.
+    pub async_stages: Vec<AsyncStage>,
+    /// Async instant events (`ph: "n"`), in timestamp order.
+    pub instants: Vec<InstantRow>,
+    /// Total events consumed (B + E + C + b + n + e).
     pub events: usize,
 }
 
@@ -125,6 +198,11 @@ pub fn analyze_chrome_trace(text: &str) -> Result<TraceAnalysis, TraceError> {
     let mut phases: BTreeMap<String, PhaseRow> = BTreeMap::new();
     let mut counters: BTreeMap<String, CounterSeries> = BTreeMap::new();
     let mut steps: Vec<f64> = Vec::new();
+    // Async lanes pair process-wide by (name, id) — a lane may begin on a
+    // connection thread and end on the batch worker.
+    let mut open_async: HashMap<(String, u64), f64> = HashMap::new();
+    let mut async_stages: BTreeMap<String, AsyncStage> = BTreeMap::new();
+    let mut instants: Vec<InstantRow> = Vec::new();
     let mut consumed = 0usize;
 
     for (i, e) in events.iter().enumerate() {
@@ -136,7 +214,7 @@ pub fn analyze_chrome_trace(text: &str) -> Result<TraceAnalysis, TraceError> {
             .as_str()
             .ok_or_else(|| TraceError::Malformed(format!("event {i}: `ph` is not a string")))?;
         // Metadata and unknown phases (e.g. "M" process names) pass through.
-        if !matches!(ph, "B" | "E" | "C") {
+        if !matches!(ph, "B" | "E" | "C" | "b" | "n" | "e") {
             continue;
         }
         let name = field("name")?
@@ -145,6 +223,55 @@ pub fn analyze_chrome_trace(text: &str) -> Result<TraceAnalysis, TraceError> {
         let ts_us = field("ts")?
             .as_f64()
             .ok_or_else(|| TraceError::Malformed(format!("event {i}: `ts` is not a number")))?;
+        if matches!(ph, "b" | "n" | "e") {
+            let id = field("id")?.as_u64().ok_or_else(|| {
+                TraceError::Malformed(format!("async event {i}: `id` is not an integer"))
+            })?;
+            consumed += 1;
+            match ph {
+                "b" => {
+                    if open_async.insert((name.to_string(), id), ts_us).is_some() {
+                        return Err(TraceError::Unpaired(format!(
+                            "async `b` for `{name}` id {id} while that lane is already open"
+                        )));
+                    }
+                }
+                "e" => {
+                    let begin_ts = open_async.remove(&(name.to_string(), id)).ok_or_else(|| {
+                        TraceError::Unpaired(format!(
+                            "async `e` for `{name}` id {id} without a matching `b`"
+                        ))
+                    })?;
+                    let stage =
+                        async_stages
+                            .entry(name.to_string())
+                            .or_insert_with(|| AsyncStage {
+                                name: name.to_string(),
+                                ..AsyncStage::default()
+                            });
+                    let duration = (ts_us - begin_ts).max(0.0);
+                    stage.count += 1;
+                    stage.total_us += duration;
+                    stage.durations_us.push(duration);
+                }
+                _ => {
+                    let args = match e.get("args") {
+                        Some(Json::Obj(pairs)) => pairs
+                            .iter()
+                            .filter_map(|(k, v)| v.as_f64().map(|v| (k.clone(), v)))
+                            .collect(),
+                        _ => Vec::new(),
+                    };
+                    instants.push(InstantRow {
+                        name: name.to_string(),
+                        ts_us,
+                        id,
+                        args,
+                    });
+                }
+            }
+            continue;
+        }
         let tid = field("tid")?
             .as_u64()
             .ok_or_else(|| TraceError::Malformed(format!("event {i}: `tid` is not an integer")))?;
@@ -231,6 +358,12 @@ pub fn analyze_chrome_trace(text: &str) -> Result<TraceAnalysis, TraceError> {
             )));
         }
     }
+    if let Some(((name, id), _)) = open_async.iter().next() {
+        return Err(TraceError::Unpaired(format!(
+            "async lane `{name}` id {id} has no `e` (and {} more open)",
+            open_async.len() - 1
+        )));
+    }
 
     let mut phases: Vec<PhaseRow> = phases.into_values().collect();
     phases.sort_by(|a, b| {
@@ -240,10 +373,22 @@ pub fn analyze_chrome_trace(text: &str) -> Result<TraceAnalysis, TraceError> {
             .then_with(|| a.name.cmp(&b.name))
     });
     steps.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut async_stages: Vec<AsyncStage> = async_stages.into_values().collect();
+    for s in &mut async_stages {
+        s.durations_us
+            .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    }
+    instants.sort_by(|a, b| {
+        a.ts_us
+            .partial_cmp(&b.ts_us)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     Ok(TraceAnalysis {
         phases,
         step_durations_us: steps,
         counters: counters.into_values().collect(),
+        async_stages,
+        instants,
         events: consumed,
     })
 }
@@ -252,6 +397,37 @@ impl TraceAnalysis {
     /// The row for `name`, if that span ever completed.
     pub fn phase(&self, name: &str) -> Option<&PhaseRow> {
         self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// The async lane aggregate for `name`, if any lane completed.
+    pub fn async_stage(&self, name: &str) -> Option<&AsyncStage> {
+        self.async_stages.iter().find(|s| s.name == name)
+    }
+
+    /// The batch-fill-over-time digest, derived from `serve.batch`
+    /// instant annotations; `None` when the trace has no batches.
+    pub fn batch_fill_digest(&self) -> Option<BatchFillDigest> {
+        let rows: Vec<&InstantRow> = self
+            .instants
+            .iter()
+            .filter(|r| r.name == "serve.batch")
+            .collect();
+        if rows.is_empty() {
+            return None;
+        }
+        let fills: Vec<f64> = rows.iter().map(|r| r.arg("fill").unwrap_or(0.0)).collect();
+        let sum =
+            |key: &str| -> f64 { rows.iter().map(|r| r.arg(key).unwrap_or(0.0)).sum::<f64>() };
+        Some(BatchFillDigest {
+            batches: rows.len() as u64,
+            fill_mean: fills.iter().sum::<f64>() / fills.len() as f64,
+            fill_min: fills.iter().copied().fold(f64::INFINITY, f64::min),
+            fill_max: fills.iter().copied().fold(0.0, f64::max),
+            regens: sum("regens"),
+            stored_reads: sum("stored_reads"),
+            first_ts_us: rows.first().map(|r| r.ts_us).unwrap_or(0.0),
+            last_ts_us: rows.last().map(|r| r.ts_us).unwrap_or(0.0),
+        })
     }
 
     /// Nearest-rank percentile (`p` in 0..=100) of `train-step` duration,
@@ -343,6 +519,29 @@ impl TraceAnalysis {
             }
             out.push('\n');
         }
+        if !self.async_stages.is_empty() {
+            out.push_str("\nasync stages (request lanes):\n");
+            out.push_str(&format!(
+                "  {:<16} {:>8} {:>12} {:>12} {:>12}\n",
+                "lane", "count", "p50 ms", "p90 ms", "p99 ms"
+            ));
+            for s in &self.async_stages {
+                out.push_str(&format!(
+                    "  {:<16} {:>8} {:>12.3} {:>12.3} {:>12.3}\n",
+                    s.name,
+                    s.count,
+                    s.percentile_us(50.0).unwrap_or(0.0) / 1e3,
+                    s.percentile_us(90.0).unwrap_or(0.0) / 1e3,
+                    s.percentile_us(99.0).unwrap_or(0.0) / 1e3,
+                ));
+            }
+        }
+        if let Some(b) = self.batch_fill_digest() {
+            out.push_str(&format!(
+                "batch fill: n={} mean={:.2} min={:.0} max={:.0} regens={:.0} stored={:.0}\n",
+                b.batches, b.fill_mean, b.fill_min, b.fill_max, b.regens, b.stored_reads
+            ));
+        }
         if !self.counters.is_empty() {
             out.push_str("\ncounters:\n");
             for c in &self.counters {
@@ -414,14 +613,54 @@ impl TraceAnalysis {
                 })
                 .collect(),
         );
+        let async_stages = Json::Obj(
+            self.async_stages
+                .iter()
+                .map(|s| {
+                    (
+                        s.name.clone(),
+                        Json::Obj(vec![
+                            ("count".to_string(), Json::from(s.count)),
+                            ("total_ms".to_string(), Json::Num(s.total_us / 1e3)),
+                            ("p50_ms".to_string(), opt_ms(s.percentile_us(50.0))),
+                            ("p90_ms".to_string(), opt_ms(s.percentile_us(90.0))),
+                            ("p99_ms".to_string(), opt_ms(s.percentile_us(99.0))),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let batches = self
+            .batch_fill_digest()
+            .map(|b| {
+                Json::Obj(vec![
+                    ("count".to_string(), Json::from(b.batches)),
+                    ("fill_mean".to_string(), Json::Num(b.fill_mean)),
+                    ("fill_min".to_string(), Json::Num(b.fill_min)),
+                    ("fill_max".to_string(), Json::Num(b.fill_max)),
+                    ("regens".to_string(), Json::Num(b.regens)),
+                    ("stored_reads".to_string(), Json::Num(b.stored_reads)),
+                    (
+                        "span_ms".to_string(),
+                        Json::Num((b.last_ts_us - b.first_ts_us) / 1e3),
+                    ),
+                ])
+            })
+            .unwrap_or(Json::Null);
         Json::Obj(vec![
             ("events".to_string(), Json::from(self.events)),
             ("steps".to_string(), steps),
             ("phases".to_string(), Json::Arr(phases)),
             ("dropback_breakdown".to_string(), breakdown),
             ("counters".to_string(), counters),
+            ("async".to_string(), async_stages),
+            ("batches".to_string(), batches),
         ])
     }
+}
+
+fn opt_ms(us: Option<f64>) -> Json {
+    us.map(|v| Json::Num(v / 1e3)).unwrap_or(Json::Null)
 }
 
 fn pct_ms(a: &TraceAnalysis, p: f64) -> Json {
@@ -578,6 +817,141 @@ mod tests {
         assert!((gemm.total_us - 125.0).abs() < 1e-9);
         // Parallel same-name spans on different tids don't nest.
         assert!((gemm.self_us - 125.0).abs() < 1e-9);
+    }
+
+    fn aev(name: &str, ph: &str, ts: f64, id: u64, args: &str) -> String {
+        let args = if args.is_empty() {
+            String::new()
+        } else {
+            format!(",\"args\":{{{args}}}")
+        };
+        format!(
+            "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":1,\"tid\":0,\"id\":{id}{args}}}"
+        )
+    }
+
+    #[test]
+    fn async_lanes_pair_by_id_and_interleave_freely() {
+        // Two request lanes interleaved: 1 opens, 2 opens, 2 closes, 1
+        // closes — legal for async (unlike B/E stack discipline), and the
+        // stage rows must aggregate both.
+        let text = doc(&[
+            aev("serve.queue", "b", 0.0, 1, ""),
+            aev("serve.queue", "b", 10.0, 2, ""),
+            aev("serve.queue", "e", 30.0, 2, ""),
+            aev("serve.queue", "e", 100.0, 1, ""),
+            aev("serve.infer", "b", 100.0, 1, ""),
+            aev("serve.infer", "e", 150.0, 1, ""),
+        ]);
+        let a = analyze_chrome_trace(&text).expect("valid trace");
+        assert_eq!(a.events, 6);
+        let queue = a.async_stage("serve.queue").expect("queue stage");
+        assert_eq!(queue.count, 2);
+        assert_eq!(queue.durations_us, vec![20.0, 100.0]);
+        assert!((queue.percentile_us(50.0).unwrap() - 20.0).abs() < 1e-9);
+        assert!((queue.percentile_us(99.0).unwrap() - 100.0).abs() < 1e-9);
+        let infer = a.async_stage("serve.infer").expect("infer stage");
+        assert_eq!(infer.count, 1);
+        // JSON carries the per-stage percentiles.
+        let j = a.to_json();
+        let q = j.get("async").and_then(|x| x.get("serve.queue")).unwrap();
+        assert_eq!(q.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(q.get("p99_ms").and_then(Json::as_f64), Some(0.1));
+    }
+
+    #[test]
+    fn orphan_async_end_is_rejected() {
+        let text = doc(&[aev("serve.req", "e", 10.0, 5, "")]);
+        match analyze_chrome_trace(&text) {
+            Err(TraceError::Unpaired(m)) => assert!(m.contains("without a matching"), "{m}"),
+            other => panic!("expected Unpaired, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_async_lane_at_eof_is_rejected() {
+        let text = doc(&[aev("serve.req", "b", 0.0, 5, "")]);
+        match analyze_chrome_trace(&text) {
+            Err(TraceError::Unpaired(m)) => assert!(m.contains("has no `e`"), "{m}"),
+            other => panic!("expected Unpaired, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_open_async_lane_is_rejected() {
+        let text = doc(&[
+            aev("serve.req", "b", 0.0, 5, ""),
+            aev("serve.req", "b", 1.0, 5, ""),
+        ]);
+        match analyze_chrome_trace(&text) {
+            Err(TraceError::Unpaired(m)) => assert!(m.contains("already open"), "{m}"),
+            other => panic!("expected Unpaired, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_id_different_names_are_distinct_lanes() {
+        let text = doc(&[
+            aev("serve.req", "b", 0.0, 1, ""),
+            aev("serve.queue", "b", 1.0, 1, ""),
+            aev("serve.queue", "e", 2.0, 1, ""),
+            aev("serve.req", "e", 3.0, 1, ""),
+        ]);
+        let a = analyze_chrome_trace(&text).expect("valid trace");
+        assert_eq!(a.async_stages.len(), 2);
+    }
+
+    #[test]
+    fn async_event_without_id_is_malformed() {
+        let text = doc(&[ev("serve.req", "b", 0.0, 0, "")]);
+        assert!(matches!(
+            analyze_chrome_trace(&text),
+            Err(TraceError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn batch_instants_build_the_fill_digest() {
+        let text = doc(&[
+            aev(
+                "serve.batch",
+                "n",
+                100.0,
+                1,
+                "\"fill\":4,\"epoch\":2,\"regens\":900,\"stored_reads\":100",
+            ),
+            aev(
+                "serve.batch",
+                "n",
+                300.0,
+                2,
+                "\"fill\":8,\"epoch\":2,\"regens\":880,\"stored_reads\":120",
+            ),
+        ]);
+        let a = analyze_chrome_trace(&text).expect("valid trace");
+        assert_eq!(a.instants.len(), 2);
+        let d = a.batch_fill_digest().expect("digest");
+        assert_eq!(d.batches, 2);
+        assert!((d.fill_mean - 6.0).abs() < 1e-9);
+        assert_eq!(d.fill_min, 4.0);
+        assert_eq!(d.fill_max, 8.0);
+        assert_eq!(d.regens, 1780.0);
+        assert_eq!(d.stored_reads, 220.0);
+        let j = a.to_json();
+        let b = j.get("batches").unwrap();
+        assert_eq!(b.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(b.get("span_ms").and_then(Json::as_f64), Some(0.2));
+        // The render names the new sections too.
+        let a2 = analyze_chrome_trace(&doc(&[
+            aev("serve.queue", "b", 0.0, 1, ""),
+            aev("serve.queue", "e", 50.0, 1, ""),
+            aev("serve.batch", "n", 20.0, 1, "\"fill\":1"),
+        ]))
+        .expect("valid");
+        let report = a2.render(5);
+        assert!(report.contains("async stages"), "{report}");
+        assert!(report.contains("serve.queue"), "{report}");
+        assert!(report.contains("batch fill"), "{report}");
     }
 
     #[test]

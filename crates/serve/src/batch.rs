@@ -17,7 +17,7 @@ use crate::clock::Deadline;
 use crate::error::ServeError;
 use crate::model::ModelSlot;
 use crate::rt::{self, Monitor};
-use dropback_telemetry::{Collector, Span, Stopwatch};
+use dropback_telemetry::{trace, Collector, Span, Stopwatch};
 use dropback_tensor::Tensor;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -59,6 +59,15 @@ pub struct InferReply {
     pub epoch: usize,
     /// Size of the micro-batch this request rode in.
     pub batch: usize,
+    /// Id of the micro-batch this request rode in (0 = unknown, e.g. a
+    /// reply parsed from an older server).
+    pub batch_id: u64,
+    /// Nanoseconds this request waited in the queue before its batch
+    /// flushed (0 = unknown).
+    pub queue_ns: u64,
+    /// Nanoseconds the batched forward took — shared by every rider of
+    /// the batch (0 = unknown).
+    pub infer_ns: u64,
 }
 
 /// A one-shot slot the submitting thread parks on until its batch lands.
@@ -78,12 +87,22 @@ impl ReplySlot {
 }
 
 struct Pending {
+    /// The request id threaded from the accept loop; keys this request's
+    /// `serve.queue` trace lane and its access-log record.
+    id: u64,
+    /// Whether this request's lanes go to the trace buffer — snapshotted
+    /// once when the request entered the server, so a lane whose begin
+    /// and end straddle a tracing toggle still pairs up (see
+    /// [`trace::async_begin_for`]).
+    traced: bool,
     input: Vec<f32>,
     reply: Arc<ReplySlot>,
     /// Shed the request unevaluated if this passes before its batch
     /// flushes — a backlog must never spend a forward pass on a reply
     /// nobody is waiting for anymore.
     deadline: Option<Deadline>,
+    /// Measures queue wait from enqueue to dequeue (`serve.queue_ns`).
+    queued: Stopwatch,
 }
 
 struct QueueState {
@@ -138,6 +157,8 @@ impl BatchQueue {
     /// propagated from the worker.
     pub fn submit(
         &self,
+        id: u64,
+        traced: bool,
         input: Vec<f32>,
         deadline: Option<Deadline>,
     ) -> Result<InferReply, ServeError> {
@@ -149,10 +170,18 @@ impl BatchQueue {
             if s.queue.len() >= self.cfg.queue_cap {
                 return Err(ServeError::Overloaded);
             }
+            // The lane opens under the lock: the worker cannot dequeue
+            // (and emit the matching `e`) until this closure returns, so
+            // `b` always precedes `e` — on the trace clock and in the
+            // flight recorder's claim order alike.
+            trace::async_begin_for(traced, "serve.queue", id, &[]);
             s.queue.push_back(Pending {
+                id,
+                traced,
                 input,
                 reply: Arc::clone(&reply),
                 deadline,
+                queued: Stopwatch::started(),
             });
             Ok(())
         })?;
@@ -165,6 +194,10 @@ impl BatchQueue {
         self.state.update(|s| {
             s.shutdown = true;
             for p in s.queue.drain(..) {
+                // Close each refused request's queue lane so a trace cut
+                // by shutdown still balances: every `Pending` is
+                // fulfilled exactly once, here or in `run_batch`.
+                trace::async_end_for(p.traced, "serve.queue", p.id, &[]);
                 p.reply.fulfill(Err(ServeError::ShuttingDown));
             }
         });
@@ -210,9 +243,17 @@ impl BatchQueue {
 
         // Width-check every request against *this* generation; mismatches
         // are refused individually so the rest of the batch still runs.
+        // Every dequeued request leaves the `serve.queue` lane here —
+        // shed, refused, or riding — so request timelines stay balanced
+        // no matter which exit a request takes.
         let mut rows = Vec::with_capacity(batch.len());
         let mut flat = Vec::with_capacity(batch.len() * in_dim);
         for p in batch {
+            let queue_ns = p.queued.elapsed_ns().unwrap_or(0);
+            trace::async_end_for(p.traced, "serve.queue", p.id, &[]);
+            collector
+                .histogram("serve.queue_ns")
+                .record(queue_ns as f64);
             // Shed expired requests *before* inference: their handlers
             // answer 503, and the forward pass never pays for them.
             if p.deadline.is_some_and(|d| d.expired()) {
@@ -230,21 +271,38 @@ impl BatchQueue {
                 continue;
             }
             flat.extend_from_slice(&p.input);
-            rows.push(p.reply);
+            rows.push((p.id, p.traced, p.reply, queue_ns));
         }
         let n = rows.len();
         if n == 0 {
             return;
         }
 
+        let batch_id = rt::next_batch_id();
         let _span = Span::enter("serve.batch");
+        for (id, traced, _, _) in &rows {
+            trace::async_begin_for(
+                *traced,
+                "serve.infer",
+                *id,
+                &[("batch_id", batch_id as f64)],
+            );
+        }
         let watch = Stopwatch::started();
         let result = model.infer(&Tensor::from_vec(vec![n, in_dim], flat));
-        if let Some(ns) = watch.elapsed_ns() {
-            collector.histogram("serve.batch_ns").record(ns as f64);
+        let infer_ns = watch.elapsed_ns().unwrap_or(0);
+        for (id, traced, _, _) in &rows {
+            trace::async_end_for(*traced, "serve.infer", *id, &[]);
+            collector
+                .histogram("serve.infer_ns")
+                .record(infer_ns as f64);
         }
+        collector
+            .histogram("serve.batch_ns")
+            .record(infer_ns as f64);
         collector.histogram("serve.batch_fill").record(n as f64);
         collector.counter("serve.batches").inc();
+        trace::record_counter("serve.batch_fill", n as f64);
 
         match result {
             Ok((y, stats)) => {
@@ -252,7 +310,20 @@ impl BatchQueue {
                 collector
                     .counter("serve.stored_reads")
                     .add(stats.stored_reads);
-                for (r, reply) in rows.into_iter().enumerate() {
+                // One instant per flushed batch: the fill/generation/regen
+                // annotations the batch-fill digest in `dropback-trace`
+                // aggregates over time.
+                trace::async_instant(
+                    "serve.batch",
+                    batch_id,
+                    &[
+                        ("fill", n as f64),
+                        ("epoch", model.epoch() as f64),
+                        ("regens", stats.regens as f64),
+                        ("stored_reads", stats.stored_reads as f64),
+                    ],
+                );
+                for (r, (_, _, reply, queue_ns)) in rows.into_iter().enumerate() {
                     let logits = y.data()[r * out_dim..(r + 1) * out_dim].to_vec();
                     let argmax = logits
                         .iter()
@@ -265,13 +336,21 @@ impl BatchQueue {
                         argmax,
                         epoch: model.epoch(),
                         batch: n,
+                        batch_id,
+                        queue_ns,
+                        infer_ns,
                     }));
                 }
             }
             Err(e) => {
                 collector.counter("serve.batch_failed").inc();
+                trace::async_instant(
+                    "serve.batch",
+                    batch_id,
+                    &[("fill", n as f64), ("epoch", model.epoch() as f64)],
+                );
                 let msg = e.to_string();
-                for reply in rows {
+                for (_, _, reply, _) in rows {
                     reply.fulfill(Err(ServeError::BadRequest(msg.clone())));
                 }
             }
@@ -326,11 +405,22 @@ mod tests {
         let collector = Arc::new(Collector::new());
         let worker = q.start_worker(slot(), Arc::clone(&collector)).unwrap();
 
-        let reply = q.submit(vec![0.1; 784], None).unwrap();
+        let reply = q.submit(1, false, vec![0.1; 784], None).unwrap();
         assert_eq!(reply.logits.len(), 10);
         assert!(reply.argmax < 10);
         assert!(reply.batch >= 1);
+        assert_ne!(reply.batch_id, 0, "every flushed batch is numbered");
+        assert!(
+            reply.infer_ns > 0,
+            "the batched forward's duration rides the reply"
+        );
         assert_eq!(collector.counter("serve.batches").get(), 1);
+        assert_eq!(
+            collector.histogram("serve.queue_ns").count(),
+            1,
+            "queue wait is recorded per dequeued request"
+        );
+        assert_eq!(collector.histogram("serve.infer_ns").count(), 1);
 
         q.stop();
         worker.join().unwrap();
@@ -350,10 +440,10 @@ mod tests {
 
         let q2 = Arc::clone(&q);
         let peer = rt::spawn("peer", move || {
-            q2.submit(vec![0.2; 784], None).unwrap();
+            q2.submit(2, false, vec![0.2; 784], None).unwrap();
         })
         .unwrap();
-        let reply = q.submit(vec![0.1; 784], None).unwrap();
+        let reply = q.submit(3, false, vec![0.1; 784], None).unwrap();
         peer.join().unwrap();
         assert_eq!(reply.batch, 2, "both requests must ride one batch");
 
@@ -373,12 +463,12 @@ mod tests {
 
         let q2 = Arc::clone(&q);
         let bad = rt::spawn("bad", move || {
-            let err = q2.submit(vec![0.5; 3], None).unwrap_err();
+            let err = q2.submit(4, false, vec![0.5; 3], None).unwrap_err();
             assert_eq!(err.http_status(), 400);
             assert!(err.to_string().contains("784"));
         })
         .unwrap();
-        let good = q.submit(vec![0.1; 784], None).unwrap();
+        let good = q.submit(5, false, vec![0.1; 784], None).unwrap();
         bad.join().unwrap();
         assert_eq!(good.logits.len(), 10, "good request survives a bad peer");
 
@@ -401,7 +491,12 @@ mod tests {
         let q2 = Arc::clone(&q);
         let expired = rt::spawn("expired", move || {
             let err = q2
-                .submit(vec![0.3; 784], Some(Deadline::after(Duration::ZERO)))
+                .submit(
+                    6,
+                    false,
+                    vec![0.3; 784],
+                    Some(Deadline::after(Duration::ZERO)),
+                )
                 .unwrap_err();
             assert!(matches!(err, ServeError::DeadlineExceeded), "{err}");
             assert_eq!(err.http_status(), 503);
@@ -409,6 +504,8 @@ mod tests {
         .unwrap();
         let fresh = q
             .submit(
+                7,
+                false,
                 vec![0.1; 784],
                 Some(Deadline::after(Duration::from_secs(60))),
             )
@@ -416,6 +513,64 @@ mod tests {
         expired.join().unwrap();
         assert_eq!(fresh.logits.len(), 10, "fresh peer survives a shed one");
         assert_eq!(collector.counter("serve.batch_expired").get(), 1);
+
+        q.stop();
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn request_lanes_balance_in_the_exported_trace() {
+        use dropback_telemetry::trace::{self, TracePhase};
+
+        let q = Arc::new(BatchQueue::new(BatchConfig {
+            max_batch: 2,
+            flush: Duration::from_secs(5),
+            queue_cap: 16,
+        }));
+        let collector = Arc::new(Collector::new());
+        let worker = q.start_worker(slot(), Arc::clone(&collector)).unwrap();
+
+        // Ids far above anything the global counter reaches in this test
+        // binary, so concurrent server tests cannot collide with them.
+        const A: u64 = 900_001;
+        const B: u64 = 900_002;
+        let _ = trace::take_trace();
+        trace::start_tracing();
+        let q2 = Arc::clone(&q);
+        let peer = rt::spawn("peer", move || {
+            q2.submit(B, true, vec![0.2; 784], None).unwrap();
+        })
+        .unwrap();
+        let reply = q.submit(A, true, vec![0.1; 784], None).unwrap();
+        peer.join().unwrap();
+        trace::stop_tracing();
+
+        let records = trace::take_trace();
+        // Each request's queue and infer lanes open and close exactly once.
+        for (lane, id) in [
+            ("serve.queue", A),
+            ("serve.queue", B),
+            ("serve.infer", A),
+            ("serve.infer", B),
+        ] {
+            let phases: Vec<_> = records
+                .iter()
+                .filter(|r| r.name == lane && r.id == Some(id))
+                .map(|r| r.phase)
+                .collect();
+            assert_eq!(
+                phases,
+                vec![TracePhase::AsyncBegin, TracePhase::AsyncEnd],
+                "{lane} lane for id {id}"
+            );
+        }
+        // The flushed batch dropped one instant carrying its fill.
+        let instant = records
+            .iter()
+            .find(|r| r.name == "serve.batch" && r.id == Some(reply.batch_id))
+            .expect("batch instant");
+        assert_eq!(instant.phase, TracePhase::AsyncInstant);
+        assert!(instant.args.contains(&("fill", 2.0)));
 
         q.stop();
         worker.join().unwrap();
@@ -430,12 +585,12 @@ mod tests {
         });
         // No worker running: capacity zero refuses immediately.
         assert!(matches!(
-            q.submit(vec![0.0; 784], None),
+            q.submit(8, false, vec![0.0; 784], None),
             Err(ServeError::Overloaded)
         ));
         q.stop();
         assert!(matches!(
-            q.submit(vec![0.0; 784], None),
+            q.submit(9, false, vec![0.0; 784], None),
             Err(ServeError::ShuttingDown)
         ));
     }

@@ -59,6 +59,9 @@ fn known_flags(cmd: &str) -> &'static [&'static str] {
             "drain-ms",
             "retry-after-s",
             "threads",
+            "trace",
+            "access-log",
+            "flightrec",
             "quiet",
         ],
         "prep" => &[
@@ -75,6 +78,7 @@ fn known_flags(cmd: &str) -> &'static [&'static str] {
             "flood",
             "seed",
             "expect-shed",
+            "flightrec",
             "shutdown",
         ],
         _ => &[],
@@ -149,6 +153,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
             .map_err(|e| format!("invalid value {t:?} for --threads: {e}"))?;
         dropback::tensor::pool::set_threads(n);
     }
+    let trace_path = flags.get("trace").filter(|p| !p.is_empty()).cloned();
+    let flightrec_path = flags.get("flightrec").filter(|p| !p.is_empty()).cloned();
     let cfg = ServerConfig {
         addr: get(flags, "addr", "127.0.0.1:0".to_string())?,
         batch: BatchConfig {
@@ -163,7 +169,28 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
         drain: Duration::from_millis(get(flags, "drain-ms", 2_000u64)?),
         retry_after: Duration::from_secs(get(flags, "retry-after-s", 1u64)?.max(1)),
         chaos: None,
+        access_log: flags
+            .get("access-log")
+            .filter(|p| !p.is_empty())
+            .map(std::path::PathBuf::from),
+        flightrec_dump: flightrec_path.as_ref().map(std::path::PathBuf::from),
     };
+    if let Some(path) = &flightrec_path {
+        // A panicking server is the flight recorder's other customer:
+        // dump the ring before the process dies so the last moments of
+        // every request lane survive the crash.
+        let path = std::path::PathBuf::from(path);
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Ok(mut f) = std::fs::File::create(&path) {
+                let _ = dropback::telemetry::flightrec::write_dump(&mut f);
+            }
+            previous(info);
+        }));
+    }
+    if trace_path.is_some() {
+        dropback::telemetry::trace::start_tracing();
+    }
     let store = CheckpointStore::open(dir).map_err(|e| format!("cannot open {dir}: {e}"))?;
     let server = Server::start(cfg, store).map_err(|e| e.to_string())?;
     let addr = server.addr();
@@ -187,9 +214,25 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), CliError> {
             .map_err(|e| format!("cannot write --addr-file {path}: {e}"))?;
     }
     let digest = server.wait();
+    if let Some(path) = &trace_path {
+        dropback::telemetry::trace::stop_tracing();
+        let records = dropback::telemetry::trace::take_trace();
+        let mut file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create --trace {path}: {e}"))?;
+        dropback::telemetry::trace::write_chrome_trace(&mut file, &records)
+            .map_err(|e| format!("cannot write --trace {path}: {e}"))?;
+        if !quiet {
+            eprintln!(
+                "wrote {} trace events to {path} — load in Perfetto or \
+                 analyze with dropback-trace",
+                records.len()
+            );
+        }
+    }
     println!("{}", digest.to_json().render());
     if !quiet {
         eprintln!("shut down cleanly; final telemetry digest on stdout");
+        eprintln!("{}", digest.render());
     }
     Ok(())
 }
@@ -431,6 +474,19 @@ fn cmd_probe(flags: &HashMap<String, String>) -> Result<(), CliError> {
         }
     }
 
+    if flags.contains_key("flightrec") {
+        let resp = connect()?
+            .get("/debug/flightrec")
+            .map_err(|e| e.to_string())?;
+        println!("{}", resp.body);
+        if resp.status != 200 {
+            return Err(CliError::from(format!(
+                "/debug/flightrec answered {}",
+                resp.status
+            )));
+        }
+    }
+
     if flags.contains_key("shutdown") {
         let resp = connect()?
             .post("/shutdown", "")
@@ -451,11 +507,12 @@ fn usage() -> String {
      \x20 serve --dir DIR [--addr 127.0.0.1:0] [--addr-file PATH] [--max-batch 8]\n\
      \x20       [--flush-ms 2] [--poll-ms 50] [--queue-cap 256] [--max-conns 256]\n\
      \x20       [--io-timeout-ms 5000] [--deadline-ms 2000] [--drain-ms 2000]\n\
-     \x20       [--retry-after-s 1] [--threads N] [--quiet]\n\
+     \x20       [--retry-after-s 1] [--threads N] [--trace PATH]\n\
+     \x20       [--access-log PATH] [--flightrec PATH] [--quiet]\n\
      \x20 prep  --dir DIR [--model mnist-100-100] [--epochs 2] [--budget 20000]\n\
      \x20       [--seed 42] [--samples 512] [--quiet]\n\
      \x20 probe --addr HOST:PORT [--healthz] [--infer [--dims 784] [--repeat 1]]\n\
-     \x20       [--expect-epoch N] [--assert-latency] [--shutdown]\n\
+     \x20       [--expect-epoch N] [--assert-latency] [--flightrec] [--shutdown]\n\
      \x20       [--flood N [--seed 42] [--expect-shed]]"
         .to_string()
 }

@@ -115,11 +115,18 @@ pub fn parse_reply(body: &str) -> Result<InferReply, ServeError> {
             .map(|v| v as usize)
             .ok_or_else(|| bad(name))
     };
+    // The timing/batch-identity fields arrived with the observability
+    // work; tolerate their absence (0 = unknown) so the client still
+    // reads replies from older servers.
+    let opt = |name: &str| json.get(name).and_then(Json::as_u64).unwrap_or(0);
     Ok(InferReply {
         logits,
         argmax: field("argmax")?,
         epoch: field("epoch")?,
         batch: field("batch")?,
+        batch_id: opt("batch_id"),
+        queue_ns: opt("queue_ns"),
+        infer_ns: opt("infer_ns"),
     })
 }
 
@@ -152,6 +159,9 @@ mod tests {
             argmax: 0,
             epoch: 7,
             batch: 3,
+            batch_id: 41,
+            queue_ns: 1_500,
+            infer_ns: 92_000,
         };
         let logits: Vec<Json> = reply.logits.iter().map(|&v| Json::from(v)).collect();
         let body = Json::Obj(vec![
@@ -159,9 +169,25 @@ mod tests {
             ("argmax".into(), Json::from(reply.argmax)),
             ("epoch".into(), Json::from(reply.epoch)),
             ("batch".into(), Json::from(reply.batch)),
+            ("batch_id".into(), Json::from(reply.batch_id)),
+            ("queue_ns".into(), Json::from(reply.queue_ns)),
+            ("infer_ns".into(), Json::from(reply.infer_ns)),
         ])
         .render();
         assert_eq!(parse_reply(&body).unwrap(), reply);
+
+        // Pre-observability replies (no timing fields) still parse; the
+        // unknowns default to 0.
+        let legacy = Json::Obj(vec![
+            ("logits".into(), Json::Arr(vec![Json::from(1.0f32)])),
+            ("argmax".into(), Json::from(0u64)),
+            ("epoch".into(), Json::from(7u64)),
+            ("batch".into(), Json::from(1u64)),
+        ])
+        .render();
+        let parsed = parse_reply(&legacy).unwrap();
+        assert_eq!(parsed.batch_id, 0);
+        assert_eq!(parsed.queue_ns, 0);
 
         assert!(parse_reply("{}").is_err());
         assert!(parse_reply("{\"logits\":[\"x\"]}").is_err());

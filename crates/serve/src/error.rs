@@ -59,6 +59,24 @@ impl ServeError {
     pub fn is_pressure(&self) -> bool {
         self.http_status() == 503
     }
+
+    /// A stable machine-readable slug for access-log records — one word
+    /// per failure class, never the free-form message.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            ServeError::Io(_) => "io",
+            ServeError::Checkpoint(_) => "checkpoint",
+            ServeError::Stream(_) => "stream",
+            ServeError::NoSnapshot(_) => "no-snapshot",
+            ServeError::UnsupportedModel(_) => "unsupported-model",
+            ServeError::BadRequest(_) => "bad-request",
+            ServeError::HeadersTooLarge(_) => "headers-too-large",
+            ServeError::BodyTooLarge { .. } => "body-too-large",
+            ServeError::Overloaded => "overloaded",
+            ServeError::DeadlineExceeded => "deadline",
+            ServeError::ShuttingDown => "shutting-down",
+        }
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -147,6 +165,28 @@ mod tests {
             ServeError::UnsupportedModel("vgg-s-nano".into()).http_status(),
             500
         );
+    }
+
+    #[test]
+    fn reasons_are_stable_single_word_slugs() {
+        for (e, want) in [
+            (ServeError::Overloaded, "overloaded"),
+            (ServeError::DeadlineExceeded, "deadline"),
+            (ServeError::ShuttingDown, "shutting-down"),
+            (ServeError::BadRequest("x".into()), "bad-request"),
+            (
+                ServeError::BodyTooLarge { got: 9, limit: 1 },
+                "body-too-large",
+            ),
+        ] {
+            assert_eq!(e.reason(), want);
+            assert!(
+                e.reason()
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '-'),
+                "reasons are log-grep-safe slugs"
+            );
+        }
     }
 
     #[test]

@@ -219,10 +219,27 @@ pub fn write_response_with(
     extra: &[(&str, String)],
     body: &str,
 ) -> std::io::Result<()> {
+    write_response_typed(w, status, "application/json", extra, body)
+}
+
+/// Writes a complete response with an explicit `Content-Type` — the
+/// Prometheus exposition on `/metrics?format=prometheus` is plain text,
+/// everything else the server speaks is JSON.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response_typed(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
     // One buffer, one write: interleaving small header writes with the
     // body on a raw TcpStream triggers Nagle/delayed-ACK stalls.
     let mut msg = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         reason(status),
         body.len()
     );
@@ -392,6 +409,19 @@ mod tests {
         assert_eq!(parsed.status, 503);
         assert_eq!(parsed.header("retry-after"), Some("2"));
         assert_eq!(parsed.header("nope"), None);
+    }
+
+    #[test]
+    fn typed_responses_carry_their_content_type() {
+        let mut wire = Vec::new();
+        write_response_typed(&mut wire, 200, "text/plain; version=0.0.4", &[], "a 1\n").unwrap();
+        let parsed = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(
+            parsed.header("content-type"),
+            Some("text/plain; version=0.0.4")
+        );
+        assert_eq!(parsed.body, "a 1\n");
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //!   the worker pool ([`batch`]),
 //! * reports latency, throughput, batch-fill, and swap counters through
 //!   the existing telemetry stack (`serve.*` metrics, spans visible in
-//!   `dropback-trace`),
+//!   `dropback-trace`), threads a request id through admission → queue →
+//!   batch → reply-write as Chrome **async** trace lanes, feeds the
+//!   always-on flight recorder, and can write a structured JSONL access
+//!   log — one record per request, keyed by the same id ([`log`]; see
+//!   `docs/OBSERVABILITY.md`),
 //! * **defends itself under overload**: a connection cap and bounded
 //!   queue shed excess load with `503` + `Retry-After`, every request
 //!   carries a deadline that sheds it *before* inference once expired,
@@ -47,6 +51,7 @@ pub mod client;
 pub mod clock;
 pub mod error;
 pub mod http;
+pub mod log;
 pub mod model;
 pub mod rt;
 pub mod server;
@@ -57,6 +62,7 @@ pub use client::HttpClient;
 pub use clock::{Backoff, Deadline};
 pub use error::ServeError;
 pub use http::{Request, StatusLine};
+pub use log::AccessLog;
 pub use model::{ModelSlot, ServingModel};
 pub use rt::ChaosHook;
 pub use server::{Server, ServerConfig};

@@ -1,0 +1,106 @@
+//! Structured JSONL access logging: one JSON object per finished
+//! request, written and flushed line-by-line so a tail-reader (or a
+//! post-mortem after a kill) never sees a torn record.
+//!
+//! The record schema is documented in `docs/SERVING.md`; every record
+//! carries the same request id that keys the request's async trace lanes
+//! (`serve.req` / `serve.queue` / `serve.infer` / `serve.write`), so a
+//! log line and a Perfetto lane cross-reference each other directly.
+//!
+//! Logging must never kill serving: write failures are reported to the
+//! caller (the server counts them under `serve.access_log_failed`) and
+//! the connection handler carries on.
+
+use crate::rt::Monitor;
+use dropback_telemetry::Json;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// A line-buffered JSONL sink shared by every connection handler.
+///
+/// Handlers serialize on a [`Monitor`], so concurrent requests never
+/// interleave bytes within a line; each record is written and flushed as
+/// one unit.
+#[derive(Debug)]
+pub struct AccessLog {
+    writer: Monitor<BufWriter<File>>,
+}
+
+impl AccessLog {
+    /// Creates (truncating) the log file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            writer: Monitor::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Appends one record as a single JSON line and flushes it, so the
+    /// file is valid JSONL after any prefix of writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/flush failures; the caller decides whether to
+    /// count or ignore them (never to crash on them).
+    pub fn write(&self, record: &Json) -> io::Result<()> {
+        let line = record.render();
+        self.writer.with(|w| {
+            writeln!(w, "{line}")?;
+            w.flush()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_land_one_parseable_json_object_per_line() {
+        let path =
+            std::env::temp_dir().join(format!("dropback-access-log-{}.jsonl", std::process::id()));
+        let log = Arc::new(AccessLog::create(&path).unwrap());
+
+        // Concurrent writers: lines must never interleave mid-record.
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let log = Arc::clone(&log);
+            handles.push(
+                crate::rt::spawn("log", move || {
+                    for i in 0..16u64 {
+                        let rec = Json::Obj(vec![
+                            ("id".into(), Json::from(t * 100 + i)),
+                            ("status".into(), Json::from(200u64)),
+                            ("reason".into(), Json::Null),
+                        ]);
+                        log.write(&rec).unwrap();
+                    }
+                })
+                .unwrap(),
+            );
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 64);
+        let mut ids = Vec::new();
+        for line in lines {
+            let parsed = Json::parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+            ids.push(parsed.get("id").and_then(Json::as_u64).unwrap());
+            assert_eq!(parsed.get("status").and_then(Json::as_u64), Some(200));
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 64, "every record survived intact");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -28,12 +28,40 @@
 use crate::clock::Deadline;
 use dropback::{FaultAction, FaultPlan};
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread;
 use std::time::Duration;
 
 /// A named OS thread's join handle.
 pub type JoinHandle = thread::JoinHandle<()>;
+
+// Monotonic ids for the observability layer. Ids start at 1 so 0 can
+// mean "no id" in logs and dumps, and each space is process-wide: a
+// request id names one request across every lane it crosses
+// (`serve.req`, `serve.queue`, `serve.infer`, `serve.write`), a batch
+// id names one flushed micro-batch, a connection id one accepted
+// socket. Relaxed ordering suffices — ids only need uniqueness, not
+// cross-thread ordering.
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_BATCH_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The next connection id (the accept loop calls this once per accept).
+pub fn next_conn_id() -> u64 {
+    NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The next request id — the key every async trace lane and access-log
+/// record of one request shares.
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The next micro-batch id (the batch worker calls this once per flush).
+pub fn next_batch_id() -> u64 {
+    NEXT_BATCH_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Spawns a named lifecycle thread. Names show up in panic messages and
 /// debuggers as `serve-{name}`.
@@ -389,6 +417,34 @@ impl ChaosHook {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ids_are_unique_and_never_zero_across_threads() {
+        let ids = Arc::new(Monitor::new(Vec::<u64>::new()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let ids = Arc::clone(&ids);
+            handles.push(
+                spawn("ids", move || {
+                    for _ in 0..64 {
+                        let id = next_request_id();
+                        ids.update(|v| v.push(id));
+                    }
+                })
+                .unwrap(),
+            );
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut seen = ids.with(|v| v.clone());
+        assert!(seen.iter().all(|&id| id != 0), "0 is the no-id sentinel");
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 256, "every allocation is distinct");
+        assert_ne!(next_conn_id(), 0);
+        assert_ne!(next_batch_id(), 0);
+    }
 
     #[test]
     fn spawned_threads_carry_the_serve_prefix() {

@@ -1,0 +1,446 @@
+//! The always-on flight recorder: a fixed-capacity lock-free ring of
+//! recent request-scoped events, dumpable as a valid Chrome trace even
+//! after a crash.
+//!
+//! Timeline tracing ([`crate::trace`]) is opt-in and unbounded; it
+//! answers questions you knew to ask before the run. The flight recorder
+//! answers the other kind — "the server just shed load / forced a drain /
+//! panicked, what were the last few thousand request events?" — by
+//! keeping a bounded ring that is cheap enough to leave on in
+//! production. Writers claim a slot with one relaxed `fetch_add` on a
+//! process-wide write index and overwrite the oldest record; there are no
+//! locks anywhere on the record path.
+//!
+//! Every slot is a fixed set of `AtomicU64` fields guarded by a
+//! checksum written last. A dump recomputes the checksum and drops any
+//! record a concurrent writer was mid-overwrite on, so readers never
+//! observe a torn record — they observe either a consistent record or
+//! nothing. The dump itself renders as Chrome trace JSON; async pairs
+//! whose begin was already overwritten are demoted to instant events so
+//! the file always passes `dropback-trace`'s strict pairing checks.
+//!
+//! The recorder never touches the clock directly: timestamps come from
+//! the trace module's epoch ([`crate::trace::now_ns`]), keeping the
+//! `wall-clock` lint's allowlist unchanged and every timestamp in the
+//! process on one scale.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::Json;
+use crate::span;
+use crate::trace::{self, TracePhase, TraceRecord};
+
+/// Number of ring slots. Power of two so the slot index is a mask.
+pub const CAPACITY: usize = 4096;
+
+/// Checksum salt: a valid record can never checksum to the all-zeroes
+/// pattern a freshly allocated slot holds.
+const SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// One ring slot. All fields are plain atomics — the ring needs no
+/// `unsafe` and no locks; consistency is a checksum, not an exclusion.
+#[derive(Default)]
+struct Slot {
+    /// Writer's ticket + 1 (so an untouched slot reads as 0 = empty).
+    seq: AtomicU64,
+    /// Nanoseconds since the tracing epoch.
+    ts_ns: AtomicU64,
+    /// Packed `phase_code << 56 | name_idx << 28 | key_idx`; indices
+    /// point into the intern table, `key_idx` 0 = no annotation.
+    meta: AtomicU64,
+    /// The async pairing id (serving request id, batch id, ...).
+    id: AtomicU64,
+    /// Bit pattern of the annotation value (`f64::to_bits`).
+    value_bits: AtomicU64,
+    /// XOR of every field above with [`SALT`], stored last (release) so
+    /// a reader that validates it knows the fields belong together.
+    check: AtomicU64,
+}
+
+fn checksum(seq: u64, ts_ns: u64, meta: u64, id: u64, value_bits: u64) -> u64 {
+    seq ^ ts_ns.rotate_left(17) ^ meta.rotate_left(29) ^ id.rotate_left(41) ^ value_bits ^ SALT
+}
+
+fn ring() -> &'static [Slot] {
+    static RING: OnceLock<Vec<Slot>> = OnceLock::new();
+    RING.get_or_init(|| (0..CAPACITY).map(|_| Slot::default()).collect())
+}
+
+/// The relaxed-atomic write index; `fetch_add(1)` is the whole
+/// slot-claim protocol.
+static WRITE_IDX: AtomicU64 = AtomicU64::new(0);
+
+/// Intern table mapping small indices back to the `&'static str` names
+/// the record sites used. Index 0 is reserved for "no name".
+fn interned() -> &'static Mutex<Vec<&'static str>> {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(vec![""]))
+}
+
+thread_local! {
+    /// Per-thread cache of (`&'static str` address, len) → intern index,
+    /// so the record hot path takes the intern lock once per new name
+    /// per thread, not once per event.
+    static INTERN_CACHE: std::cell::RefCell<HashMap<(usize, usize), u64>> =
+        std::cell::RefCell::new(HashMap::new());
+}
+
+fn intern(name: &'static str) -> u64 {
+    let key = (name.as_ptr() as usize, name.len());
+    let cached = INTERN_CACHE.with(|c| c.try_borrow().ok().and_then(|c| c.get(&key).copied()));
+    if let Some(idx) = cached {
+        return idx;
+    }
+    let idx = {
+        let mut names = crate::lock_unpoisoned(interned());
+        match names.iter().position(|&n| n == name) {
+            Some(i) => i as u64,
+            None => {
+                names.push(name);
+                (names.len() - 1) as u64
+            }
+        }
+    };
+    INTERN_CACHE.with(|c| {
+        if let Ok(mut c) = c.try_borrow_mut() {
+            c.insert(key, idx);
+        }
+    });
+    idx
+}
+
+fn resolve(idx: u64) -> Option<&'static str> {
+    let names = crate::lock_unpoisoned(interned());
+    names.get(idx as usize).copied().filter(|n| !n.is_empty())
+}
+
+fn phase_from_code(code: u64) -> Option<TracePhase> {
+    match code {
+        1 => Some(TracePhase::AsyncBegin),
+        2 => Some(TracePhase::AsyncInstant),
+        3 => Some(TracePhase::AsyncEnd),
+        _ => None,
+    }
+}
+
+fn phase_code(phase: TracePhase) -> u64 {
+    match phase {
+        TracePhase::AsyncBegin => 1,
+        TracePhase::AsyncInstant => 2,
+        TracePhase::AsyncEnd => 3,
+        // Synchronous phases are never routed here; map them to the
+        // instant code so an accidental caller still dumps cleanly.
+        _ => 2,
+    }
+}
+
+/// Turns the flight recorder on. Also pins the shared tracing epoch so
+/// the first recorded event does not pay the `OnceLock` initialization.
+pub fn enable() {
+    let _ = trace::now_ns();
+    let _ = ring();
+    span::set_flightrec_flag(true);
+}
+
+/// Turns the flight recorder off. The ring keeps its contents; a later
+/// dump still shows the most recent events from before the switch.
+pub fn disable() {
+    span::set_flightrec_flag(false);
+}
+
+/// Whether the flight recorder is currently on.
+pub fn is_enabled() -> bool {
+    span::is_flightrec_flag()
+}
+
+/// Records one async event into the ring, overwriting the oldest.
+/// Called from the trace module's async dispatch under the flags check.
+pub(crate) fn record(
+    phase: TracePhase,
+    name: &'static str,
+    id: u64,
+    ts_ns: u64,
+    arg: Option<(&'static str, f64)>,
+) {
+    let name_idx = intern(name) & 0x0fff_ffff;
+    let (key_idx, value) = match arg {
+        Some((k, v)) => (intern(k) & 0x0fff_ffff, v),
+        None => (0, 0.0),
+    };
+    let meta = (phase_code(phase) << 56) | (name_idx << 28) | key_idx;
+    let value_bits = value.to_bits();
+    let ticket = WRITE_IDX.fetch_add(1, Ordering::Relaxed);
+    let slot = &ring()[(ticket as usize) & (CAPACITY - 1)];
+    let seq = ticket + 1;
+    // Invalidate first so a racing dump drops the half-written record,
+    // then publish the checksum last (release) to seal the fields.
+    slot.check.store(0, Ordering::Relaxed);
+    slot.seq.store(seq, Ordering::Relaxed);
+    slot.ts_ns.store(ts_ns, Ordering::Relaxed);
+    slot.meta.store(meta, Ordering::Relaxed);
+    slot.id.store(id, Ordering::Relaxed);
+    slot.value_bits.store(value_bits, Ordering::Relaxed);
+    slot.check.store(
+        checksum(seq, ts_ns, meta, id, value_bits),
+        Ordering::Release,
+    );
+}
+
+/// Reads every consistent record currently in the ring, oldest first.
+/// Records a concurrent writer is mid-overwrite on fail their checksum
+/// and are skipped — a dump contains only untorn records.
+pub fn dump_records() -> Vec<TraceRecord> {
+    let mut out: Vec<(u64, TraceRecord)> = Vec::new();
+    for slot in ring() {
+        let check = slot.check.load(Ordering::Acquire);
+        if check == 0 {
+            continue;
+        }
+        let seq = slot.seq.load(Ordering::Relaxed);
+        let ts_ns = slot.ts_ns.load(Ordering::Relaxed);
+        let meta = slot.meta.load(Ordering::Relaxed);
+        let id = slot.id.load(Ordering::Relaxed);
+        let value_bits = slot.value_bits.load(Ordering::Relaxed);
+        if check != checksum(seq, ts_ns, meta, id, value_bits) {
+            continue; // torn: a writer is overwriting this slot right now
+        }
+        let Some(phase) = phase_from_code(meta >> 56) else {
+            continue;
+        };
+        let Some(name) = resolve((meta >> 28) & 0x0fff_ffff) else {
+            continue;
+        };
+        let args = match resolve(meta & 0x0fff_ffff) {
+            Some(key) => vec![(key, f64::from_bits(value_bits))],
+            None => Vec::new(),
+        };
+        out.push((
+            seq,
+            TraceRecord {
+                ts_ns,
+                tid: 0,
+                phase,
+                name,
+                id: Some(id),
+                args,
+            },
+        ));
+    }
+    out.sort_by_key(|&(seq, _)| seq);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The dump as a Chrome trace document. Because the ring overwrites
+/// oldest-first, an async `"e"` can survive its `"b"` (and vice versa);
+/// unpaired halves are demoted to `"n"` instants so the dump always
+/// satisfies strict async pairing.
+pub fn dump_json() -> Json {
+    trace::chrome_trace_json(&balanced_records())
+}
+
+/// Writes the dump to `w` as line-oriented Chrome trace JSON.
+pub fn write_dump<W: Write>(w: &mut W) -> io::Result<()> {
+    trace::write_chrome_trace(w, &balanced_records())
+}
+
+fn balanced_records() -> Vec<TraceRecord> {
+    let mut records = dump_records();
+    // First pass: which (name, id) lanes have a begin/end pair fully
+    // inside the ring, in order?
+    let mut open: HashMap<(&'static str, u64), usize> = HashMap::new();
+    let mut paired: Vec<bool> = vec![false; records.len()];
+    for (i, r) in records.iter().enumerate() {
+        let Some(id) = r.id else { continue };
+        match r.phase {
+            TracePhase::AsyncBegin => {
+                open.insert((r.name, id), i);
+            }
+            TracePhase::AsyncEnd => {
+                if let Some(b) = open.remove(&(r.name, id)) {
+                    paired[b] = true;
+                    paired[i] = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    for (i, r) in records.iter_mut().enumerate() {
+        if matches!(r.phase, TracePhase::AsyncBegin | TracePhase::AsyncEnd) && !paired[i] {
+            r.phase = TracePhase::AsyncInstant;
+            r.args.push(("truncated", 1.0));
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The ring and write index are process-global and shared with the
+    /// trace/span tests through the flags byte; serialize on the gate.
+    use crate::test_gate as lock;
+
+    /// The ring cannot be reset between tests (it is the crash-dump
+    /// surface), so tests tag names uniquely and fill the whole ring to
+    /// flush foreign records out.
+    fn fill_with(name: &'static str, n: usize) {
+        for i in 0..n {
+            record(
+                TracePhase::AsyncInstant,
+                name,
+                i as u64,
+                i as u64,
+                Some(("v", i as f64 * 0.5)),
+            );
+        }
+    }
+
+    #[test]
+    fn wraparound_overwrites_oldest() {
+        let _g = lock();
+        let extra = 128;
+        fill_with("frtest-wrap", CAPACITY + extra);
+        let records: Vec<_> = dump_records()
+            .into_iter()
+            .filter(|r| r.name == "frtest-wrap")
+            .collect();
+        assert_eq!(records.len(), CAPACITY, "ring holds exactly CAPACITY");
+        // The `extra` oldest records were overwritten: the ids present
+        // are the newest CAPACITY ones, in write order.
+        let ids: Vec<u64> = records.iter().map(|r| r.id.unwrap()).collect();
+        let want: Vec<u64> = (extra as u64..(CAPACITY + extra) as u64).collect();
+        assert_eq!(ids, want);
+        let last = records.last().unwrap();
+        assert_eq!(last.args, vec![("v", (CAPACITY + extra - 1) as f64 * 0.5)]);
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_a_record() {
+        let _g = lock();
+        // Writers race over the whole ring several laps; every surviving
+        // record must be self-consistent (value derivable from id), no
+        // matter how reads interleave with overwrites.
+        let threads = 8;
+        let per_thread = CAPACITY;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let id = (t * per_thread + i) as u64;
+                        record(
+                            TracePhase::AsyncInstant,
+                            "frtest-tear",
+                            id,
+                            id * 3,
+                            Some(("v", id as f64 * 7.0)),
+                        );
+                    }
+                });
+            }
+            // Dump concurrently with the writers: consistency must hold
+            // mid-race, not just after the join.
+            for _ in 0..20 {
+                for r in dump_records() {
+                    if r.name != "frtest-tear" {
+                        continue;
+                    }
+                    let id = r.id.unwrap();
+                    assert_eq!(r.ts_ns, id * 3, "ts belongs to id {id}");
+                    assert_eq!(
+                        r.args,
+                        vec![("v", id as f64 * 7.0)],
+                        "arg belongs to id {id}"
+                    );
+                }
+            }
+        });
+        // After the join every slot is consistent and from this test.
+        let records = dump_records();
+        assert_eq!(records.len(), CAPACITY);
+        for r in &records {
+            assert_eq!(r.name, "frtest-tear");
+            let id = r.id.unwrap();
+            assert_eq!(r.ts_ns, id * 3);
+            assert_eq!(r.args, vec![("v", id as f64 * 7.0)]);
+        }
+    }
+
+    #[test]
+    fn dump_is_valid_chrome_trace_with_balanced_async_pairs() {
+        let _g = lock();
+        // Overwrite the whole ring, then lay down one complete request
+        // lane and one end whose begin is "lost" (simulating overwrite).
+        fill_with("frtest-dump-bg", CAPACITY);
+        record(
+            TracePhase::AsyncBegin,
+            "frtest-dump-req",
+            42,
+            1_000,
+            Some(("queued", 1.0)),
+        );
+        record(TracePhase::AsyncInstant, "frtest-dump-req", 42, 1_500, None);
+        record(
+            TracePhase::AsyncEnd,
+            "frtest-dump-req",
+            42,
+            2_000,
+            Some(("status", 200.0)),
+        );
+        record(TracePhase::AsyncEnd, "frtest-dump-orphan", 7, 2_500, None);
+
+        let mut out = Vec::new();
+        write_dump(&mut out).expect("write to Vec cannot fail");
+        let text = String::from_utf8(out).expect("dump is UTF-8");
+        let doc = Json::parse(&text).expect("dump parses as JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), CAPACITY);
+
+        // The complete lane keeps its b/e pair; the orphan end became an
+        // instant tagged truncated, so strict pairing always holds.
+        let by_name = |n: &str| -> Vec<String> {
+            events
+                .iter()
+                .filter(|e| e.get("name").and_then(Json::as_str) == Some(n))
+                .map(|e| e.get("ph").and_then(Json::as_str).unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(by_name("frtest-dump-req"), vec!["b", "n", "e"]);
+        assert_eq!(by_name("frtest-dump-orphan"), vec!["n"]);
+        let orphan = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("frtest-dump-orphan"))
+            .unwrap();
+        assert_eq!(
+            orphan
+                .get("args")
+                .and_then(|a| a.get("truncated"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        // Every event carries an id and a microsecond timestamp.
+        assert!(events
+            .iter()
+            .all(|e| e.get("id").and_then(Json::as_u64).is_some()));
+        let req_begin = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("frtest-dump-req"))
+            .unwrap();
+        assert_eq!(req_begin.get("ts").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn enable_sets_and_clears_the_flag() {
+        let _g = lock();
+        enable();
+        assert!(is_enabled());
+        disable();
+        assert!(!is_enabled());
+    }
+}

@@ -19,8 +19,12 @@
 //! * [`Telemetry`] — the bundle the trainer threads through a run:
 //!   collector + sink + activity flag.
 //! * [`trace`] — timeline tracing: thread-aware begin/end/counter events
-//!   exportable as Chrome trace-event JSON (Perfetto-loadable); spans
-//!   feed it automatically when [`trace::start_tracing`] is on.
+//!   plus async request lanes (`b`/`n`/`e` keyed by id), exportable as
+//!   Chrome trace-event JSON (Perfetto-loadable); spans feed it
+//!   automatically when [`trace::start_tracing`] is on.
+//! * [`flightrec`] — the always-on flight recorder: a fixed-capacity
+//!   lock-free ring of recent async events, dumpable as a valid Chrome
+//!   trace after a panic, forced drain, or on demand.
 //!
 //! ## Example
 //!
@@ -37,6 +41,7 @@
 
 #![deny(missing_docs)]
 
+pub mod flightrec;
 pub mod json;
 mod metrics;
 mod sink;

@@ -1,16 +1,16 @@
 //! Point-in-time serialization of a collector plus the span registry.
 
 use crate::json::Json;
-use crate::metrics::Collector;
+use crate::metrics::{bucket_upper, Collector};
 use crate::span::{self, PhaseStat};
 use std::fmt::Write as _;
 
 /// Summary statistics of one histogram.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSummary {
-    /// Sample count.
+    /// Sample count (exact, maintained alongside the buckets).
     pub count: u64,
-    /// Sum of samples.
+    /// Sum of samples (exact, so means never inherit bucket rounding).
     pub sum: f64,
     /// Mean sample.
     pub mean: f64,
@@ -20,6 +20,9 @@ pub struct HistogramSummary {
     pub p90: Option<f64>,
     /// 99th percentile; `None` when empty.
     pub p99: Option<f64>,
+    /// Per-bucket sample counts (log₂ bucket `i` covers `(2^(i−1), 2^i]`),
+    /// carried so the Prometheus exposition can emit real buckets.
+    pub buckets: Vec<u64>,
 }
 
 /// Everything a collector and the span registry know, frozen at one
@@ -55,6 +58,7 @@ impl TelemetrySnapshot {
                             p50: h.p50(),
                             p90: h.p90(),
                             p99: h.p99(),
+                            buckets: h.bucket_counts(),
                         },
                     )
                 })
@@ -149,8 +153,9 @@ impl TelemetrySnapshot {
             for (n, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {n:<28} n={} mean={:.1} p50={:.0} p90={:.0} p99={:.0}",
+                    "  {n:<28} n={} sum={:.0} mean={:.1} p50={:.0} p90={:.0} p99={:.0}",
                     h.count,
+                    h.sum,
                     h.mean,
                     h.p50.unwrap_or(0.0),
                     h.p90.unwrap_or(0.0),
@@ -163,6 +168,48 @@ impl TelemetrySnapshot {
             for (n, s) in &self.phases {
                 let _ = writeln!(out, "  {n:<28} {:.3}s over {} spans", s.seconds(), s.count);
             }
+        }
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// counters and gauges as single samples, histograms as cumulative
+    /// `_bucket{le=...}` series plus exact `_sum` and `_count`. Metric
+    /// names are sanitized (`serve.queue_ns` → `serve_queue_ns`); empty
+    /// trailing buckets are elided, `le="+Inf"` always closes the series.
+    pub fn render_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
+        let mut out = String::new();
+        for (n, v) in &self.counters {
+            let n = sanitize(n);
+            let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+        }
+        for (n, v) in &self.gauges {
+            let n = sanitize(n);
+            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+        }
+        for (n, h) in &self.histograms {
+            let n = sanitize(n);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let last = h.buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets.iter().take(last).enumerate() {
+                cum += c;
+                let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", bucket_upper(i));
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
         }
         out
     }
@@ -206,6 +253,51 @@ mod tests {
         let j = TelemetrySnapshot::capture(&c).to_json();
         let h = j.get("histograms").unwrap().get("empty").unwrap();
         assert_eq!(h.get("p50"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_parseable_and_cumulative() {
+        let c = Collector::new();
+        c.counter("serve.requests").add(3);
+        c.gauge("serve.model_epoch").set(2.0);
+        let h = c.histogram("serve.queue_ns");
+        h.record(1.0);
+        h.record(1.0);
+        h.record(3.0); // bucket 2 (upper 4)
+        let text = TelemetrySnapshot::capture(&c).render_prometheus();
+
+        // Names are sanitized and typed.
+        assert!(text.contains("# TYPE serve_requests counter\nserve_requests 3\n"));
+        assert!(text.contains("# TYPE serve_model_epoch gauge\nserve_model_epoch 2\n"));
+        assert!(text.contains("# TYPE serve_queue_ns histogram"));
+        // Buckets are cumulative, close with +Inf, and sum/count are exact.
+        assert!(text.contains("serve_queue_ns_bucket{le=\"1\"} 2"));
+        assert!(text.contains("serve_queue_ns_bucket{le=\"4\"} 3"));
+        assert!(text.contains("serve_queue_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("serve_queue_ns_sum 5"));
+        assert!(text.contains("serve_queue_ns_count 3"));
+
+        // Structural parse: every non-comment line is `name{labels}? value`
+        // with a numeric value, and cumulative bucket counts never decrease.
+        let mut prev_bucket: Option<u64> = None;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty());
+            assert!(
+                name.chars()
+                    .all(|ch| ch.is_ascii_alphanumeric() || "_:{}=\"+.".contains(ch)),
+                "unexpected char in {name}"
+            );
+            let v: f64 = value.parse().expect("numeric value");
+            if name.starts_with("serve_queue_ns_bucket") {
+                let b = v as u64;
+                assert!(prev_bucket.is_none_or(|p| b >= p), "cumulative");
+                prev_bucket = Some(b);
+            }
+        }
     }
 
     #[test]

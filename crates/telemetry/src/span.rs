@@ -17,10 +17,13 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Bit 0: phase-total timing ([`set_enabled`]). Bit 1: timeline tracing
-/// ([`crate::trace::start_tracing`]). One byte so the disabled hot path
-/// stays a single relaxed load even with both subsystems present.
+/// ([`crate::trace::start_tracing`]). Bit 2: the always-on flight
+/// recorder ([`crate::flightrec::enable`]). One byte so the disabled hot
+/// path stays a single relaxed load even with all three subsystems
+/// present.
 const FLAG_TIMING: u8 = 1;
-const FLAG_TRACING: u8 = 2;
+pub(crate) const FLAG_TRACING: u8 = 2;
+pub(crate) const FLAG_FLIGHTREC: u8 = 4;
 
 static FLAGS: AtomicU8 = AtomicU8::new(0);
 
@@ -32,12 +35,26 @@ fn set_flag(mask: u8, on: bool) {
     }
 }
 
+/// One relaxed load of the whole flags byte — the only cost an
+/// instrumentation site pays while every subsystem is off.
+pub(crate) fn flags() -> u8 {
+    FLAGS.load(Ordering::Relaxed)
+}
+
 pub(crate) fn set_tracing_flag(on: bool) {
     set_flag(FLAG_TRACING, on);
 }
 
 pub(crate) fn is_tracing_flag() -> bool {
     FLAGS.load(Ordering::Relaxed) & FLAG_TRACING != 0
+}
+
+pub(crate) fn set_flightrec_flag(on: bool) {
+    set_flag(FLAG_FLIGHTREC, on);
+}
+
+pub(crate) fn is_flightrec_flag() -> bool {
+    FLAGS.load(Ordering::Relaxed) & FLAG_FLIGHTREC != 0
 }
 
 fn registry() -> &'static Mutex<HashMap<&'static str, PhaseStat>> {
@@ -106,7 +123,10 @@ impl Span {
     /// counts) that end up in the trace's begin event `args`. The phase
     /// registry ignores them — annotations only matter on a timeline.
     pub fn enter_with(name: &'static str, args: &[(&'static str, f64)]) -> Self {
-        let flags = FLAGS.load(Ordering::Relaxed);
+        // Mask to the bits spans care about: the flight recorder only
+        // captures request-scoped async events, so its bit alone must not
+        // push spans off the single-load fast path (or touch DEPTH).
+        let flags = FLAGS.load(Ordering::Relaxed) & (FLAG_TIMING | FLAG_TRACING);
         if flags == 0 {
             return Self {
                 name,

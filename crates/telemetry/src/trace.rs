@@ -40,6 +40,12 @@ pub enum TracePhase {
     End,
     /// Counter sample (`"C"`).
     Counter,
+    /// Async begin (`"b"`), paired across threads by `id`.
+    AsyncBegin,
+    /// Async instant (`"n"`), a point annotation on an async lane.
+    AsyncInstant,
+    /// Async end (`"e"`), closing the `"b"` with the same name and `id`.
+    AsyncEnd,
 }
 
 impl TracePhase {
@@ -49,7 +55,18 @@ impl TracePhase {
             TracePhase::Begin => "B",
             TracePhase::End => "E",
             TracePhase::Counter => "C",
+            TracePhase::AsyncBegin => "b",
+            TracePhase::AsyncInstant => "n",
+            TracePhase::AsyncEnd => "e",
         }
+    }
+
+    /// Whether this is one of the async phases (`"b"`/`"n"`/`"e"`).
+    pub fn is_async(self) -> bool {
+        matches!(
+            self,
+            TracePhase::AsyncBegin | TracePhase::AsyncInstant | TracePhase::AsyncEnd
+        )
     }
 }
 
@@ -60,10 +77,13 @@ pub struct TraceRecord {
     pub ts_ns: u64,
     /// Sequential id of the recording thread (0 = first recorder).
     pub tid: u64,
-    /// Begin / End / Counter.
+    /// Begin / End / Counter / async begin / instant / end.
     pub phase: TracePhase,
     /// Span or counter name.
     pub name: &'static str,
+    /// Pairing id for async phases (e.g. the serving request id);
+    /// `None` for synchronous B/E/C events.
+    pub id: Option<u64>,
     /// Numeric annotations (e.g. `("flops", 2.0 * m * n * k)`).
     pub args: Vec<(&'static str, f64)>,
 }
@@ -136,18 +156,34 @@ pub fn is_tracing() -> bool {
     span::is_tracing_flag()
 }
 
-fn now_ns() -> u64 {
+/// Nanoseconds since the tracing epoch. Shared with the flight recorder
+/// so every timestamp in the process is on one scale — and so the
+/// `wall-clock` lint's clock allowlist never has to grow for it.
+pub(crate) fn now_ns() -> u64 {
     epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
 fn push(phase: TracePhase, name: &'static str, args: Vec<(&'static str, f64)>) {
-    let ts_ns = now_ns();
+    push_at(now_ns(), phase, name, None, args);
+}
+
+fn push_at(
+    ts_ns: u64,
+    phase: TracePhase,
+    name: &'static str,
+    id: Option<u64>,
+    args: Vec<(&'static str, f64)>,
+) {
     // An End at depth <= 1 closes this thread's outermost span: publish
     // now, because on a scoped worker thread nothing later is guaranteed
     // to run before the spawning scope returns (TLS destructors race with
     // `thread::scope` exit). Depth is still pre-decrement here — the Span
-    // drop records the End before unwinding its depth.
-    let outermost_end = phase == TracePhase::End && span::current_depth() <= 1;
+    // drop records the End before unwinding its depth. Async events
+    // publish immediately for the same reason: request lanes cross
+    // threads whose lifetimes nobody joins (connection handlers), so an
+    // event parked in their TLS could miss the export and leave a lane
+    // half-open in an otherwise balanced trace.
+    let publish = (phase == TracePhase::End && span::current_depth() <= 1) || phase.is_async();
     LOCAL.with(|l| {
         // A record emitted while this thread's buffer is mid-teardown (the
         // TLS destructor is running) is dropped rather than resurrecting
@@ -159,9 +195,10 @@ fn push(phase: TracePhase, name: &'static str, args: Vec<(&'static str, f64)>) {
                 tid,
                 phase,
                 name,
+                id,
                 args,
             });
-            if l.records.len() >= LOCAL_SPILL || outermost_end {
+            if l.records.len() >= LOCAL_SPILL || publish {
                 l.spill();
             }
         }
@@ -190,6 +227,105 @@ pub fn record_counter(name: &'static str, value: f64) {
     push(TracePhase::Counter, name, vec![("value", value)]);
 }
 
+/// Dispatches one async event to every subsystem whose flag is set: the
+/// trace buffer (timeline tracing) and the flight recorder. Costs a
+/// single relaxed atomic load when both are off — the same zero-overhead
+/// contract the span fast path keeps.
+fn async_event(phase: TracePhase, name: &'static str, id: u64, args: &[(&'static str, f64)]) {
+    let flags = span::flags();
+    if flags & (span::FLAG_TRACING | span::FLAG_FLIGHTREC) == 0 {
+        return;
+    }
+    async_dispatch(
+        phase,
+        name,
+        id,
+        args,
+        flags & span::FLAG_TRACING != 0,
+        flags & span::FLAG_FLIGHTREC != 0,
+    );
+}
+
+/// Like [`async_event`], but the trace-buffer decision is the caller's
+/// `traced` snapshot, not the live flag. Emitters whose begin and end
+/// run on different threads (or far apart in time) snapshot
+/// [`is_tracing`] once when the lane opens and pass it to every event of
+/// that lane — otherwise a request in flight while tracing toggles
+/// records an end without its begin (or vice versa) and the exported
+/// trace fails strict pairing. The flight recorder keeps following its
+/// own live flag: its ring tolerates unpaired events by demoting them at
+/// dump time.
+fn async_event_for(
+    traced: bool,
+    phase: TracePhase,
+    name: &'static str,
+    id: u64,
+    args: &[(&'static str, f64)],
+) {
+    let recording = span::flags() & span::FLAG_FLIGHTREC != 0;
+    if !traced && !recording {
+        return;
+    }
+    async_dispatch(phase, name, id, args, traced, recording);
+}
+
+fn async_dispatch(
+    phase: TracePhase,
+    name: &'static str,
+    id: u64,
+    args: &[(&'static str, f64)],
+    traced: bool,
+    recording: bool,
+) {
+    let ts_ns = now_ns();
+    if recording {
+        crate::flightrec::record(phase, name, id, ts_ns, args.first().copied());
+    }
+    if traced {
+        // Unconditional push: a lane whose begin was traced always gets
+        // its end into the buffer, even if tracing stopped in between.
+        push_at(ts_ns, phase, name, Some(id), args.to_vec());
+    }
+}
+
+/// Opens an async lane (`ph: "b"`) named `name`, keyed by `id`. The lane
+/// stays open — across threads — until [`async_end`] records the same
+/// name and id. Used for request-scoped serving timelines where one
+/// request crosses the connection thread, the batch worker, and back.
+pub fn async_begin(name: &'static str, id: u64, args: &[(&'static str, f64)]) {
+    async_event(TracePhase::AsyncBegin, name, id, args);
+}
+
+/// Drops an instant annotation (`ph: "n"`) onto the async lane `id`,
+/// e.g. per-batch fill/generation/regen annotations.
+pub fn async_instant(name: &'static str, id: u64, args: &[(&'static str, f64)]) {
+    async_event(TracePhase::AsyncInstant, name, id, args);
+}
+
+/// Closes the async lane opened by [`async_begin`] with the same `name`
+/// and `id`, optionally carrying closing annotations (e.g. status).
+pub fn async_end(name: &'static str, id: u64, args: &[(&'static str, f64)]) {
+    async_event(TracePhase::AsyncEnd, name, id, args);
+}
+
+/// [`async_begin`] with the trace decision snapshotted by the caller at
+/// lane-open time (see [`is_tracing`]): every event of one lane must use
+/// the same snapshot so the lane's begin/end pairing survives tracing
+/// being switched on or off while the lane is open.
+pub fn async_begin_for(traced: bool, name: &'static str, id: u64, args: &[(&'static str, f64)]) {
+    async_event_for(traced, TracePhase::AsyncBegin, name, id, args);
+}
+
+/// [`async_instant`] under a caller-held trace decision ([`async_begin_for`]).
+pub fn async_instant_for(traced: bool, name: &'static str, id: u64, args: &[(&'static str, f64)]) {
+    async_event_for(traced, TracePhase::AsyncInstant, name, id, args);
+}
+
+/// [`async_end`] under a caller-held trace decision ([`async_begin_for`]).
+pub fn async_end_for(traced: bool, name: &'static str, id: u64, args: &[(&'static str, f64)]) {
+    async_event_for(traced, TracePhase::AsyncEnd, name, id, args);
+}
+
 /// Flushes the calling thread's buffer and drains every record collected
 /// so far, sorted by timestamp. Typically called once, after
 /// [`stop_tracing`], to export the run.
@@ -216,6 +352,9 @@ fn event_json(r: &TraceRecord) -> Json {
         ("pid".to_string(), Json::Num(1.0)),
         ("tid".to_string(), Json::Num(r.tid as f64)),
     ];
+    if let Some(id) = r.id {
+        fields.push(("id".to_string(), Json::Num(id as f64)));
+    }
     if !r.args.is_empty() {
         let args: Vec<(String, Json)> = r
             .args
@@ -312,6 +451,37 @@ mod tests {
     }
 
     #[test]
+    fn lane_snapshots_survive_tracing_toggles_in_both_directions() {
+        let _g = lock();
+        let _ = take_trace();
+        // A lane opened before tracing started must stay silent all the
+        // way through, even when its end lands mid-trace — otherwise the
+        // export holds an `e` with no `b` and fails strict pairing.
+        let stale = is_tracing();
+        assert!(!stale);
+        async_begin_for(stale, "trtest-lane", 1, &[]);
+        start_tracing();
+        async_end_for(stale, "trtest-lane", 1, &[]);
+        // A lane opened while tracing is on must close in the buffer
+        // even though tracing stopped while it was open.
+        let live = is_tracing();
+        assert!(live);
+        async_begin_for(live, "trtest-lane", 2, &[]);
+        stop_tracing();
+        async_end_for(live, "trtest-lane", 2, &[("status", 200.0)]);
+        let records = drain_named("trtest-lane");
+        let shape: Vec<_> = records.iter().map(|r| (r.phase, r.id)).collect();
+        assert_eq!(
+            shape,
+            vec![
+                (TracePhase::AsyncBegin, Some(2)),
+                (TracePhase::AsyncEnd, Some(2)),
+            ],
+            "only the lane whose begin was traced appears, and it is balanced"
+        );
+    }
+
+    #[test]
     fn counters_record_only_while_tracing() {
         let _g = lock();
         let _ = take_trace();
@@ -350,6 +520,7 @@ mod tests {
         let _ = take_trace();
         crate::set_enabled(false);
         stop_tracing();
+        crate::flightrec::disable();
         {
             let s = crate::Span::enter_with("trtest-off", &[("flops", 1.0)]);
             // With both the timing and tracing flags clear the span took
@@ -358,7 +529,62 @@ mod tests {
             assert!(!s.is_recording());
         }
         record_counter("trtest-off", 2.0);
+        // The async sites share the contract: with tracing and the flight
+        // recorder both off they return after the one flags load — no
+        // clock read, no buffer push, no ring write.
+        async_begin("trtest-off", 7, &[("queued", 1.0)]);
+        async_instant("trtest-off", 7, &[("fill", 3.0)]);
+        async_end("trtest-off", 7, &[]);
         assert!(drain_named("trtest-off").is_empty());
+        assert!(crate::flightrec::dump_records()
+            .iter()
+            .all(|r| r.name != "trtest-off"));
+    }
+
+    #[test]
+    fn async_events_pair_by_id_across_threads() {
+        let _g = lock();
+        let _ = take_trace();
+        start_tracing();
+        // Two interleaved request lanes whose begin/end land on different
+        // threads, as they do in the real server (conn thread vs batch
+        // worker writes the instants).
+        async_begin("trtest-async-req", 1, &[("queued", 1.0)]);
+        async_begin("trtest-async-req", 2, &[]);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                async_instant("trtest-async-batch", 1, &[("fill", 2.0)]);
+                async_end("trtest-async-req", 2, &[]);
+                async_end("trtest-async-req", 1, &[("status", 200.0)]);
+            });
+        });
+        stop_tracing();
+        let records = drain_named("trtest-async");
+        assert_eq!(records.len(), 5);
+        assert!(records.iter().all(|r| r.phase.is_async()));
+        let lane1: Vec<_> = records
+            .iter()
+            .filter(|r| r.id == Some(1) && r.name == "trtest-async-req")
+            .map(|r| r.phase)
+            .collect();
+        assert_eq!(lane1, vec![TracePhase::AsyncBegin, TracePhase::AsyncEnd]);
+
+        // The Chrome export carries ph b/n/e plus the numeric id.
+        let mut out = Vec::new();
+        write_chrome_trace(&mut out, &records).expect("write to Vec cannot fail");
+        let doc = Json::parse(&String::from_utf8(out).expect("utf8")).expect("parses");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents");
+        let phases: Vec<_> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Json::as_str))
+            .collect();
+        assert_eq!(phases, vec!["b", "b", "n", "e", "e"]);
+        assert!(events
+            .iter()
+            .all(|e| e.get("id").and_then(Json::as_u64).is_some()));
     }
 
     #[test]

@@ -71,10 +71,12 @@ TRACE_TMP="$(mktemp -t dropback-trace-smoke.XXXXXX.json)"
 SERVE_TMP="$(mktemp -d -t dropback-serve-smoke.XXXXXX)"
 SERVE_PID=""
 CHAOS_PID=""
+OBS_PID=""
 cleanup() {
     rm -f "$TRACE_TMP"
     [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2> /dev/null || true
     [ -n "$CHAOS_PID" ] && kill "$CHAOS_PID" 2> /dev/null || true
+    [ -n "$OBS_PID" ] && kill "$OBS_PID" 2> /dev/null || true
     rm -rf "$SERVE_TMP"
 }
 trap cleanup EXIT
@@ -160,5 +162,64 @@ for key in '"serve.drained":' '"serve.drain.forced":' '"serve.timeout.read":'; d
         exit 1
     fi
 done
+
+echo "== serve-trace smoke (async request lanes pair up, access log parses)"
+# Boot with request tracing, an access log, and the flight recorder, put
+# real + flood traffic through it, and fetch /debug/flightrec live. The
+# exported timeline must satisfy the strict analyzer (per-id async lane
+# pairing) and every access-log line must be one parseable JSON object
+# carrying the per-request schema (the Json::parse round-trip itself is
+# pinned by serve's access_log unit test).
+./target/release/dropback-serve serve --dir "$SERVE_TMP/ckpts" \
+    --addr 127.0.0.1:0 --addr-file "$SERVE_TMP/obs-addr" --quiet \
+    --trace "$SERVE_TMP/obs-trace.json" \
+    --access-log "$SERVE_TMP/obs-access.jsonl" \
+    --flightrec "$SERVE_TMP/obs-flightrec.json" \
+    > "$SERVE_TMP/obs-digest.json" &
+OBS_PID=$!
+for _ in $(seq 1 100); do
+    [ -f "$SERVE_TMP/obs-addr" ] && break
+    sleep 0.1
+done
+if [ ! -f "$SERVE_TMP/obs-addr" ]; then
+    echo "dropback-serve (trace smoke) never published its address" >&2
+    exit 1
+fi
+OBS_ADDR="$(cat "$SERVE_TMP/obs-addr")"
+./target/release/dropback-serve probe --addr "$OBS_ADDR" \
+    --healthz --infer --repeat 4 > /dev/null
+./target/release/dropback-serve probe --addr "$OBS_ADDR" \
+    --flood 8 --seed 99 > /dev/null
+./target/release/dropback-serve probe --addr "$OBS_ADDR" \
+    --flightrec > "$SERVE_TMP/obs-flightrec-live.json"
+./target/release/dropback-serve probe --addr "$OBS_ADDR" --shutdown > /dev/null
+wait "$OBS_PID"
+OBS_PID=""
+for trace in "$SERVE_TMP/obs-trace.json" "$SERVE_TMP/obs-flightrec-live.json"; do
+    if ! ./target/release/dropback-trace --json "$trace" > /dev/null; then
+        echo "dropback-trace rejected $trace (parse error or unpaired lanes)" >&2
+        exit 1
+    fi
+done
+python3 - "$SERVE_TMP/obs-access.jsonl" << 'EOF'
+import json, sys
+required = {"id", "conn", "method", "target", "status", "reason",
+            "queue_ns", "infer_ns", "write_ns"}
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "access log is empty"
+ids = set()
+infer_ok = 0
+for line in lines:
+    rec = json.loads(line)
+    missing = required - rec.keys()
+    assert not missing, f"access record missing {missing}: {rec}"
+    assert rec["id"] > 0 and rec["id"] not in ids, "request ids must be unique"
+    ids.add(rec["id"])
+    if rec["target"] == "/infer" and rec["status"] == 200:
+        infer_ok += 1
+        assert rec["infer_ns"] > 0, f"served infer has no infer_ns: {rec}"
+assert infer_ok >= 4, f"expected >=4 successful /infer records, saw {infer_ok}"
+print(f"access log ok: {len(lines)} records, {infer_ok} served infers")
+EOF
 
 echo "All checks passed."
