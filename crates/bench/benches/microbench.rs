@@ -103,6 +103,7 @@ fn main() {
             kw: 3,
             stride: 1,
             pad: 1,
+            dilation: 1,
         };
         let x = rand_tensor(vec![4, 16, 16, 16], 3);
         let w = rand_tensor(vec![32, 16 * 9], 4);

@@ -14,6 +14,11 @@
 //!    models at 1 thread (serial) and 2 threads (pooled). On a
 //!    single-core host these bracket the pool's coordination overhead;
 //!    on a multi-core host the pooled column shows the speedup.
+//! 4. **GEMM throughput** — GFLOP/s of the packed-microkernel GEMM on
+//!    training-shaped problems, with the AVX2 kernel on and off
+//!    (`simd::set_simd`). Both columns compute bit-identical results
+//!    (the conformance suite pins that); the ratio is the price of the
+//!    scalar fallback.
 //!
 //! ```text
 //! cargo run --release -p dropback-bench --bin bench_parallel
@@ -26,7 +31,7 @@
 use dropback::prelude::*;
 use dropback_bench::{banner, env_usize};
 use dropback_telemetry::Stopwatch;
-use dropback_tensor::pool;
+use dropback_tensor::{matmul, pool, simd, Tensor};
 use std::hint::black_box;
 use std::io::Write;
 
@@ -99,6 +104,29 @@ fn time_steps(mut net: Network, mut opt: impl Optimizer, train: &Dataset, steps:
     sw.elapsed_ns().unwrap_or(0) as f64 / steps as f64 / 1_000_000.0
 }
 
+/// Mean GFLOP/s of the packed GEMM on one m×k×n problem shape at the
+/// current kernel selection and pool size.
+fn time_gemm(m: usize, k: usize, n: usize, reps: usize) -> f64 {
+    let a = Tensor::from_vec(
+        vec![m, k],
+        (0..m * k).map(|i| (i % 97) as f32 * 0.013).collect(),
+    );
+    let b = Tensor::from_vec(
+        vec![k, n],
+        (0..k * n).map(|i| (i % 89) as f32 * 0.017).collect(),
+    );
+    for _ in 0..reps / 10 + 1 {
+        black_box(matmul(&a, &b));
+    }
+    let sw = Stopwatch::started();
+    for _ in 0..reps {
+        black_box(matmul(&a, &b));
+    }
+    let ns = sw.elapsed_ns().unwrap_or(0).max(1);
+    // flops / ns == 1e9 flops / s == GFLOP/s.
+    (2 * m * k * n * reps) as f64 / ns as f64
+}
+
 fn main() {
     banner(
         "BENCH parallel",
@@ -169,6 +197,47 @@ fn main() {
     println!("pooled column measures coordination overhead, the dispatch table");
     println!("measures the pool's gain over the old spawn-per-call model)");
 
+    // GEMM throughput: the packed microkernel with the SIMD kernel on and
+    // off. Shapes mirror the traced training workload (mnist layer GEMMs)
+    // plus one square blocked case that spans every MC/KC/NC boundary.
+    let gemm_shapes: [(usize, usize, usize); 3] = [(64, 784, 100), (64, 100, 100), (256, 256, 256)];
+    let gemm_reps = reps / 6 + 1;
+    let was_simd = simd::simd_active();
+    let mut gemm_rows = Vec::new();
+    for &(m, k, n) in &gemm_shapes {
+        let avx2 = simd::set_simd(true); // false = no AVX2 host, stays scalar
+        let simd_gflops = time_gemm(m, k, n, gemm_reps);
+        simd::set_simd(false);
+        let scalar_gflops = time_gemm(m, k, n, gemm_reps);
+        gemm_rows.push((m, k, n, avx2, simd_gflops, scalar_gflops));
+    }
+    simd::set_simd(was_simd);
+
+    println!("\npacked GEMM throughput (GFLOP/s, mean over {gemm_reps} calls):");
+    println!("  m     k     n     simd       scalar     simd-vs-scalar");
+    for &(m, k, n, avx2, s, sc) in &gemm_rows {
+        let tag = if avx2 {
+            ""
+        } else {
+            "  (no AVX2: simd column is scalar)"
+        };
+        println!(
+            "  {m:<5} {k:<5} {n:<5} {s:<10.2} {sc:<10.2} {:.2}x{tag}",
+            s / sc.max(1e-9)
+        );
+    }
+
+    let gemm_json = gemm_rows
+        .iter()
+        .map(|&(m, k, n, _, s, sc)| {
+            format!(
+                "{{\"m\":{m},\"k\":{k},\"n\":{n},\"simd_gflops\":{s:.3},\
+                 \"scalar_gflops\":{sc:.3},\"simd_speedup\":{:.3}}}",
+                s / sc.max(1e-9)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     let json = format!(
         concat!(
             "{{\"host_parallelism\":{},",
@@ -179,7 +248,8 @@ fn main() {
             "\"spawn_us\":{:.3},\"pool_speedup_vs_spawn\":{:.3}}}}},",
             "\"steps\":{{\"timed_steps\":{},",
             "\"mnist_100_100\":{{\"serial_ms\":{:.3},\"pooled_ms\":{:.3}}},",
-            "\"vgg_s_nano\":{{\"serial_ms\":{:.3},\"pooled_ms\":{:.3}}}}}}}\n",
+            "\"vgg_s_nano\":{{\"serial_ms\":{:.3},\"pooled_ms\":{:.3}}}}},",
+            "\"gemm\":{{\"calls\":{},\"avx2\":{},\"shapes\":[{}]}}}}\n",
         ),
         host,
         parts,
@@ -199,6 +269,9 @@ fn main() {
         mlp_pooled,
         conv_serial,
         conv_pooled,
+        gemm_reps,
+        gemm_rows.iter().all(|r| r.3),
+        gemm_json,
     );
     let path = "BENCH_parallel.json";
     match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {

@@ -60,6 +60,13 @@ pub fn all_rules() -> &'static [Rule] {
             check: unsafe_audit,
         },
         Rule {
+            id: "feature-detect",
+            summary: "runtime CPU-feature detection (`is_x86_feature_detected!`) is confined \
+                      to simd.rs — kernel selection is made once, honors DROPBACK_SIMD, and \
+                      stays consistent for a whole run",
+            check: feature_detect,
+        },
+        Rule {
             id: "panic-path",
             summary: "no unwrap/expect/panic!/unreachable! on library request/decode/replay \
                       paths (serve HTTP, checkpoint decode, core inference) — return typed \
@@ -349,6 +356,37 @@ fn unsafe_audit(ctx: &FileCtx, out: &mut Vec<Finding>) {
         }
         if ctx.role == Role::Lib && !confined {
             out.push(confinement(it.first_tok, &what));
+        }
+    }
+}
+
+/// The only module allowed to ask the CPU what it supports: kernel
+/// selection must flow through `simd::kernel()` / `simd::set_simd` so the
+/// SIMD-or-scalar decision is made exactly once per process, honors the
+/// `DROPBACK_SIMD` override, and cannot diverge between call sites
+/// mid-run (which would be invisible — the kernels are bit-identical —
+/// but would still splinter the selection contract).
+const FEATURE_DETECT_PATH: &str = "crates/tensor/src/simd.rs";
+
+fn feature_detect(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.role == Role::Aux || ctx.path.starts_with(FEATURE_DETECT_PATH) {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if t.is_ident("is_x86_feature_detected")
+            && ctx.next_significant(i).is_some_and(|n| n.is_punct("!"))
+            && !ctx.in_test(i)
+        {
+            out.push(ctx.finding(
+                "feature-detect",
+                i,
+                format!(
+                    "is_x86_feature_detected! {} duplicates kernel selection outside \
+                     {FEATURE_DETECT_PATH}; query `simd::simd_active()` (or force a kernel \
+                     with `simd::set_simd`) so the whole run agrees on one code path",
+                    ctx.context_label(i)
+                ),
+            ));
         }
     }
 }
@@ -716,6 +754,31 @@ mod tests {
         // An adjacent // SAFETY: comment works for fns too.
         let commented = "// SAFETY: callers uphold the documented contract.\npub unsafe fn raw(p: *const u8) {}";
         assert!(rules_hit("crates/tensor/src/pool.rs", commented).is_empty());
+    }
+
+    #[test]
+    fn feature_detect_confined_to_simd_module() {
+        let src = "fn pick() -> bool { is_x86_feature_detected!(\"avx2\") }";
+        // simd.rs owns detection.
+        assert!(rules_hit("crates/tensor/src/simd.rs", src).is_empty());
+        // Everywhere else — other tensor modules, other crates, bins —
+        // must consult the simd module's selection instead.
+        assert_eq!(
+            rules_hit("crates/tensor/src/gemm.rs", src),
+            vec!["feature-detect"]
+        );
+        assert_eq!(
+            rules_hit("crates/bench/src/bin/bench_parallel.rs", src),
+            vec!["feature-detect"]
+        );
+        // Tests may probe the CPU freely (e.g. to decide skippability).
+        assert!(rules_hit("crates/tensor/tests/conv_fused.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests { fn t() { is_x86_feature_detected!(\"fma\"); } }";
+        assert!(rules_hit("crates/tensor/src/gemm.rs", in_test).is_empty());
+        // An identifier that merely contains the name is clean.
+        let lookalike =
+            "fn f() { let is_x86_feature_detected = 1; let _ = is_x86_feature_detected; }";
+        assert!(rules_hit("crates/tensor/src/gemm.rs", lookalike).is_empty());
     }
 
     #[test]

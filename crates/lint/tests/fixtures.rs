@@ -144,9 +144,11 @@ fn seeded_workspace_yields_expected_findings() {
     assert_eq!(hits("float-eq"), vec!["crates/nn/src/lib.rs"]);
     // nn lib.rs: raw_read is missing its SAFETY comment AND unconfined;
     // checked_read is documented but still unconfined. bad_unsafe.rs:
-    // one undocumented, unconfined block = two findings. The documented
-    // unsafe in the sanctioned simd.rs fixture stays clean.
-    assert_eq!(hits("unsafe-audit").len(), 5);
+    // two undocumented, unconfined blocks (a raw deref and an intrinsics
+    // block) = four findings. The documented unsafe — including the
+    // justified intrinsics in the sanctioned simd.rs fixture — stays
+    // clean.
+    assert_eq!(hits("unsafe-audit").len(), 7);
     assert_eq!(
         hits("unsafe-audit")
             .iter()
@@ -159,9 +161,19 @@ fn seeded_workspace_yields_expected_findings() {
             .iter()
             .filter(|p| *p == "crates/tensor/src/bad_unsafe.rs")
             .count(),
-        2
+        4
     );
     assert!(!hits("unsafe-audit")
+        .iter()
+        .any(|p| p == "crates/tensor/src/simd.rs"));
+    // bad_detect.rs probes the CPU outside simd.rs; the fixture simd.rs
+    // (which also calls is_x86_feature_detected!) is the sanctioned home
+    // and stays clean.
+    assert_eq!(
+        hits("feature-detect"),
+        vec!["crates/tensor/src/bad_detect.rs"]
+    );
+    assert!(!hits("feature-detect")
         .iter()
         .any(|p| p == "crates/tensor/src/simd.rs"));
     // bad_panic.rs: unwrap + panic! + expect on the request path;
@@ -220,6 +232,7 @@ fn allowlist_suppresses_seeded_findings_with_justification() {
          float-eq crates/nn/src/lib.rs -- fixture exercises suppression\n\
          unsafe-audit crates/nn/src/lib.rs -- fixture exercises suppression\n\
          unsafe-audit crates/tensor/src/bad_unsafe.rs -- fixture exercises suppression\n\
+         feature-detect crates/tensor/src/bad_detect.rs -- fixture exercises suppression\n\
          panic-path crates/serve/src/bad_panic.rs -- fixture exercises suppression\n\
          panic-path crates/core/src/chaos.rs -- fixture exercises suppression\n\
          hash-iteration crates/core/src/chaos.rs -- fixture exercises suppression\n\
@@ -230,7 +243,7 @@ fn allowlist_suppresses_seeded_findings_with_justification() {
     .expect("well-formed allowlist");
     let report = check_workspace(&root, &allow).expect("fixture ws lints");
     assert!(!report.has_failures(), "all findings suppressed");
-    assert_eq!(report.suppressed.len(), 32);
+    assert_eq!(report.suppressed.len(), 35);
     assert!(report.unused_allows.is_empty());
 }
 

@@ -1,0 +1,6 @@
+//! Fixture: runtime CPU-feature detection outside simd.rs — kernel
+//! selection leaking into ordinary code, which `feature-detect` flags.
+
+pub fn pick_kernel() -> bool {
+    is_x86_feature_detected!("avx2")
+}

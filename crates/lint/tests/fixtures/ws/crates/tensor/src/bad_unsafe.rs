@@ -4,3 +4,13 @@
 pub fn undocumented(p: *const u8) -> u8 {
     unsafe { *p }
 }
+
+/// Fixture: an intrinsics block with no justification — the shape
+/// `unsafe-audit` must catch if microkernel code leaks out of simd.rs
+/// (missing SAFETY comment AND unconfined, two findings).
+pub fn unjustified_intrinsics(a: &[f32]) -> f32 {
+    unsafe {
+        let v = core::arch::x86_64::_mm256_loadu_ps(a.as_ptr());
+        core::arch::x86_64::_mm256_cvtss_f32(v)
+    }
+}

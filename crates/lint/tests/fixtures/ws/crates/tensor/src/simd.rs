@@ -24,3 +24,27 @@ pub unsafe fn lane_sum_unchecked(p: *const f32, n: usize) -> f32 {
     }
     acc
 }
+
+/// Whether the AVX2 microkernel is eligible on this machine — runtime
+/// feature detection is legal only in this file (`feature-detect` rule).
+pub fn avx2_eligible() -> bool {
+    is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+}
+
+/// Eight-lane fused multiply-add over packed panels.
+///
+/// # Safety
+///
+/// Caller must have verified [`avx2_eligible`] and pass slices of length
+/// at least 8.
+pub unsafe fn fma_lane(a: &[f32], b: &[f32], c: &mut [f32]) {
+    // SAFETY: the fn contract guarantees 8 in-bounds lanes per slice, and
+    // the `u` load/store variants need no alignment.
+    unsafe {
+        let va = core::arch::x86_64::_mm256_loadu_ps(a.as_ptr());
+        let vb = core::arch::x86_64::_mm256_loadu_ps(b.as_ptr());
+        let vc = core::arch::x86_64::_mm256_loadu_ps(c.as_ptr());
+        let r = core::arch::x86_64::_mm256_fmadd_ps(va, vb, vc);
+        core::arch::x86_64::_mm256_storeu_ps(c.as_mut_ptr(), r);
+    }
+}

@@ -1,4 +1,4 @@
-//! 2-D convolution layer over the `im2col` kernels.
+//! 2-D convolution layer over the fused im2col-GEMM kernels.
 
 use crate::layer::{Layer, Mode};
 use crate::param::{ParamRange, ParamStore};
@@ -23,8 +23,10 @@ pub struct Conv2d {
 #[derive(Debug)]
 struct ConvCache {
     geom: ConvGeom,
-    input_shape: Vec<usize>,
-    cols: Vec<Tensor>,
+    // The backward pass re-reads conv patches from the input through the
+    // fused GEMM pack, so the cache holds the input itself — kh·kw times
+    // smaller than the im2col matrices the old path retained.
+    input: Tensor,
 }
 
 impl Conv2d {
@@ -103,14 +105,14 @@ impl Layer for Conv2d {
             kw: self.kernel,
             stride: self.stride,
             pad: self.pad,
+            dilation: 1,
         };
         let w = self.weight_tensor(ps);
         let bias_vec = self.bias.as_ref().map(|b| ps.slice(b).to_vec());
-        let (y, cols) = conv2d_forward(x, &w, bias_vec.as_deref(), geom);
+        let y = conv2d_forward(x, &w, bias_vec.as_deref(), geom);
         self.cache = Some(ConvCache {
             geom,
-            input_shape: x.shape().to_vec(),
-            cols,
+            input: x.clone(),
         });
         y
     }
@@ -121,8 +123,8 @@ impl Layer for Conv2d {
             .take()
             .expect("Conv2d::backward called before forward");
         let w = self.weight_tensor(ps);
-        let (dx, dw, db) = conv2d_backward(dout, &w, &cache.cols, cache.geom);
-        debug_assert_eq!(dx.shape(), &cache.input_shape[..]);
+        let (dx, dw, db) = conv2d_backward(dout, &w, &cache.input, cache.geom);
+        debug_assert_eq!(dx.shape(), cache.input.shape());
         ps.accumulate_grad(&self.weight, dw.data());
         if let Some(b) = &self.bias {
             ps.accumulate_grad(b, &db);

@@ -213,6 +213,20 @@ mod tests {
     }
 
     #[test]
+    fn conv_passes_at_tile_straddling_sizes() {
+        // 7 output channels and a 5×5 output plane leave the packed GEMM's
+        // 6×16 microkernel one row and nine columns of edge tile on every
+        // panel (m=7 ∤ 6, n=25 ∤ 16, k=27), so this pins the scratch-tile
+        // edge path through a full forward/backward gradient check.
+        let mut ps = ParamStore::new(7);
+        let mut l = Conv2d::new(&mut ps, "c", 3, 7, 3, 1, 1);
+        let x = wavy(vec![1, 3, 5, 5]);
+        let r = check_layer(&mut l, &mut ps, &x, 1e-2, 11);
+        assert!(r.passes(0.08), "{r:?}");
+        assert!(r.params_checked > 0 && r.inputs_checked > 0);
+    }
+
+    #[test]
     fn batchnorm_passes_at_parallel_sizes() {
         let mut ps = ParamStore::new(5);
         let mut l = BatchNorm::new(&mut ps, "bn", 8);

@@ -1,7 +1,7 @@
 //! Variational-dropout 2-D convolution (for the CIFAR baselines).
 //!
 //! Same per-weight noise model as [`crate::VarDropLinear`], lowered through
-//! `im2col` like [`crate::Conv2d`]: the pre-activation mean is a convolution
+//! the fused im2col-GEMM like [`crate::Conv2d`]: the pre-activation mean is a convolution
 //! with the weight means, the pre-activation variance is a convolution of
 //! the squared inputs with `σ²` (local reparameterization), and noise is
 //! sampled on the outputs. This is the configuration whose instability on
@@ -43,9 +43,9 @@ impl std::fmt::Debug for VarDropConv2d {
 
 struct VdConvCache {
     geom: ConvGeom,
+    // The backward pass re-reads patches (of x and of x², recomputed) via
+    // the fused GEMM pack, so only the input itself is retained.
     input: Tensor,
-    cols: Vec<Tensor>,
-    cols_sq: Vec<Tensor>,
     eps: Tensor,
     std: Tensor,
 }
@@ -104,6 +104,7 @@ impl VarDropConv2d {
             kw: self.kernel,
             stride: self.stride,
             pad: self.pad,
+            dilation: 1,
         }
     }
 
@@ -166,21 +167,19 @@ impl Layer for VarDropConv2d {
                         .collect(),
                 );
                 self.cache = None;
-                conv2d_forward(x, &masked, None, geom).0
+                conv2d_forward(x, &masked, None, geom)
             }
             Mode::Train => {
-                let (mean, cols) = conv2d_forward(x, &w, None, geom);
+                let mean = conv2d_forward(x, &w, None, geom);
                 let x_sq = x.map(|v| v * v);
                 let sigma2 = self.sigma2_tensor(ps);
-                let (var, cols_sq) = conv2d_forward(&x_sq, &sigma2, None, geom);
+                let var = conv2d_forward(&x_sq, &sigma2, None, geom);
                 let std = var.map(|v| (v.max(0.0) + VAR_EPS).sqrt());
                 let eps = Tensor::from_fn(mean.shape().to_vec(), |_| self.noise.next_normal());
                 let y = mean.zip(&(&std * &eps), |m, n| m + n);
                 self.cache = Some(VdConvCache {
                     geom,
                     input: x.clone(),
-                    cols,
-                    cols_sq,
                     eps,
                     std,
                 });
@@ -196,14 +195,16 @@ impl Layer for VarDropConv2d {
             .expect("VarDropConv2d::backward called before a training forward");
         let w = self.weight_tensor(ps);
         // Mean path.
-        let (mut dx, dw, _) = conv2d_backward(dout, &w, &cache.cols, cache.geom);
+        let (mut dx, dw, _) = conv2d_backward(dout, &w, &cache.input, cache.geom);
         ps.accumulate_grad(&self.weight, dw.data());
-        // Variance path: treat the σ² "convolution" of x² like a conv layer.
+        // Variance path: treat the σ² "convolution" of x² like a conv layer
+        // (x² is recomputed — cheaper to redo than to retain).
         let dvar = dout
             .zip(&cache.eps, |g, e| g * e)
             .zip(&cache.std, |ge, s| ge / (2.0 * s));
         let sigma2 = self.sigma2_tensor(ps);
-        let (dx_sq, dsigma2, _) = conv2d_backward(&dvar, &sigma2, &cache.cols_sq, cache.geom);
+        let x_sq = cache.input.map(|v| v * v);
+        let (dx_sq, dsigma2, _) = conv2d_backward(&dvar, &sigma2, &x_sq, cache.geom);
         let dlog_sigma2 = dsigma2.zip(&sigma2, |d, s| d * s);
         ps.accumulate_grad(&self.log_sigma2, dlog_sigma2.data());
         // dx² → dx: chain through x² = x·x.

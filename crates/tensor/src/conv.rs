@@ -1,20 +1,28 @@
 //! Convolution and pooling kernels (NCHW layout).
 //!
-//! Convolution is implemented with the classic `im2col` lowering: each
-//! receptive field is unrolled into a column, so the forward pass becomes a
-//! GEMM against the `[filters, channels*kh*kw]` weight matrix, and both
-//! backward passes (weights and inputs) are GEMMs too. This mirrors how the
-//! paper's GPU substrate (Chainer/cuDNN) computes convolutions and keeps all
-//! FLOPs countable for the energy model.
+//! Convolution uses the classic `im2col` lowering *as a coordinate
+//! mapping, not a copy*: the packed GEMM's B-panel pack gathers receptive
+//! fields straight from the input image (`BSrc::Im2col` /
+//! `BSrc::Im2colT` in [`crate::gemm`]), so the `[c*kh*kw, oh*ow]` column
+//! matrix is never materialized. The forward pass is one fused GEMM per
+//! sample against the `[filters, c*kh*kw]` weight matrix, the weight
+//! gradient is a fused `dY · im2colᵀ` GEMM, and only the input-gradient
+//! scatter (`col2im`) still materializes a per-sample column-gradient
+//! buffer. The process-wide tensor-allocation high-water mark
+//! (`tensor.alloc_hwm_bytes`) shows the drop versus the old materialized
+//! path; `crates/tensor/tests/conv_fused.rs` pins both the bits and the
+//! peak. The standalone [`im2col`]/[`col2im`] lowerings remain available
+//! (tests and the adjoint property use them).
 //!
 //! All kernels distribute work over the persistent [`pool`](crate::pool):
-//! `im2col`/`col2im` by channel, conv forward/backward by sample (with
-//! per-sample weight/bias partials merged serially in sample order), and
+//! conv forward/backward by sample (with per-sample weight/bias partials
+//! merged serially in sample order), `im2col`/`col2im` by channel, and
 //! pooling by `(n, c)` plane. Each partition depends only on the problem
 //! shape — never on the thread count — so outputs are bit-identical at any
 //! `DROPBACK_THREADS` value.
 
-use crate::{matmul, matmul_nt, matmul_tn, pool, Tensor};
+use crate::gemm::{gemm_into, ASrc, BSrc};
+use crate::{pool, Tensor};
 use dropback_telemetry::{global, Counter, Span};
 use std::sync::OnceLock;
 
@@ -43,19 +51,38 @@ fn lowering_span(name: &'static str, g: ConvGeom) -> Span {
     Span::enter_with(name, &[("bytes", (g.col_rows() * g.col_cols() * 4) as f64)])
 }
 
-/// Output spatial size for a convolution/pooling dimension.
+/// Output spatial size for a convolution/pooling dimension (dilation 1).
 ///
 /// # Panics
 ///
 /// Panics if the kernel does not fit the padded input or `stride == 0`.
 pub fn out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    out_dim_dilated(input, kernel, stride, pad, 1)
+}
+
+/// Output spatial size with kernel `dilation` (effective kernel extent
+/// `(kernel - 1) * dilation + 1`).
+///
+/// # Panics
+///
+/// Panics if the effective kernel does not fit the padded input, or
+/// `stride == 0`, or `dilation == 0`.
+pub fn out_dim_dilated(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    dilation: usize,
+) -> usize {
     assert!(stride > 0, "stride must be positive");
+    assert!(dilation > 0, "dilation must be positive");
+    let eff = (kernel - 1) * dilation + 1;
     let padded = input + 2 * pad;
     assert!(
-        padded >= kernel,
-        "kernel {kernel} larger than padded input {padded}"
+        padded >= eff,
+        "kernel {eff} larger than padded input {padded}"
     );
-    (padded - kernel) / stride + 1
+    (padded - eff) / stride + 1
 }
 
 /// Geometry of one convolution, shared by forward and backward.
@@ -75,16 +102,18 @@ pub struct ConvGeom {
     pub stride: usize,
     /// Zero padding (same on all sides).
     pub pad: usize,
+    /// Kernel dilation (same in both dimensions; 1 = dense kernel).
+    pub dilation: usize,
 }
 
 impl ConvGeom {
     /// Output height.
     pub fn oh(&self) -> usize {
-        out_dim(self.h, self.kh, self.stride, self.pad)
+        out_dim_dilated(self.h, self.kh, self.stride, self.pad, self.dilation)
     }
     /// Output width.
     pub fn ow(&self) -> usize {
-        out_dim(self.w, self.kw, self.stride, self.pad)
+        out_dim_dilated(self.w, self.kw, self.stride, self.pad, self.dilation)
     }
     /// Rows of the im2col matrix (`c * kh * kw`).
     pub fn col_rows(&self) -> usize {
@@ -94,9 +123,37 @@ impl ConvGeom {
     pub fn col_cols(&self) -> usize {
         self.oh() * self.ow()
     }
+
+    /// One element of the (virtual) im2col matrix: the input value under
+    /// kernel tap `(ky, kx)` of channel `c` at output position
+    /// `(oy, ox)`, or `0.0` where the tap falls in the zero padding. This
+    /// is the coordinate mapping the packed GEMM gathers B panels
+    /// through.
+    #[inline]
+    pub(crate) fn patch_value(
+        &self,
+        image: &[f32],
+        c: usize,
+        ky: usize,
+        kx: usize,
+        oy: usize,
+        ox: usize,
+    ) -> f32 {
+        let iy = (oy * self.stride + ky * self.dilation) as isize - self.pad as isize;
+        let ix = (ox * self.stride + kx * self.dilation) as isize - self.pad as isize;
+        if iy < 0 || ix < 0 || iy >= self.h as isize || ix >= self.w as isize {
+            0.0
+        } else {
+            image[(c * self.h + iy as usize) * self.w + ix as usize]
+        }
+    }
 }
 
 /// Unrolls one `[c, h, w]` image into an `[c*kh*kw, oh*ow]` column matrix.
+///
+/// The training hot path no longer calls this — the packed GEMM reads
+/// patches via the coordinate mapping instead — but the explicit lowering
+/// remains for tests, tooling, and the adjoint property with [`col2im`].
 ///
 /// Parallelized by input channel: channel `c` owns the `kh*kw` column rows
 /// derived from it, a disjoint slice of the output.
@@ -110,13 +167,13 @@ pub fn im2col(x: &[f32], g: ConvGeom) -> Tensor {
             for kx in 0..g.kw {
                 let out_base = (ky * g.kw + kx) * cols;
                 for oy in 0..oh {
-                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    let iy = (oy * g.stride + ky * g.dilation) as isize - g.pad as isize;
                     if iy < 0 || iy >= g.h as isize {
                         continue;
                     }
                     let in_base = (c * g.h + iy as usize) * g.w;
                     for ox in 0..ow {
-                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        let ix = (ox * g.stride + kx * g.dilation) as isize - g.pad as isize;
                         if ix < 0 || ix >= g.w as isize {
                             continue;
                         }
@@ -139,23 +196,29 @@ pub fn im2col(x: &[f32], g: ConvGeom) -> Tensor {
 pub fn col2im(col: &Tensor, g: ConvGeom) -> Vec<f32> {
     assert_eq!(col.shape(), &[g.col_rows(), g.col_cols()], "col2im shape");
     let _span = lowering_span("col2im", g);
-    let (oh, ow) = (g.oh(), g.ow());
     let mut x = vec![0.0f32; g.c * g.h * g.w];
-    let data = col.data();
+    col2im_into(col.data(), g, &mut x);
+    x
+}
+
+/// [`col2im`] into a caller-provided (zeroed) `[c, h, w]` buffer —
+/// accumulates with `+=`, per-plane in the serial `ky, kx, oy, ox` order.
+fn col2im_into(data: &[f32], g: ConvGeom, x: &mut [f32]) {
+    let (oh, ow) = (g.oh(), g.ow());
     let cols = oh * ow;
-    pool::for_each_chunk_mut(&mut x, g.h * g.w, |c, plane| {
+    pool::for_each_chunk_mut(x, g.h * g.w, |c, plane| {
         for ky in 0..g.kh {
             for kx in 0..g.kw {
                 let row = (c * g.kh + ky) * g.kw + kx;
                 let in_base = row * cols;
                 for oy in 0..oh {
-                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    let iy = (oy * g.stride + ky * g.dilation) as isize - g.pad as isize;
                     if iy < 0 || iy >= g.h as isize {
                         continue;
                     }
                     let out_base = iy as usize * g.w;
                     for ox in 0..ow {
-                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        let ix = (ox * g.stride + kx * g.dilation) as isize - g.pad as isize;
                         if ix < 0 || ix >= g.w as isize {
                             continue;
                         }
@@ -165,28 +228,22 @@ pub fn col2im(col: &Tensor, g: ConvGeom) -> Vec<f32> {
             }
         }
     });
-    x
 }
 
-/// Forward convolution.
+/// Forward convolution with the im2col lowering fused into the GEMM pack.
 ///
 /// * `x`: `[n, c, h, w]`
 /// * `weight`: `[f, c*kh*kw]` (pre-flattened filter matrix)
 /// * `bias`: optional `[f]`
 ///
-/// Returns `(output [n, f, oh, ow], per-sample im2col matrices)`. The column
-/// matrices are needed by [`conv2d_backward`]; callers that only infer can
-/// drop them.
+/// Returns the output `[n, f, oh, ow]`. The backward pass
+/// ([`conv2d_backward`]) takes the original input instead of saved column
+/// matrices, so nothing im2col-shaped is ever allocated.
 ///
 /// # Panics
 ///
 /// Panics on shape mismatches.
-pub fn conv2d_forward(
-    x: &Tensor,
-    weight: &Tensor,
-    bias: Option<&[f32]>,
-    g: ConvGeom,
-) -> (Tensor, Vec<Tensor>) {
+pub fn conv2d_forward(x: &Tensor, weight: &Tensor, bias: Option<&[f32]>, g: ConvGeom) -> Tensor {
     assert_eq!(x.rank(), 4, "conv input must be [n,c,h,w]");
     let n = x.shape()[0];
     assert_eq!(x.shape()[1..], [g.c, g.h, g.w], "conv input vs geom");
@@ -205,14 +262,18 @@ pub fn conv2d_forward(
     let (oh, ow) = (g.oh(), g.ow());
     let sample = g.c * g.h * g.w;
     let mut out = vec![0.0f32; n * f * oh * ow];
-    // One task per sample, each writing a disjoint output slice and its own
-    // im2col slot; the lowering/GEMM inside a task run inline on its worker.
-    let mut slots: Vec<Option<Tensor>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    pool::for_each_chunk_mut2(&mut out, f * oh * ow, &mut slots, 1, |i, dst, slot| {
-        let col = im2col(&x.data()[i * sample..(i + 1) * sample], g);
-        let y = matmul(weight, &col); // [f, oh*ow]
-        dst.copy_from_slice(y.data());
+    // One task per sample, each writing a disjoint output slice; the fused
+    // GEMM inside a task runs inline on its worker.
+    pool::for_each_chunk_mut(&mut out, f * oh * ow, |i, dst| {
+        let image = &x.data()[i * sample..(i + 1) * sample];
+        gemm_into(
+            dst,
+            f,
+            g.col_cols(),
+            g.col_rows(),
+            ASrc::RowMajor(weight.data()),
+            BSrc::Im2col { image, geom: g },
+        );
         if let Some(b) = bias {
             for (fi, bv) in b.iter().enumerate() {
                 for v in &mut dst[fi * oh * ow..(fi + 1) * oh * ow] {
@@ -220,18 +281,17 @@ pub fn conv2d_forward(
                 }
             }
         }
-        slot[0] = Some(col);
     });
-    let cols: Vec<Tensor> = slots.into_iter().flatten().collect();
-    assert_eq!(cols.len(), n, "every sample task fills its im2col slot");
-    (Tensor::from_vec(vec![n, f, oh, ow], out), cols)
+    Tensor::from_vec(vec![n, f, oh, ow], out)
 }
 
 /// Backward convolution.
 ///
 /// * `dout`: `[n, f, oh, ow]`
 /// * `weight`: `[f, c*kh*kw]`
-/// * `cols`: the per-sample im2col matrices from [`conv2d_forward`]
+/// * `x`: the forward input `[n, c, h, w]` (replaces the old saved
+///   im2col matrices — the weight-gradient GEMM re-reads patches through
+///   the fused pack)
 ///
 /// Returns `(dx [n,c,h,w], dweight [f, c*kh*kw], dbias [f])`.
 ///
@@ -241,17 +301,21 @@ pub fn conv2d_forward(
 pub fn conv2d_backward(
     dout: &Tensor,
     weight: &Tensor,
-    cols: &[Tensor],
+    x: &Tensor,
     g: ConvGeom,
 ) -> (Tensor, Tensor, Vec<f32>) {
     assert_eq!(dout.rank(), 4, "dout must be [n,f,oh,ow]");
+    assert_eq!(x.rank(), 4, "conv input must be [n,c,h,w]");
     let n = dout.shape()[0];
     let f = dout.shape()[1];
-    assert_eq!(n, cols.len(), "one im2col matrix per sample");
+    assert_eq!(x.shape()[0], n, "dout/input sample counts");
+    assert_eq!(x.shape()[1..], [g.c, g.h, g.w], "conv input vs geom");
     let _span = conv_telemetry(n, f, g);
     let (oh, ow) = (g.oh(), g.ow());
     assert_eq!(dout.shape()[2..], [oh, ow], "dout spatial dims");
-    let mut dw = Tensor::zeros(vec![f, g.col_rows()]);
+    let cr = g.col_rows();
+    let cc = oh * ow;
+    let mut dw = vec![0.0f32; f * cr];
     let mut db = vec![0.0f32; f];
     let mut dx = vec![0.0f32; n * g.c * g.h * g.w];
     let sample = g.c * g.h * g.w;
@@ -259,23 +323,39 @@ pub fn conv2d_backward(
     // per-sample dW/db partials land in slots and are merged serially in
     // sample order below — the same accumulation order as a serial loop,
     // so the result is bit-identical at any thread count.
-    let mut partials: Vec<Option<(Tensor, Vec<f32>)>> = Vec::with_capacity(n);
+    let mut partials: Vec<Option<(Vec<f32>, Vec<f32>)>> = Vec::with_capacity(n);
     partials.resize_with(n, || None);
     pool::for_each_chunk_mut2(&mut dx, sample, &mut partials, 1, |i, dxi, slot| {
-        let dy = Tensor::from_vec(
-            vec![f, oh * ow],
-            dout.data()[i * f * oh * ow..(i + 1) * f * oh * ow].to_vec(),
+        let dy = &dout.data()[i * f * cc..(i + 1) * f * cc];
+        let image = &x.data()[i * sample..(i + 1) * sample];
+        // dW_i = dY · im2colᵀ, with the transposed column matrix gathered
+        // by the pack instead of materialized.
+        let mut dw_i = vec![0.0f32; f * cr];
+        gemm_into(
+            &mut dw_i,
+            f,
+            cr,
+            cc,
+            ASrc::RowMajor(dy),
+            BSrc::Im2colT { image, geom: g },
         );
-        // dW_i = dY · colᵀ
-        let dw_i = matmul_nt(&dy, &cols[i]);
-        // db_i = row sums of dY
+        // db_i = row sums of dY.
         let mut db_i = vec![0.0f32; f];
-        for (fi, row) in dy.data().chunks_exact(oh * ow).enumerate() {
+        for (fi, row) in dy.chunks_exact(cc).enumerate() {
             db_i[fi] = row.iter().sum::<f32>();
         }
-        // dcol = Wᵀ · dY, then scatter back.
-        let dcol = matmul_tn(weight, &dy);
-        dxi.copy_from_slice(&col2im(&dcol, g));
+        // dcol = Wᵀ · dY (the one per-sample buffer the backward pass
+        // still materializes), then scatter back into the image gradient.
+        let mut dcol = vec![0.0f32; cr * cc];
+        gemm_into(
+            &mut dcol,
+            cr,
+            cc,
+            f,
+            ASrc::ColMajor(weight.data()),
+            BSrc::RowMajor(dy),
+        );
+        col2im_into(&dcol, g, dxi);
         slot[0] = Some((dw_i, db_i));
     });
     assert!(
@@ -283,12 +363,18 @@ pub fn conv2d_backward(
         "every sample task fills its gradient slot"
     );
     for (dw_i, db_i) in partials.into_iter().flatten() {
-        dw.axpy(1.0, &dw_i);
+        for (d, p) in dw.iter_mut().zip(&dw_i) {
+            *d += p;
+        }
         for (d, p) in db.iter_mut().zip(&db_i) {
             *d += p;
         }
     }
-    (Tensor::from_vec(vec![n, g.c, g.h, g.w], dx), dw, db)
+    (
+        Tensor::from_vec(vec![n, g.c, g.h, g.w], dx),
+        Tensor::from_vec(vec![f, cr], dw),
+        db,
+    )
 }
 
 /// Max pooling over `[n, c, h, w]` with square window `size` and `stride`.
@@ -459,6 +545,7 @@ pub fn avgpool2d_backward(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matmul;
 
     /// Direct (definition-based) convolution for cross-checking.
     fn naive_conv(x: &Tensor, w4: &Tensor, bias: Option<&[f32]>, g: ConvGeom) -> Tensor {
@@ -474,8 +561,10 @@ mod tests {
                         for c in 0..g.c {
                             for ky in 0..g.kh {
                                 for kx in 0..g.kw {
-                                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
-                                    let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                                    let iy =
+                                        (oy * g.stride + ky * g.dilation) as isize - g.pad as isize;
+                                    let ix =
+                                        (ox * g.stride + kx * g.dilation) as isize - g.pad as isize;
                                     if iy < 0 || ix < 0 || iy >= g.h as isize || ix >= g.w as isize
                                     {
                                         continue;
@@ -510,12 +599,21 @@ mod tests {
         assert_eq!(out_dim(28, 3, 1, 1), 28);
         assert_eq!(out_dim(28, 2, 2, 0), 14);
         assert_eq!(out_dim(5, 3, 1, 0), 3);
+        // A dilated 3-kernel spans 5 input cells.
+        assert_eq!(out_dim_dilated(7, 3, 1, 0, 2), 3);
+        assert_eq!(out_dim_dilated(28, 3, 1, 2, 2), 28);
     }
 
     #[test]
     #[should_panic(expected = "stride must be positive")]
     fn zero_stride_panics() {
         out_dim(5, 3, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dilation must be positive")]
+    fn zero_dilation_panics() {
+        out_dim_dilated(5, 3, 1, 0, 0);
     }
 
     #[test]
@@ -528,12 +626,13 @@ mod tests {
             kw: 3,
             stride: 1,
             pad: 0,
+            dilation: 1,
         };
         let x = rand_tensor(vec![2, 2, 6, 6], 1);
         let w4 = rand_tensor(vec![4, 2, 3, 3], 2);
         let wmat = w4.clone().reshape(vec![4, 18]);
         let bias = vec![0.1, -0.2, 0.3, 0.0];
-        let (y, _) = conv2d_forward(&x, &wmat, Some(&bias), g);
+        let y = conv2d_forward(&x, &wmat, Some(&bias), g);
         let r = naive_conv(&x, &w4, Some(&bias), g);
         for (a, b) in y.data().iter().zip(r.data()) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
@@ -550,15 +649,69 @@ mod tests {
             kw: 3,
             stride: 2,
             pad: 1,
+            dilation: 1,
         };
         let x = rand_tensor(vec![1, 3, 7, 5], 3);
         let w4 = rand_tensor(vec![2, 3, 3, 3], 4);
         let wmat = w4.clone().reshape(vec![2, 27]);
-        let (y, _) = conv2d_forward(&x, &wmat, None, g);
+        let y = conv2d_forward(&x, &wmat, None, g);
         let r = naive_conv(&x, &w4, None, g);
         assert_eq!(y.shape(), r.shape());
         for (a, b) in y.data().iter().zip(r.data()) {
             assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dilated_conv_matches_naive() {
+        let g = ConvGeom {
+            c: 2,
+            h: 9,
+            w: 8,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 2,
+            dilation: 2,
+        };
+        let x = rand_tensor(vec![2, 2, 9, 8], 11);
+        let w4 = rand_tensor(vec![3, 2, 3, 3], 12);
+        let wmat = w4.clone().reshape(vec![3, 18]);
+        let y = conv2d_forward(&x, &wmat, None, g);
+        let r = naive_conv(&x, &w4, None, g);
+        assert_eq!(y.shape(), r.shape());
+        for (a, b) in y.data().iter().zip(r.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fused_forward_matches_materialized_im2col_bitwise() {
+        let g = ConvGeom {
+            c: 3,
+            h: 8,
+            w: 7,
+            kh: 3,
+            kw: 2,
+            stride: 2,
+            pad: 1,
+            dilation: 1,
+        };
+        let x = rand_tensor(vec![2, 3, 8, 7], 21);
+        let wmat = rand_tensor(vec![5, g.col_rows()], 22);
+        let y = conv2d_forward(&x, &wmat, None, g);
+        let sample = g.c * g.h * g.w;
+        for i in 0..2 {
+            let col = im2col(&x.data()[i * sample..(i + 1) * sample], g);
+            let yi = matmul(&wmat, &col);
+            let plane = g.col_cols() * 5;
+            let got = &y.data()[i * plane..(i + 1) * plane];
+            assert!(
+                got.iter()
+                    .zip(yi.data())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "fused sample {i} diverged from materialized lowering"
+            );
         }
     }
 
@@ -573,6 +726,7 @@ mod tests {
             kw: 2,
             stride: 1,
             pad: 1,
+            dilation: 1,
         };
         let x = rand_tensor(vec![g.c * g.h * g.w], 5);
         let cmat = rand_tensor(vec![g.col_rows(), g.col_cols()], 6);
@@ -603,15 +757,16 @@ mod tests {
             kw: 3,
             stride: 1,
             pad: 1,
+            dilation: 1,
         };
         let x = rand_tensor(vec![1, 1, 4, 4], 7);
         let mut wmat = rand_tensor(vec![2, 9], 8);
         let loss = |w: &Tensor| -> f32 {
-            let (y, _) = conv2d_forward(&x, w, None, g);
+            let y = conv2d_forward(&x, w, None, g);
             y.data().iter().map(|v| v * v).sum::<f32>() * 0.5
         };
-        let (y, cols) = conv2d_forward(&x, &wmat, None, g);
-        let (_, dw, _) = conv2d_backward(&y, &wmat, &cols, g);
+        let y = conv2d_forward(&x, &wmat, None, g);
+        let (_, dw, _) = conv2d_backward(&y, &wmat, &x, g);
         let eps = 1e-3;
         for idx in [0usize, 4, 8, 13] {
             let orig = wmat.data()[idx];
@@ -639,15 +794,16 @@ mod tests {
             kw: 3,
             stride: 1,
             pad: 1,
+            dilation: 1,
         };
         let mut x = rand_tensor(vec![1, 2, 4, 3], 9);
         let wmat = rand_tensor(vec![2, 18], 10);
         let loss = |x: &Tensor| -> f32 {
-            let (y, _) = conv2d_forward(x, &wmat, None, g);
+            let y = conv2d_forward(x, &wmat, None, g);
             y.data().iter().map(|v| v * v).sum::<f32>() * 0.5
         };
-        let (y, cols) = conv2d_forward(&x, &wmat, None, g);
-        let (dx, _, _) = conv2d_backward(&y, &wmat, &cols, g);
+        let y = conv2d_forward(&x, &wmat, None, g);
+        let (dx, _, _) = conv2d_backward(&y, &wmat, &x, g);
         let eps = 1e-3;
         for idx in [0usize, 5, 11, 23] {
             let orig = x.data()[idx];
@@ -663,6 +819,44 @@ mod tests {
                 dx.data()[idx]
             );
         }
+    }
+
+    #[test]
+    fn dilated_conv_backward_matches_finite_difference() {
+        let g = ConvGeom {
+            c: 1,
+            h: 7,
+            w: 7,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 2,
+            dilation: 2,
+        };
+        let mut x = rand_tensor(vec![1, 1, 7, 7], 31);
+        let wmat = rand_tensor(vec![2, 9], 32);
+        let loss = |x: &Tensor| -> f32 {
+            let y = conv2d_forward(x, &wmat, None, g);
+            y.data().iter().map(|v| v * v).sum::<f32>() * 0.5
+        };
+        let y = conv2d_forward(&x, &wmat, None, g);
+        let (dx, dw, _) = conv2d_backward(&y, &wmat, &x, g);
+        let eps = 1e-3;
+        for idx in [0usize, 10, 24, 40] {
+            let orig = x.data()[idx];
+            x.data_mut()[idx] = orig + eps;
+            let lp = loss(&x);
+            x.data_mut()[idx] = orig - eps;
+            let lm = loss(&x);
+            x.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - dx.data()[idx]).abs() < 2e-2 * (1.0 + num.abs()),
+                "dx[{idx}]: numeric {num} vs analytic {}",
+                dx.data()[idx]
+            );
+        }
+        assert_eq!(dw.shape(), &[2, 9]);
     }
 
     #[test]

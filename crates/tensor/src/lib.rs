@@ -6,9 +6,12 @@
 //!
 //! * [`Tensor`] — a contiguous, row-major, dynamically-shaped `f32` tensor
 //!   with elementwise arithmetic, mapping, and reductions.
-//! * [`matmul`] and its transposed variants — blocked, multi-threaded GEMM
-//!   running on the persistent worker [`pool`] (no external dependency).
-//! * [`conv`] — `im2col`/`col2im` convolution helpers and pooling kernels.
+//! * [`matmul`] and its transposed variants — packed-panel GEMM built on a
+//!   fixed 6×16 microkernel ([`simd`]; AVX2/FMA with a bit-identical
+//!   portable fallback), cache-blocked and multi-threaded on the
+//!   persistent worker [`pool`] (no external dependency).
+//! * [`conv`] — convolution with the `im2col` lowering fused into the GEMM
+//!   pack (the column matrix is never materialized), plus pooling kernels.
 //! * [`ops`] — numerically-stable softmax / log-softmax and friends.
 //! * [`pool`] — the deterministic worker pool every threaded kernel in the
 //!   workspace runs on (`DROPBACK_THREADS`; fixed, thread-count-independent
@@ -49,6 +52,7 @@ pub mod conv;
 mod gemm;
 pub mod ops;
 pub mod pool;
+pub mod simd;
 mod tensor;
 
 pub use gemm::{matmul, matmul_nt, matmul_tn};

@@ -1,0 +1,343 @@
+//! Register-tile GEMM microkernels and runtime kernel selection.
+//!
+//! The packed GEMM in [`crate::matmul`] computes every output tile with one
+//! of three interchangeable microkernels, all sharing a **fixed 6×16 tile
+//! shape and a fixed reduction order**:
+//!
+//! * `Avx2` — explicit `std::arch` AVX2/FMA kernel: twelve 8-lane `ymm`
+//!   accumulators, one broadcast + two fused multiply-adds per A element.
+//! * `ScalarFma` — the same tile walked scalar-element-wise, compiled with
+//!   the `fma` target feature so `f32::mul_add` lowers to a single
+//!   `vfmadd` instruction.
+//! * `Portable` — plain safe Rust using `f32::mul_add` (libm `fmaf` when
+//!   the target has no FMA unit).
+//!
+//! **Determinism contract.** Every kernel loads the C tile, folds
+//! `c ← fma(a_k, b_k, c)` over `k` in ascending order, and stores the tile
+//! back. IEEE-754 fused multiply-add is correctly rounded, so the scalar
+//! `f32::mul_add` chain and each SIMD lane's `_mm256_fmadd_ps` chain
+//! produce **identical bits**. Results therefore do not depend on which
+//! kernel runs — `DROPBACK_SIMD=0` (or a CPU without AVX2) changes speed,
+//! never output. `tests/gemm_conformance.rs` pins this exactly.
+//!
+//! Selection happens once, lazily, from `DROPBACK_SIMD` plus
+//! `is_x86_feature_detected!`; tests and benches can switch in-process via
+//! [`set_simd`]. This module is the only place in the workspace allowed to
+//! use SIMD intrinsics or runtime feature detection (enforced by
+//! `dropback-lint`'s `unsafe-audit` and `feature-detect` rules).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Microkernel tile rows (the register-blocking factor along M).
+pub(crate) const MR: usize = 6;
+/// Microkernel tile columns — two 8-lane AVX2 `f32` vectors.
+pub(crate) const NR: usize = 16;
+
+/// Which microkernel implementation a gemm call dispatches to. Resolved
+/// once per gemm call so a concurrent [`set_simd`] never switches kernels
+/// mid-call (all kernels produce the same bits anyway; this keeps the
+/// dispatch cost at one relaxed load).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Kernel {
+    /// Safe portable scalar tile (`f32::mul_add`).
+    Portable,
+    /// Scalar tile compiled with the `fma` target feature.
+    ScalarFma,
+    /// AVX2/FMA 6×16 vector tile.
+    Avx2,
+}
+
+const K_UNINIT: u8 = 0;
+const K_PORTABLE: u8 = 1;
+const K_SCALAR_FMA: u8 = 2;
+const K_AVX2: u8 = 3;
+
+/// Selected kernel, initialized lazily from the environment + CPUID.
+static KERNEL: AtomicU8 = AtomicU8::new(K_UNINIT);
+
+/// Probes the CPU and returns the best kernel honoring `want_simd`.
+fn detect(want_simd: bool) -> u8 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let fma = std::arch::is_x86_feature_detected!("fma");
+        let avx2 = std::arch::is_x86_feature_detected!("avx2");
+        if want_simd && fma && avx2 {
+            return K_AVX2;
+        }
+        if fma {
+            return K_SCALAR_FMA;
+        }
+    }
+    let _ = want_simd;
+    K_PORTABLE
+}
+
+/// `DROPBACK_SIMD=0|off|false` forces the scalar kernel; anything else
+/// (including unset) allows the vector kernel when the CPU supports it.
+fn env_wants_simd() -> bool {
+    match std::env::var("DROPBACK_SIMD") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "off" | "false"
+        ),
+        Err(_) => true,
+    }
+}
+
+/// The kernel the next gemm call will use (resolving it on first use).
+pub(crate) fn kernel() -> Kernel {
+    let mut v = KERNEL.load(Ordering::Relaxed);
+    if v == K_UNINIT {
+        v = detect(env_wants_simd());
+        KERNEL.store(v, Ordering::Relaxed);
+    }
+    match v {
+        K_SCALAR_FMA => Kernel::ScalarFma,
+        K_AVX2 => Kernel::Avx2,
+        _ => Kernel::Portable,
+    }
+}
+
+/// Switches the GEMM microkernel between SIMD and scalar at runtime
+/// (overriding `DROPBACK_SIMD`), for conformance tests and benches.
+///
+/// Returns `true` if the request was honored — `set_simd(true)` reports
+/// `false` on hardware without AVX2+FMA, where the scalar kernel keeps
+/// running. Either way results are bit-identical; only speed changes.
+pub fn set_simd(on: bool) -> bool {
+    let v = detect(on);
+    KERNEL.store(v, Ordering::Relaxed);
+    v == K_AVX2 || !on
+}
+
+/// Whether gemm calls currently dispatch to the AVX2/FMA vector kernel.
+pub fn simd_active() -> bool {
+    kernel() == Kernel::Avx2
+}
+
+/// Runs one `MR×NR` tile update: `C_tile += Ap · Bp` over `kb` steps.
+///
+/// * `ap` — packed A micro-panel, layout `ap[kk * MR + i]`.
+/// * `bp` — packed B micro-panel, layout `bp[kk * NR + j]`.
+/// * `c` — C tile in row-major storage with row stride `ldc`; must span at
+///   least `(MR - 1) * ldc + NR` elements.
+///
+/// Every element performs `c_ij ← fma(ap[kk,i], bp[kk,j], c_ij)` for
+/// `kk = 0..kb` in order, identically across all three kernels.
+///
+/// # Panics
+///
+/// Panics (in debug builds via the slice checks of the portable kernel, and
+/// via the explicit asserts here) if the slices are too short.
+pub(crate) fn run_tile(kern: Kernel, ap: &[f32], bp: &[f32], kb: usize, c: &mut [f32], ldc: usize) {
+    assert!(ap.len() >= kb * MR, "packed A panel too short");
+    assert!(bp.len() >= kb * NR, "packed B panel too short");
+    assert!(
+        ldc >= NR && c.len() >= (MR - 1) * ldc + NR,
+        "C tile too short"
+    );
+    match kern {
+        Kernel::Portable => tile_portable(ap, bp, kb, c, ldc),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Kernel::ScalarFma` is only ever selected by `detect`
+        // after `is_x86_feature_detected!("fma")` returned true, so the
+        // `fma` target feature is available on this CPU.
+        Kernel::ScalarFma => unsafe { tile_scalar_fma(ap, bp, kb, c, ldc) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Kernel::Avx2` is only ever selected by `detect` after
+        // both `avx2` and `fma` were detected at runtime, and the slice
+        // bounds asserted above cover every vector load/store below.
+        Kernel::Avx2 => unsafe { tile_avx2(ap, bp, kb, c, ldc) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => tile_portable(ap, bp, kb, c, ldc),
+    }
+}
+
+/// Portable scalar tile: the reference accumulation order every other
+/// kernel must reproduce bit-for-bit.
+fn tile_portable(ap: &[f32], bp: &[f32], kb: usize, c: &mut [f32], ldc: usize) {
+    for i in 0..MR {
+        for j in 0..NR {
+            let mut acc = c[i * ldc + j];
+            for kk in 0..kb {
+                acc = ap[kk * MR + i].mul_add(bp[kk * NR + j], acc);
+            }
+            c[i * ldc + j] = acc;
+        }
+    }
+}
+
+/// Scalar tile compiled with the `fma` target feature so `mul_add` is a
+/// single `vfmadd` instruction instead of a libm call. Same body as
+/// [`tile_portable`], therefore the same bits.
+///
+/// # Safety
+///
+/// The caller must have verified `is_x86_feature_detected!("fma")`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma")]
+unsafe fn tile_scalar_fma(ap: &[f32], bp: &[f32], kb: usize, c: &mut [f32], ldc: usize) {
+    for i in 0..MR {
+        for j in 0..NR {
+            let mut acc = c[i * ldc + j];
+            for kk in 0..kb {
+                acc = ap[kk * MR + i].mul_add(bp[kk * NR + j], acc);
+            }
+            c[i * ldc + j] = acc;
+        }
+    }
+}
+
+/// AVX2/FMA 6×16 tile: 12 `ymm` accumulators (6 rows × 2 vectors), one
+/// broadcast and two `vfmadd231ps` per A element. Lane `j` of row `i`
+/// computes exactly the scalar chain `c ← fma(a, b, c)` in the same `k`
+/// order, so the result is bit-identical to [`tile_portable`].
+///
+/// # Safety
+///
+/// The caller must have verified `is_x86_feature_detected!("avx2")` and
+/// `("fma")`, and must pass `ap.len() >= kb*MR`, `bp.len() >= kb*NR`, and
+/// `c.len() >= (MR-1)*ldc + NR` (checked by [`run_tile`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn tile_avx2(ap: &[f32], bp: &[f32], kb: usize, c: &mut [f32], ldc: usize) {
+    use std::arch::x86_64::{
+        _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+    // SAFETY: run_tile asserted `c` spans `(MR-1)*ldc + NR` elements and
+    // the panels span `kb*MR` / `kb*NR`, so every unaligned 8-float
+    // load/store and scalar read below is in bounds (`u` variants).
+    unsafe {
+        let cp = c.as_mut_ptr();
+        let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+        for (i, row) in acc.iter_mut().enumerate() {
+            row[0] = _mm256_loadu_ps(cp.add(i * ldc));
+            row[1] = _mm256_loadu_ps(cp.add(i * ldc + 8));
+        }
+        let mut a = ap.as_ptr();
+        let mut b = bp.as_ptr();
+        for _ in 0..kb {
+            let b0 = _mm256_loadu_ps(b);
+            let b1 = _mm256_loadu_ps(b.add(8));
+            for (i, row) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*a.add(i));
+                row[0] = _mm256_fmadd_ps(av, b0, row[0]);
+                row[1] = _mm256_fmadd_ps(av, b1, row[1]);
+            }
+            a = a.add(MR);
+            b = b.add(NR);
+        }
+        for (i, row) in acc.iter().enumerate() {
+            _mm256_storeu_ps(cp.add(i * ldc), row[0]);
+            _mm256_storeu_ps(cp.add(i * ldc + 8), row[1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.max(1);
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    /// Every available kernel must produce the same bits on the same tile.
+    #[test]
+    fn kernels_are_bit_identical() {
+        let kb = 37;
+        let ap = rand_vec(kb * MR, 1);
+        let bp = rand_vec(kb * NR, 2);
+        let c0 = rand_vec(MR * NR, 3);
+        let mut reference = c0.clone();
+        tile_portable(&ap, &bp, kb, &mut reference, NR);
+        for kern in [Kernel::Portable, Kernel::ScalarFma, Kernel::Avx2] {
+            // Only exercise kernels the CPU actually supports.
+            let supported = match kern {
+                Kernel::Portable => true,
+                #[cfg(target_arch = "x86_64")]
+                Kernel::ScalarFma => std::arch::is_x86_feature_detected!("fma"),
+                #[cfg(target_arch = "x86_64")]
+                Kernel::Avx2 => {
+                    std::arch::is_x86_feature_detected!("avx2")
+                        && std::arch::is_x86_feature_detected!("fma")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                _ => false,
+            };
+            if !supported {
+                continue;
+            }
+            let mut c = c0.clone();
+            run_tile(kern, &ap, &bp, kb, &mut c, NR);
+            let same = c
+                .iter()
+                .zip(&reference)
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "{kern:?} diverged from the portable tile");
+        }
+    }
+
+    /// The tile update must equal a per-element sequential fma fold.
+    #[test]
+    fn tile_matches_sequential_fma_fold() {
+        let kb = 11;
+        let ap = rand_vec(kb * MR, 4);
+        let bp = rand_vec(kb * NR, 5);
+        let mut c = rand_vec(MR * NR, 6);
+        let expect: Vec<f32> = (0..MR * NR)
+            .map(|idx| {
+                let (i, j) = (idx / NR, idx % NR);
+                let mut acc = c[idx];
+                for kk in 0..kb {
+                    acc = ap[kk * MR + i].mul_add(bp[kk * NR + j], acc);
+                }
+                acc
+            })
+            .collect();
+        run_tile(kernel(), &ap, &bp, kb, &mut c, NR);
+        assert!(c
+            .iter()
+            .zip(&expect)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn set_simd_round_trips() {
+        // Scalar is always honored.
+        assert!(set_simd(false));
+        assert!(!simd_active());
+        let honored = set_simd(true);
+        assert_eq!(honored, simd_active());
+        // Leave the process-default selection behind for other tests.
+        let _ = set_simd(true);
+    }
+
+    #[test]
+    fn strided_c_tile_only_touches_its_columns() {
+        let kb = 3;
+        let ap = rand_vec(kb * MR, 7);
+        let bp = rand_vec(kb * NR, 8);
+        let ldc = NR + 5;
+        let mut c = vec![1.0f32; (MR - 1) * ldc + NR + 5];
+        let sentinel = c.clone();
+        run_tile(kernel(), &ap, &bp, kb, &mut c, ldc);
+        for i in 0..MR - 1 {
+            for j in NR..ldc {
+                assert_eq!(
+                    c[i * ldc + j].to_bits(),
+                    sentinel[i * ldc + j].to_bits(),
+                    "gap column ({i},{j}) was clobbered"
+                );
+            }
+        }
+    }
+}

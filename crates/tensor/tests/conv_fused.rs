@@ -1,0 +1,282 @@
+//! Fused-im2col regression suite: the conv path that gathers patches
+//! inside the GEMM pack must be bit-equal to the old materialized
+//! `im2col` lowering, and must no longer allocate the column matrix.
+//!
+//! The reference path here *is* the old implementation, reconstructed from
+//! public pieces: materialize `im2col`, then run the same packed GEMM
+//! (`matmul` / `matmul_nt` / `matmul_tn`). Both paths feed identical
+//! values through identical kernels in identical order, so equality is
+//! exact bits — any divergence means the pack's coordinate mapping is
+//! wrong.
+//!
+//! This lives in its own integration-test binary (= its own process) so
+//! the allocation high-water-mark measurement is not polluted by
+//! unrelated tests; tensors here are sized in MBs against KB-scale noise
+//! from sibling tests in this binary.
+
+use dropback_tensor::alloc;
+use dropback_tensor::conv::{col2im, conv2d_backward, conv2d_forward, im2col, ConvGeom};
+use dropback_tensor::{matmul, matmul_nt, matmul_tn, Tensor};
+
+fn rand_tensor(shape: Vec<usize>, seed: u64) -> Tensor {
+    let mut state = seed.max(1);
+    Tensor::from_fn(shape, |_| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+    })
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{ctx}: element {i} diverged ({g} vs {w})"
+        );
+    }
+}
+
+/// The old forward: materialize the column matrix, one GEMM per sample,
+/// and — like the old `ConvCache` — retain every sample's cols for the
+/// backward pass.
+fn materialized_forward(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&[f32]>,
+    g: ConvGeom,
+) -> (Tensor, Vec<Tensor>) {
+    let n = x.shape()[0];
+    let f = w.shape()[0];
+    let (oh, ow) = (g.oh(), g.ow());
+    let sample = g.c * g.h * g.w;
+    let mut out = Vec::with_capacity(n * f * oh * ow);
+    let mut cols = Vec::with_capacity(n);
+    for i in 0..n {
+        let col = im2col(&x.data()[i * sample..(i + 1) * sample], g);
+        let y = matmul(w, &col);
+        cols.push(col);
+        for fi in 0..f {
+            for p in 0..oh * ow {
+                let mut v = y.data()[fi * oh * ow + p];
+                if let Some(b) = bias {
+                    v += b[fi];
+                }
+                out.push(v);
+            }
+        }
+    }
+    (Tensor::from_vec(vec![n, f, oh, ow], out), cols)
+}
+
+/// The old backward: per-sample `dW += dY·colᵀ`, `dcol = Wᵀ·dY`,
+/// `dx = col2im(dcol)`, partials summed in sample order, reading the
+/// column matrices saved by the forward pass.
+fn materialized_backward(
+    dout: &Tensor,
+    w: &Tensor,
+    cols: &[Tensor],
+    g: ConvGeom,
+) -> (Tensor, Tensor, Vec<f32>) {
+    let n = dout.shape()[0];
+    let f = dout.shape()[1];
+    let cc = g.col_cols();
+    let sample = g.c * g.h * g.w;
+    let mut dw = Tensor::zeros(vec![f, g.col_rows()]);
+    let mut db = vec![0.0f32; f];
+    let mut dx = Vec::with_capacity(n * sample);
+    for (i, col) in cols.iter().enumerate() {
+        let dy = Tensor::from_vec(
+            vec![f, cc],
+            dout.data()[i * f * cc..(i + 1) * f * cc].to_vec(),
+        );
+        dw.axpy(1.0, &matmul_nt(&dy, col));
+        for (fi, row) in dy.data().chunks_exact(cc).enumerate() {
+            db[fi] += row.iter().sum::<f32>();
+        }
+        let dcol = matmul_tn(w, &dy);
+        dx.extend_from_slice(&col2im(&dcol, g));
+    }
+    (Tensor::from_vec(vec![n, g.c, g.h, g.w], dx), dw, db)
+}
+
+/// Geometries covering the stride/pad/dilation edges and microkernel
+/// tile straddling (f and oh·ow not multiples of 6/16).
+fn edge_geometries() -> Vec<(usize, usize, ConvGeom)> {
+    vec![
+        // (n, f, geom)
+        (
+            2,
+            5,
+            ConvGeom {
+                c: 3,
+                h: 8,
+                w: 7,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                pad: 1,
+                dilation: 1,
+            },
+        ),
+        (
+            1,
+            7,
+            ConvGeom {
+                c: 2,
+                h: 9,
+                w: 9,
+                kh: 3,
+                kw: 3,
+                stride: 2,
+                pad: 0,
+                dilation: 1,
+            },
+        ),
+        (
+            3,
+            4,
+            ConvGeom {
+                c: 1,
+                h: 6,
+                w: 11,
+                kh: 2,
+                kw: 4,
+                stride: 2,
+                pad: 2,
+                dilation: 1,
+            },
+        ),
+        (
+            2,
+            6,
+            ConvGeom {
+                c: 2,
+                h: 11,
+                w: 10,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+                pad: 2,
+                dilation: 2,
+            },
+        ),
+        (
+            1,
+            3,
+            ConvGeom {
+                c: 2,
+                h: 13,
+                w: 7,
+                kh: 3,
+                kw: 2,
+                stride: 2,
+                pad: 1,
+                dilation: 3,
+            },
+        ),
+        (
+            2,
+            17,
+            ConvGeom {
+                c: 4,
+                h: 1,
+                w: 23,
+                kh: 1,
+                kw: 3,
+                stride: 1,
+                pad: 1,
+                dilation: 1,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn fused_forward_is_bit_equal_to_materialized_path() {
+    for (idx, (n, f, g)) in edge_geometries().into_iter().enumerate() {
+        let x = rand_tensor(vec![n, g.c, g.h, g.w], 100 + idx as u64);
+        let w = rand_tensor(vec![f, g.col_rows()], 200 + idx as u64);
+        let bias: Vec<f32> = (0..f).map(|i| (i as f32) * 0.3 - 0.5).collect();
+        for b in [None, Some(&bias[..])] {
+            let fused = conv2d_forward(&x, &w, b, g);
+            let (reference, _cols) = materialized_forward(&x, &w, b, g);
+            assert_eq!(fused.shape(), reference.shape());
+            assert_bits_eq(
+                fused.data(),
+                reference.data(),
+                &format!("geometry {idx} (bias {})", b.is_some()),
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_backward_is_bit_equal_to_materialized_path() {
+    for (idx, (n, f, g)) in edge_geometries().into_iter().enumerate() {
+        let x = rand_tensor(vec![n, g.c, g.h, g.w], 300 + idx as u64);
+        let w = rand_tensor(vec![f, g.col_rows()], 400 + idx as u64);
+        let dout = rand_tensor(vec![n, f, g.oh(), g.ow()], 500 + idx as u64);
+        let (dx, dw, db) = conv2d_backward(&dout, &w, &x, g);
+        let (_y, cols) = materialized_forward(&x, &w, None, g);
+        let (dx_r, dw_r, db_r) = materialized_backward(&dout, &w, &cols, g);
+        assert_bits_eq(dx.data(), dx_r.data(), &format!("geometry {idx} dx"));
+        assert_bits_eq(dw.data(), dw_r.data(), &format!("geometry {idx} dw"));
+        assert_bits_eq(&db, &db_r, &format!("geometry {idx} db"));
+    }
+}
+
+#[test]
+fn fused_conv_no_longer_allocates_the_column_matrix() {
+    // c=16, k=3 → the column matrix is 9× the input plane. Over 8 samples
+    // the old path retained n·(c·kh·kw)·(oh·ow) floats of cols — the
+    // dominant allocation by far. The fused path's tracked allocations are
+    // only the output, dx, and gradient tensors.
+    let g = ConvGeom {
+        c: 16,
+        h: 32,
+        w: 32,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+        dilation: 1,
+    };
+    let (n, f) = (8usize, 8usize);
+    let cols_bytes = (n * g.col_rows() * g.col_cols() * 4) as u64; // ~4.7 MB
+    let x = rand_tensor(vec![n, g.c, g.h, g.w], 61);
+    let w = rand_tensor(vec![f, g.col_rows()], 62);
+
+    // Fused path peak, relative to the live total at phase start.
+    let live_before = alloc::live_bytes();
+    alloc::reset_hwm();
+    let y = conv2d_forward(&x, &w, None, g);
+    let (dx, dw, _db) = conv2d_backward(&y, &w, &x, g);
+    let fused_peak = alloc::hwm_bytes().saturating_sub(live_before);
+    drop((y, dx, dw));
+
+    // The same workload through the materialized lowering, cols retained
+    // from forward to backward as the old ConvCache did.
+    let live_before = alloc::live_bytes();
+    alloc::reset_hwm();
+    let (y, cols) = materialized_forward(&x, &w, None, g);
+    let (dx, dw, _db) = materialized_backward(&y, &w, &cols, g);
+    let materialized_peak = alloc::hwm_bytes().saturating_sub(live_before);
+    drop((y, cols, dx, dw));
+
+    // The fused peak must come in under the column matrix's own footprint
+    // (generous slack: sibling tests in this binary allocate KBs, and even
+    // one retained sample's cols would blow the bound).
+    assert!(
+        fused_peak < cols_bytes * 3 / 4,
+        "fused conv peaked at {fused_peak} bytes — the ~{cols_bytes}-byte \
+         column matrix appears to still be materialized"
+    );
+    assert!(
+        fused_peak + cols_bytes / 4 < materialized_peak,
+        "fused peak {fused_peak} not clearly below materialized peak \
+         {materialized_peak} (cols ≈ {cols_bytes})"
+    );
+}

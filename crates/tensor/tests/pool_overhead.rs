@@ -7,6 +7,7 @@
 //! no unrelated test can bump the process-global pool counters while a
 //! delta is being measured.
 
+use dropback_tensor::conv::{conv2d_backward, conv2d_forward, ConvGeom};
 use dropback_tensor::{matmul, pool, Tensor};
 
 fn counter(name: &str) -> u64 {
@@ -20,9 +21,31 @@ fn small_gemm() -> Tensor {
 }
 
 fn large_gemm() -> Tensor {
-    let a = Tensor::from_fn(vec![96, 96], |i| (i % 97) as f32 * 0.01);
-    let b = Tensor::from_fn(vec![96, 96], |i| (i % 89) as f32 * 0.02);
+    // 150×300×550 clears PARALLEL_THRESHOLD and spans several MR-aligned
+    // row chunks plus all three MC/KC/NC cache blocks of the packed path.
+    let a = Tensor::from_fn(vec![150, 300], |i| (i % 97) as f32 * 0.01);
+    let b = Tensor::from_fn(vec![300, 550], |i| (i % 89) as f32 * 0.02);
     matmul(&a, &b)
+}
+
+fn fused_conv_round_trip() -> Tensor {
+    // Big enough that the per-sample partitioning would dispatch on a
+    // multi-thread pool.
+    let g = ConvGeom {
+        c: 8,
+        h: 16,
+        w: 16,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+        dilation: 1,
+    };
+    let x = Tensor::from_fn(vec![4, 8, 16, 16], |i| (i % 23) as f32 * 0.05);
+    let w = Tensor::from_fn(vec![8, g.col_rows()], |i| (i % 31) as f32 * 0.02);
+    let y = conv2d_forward(&x, &w, None, g);
+    let (dx, _dw, _db) = conv2d_backward(&y, &w, &x, g);
+    dx
 }
 
 /// The whole matrix runs in one test fn: the counters are process-global,
@@ -35,7 +58,8 @@ fn cheap_paths_never_engage_the_pool() {
     let before = (counter("pool.runs.parallel"), counter("pool.tasks"));
     let s = small_gemm();
     let l = large_gemm();
-    assert!(s.data()[0].is_finite() && l.data()[0].is_finite());
+    let d = fused_conv_round_trip();
+    assert!(s.data()[0].is_finite() && l.data()[0].is_finite() && d.data()[0].is_finite());
     let after = (counter("pool.runs.parallel"), counter("pool.tasks"));
     assert_eq!(
         before, after,

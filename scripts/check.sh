@@ -64,6 +64,19 @@ echo "== threads-matrix (bit-identical training at 1 and 4 worker threads)"
 DROPBACK_THREADS=1 cargo test -q -p dropback-repro --test thread_invariance
 DROPBACK_THREADS=4 cargo test -q -p dropback-repro --test thread_invariance
 
+echo "== gemm-conformance (packed microkernel vs naive reference, SIMD on/off)"
+# The conformance suite compares the packed GEMM against a naive
+# triple-loop oracle bit-for-bit and self-toggles the SIMD kernel
+# in-process. Rerunning the whole binary under DROPBACK_SIMD=0 pins that
+# the env-selected scalar default produces the same bits, and the
+# threads-matrix rerun pins the ambient pool size out of the results.
+for threads in 1 4; do
+    DROPBACK_THREADS=$threads \
+        cargo test -q -p dropback-repro --test gemm_conformance
+    DROPBACK_SIMD=0 DROPBACK_THREADS=$threads \
+        cargo test -q -p dropback-repro --test gemm_conformance
+done
+
 echo "== trace smoke (Chrome trace export parses, spans pair up)"
 # A short traced training run, then the analyzer re-parses the file and
 # fails on JSON errors or unpaired begin/end events.

@@ -1,0 +1,231 @@
+//! GEMM conformance suite: pins the packed-microkernel path to a naive
+//! triple-loop reference, bit for bit.
+//!
+//! The determinism contract (see `docs/PERFORMANCE.md`) says every C
+//! element is one sequential fused-multiply-add fold over `k` in ascending
+//! order, regardless of cache blocking, thread count, or kernel (AVX2,
+//! scalar-FMA, portable). That makes the *naive* reference — a plain
+//! `f32::mul_add` loop — an exact-bits oracle, not a tolerance check:
+//!
+//! * randomized shapes, including tile-straddling (m/n/k not divisible by
+//!   the 6×16 microkernel or the MC/KC/NC blocks), k=1, 1×1, and
+//!   tall/skinny matrices, for all three transpose variants;
+//! * SIMD vs scalar kernels compared exact-bits (toggled in-process via
+//!   `simd::set_simd`; `scripts/check.sh gemm-conformance` additionally
+//!   reruns this whole binary under `DROPBACK_SIMD=0`);
+//! * bit-identity across threads {1, 2, 4, 7} in the style of
+//!   `tests/thread_invariance.rs`.
+//!
+//! Tests that reconfigure process-global state (thread count, kernel
+//! selection) serialize on [`config_lock`].
+
+use dropback::prng::Xorshift64;
+use dropback::tensor::{matmul, matmul_nt, matmul_tn, pool, simd, Tensor};
+use std::sync::{Mutex, MutexGuard};
+
+const THREAD_MATRIX: [usize; 4] = [1, 2, 4, 7];
+
+/// Serializes tests that reconfigure the global pool or kernel selection.
+fn config_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Deterministic case generator (same harness style as tests/properties.rs).
+struct Cases {
+    rng: Xorshift64,
+}
+
+impl Cases {
+    fn new(seed: u64) -> Self {
+        Self {
+            rng: Xorshift64::new(seed),
+        }
+    }
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi);
+        lo + (self.rng.next_u64() % (hi - lo) as u64) as usize
+    }
+    fn f32_vec(&mut self, len: usize) -> Vec<f32> {
+        (0..len).map(|_| self.rng.next_f32() * 2.0 - 1.0).collect()
+    }
+}
+
+fn check(n: usize, seed: u64, mut body: impl FnMut(&mut Cases, usize)) {
+    let mut cases = Cases::new(seed);
+    for case in 0..n {
+        body(&mut cases, case);
+    }
+}
+
+/// The oracle: a naive triple loop folding `c ← fma(a, b, c)` over `k` in
+/// ascending order from 0.0 — exactly the per-element chain the packed
+/// path promises.
+fn naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc = a[i * k + kk].mul_add(b[kk * n + j], acc);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+fn transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut t = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            t[c * rows + r] = src[r * cols + c];
+        }
+    }
+    t
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{ctx}: element {i} diverged ({g} vs {w})"
+        );
+    }
+}
+
+/// Shapes that pin every structural edge of the packed path: unit dims,
+/// k=1, tall/skinny, exact tile multiples, one-past and one-short of the
+/// 6×16 microkernel, and sizes straddling the MC=96 / KC=256 / NC=512
+/// cache blocks.
+const EDGE_SHAPES: [(usize, usize, usize); 12] = [
+    (1, 1, 1),
+    (1, 1, 7),
+    (6, 16, 1),
+    (7, 17, 3),
+    (5, 15, 33),
+    (12, 32, 64),
+    (200, 1, 4),
+    (1, 200, 4),
+    (97, 18, 5),
+    (13, 513, 20),
+    (6, 16, 257),
+    (101, 40, 300),
+];
+
+#[test]
+fn packed_gemm_matches_naive_reference_bitwise() {
+    for &(m, n, k) in &EDGE_SHAPES {
+        let mut c = Cases::new((m * 1000 + n * 10 + k) as u64 | 1);
+        let a = c.f32_vec(m * k);
+        let b = c.f32_vec(k * n);
+        let got = matmul(
+            &Tensor::from_vec(vec![m, k], a.clone()),
+            &Tensor::from_vec(vec![k, n], b.clone()),
+        );
+        assert_bits_eq(got.data(), &naive(m, n, k, &a, &b), &format!("{m}x{n}x{k}"));
+    }
+    check(40, 0xC0FF, |c, case| {
+        let (m, n, k) = (c.usize_in(1, 40), c.usize_in(1, 40), c.usize_in(1, 40));
+        let a = c.f32_vec(m * k);
+        let b = c.f32_vec(k * n);
+        let got = matmul(
+            &Tensor::from_vec(vec![m, k], a.clone()),
+            &Tensor::from_vec(vec![k, n], b.clone()),
+        );
+        assert_bits_eq(
+            got.data(),
+            &naive(m, n, k, &a, &b),
+            &format!("case {case} ({m}x{n}x{k})"),
+        );
+    });
+}
+
+#[test]
+fn transpose_variants_match_naive_reference_bitwise() {
+    check(30, 0x7A55, |c, case| {
+        let (m, n, k) = (c.usize_in(1, 30), c.usize_in(1, 30), c.usize_in(1, 30));
+        let a = c.f32_vec(m * k);
+        let b = c.f32_vec(k * n);
+        let want = naive(m, n, k, &a, &b);
+        // Aᵀ·B with A stored as [k, m].
+        let tn = matmul_tn(
+            &Tensor::from_vec(vec![k, m], transpose(&a, m, k)),
+            &Tensor::from_vec(vec![k, n], b.clone()),
+        );
+        assert_bits_eq(tn.data(), &want, &format!("case {case} tn ({m}x{n}x{k})"));
+        // A·Bᵀ with B stored as [n, k].
+        let nt = matmul_nt(
+            &Tensor::from_vec(vec![m, k], a.clone()),
+            &Tensor::from_vec(vec![n, k], transpose(&b, k, n)),
+        );
+        assert_bits_eq(nt.data(), &want, &format!("case {case} nt ({m}x{n}x{k})"));
+    });
+    // Transpose variants at a block-straddling size.
+    let (m, n, k) = (103, 530, 260);
+    let mut c = Cases::new(0xB1C);
+    let a = c.f32_vec(m * k);
+    let b = c.f32_vec(k * n);
+    let want = naive(m, n, k, &a, &b);
+    let tn = matmul_tn(
+        &Tensor::from_vec(vec![k, m], transpose(&a, m, k)),
+        &Tensor::from_vec(vec![k, n], b.clone()),
+    );
+    assert_bits_eq(tn.data(), &want, "large tn");
+    let nt = matmul_nt(
+        &Tensor::from_vec(vec![m, k], a),
+        &Tensor::from_vec(vec![n, k], transpose(&b, k, n)),
+    );
+    assert_bits_eq(nt.data(), &want, "large nt");
+}
+
+#[test]
+fn simd_and_scalar_kernels_agree_bitwise() {
+    let _guard = config_lock();
+    let was_active = simd::simd_active();
+    for &(m, n, k) in &[(7usize, 17usize, 3usize), (64, 48, 96), (150, 550, 300)] {
+        let mut c = Cases::new((m + n + k) as u64 | 1);
+        let a = Tensor::from_vec(vec![m, k], c.f32_vec(m * k));
+        let b = Tensor::from_vec(vec![k, n], c.f32_vec(k * n));
+        simd::set_simd(true); // no-op (stays scalar) off AVX2 hardware
+        let fast = matmul(&a, &b);
+        simd::set_simd(false);
+        let scalar = matmul(&a, &b);
+        assert_bits_eq(
+            fast.data(),
+            scalar.data(),
+            &format!("simd vs scalar {m}x{n}x{k}"),
+        );
+    }
+    simd::set_simd(was_active);
+}
+
+#[test]
+fn gemm_is_bit_identical_across_thread_counts() {
+    let _guard = config_lock();
+    let was_active = simd::simd_active();
+    // Large enough to clear PARALLEL_THRESHOLD and span several row chunks
+    // and all three cache-block dimensions.
+    let (m, n, k) = (150, 550, 300);
+    let mut c = Cases::new(0xDEAD);
+    let a = Tensor::from_vec(vec![m, k], c.f32_vec(m * k));
+    let b = Tensor::from_vec(vec![k, n], c.f32_vec(k * n));
+    for simd_on in [true, false] {
+        simd::set_simd(simd_on);
+        pool::set_threads(THREAD_MATRIX[0]);
+        let serial = matmul(&a, &b);
+        for &threads in &THREAD_MATRIX[1..] {
+            pool::set_threads(threads);
+            let got = matmul(&a, &b);
+            assert_bits_eq(
+                got.data(),
+                serial.data(),
+                &format!("threads {threads} (simd {simd_on})"),
+            );
+        }
+    }
+    pool::set_threads(1);
+    simd::set_simd(was_active);
+}

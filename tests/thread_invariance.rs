@@ -1,20 +1,24 @@
 //! Thread-invariance suite: training is bit-identical at every
-//! `DROPBACK_THREADS` value.
+//! `DROPBACK_THREADS` value and with the SIMD GEMM kernel on or off.
 //!
 //! The worker pool's determinism contract (see `docs/PERFORMANCE.md`) says
 //! the thread count decides *where* work runs, never *what* is computed:
 //! every parallel kernel partitions by problem size with disjoint writes
-//! and serial-order reductions. These tests pin that end to end: an MLP
-//! and a conv/BN model are trained for a few steps at thread counts
-//! {1, 2, 4, 7}, and the resulting weights, loss history, and checkpoint
-//! bytes must match the single-threaded run bit for bit.
+//! and serial-order reductions. The packed GEMM extends the contract to
+//! kernel selection: the AVX2 microkernel and the scalar fallback compute
+//! the same fused-multiply-add chains in the same order, so `DROPBACK_SIMD`
+//! may change speed but never bits. These tests pin both axes end to end:
+//! an MLP and a conv/BN model are trained for a few steps across the full
+//! SIMD {on, off} × threads {1, 2, 4, 7} matrix, and the resulting
+//! weights, loss history, and checkpoint bytes must match the
+//! single-threaded scalar run bit for bit.
 //!
-//! The whole {1, 2, 4, 7} matrix for one model runs inside a single
-//! `#[test]`, and the two tests serialize on [`config_lock`], because the
-//! pool's thread count is process-global state.
+//! The whole matrix for one model runs inside a single `#[test]`, and the
+//! two tests serialize on [`config_lock`], because the pool's thread count
+//! and the kernel selection are process-global state.
 
 use dropback::prelude::*;
-use dropback::tensor::pool;
+use dropback::tensor::{pool, simd};
 use dropback::TrainState;
 use std::sync::{Mutex, MutexGuard};
 
@@ -63,23 +67,31 @@ fn assert_matches_serial(
     serial: &(Vec<u32>, Vec<u32>, Vec<u8>),
     run: impl Fn() -> (Vec<u32>, Vec<u32>, Vec<u8>),
 ) {
-    for &threads in &THREAD_MATRIX[1..] {
-        pool::set_threads(threads);
-        let got = run();
-        assert_eq!(
-            serial.1, got.1,
-            "{label}: loss history diverged at {threads} threads"
-        );
-        assert_eq!(
-            serial.0, got.0,
-            "{label}: weight bits diverged at {threads} threads"
-        );
-        assert_eq!(
-            serial.2, got.2,
-            "{label}: checkpoint bytes diverged at {threads} threads"
-        );
+    let was_active = simd::simd_active();
+    for simd_on in [false, true] {
+        simd::set_simd(simd_on); // no-op (stays scalar) off AVX2 hardware
+        for &threads in &THREAD_MATRIX {
+            if !simd_on && threads == THREAD_MATRIX[0] {
+                continue; // that's the serial baseline itself
+            }
+            pool::set_threads(threads);
+            let got = run();
+            assert_eq!(
+                serial.1, got.1,
+                "{label}: loss history diverged at {threads} threads (simd {simd_on})"
+            );
+            assert_eq!(
+                serial.0, got.0,
+                "{label}: weight bits diverged at {threads} threads (simd {simd_on})"
+            );
+            assert_eq!(
+                serial.2, got.2,
+                "{label}: checkpoint bytes diverged at {threads} threads (simd {simd_on})"
+            );
+        }
     }
     pool::set_threads(1);
+    simd::set_simd(was_active);
 }
 
 #[test]
@@ -96,6 +108,7 @@ fn mlp_training_is_bit_identical_across_thread_counts() {
         )
     };
     pool::set_threads(THREAD_MATRIX[0]);
+    simd::set_simd(false);
     let serial = run();
     assert_matches_serial("mnist-100-100/dropback", &serial, run);
 }
@@ -114,6 +127,7 @@ fn conv_training_is_bit_identical_across_thread_counts() {
         )
     };
     pool::set_threads(THREAD_MATRIX[0]);
+    simd::set_simd(false);
     let serial = run();
     assert_matches_serial("vgg-s-nano/dropback-sparse", &serial, run);
 }
